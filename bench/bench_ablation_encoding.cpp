@@ -1,0 +1,87 @@
+// Ablation A2 (DESIGN.md): CNF lowering of the paper's SMT formulation.
+//
+// The paper uses Z3 with bit-vector labels; our solver exposes both that
+// lowering ('Binary') and the direct one-hot encoding, each with label
+// symmetry breaking on/off. The gap family is used because it is the one
+// that forces real UNSAT proofs (paper Observation 5 — the expensive part).
+//
+// Reported per configuration: proven-optimal rate, total/max SMT time,
+// conflicts, and formula size.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "benchgen/suites.h"
+#include "common.h"
+#include "smt/sap.h"
+
+namespace {
+
+struct Config {
+  std::string name;
+  ebmf::smt::LabelEncoding encoding;
+  bool symmetry;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = ebmf::bench::parse_options(argc, argv);
+  using namespace ebmf::benchgen;
+
+  std::vector<Instance> pool;
+  for (std::size_t k : {2u, 3u, 4u, 5u})
+    for (auto& inst : gap_suite(10, 10, {k}, opt.count(25, 6), opt.seed + k))
+      pool.push_back(std::move(inst));
+
+  const std::vector<Config> configs = {
+      {"one-hot + symmetry ", ebmf::smt::LabelEncoding::OneHot, true},
+      {"one-hot, no symmetry", ebmf::smt::LabelEncoding::OneHot, false},
+      {"binary  + symmetry ", ebmf::smt::LabelEncoding::Binary, true},
+      {"binary, no symmetry", ebmf::smt::LabelEncoding::Binary, false},
+  };
+
+  std::printf("=== Ablation: SMT-to-CNF encodings on the gap family ===\n");
+  std::printf("(%zu instances; per-instance budget %.1fs)\n\n", pool.size(),
+              opt.budget_seconds);
+  std::printf("%-22s %7s %10s %10s %12s %10s\n", "encoding", "proven",
+              "SMT[s]", "max[s]", "conflicts", "calls");
+  std::printf("%s\n", std::string(76, '-').c_str());
+
+  for (const auto& config : configs) {
+    std::size_t proven = 0;
+    double total_smt = 0;
+    double max_smt = 0;
+    std::uint64_t conflicts = 0;
+    std::size_t calls = 0;
+    for (const auto& inst : pool) {
+      ebmf::SapOptions sopt;
+      sopt.encoder.encoding = config.encoding;
+      sopt.encoder.symmetry_breaking = config.symmetry;
+      sopt.packing.trials = 5;  // weak heuristic: force SMT to work
+      sopt.packing.seed = opt.seed;
+      sopt.deadline = ebmf::Deadline::after(opt.budget_seconds);
+      const auto r = ebmf::sap_solve(inst.matrix, sopt);
+      if (r.proven_optimal()) ++proven;
+      total_smt += r.smt_seconds;
+      conflicts += r.smt_stats.conflicts;
+      calls += r.smt_calls.size();
+      double inst_smt = 0;
+      for (const auto& call : r.smt_calls) inst_smt += call.seconds;
+      max_smt = std::max(max_smt, inst_smt);
+    }
+    std::printf("%-22s %6.0f%% %10.3f %10.3f %12llu %10zu\n",
+                config.name.c_str(),
+                100.0 * static_cast<double>(proven) /
+                    static_cast<double>(pool.size()),
+                total_smt, max_smt,
+                static_cast<unsigned long long>(conflicts), calls);
+  }
+
+  std::printf("\nShape checks: one-hot + symmetry should prove the most and "
+              "be fastest on UNSAT;\nthe bit-vector ('binary') lowering — the "
+              "paper's Z3 formulation — pays for reified\nequalities; "
+              "symmetry breaking matters most for UNSAT proving.\n");
+  return 0;
+}

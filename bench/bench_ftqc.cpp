@@ -1,0 +1,128 @@
+// Section V study (DESIGN.md experiment S5): the FTQC two-level structure.
+//
+// Part A — tensor bound quality: for logical patterns M-hat and per-patch
+// physical patterns M, compare
+//   * the product-partition upper bound r_B(M-hat) * r_B(M),
+//   * Watson's Eq. 5 lower bound max(r_B * phi, r_B * phi),
+//   * the true r_B(M-hat (x) M) where a direct SAP solve is feasible.
+//
+// Part B — the qLDPC conjecture backdrop: P(full rank) and P(row addressing
+// optimal) for block matrices of increasing width (the paper's observation
+// that 10x20 / 10x30 are much easier to be full rank than 10x10).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchgen/suites.h"
+#include "common.h"
+#include "core/bounds.h"
+#include "core/fooling.h"
+#include "ftqc/patterns.h"
+#include "ftqc/two_level.h"
+#include "smt/sap.h"
+
+namespace {
+
+void part_a(const ebmf::bench::Options& opt) {
+  std::printf("--- Part A: tensor product bounds (Eq. 5 bracket) ---\n\n");
+  std::printf("%-12s %-12s | %6s %6s | %8s %8s %8s %9s\n", "logical",
+              "physical", "rB(A)", "rB(B)", "lower", "direct", "product",
+              "tight?");
+  std::printf("%s\n", std::string(82, '-').c_str());
+
+  ebmf::Rng rng(opt.seed);
+  struct Physical {
+    std::string name;
+    ebmf::BinaryMatrix m;
+  };
+  const std::vector<Physical> physicals = {
+      {"all-ones 3x3", ebmf::ftqc::transversal_patch(3)},
+      {"checker 3x3", ebmf::ftqc::checkerboard_patch(3)},
+      {"bndry-row 3", ebmf::ftqc::boundary_row_patch(3, 0)},
+      {"rand 2x2", ebmf::BinaryMatrix::random(2, 2, 0.7, rng)},
+      {"rand 3x3", ebmf::BinaryMatrix::random(3, 3, 0.6, rng)},
+      // The paper's Eq. 2 matrix: phi = 2 < r_B = 3, so Eq. 5 cannot close
+      // the bracket — exactly the open-question regime of §V.
+      {"eq2 (phi<rB)", ebmf::BinaryMatrix::parse("110;011;111")},
+  };
+  const std::size_t logical_cases = opt.count(12, 4);
+  for (std::size_t c = 0; c < logical_cases; ++c) {
+    const auto logical = ebmf::ftqc::logical_pattern(3, 3, 0.55, rng);
+    if (logical.is_zero()) continue;
+    for (const auto& phys : physicals) {
+      if (phys.m.is_zero()) continue;
+      const auto two = ebmf::ftqc::solve_two_level(logical, phys.m);
+      const auto big = ebmf::BinaryMatrix::kron(logical, phys.m);
+      ebmf::SapOptions sopt;
+      sopt.packing.trials = 100;
+      sopt.deadline = ebmf::Deadline::after(opt.budget_seconds);
+      const auto direct = ebmf::sap_solve(big, sopt);
+      std::printf("%-12s %-12s | %6zu %6zu | %8zu %7zu%s %8zu %9s\n",
+                  ("rand#" + std::to_string(c)).c_str(), phys.name.c_str(),
+                  two.logical.depth(), two.physical.depth(), two.lower_bound,
+                  direct.depth(), direct.proven_optimal() ? "*" : "?",
+                  two.upper_bound,
+                  two.lower_bound == two.upper_bound ? "certified" : "");
+    }
+  }
+  std::printf("\n(* = direct solve proven optimal; 'certified' = Eq. 5 "
+              "closes the bracket.)\n"
+              "Shape: all-ones physical rows are always certified (phi = rB "
+              "= 1, paper §V);\ndirect never exceeds the product bound and "
+              "never undercuts the lower bound.\n\n");
+
+  // The open-question regime (§V, §VI): is r_B multiplicative under tensor
+  // products? Eq. 5 cannot decide factors with phi < r_B on BOTH sides, so
+  // solve eq2 (x) eq2 (phi = 2 < 3 = r_B each) directly — the kind of
+  // instance the paper suggests the SMT tool could investigate.
+  {
+    const auto eq2 = ebmf::BinaryMatrix::parse("110;011;111");
+    const auto big = ebmf::BinaryMatrix::kron(eq2, eq2);
+    ebmf::SapOptions sopt;
+    sopt.packing.trials = 200;
+    sopt.deadline = ebmf::Deadline::after(4 * opt.budget_seconds);
+    const auto direct = ebmf::sap_solve(big, sopt);
+    std::printf("Open question probe: eq2 (x) eq2 (9x9): Eq.5 bracket "
+                "[6, 9], direct r_B = %zu%s\n",
+                direct.depth(), direct.proven_optimal() ? " (proven)" : "+");
+    std::printf("  -> binary rank %s multiplicative on this witness.\n\n",
+                direct.depth() == 9 ? "IS" : "is NOT");
+  }
+}
+
+void part_b(const ebmf::bench::Options& opt) {
+  std::printf("--- Part B: qLDPC 1D blocks, row addressing (Fig. 5b) ---\n\n");
+  std::printf("%7s %7s | %12s %18s\n", "shape", "occ", "P(full rank)",
+              "P(rows optimal)");
+  std::printf("%s\n", std::string(52, '-').c_str());
+  ebmf::Rng rng(opt.seed + 1);
+  const int trials = static_cast<int>(opt.count(100, 30));
+  for (const std::size_t width : {10u, 20u, 30u}) {
+    for (const double occ : {0.2, 0.5, 0.8}) {
+      int full = 0;
+      int rows_opt = 0;
+      for (int t = 0; t < trials; ++t) {
+        const auto m = ebmf::ftqc::qldpc_block_pattern(10, width, occ, rng);
+        const auto rank = ebmf::real_rank(m);
+        if (rank == 10) ++full;
+        if (rank == ebmf::distinct_nonzero_rows(m)) ++rows_opt;
+      }
+      std::printf("10x%-4zu %6.0f%% | %11.0f%% %17.0f%%\n", width, occ * 100,
+                  100.0 * full / trials, 100.0 * rows_opt / trials);
+    }
+  }
+  std::printf("\nShape: width 20/30 nearly always full rank (row addressing "
+              "certified optimal);\nwidth 10 dips at low/high occupancy — the "
+              "paper's conjecture backdrop.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = ebmf::bench::parse_options(argc, argv);
+  std::printf("=== Section V: fault-tolerant two-level addressing ===\n\n");
+  part_a(opt);
+  part_b(opt);
+  return 0;
+}

@@ -1,0 +1,188 @@
+// Component microbenchmarks (google-benchmark): the building blocks whose
+// throughput determines how far the heuristics scale (the paper's 100x100
+// "current limit of atom array technology" and beyond).
+
+#include <benchmark/benchmark.h>
+
+#include "benchgen/generators.h"
+#include "core/bounds.h"
+#include "core/row_packing.h"
+#include "core/trivial.h"
+#include "dlx/packing_dlx.h"
+#include "linalg/rank.h"
+#include "sat/cardinality.h"
+#include "sat/solver.h"
+#include "smt/label_formula.h"
+#include "support/bitvec.h"
+#include "support/rng.h"
+
+namespace {
+
+ebmf::BinaryMatrix random_matrix(std::size_t n, double occ,
+                                 std::uint64_t seed) {
+  ebmf::Rng rng(seed);
+  return ebmf::BinaryMatrix::random(n, n, occ, rng);
+}
+
+// ---- BitVec -------------------------------------------------------------
+
+void BM_BitVecSubset(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ebmf::Rng rng(1);
+  ebmf::BitVec a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) a.set(i);
+    if (rng.chance(0.6)) b.set(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.subset_of(b));
+  }
+}
+BENCHMARK(BM_BitVecSubset)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BitVecAndNot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ebmf::Rng rng(2);
+  ebmf::BitVec a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(0.5)) a.set(i);
+    if (rng.chance(0.5)) b.set(i);
+  }
+  for (auto _ : state) {
+    auto c = a;
+    c -= b;
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_BitVecAndNot)->Arg(64)->Arg(1024)->Arg(4096);
+
+// ---- rank ---------------------------------------------------------------
+
+void BM_RealRank(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = random_matrix(n, 0.5, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ebmf::real_rank(m));
+  }
+}
+BENCHMARK(BM_RealRank)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_RankSparseBareissPath(benchmark::State& state) {
+  // Rank-deficient sparse matrices force the exact Bareiss fallback.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = random_matrix(n, 0.03, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ebmf::real_rank(m));
+  }
+}
+BENCHMARK(BM_RankSparseBareissPath)->Arg(30)->Arg(60)->Arg(100);
+
+// ---- heuristics ----------------------------------------------------------
+
+void BM_RowPackingPass(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = random_matrix(n, 0.5, 5);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ebmf::row_packing_pass(m, order));
+  }
+}
+BENCHMARK(BM_RowPackingPass)->Arg(10)->Arg(30)->Arg(100)->Arg(200);
+
+void BM_RowPackingHundredTrials(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = random_matrix(n, 0.5, 6);
+  for (auto _ : state) {
+    ebmf::RowPackingOptions opt;
+    opt.trials = 100;
+    benchmark::DoNotOptimize(ebmf::row_packing_ebmf(m, opt));
+  }
+}
+BENCHMARK(BM_RowPackingHundredTrials)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_DlxPackingPass(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = random_matrix(n, 0.5, 7);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ebmf::dlx::row_packing_dlx_pass(m, order));
+  }
+}
+BENCHMARK(BM_DlxPackingPass)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_TrivialHeuristic(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = random_matrix(n, 0.5, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ebmf::trivial_ebmf(m));
+  }
+}
+BENCHMARK(BM_TrivialHeuristic)->Arg(10)->Arg(100);
+
+// ---- SMT / SAT -----------------------------------------------------------
+
+void BM_FormulaConstructionOneHot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = random_matrix(n, 0.5, 9);
+  for (auto _ : state) {
+    ebmf::smt::EncoderOptions opt;
+    opt.encoding = ebmf::smt::LabelEncoding::OneHot;
+    ebmf::smt::LabelFormula f(m, n, opt);
+    benchmark::DoNotOptimize(f.stats().clauses);
+  }
+}
+BENCHMARK(BM_FormulaConstructionOneHot)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_SmtDecideSat(benchmark::State& state) {
+  // Decision at the optimum (SAT side) for an 8x8 random matrix.
+  const auto m = random_matrix(8, 0.5, 10);
+  const auto rank = ebmf::real_rank(m);
+  for (auto _ : state) {
+    ebmf::smt::LabelFormula f(m, std::max<std::size_t>(rank, 1));
+    benchmark::DoNotOptimize(f.solve());
+  }
+}
+BENCHMARK(BM_SmtDecideSat);
+
+void BM_SatPigeonholeUnsat(benchmark::State& state) {
+  const auto holes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ebmf::sat::Solver s;
+    std::vector<std::vector<ebmf::sat::Lit>> x(
+        static_cast<std::size_t>(holes) + 1);
+    for (auto& row : x)
+      for (int h = 0; h < holes; ++h)
+        row.push_back(ebmf::sat::pos(s.new_var()));
+    for (auto& row : x) s.add_clause(ebmf::sat::Clause(row));
+    for (int h = 0; h < holes; ++h)
+      for (std::size_t p1 = 0; p1 < x.size(); ++p1)
+        for (std::size_t p2 = p1 + 1; p2 < x.size(); ++p2)
+          s.add_clause(x[p1][static_cast<std::size_t>(h)].neg(),
+                       x[p2][static_cast<std::size_t>(h)].neg());
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_SatPigeonholeUnsat)->Arg(6)->Arg(8);
+
+// ---- generators ----------------------------------------------------------
+
+void BM_GapGenerator(benchmark::State& state) {
+  ebmf::Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ebmf::benchgen::gap_matrix(10, 10, 4, rng));
+  }
+}
+BENCHMARK(BM_GapGenerator);
+
+void BM_KnownOptimalGenerator(benchmark::State& state) {
+  ebmf::Rng rng(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ebmf::benchgen::known_optimal_matrix(10, 10, 5, rng));
+  }
+}
+BENCHMARK(BM_KnownOptimalGenerator);
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Extension study (beyond the paper): exactness-preserving preprocessing.
+//
+// The paper reports the 100x100 random benchmarks are "too large for SMT";
+// optimality there rests on the rank certificate alone. But duplicate
+// collapse plus connected-component splitting is exact (DESIGN.md §6), and
+// at low occupancy a 100x100 pattern shatters into components small enough
+// for the exact solver. This harness measures how far that pushes the
+// provable frontier, and what preprocessing does across the families.
+
+#include <cstdio>
+#include <vector>
+
+#include "benchgen/suites.h"
+#include "common.h"
+#include "core/preprocess.h"
+#include "smt/sap.h"
+#include "support/rng.h"
+
+namespace {
+
+/// Hard large instances: several gap blocks (r_B > rank each) scattered
+/// block-diagonally and hidden under random row/column permutations. The
+/// monolithic formula sees one big matrix; the component split recovers
+/// the blocks.
+std::vector<ebmf::benchgen::Instance> scattered_gap_suite(
+    std::size_t blocks, std::size_t count, std::uint64_t seed) {
+  ebmf::Rng rng(seed);
+  std::vector<ebmf::benchgen::Instance> out;
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t n = blocks * 10;
+    ebmf::BinaryMatrix big(n, n);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const auto gap = ebmf::benchgen::gap_matrix(10, 10, 3, rng);
+      for (const auto& [i, j] : gap.matrix.ones())
+        big.set(b * 10 + i, b * 10 + j);
+    }
+    auto shuffled = big.permuted_rows(rng.permutation(n));
+    shuffled = shuffled.transposed()
+                   .permuted_rows(rng.permutation(n))
+                   .transposed();
+    ebmf::benchgen::Instance inst;
+    inst.family = "scattered-gap";
+    inst.config = std::to_string(blocks) + " blocks";
+    inst.matrix = std::move(shuffled);
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+struct FamilyReport {
+  std::size_t cases = 0;
+  std::size_t proven_plain = 0;
+  std::size_t proven_preprocessed = 0;
+  double time_plain = 0;
+  double time_preprocessed = 0;
+  double avg_components = 0;
+  double avg_largest_cells = 0;
+};
+
+FamilyReport study(const std::vector<ebmf::benchgen::Instance>& instances,
+                   double budget) {
+  FamilyReport report;
+  for (const auto& inst : instances) {
+    ++report.cases;
+    const auto reduction = ebmf::reduce_duplicates(inst.matrix);
+    const auto comps = ebmf::split_components(reduction.reduced);
+    report.avg_components += static_cast<double>(comps.size());
+    std::size_t largest = 0;
+    for (const auto& c : comps)
+      largest = std::max(largest, c.matrix.ones_count());
+    report.avg_largest_cells += static_cast<double>(largest);
+
+    ebmf::SapOptions plain;
+    plain.preprocess = false;
+    plain.packing.trials = 100;
+    plain.deadline = ebmf::Deadline::after(budget);
+    // Guard the monolithic SMT as the paper effectively did: past ~120
+    // cells construction+solve of the whole formula is hopeless within the
+    // budget and only burns time.
+    plain.smt_cell_limit = 120;
+    const auto rp = ebmf::sap_solve(inst.matrix, plain);
+    report.time_plain += rp.total_seconds;
+    if (rp.proven_optimal()) ++report.proven_plain;
+
+    ebmf::SapOptions pre = plain;
+    pre.preprocess = true;
+    const auto rq = ebmf::sap_solve(inst.matrix, pre);
+    report.time_preprocessed += rq.total_seconds;
+    if (rq.proven_optimal()) ++report.proven_preprocessed;
+  }
+  if (report.cases != 0) {
+    report.avg_components /= static_cast<double>(report.cases);
+    report.avg_largest_cells /= static_cast<double>(report.cases);
+  }
+  return report;
+}
+
+void print_row(const char* label, const FamilyReport& r) {
+  std::printf("%-20s %5zu | %6.1f %9.0f | %6zu %8.2fs | %6zu %8.2fs\n", label,
+              r.cases, r.avg_components, r.avg_largest_cells, r.proven_plain,
+              r.time_plain, r.proven_preprocessed, r.time_preprocessed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = ebmf::bench::parse_options(argc, argv);
+  using namespace ebmf::benchgen;
+
+  std::printf("=== Extension: exact preprocessing (dedup + components) ===\n");
+  std::printf("('proven' = certified optimal within %.0fs budget)\n\n",
+              opt.budget_seconds);
+  std::printf("%-20s %5s | %6s %9s | %15s | %15s\n", "family", "cases",
+              "comps", "max cells", "plain: opt/time", "prep: opt/time");
+  std::printf("%s\n", std::string(86, '-').c_str());
+
+  print_row("100x100 @ 1%",
+            study(random_suite(100, 100, {0.01}, opt.count(10, 4), opt.seed),
+                  opt.budget_seconds));
+  print_row("100x100 @ 2%",
+            study(random_suite(100, 100, {0.02}, opt.count(10, 3),
+                               opt.seed + 1),
+                  opt.budget_seconds));
+  print_row("100x100 @ 5%",
+            study(random_suite(100, 100, {0.05}, opt.count(10, 2),
+                               opt.seed + 2),
+                  opt.budget_seconds));
+  print_row("10x10 gap k=3",
+            study(gap_suite(10, 10, {3}, opt.count(40, 8), opt.seed + 3),
+                  opt.budget_seconds));
+  print_row("10x10 rand @ 30%",
+            study(random_suite(10, 10, {0.3}, opt.count(10, 6), opt.seed + 4),
+                  opt.budget_seconds));
+  print_row("scattered gap x4",
+            study(scattered_gap_suite(4, opt.count(8, 3), opt.seed + 5),
+                  opt.budget_seconds));
+  print_row("scattered gap x8",
+            study(scattered_gap_suite(8, opt.count(6, 2), opt.seed + 6),
+                  opt.budget_seconds));
+
+  std::printf("\nShape checks: sparse 100x100 shatters into many small "
+              "components -> the\npreprocessed solver proves optimality where "
+              "the monolithic one cannot;\ndense small instances are one "
+              "component, so both columns agree there.\n");
+  return 0;
+}

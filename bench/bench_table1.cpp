@@ -1,0 +1,153 @@
+// Reproduces Table I of the paper: "percentage of cases finding an optimal
+// solution" for the trivial heuristic and row packing at 1/10/100/1000
+// trials, plus the 'rank' column (% of cases where real rank == binary
+// rank), across all three benchmark families.
+//
+// Default counts are reduced for a quick run; pass --full for the paper's
+// populations (10 instances per random config, 10 per known-optimal rank,
+// 100 per gap parameter).
+//
+// Reference optima: SMT-proven via SAP for the small sets; for 100x100 the
+// formula is out of reach (as in the paper), so optimality is certified by
+// the rank lower bound when a heuristic attains it.
+
+#include <cstdio>
+#include <vector>
+
+#include "benchgen/suites.h"
+#include "common.h"
+#include "core/bounds.h"
+#include "core/row_packing.h"
+#include "core/trivial.h"
+#include "smt/sap.h"
+
+namespace {
+
+using ebmf::benchgen::Instance;
+
+struct RowResult {
+  std::string label;
+  std::size_t cases = 0;
+  std::size_t proven = 0;      // cases with a certified optimum
+  std::size_t rank_match = 0;  // optimum == real rank
+  std::size_t trivial_hits = 0;
+  std::size_t packing_hits[4] = {0, 0, 0, 0};  // 1, 10, 100, 1000 trials
+};
+
+constexpr std::size_t kTrialCounts[4] = {1, 10, 100, 1000};
+
+/// Certified optimum of an instance, or 0 when the budget ran out.
+std::size_t certified_optimum(const Instance& inst, bool smt_feasible,
+                              double budget_seconds) {
+  if (inst.known_optimal != 0) return inst.known_optimal;
+  ebmf::SapOptions opt;
+  opt.packing.trials = 200;
+  opt.packing.seed = 1;
+  opt.deadline = ebmf::Deadline::after(budget_seconds);
+  if (!smt_feasible) opt.use_smt = false;
+  const auto r = ebmf::sap_solve(inst.matrix, opt);
+  return r.proven_optimal() ? r.depth() : 0;
+}
+
+RowResult evaluate(const std::string& label,
+                   const std::vector<Instance>& instances, bool smt_feasible,
+                   const ebmf::bench::Options& opt) {
+  RowResult row;
+  row.label = label;
+  std::uint64_t seed = opt.seed;
+  for (const auto& inst : instances) {
+    ++row.cases;
+    const std::size_t optimum =
+        certified_optimum(inst, smt_feasible, opt.budget_seconds);
+    if (optimum == 0) continue;  // unproven: excluded from hit counting
+    ++row.proven;
+    const auto rank = ebmf::real_rank(inst.matrix);
+    if (rank == optimum) ++row.rank_match;
+    if (ebmf::trivial_ebmf(inst.matrix).size() == optimum)
+      ++row.trivial_hits;
+    for (int t = 0; t < 4; ++t) {
+      ebmf::RowPackingOptions packing;
+      packing.trials = kTrialCounts[t];
+      packing.seed = ++seed;
+      packing.stop_at = optimum;  // saturation: stop once optimal is found
+      const auto result = ebmf::row_packing_ebmf(inst.matrix, packing);
+      if (result.partition.size() == optimum) ++row.packing_hits[t];
+    }
+  }
+  return row;
+}
+
+void print_row(const RowResult& r) {
+  const auto pct = [&](std::size_t hits) {
+    return r.proven == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                      static_cast<double>(r.proven);
+  };
+  std::printf("%-18s %5zu %5zu | %5.0f%% %7.0f%% ", r.label.c_str(), r.cases,
+              r.proven, pct(r.rank_match), pct(r.trivial_hits));
+  for (int t = 0; t < 4; ++t) std::printf(" %5.0f%%", pct(r.packing_hits[t]));
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = ebmf::bench::parse_options(argc, argv);
+  using namespace ebmf::benchgen;
+
+  std::printf("=== Table I: percentage of cases finding an optimal solution "
+              "===\n");
+  std::printf("(seed=%llu, %s run; 'proven' = cases with certified optimum; "
+              "percentages over proven cases)\n\n",
+              static_cast<unsigned long long>(opt.seed),
+              opt.full ? "paper-scale" : "reduced");
+  std::printf("%-18s %5s %5s | %5s %8s  %s\n", "benchmark", "cases", "prov",
+              "rank", "trivial", "packing x1   x10  x100 x1000");
+  std::printf("%s\n", std::string(86, '-').c_str());
+
+  std::vector<RowResult> rows;
+
+  // Random family, small sizes (SMT-provable).
+  const auto small_occ = paper_occupancies_small();
+  rows.push_back(evaluate(
+      "10x10, rand",
+      random_suite(10, 10, small_occ, opt.count(10, 4), opt.seed), true,
+      opt));
+  rows.push_back(evaluate(
+      "10x20, rand",
+      random_suite(10, 20, small_occ, opt.count(10, 3), opt.seed + 1), true,
+      opt));
+  rows.push_back(evaluate(
+      "10x30, rand",
+      random_suite(10, 30, small_occ, opt.count(10, 3), opt.seed + 2), true,
+      opt));
+
+  // Random family, 100x100 (heuristics + rank certificate only).
+  rows.push_back(evaluate(
+      "100x100, rand",
+      random_suite(100, 100, paper_occupancies_large(), opt.count(10, 2),
+                   opt.seed + 3),
+      false, opt));
+
+  // Known-optimal family.
+  rows.push_back(evaluate(
+      "10x10, opt",
+      known_optimal_suite(10, 10, 10, opt.count(10, 3), opt.seed + 4), true,
+      opt));
+
+  // Gap family.
+  for (std::size_t k : {2u, 3u, 4u, 5u}) {
+    rows.push_back(evaluate(
+        "10x10, gap, " + std::to_string(k),
+        gap_suite(10, 10, {k}, opt.count(100, 10), opt.seed + 5 + k), true,
+        opt));
+  }
+
+  for (const auto& r : rows) print_row(r);
+
+  std::printf("\nPaper's shape to verify: rank column high for random "
+              "(~98-100%%), 100%% for opt;\n"
+              "trivial lags badly on gap (16-84%%); row packing improves "
+              "monotonically with trials\nand saturates near 100%% by 100 "
+              "trials; opt family is 100%% everywhere.\n");
+  return 0;
+}

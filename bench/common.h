@@ -1,0 +1,61 @@
+#pragma once
+/// \file common.h
+/// \brief Shared command-line handling for the table/figure harnesses.
+///
+/// Every harness accepts:
+///   --scale=<float>   multiply instance counts (default 1.0; the paper's
+///                     full populations are --full)
+///   --full            paper-scale instance counts (equivalent to the
+///                     counts in §IV-A)
+///   --seed=<uint>     master seed (default 2024)
+///   --budget=<sec>    per-instance SMT budget (default 5 s)
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace ebmf::bench {
+
+/// Parsed harness options.
+struct Options {
+  double scale = 1.0;
+  bool full = false;
+  std::uint64_t seed = 2024;
+  double budget_seconds = 5.0;
+
+  /// Scale an instance count (at least 1).
+  [[nodiscard]] std::size_t count(std::size_t paper_count,
+                                  std::size_t reduced_count) const {
+    const auto base = full ? paper_count : reduced_count;
+    const auto scaled = static_cast<std::size_t>(
+        static_cast<double>(base) * scale + 0.5);
+    return scaled == 0 ? 1 : scaled;
+  }
+};
+
+/// Parse argv; unknown arguments abort with a usage message.
+inline Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      opt.full = true;
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      opt.scale = std::strtod(arg.c_str() + 8, nullptr);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--budget=", 0) == 0) {
+      opt.budget_seconds = std::strtod(arg.c_str() + 9, nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--full] [--scale=F] [--seed=N] [--budget=S]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+}  // namespace ebmf::bench

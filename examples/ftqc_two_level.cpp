@@ -1,0 +1,67 @@
+// Fault-tolerant two-level addressing (paper §V, Fig. 5a).
+//
+// With surface-code patches, a logical operation U on a 2D pattern of
+// logical qubits expands to the tensor product M-hat (x) M of the logical
+// pattern and the per-patch physical pattern. Partitions compose under the
+// tensor product, so the two levels can be solved independently and
+// combined — and when the physical pattern is transversal (all-ones,
+// r_B = phi = 1), the combination is provably optimal.
+
+#include <cstdio>
+
+#include "addressing/schedule.h"
+#include "ftqc/patterns.h"
+#include "ftqc/two_level.h"
+#include "support/rng.h"
+
+namespace {
+
+void run_case(const char* name, const ebmf::BinaryMatrix& logical,
+              const ebmf::BinaryMatrix& physical) {
+  const auto r = ebmf::ftqc::solve_two_level(logical, physical);
+  const auto big = ebmf::BinaryMatrix::kron(logical, physical);
+  std::printf("%-28s logical %zux%zu r_B<=%zu | physical %zux%zu r_B<=%zu "
+              "phi=%zu | product depth %zu, Eq.5 lower %zu%s\n",
+              name, logical.rows(), logical.cols(), r.logical.depth(),
+              physical.rows(), physical.cols(), r.physical.depth(),
+              r.phi_physical, r.upper_bound, r.lower_bound,
+              r.certified_optimal() ? "  [certified optimal]" : "");
+  const auto valid = ebmf::validate_partition(big, r.product_partition);
+  if (!valid.ok) std::printf("  INVALID PRODUCT PARTITION: %s\n",
+                             valid.reason.c_str());
+}
+
+}  // namespace
+
+int main() {
+  ebmf::Rng rng(2024);
+
+  std::printf("=== FTQC two-level rectangular addressing ===\n\n");
+
+  // A random 4x4 pattern of logical patches receiving the operation.
+  const auto logical = ebmf::ftqc::logical_pattern(4, 4, 0.5, rng);
+  std::printf("Logical pattern:\n%s\n\n", logical.to_string().c_str());
+
+  // Physical patterns per patch (distance-5 patches).
+  run_case("transversal X/Z/H (all 1s)", logical,
+           ebmf::ftqc::transversal_patch(5));
+  run_case("checkerboard sublattice", logical,
+           ebmf::ftqc::checkerboard_patch(5));
+  run_case("boundary row (surgery)", logical,
+           ebmf::ftqc::boundary_row_patch(5, 0));
+
+  // Depth economics: the two-level product vs addressing each qubit alone.
+  const auto physical = ebmf::ftqc::transversal_patch(5);
+  const auto two = ebmf::ftqc::solve_two_level(logical, physical);
+  const auto big = ebmf::BinaryMatrix::kron(logical, physical);
+  std::printf("\nFull physical array: %zux%zu, %zu qubits addressed\n",
+              big.rows(), big.cols(), big.ones_count());
+  std::printf("Two-level schedule depth: %zu (vs %zu with per-qubit "
+              "pulses)\n",
+              two.upper_bound, big.ones_count());
+
+  const ebmf::addressing::Schedule schedule(big, two.product_partition);
+  std::printf("Schedule duration: %.1f us across %zu control channels\n",
+              schedule.duration_us(), schedule.control_channels());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// qLDPC memory blocks in a 1D layout (paper §V, Fig. 5b).
+//
+// With quantum LDPC codes, several logical qubits share one block and
+// blocks are parked in a row as memory. Single-qubit-gate patterns differ
+// per block (logical-qubit offsets), giving a (#blocks x block-width)
+// addressing matrix. The paper conjectures that row-by-row addressing is
+// usually already optimal there, because wide random matrices are almost
+// surely full-rank. This example measures that directly.
+
+#include <cstdio>
+
+#include "core/bounds.h"
+#include "core/row_packing.h"
+#include "ftqc/patterns.h"
+#include "support/rng.h"
+
+int main() {
+  ebmf::Rng rng(7);
+  const int trials = 40;
+
+  std::printf("=== qLDPC 1D blocks: is row addressing optimal? ===\n\n");
+  std::printf("%8s %6s | %-10s %-12s %-14s\n", "blocks", "width", "occupancy",
+              "P(full rank)", "P(rows optimal)");
+
+  for (const std::size_t width : {10u, 20u, 30u}) {
+    for (const double occ : {0.3, 0.5, 0.7}) {
+      int full_rank = 0;
+      int rows_optimal = 0;
+      for (int t = 0; t < trials; ++t) {
+        const auto m = ebmf::ftqc::qldpc_block_pattern(10, width, occ, rng);
+        const auto rank = ebmf::real_rank(m);
+        const auto distinct = ebmf::distinct_nonzero_rows(m);
+        if (rank == 10) ++full_rank;
+        // Row addressing uses one rectangle per distinct nonzero block
+        // pattern; it is optimal when that matches the rank lower bound.
+        if (distinct == rank) ++rows_optimal;
+      }
+      std::printf("%8d %6zu | %8.0f%% %11.0f%% %13.0f%%\n", 10, width,
+                  occ * 100, 100.0 * full_rank / trials,
+                  100.0 * rows_optimal / trials);
+    }
+  }
+
+  std::printf("\nSquare vs wide (paper's observation: 10x20 and 10x30 are "
+              "much easier to be full rank than 10x10):\n");
+  std::printf("The wide rows above should show ~100%% while width=10 dips.\n");
+
+  // One concrete schedule: confirm a wide block pattern needs exactly one
+  // rectangle per distinct block pattern.
+  const auto m = ebmf::ftqc::qldpc_block_pattern(10, 30, 0.5, rng);
+  ebmf::RowPackingOptions opt;
+  opt.trials = 50;
+  const auto packed = ebmf::row_packing_ebmf(m, opt);
+  std::printf("\nSample 10x30 block pattern: rank=%zu, row packing depth=%zu "
+              "(distinct rows=%zu)\n",
+              ebmf::real_rank(m), packed.partition.size(),
+              ebmf::distinct_nonzero_rows(m));
+  return 0;
+}

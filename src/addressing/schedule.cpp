@@ -1,0 +1,44 @@
+#include "addressing/schedule.h"
+
+#include <sstream>
+
+namespace ebmf::addressing {
+
+Schedule::Schedule(const BinaryMatrix& m, const Partition& partition,
+                   TimingModel timing)
+    : timing_(timing), rows_(m.rows()), cols_(m.cols()) {
+  const auto valid = validate_partition(m, partition);
+  EBMF_EXPECTS(valid.ok);
+  steps_.reserve(partition.size());
+  for (const Rectangle& r : partition) {
+    PulseStep step;
+    step.rectangle = r;
+    step.row_tones = r.rows.ones();
+    step.col_tones = r.cols.ones();
+    steps_.push_back(std::move(step));
+  }
+}
+
+double Schedule::duration_us() const noexcept {
+  return static_cast<double>(steps_.size()) *
+         (timing_.reconfigure_us + timing_.pulse_us);
+}
+
+std::string Schedule::render() const {
+  std::ostringstream out;
+  out << "AOD schedule: depth " << depth() << ", " << control_channels()
+      << " control channels, " << duration_us() << " us\n";
+  for (std::size_t t = 0; t < steps_.size(); ++t) {
+    const auto& s = steps_[t];
+    out << "  step " << t << ": rows {";
+    for (std::size_t k = 0; k < s.row_tones.size(); ++k)
+      out << (k ? "," : "") << s.row_tones[k];
+    out << "} x cols {";
+    for (std::size_t k = 0; k < s.col_tones.size(); ++k)
+      out << (k ? "," : "") << s.col_tones[k];
+    out << "}  (" << s.rectangle.cell_count() << " qubits)\n";
+  }
+  return out.str();
+}
+
+}  // namespace ebmf::addressing

@@ -1,0 +1,116 @@
+#include "benchgen/generators.h"
+
+#include <algorithm>
+#include <set>
+
+#include "linalg/rank.h"
+#include "support/contracts.h"
+
+namespace ebmf::benchgen {
+
+BinaryMatrix random_matrix(std::size_t m, std::size_t n, double occupancy,
+                           Rng& rng) {
+  return BinaryMatrix::random(m, n, occupancy, rng);
+}
+
+KnownOptimal known_optimal_matrix(std::size_t m, std::size_t n, std::size_t k,
+                                  Rng& rng) {
+  EBMF_EXPECTS(k >= 1 && k <= std::min(m, n));
+  // Disjoint rows: give each of the k groups a distinct seed column, then
+  // scatter the remaining columns (each joins a random group or none).
+  std::vector<BitVec> row_sets(k, BitVec(n));
+  const auto seeds = rng.sample(n, k);
+  std::vector<bool> taken(n, false);
+  for (std::size_t g = 0; g < k; ++g) {
+    row_sets[g].set(seeds[g]);
+    taken[seeds[g]] = true;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    if (taken[j]) continue;
+    if (rng.chance(0.25)) continue;  // column stays empty
+    row_sets[rng.below(k)].set(j);
+  }
+
+  // Independent columns: resample until the k×m stack has real rank k.
+  std::vector<BitVec> col_sets;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    col_sets.clear();
+    for (std::size_t g = 0; g < k; ++g) {
+      BitVec c(m);
+      for (std::size_t i = 0; i < m; ++i)
+        if (rng.chance(0.5)) c.set(i);
+      if (c.none()) c.set(rng.below(m));
+      col_sets.push_back(std::move(c));
+    }
+    if (rank_mod_p(col_sets, m, 2147483647ull) == k) break;
+    col_sets.clear();
+  }
+  EBMF_ENSURES(!col_sets.empty());  // random 0/1 vectors reach rank k quickly
+
+  KnownOptimal out;
+  out.optimal = k;
+  out.matrix = BinaryMatrix(m, n);
+  for (std::size_t g = 0; g < k; ++g)
+    for (std::size_t i = 0; i < m; ++i)
+      if (col_sets[g].test(i))
+        for (std::size_t j = row_sets[g].find_first(); j < n;
+             j = row_sets[g].find_next(j))
+          out.matrix.set(i, j);
+  EBMF_ENSURES(real_rank(out.matrix.row_vectors(), n) == k);
+  return out;
+}
+
+GapInstance gap_matrix(std::size_t m, std::size_t n, std::size_t k, Rng& rng) {
+  EBMF_EXPECTS(k >= 1 && 2 * k <= m);
+  EBMF_EXPECTS(n >= k + 1);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    // A base row with enough 1s to support k distinct splits and rank k+1.
+    BitVec base(n);
+    for (std::size_t j = 0; j < n; ++j)
+      if (rng.chance(0.5)) base.set(j);
+    if (base.count() < k + 1) continue;
+
+    // k distinct unordered splits base = half + (base − half), halves proper.
+    std::vector<BitVec> rows;
+    std::set<BitVec> seen_halves;
+    bool ok = true;
+    for (std::size_t p = 0; p < k && ok; ++p) {
+      bool found = false;
+      for (int tries = 0; tries < 200; ++tries) {
+        BitVec half(n);
+        for (std::size_t j = base.find_first(); j < n; j = base.find_next(j))
+          if (rng.chance(0.5)) half.set(j);
+        if (half.none() || half == base) continue;
+        BitVec other = base - half;
+        if (seen_halves.count(half) != 0 || seen_halves.count(other) != 0)
+          continue;
+        seen_halves.insert(half);
+        seen_halves.insert(other);
+        rows.push_back(std::move(half));
+        rows.push_back(std::move(other));
+        found = true;
+        break;
+      }
+      ok = found;
+    }
+    if (!ok) continue;
+    if (rank_mod_p(rows, n, 2147483647ull) != k + 1) continue;
+
+    // Fill the remaining rows with 50%-occupancy noise.
+    GapInstance out;
+    out.pairs = k;
+    out.pair_rank = k + 1;
+    while (rows.size() < m) {
+      BitVec r(n);
+      for (std::size_t j = 0; j < n; ++j)
+        if (rng.chance(0.5)) r.set(j);
+      rows.push_back(std::move(r));
+    }
+    out.matrix = BinaryMatrix::from_rows(std::move(rows), n);
+    return out;
+  }
+  EBMF_ENSURES(false);  // parameters admit an instance; sampling cannot fail
+  return {};
+}
+
+}  // namespace ebmf::benchgen

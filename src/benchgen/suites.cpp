@@ -1,0 +1,83 @@
+#include "benchgen/suites.h"
+
+#include <cstdio>
+
+namespace ebmf::benchgen {
+
+namespace {
+
+std::string size_occ_config(std::size_t m, std::size_t n, double occ) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%zux%zu occ=%g%%", m, n, occ * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<Instance> random_suite(std::size_t m, std::size_t n,
+                                   const std::vector<double>& occupancies,
+                                   std::size_t per_config,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Instance> out;
+  out.reserve(occupancies.size() * per_config);
+  for (double occ : occupancies) {
+    for (std::size_t i = 0; i < per_config; ++i) {
+      Instance inst;
+      inst.family = "rand";
+      inst.config = size_occ_config(m, n, occ);
+      inst.matrix = random_matrix(m, n, occ, rng);
+      out.push_back(std::move(inst));
+    }
+  }
+  return out;
+}
+
+std::vector<Instance> known_optimal_suite(std::size_t m, std::size_t n,
+                                          std::size_t k_max, std::size_t per_k,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Instance> out;
+  out.reserve(k_max * per_k);
+  for (std::size_t k = 1; k <= k_max; ++k) {
+    for (std::size_t i = 0; i < per_k; ++i) {
+      KnownOptimal gen = known_optimal_matrix(m, n, k, rng);
+      Instance inst;
+      inst.family = "opt";
+      inst.config = size_occ_config(m, n, 0) + " k=" + std::to_string(k);
+      inst.matrix = std::move(gen.matrix);
+      inst.known_optimal = gen.optimal;
+      out.push_back(std::move(inst));
+    }
+  }
+  return out;
+}
+
+std::vector<Instance> gap_suite(std::size_t m, std::size_t n,
+                                const std::vector<std::size_t>& pair_counts,
+                                std::size_t per_k, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Instance> out;
+  out.reserve(pair_counts.size() * per_k);
+  for (std::size_t k : pair_counts) {
+    for (std::size_t i = 0; i < per_k; ++i) {
+      GapInstance gen = gap_matrix(m, n, k, rng);
+      Instance inst;
+      inst.family = "gap";
+      inst.config = "pairs=" + std::to_string(k);
+      inst.matrix = std::move(gen.matrix);
+      out.push_back(std::move(inst));
+    }
+  }
+  return out;
+}
+
+std::vector<double> paper_occupancies_small() {
+  return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+}
+
+std::vector<double> paper_occupancies_large() {
+  return {0.01, 0.02, 0.05, 0.10, 0.20};
+}
+
+}  // namespace ebmf::benchgen

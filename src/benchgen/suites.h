@@ -1,0 +1,47 @@
+#pragma once
+/// \file suites.h
+/// \brief Assembled benchmark suites matching the paper's evaluation rows
+/// (§IV-A): each suite is the exact population behind one row of Table I.
+///
+/// The counts default to the paper's (10 instances per random
+/// configuration, 10 per known-optimal rank, 100 per gap parameter) but can
+/// be scaled down for quick runs.
+
+#include <string>
+#include <vector>
+
+#include "benchgen/generators.h"
+#include "core/matrix.h"
+
+namespace ebmf::benchgen {
+
+/// One benchmark matrix with provenance.
+struct Instance {
+  std::string family;  ///< "rand", "opt", or "gap".
+  std::string config;  ///< Human-readable parameters, e.g. "10x20 occ=30%".
+  BinaryMatrix matrix;
+  std::size_t known_optimal = 0;  ///< r_B when certified by construction (else 0).
+};
+
+/// Random suite: `per_config` matrices for each occupancy in `occupancies`.
+std::vector<Instance> random_suite(std::size_t m, std::size_t n,
+                                   const std::vector<double>& occupancies,
+                                   std::size_t per_config, std::uint64_t seed);
+
+/// Known-optimal suite: `per_k` matrices for each k = 1..k_max (paper:
+/// 10×10, k_max = 10).
+std::vector<Instance> known_optimal_suite(std::size_t m, std::size_t n,
+                                          std::size_t k_max, std::size_t per_k,
+                                          std::uint64_t seed);
+
+/// Gap suite: `per_k` matrices for each k in `pair_counts` (paper: 10×10,
+/// k ∈ {2,3,4,5}, 100 each).
+std::vector<Instance> gap_suite(std::size_t m, std::size_t n,
+                                const std::vector<std::size_t>& pair_counts,
+                                std::size_t per_k, std::uint64_t seed);
+
+/// The paper's occupancy grids.
+std::vector<double> paper_occupancies_small();   ///< 10%..90% step 10.
+std::vector<double> paper_occupancies_large();   ///< 1,2,5,10,20%.
+
+}  // namespace ebmf::benchgen

@@ -1,0 +1,308 @@
+#include "cli/cli.h"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "addressing/schedule.h"
+#include "benchgen/generators.h"
+#include "completion/completion_solver.h"
+#include "core/bounds.h"
+#include "core/fooling.h"
+#include "core/preprocess.h"
+#include "core/trivial.h"
+#include "io/matrix_io.h"
+#include "sat/dimacs.h"
+#include "smt/label_formula.h"
+#include "io/partition_io.h"
+#include "smt/sap.h"
+
+namespace ebmf::cli {
+
+namespace {
+
+/// Minimal flag parser: positional args plus --key=value / --flag.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return flags.count(name) != 0;
+  }
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double num(const std::string& name, double fallback) const {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+};
+
+Args parse_args(const std::vector<std::string>& raw) {
+  Args args;
+  for (const auto& a : raw) {
+    if (a.rfind("--", 0) == 0) {
+      const auto eq = a.find('=');
+      if (eq == std::string::npos)
+        args.flags[a.substr(2)] = "";
+      else
+        args.flags[a.substr(2, eq - 2)] = a.substr(eq + 1);
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+SapOptions sap_options_from(const Args& args) {
+  SapOptions opt;
+  opt.packing.trials =
+      static_cast<std::size_t>(args.num("trials", 100));
+  opt.packing.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  if (args.has("budget"))
+    opt.deadline = Deadline::after(args.num("budget", 10.0));
+  if (args.has("heuristic-only")) opt.use_smt = false;
+  if (args.has("no-preprocess")) opt.preprocess = false;
+  if (args.get("encoding", "onehot") == "binary")
+    opt.encoder.encoding = smt::LabelEncoding::Binary;
+  return opt;
+}
+
+int cmd_solve(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) {
+    err << "usage: ebmf solve <matrix-file> [--trials=N] [--budget=S] "
+           "[--encoding=onehot|binary] [--heuristic-only] [--no-preprocess] "
+           "[--render] [--save=FILE]\n";
+    return 2;
+  }
+  const auto m = io::load_matrix(args.positional[0]);
+  if (args.has("dont-cares")) {
+    // Masked path: reparse with '*' kept.
+    const auto masked = io::load_masked(args.positional[0]);
+    completion::CompletionOptions copt;
+    if (args.get("semantics", "free") == "at-most-once")
+      copt.semantics = completion::DontCareSemantics::AtMostOnce;
+    const auto r = completion::solve_masked(masked, copt);
+    out << "depth " << r.partition.size()
+        << (r.proven_optimal ? " (proven optimal)" : " (best found)")
+        << ", heuristic " << r.heuristic_size << "\n";
+    io::write_partition(out, r.partition, masked.rows(), masked.cols());
+    return 0;
+  }
+  const auto result = sap_solve(m, sap_options_from(args));
+  out << "depth " << result.depth();
+  switch (result.status) {
+    case SapStatus::Optimal:
+      out << " (proven optimal)";
+      break;
+    case SapStatus::BoundedOnly:
+      out << " (in [" << result.rank_lower << ", " << result.depth() << "])";
+      break;
+    case SapStatus::HeuristicOnly:
+      out << " (heuristic; lower bound " << result.rank_lower << ")";
+      break;
+  }
+  out << ", rank " << result.rank_lower << ", heuristic "
+      << result.heuristic_size << ", smt calls " << result.smt_calls.size()
+      << ", " << result.total_seconds << " s\n";
+  if (args.has("render")) out << render_partition(m, result.partition) << "\n";
+  io::write_partition(out, result.partition, m.rows(), m.cols());
+  if (args.has("save"))
+    io::save_partition(args.get("save", ""), result.partition, m.rows(),
+                       m.cols());
+  return 0;
+}
+
+int cmd_bounds(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) {
+    err << "usage: ebmf bounds <matrix-file>\n";
+    return 2;
+  }
+  const auto m = io::load_matrix(args.positional[0]);
+  const auto rank = real_rank(m);
+  const auto fooling = greedy_fooling_set(m).size();
+  const auto trivial = trivial_upper_bound(m);
+  out << "shape " << m.rows() << "x" << m.cols() << ", ones "
+      << m.ones_count() << "\n";
+  out << "rank lower bound     " << rank << "\n";
+  out << "fooling lower bound  " << fooling << " (greedy)\n";
+  out << "trivial upper bound  " << trivial << "\n";
+  out << "r_B in [" << std::max(rank, fooling) << ", " << trivial << "]\n";
+  return 0;
+}
+
+int cmd_fooling(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) {
+    err << "usage: ebmf fooling <matrix-file> [--exact] [--budget=S]\n";
+    return 2;
+  }
+  const auto m = io::load_matrix(args.positional[0]);
+  const auto set =
+      args.has("exact")
+          ? max_fooling_set(m, args.has("budget")
+                                   ? Deadline::after(args.num("budget", 10))
+                                   : Deadline{})
+          : greedy_fooling_set(m);
+  out << "fooling set size " << set.size() << (args.has("exact") ? "" : " (greedy)")
+      << "\n";
+  for (const auto& [i, j] : set) out << i << " " << j << "\n";
+  return 0;
+}
+
+int cmd_components(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) {
+    err << "usage: ebmf components <matrix-file>\n";
+    return 2;
+  }
+  const auto m = io::load_matrix(args.positional[0]);
+  const auto reduction = reduce_duplicates(m);
+  out << "original " << m.rows() << "x" << m.cols() << ", reduced "
+      << reduction.reduced.rows() << "x" << reduction.reduced.cols() << "\n";
+  const auto components = split_components(reduction.reduced);
+  out << "components " << components.size() << "\n";
+  for (std::size_t c = 0; c < components.size(); ++c)
+    out << "  component " << c << ": " << components[c].matrix.rows() << "x"
+        << components[c].matrix.cols() << ", "
+        << components[c].matrix.ones_count() << " ones\n";
+  return 0;
+}
+
+int cmd_schedule(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) {
+    err << "usage: ebmf schedule <matrix-file> [--reconfig-us=T] "
+           "[--pulse-us=T] [solve flags]\n";
+    return 2;
+  }
+  const auto m = io::load_matrix(args.positional[0]);
+  const auto result = sap_solve(m, sap_options_from(args));
+  addressing::TimingModel timing;
+  timing.reconfigure_us = args.num("reconfig-us", 10.0);
+  timing.pulse_us = args.num("pulse-us", 0.5);
+  const addressing::Schedule schedule(m, result.partition, timing);
+  out << schedule.render();
+  return 0;
+}
+
+int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1 ||
+      (args.positional[0] != "rand" && args.positional[0] != "opt" &&
+       args.positional[0] != "gap")) {
+    err << "usage: ebmf generate rand|opt|gap [--rows=M] [--cols=N] "
+           "[--occupancy=P] [--k=K] [--seed=S] [--format=dense|sparse|pbm]\n";
+    return 2;
+  }
+  const auto rows = static_cast<std::size_t>(args.num("rows", 10));
+  const auto cols = static_cast<std::size_t>(args.num("cols", 10));
+  Rng rng(static_cast<std::uint64_t>(args.num("seed", 1)));
+  BinaryMatrix m;
+  if (args.positional[0] == "rand") {
+    m = benchgen::random_matrix(rows, cols, args.num("occupancy", 0.5), rng);
+  } else if (args.positional[0] == "opt") {
+    m = benchgen::known_optimal_matrix(
+            rows, cols, static_cast<std::size_t>(args.num("k", 3)), rng)
+            .matrix;
+  } else {
+    m = benchgen::gap_matrix(rows, cols,
+                             static_cast<std::size_t>(args.num("k", 3)), rng)
+            .matrix;
+  }
+  const auto format = args.get("format", "dense");
+  if (format == "sparse")
+    io::write_sparse(out, m);
+  else if (format == "pbm")
+    io::write_pbm(out, m);
+  else
+    io::write_dense(out, m);
+  return 0;
+}
+
+int cmd_encode(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) {
+    err << "usage: ebmf encode <matrix-file> [--bound=B] "
+           "[--encoding=onehot|binary] [--no-symmetry]  (DIMACS to stdout)\n";
+    return 2;
+  }
+  const auto m = io::load_matrix(args.positional[0]);
+  if (m.is_zero()) {
+    err << "error: zero matrix has nothing to encode\n";
+    return 1;
+  }
+  const auto bound = static_cast<std::size_t>(
+      args.num("bound", static_cast<double>(trivial_upper_bound(m))));
+  smt::EncoderOptions enc;
+  if (args.get("encoding", "onehot") == "binary")
+    enc.encoding = smt::LabelEncoding::Binary;
+  enc.symmetry_breaking = !args.has("no-symmetry");
+  const smt::LabelFormula formula(m, bound, enc);
+  out << "c EBMF decision problem: r_B(M) <= " << bound << "\n";
+  out << "c matrix " << m.rows() << "x" << m.cols() << ", "
+      << m.ones_count() << " ones\n";
+  sat::write_dimacs(out, formula.export_cnf());
+  return 0;
+}
+
+int cmd_convert(const Args& args, std::ostream& /*out*/, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "usage: ebmf convert <in-file> <out-file>  (format by extension: "
+           ".pbm, .sparse, else dense)\n";
+    return 2;
+  }
+  io::save_matrix(args.positional[1], io::load_matrix(args.positional[0]));
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return "ebmf — depth-optimal rectangular addressing (EBMF)\n"
+         "\n"
+         "usage: ebmf <command> [args]\n"
+         "\n"
+         "commands:\n"
+         "  solve <file>        depth-optimal partition of a pattern (SAP)\n"
+         "  bounds <file>       rank / fooling / trivial bracket of r_B\n"
+         "  fooling <file>      fooling set (--exact for maximum)\n"
+         "  components <file>   preprocessing report\n"
+         "  schedule <file>     AOD pulse schedule of the solution\n"
+         "  generate <family>   rand | opt | gap benchmark instance\n"
+         "  convert <in> <out>  rewrite between dense/sparse/PBM formats\n"
+         "  encode <file>       emit the SMT decision problem as DIMACS CNF\n"
+         "\n"
+         "run a command without arguments for its flags\n";
+}
+
+int run_command(const std::string& command,
+                const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  try {
+    const Args parsed = parse_args(args);
+    if (command == "solve") return cmd_solve(parsed, out, err);
+    if (command == "bounds") return cmd_bounds(parsed, out, err);
+    if (command == "fooling") return cmd_fooling(parsed, out, err);
+    if (command == "components") return cmd_components(parsed, out, err);
+    if (command == "schedule") return cmd_schedule(parsed, out, err);
+    if (command == "generate") return cmd_generate(parsed, out, err);
+    if (command == "convert") return cmd_convert(parsed, out, err);
+    if (command == "encode") return cmd_encode(parsed, out, err);
+    err << "unknown command '" << command << "'\n" << usage();
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+int run(int argc, char** argv, std::ostream& out, std::ostream& err) {
+  if (argc < 2) {
+    err << usage();
+    return 2;
+  }
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+  return run_command(argv[1], args, out, err);
+}
+
+}  // namespace ebmf::cli

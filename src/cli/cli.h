@@ -1,0 +1,37 @@
+#pragma once
+/// \file cli.h
+/// \brief The `ebmf` command-line tool, as a testable library.
+///
+/// Each sub-command is a function taking parsed arguments and an output
+/// stream; the `ebmf` binary (tools/ebmf.cpp) only dispatches. Commands:
+///
+///   solve <file>      depth-optimal partition of a pattern (SAP)
+///   bounds <file>     rank / fooling / trivial bracketing of r_B
+///   fooling <file>    maximum (or greedy) fooling set
+///   components <file> preprocessing report (dedup + component split)
+///   schedule <file>   AOD pulse schedule for the SAP solution
+///   generate <fam>    emit a benchmark instance (rand | opt | gap)
+///   convert <in> <out>  rewrite a pattern between formats
+///
+/// All commands return a process exit code (0 = success, 1 = runtime
+/// failure, 2 = usage error) and never throw.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ebmf::cli {
+
+/// Run one sub-command. `args` excludes the program and command names.
+/// Output goes to `out`, diagnostics to `err`.
+int run_command(const std::string& command,
+                const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
+
+/// Top-level entry used by the binary: dispatch argv.
+int run(int argc, char** argv, std::ostream& out, std::ostream& err);
+
+/// The usage text.
+std::string usage();
+
+}  // namespace ebmf::cli

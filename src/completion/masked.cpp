@@ -1,0 +1,94 @@
+#include "completion/masked.h"
+
+#include <vector>
+
+#include "support/contracts.h"
+
+namespace ebmf::completion {
+
+MaskedMatrix MaskedMatrix::parse(const std::string& text) {
+  std::vector<std::string> rows;
+  std::string cur;
+  for (char ch : text) {
+    if (ch == ';' || ch == '\n') {
+      if (!cur.empty()) rows.push_back(cur);
+      cur.clear();
+    } else if (ch == '0' || ch == '1' || ch == '*' || ch == 'x') {
+      cur.push_back(ch);
+    } else {
+      EBMF_EXPECTS(ch == ' ' || ch == '\t' || ch == '\r');
+    }
+  }
+  if (!cur.empty()) rows.push_back(cur);
+  EBMF_EXPECTS(!rows.empty());
+  MaskedMatrix m(rows.size(), rows[0].size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EBMF_EXPECTS(rows[i].size() == rows[0].size());
+    for (std::size_t j = 0; j < rows[i].size(); ++j) {
+      switch (rows[i][j]) {
+        case '1':
+          m.set(i, j, Cell::One);
+          break;
+        case '*':
+        case 'x':
+          m.set(i, j, Cell::DontCare);
+          break;
+        default:
+          break;  // '0'
+      }
+    }
+  }
+  return m;
+}
+
+void MaskedMatrix::set(std::size_t i, std::size_t j, Cell c) {
+  pattern_.set(i, j, c == Cell::One);
+  mask_.set(i, j, c == Cell::DontCare);
+}
+
+bool validate_masked(const MaskedMatrix& m, const Partition& p,
+                     bool at_most_once, std::string* why) {
+  const auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  std::vector<std::vector<unsigned>> cover(
+      m.rows(), std::vector<unsigned>(m.cols(), 0));
+  for (std::size_t t = 0; t < p.size(); ++t) {
+    const Rectangle& r = p[t];
+    if (r.rows.size() != m.rows() || r.cols.size() != m.cols())
+      return fail("rectangle " + std::to_string(t) + " has wrong shape");
+    if (r.empty())
+      return fail("rectangle " + std::to_string(t) + " is empty");
+    for (std::size_t i = r.rows.find_first(); i < m.rows();
+         i = r.rows.find_next(i))
+      for (std::size_t j = r.cols.find_first(); j < m.cols();
+           j = r.cols.find_next(j))
+        ++cover[i][j];
+  }
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      switch (m.at(i, j)) {
+        case Cell::Zero:
+          if (cover[i][j] != 0)
+            return fail("zero cell covered at (" + std::to_string(i) + "," +
+                        std::to_string(j) + ")");
+          break;
+        case Cell::One:
+          if (cover[i][j] != 1)
+            return fail("one cell covered " + std::to_string(cover[i][j]) +
+                        " times at (" + std::to_string(i) + "," +
+                        std::to_string(j) + ")");
+          break;
+        case Cell::DontCare:
+          if (at_most_once && cover[i][j] > 1)
+            return fail("don't-care covered twice at (" + std::to_string(i) +
+                        "," + std::to_string(j) + ")");
+          break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ebmf::completion

@@ -1,0 +1,84 @@
+#pragma once
+/// \file masked.h
+/// \brief Patterns with vacancies (don't-care sites) — the paper's §VI
+/// extension.
+///
+/// Atom arrays have empty traps: those sites hold no qubit, so it is
+/// irrelevant whether or how often a pulse lands there. A MaskedMatrix
+/// annotates a 0/1 pattern with a don't-care mask; rectangles may cover
+/// don't-care cells freely, which can only reduce (never increase) the
+/// number of rectangles needed. Two semantics are supported by the solver:
+///
+///  * Free     — a don't-care may be covered any number of times
+///               (physically exact for vacancies);
+///  * AtMostOnce — a don't-care may be covered at most once, i.e. the
+///               rectangles form an exact partition of some *completion*
+///               of the pattern (the binary matrix completion problem the
+///               paper cites).
+///
+/// r_B^{Free} ≤ r_B^{AtMostOnce} ≤ r_B(M with don't-cares as 0).
+
+#include <string>
+
+#include "core/matrix.h"
+#include "core/partition.h"
+
+namespace ebmf::completion {
+
+/// Cell classification of a masked pattern.
+enum class Cell : unsigned char {
+  Zero,     ///< Qubit present, must NOT be addressed.
+  One,      ///< Qubit present, must be addressed exactly once.
+  DontCare  ///< Vacancy: addressing is unconstrained.
+};
+
+/// A 0/1 pattern plus a vacancy mask.
+///
+/// Invariant: the mask has the same shape as the pattern, and masked cells
+/// are stored as 0 in the pattern matrix.
+class MaskedMatrix {
+ public:
+  /// All-zero pattern, no vacancies.
+  MaskedMatrix(std::size_t rows, std::size_t cols)
+      : pattern_(rows, cols), mask_(rows, cols) {}
+
+  /// Build from characters: '0', '1', and '*' or 'x' for don't-care.
+  /// Rows separated by ';' or newline.
+  static MaskedMatrix parse(const std::string& text);
+
+  /// Pattern with don't-cares read as 0 (the conservative instance).
+  [[nodiscard]] const BinaryMatrix& pattern() const noexcept {
+    return pattern_;
+  }
+
+  /// The vacancy mask (1 = don't-care).
+  [[nodiscard]] const BinaryMatrix& mask() const noexcept { return mask_; }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return pattern_.rows(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return pattern_.cols(); }
+
+  /// Classify a cell.
+  [[nodiscard]] Cell at(std::size_t i, std::size_t j) const {
+    if (mask_.test(i, j)) return Cell::DontCare;
+    return pattern_.test(i, j) ? Cell::One : Cell::Zero;
+  }
+
+  /// Set a cell's class.
+  void set(std::size_t i, std::size_t j, Cell c);
+
+  /// Number of don't-care cells.
+  [[nodiscard]] std::size_t dont_care_count() const noexcept {
+    return mask_.ones_count();
+  }
+
+ private:
+  BinaryMatrix pattern_;
+  BinaryMatrix mask_;
+};
+
+/// Validate a partition against a masked pattern: every One covered exactly
+/// once, no Zero covered, DontCare coverage per `at_most_once`.
+bool validate_masked(const MaskedMatrix& m, const Partition& p,
+                     bool at_most_once, std::string* why = nullptr);
+
+}  // namespace ebmf::completion

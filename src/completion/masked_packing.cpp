@@ -1,0 +1,63 @@
+#include "completion/masked_packing.h"
+
+#include <numeric>
+
+#include "support/rng.h"
+#include "support/stopwatch.h"
+
+namespace ebmf::completion {
+
+Partition masked_packing_pass(const MaskedMatrix& m,
+                              const std::vector<std::size_t>& row_order) {
+  detail::check_row_order(m.rows(), row_order);
+  Partition p;
+  for (std::size_t row_index : row_order) {
+    EBMF_EXPECTS(row_index < m.rows());
+    const BitVec& ones = m.pattern().row(row_index);
+    if (ones.none()) continue;
+    // Cells a rectangle may touch in this row: 1s or vacancies.
+    BitVec allowed = ones | m.mask().row(row_index);
+    BitVec remaining = ones;
+    for (auto& rect : p) {
+      if (remaining.none()) break;
+      if (!rect.cols.subset_of(allowed)) continue;
+      // The 1s this rectangle would cover must all be uncovered, and it
+      // must cover at least one (otherwise growing is pointless).
+      const BitVec covers = rect.cols & ones;
+      if (covers.none() || !covers.subset_of(remaining)) continue;
+      rect.rows.set(row_index);
+      remaining -= covers;
+    }
+    if (remaining.none()) continue;
+    BitVec new_rows(m.rows());
+    new_rows.set(row_index);
+    p.push_back(Rectangle{std::move(new_rows), std::move(remaining)});
+  }
+  EBMF_ENSURES(validate_masked(m, p, /*at_most_once=*/false));
+  return p;
+}
+
+RowPackingResult masked_row_packing(const MaskedMatrix& m,
+                                    const RowPackingOptions& options) {
+  Stopwatch timer;
+  RowPackingResult best;
+  Rng rng(options.seed);
+  const std::size_t trials = std::max<std::size_t>(options.trials, 1);
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::vector<std::size_t> order(m.rows());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    if (options.order == RowOrder::Shuffle) rng.shuffle(order);
+    Partition candidate = masked_packing_pass(m, order);
+    if (best.trials_run == 0 || candidate.size() < best.partition.size())
+      best.partition = std::move(candidate);
+    ++best.trials_run;
+    if (options.stop_at != 0 && best.partition.size() <= options.stop_at)
+      break;
+    if (options.deadline.expired()) break;
+    if (options.order != RowOrder::Shuffle) break;
+  }
+  best.seconds = timer.seconds();
+  return best;
+}
+
+}  // namespace ebmf::completion

@@ -1,0 +1,35 @@
+#pragma once
+/// \file masked_packing.h
+/// \brief Row packing adapted to don't-cares (vacancies).
+///
+/// The plain heuristic upper bound for a masked pattern treats vacancies as
+/// 0s, which forfeits exactly the benefit vacancies offer: rectangles that
+/// extend across them. This variant adapts Algorithm 2's packing step to
+/// the Free semantics:
+///
+///  * a basis rectangle with column set C can grow into row i when
+///    C ⊆ ones(i) ∪ dontcares(i) and the ones it covers in row i are all
+///    still uncovered (ones must be covered exactly once; vacancies are
+///    unconstrained);
+///  * the residue of row i (uncovered ones after all fits) becomes a new
+///    basis vector as usual.
+///
+/// The result is always valid under Free semantics and never worse than
+/// DC-as-0 packing on instances where no basis vector fits through a
+/// vacancy... it can be *better* precisely when vacancies bridge rows.
+
+#include "completion/masked.h"
+#include "core/row_packing.h"
+
+namespace ebmf::completion {
+
+/// One masked packing pass over rows in `row_order`.
+Partition masked_packing_pass(const MaskedMatrix& m,
+                              const std::vector<std::size_t>& row_order);
+
+/// Multi-trial masked packing (shuffled row orders, best kept).
+/// The partition is valid under Free semantics (validate_masked(..., false)).
+RowPackingResult masked_row_packing(const MaskedMatrix& m,
+                                    const RowPackingOptions& options = {});
+
+}  // namespace ebmf::completion

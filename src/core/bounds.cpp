@@ -1,0 +1,26 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "linalg/rank.h"
+
+namespace ebmf {
+
+std::size_t real_rank(const BinaryMatrix& m) {
+  return ebmf::real_rank(m.row_vectors(), m.cols());
+}
+
+std::size_t distinct_nonzero_rows(const BinaryMatrix& m) {
+  std::unordered_set<BitVec, BitVecHash> seen;
+  for (const auto& r : m.row_vectors())
+    if (r.any()) seen.insert(r);
+  return seen.size();
+}
+
+std::size_t trivial_upper_bound(const BinaryMatrix& m) {
+  return std::min(distinct_nonzero_rows(m),
+                  distinct_nonzero_rows(m.transposed()));
+}
+
+}  // namespace ebmf

@@ -1,0 +1,28 @@
+#pragma once
+/// \file bounds.h
+/// \brief Upper and lower bounds on the binary rank r_B(M) that bracket the
+/// SAP search (Algorithm 1).
+///
+///   rank_ℝ(M)  ≤  r_B(M)  ≤  min(#distinct nonzero rows, #distinct cols)
+///
+/// The left inequality is Eq. 3 of the paper (binary factorization is a real
+/// factorization with extra constraints); the right is the trivial
+/// single-row/column partition with duplicates consolidated.
+
+#include <cstddef>
+
+#include "core/matrix.h"
+
+namespace ebmf {
+
+/// Exact rank of M over ℝ (Eq. 3's lower bound on r_B).
+std::size_t real_rank(const BinaryMatrix& m);
+
+/// Number of distinct nonzero rows of M.
+std::size_t distinct_nonzero_rows(const BinaryMatrix& m);
+
+/// The trivial upper bound: min(#distinct nonzero rows, #distinct nonzero
+/// columns) — the size of the trivial heuristic's partition.
+std::size_t trivial_upper_bound(const BinaryMatrix& m);
+
+}  // namespace ebmf

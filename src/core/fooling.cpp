@@ -1,0 +1,88 @@
+#include "core/fooling.h"
+
+#include <algorithm>
+
+#include "sat/cardinality.h"
+#include "sat/solver.h"
+#include "support/rng.h"
+
+namespace ebmf {
+
+namespace {
+
+/// Two 1-cells may coexist in a fooling set iff some crossing cell is 0.
+bool fooling_compatible(const BinaryMatrix& m,
+                        std::pair<std::size_t, std::size_t> a,
+                        std::pair<std::size_t, std::size_t> b) {
+  return !m.test(a.first, b.second) || !m.test(b.first, a.second);
+}
+
+}  // namespace
+
+bool is_fooling_set(const BinaryMatrix& m, const CellSet& cells) {
+  for (std::size_t x = 0; x < cells.size(); ++x) {
+    if (!m.test(cells[x].first, cells[x].second)) return false;
+    for (std::size_t y = x + 1; y < cells.size(); ++y)
+      if (!fooling_compatible(m, cells[x], cells[y])) return false;
+  }
+  return true;
+}
+
+CellSet greedy_fooling_set(const BinaryMatrix& m, std::size_t trials,
+                           std::uint64_t seed) {
+  CellSet all = m.ones();
+  CellSet best;
+  Rng rng(seed);
+  for (std::size_t t = 0; t < std::max<std::size_t>(trials, 1); ++t) {
+    if (t != 0) rng.shuffle(all);
+    CellSet cur;
+    for (const auto& cell : all) {
+      const bool ok = std::all_of(cur.begin(), cur.end(), [&](const auto& c) {
+        return fooling_compatible(m, cell, c);
+      });
+      if (ok) cur.push_back(cell);
+    }
+    if (cur.size() > best.size()) best = std::move(cur);
+  }
+  return best;
+}
+
+CellSet max_fooling_set(const BinaryMatrix& m, const Deadline& deadline) {
+  CellSet best = greedy_fooling_set(m);
+  const CellSet cells = m.ones();
+  if (cells.empty()) return best;
+  // Fooling cells occupy distinct rows and columns, and there are at most
+  // |ones| of them.
+  const std::size_t cap =
+      std::min({m.rows(), m.cols(), cells.size()});
+
+  while (best.size() < cap) {
+    const std::size_t target = best.size() + 1;
+    // Fresh solver per target keeps the encoding simple; instances are tiny
+    // (≤ #ones variables).
+    sat::Solver solver;
+    std::vector<sat::Lit> sel;
+    sel.reserve(cells.size());
+    for (std::size_t e = 0; e < cells.size(); ++e)
+      sel.push_back(sat::pos(solver.new_var()));
+    for (std::size_t x = 0; x < cells.size(); ++x)
+      for (std::size_t y = x + 1; y < cells.size(); ++y)
+        if (!fooling_compatible(m, cells[x], cells[y]))
+          solver.add_clause(sel[x].neg(), sel[y].neg());
+    sat::add_at_least_k(solver, sel, target);
+
+    sat::Budget budget;
+    budget.deadline = deadline;
+    const auto result = solver.solve({}, budget);
+    if (result != sat::SolveResult::Sat) break;  // Unsat: maximum; Unknown: give up
+    CellSet found;
+    for (std::size_t e = 0; e < cells.size(); ++e)
+      if (solver.model_true(sel[e])) found.push_back(cells[e]);
+    EBMF_ENSURES(found.size() >= target);
+    EBMF_ENSURES(is_fooling_set(m, found));
+    best = std::move(found);
+  }
+  return best;
+}
+
+}  // namespace ebmf

@@ -1,0 +1,44 @@
+#pragma once
+/// \file fooling.h
+/// \brief Fooling sets: combinatorial lower bounds on the binary rank.
+///
+/// A fooling set S is a set of 1-cells such that for any two distinct
+/// (i,j), (i',j') ∈ S, at least one of the crossing cells (i,j'), (i',j) is
+/// a 0. No rectangle can contain two fooling cells, so |S| ≤ r_B(M)
+/// (paper §II; the filled markers of Fig. 1b certify that partition's
+/// optimality). The bound is not always tight — the Eq. 2 matrix has
+/// r_B = 3 but maximum fooling set 2 — and the maximum fooling set problem
+/// is itself hard, so we provide a greedy heuristic plus an exact
+/// SAT-based search (it doubles as a stress test of the cardinality
+/// encodings). Fooling sets also feed Watson's tensor lower bound (Eq. 5).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/matrix.h"
+#include "support/stopwatch.h"
+
+namespace ebmf {
+
+/// A set of 1-cells, each (row, col).
+using CellSet = std::vector<std::pair<std::size_t, std::size_t>>;
+
+/// True when `cells` is a fooling set of `m`: all cells are 1s and every
+/// distinct pair has a 0 crossing cell.
+bool is_fooling_set(const BinaryMatrix& m, const CellSet& cells);
+
+/// Greedy maximal fooling set: scan 1-cells (in a seed-shuffled order) and
+/// keep each cell compatible with all kept so far. Runs `trials` shuffles
+/// and returns the largest set found. Result size ≤ φ(M) ≤ r_B(M).
+CellSet greedy_fooling_set(const BinaryMatrix& m, std::size_t trials = 16,
+                           std::uint64_t seed = 1);
+
+/// Exact maximum fooling set φ(M) via SAT with cardinality constraints.
+/// Fooling cells must lie on distinct rows and columns, so φ ≤ min(m, n)
+/// and the search solves at most min(m, n) decision problems.
+/// `deadline` bounds the work; on expiry the best set found so far is
+/// returned (it is still a valid fooling set, possibly not maximum).
+CellSet max_fooling_set(const BinaryMatrix& m, const Deadline& deadline = {});
+
+}  // namespace ebmf

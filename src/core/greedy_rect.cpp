@@ -1,0 +1,79 @@
+#include "core/greedy_rect.h"
+
+#include <numeric>
+
+#include "support/rng.h"
+#include "support/stopwatch.h"
+
+namespace ebmf {
+
+Partition greedy_rectangles_pass(const BinaryMatrix& m,
+                                 const std::vector<std::size_t>& row_order) {
+  detail::check_row_order(m.rows(), row_order);
+  // uncovered[i] = 1s of row i not yet covered by an extracted rectangle.
+  std::vector<BitVec> uncovered;
+  uncovered.reserve(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) uncovered.push_back(m.row(i));
+
+  Partition p;
+  for (std::size_t seed : row_order) {
+    if (uncovered[seed].none()) continue;
+    // The seed's uncovered 1s become the column set; grow vertically to
+    // every row whose uncovered 1s can host the whole set. (The seed row
+    // itself caps any wider column choice, so this is the maximal
+    // rectangle with this seed's full residue as columns.)
+    BitVec cols = uncovered[seed];
+    BitVec rows(m.rows());
+    for (std::size_t r = 0; r < m.rows(); ++r)
+      if (cols.subset_of(uncovered[r])) rows.set(r);
+    EBMF_ASSERT(rows.test(seed));
+    for (std::size_t r = rows.find_first(); r < m.rows();
+         r = rows.find_next(r))
+      uncovered[r] -= cols;
+    p.push_back(Rectangle{std::move(rows), std::move(cols)});
+  }
+  EBMF_ENSURES(static_cast<bool>(validate_partition(m, p)));
+  return p;
+}
+
+RowPackingResult greedy_rectangles(const BinaryMatrix& m,
+                                   const RowPackingOptions& options) {
+  Stopwatch timer;
+  RowPackingResult best;
+  Rng rng(options.seed);
+  const BinaryMatrix mt =
+      options.use_transpose ? m.transposed() : BinaryMatrix{};
+
+  const auto make_order = [&](const BinaryMatrix& mat) {
+    std::vector<std::size_t> order(mat.rows());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    if (options.order == RowOrder::Shuffle) rng.shuffle(order);
+    return order;
+  };
+  const auto consider = [&](Partition cand, bool was_transposed) {
+    if (best.trials_run == 0 || cand.size() < best.partition.size()) {
+      best.partition = std::move(cand);
+      best.from_transpose = was_transposed;
+    }
+  };
+
+  const std::size_t trials = std::max<std::size_t>(options.trials, 1);
+  for (std::size_t t = 0; t < trials; ++t) {
+    consider(greedy_rectangles_pass(m, make_order(m)), false);
+    ++best.trials_run;
+    if (options.stop_at != 0 && best.partition.size() <= options.stop_at)
+      break;
+    if (options.use_transpose) {
+      consider(transposed(greedy_rectangles_pass(mt, make_order(mt))), true);
+      ++best.trials_run;
+      if (options.stop_at != 0 && best.partition.size() <= options.stop_at)
+        break;
+    }
+    if (options.deadline.expired()) break;
+    if (options.order != RowOrder::Shuffle) break;
+  }
+  best.seconds = timer.seconds();
+  return best;
+}
+
+}  // namespace ebmf

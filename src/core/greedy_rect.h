@@ -1,0 +1,31 @@
+#pragma once
+/// \file greedy_rect.h
+/// \brief Greedy rectangle extraction — a classic biclique-cover-style
+/// baseline heuristic, independent of row packing.
+///
+/// Visit rows in a (shuffled) order; a visited row's still-uncovered 1s
+/// become a rectangle's column set, grown vertically to every row whose
+/// uncovered 1s can host the whole set. Unlike row packing it never splits
+/// a row's residue across existing rectangles — each rectangle is extracted
+/// whole — so it explores a genuinely different part of the design space.
+///
+/// Quality sits between the trivial heuristic and row packing on most
+/// inputs (it cannot revise earlier choices the way the basis update
+/// does); it is included as an independent baseline for the ablation
+/// benchmark and as a cross-check in tests.
+
+#include "core/partition.h"
+#include "core/row_packing.h"
+
+namespace ebmf {
+
+/// One greedy extraction pass, seeding rows in `row_order`.
+Partition greedy_rectangles_pass(const BinaryMatrix& m,
+                                 const std::vector<std::size_t>& row_order);
+
+/// Multi-trial greedy extraction (shuffled seeds, best kept; transpose
+/// orientation included when options.use_transpose).
+RowPackingResult greedy_rectangles(const BinaryMatrix& m,
+                                   const RowPackingOptions& options = {});
+
+}  // namespace ebmf

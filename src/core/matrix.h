@@ -1,0 +1,114 @@
+#pragma once
+/// \file matrix.h
+/// \brief BinaryMatrix: the 0/1 addressing pattern on a 2D qubit array.
+///
+/// Rows are stored as BitVec so the row-packing heuristic's inner loop
+/// (subset test + subtraction over a row) is word-parallel. The matrix is
+/// the central value type of the library: benchmark generators produce it,
+/// heuristics and the SMT encoder consume it, and partitions are validated
+/// against it.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/bitvec.h"
+#include "support/rng.h"
+
+namespace ebmf {
+
+/// A dense m×n matrix over {0,1}.
+///
+/// Invariant: every row BitVec has length cols().
+class BinaryMatrix {
+ public:
+  /// An empty 0×0 matrix.
+  BinaryMatrix() = default;
+
+  /// An m×n all-zero matrix.
+  BinaryMatrix(std::size_t m, std::size_t n)
+      : n_(n), rows_(m, BitVec(n)) {}
+
+  /// Build from rows of '0'/'1' characters; all rows must have equal length.
+  /// Example: BinaryMatrix::from_strings({"101", "010"}).
+  static BinaryMatrix from_strings(const std::vector<std::string>& rows);
+
+  /// Parse a semicolon- or newline-separated 0/1 grid, e.g. "101;010;110".
+  static BinaryMatrix parse(const std::string& text);
+
+  /// Adopt pre-built rows (each of length `n`).
+  static BinaryMatrix from_rows(std::vector<BitVec> rows, std::size_t n);
+
+  /// Number of rows.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  /// Number of columns.
+  [[nodiscard]] std::size_t cols() const noexcept { return n_; }
+
+  /// Entry (i, j). Preconditions: i < rows(), j < cols().
+  [[nodiscard]] bool test(std::size_t i, std::size_t j) const {
+    EBMF_ASSERT(i < rows());
+    return rows_[i].test(j);
+  }
+
+  /// Set entry (i, j).
+  void set(std::size_t i, std::size_t j, bool value = true) {
+    EBMF_ASSERT(i < rows());
+    rows_[i].set(j, value);
+  }
+
+  /// Row i as a bit vector.
+  [[nodiscard]] const BitVec& row(std::size_t i) const {
+    EBMF_ASSERT(i < rows());
+    return rows_[i];
+  }
+
+  /// All rows (for the linalg rank routines).
+  [[nodiscard]] const std::vector<BitVec>& row_vectors() const noexcept {
+    return rows_;
+  }
+
+  /// Column j materialized as a bit vector of length rows().
+  [[nodiscard]] BitVec col(std::size_t j) const;
+
+  /// The transpose.
+  [[nodiscard]] BinaryMatrix transposed() const;
+
+  /// Total number of 1 entries.
+  [[nodiscard]] std::size_t ones_count() const noexcept;
+
+  /// Coordinates of all 1 entries in row-major order.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> ones() const;
+
+  /// True when the matrix contains no 1.
+  [[nodiscard]] bool is_zero() const noexcept;
+
+  /// Rows reordered: result row i = this row perm[i].
+  /// Precondition: perm is a permutation of [0, rows()).
+  [[nodiscard]] BinaryMatrix permuted_rows(
+      const std::vector<std::size_t>& perm) const;
+
+  /// Kronecker (tensor) product: (A⊗B)[i·p+k][j·q+l] = A[i][j]·B[k][l]
+  /// where B is p×q. This is the FTQC two-level structure of Sec. V.
+  [[nodiscard]] static BinaryMatrix kron(const BinaryMatrix& a,
+                                         const BinaryMatrix& b);
+
+  /// A uniformly random m×n matrix where each entry is 1 with probability
+  /// `occupancy` (the paper's random benchmark family).
+  static BinaryMatrix random(std::size_t m, std::size_t n, double occupancy,
+                             Rng& rng);
+
+  /// Render as rows of '0'/'1' joined by '\n'.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const BinaryMatrix& a,
+                         const BinaryMatrix& b) noexcept {
+    return a.n_ == b.n_ && a.rows_ == b.rows_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<BitVec> rows_;
+};
+
+}  // namespace ebmf

@@ -1,0 +1,79 @@
+#pragma once
+/// \file partition.h
+/// \brief Rectangles (rank-1 binary blocks) and rectangle partitions — the
+/// objects an EBMF produces — plus exact validation.
+///
+/// A Rectangle X'×Y' is what one AOD configuration can address (Fig. 1a of
+/// the paper): a set of rows crossed with a set of columns. A Partition is
+/// an ordered list of rectangles; it is a *valid EBMF of M* when the
+/// rectangles are pairwise disjoint, cover every 1 of M, and cover no 0.
+/// The partition's size is the addressing depth the paper minimizes.
+
+#include <string>
+#include <vector>
+
+#include "core/matrix.h"
+#include "support/bitvec.h"
+
+namespace ebmf {
+
+/// A combinatorial rectangle: rows × cols, both as bit sets.
+///
+/// Corresponds to one term h·wᵀ of the factorization and to one AOD
+/// configuration (rows driven + columns driven).
+struct Rectangle {
+  BitVec rows;  ///< Selected rows (length m).
+  BitVec cols;  ///< Selected columns (length n).
+
+  /// Cell membership test.
+  [[nodiscard]] bool contains(std::size_t i, std::size_t j) const {
+    return rows.test(i) && cols.test(j);
+  }
+
+  /// Number of cells (|rows| · |cols|).
+  [[nodiscard]] std::size_t cell_count() const {
+    return rows.count() * cols.count();
+  }
+
+  /// True when the rectangle addresses no cell.
+  [[nodiscard]] bool empty() const { return rows.none() || cols.none(); }
+
+  /// The transposed rectangle (for solutions computed on Mᵀ).
+  [[nodiscard]] Rectangle transposed() const { return Rectangle{cols, rows}; }
+
+  friend bool operator==(const Rectangle& a, const Rectangle& b) noexcept {
+    return a.rows == b.rows && a.cols == b.cols;
+  }
+};
+
+/// An ordered list of rectangles; the EBMF / addressing schedule.
+using Partition = std::vector<Rectangle>;
+
+/// Result of validating a partition against a matrix.
+struct ValidationResult {
+  bool ok = false;
+  std::string reason;  ///< Human-readable diagnosis when !ok.
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Check that `p` is an exact rectangle partition of the 1s of `m`:
+///  * every rectangle's rows/cols bit vectors have the right lengths,
+///  * no rectangle is empty,
+///  * no rectangle covers a 0 of `m`,
+///  * every 1 of `m` is covered exactly once (disjointness + coverage).
+ValidationResult validate_partition(const BinaryMatrix& m, const Partition& p);
+
+/// Materialize the union of rectangles as a matrix (useful in tests; ignores
+/// overlap — use validate_partition for exactness).
+BinaryMatrix partition_union(const Partition& p, std::size_t rows,
+                             std::size_t cols);
+
+/// Transpose every rectangle (solution on Mᵀ → solution on M).
+Partition transposed(const Partition& p);
+
+/// Pretty-print a partition as the matrix with each cell labeled by its
+/// rectangle index ('.' for zeros); rectangles beyond 62 reuse symbols.
+std::string render_partition(const BinaryMatrix& m, const Partition& p);
+
+}  // namespace ebmf

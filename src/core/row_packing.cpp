@@ -1,0 +1,128 @@
+#include "core/row_packing.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/rng.h"
+
+namespace ebmf {
+
+namespace detail {
+
+void check_row_order(std::size_t rows,
+                     const std::vector<std::size_t>& row_order) {
+  EBMF_EXPECTS(row_order.size() == rows);
+  std::vector<char> seen(rows, 0);
+  for (std::size_t i : row_order) {
+    EBMF_EXPECTS(i < rows);
+    EBMF_EXPECTS(seen[i] == 0);  // row_order must be a permutation
+    seen[i] = 1;
+  }
+}
+
+}  // namespace detail
+
+Partition row_packing_pass(const BinaryMatrix& m,
+                           const std::vector<std::size_t>& row_order,
+                           bool basis_update) {
+  detail::check_row_order(m.rows(), row_order);
+  // basis vector j is P[j].cols; its rectangle's rows are P[j].rows.
+  // Invariants maintained (see DESIGN.md): basis vectors are nonempty and
+  // pairwise non-nested; P[j].rows × P[j].cols are pairwise disjoint cells.
+  Partition p;
+
+  for (std::size_t row_index : row_order) {
+    EBMF_EXPECTS(row_index < m.rows());
+    BitVec residue = m.row(row_index);
+    // Greedy packing: subtract every basis vector contained in the residue,
+    // growing its rectangle vertically (lines 4–7).
+    for (auto& rect : p) {
+      if (residue.none()) break;
+      if (rect.cols.subset_of(residue)) {
+        rect.rows.set(row_index);
+        residue -= rect.cols;
+      }
+    }
+    if (residue.none()) continue;
+
+    // Residue becomes a new basis vector (lines 9–16). The basis update
+    // shrinks every existing basis vector that contains the residue; the
+    // rows of the shrunk rectangles join the new rectangle so their cells
+    // stay covered.
+    BitVec new_rows(m.rows());
+    new_rows.set(row_index);
+    if (basis_update) {
+      for (auto& rect : p) {
+        if (residue.subset_of(rect.cols)) {
+          EBMF_ASSERT(!(residue == rect.cols));  // equality was packed above
+          new_rows |= rect.rows;
+          rect.cols -= residue;
+        }
+      }
+    }
+    p.push_back(Rectangle{std::move(new_rows), std::move(residue)});
+  }
+  EBMF_ENSURES(std::none_of(p.begin(), p.end(),
+                            [](const Rectangle& r) { return r.empty(); }));
+  return p;
+}
+
+RowPackingResult row_packing_ebmf(const BinaryMatrix& m,
+                                  const RowPackingOptions& options) {
+  Stopwatch timer;
+  RowPackingResult best;
+  Rng rng(options.seed);
+
+  const BinaryMatrix mt =
+      options.use_transpose ? m.transposed() : BinaryMatrix{};
+
+  const auto ordered = [&](const BinaryMatrix& mat,
+                           std::size_t trial) -> std::vector<std::size_t> {
+    std::vector<std::size_t> order(mat.rows());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    switch (options.order) {
+      case RowOrder::Shuffle:
+        rng.shuffle(order);
+        break;
+      case RowOrder::SortedByOnes:
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return mat.row(a).count() < mat.row(b).count();
+                         });
+        break;
+      case RowOrder::AsIs:
+        break;
+    }
+    (void)trial;
+    return order;
+  };
+
+  const auto consider = [&](Partition cand, bool was_transposed) {
+    if (best.trials_run == 0 || cand.size() < best.partition.size()) {
+      best.partition = std::move(cand);
+      best.from_transpose = was_transposed;
+    }
+  };
+
+  const std::size_t trials = std::max<std::size_t>(options.trials, 1);
+  for (std::size_t t = 0; t < trials; ++t) {
+    consider(row_packing_pass(m, ordered(m, t), options.basis_update), false);
+    ++best.trials_run;
+    if (options.stop_at != 0 && best.partition.size() <= options.stop_at)
+      break;
+    if (options.use_transpose) {
+      Partition pt = row_packing_pass(mt, ordered(mt, t), options.basis_update);
+      consider(transposed(std::move(pt)), true);
+      ++best.trials_run;
+      if (options.stop_at != 0 && best.partition.size() <= options.stop_at)
+        break;
+    }
+    if (options.deadline.expired()) break;
+    // Deterministic orders never change between trials; one pass suffices.
+    if (options.order != RowOrder::Shuffle) break;
+  }
+  best.seconds = timer.seconds();
+  return best;
+}
+
+}  // namespace ebmf

@@ -1,0 +1,75 @@
+#pragma once
+/// \file row_packing.h
+/// \brief Row packing (Algorithm 2 of the paper): the fast EBMF heuristic at
+/// the heart of SAP.
+///
+/// The matrix is processed row by row, maintaining a *normal set basis*: a
+/// list of column sets (basis vectors), each owning one rectangle. Each row
+/// is greedily decomposed into a disjoint union of existing basis vectors
+/// (whose rectangles then grow vertically); any residue becomes a new basis
+/// vector — after first *shrinking* every existing basis vector that
+/// contains it (the "basis update", lines 9–16), which keeps basis vectors
+/// small and future packings likelier to succeed.
+///
+/// Because the greedy packing follows basis order, quality depends on row
+/// order; the heuristic is therefore run over many row shuffles (and on the
+/// transpose) keeping the best result. The paper discusses two
+/// time-saving compromises — disabling the basis update and replacing
+/// shuffles with an ascending-popcount order — and reports both hurt
+/// quality; both are exposed here as options so the ablation benchmark can
+/// quantify that claim.
+
+#include <cstdint>
+#include <optional>
+
+#include "core/partition.h"
+#include "support/stopwatch.h"
+
+namespace ebmf {
+
+/// Row orderings for the packing passes.
+enum class RowOrder {
+  Shuffle,        ///< Fresh random permutation per trial (paper default).
+  SortedByOnes,   ///< Ascending popcount, deterministic (paper's compromise).
+  AsIs,           ///< Matrix order, deterministic.
+};
+
+/// Options controlling row_packing_ebmf.
+struct RowPackingOptions {
+  std::size_t trials = 100;     ///< Packing passes per orientation.
+  std::uint64_t seed = 1;       ///< Shuffle seed (deterministic streams).
+  RowOrder order = RowOrder::Shuffle;
+  bool basis_update = true;     ///< Enable lines 9–16 of Algorithm 2.
+  bool use_transpose = true;    ///< Also pack Mᵀ, keep the better result.
+  std::size_t stop_at = 0;      ///< Stop early when |P| ≤ stop_at (0 = never).
+  Deadline deadline;            ///< Optional wall-clock budget.
+};
+
+/// Outcome of a row-packing run.
+struct RowPackingResult {
+  Partition partition;          ///< Best (smallest) valid EBMF found.
+  std::size_t trials_run = 0;   ///< Total passes executed (both orientations).
+  bool from_transpose = false;  ///< Best came from the Mᵀ orientation.
+  double seconds = 0.0;         ///< Wall-clock time spent.
+};
+
+namespace detail {
+/// Verify `row_order` is a permutation of [0, rows); ContractViolation if not.
+void check_row_order(std::size_t rows,
+                     const std::vector<std::size_t>& row_order);
+}  // namespace detail
+
+/// One packing pass over the rows of `m` taken in `row_order`.
+/// `row_order` must be a permutation of [0, m.rows()). The returned
+/// partition is expressed in original row indices (un-shuffled) and is
+/// always a valid EBMF of `m` with size ≤ #distinct nonzero rows.
+Partition row_packing_pass(const BinaryMatrix& m,
+                           const std::vector<std::size_t>& row_order,
+                           bool basis_update = true);
+
+/// Full heuristic: multiple shuffled passes on M (and Mᵀ when enabled),
+/// returning the smallest partition found.
+RowPackingResult row_packing_ebmf(const BinaryMatrix& m,
+                                  const RowPackingOptions& options = {});
+
+}  // namespace ebmf

@@ -1,0 +1,27 @@
+#include "core/trivial.h"
+
+#include <unordered_map>
+
+namespace ebmf {
+
+Partition trivial_row_partition(const BinaryMatrix& m) {
+  // Group equal nonzero rows; one rectangle per group.
+  std::unordered_map<BitVec, std::size_t, BitVecHash> group;  // row -> index
+  Partition p;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const BitVec& r = m.row(i);
+    if (r.none()) continue;
+    auto [it, inserted] = group.try_emplace(r, p.size());
+    if (inserted) p.push_back(Rectangle{BitVec(m.rows()), r});
+    p[it->second].rows.set(i);
+  }
+  return p;
+}
+
+Partition trivial_ebmf(const BinaryMatrix& m) {
+  Partition by_rows = trivial_row_partition(m);
+  Partition by_cols = transposed(trivial_row_partition(m.transposed()));
+  return by_cols.size() < by_rows.size() ? by_cols : by_rows;
+}
+
+}  // namespace ebmf

@@ -1,0 +1,20 @@
+#pragma once
+/// \file trivial.h
+/// \brief The trivial EBMF heuristic (paper §III-B, first paragraph):
+/// partition into single rows or single columns, consolidating duplicates.
+///
+/// Each distinct nonzero row pattern w becomes one rectangle
+/// {rows equal to w} × {1s of w}; symmetrically for columns; the smaller of
+/// the two partitions is returned. Its size equals trivial_upper_bound(M).
+
+#include "core/partition.h"
+
+namespace ebmf {
+
+/// Partition M into consolidated duplicate rows only.
+Partition trivial_row_partition(const BinaryMatrix& m);
+
+/// The trivial heuristic: better of rows-consolidated / cols-consolidated.
+Partition trivial_ebmf(const BinaryMatrix& m);
+
+}  // namespace ebmf

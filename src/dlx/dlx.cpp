@@ -1,0 +1,150 @@
+#include "dlx/dlx.h"
+
+#include "support/contracts.h"
+
+namespace ebmf::dlx {
+
+ExactCover::ExactCover(std::size_t num_items) : num_items_(num_items) {
+  // Node 0 is the root; nodes 1..num_items are column headers, linked in a
+  // circular row. Header up/down initially self-loops.
+  nodes_.resize(num_items + 1);
+  size_.assign(num_items + 1, 0);
+  const auto n = static_cast<std::int32_t>(num_items);
+  for (std::int32_t i = 0; i <= n; ++i) {
+    nodes_[static_cast<std::size_t>(i)] =
+        Node{i == 0 ? n : i - 1, i == n ? 0 : i + 1, i, i, i == 0 ? -1 : i, -1};
+  }
+}
+
+std::size_t ExactCover::add_option(const std::vector<std::size_t>& items) {
+  EBMF_EXPECTS(!items.empty());
+  const std::size_t option = n_options_++;
+  const std::size_t first = nodes_.size();
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    EBMF_EXPECTS(items[k] < num_items_);
+    const auto header = static_cast<std::int32_t>(items[k] + 1);
+    const auto self = static_cast<std::int32_t>(nodes_.size());
+    Node node{};
+    node.column = header;
+    node.option = static_cast<std::int32_t>(option);
+    // Vertical splice: insert above the header (bottom of the column).
+    node.up = nodes_[static_cast<std::size_t>(header)].up;
+    node.down = header;
+    nodes_[static_cast<std::size_t>(node.up)].down = self;
+    nodes_[static_cast<std::size_t>(header)].up = self;
+    ++size_[static_cast<std::size_t>(header)];
+    // Horizontal circular links within the option.
+    if (k == 0) {
+      node.left = self;
+      node.right = self;
+    } else {
+      const auto head = static_cast<std::int32_t>(first);
+      node.left = nodes_[static_cast<std::size_t>(head)].left;
+      node.right = head;
+      nodes_[static_cast<std::size_t>(node.left)].right = self;
+      nodes_[static_cast<std::size_t>(head)].left = self;
+    }
+    nodes_.push_back(node);
+  }
+  return option;
+}
+
+void ExactCover::cover(std::int32_t col) {
+  auto& c = nodes_[static_cast<std::size_t>(col)];
+  nodes_[static_cast<std::size_t>(c.right)].left = c.left;
+  nodes_[static_cast<std::size_t>(c.left)].right = c.right;
+  for (std::int32_t i = c.down; i != col;
+       i = nodes_[static_cast<std::size_t>(i)].down) {
+    for (std::int32_t j = nodes_[static_cast<std::size_t>(i)].right; j != i;
+         j = nodes_[static_cast<std::size_t>(j)].right) {
+      const Node& nj = nodes_[static_cast<std::size_t>(j)];
+      nodes_[static_cast<std::size_t>(nj.down)].up = nj.up;
+      nodes_[static_cast<std::size_t>(nj.up)].down = nj.down;
+      --size_[static_cast<std::size_t>(nj.column)];
+    }
+  }
+}
+
+void ExactCover::uncover(std::int32_t col) {
+  const auto& c = nodes_[static_cast<std::size_t>(col)];
+  for (std::int32_t i = c.up; i != col;
+       i = nodes_[static_cast<std::size_t>(i)].up) {
+    for (std::int32_t j = nodes_[static_cast<std::size_t>(i)].left; j != i;
+         j = nodes_[static_cast<std::size_t>(j)].left) {
+      const Node& nj = nodes_[static_cast<std::size_t>(j)];
+      ++size_[static_cast<std::size_t>(nj.column)];
+      nodes_[static_cast<std::size_t>(nj.down)].up = j;
+      nodes_[static_cast<std::size_t>(nj.up)].down = j;
+    }
+  }
+  nodes_[static_cast<std::size_t>(c.right)].left = col;
+  nodes_[static_cast<std::size_t>(c.left)].right = col;
+}
+
+bool ExactCover::search(
+    std::vector<std::size_t>& selection, std::uint64_t max_nodes,
+    std::uint64_t& nodes,
+    const std::function<bool(const std::vector<std::size_t>&)>& emit) {
+  if (max_nodes != 0 && nodes >= max_nodes) return true;  // abort
+  ++nodes;
+  const std::int32_t root_right = nodes_[0].right;
+  if (root_right == 0) return emit(selection);  // all items covered
+  // Choose the column with the fewest live options (Knuth's MRV rule).
+  std::int32_t best = root_right;
+  for (std::int32_t c = root_right; c != 0;
+       c = nodes_[static_cast<std::size_t>(c)].right)
+    if (size_[static_cast<std::size_t>(c)] < size_[static_cast<std::size_t>(best)])
+      best = c;
+  if (size_[static_cast<std::size_t>(best)] == 0) return false;
+
+  cover(best);
+  for (std::int32_t r = nodes_[static_cast<std::size_t>(best)].down; r != best;
+       r = nodes_[static_cast<std::size_t>(r)].down) {
+    selection.push_back(
+        static_cast<std::size_t>(nodes_[static_cast<std::size_t>(r)].option));
+    for (std::int32_t j = nodes_[static_cast<std::size_t>(r)].right; j != r;
+         j = nodes_[static_cast<std::size_t>(j)].right)
+      cover(nodes_[static_cast<std::size_t>(j)].column);
+    const bool stop = search(selection, max_nodes, nodes, emit);
+    for (std::int32_t j = nodes_[static_cast<std::size_t>(r)].left; j != r;
+         j = nodes_[static_cast<std::size_t>(j)].left)
+      uncover(nodes_[static_cast<std::size_t>(j)].column);
+    selection.pop_back();
+    if (stop) {
+      uncover(best);
+      return true;
+    }
+  }
+  uncover(best);
+  return false;
+}
+
+std::optional<std::vector<std::size_t>> ExactCover::solve(
+    std::uint64_t max_nodes) {
+  std::vector<std::size_t> selection;
+  std::optional<std::vector<std::size_t>> found;
+  std::uint64_t nodes = 0;
+  search(selection, max_nodes, nodes,
+         [&found](const std::vector<std::size_t>& sel) {
+           found = sel;
+           return true;  // stop at first solution
+         });
+  return found;
+}
+
+std::size_t ExactCover::enumerate(
+    const std::function<void(const std::vector<std::size_t>&)>& on_solution,
+    std::size_t limit) {
+  std::vector<std::size_t> selection;
+  std::size_t count = 0;
+  std::uint64_t nodes = 0;
+  search(selection, 0, nodes,
+         [&](const std::vector<std::size_t>& sel) {
+           on_solution(sel);
+           ++count;
+           return limit != 0 && count >= limit;
+         });
+  return count;
+}
+
+}  // namespace ebmf::dlx

@@ -1,0 +1,67 @@
+#pragma once
+/// \file dlx.h
+/// \brief Knuth's Algorithm X with dancing links: exact cover.
+///
+/// The paper (§VI) suggests replacing row packing's greedy first-fit
+/// decomposition with a real exact-cover search "such as Knuth's Algorithm X"
+/// — deciding whether a row is a disjoint union of existing basis vectors is
+/// itself NP-complete (it is EXACT COVER). This module provides the solver;
+/// packing_dlx.h applies it to the packing step, and the ablation benchmark
+/// measures what the upgrade buys.
+///
+/// The classic doubly-linked "dancing links" representation is used: columns
+/// are constraint items, rows are options; cover/uncover splice nodes in and
+/// out in O(1).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace ebmf::dlx {
+
+/// An exact cover instance: `num_items` items (columns) to cover exactly
+/// once, and options (rows), each a set of item indices.
+class ExactCover {
+ public:
+  /// Create a problem over `num_items` items.
+  explicit ExactCover(std::size_t num_items);
+
+  /// Add an option covering `items` (distinct indices < num_items). Returns
+  /// the option's index (0-based, in insertion order). Empty options are
+  /// rejected (they can never appear in a solution and break the links).
+  std::size_t add_option(const std::vector<std::size_t>& items);
+
+  /// Find one exact cover. Returns the selected option indices, or nullopt.
+  /// `max_nodes` caps search effort (0 = unlimited).
+  std::optional<std::vector<std::size_t>> solve(std::uint64_t max_nodes = 0);
+
+  /// Enumerate all exact covers (up to `limit`), invoking `on_solution` for
+  /// each. Returns the number found.
+  std::size_t enumerate(
+      const std::function<void(const std::vector<std::size_t>&)>& on_solution,
+      std::size_t limit = 0);
+
+  /// Number of options added.
+  [[nodiscard]] std::size_t num_options() const noexcept { return n_options_; }
+
+ private:
+  struct Node {
+    std::int32_t left, right, up, down;
+    std::int32_t column;  ///< Header index for cell nodes; -1 for root.
+    std::int32_t option;  ///< Owning option index; -1 for headers/root.
+  };
+
+  void cover(std::int32_t col_header);
+  void uncover(std::int32_t col_header);
+  bool search(std::vector<std::size_t>& selection, std::uint64_t max_nodes,
+              std::uint64_t& nodes,
+              const std::function<bool(const std::vector<std::size_t>&)>& emit);
+
+  std::vector<Node> nodes_;      // [0] root, [1..num_items] column headers
+  std::vector<std::int32_t> size_;  // per column: live option count
+  std::size_t num_items_;
+  std::size_t n_options_ = 0;
+};
+
+}  // namespace ebmf::dlx

@@ -1,0 +1,137 @@
+#include "dlx/packing_dlx.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dlx/dlx.h"
+#include "support/rng.h"
+
+namespace ebmf::dlx {
+
+namespace {
+
+/// Try to write `row` as an exact disjoint union of basis vectors
+/// (p[j].cols ⊆ row). Returns selected rectangle indices, or empty if none.
+std::vector<std::size_t> exact_decomposition(const BitVec& row,
+                                             const Partition& p,
+                                             std::uint64_t max_nodes) {
+  const auto cols = row.ones();
+  if (cols.empty()) return {};
+  // Item k = k-th one of the row.
+  std::vector<std::int32_t> item_of(row.size(), -1);
+  for (std::size_t k = 0; k < cols.size(); ++k)
+    item_of[cols[k]] = static_cast<std::int32_t>(k);
+
+  ExactCover cover(cols.size());
+  std::vector<std::size_t> option_rect;  // option index -> rectangle index
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    if (!p[j].cols.subset_of(row)) continue;
+    std::vector<std::size_t> items;
+    for (std::size_t c : p[j].cols.ones())
+      items.push_back(static_cast<std::size_t>(item_of[c]));
+    cover.add_option(items);
+    option_rect.push_back(j);
+  }
+  if (option_rect.empty()) return {};
+  const auto solution = cover.solve(max_nodes);
+  if (!solution) return {};
+  std::vector<std::size_t> rects;
+  rects.reserve(solution->size());
+  for (std::size_t opt : *solution) rects.push_back(option_rect[opt]);
+  return rects;
+}
+
+}  // namespace
+
+Partition row_packing_dlx_pass(const BinaryMatrix& m,
+                               const std::vector<std::size_t>& row_order,
+                               bool basis_update, std::uint64_t max_nodes) {
+  detail::check_row_order(m.rows(), row_order);
+  Partition p;
+  for (std::size_t row_index : row_order) {
+    const BitVec& row = m.row(row_index);
+    if (row.none()) continue;
+    // Exact-cover decomposition first: if the row is a disjoint union of
+    // basis vectors, no new rectangle is needed — guaranteed found.
+    const auto selection = exact_decomposition(row, p, max_nodes);
+    if (!selection.empty()) {
+      for (std::size_t j : selection) p[j].rows.set(row_index);
+      continue;
+    }
+    // Fall back to Algorithm 2's greedy subtraction + basis update.
+    BitVec residue = row;
+    for (auto& rect : p) {
+      if (residue.none()) break;
+      if (rect.cols.subset_of(residue)) {
+        rect.rows.set(row_index);
+        residue -= rect.cols;
+      }
+    }
+    if (residue.none()) continue;
+    BitVec new_rows(m.rows());
+    new_rows.set(row_index);
+    if (basis_update) {
+      for (auto& rect : p) {
+        if (residue.subset_of(rect.cols)) {
+          new_rows |= rect.rows;
+          rect.cols -= residue;
+        }
+      }
+    }
+    p.push_back(Rectangle{std::move(new_rows), std::move(residue)});
+  }
+  return p;
+}
+
+RowPackingResult row_packing_dlx(const BinaryMatrix& m,
+                                 const RowPackingOptions& options,
+                                 std::uint64_t max_nodes) {
+  Stopwatch timer;
+  RowPackingResult best;
+  Rng rng(options.seed);
+  const BinaryMatrix mt =
+      options.use_transpose ? m.transposed() : BinaryMatrix{};
+
+  const auto make_order = [&](const BinaryMatrix& mat) {
+    std::vector<std::size_t> order(mat.rows());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    if (options.order == RowOrder::Shuffle) rng.shuffle(order);
+    if (options.order == RowOrder::SortedByOnes)
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return mat.row(a).count() < mat.row(b).count();
+                       });
+    return order;
+  };
+  const auto consider = [&](Partition cand, bool was_transposed) {
+    if (best.trials_run == 0 || cand.size() < best.partition.size()) {
+      best.partition = std::move(cand);
+      best.from_transpose = was_transposed;
+    }
+  };
+
+  const std::size_t trials = std::max<std::size_t>(options.trials, 1);
+  for (std::size_t t = 0; t < trials; ++t) {
+    consider(row_packing_dlx_pass(m, make_order(m), options.basis_update,
+                                  max_nodes),
+             false);
+    ++best.trials_run;
+    if (options.stop_at != 0 && best.partition.size() <= options.stop_at)
+      break;
+    if (options.use_transpose) {
+      consider(transposed(row_packing_dlx_pass(mt, make_order(mt),
+                                               options.basis_update,
+                                               max_nodes)),
+               true);
+      ++best.trials_run;
+      if (options.stop_at != 0 && best.partition.size() <= options.stop_at)
+        break;
+    }
+    if (options.deadline.expired()) break;
+    if (options.order != RowOrder::Shuffle) break;
+  }
+  best.seconds = timer.seconds();
+  return best;
+}
+
+}  // namespace ebmf::dlx

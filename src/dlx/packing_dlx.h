@@ -1,0 +1,30 @@
+#pragma once
+/// \file packing_dlx.h
+/// \brief Row packing with an exact-cover decomposition step.
+///
+/// Algorithm 2 decomposes each row greedily, following basis order; the
+/// paper notes (Observation 4 / §VI) that failures of row packing trace back
+/// to this greediness and suggests Knuth's Algorithm X. Here the greedy
+/// step is replaced by a DLX query: "is the row an exact disjoint union of
+/// existing basis vectors?" — answered exactly. Only when no exact
+/// decomposition exists do we fall back to the greedy subtraction and
+/// residue/basis-update machinery of Algorithm 2.
+
+#include "core/row_packing.h"
+
+namespace ebmf::dlx {
+
+/// One packing pass where full-row decompositions are found by exact cover.
+/// `max_nodes` caps each DLX search (0 = unlimited; rows are short, so the
+/// searches are tiny in practice).
+Partition row_packing_dlx_pass(const BinaryMatrix& m,
+                               const std::vector<std::size_t>& row_order,
+                               bool basis_update = true,
+                               std::uint64_t max_nodes = 100000);
+
+/// Full heuristic, mirroring row_packing_ebmf but with the DLX packing step.
+RowPackingResult row_packing_dlx(const BinaryMatrix& m,
+                                 const RowPackingOptions& options = {},
+                                 std::uint64_t max_nodes = 100000);
+
+}  // namespace ebmf::dlx

@@ -1,0 +1,40 @@
+#include "ftqc/patterns.h"
+
+#include "support/contracts.h"
+
+namespace ebmf::ftqc {
+
+BinaryMatrix transversal_patch(std::size_t d) {
+  BinaryMatrix m(d, d);
+  for (std::size_t i = 0; i < d; ++i)
+    for (std::size_t j = 0; j < d; ++j) m.set(i, j);
+  return m;
+}
+
+BinaryMatrix checkerboard_patch(std::size_t d, std::size_t offset) {
+  EBMF_EXPECTS(offset <= 1);
+  BinaryMatrix m(d, d);
+  for (std::size_t i = 0; i < d; ++i)
+    for (std::size_t j = 0; j < d; ++j)
+      if ((i + j) % 2 == offset) m.set(i, j);
+  return m;
+}
+
+BinaryMatrix boundary_row_patch(std::size_t d, std::size_t row) {
+  EBMF_EXPECTS(row < d);
+  BinaryMatrix m(d, d);
+  for (std::size_t j = 0; j < d; ++j) m.set(row, j);
+  return m;
+}
+
+BinaryMatrix logical_pattern(std::size_t rows, std::size_t cols,
+                             double occupancy, Rng& rng) {
+  return BinaryMatrix::random(rows, cols, occupancy, rng);
+}
+
+BinaryMatrix qldpc_block_pattern(std::size_t blocks, std::size_t width,
+                                 double occupancy, Rng& rng) {
+  return BinaryMatrix::random(blocks, width, occupancy, rng);
+}
+
+}  // namespace ebmf::ftqc

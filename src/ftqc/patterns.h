@@ -1,0 +1,43 @@
+#pragma once
+/// \file patterns.h
+/// \brief FTQC addressing-pattern constructors (paper §V, Fig. 5).
+///
+/// Surface-code patches: a transversal single-logical-qubit operation (X,
+/// Z, H) addresses *every* data qubit of a patch — the physical pattern M
+/// is all-ones with r_B = φ = 1, so the logical partition alone is optimal.
+/// Richer per-patch patterns (e.g. a boundary row for lattice surgery
+/// preparation, or a checkerboard sublattice) have r_B > 1 and exercise the
+/// tensor bounds.
+///
+/// qLDPC memory blocks (Fig. 5b): blocks sit in a 1D row; each block's
+/// single-qubit-gate pattern differs with the logical-qubit offsets inside
+/// the block. Modeled as a (#blocks × block width) matrix, one row per
+/// block; the paper conjectures row-by-row addressing is usually optimal
+/// because wide random matrices are almost surely full rank.
+
+#include "core/matrix.h"
+#include "support/rng.h"
+
+namespace ebmf::ftqc {
+
+/// d×d all-ones physical pattern (transversal X/Z/H on one patch).
+BinaryMatrix transversal_patch(std::size_t d);
+
+/// d×d checkerboard sublattice pattern starting at parity `offset` (0 or 1).
+BinaryMatrix checkerboard_patch(std::size_t d, std::size_t offset = 0);
+
+/// d×d pattern addressing a single boundary row (index `row`).
+BinaryMatrix boundary_row_patch(std::size_t d, std::size_t row = 0);
+
+/// Random logical-level pattern: which patches of an r×c grid get the
+/// operation (each with probability `occupancy`).
+BinaryMatrix logical_pattern(std::size_t rows, std::size_t cols,
+                             double occupancy, Rng& rng);
+
+/// qLDPC 1D memory: `blocks` blocks of `width` qubit columns; within each
+/// block, each qubit needs the gate with probability `occupancy`
+/// (offset-dependent patterns in the paper's setting).
+BinaryMatrix qldpc_block_pattern(std::size_t blocks, std::size_t width,
+                                 double occupancy, Rng& rng);
+
+}  // namespace ebmf::ftqc

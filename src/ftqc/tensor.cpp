@@ -1,0 +1,26 @@
+#include "ftqc/tensor.h"
+
+namespace ebmf::ftqc {
+
+BitVec kron(const BitVec& a, const BitVec& b) {
+  BitVec out(a.size() * b.size());
+  for (std::size_t i = a.find_first(); i < a.size(); i = a.find_next(i))
+    for (std::size_t k = b.find_first(); k < b.size(); k = b.find_next(k))
+      out.set(i * b.size() + k);
+  return out;
+}
+
+Rectangle kron(const Rectangle& a, const Rectangle& b) {
+  return Rectangle{kron(a.rows, b.rows), kron(a.cols, b.cols)};
+}
+
+Partition tensor_partition(const Partition& logical,
+                           const Partition& physical) {
+  Partition out;
+  out.reserve(logical.size() * physical.size());
+  for (const Rectangle& lr : logical)
+    for (const Rectangle& pr : physical) out.push_back(kron(lr, pr));
+  return out;
+}
+
+}  // namespace ebmf::ftqc

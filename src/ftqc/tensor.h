@@ -1,0 +1,34 @@
+#pragma once
+/// \file tensor.h
+/// \brief Tensor-product structure of rectangular addressing (paper §V).
+///
+/// In fault-tolerant settings the physical addressing pattern factors as
+/// M̂ ⊗ M: the logical-level pattern M̂ of which patches get an operation,
+/// tensored with the per-patch physical pattern M. Rectangle partitions
+/// compose under ⊗ — the product of a partition of M̂ and one of M is a
+/// partition of M̂ ⊗ M — giving the upper bound
+/// r_B(M̂⊗M) ≤ r_B(M̂)·r_B(M). Whether binary rank is *multiplicative* is
+/// open; Watson's fooling-set bound (Eq. 5) brackets it from below:
+///
+///   max( r_B(M̂)·φ(M), r_B(M)·φ(M̂) )  ≤  r_B(M̂ ⊗ M)
+///
+/// where φ is the maximum fooling set size.
+
+#include "core/matrix.h"
+#include "core/partition.h"
+
+namespace ebmf::ftqc {
+
+/// Kronecker product of two bit vectors: (a⊗b)[i·|b|+k] = a[i]·b[k].
+BitVec kron(const BitVec& a, const BitVec& b);
+
+/// Kronecker product of two rectangles (a rectangle of M̂⊗M).
+Rectangle kron(const Rectangle& a, const Rectangle& b);
+
+/// Product partition: every pair (rectangle of `logical`, rectangle of
+/// `physical`), a valid EBMF of kron(logical matrix, physical matrix) with
+/// |logical|·|physical| rectangles.
+Partition tensor_partition(const Partition& logical,
+                           const Partition& physical);
+
+}  // namespace ebmf::ftqc

@@ -1,0 +1,38 @@
+#include "ftqc/two_level.h"
+
+#include <algorithm>
+
+namespace ebmf::ftqc {
+
+std::size_t watson_lower_bound(std::size_t rb_logical, std::size_t phi_logical,
+                               std::size_t rb_physical,
+                               std::size_t phi_physical) {
+  return std::max(rb_logical * phi_physical, rb_physical * phi_logical);
+}
+
+TwoLevelResult solve_two_level(const BinaryMatrix& logical,
+                               const BinaryMatrix& physical,
+                               const SapOptions& options) {
+  TwoLevelResult out;
+  out.logical = sap_solve(logical, options);
+  out.physical = sap_solve(physical, options);
+  out.product_partition =
+      tensor_partition(out.logical.partition, out.physical.partition);
+  out.upper_bound = out.product_partition.size();
+  out.phi_logical = max_fooling_set(logical).size();
+  out.phi_physical = max_fooling_set(physical).size();
+  // Eq. 5 needs the true r_B of each factor. When SAP proved optimality the
+  // partition size is exact; otherwise substitute the rank lower bound so
+  // the product bound stays sound (r_B appears positively).
+  const std::size_t rb_logical = out.logical.proven_optimal()
+                                     ? out.logical.depth()
+                                     : out.logical.rank_lower;
+  const std::size_t rb_physical = out.physical.proven_optimal()
+                                      ? out.physical.depth()
+                                      : out.physical.rank_lower;
+  out.lower_bound = watson_lower_bound(rb_logical, out.phi_logical,
+                                       rb_physical, out.phi_physical);
+  return out;
+}
+
+}  // namespace ebmf::ftqc

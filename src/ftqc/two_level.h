@@ -1,0 +1,40 @@
+#pragma once
+/// \file two_level.h
+/// \brief Two-level (logical ⊗ physical) solving and the §V bounds.
+
+#include "core/fooling.h"
+#include "ftqc/tensor.h"
+#include "smt/sap.h"
+
+namespace ebmf::ftqc {
+
+/// Result of solving a two-level addressing problem.
+struct TwoLevelResult {
+  SapResult logical;            ///< SAP run on M̂.
+  SapResult physical;           ///< SAP run on M.
+  Partition product_partition;  ///< Tensor of the two partitions.
+  std::size_t upper_bound = 0;  ///< |logical|·|physical| ≥ r_B(M̂⊗M).
+  std::size_t lower_bound = 0;  ///< Watson's Eq. 5 fooling-set bound.
+  std::size_t phi_logical = 0;  ///< φ(M̂) used in the bound.
+  std::size_t phi_physical = 0; ///< φ(M) used in the bound.
+
+  /// True when Eq. 5 already certifies the product partition optimal for
+  /// the tensor problem (lower == upper).
+  [[nodiscard]] bool certified_optimal() const noexcept {
+    return lower_bound == upper_bound;
+  }
+};
+
+/// Solve M̂ and M independently with SAP and combine (paper §V).
+/// The product partition is a valid EBMF of kron(logical, physical); the
+/// result carries the Eq. 5 bracket around the true tensor binary rank.
+TwoLevelResult solve_two_level(const BinaryMatrix& logical,
+                               const BinaryMatrix& physical,
+                               const SapOptions& options = {});
+
+/// Watson's lower bound (Eq. 5) given per-factor solutions.
+std::size_t watson_lower_bound(std::size_t rb_logical, std::size_t phi_logical,
+                               std::size_t rb_physical,
+                               std::size_t phi_physical);
+
+}  // namespace ebmf::ftqc

@@ -1,0 +1,157 @@
+#include "io/matrix_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace ebmf::io {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("matrix input line " + std::to_string(line) + ": " +
+                           what);
+}
+
+/// Read all non-comment, non-empty lines.
+std::vector<std::string> significant_lines(std::istream& in) {
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    if (line[start] == '#') continue;
+    lines.push_back(line.substr(start));
+  }
+  return lines;
+}
+
+BinaryMatrix parse_sparse(const std::vector<std::string>& lines) {
+  std::istringstream header(lines[0]);
+  std::string tag;
+  std::size_t rows = 0, cols = 0;
+  header >> tag >> rows >> cols;
+  if (rows == 0 || cols == 0) fail(1, "sparse header needs rows cols > 0");
+  BinaryMatrix m(rows, cols);
+  for (std::size_t k = 1; k < lines.size(); ++k) {
+    std::istringstream ls(lines[k]);
+    std::size_t i = 0, j = 0;
+    if (!(ls >> i >> j)) fail(k + 1, "expected 'i j'");
+    if (i >= rows || j >= cols) fail(k + 1, "cell out of range");
+    m.set(i, j);
+  }
+  return m;
+}
+
+BinaryMatrix parse_pbm(const std::vector<std::string>& lines) {
+  // P1 <ws> width height <ws> pixels (0/1, whitespace-separated or packed).
+  std::string all;
+  for (std::size_t k = 1; k < lines.size(); ++k) all += lines[k] + " ";
+  std::istringstream ls(all);
+  std::size_t width = 0, height = 0;
+  if (!(ls >> width >> height) || width == 0 || height == 0)
+    fail(2, "PBM header needs width height");
+  // Pixels may be packed ("0101") or separated; read char by char.
+  BinaryMatrix m(height, width);
+  std::size_t count = 0;
+  char c = 0;
+  while (ls >> c) {
+    if (c != '0' && c != '1') fail(2, std::string("bad PBM pixel '") + c + "'");
+    if (count >= width * height) fail(2, "too many PBM pixels");
+    if (c == '1') m.set(count / width, count % width);
+    ++count;
+  }
+  if (count != width * height) fail(2, "too few PBM pixels");
+  return m;
+}
+
+BinaryMatrix parse_dense(const std::vector<std::string>& lines) {
+  std::vector<std::string> rows;
+  for (std::size_t k = 0; k < lines.size(); ++k) {
+    std::string row;
+    for (char c : lines[k]) {
+      if (c == '0' || c == '*' || c == 'x')
+        row.push_back('0');  // read_matrix drops don't-care info
+      else if (c == '1')
+        row.push_back('1');
+      else if (c != ' ' && c != '\t')
+        fail(k + 1, std::string("bad character '") + c + "'");
+    }
+    if (row.empty()) fail(k + 1, "empty row");
+    if (!rows.empty() && row.size() != rows[0].size())
+      fail(k + 1, "ragged row length");
+    rows.push_back(std::move(row));
+  }
+  return BinaryMatrix::from_strings(rows);
+}
+
+}  // namespace
+
+BinaryMatrix read_matrix(std::istream& in) {
+  const auto lines = significant_lines(in);
+  if (lines.empty()) throw std::runtime_error("matrix input: empty");
+  if (lines[0].rfind("sparse", 0) == 0) return parse_sparse(lines);
+  if (lines[0].rfind("P1", 0) == 0) return parse_pbm(lines);
+  return parse_dense(lines);
+}
+
+BinaryMatrix load_matrix(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return read_matrix(in);
+}
+
+completion::MaskedMatrix read_masked(std::istream& in) {
+  const auto lines = significant_lines(in);
+  if (lines.empty()) throw std::runtime_error("matrix input: empty");
+  std::string joined;
+  for (const auto& line : lines) {
+    joined += line;
+    joined.push_back(';');
+  }
+  return completion::MaskedMatrix::parse(joined);
+}
+
+completion::MaskedMatrix load_masked(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return read_masked(in);
+}
+
+void write_dense(std::ostream& out, const BinaryMatrix& m) {
+  out << "# " << m.rows() << "x" << m.cols() << ", " << m.ones_count()
+      << " ones\n";
+  out << m.to_string() << '\n';
+}
+
+void write_sparse(std::ostream& out, const BinaryMatrix& m) {
+  out << "sparse " << m.rows() << ' ' << m.cols() << '\n';
+  for (const auto& [i, j] : m.ones()) out << i << ' ' << j << '\n';
+}
+
+void write_pbm(std::ostream& out, const BinaryMatrix& m) {
+  out << "P1\n" << m.cols() << ' ' << m.rows() << '\n';
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (j != 0) out << ' ';
+      out << (m.test(i, j) ? '1' : '0');
+    }
+    out << '\n';
+  }
+}
+
+void save_matrix(const std::string& path, const BinaryMatrix& m) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write: " + path);
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".pbm") == 0)
+    write_pbm(out, m);
+  else if (path.size() >= 7 &&
+           path.compare(path.size() - 7, 7, ".sparse") == 0)
+    write_sparse(out, m);
+  else
+    write_dense(out, m);
+}
+
+}  // namespace ebmf::io

@@ -1,0 +1,50 @@
+#pragma once
+/// \file matrix_io.h
+/// \brief Reading and writing addressing patterns.
+///
+/// Three interchange formats are supported, auto-detected on load:
+///
+///  * **dense** — one row per line of '0'/'1' (optionally '*'/'x' for
+///    don't-cares); comment lines start with '#';
+///  * **sparse** — a header `sparse <rows> <cols>` followed by one `i j`
+///    pair per line for each 1-cell (0-based);
+///  * **PBM (P1)** — the portable-bitmap ASCII format, so patterns can be
+///    drawn in any image editor (1 = black = addressed).
+///
+/// Writers exist for all three; `save_matrix` picks by extension
+/// (.pbm → P1, .sparse → sparse, else dense).
+
+#include <iosfwd>
+#include <string>
+
+#include "completion/masked.h"
+#include "core/matrix.h"
+
+namespace ebmf::io {
+
+/// Parse a pattern from any supported format (auto-detected).
+/// Throws std::runtime_error with a line-numbered message on bad input.
+BinaryMatrix read_matrix(std::istream& in);
+
+/// Parse from a file path. Throws std::runtime_error if unreadable.
+BinaryMatrix load_matrix(const std::string& path);
+
+/// Parse a masked pattern (dense format with '*'/'x' don't-cares only).
+completion::MaskedMatrix read_masked(std::istream& in);
+
+/// Load a masked pattern from a file path.
+completion::MaskedMatrix load_masked(const std::string& path);
+
+/// Write as dense text.
+void write_dense(std::ostream& out, const BinaryMatrix& m);
+
+/// Write as `sparse rows cols` + one `i j` per 1-cell.
+void write_sparse(std::ostream& out, const BinaryMatrix& m);
+
+/// Write as PBM P1.
+void write_pbm(std::ostream& out, const BinaryMatrix& m);
+
+/// Write to a file, format chosen by extension (see file comment).
+void save_matrix(const std::string& path, const BinaryMatrix& m);
+
+}  // namespace ebmf::io

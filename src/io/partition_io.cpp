@@ -1,0 +1,117 @@
+#include "io/partition_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ebmf::io {
+
+namespace {
+
+void write_indices(std::ostream& out, const BitVec& bits) {
+  bool first = true;
+  for (std::size_t i = bits.find_first(); i < bits.size();
+       i = bits.find_next(i)) {
+    if (!first) out << ',';
+    out << i;
+    first = false;
+  }
+}
+
+BitVec parse_indices(const std::string& text, std::size_t size,
+                     std::size_t line_number) {
+  BitVec bits(size);
+  std::istringstream in(text);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    std::size_t pos = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(token, &pos);
+    } catch (const std::exception&) {
+      throw std::runtime_error("partition line " +
+                               std::to_string(line_number) +
+                               ": bad index '" + token + "'");
+    }
+    if (pos != token.size() || value >= size)
+      throw std::runtime_error("partition line " +
+                               std::to_string(line_number) +
+                               ": index out of range '" + token + "'");
+    bits.set(value);
+  }
+  if (bits.none())
+    throw std::runtime_error("partition line " + std::to_string(line_number) +
+                             ": empty index list");
+  return bits;
+}
+
+}  // namespace
+
+void write_partition(std::ostream& out, const Partition& p, std::size_t rows,
+                     std::size_t cols) {
+  out << "partition " << rows << ' ' << cols << ' ' << p.size() << '\n';
+  for (const Rectangle& r : p) {
+    out << "rect ";
+    write_indices(out, r.rows);
+    out << " x ";
+    write_indices(out, r.cols);
+    out << '\n';
+  }
+}
+
+LoadedPartition read_partition(std::istream& in) {
+  LoadedPartition out;
+  std::string line;
+  std::size_t line_number = 0;
+  std::size_t declared = 0;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (!have_header) {
+      if (tag != "partition")
+        throw std::runtime_error("partition line " +
+                                 std::to_string(line_number) +
+                                 ": expected 'partition' header");
+      if (!(ls >> out.rows >> out.cols >> declared))
+        throw std::runtime_error("partition header: expected rows cols count");
+      have_header = true;
+      continue;
+    }
+    if (tag != "rect")
+      throw std::runtime_error("partition line " + std::to_string(line_number) +
+                               ": expected 'rect'");
+    std::string row_part, sep, col_part;
+    ls >> row_part >> sep >> col_part;
+    if (sep != "x")
+      throw std::runtime_error("partition line " + std::to_string(line_number) +
+                               ": expected 'rows x cols'");
+    out.partition.push_back(
+        Rectangle{parse_indices(row_part, out.rows, line_number),
+                  parse_indices(col_part, out.cols, line_number)});
+  }
+  if (!have_header) throw std::runtime_error("partition input: empty");
+  if (out.partition.size() != declared)
+    throw std::runtime_error("partition: declared " + std::to_string(declared) +
+                             " rectangles, found " +
+                             std::to_string(out.partition.size()));
+  return out;
+}
+
+void save_partition(const std::string& path, const Partition& p,
+                    std::size_t rows, std::size_t cols) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write: " + path);
+  write_partition(out, p, rows, cols);
+}
+
+LoadedPartition load_partition(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return read_partition(in);
+}
+
+}  // namespace ebmf::io

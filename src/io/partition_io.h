@@ -1,0 +1,41 @@
+#pragma once
+/// \file partition_io.h
+/// \brief Serialization of rectangle partitions (addressing schedules).
+///
+/// The text format is line-oriented and hand-editable:
+///
+///     partition <rows> <cols> <count>
+///     rect 0,2 x 1,3
+///     rect 4 x 0,1,2
+///
+/// Row/column indices are comma-separated, ascending. A reader validates
+/// shape and index ranges but not partition validity (use
+/// validate_partition for that — a saved file may deliberately describe an
+/// invalid candidate).
+
+#include <iosfwd>
+#include <string>
+
+#include "core/partition.h"
+
+namespace ebmf::io {
+
+/// Write the partition in the text format above.
+void write_partition(std::ostream& out, const Partition& p, std::size_t rows,
+                     std::size_t cols);
+
+/// Parse the text format. Throws std::runtime_error on malformed input.
+/// Returns the partition together with the declared shape.
+struct LoadedPartition {
+  Partition partition;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+};
+LoadedPartition read_partition(std::istream& in);
+
+/// File wrappers.
+void save_partition(const std::string& path, const Partition& p,
+                    std::size_t rows, std::size_t cols);
+LoadedPartition load_partition(const std::string& path);
+
+}  // namespace ebmf::io

@@ -1,0 +1,235 @@
+#include "linalg/bigint.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/contracts.h"
+
+namespace ebmf {
+
+namespace {
+constexpr std::uint64_t kBase = std::uint64_t{1} << 32;
+}
+
+BigInt::BigInt(std::int64_t v) {
+  negative_ = v < 0;
+  // Avoid UB negating INT64_MIN: go through uint64.
+  std::uint64_t mag =
+      negative_ ? ~static_cast<std::uint64_t>(v) + 1 : static_cast<std::uint64_t>(v);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(mag & 0xffffffffu));
+    mag >>= 32;
+  }
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::from_string(const std::string& s) {
+  EBMF_EXPECTS(!s.empty());
+  std::size_t i = 0;
+  bool neg = false;
+  if (s[0] == '-') {
+    neg = true;
+    i = 1;
+    EBMF_EXPECTS(s.size() > 1);
+  }
+  BigInt r;
+  const BigInt ten(10);
+  for (; i < s.size(); ++i) {
+    EBMF_EXPECTS(s[i] >= '0' && s[i] <= '9');
+    r *= ten;
+    r += BigInt(s[i] - '0');
+  }
+  if (neg && !r.is_zero()) r.negative_ = true;
+  return r;
+}
+
+std::size_t BigInt::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  return (limbs_.size() - 1) * 32 +
+         (32 - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
+}
+
+BigInt BigInt::operator-() const {
+  BigInt r = *this;
+  if (!r.is_zero()) r.negative_ = !r.negative_;
+  return r;
+}
+
+int BigInt::compare_magnitude(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b) noexcept {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;)
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  return 0;
+}
+
+void BigInt::add_magnitude(std::vector<std::uint32_t>& a,
+                           const std::vector<std::uint32_t>& b) {
+  if (a.size() < b.size()) a.resize(b.size(), 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t sum = carry + a[i] + (i < b.size() ? b[i] : 0u);
+    a[i] = static_cast<std::uint32_t>(sum & 0xffffffffu);
+    carry = sum >> 32;
+  }
+  if (carry != 0) a.push_back(static_cast<std::uint32_t>(carry));
+}
+
+void BigInt::sub_magnitude(std::vector<std::uint32_t>& a,
+                           const std::vector<std::uint32_t>& b) {
+  EBMF_ASSERT(compare_magnitude(a, b) >= 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    a[i] = static_cast<std::uint32_t>(diff);
+  }
+  EBMF_ASSERT(borrow == 0);
+}
+
+void BigInt::trim() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (negative_ == rhs.negative_) {
+    add_magnitude(limbs_, rhs.limbs_);
+  } else if (compare_magnitude(limbs_, rhs.limbs_) >= 0) {
+    sub_magnitude(limbs_, rhs.limbs_);
+  } else {
+    auto tmp = rhs.limbs_;
+    sub_magnitude(tmp, limbs_);
+    limbs_ = std::move(tmp);
+    negative_ = rhs.negative_;
+  }
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) { return *this += -rhs; }
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  if (is_zero() || rhs.is_zero()) {
+    limbs_.clear();
+    negative_ = false;
+    return *this;
+  }
+  std::vector<std::uint32_t> out(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = limbs_[i];
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      std::uint64_t cur = out[i + j] + ai * rhs.limbs_[j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + rhs.limbs_.size();
+    while (carry != 0) {
+      std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  limbs_ = std::move(out);
+  negative_ = negative_ != rhs.negative_;
+  trim();
+  return *this;
+}
+
+BigInt BigInt::div_exact(const BigInt& d) const {
+  EBMF_EXPECTS(!d.is_zero());
+  if (is_zero()) return BigInt{};
+  // Schoolbook long division of magnitudes, most-significant first, using a
+  // running remainder. d's magnitude may be multi-limb; we divide by
+  // repeated trial on a 64-bit window when d fits one limb, else use the
+  // general shift-and-subtract method (base 2). Bareiss pivots are minors,
+  // typically a few limbs, so the binary method is fast enough and simple
+  // enough to be obviously correct.
+  const int cmp = compare_magnitude(limbs_, d.limbs_);
+  EBMF_EXPECTS(cmp >= 0);  // exact division of smaller by larger => zero only
+
+  std::vector<std::uint32_t> q;
+  std::vector<std::uint32_t> r;
+  if (d.limbs_.size() == 1) {
+    // Fast path: single-limb divisor.
+    const std::uint64_t dv = d.limbs_[0];
+    q.assign(limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | limbs_[i];
+      q[i] = static_cast<std::uint32_t>(cur / dv);
+      rem = cur % dv;
+    }
+    EBMF_EXPECTS(rem == 0);
+  } else {
+    // Binary long division over bits of the dividend.
+    const std::size_t nbits = bit_length();
+    q.assign(limbs_.size(), 0);
+    r.clear();
+    std::vector<std::uint32_t> rem;  // running remainder magnitude
+    for (std::size_t b = nbits; b-- > 0;) {
+      // rem = rem * 2 + bit b of *this
+      std::uint32_t carry = (limbs_[b / 32] >> (b % 32)) & 1u;
+      for (auto& limb : rem) {
+        const std::uint32_t hi = limb >> 31;
+        limb = (limb << 1) | carry;
+        carry = hi;
+      }
+      if (carry != 0) rem.push_back(carry);
+      if (compare_magnitude(rem, d.limbs_) >= 0) {
+        sub_magnitude(rem, d.limbs_);
+        while (!rem.empty() && rem.back() == 0) rem.pop_back();
+        q[b / 32] |= std::uint32_t{1} << (b % 32);
+      }
+    }
+    EBMF_EXPECTS(rem.empty());
+  }
+  BigInt out;
+  out.limbs_ = std::move(q);
+  out.negative_ = negative_ != d.negative_;
+  out.trim();
+  return out;
+}
+
+int BigInt::compare(const BigInt& rhs) const noexcept {
+  if (negative_ != rhs.negative_) return negative_ ? -1 : 1;
+  const int m = compare_magnitude(limbs_, rhs.limbs_);
+  return negative_ ? -m : m;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  std::vector<std::uint32_t> tmp = limbs_;
+  std::string digits;
+  while (!tmp.empty()) {
+    std::uint64_t rem = 0;
+    for (std::size_t i = tmp.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | tmp[i];
+      tmp[i] = static_cast<std::uint32_t>(cur / 10);
+      rem = cur % 10;
+    }
+    digits.push_back(static_cast<char>('0' + rem));
+    while (!tmp.empty() && tmp.back() == 0) tmp.pop_back();
+  }
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::int64_t BigInt::to_int64() const {
+  EBMF_EXPECTS(bit_length() <= 63);
+  std::uint64_t mag = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) mag = (mag << 32) | limbs_[i];
+  return negative_ ? -static_cast<std::int64_t>(mag)
+                   : static_cast<std::int64_t>(mag);
+}
+
+}  // namespace ebmf

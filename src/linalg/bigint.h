@@ -1,0 +1,102 @@
+#pragma once
+/// \file bigint.h
+/// \brief Arbitrary-precision signed integers for exact rank computation.
+///
+/// The paper uses `rank_ℝ(M)` as the lower bound in Algorithm 1 (Eq. 3).
+/// Floating point rank needs a tolerance; instead we run fraction-free
+/// Bareiss elimination over ℤ, whose intermediate values are minors of M and
+/// can exceed 64 bits for matrices beyond ~20×20 (Hadamard bound ≈ n^{n/2}).
+/// BigInt provides exactly the operations Bareiss needs: +, -, *, exact
+/// division, comparison, and sign. Magnitudes are little-endian 32-bit limbs
+/// so schoolbook multiplication can accumulate in 64 bits.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ebmf {
+
+/// Arbitrary-precision signed integer (sign + magnitude).
+///
+/// Invariant: the limb vector has no trailing zero limbs, and zero is
+/// represented as an empty limb vector with non-negative sign.
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// From a machine integer.
+  BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor): numeric type
+
+  /// Parse a base-10 string with optional leading '-'.
+  static BigInt from_string(const std::string& s);
+
+  /// True when the value is zero.
+  [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
+
+  /// -1, 0, or +1.
+  [[nodiscard]] int sign() const noexcept {
+    return limbs_.empty() ? 0 : (negative_ ? -1 : 1);
+  }
+
+  /// Number of bits in the magnitude (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const noexcept;
+
+  /// Negation.
+  [[nodiscard]] BigInt operator-() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  friend BigInt operator*(BigInt a, const BigInt& b) { return a *= b; }
+
+  /// Exact division: *this / d where d divides *this with no remainder.
+  /// Precondition: d != 0 and d | *this (checked; throws ContractViolation).
+  [[nodiscard]] BigInt div_exact(const BigInt& d) const;
+
+  /// Three-way comparison.
+  [[nodiscard]] int compare(const BigInt& rhs) const noexcept;
+
+  friend bool operator==(const BigInt& a, const BigInt& b) noexcept {
+    return a.compare(b) == 0;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) noexcept {
+    return a.compare(b) != 0;
+  }
+  friend bool operator<(const BigInt& a, const BigInt& b) noexcept {
+    return a.compare(b) < 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) noexcept {
+    return a.compare(b) <= 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) noexcept {
+    return a.compare(b) > 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) noexcept {
+    return a.compare(b) >= 0;
+  }
+
+  /// Base-10 rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Value as int64 if it fits. Precondition: bit_length() <= 63.
+  [[nodiscard]] std::int64_t to_int64() const;
+
+ private:
+  static int compare_magnitude(const std::vector<std::uint32_t>& a,
+                               const std::vector<std::uint32_t>& b) noexcept;
+  static void add_magnitude(std::vector<std::uint32_t>& a,
+                            const std::vector<std::uint32_t>& b);
+  /// a -= b, requires |a| >= |b|.
+  static void sub_magnitude(std::vector<std::uint32_t>& a,
+                            const std::vector<std::uint32_t>& b);
+  void trim() noexcept;
+
+  bool negative_ = false;
+  std::vector<std::uint32_t> limbs_;  // little-endian base 2^32 magnitude
+};
+
+}  // namespace ebmf

@@ -1,0 +1,121 @@
+#include "linalg/rank.h"
+
+#include <algorithm>
+
+#include "linalg/bigint.h"
+#include "support/contracts.h"
+
+namespace ebmf {
+
+namespace {
+
+/// Verify all rows share the declared width.
+void check_rows(const std::vector<BitVec>& rows, std::size_t cols) {
+  for (const auto& r : rows) EBMF_EXPECTS(r.size() == cols);
+}
+
+}  // namespace
+
+std::size_t rank_mod_p(const std::vector<BitVec>& rows, std::size_t cols,
+                       std::uint64_t p) {
+  check_rows(rows, cols);
+  EBMF_EXPECTS(p >= 2 && p < (std::uint64_t{1} << 31));
+  const std::size_t m = rows.size();
+  std::vector<std::vector<std::uint64_t>> a(m,
+                                            std::vector<std::uint64_t>(cols));
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < cols; ++j) a[i][j] = rows[i].test(j) ? 1 : 0;
+
+  // Modular inverse by Fermat (p prime).
+  const auto pow_mod = [p](std::uint64_t b, std::uint64_t e) {
+    std::uint64_t r = 1;
+    b %= p;
+    while (e != 0) {
+      if (e & 1) r = r * b % p;
+      b = b * b % p;
+      e >>= 1;
+    }
+    return r;
+  };
+
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols && rank < m; ++col) {
+    std::size_t pivot = rank;
+    while (pivot < m && a[pivot][col] == 0) ++pivot;
+    if (pivot == m) continue;
+    std::swap(a[pivot], a[rank]);
+    const std::uint64_t inv = pow_mod(a[rank][col], p - 2);
+    for (std::size_t j = col; j < cols; ++j) a[rank][j] = a[rank][j] * inv % p;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i == rank || a[i][col] == 0) continue;
+      const std::uint64_t f = a[i][col];
+      for (std::size_t j = col; j < cols; ++j)
+        a[i][j] = (a[i][j] + (p - f) * a[rank][j]) % p;
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+std::size_t rank_bareiss(const std::vector<BitVec>& rows, std::size_t cols) {
+  check_rows(rows, cols);
+  const std::size_t m = rows.size();
+  std::vector<std::vector<BigInt>> a(m, std::vector<BigInt>(cols));
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      a[i][j] = BigInt(rows[i].test(j) ? 1 : 0);
+
+  BigInt prev_pivot(1);
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols && rank < m; ++col) {
+    std::size_t pivot = rank;
+    while (pivot < m && a[pivot][col].is_zero()) ++pivot;
+    if (pivot == m) continue;
+    std::swap(a[pivot], a[rank]);
+    // Fraction-free update of the trailing block:
+    //   a[i][j] := (a[rank][col] * a[i][j] − a[i][col] * a[rank][j]) / prev
+    // where the division is exact (Bareiss' theorem: entries stay minors).
+    for (std::size_t i = rank + 1; i < m; ++i) {
+      for (std::size_t j = col + 1; j < cols; ++j) {
+        BigInt num = a[rank][col] * a[i][j] - a[i][col] * a[rank][j];
+        a[i][j] = num.div_exact(prev_pivot);
+      }
+      a[i][col] = BigInt(0);
+    }
+    prev_pivot = a[rank][col];
+    ++rank;
+  }
+  return rank;
+}
+
+std::size_t real_rank(const std::vector<BitVec>& rows, std::size_t cols) {
+  check_rows(rows, cols);
+  if (rows.empty() || cols == 0) return 0;
+  const std::size_t bound = std::min(rows.size(), cols);
+  // Fast path: a 31-bit prime far larger than any entry. rank_mod_p is a
+  // lower bound on rank over ℚ, so hitting min(m, n) is a certificate.
+  const std::size_t rp = rank_mod_p(rows, cols, 2147483647ull);  // 2^31 − 1
+  if (rp == bound) return rp;
+  // Certify exactly. (Bareiss is exact over ℤ; no probabilistic gap.)
+  const std::size_t rb = rank_bareiss(rows, cols);
+  EBMF_ENSURES(rb >= rp);
+  return rb;
+}
+
+std::size_t rank_gf2(std::vector<BitVec> rows) {
+  const std::size_t cols = rows.empty() ? 0 : rows[0].size();
+  for (const auto& r : rows) EBMF_EXPECTS(r.size() == cols);
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols && rank < rows.size(); ++col) {
+    std::size_t pivot = rank;
+    while (pivot < rows.size() && !rows[pivot].test(col)) ++pivot;
+    if (pivot == rows.size()) continue;
+    std::swap(rows[pivot], rows[rank]);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      if (i != rank && rows[i].test(col)) rows[i] ^= rows[rank];
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace ebmf

@@ -1,0 +1,44 @@
+#pragma once
+/// \file rank.h
+/// \brief Exact matrix rank over ℚ (= rank over ℝ for integer matrices),
+/// plus ranks over prime fields, for 0/1 matrices given as bit-vector rows.
+///
+/// Eq. 3 of the paper — rank_ℝ(M) ≤ r_B(M) — is the lower bound that lets
+/// Algorithm 1 (SAP) terminate and certify optimality. Because a wrong rank
+/// would silently produce wrong "optimal" claims, the default entry point
+/// `real_rank` is fully exact: a fast modular elimination provides a lower
+/// bound and an early exit at full rank; otherwise fraction-free Bareiss
+/// elimination over arbitrary-precision integers certifies the answer.
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bitvec.h"
+
+namespace ebmf {
+
+/// Rank of the 0/1 matrix over the prime field GF(p).
+/// Rows are BitVecs of equal length `cols`. Always ≤ rank over ℚ.
+/// Precondition: p is prime and p < 2^31 (unchecked primality).
+std::size_t rank_mod_p(const std::vector<BitVec>& rows, std::size_t cols,
+                       std::uint64_t p);
+
+/// Exact rank over ℚ via fraction-free Bareiss elimination on BigInt.
+/// Exponential-free: intermediate entries are minors of M (Hadamard-bounded).
+std::size_t rank_bareiss(const std::vector<BitVec>& rows, std::size_t cols);
+
+/// Exact rank over ℝ (== over ℚ for a 0/1 matrix).
+///
+/// Strategy: eliminate modulo a fixed 31-bit prime. Since rank_GF(p) ≤
+/// rank_ℚ ≤ min(m, n), a full modular rank is already certified; otherwise
+/// fall back to exact Bareiss. Deterministic and exact in all cases.
+std::size_t real_rank(const std::vector<BitVec>& rows, std::size_t cols);
+
+/// Rank over GF(2) (word-parallel elimination directly on the bit rows).
+///
+/// Note: this is *neither* the paper's rank_ℝ lower bound *nor* the binary
+/// rank r_B; it is exposed because the three are easy to conflate and the
+/// test suite demonstrates they differ.
+std::size_t rank_gf2(std::vector<BitVec> rows);
+
+}  // namespace ebmf

@@ -1,0 +1,61 @@
+#include "sat/dimacs.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ebmf::sat {
+
+Cnf parse_dimacs(std::istream& in) {
+  Cnf cnf;
+  bool have_header = false;
+  std::size_t declared_clauses = 0;
+  std::string line;
+  Clause current;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    if (line[0] == 'p') {
+      std::string p, fmt;
+      ls >> p >> fmt >> cnf.num_vars >> declared_clauses;
+      if (fmt != "cnf") throw std::runtime_error("dimacs: expected 'p cnf'");
+      have_header = true;
+      continue;
+    }
+    if (!have_header)
+      throw std::runtime_error("dimacs: clause before problem line");
+    long v = 0;
+    while (ls >> v) {
+      if (v == 0) {
+        cnf.clauses.push_back(current);
+        current.clear();
+      } else {
+        const auto var = static_cast<Var>(std::labs(v) - 1);
+        if (static_cast<std::size_t>(var) >= cnf.num_vars)
+          throw std::runtime_error("dimacs: variable out of range");
+        current.push_back(Lit(var, v < 0));
+      }
+    }
+  }
+  if (!current.empty())
+    throw std::runtime_error("dimacs: unterminated clause");
+  if (cnf.clauses.size() != declared_clauses)
+    throw std::runtime_error("dimacs: clause count mismatch");
+  return cnf;
+}
+
+Cnf parse_dimacs(const std::string& text) {
+  std::istringstream in(text);
+  return parse_dimacs(in);
+}
+
+void write_dimacs(std::ostream& out, const Cnf& cnf) {
+  out << "p cnf " << cnf.num_vars << ' ' << cnf.clauses.size() << '\n';
+  for (const auto& c : cnf.clauses) {
+    for (Lit l : c) out << (l.sign() ? -(l.var() + 1) : (l.var() + 1)) << ' ';
+    out << "0\n";
+  }
+}
+
+}  // namespace ebmf::sat

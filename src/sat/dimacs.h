@@ -1,0 +1,34 @@
+#pragma once
+/// \file dimacs.h
+/// \brief DIMACS CNF import/export.
+///
+/// Lets the encoder's output be inspected with external tools (and external
+/// CNFs be thrown at our solver in tests). Variables are 1-based in DIMACS;
+/// internally 0-based.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.h"
+
+namespace ebmf::sat {
+
+/// A parsed CNF: `num_vars` variables (0-based internally) and clauses.
+struct Cnf {
+  std::size_t num_vars = 0;
+  std::vector<Clause> clauses;
+};
+
+/// Parse DIMACS CNF text. Throws std::runtime_error on malformed input.
+/// Comment lines (c ...) and the problem line (p cnf V C) are handled; the
+/// declared counts are verified.
+Cnf parse_dimacs(std::istream& in);
+
+/// Convenience: parse from a string.
+Cnf parse_dimacs(const std::string& text);
+
+/// Serialize a CNF to DIMACS.
+void write_dimacs(std::ostream& out, const Cnf& cnf);
+
+}  // namespace ebmf::sat

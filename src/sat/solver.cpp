@@ -1,0 +1,547 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ebmf::sat {
+
+Solver::Solver() = default;
+
+std::vector<Clause> Solver::problem_clauses() const {
+  std::vector<Clause> out;
+  if (!ok_) {
+    // A top-level contradiction was derived; later additions were dropped,
+    // so the faithful snapshot is simply "unsatisfiable".
+    out.push_back(Clause{});
+    return out;
+  }
+  out.reserve(n_problem_ + trail_.size());
+  // Level-0 units (facts discovered or added directly). Clauses stored
+  // below were simplified against these, so the units make the snapshot
+  // equisatisfiable with the original input.
+  for (const Lit l : trail_)
+    if (level_[static_cast<std::size_t>(l.var())] == 0) out.push_back({l});
+  for (const auto& cd : clauses_)
+    if (!cd.learnt && !cd.deleted) out.push_back(cd.lits);
+  return out;
+}
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(LBool::Undef);
+  polarity_.push_back(0);
+  reason_.push_back(kNoReason);
+  level_.push_back(0);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  heap_pos_.push_back(-1);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+bool Solver::add_clause(Clause lits) {
+  EBMF_EXPECTS(decision_level() == 0);
+  if (!ok_) return false;
+  // Top-level simplification: sort, merge duplicates, drop false literals,
+  // detect tautologies and satisfied clauses.
+  std::sort(lits.begin(), lits.end());
+  Clause out;
+  out.reserve(lits.size());
+  Lit prev;
+  for (Lit l : lits) {
+    EBMF_EXPECTS(static_cast<std::size_t>(l.var()) < num_vars());
+    if (value(l) == LBool::True || l == prev.neg()) return true;  // satisfied/taut
+    if (value(l) == LBool::False || l == prev) continue;          // false/dup
+    out.push_back(l);
+    prev = l;
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], kNoReason);
+    if (propagate() != kNoReason) ok_ = false;
+    return ok_;
+  }
+  const CRef c = static_cast<CRef>(clauses_.size());
+  clauses_.push_back(ClauseData{std::move(out), 0.0, 0, false, false});
+  ++n_problem_;
+  attach_clause(c);
+  return true;
+}
+
+void Solver::attach_clause(CRef c) {
+  auto& cd = clauses_[static_cast<std::size_t>(c)];
+  EBMF_ASSERT(cd.lits.size() >= 2);
+  watches_[static_cast<std::size_t>(cd.lits[0].neg().idx())].push_back(
+      Watcher{c, cd.lits[1]});
+  watches_[static_cast<std::size_t>(cd.lits[1].neg().idx())].push_back(
+      Watcher{c, cd.lits[0]});
+}
+
+void Solver::enqueue(Lit l, CRef reason) {
+  EBMF_ASSERT(value(l) == LBool::Undef);
+  const auto v = static_cast<std::size_t>(l.var());
+  assigns_[v] = l.sign() ? LBool::False : LBool::True;
+  reason_[v] = reason;
+  level_[v] = decision_level();
+  trail_.push_back(l);
+}
+
+Solver::CRef Solver::propagate() {
+  CRef confl = kNoReason;
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];  // p is now true
+    ++stats_.propagations;
+    auto& ws = watches_[static_cast<std::size_t>(p.idx())];
+    std::size_t keep = 0;
+    std::size_t i = 0;
+    for (; i < ws.size(); ++i) {
+      const Watcher w = ws[i];
+      // Fast path: blocker already satisfied.
+      if (value(w.blocker) == LBool::True) {
+        ws[keep++] = w;
+        continue;
+      }
+      auto& cd = clauses_[static_cast<std::size_t>(w.cref)];
+      if (cd.deleted) continue;  // lazily dropped
+      auto& c = cd.lits;
+      // Normalize: the false literal (~p) goes to position 1.
+      const Lit false_lit = p.neg();
+      if (c[0] == false_lit) std::swap(c[0], c[1]);
+      EBMF_ASSERT(c[1] == false_lit);
+      // First literal satisfied?
+      if (value(c[0]) == LBool::True) {
+        ws[keep++] = Watcher{w.cref, c[0]};
+        continue;
+      }
+      // Look for a non-false replacement watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (value(c[k]) != LBool::False) {
+          std::swap(c[1], c[k]);
+          watches_[static_cast<std::size_t>(c[1].neg().idx())].push_back(
+              Watcher{w.cref, c[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Clause is unit or conflicting.
+      if (value(c[0]) == LBool::False) {
+        confl = w.cref;
+        qhead_ = trail_.size();
+        // Copy back the remaining watchers before aborting.
+        for (; i < ws.size(); ++i) ws[keep++] = ws[i];
+        break;
+      }
+      ws[keep++] = w;
+      enqueue(c[0], w.cref);
+    }
+    ws.resize(keep);
+    if (confl != kNoReason) break;
+  }
+  return confl;
+}
+
+void Solver::analyze(CRef confl, Clause& out_learnt, int& out_btlevel,
+                     std::uint32_t& out_lbd) {
+  out_learnt.clear();
+  out_learnt.push_back(Lit{});  // slot for the asserting literal
+  int path_count = 0;
+  Lit p;  // undef
+  std::size_t index = trail_.size();
+
+  do {
+    EBMF_ASSERT(confl != kNoReason);
+    auto& cd = clauses_[static_cast<std::size_t>(confl)];
+    if (cd.learnt) clause_bump(cd);
+    const std::size_t start = p.is_undef() ? 0 : 1;
+    for (std::size_t k = start; k < cd.lits.size(); ++k) {
+      const Lit q = cd.lits[k];
+      const auto v = static_cast<std::size_t>(q.var());
+      if (seen_[v] == 0 && level_[v] > 0) {
+        var_bump(q.var());
+        seen_[v] = 1;
+        if (level_[v] >= decision_level())
+          ++path_count;
+        else
+          out_learnt.push_back(q);
+      }
+    }
+    // Walk back to the next marked trail literal.
+    while (seen_[static_cast<std::size_t>(trail_[index - 1].var())] == 0)
+      --index;
+    --index;
+    p = trail_[index];
+    confl = reason_[static_cast<std::size_t>(p.var())];
+    seen_[static_cast<std::size_t>(p.var())] = 0;
+    --path_count;
+  } while (path_count > 0);
+  out_learnt[0] = p.neg();
+
+  // Recursive clause minimization (MiniSat's "deep" mode): drop literals
+  // implied by the rest of the learned clause.
+  std::uint32_t ab_levels = 0;
+  for (std::size_t k = 1; k < out_learnt.size(); ++k)
+    ab_levels |= std::uint32_t{1}
+                 << (level_[static_cast<std::size_t>(out_learnt[k].var())] & 31);
+  to_clear_.assign(out_learnt.begin(), out_learnt.end());
+  std::size_t kept = 1;
+  for (std::size_t k = 1; k < out_learnt.size(); ++k) {
+    const auto v = static_cast<std::size_t>(out_learnt[k].var());
+    if (reason_[v] == kNoReason || !lit_redundant(out_learnt[k], ab_levels))
+      out_learnt[kept++] = out_learnt[k];
+    else
+      ++stats_.minimized_literals;
+  }
+  out_learnt.resize(kept);
+  for (Lit l : to_clear_) seen_[static_cast<std::size_t>(l.var())] = 0;
+  to_clear_.clear();
+
+  // Backtrack level: second-highest level in the clause; move that literal
+  // to position 1 so it is watched.
+  if (out_learnt.size() == 1) {
+    out_btlevel = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t k = 2; k < out_learnt.size(); ++k)
+      if (level_[static_cast<std::size_t>(out_learnt[k].var())] >
+          level_[static_cast<std::size_t>(out_learnt[max_i].var())])
+        max_i = k;
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_btlevel = level_[static_cast<std::size_t>(out_learnt[1].var())];
+  }
+
+  // LBD = number of distinct decision levels in the clause.
+  std::vector<int> levels;
+  levels.reserve(out_learnt.size());
+  for (Lit l : out_learnt)
+    levels.push_back(level_[static_cast<std::size_t>(l.var())]);
+  std::sort(levels.begin(), levels.end());
+  out_lbd = static_cast<std::uint32_t>(
+      std::unique(levels.begin(), levels.end()) - levels.begin());
+
+  stats_.learned_literals += out_learnt.size();
+}
+
+bool Solver::lit_redundant(Lit l, std::uint32_t ab_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(l);
+  const std::size_t top = to_clear_.size();
+  while (!analyze_stack_.empty()) {
+    const Lit q = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    const auto qv = static_cast<std::size_t>(q.var());
+    EBMF_ASSERT(reason_[qv] != kNoReason);
+    const auto& c = clauses_[static_cast<std::size_t>(reason_[qv])].lits;
+    for (std::size_t k = 1; k < c.size(); ++k) {
+      const Lit p = c[k];
+      const auto pv = static_cast<std::size_t>(p.var());
+      if (seen_[pv] != 0 || level_[pv] == 0) continue;
+      if (reason_[pv] != kNoReason &&
+          ((std::uint32_t{1} << (level_[pv] & 31)) & ab_levels) != 0) {
+        seen_[pv] = 1;
+        analyze_stack_.push_back(p);
+        to_clear_.push_back(p);
+      } else {
+        // Not removable: undo the speculative marks from this call.
+        for (std::size_t j = top; j < to_clear_.size(); ++j)
+          seen_[static_cast<std::size_t>(to_clear_[j].var())] = 0;
+        to_clear_.resize(top);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Solver::analyze_final(Lit p, std::vector<Lit>& out_core) {
+  out_core.clear();
+  out_core.push_back(p);
+  if (decision_level() == 0) return;
+  seen_[static_cast<std::size_t>(p.var())] = 1;
+  for (std::size_t i = trail_.size(); i-- > static_cast<std::size_t>(trail_lim_[0]);) {
+    const auto v = static_cast<std::size_t>(trail_[i].var());
+    if (seen_[v] == 0) continue;
+    if (reason_[v] == kNoReason) {
+      // A decision inside the assumption prefix == an assumption literal.
+      out_core.push_back(trail_[i]);
+    } else {
+      const auto& c = clauses_[static_cast<std::size_t>(reason_[v])].lits;
+      for (std::size_t k = 1; k < c.size(); ++k)
+        if (level_[static_cast<std::size_t>(c[k].var())] > 0)
+          seen_[static_cast<std::size_t>(c[k].var())] = 1;
+    }
+    seen_[v] = 0;
+  }
+  seen_[static_cast<std::size_t>(p.var())] = 0;
+}
+
+void Solver::cancel_until(int level) {
+  if (decision_level() <= level) return;
+  const auto bound = static_cast<std::size_t>(trail_lim_[static_cast<std::size_t>(level)]);
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const auto v = static_cast<std::size_t>(trail_[i].var());
+    polarity_[v] = assigns_[v] == LBool::True ? 1 : 0;
+    assigns_[v] = LBool::Undef;
+    reason_[v] = kNoReason;
+    if (heap_pos_[v] < 0) heap_insert(static_cast<Var>(v));
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(static_cast<std::size_t>(level));
+  qhead_ = trail_.size();
+}
+
+Lit Solver::pick_branch_lit() {
+  while (true) {
+    if (heap_.empty()) return Lit{};
+    const Var v = heap_pop_max();
+    if (value(v) == LBool::Undef)
+      return Lit(v, polarity_[static_cast<std::size_t>(v)] == 0);
+  }
+}
+
+std::uint64_t Solver::luby(std::uint64_t i) {
+  // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... (restart pacing).
+  // Find the finite subsequence containing index i and the position in it.
+  std::uint64_t size = 1;
+  std::uint64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) >> 1;
+    --seq;
+    i %= size;
+  }
+  return std::uint64_t{1} << seq;
+}
+
+SolveResult Solver::search(std::int64_t conflict_budget,
+                           const Deadline& deadline) {
+  std::int64_t conflicts_here = 0;
+  while (true) {
+    const CRef confl = propagate();
+    if (confl != kNoReason) {
+      ++stats_.conflicts;
+      ++conflicts_here;
+      if (decision_level() == 0) {
+        ok_ = false;
+        return SolveResult::Unsat;
+      }
+      Clause learnt;
+      int bt_level = 0;
+      std::uint32_t lbd = 0;
+      analyze(confl, learnt, bt_level, lbd);
+      cancel_until(bt_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], kNoReason);
+      } else {
+        const CRef c = static_cast<CRef>(clauses_.size());
+        clauses_.push_back(ClauseData{std::move(learnt), clause_inc_, lbd,
+                                      true, false});
+        learnts_.push_back(c);
+        attach_clause(c);
+        enqueue(clauses_[static_cast<std::size_t>(c)].lits[0], c);
+      }
+      ++stats_.learned_clauses;
+      var_decay_all();
+      clause_inc_ /= kClauseDecay;
+      if ((stats_.conflicts & 0xff) == 0 && deadline.expired())
+        return SolveResult::Unknown;
+    } else {
+      if (conflict_budget >= 0 && conflicts_here >= conflict_budget) {
+        cancel_until(0);
+        return SolveResult::Unknown;
+      }
+      if (static_cast<double>(learnts_.size()) >= max_learnts_ +
+                                                      static_cast<double>(
+                                                          trail_.size()))
+        reduce_db();
+
+      Lit next;
+      // Assumption prefix: honour assumptions as pseudo-decisions.
+      while (static_cast<std::size_t>(decision_level()) < assumptions_.size()) {
+        const Lit a = assumptions_[static_cast<std::size_t>(decision_level())];
+        if (value(a) == LBool::True) {
+          trail_lim_.push_back(static_cast<int>(trail_.size()));  // dummy level
+        } else if (value(a) == LBool::False) {
+          analyze_final(a.neg(), conflict_core_);
+          // Report the assumptions themselves (a is the failed one).
+          conflict_core_[0] = a;
+          return SolveResult::Unsat;
+        } else {
+          next = a;
+          break;
+        }
+      }
+      if (next.is_undef()) {
+        next = pick_branch_lit();
+        if (next.is_undef()) {
+          // All variables assigned: model found.
+          model_.assign(assigns_.begin(), assigns_.end());
+          has_model_ = true;
+          return SolveResult::Sat;
+        }
+        ++stats_.decisions;
+      }
+      trail_lim_.push_back(static_cast<int>(trail_.size()));
+      enqueue(next, kNoReason);
+    }
+  }
+}
+
+SolveResult Solver::solve(const std::vector<Lit>& assumptions,
+                          const Budget& budget) {
+  has_model_ = false;
+  conflict_core_.clear();
+  if (!ok_) return SolveResult::Unsat;
+  assumptions_ = assumptions;
+  max_learnts_ = std::max(2000.0, static_cast<double>(n_problem_) / 3.0);
+
+  SolveResult result = SolveResult::Unknown;
+  std::int64_t conflicts_used = 0;
+  for (std::uint64_t restart = 0;; ++restart) {
+    const auto rest_budget =
+        static_cast<std::int64_t>(luby(restart) * 128);
+    std::int64_t this_budget = rest_budget;
+    if (budget.max_conflicts >= 0)
+      this_budget = std::min(this_budget,
+                             budget.max_conflicts - conflicts_used);
+    if (this_budget <= 0) {
+      result = SolveResult::Unknown;
+      break;
+    }
+    const auto before = stats_.conflicts;
+    result = search(this_budget, budget.deadline);
+    conflicts_used += static_cast<std::int64_t>(stats_.conflicts - before);
+    if (result != SolveResult::Unknown) break;
+    ++stats_.restarts;
+    cancel_until(0);
+    if (budget.deadline.expired() ||
+        (budget.max_conflicts >= 0 && conflicts_used >= budget.max_conflicts))
+      break;
+  }
+  cancel_until(0);
+  assumptions_.clear();
+  return result;
+}
+
+void Solver::reduce_db() {
+  // Order learned clauses: glue (LBD<=2) and binary clauses are precious;
+  // otherwise prefer low LBD, then high activity. Delete the worse half,
+  // except clauses currently acting as reasons ("locked").
+  std::sort(learnts_.begin(), learnts_.end(), [this](CRef a, CRef b) {
+    const auto& ca = clauses_[static_cast<std::size_t>(a)];
+    const auto& cb = clauses_[static_cast<std::size_t>(b)];
+    if (ca.lbd != cb.lbd) return ca.lbd < cb.lbd;
+    return ca.activity > cb.activity;
+  });
+  const std::size_t keep_target = learnts_.size() / 2;
+  std::vector<CRef> kept;
+  kept.reserve(learnts_.size());
+  for (std::size_t i = 0; i < learnts_.size(); ++i) {
+    auto& cd = clauses_[static_cast<std::size_t>(learnts_[i])];
+    const Lit first = cd.lits[0];
+    const bool locked =
+        value(first) == LBool::True &&
+        reason_[static_cast<std::size_t>(first.var())] == learnts_[i];
+    if (i < keep_target || cd.lbd <= 2 || cd.lits.size() == 2 || locked) {
+      kept.push_back(learnts_[i]);
+    } else {
+      cd.deleted = true;
+      cd.lits.clear();
+      cd.lits.shrink_to_fit();
+      ++stats_.deleted_clauses;
+    }
+  }
+  learnts_ = std::move(kept);
+  max_learnts_ *= 1.15;
+  rebuild_watches();
+}
+
+void Solver::rebuild_watches() {
+  for (auto& ws : watches_) ws.clear();
+  for (std::size_t c = 0; c < clauses_.size(); ++c) {
+    if (clauses_[c].deleted || clauses_[c].lits.size() < 2) continue;
+    attach_clause(static_cast<CRef>(c));
+  }
+}
+
+// ---- VSIDS -----------------------------------------------------------
+
+void Solver::var_bump(Var v) {
+  auto& a = activity_[static_cast<std::size_t>(v)];
+  a += var_inc_;
+  if (a > 1e100) {
+    for (auto& x : activity_) x *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_pos_[static_cast<std::size_t>(v)] >= 0)
+    heap_sift_up(static_cast<std::size_t>(heap_pos_[static_cast<std::size_t>(v)]));
+}
+
+void Solver::clause_bump(ClauseData& c) {
+  c.activity += clause_inc_;
+  if (c.activity > 1e20) {
+    for (CRef l : learnts_)
+      clauses_[static_cast<std::size_t>(l)].activity *= 1e-20;
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void Solver::heap_insert(Var v) {
+  EBMF_ASSERT(heap_pos_[static_cast<std::size_t>(v)] < 0);
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(heap_.size() - 1);
+}
+
+Var Solver::heap_pop_max() {
+  EBMF_ASSERT(!heap_.empty());
+  const Var top = heap_[0];
+  heap_pos_[static_cast<std::size_t>(top)] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[static_cast<std::size_t>(heap_[0])] = 0;
+    heap_sift_down(0);
+  }
+  return top;
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_less(heap_[parent], v)) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[static_cast<std::size_t>(heap_[i])] = static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+  const Var v = heap_[i];
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= heap_.size()) break;
+    if (child + 1 < heap_.size() && heap_less(heap_[child], heap_[child + 1]))
+      ++child;
+    if (!heap_less(v, heap_[child])) break;
+    heap_[i] = heap_[child];
+    heap_pos_[static_cast<std::size_t>(heap_[i])] = static_cast<std::int32_t>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+}
+
+}  // namespace ebmf::sat

@@ -1,0 +1,204 @@
+#pragma once
+/// \file solver.h
+/// \brief A conflict-driven clause-learning (CDCL) SAT solver.
+///
+/// This is the library's replacement for the paper's Z3 backend: the SMT
+/// layer (src/smt) lowers the paper's uninterpreted-function/bit-vector
+/// formulation to CNF and drives this solver. The design is the classic
+/// MiniSat architecture:
+///
+///  * two-watched-literal unit propagation with blocker literals,
+///  * first-UIP conflict analysis with recursive clause minimization,
+///  * exponential VSIDS variable activities with a heap decision order,
+///  * phase saving,
+///  * Luby-sequence restarts,
+///  * LBD/activity-based learned-clause reduction,
+///  * incremental use: add clauses/variables between solve() calls and pass
+///    assumption literals (used by Algorithm 1's decreasing-b narrowing and
+///    by the maximum fooling set search).
+///
+/// Solving is budgetable (conflict count and/or wall-clock deadline); an
+/// exhausted budget yields SolveResult::Unknown, which the SAP driver treats
+/// as "keep the best heuristic solution" — the paper's anytime behaviour.
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/types.h"
+#include "support/stopwatch.h"
+
+namespace ebmf::sat {
+
+/// Resource budget for one solve() call. Default: unlimited.
+struct Budget {
+  std::int64_t max_conflicts = -1;  ///< Negative = unlimited.
+  Deadline deadline;                ///< Soft wall-clock deadline.
+};
+
+/// Counters describing the work a solve() performed (cumulative).
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t learned_literals = 0;
+  std::uint64_t minimized_literals = 0;  ///< Removed by clause minimization.
+  std::uint64_t deleted_clauses = 0;
+};
+
+/// CDCL SAT solver. See file comment for architecture.
+class Solver {
+ public:
+  Solver();
+
+  /// Create a fresh variable and return it. Variables are dense from 0.
+  Var new_var();
+
+  /// Number of variables created.
+  [[nodiscard]] std::size_t num_vars() const noexcept { return assigns_.size(); }
+
+  /// Number of live problem (non-learned) clauses.
+  [[nodiscard]] std::size_t num_clauses() const noexcept { return n_problem_; }
+
+  /// Add a clause (disjunction). Returns false if the solver is already in
+  /// an unsatisfiable top-level state after the addition (e.g. empty clause
+  /// or contradicting units); subsequent solve() calls will return Unsat.
+  /// Duplicate literals are merged and tautologies are dropped.
+  bool add_clause(Clause lits);
+
+  /// Convenience overloads.
+  bool add_clause(Lit a) { return add_clause(Clause{a}); }
+  bool add_clause(Lit a, Lit b) { return add_clause(Clause{a, b}); }
+  bool add_clause(Lit a, Lit b, Lit c) { return add_clause(Clause{a, b, c}); }
+
+  /// Decide satisfiability under `assumptions` within `budget`.
+  SolveResult solve(const std::vector<Lit>& assumptions = {},
+                    const Budget& budget = {});
+
+  /// Value of `l` in the model of the last Sat answer.
+  /// Precondition: previous solve() returned Sat.
+  [[nodiscard]] bool model_true(Lit l) const {
+    EBMF_EXPECTS(has_model_);
+    EBMF_EXPECTS(static_cast<std::size_t>(l.var()) < model_.size());
+    return lit_value(model_[static_cast<std::size_t>(l.var())], l.sign()) ==
+           LBool::True;
+  }
+
+  /// True when a model from a previous Sat answer is available.
+  [[nodiscard]] bool has_model() const noexcept { return has_model_; }
+
+  /// Assumptions that were proven jointly unsatisfiable by the last Unsat
+  /// answer (a subset of the passed assumptions; the "final conflict").
+  [[nodiscard]] const std::vector<Lit>& unsat_core() const noexcept {
+    return conflict_core_;
+  }
+
+  /// Cumulative statistics.
+  [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
+
+  /// True once the clause set has been proven unsatisfiable without
+  /// assumptions; all future solves are Unsat.
+  [[nodiscard]] bool in_conflict() const noexcept { return !ok_; }
+
+  /// Snapshot the current problem clauses (plus level-0 units) as a CNF,
+  /// e.g. for DIMACS export to external solvers. Learned clauses are
+  /// excluded (they are implied).
+  [[nodiscard]] std::vector<Clause> problem_clauses() const;
+
+ private:
+  // ---- clause storage ------------------------------------------------
+  struct ClauseData {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    std::uint32_t lbd = 0;
+    bool learnt = false;
+    bool deleted = false;
+  };
+  using CRef = std::int32_t;
+  static constexpr CRef kNoReason = -1;
+  static constexpr CRef kAssumptionReason = -2;
+
+  struct Watcher {
+    CRef cref;
+    Lit blocker;
+  };
+
+  // ---- core CDCL -----------------------------------------------------
+  [[nodiscard]] LBool value(Lit l) const noexcept {
+    return lit_value(assigns_[static_cast<std::size_t>(l.var())], l.sign());
+  }
+  [[nodiscard]] LBool value(Var v) const noexcept {
+    return assigns_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] int decision_level() const noexcept {
+    return static_cast<int>(trail_lim_.size());
+  }
+
+  void attach_clause(CRef c);
+  void enqueue(Lit l, CRef reason);
+  CRef propagate();
+  void analyze(CRef confl, Clause& out_learnt, int& out_btlevel,
+               std::uint32_t& out_lbd);
+  bool lit_redundant(Lit l, std::uint32_t ab_levels);
+  void analyze_final(Lit p, std::vector<Lit>& out_core);
+  void cancel_until(int level);
+  Lit pick_branch_lit();
+  SolveResult search(std::int64_t conflict_budget, const Deadline& deadline);
+  void reduce_db();
+  void rebuild_watches();
+
+  // VSIDS / heap
+  void var_bump(Var v);
+  void var_decay_all() { var_inc_ /= kVarDecay; }
+  void clause_bump(ClauseData& c);
+  void heap_insert(Var v);
+  Var heap_pop_max();
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  [[nodiscard]] bool heap_less(Var a, Var b) const noexcept {
+    return activity_[static_cast<std::size_t>(a)] <
+           activity_[static_cast<std::size_t>(b)];
+  }
+
+  static std::uint64_t luby(std::uint64_t i);
+
+  // ---- state ----------------------------------------------------------
+  std::vector<ClauseData> clauses_;      // all clauses (problem + learned)
+  std::vector<CRef> learnts_;            // indices of live learned clauses
+  std::size_t n_problem_ = 0;            // live problem clause count
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::idx()
+
+  std::vector<LBool> assigns_;  // per var
+  std::vector<char> polarity_;  // saved phase per var (1 = last was true)
+  std::vector<CRef> reason_;    // per var
+  std::vector<int> level_;      // per var
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;  // per var
+  double var_inc_ = 1.0;
+  static constexpr double kVarDecay = 0.95;
+  double clause_inc_ = 1.0;
+  static constexpr double kClauseDecay = 0.999;
+  std::vector<std::int32_t> heap_pos_;  // var -> heap index or -1
+  std::vector<Var> heap_;               // max-heap by activity
+
+  std::vector<char> seen_;          // per var scratch for analyze()
+  std::vector<Lit> to_clear_;       // seen_ marks to undo after analyze()
+  std::vector<Lit> analyze_stack_;  // DFS stack for lit_redundant()
+
+  std::vector<Lit> assumptions_;
+  std::vector<Lit> conflict_core_;
+
+  double max_learnts_ = 0;  // reduceDB threshold (grows geometrically)
+
+  bool ok_ = true;
+  bool has_model_ = false;
+  std::vector<LBool> model_;
+
+  SolverStats stats_;
+};
+
+}  // namespace ebmf::sat

@@ -1,0 +1,91 @@
+#pragma once
+/// \file types.h
+/// \brief Fundamental SAT types: variables, literals, and ternary values.
+///
+/// Follows the MiniSat conventions: a variable is a dense non-negative
+/// integer, and a literal packs (variable, sign) into one integer so literal
+/// indices can address arrays (watch lists, seen flags) directly.
+
+#include <cstdint>
+#include <vector>
+
+#include "support/contracts.h"
+
+namespace ebmf::sat {
+
+/// A propositional variable, numbered densely from 0.
+using Var = std::int32_t;
+
+/// Sentinel for "no variable".
+inline constexpr Var kNoVar = -1;
+
+/// A literal: variable `v` or its negation.
+///
+/// Encoding: `idx() == 2*v + (negated ? 1 : 0)`; this makes `neg()` an XOR
+/// and lets watch lists index by literal.
+class Lit {
+ public:
+  /// An invalid literal (distinct from every real literal).
+  constexpr Lit() = default;
+
+  /// Literal for variable `v`, positive unless `negated`.
+  constexpr Lit(Var v, bool negated) : x_(2 * v + (negated ? 1 : 0)) {
+    EBMF_ASSERT(v >= 0);
+  }
+
+  /// The underlying variable.
+  [[nodiscard]] constexpr Var var() const noexcept { return x_ >> 1; }
+
+  /// True for a negated literal (¬v).
+  [[nodiscard]] constexpr bool sign() const noexcept { return (x_ & 1) != 0; }
+
+  /// The complement literal.
+  [[nodiscard]] constexpr Lit neg() const noexcept { return from_index(x_ ^ 1); }
+
+  /// Dense index in [0, 2·#vars): usable as an array subscript.
+  [[nodiscard]] constexpr std::int32_t idx() const noexcept { return x_; }
+
+  /// Rebuild from a dense index.
+  static constexpr Lit from_index(std::int32_t i) noexcept {
+    Lit l;
+    l.x_ = i;
+    return l;
+  }
+
+  /// True when this literal was default-constructed / unset.
+  [[nodiscard]] constexpr bool is_undef() const noexcept { return x_ < 0; }
+
+  friend constexpr bool operator==(Lit a, Lit b) noexcept { return a.x_ == b.x_; }
+  friend constexpr bool operator!=(Lit a, Lit b) noexcept { return a.x_ != b.x_; }
+  friend constexpr bool operator<(Lit a, Lit b) noexcept { return a.x_ < b.x_; }
+
+ private:
+  std::int32_t x_ = -2;
+};
+
+/// Positive literal of `v`.
+constexpr Lit pos(Var v) { return Lit(v, false); }
+/// Negative literal of `v`.
+constexpr Lit neg(Var v) { return Lit(v, true); }
+
+/// Ternary truth value.
+enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+/// Truth value of a literal given its variable's value.
+constexpr LBool lit_value(LBool var_value, bool sign) noexcept {
+  if (var_value == LBool::Undef) return LBool::Undef;
+  const bool v = (var_value == LBool::True) != sign;
+  return v ? LBool::True : LBool::False;
+}
+
+/// Outcome of a solver run.
+enum class SolveResult : std::uint8_t {
+  Sat,     ///< A satisfying assignment was found (model available).
+  Unsat,   ///< Proven unsatisfiable (under the given assumptions).
+  Unknown  ///< Budget (conflicts/time) exhausted before an answer.
+};
+
+/// A disjunction of literals.
+using Clause = std::vector<Lit>;
+
+}  // namespace ebmf::sat

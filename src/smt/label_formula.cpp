@@ -1,0 +1,274 @@
+#include "smt/label_formula.h"
+
+#include <algorithm>
+
+#include "sat/cardinality.h"
+
+namespace ebmf::smt {
+
+namespace {
+
+std::size_t ceil_log2(std::size_t x) {
+  std::size_t bits = 0;
+  std::size_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+LabelFormula::LabelFormula(const BinaryMatrix& m, std::size_t initial_bound,
+                           const EncoderOptions& options)
+    : m_(m), cells_(m.ones()), options_(options), bound_(initial_bound) {
+  EBMF_EXPECTS(initial_bound >= 1);
+  EBMF_EXPECTS(!cells_.empty());
+  cell_index_.assign(m_.rows(), std::vector<std::int32_t>(m_.cols(), -1));
+  for (std::size_t e = 0; e < cells_.size(); ++e)
+    cell_index_[cells_[e].first][cells_[e].second] =
+        static_cast<std::int32_t>(e);
+  stats_.cells = cells_.size();
+
+  switch (options_.encoding) {
+    case LabelEncoding::OneHot:
+      build_onehot();
+      break;
+    case LabelEncoding::Binary:
+      build_binary();
+      break;
+  }
+  stats_.variables = solver_.num_vars();
+  stats_.clauses = solver_.num_clauses();
+}
+
+std::vector<sat::Lit>& LabelFormula::diff_lits(std::size_t a, std::size_t b) {
+  if (a > b) std::swap(a, b);
+  const std::uint64_t key = static_cast<std::uint64_t>(a) * cells_.size() + b;
+  auto it = diff_cache_.find(key);
+  if (it != diff_cache_.end()) return it->second;
+  // One-sided difference selectors: diff_k -> (bit_k(a) != bit_k(b)).
+  std::vector<sat::Lit> diffs;
+  diffs.reserve(nbits_);
+  for (std::size_t k = 0; k < nbits_; ++k) {
+    const sat::Lit d = sat::pos(solver_.new_var());
+    solver_.add_clause(d.neg(), vars_[a][k], vars_[b][k]);
+    solver_.add_clause(d.neg(), vars_[a][k].neg(), vars_[b][k].neg());
+    diffs.push_back(d);
+  }
+  return diff_cache_.emplace(key, std::move(diffs)).first->second;
+}
+
+sat::Lit LabelFormula::eq_lit(std::size_t a, std::size_t b) {
+  if (a > b) std::swap(a, b);
+  const std::uint64_t key = static_cast<std::uint64_t>(a) * cells_.size() + b;
+  auto it = eq_cache_.find(key);
+  if (it != eq_cache_.end()) return it->second;
+  // One-sided equality selector: eq -> (bit_k(a) == bit_k(b)) for all k.
+  const sat::Lit eq = sat::pos(solver_.new_var());
+  for (std::size_t k = 0; k < nbits_; ++k) {
+    solver_.add_clause(eq.neg(), vars_[a][k].neg(), vars_[b][k]);
+    solver_.add_clause(eq.neg(), vars_[a][k], vars_[b][k].neg());
+  }
+  return eq_cache_.emplace(key, eq).first->second;
+}
+
+void LabelFormula::build_binary() {
+  nbits_ = ceil_log2(bound_);
+  vars_.resize(cells_.size());
+  for (auto& bits : vars_) {
+    bits.reserve(nbits_);
+    for (std::size_t k = 0; k < nbits_; ++k)
+      bits.push_back(sat::pos(solver_.new_var()));
+  }
+
+  // Range constraint f(e) <= bound-1 when bound is not a power of two:
+  // forbid every f with (prefix equal to B, bit 1 where B has 0).
+  if (bound_ < (std::size_t{1} << nbits_)) {
+    const std::size_t top = bound_ - 1;
+    for (std::size_t e = 0; e < cells_.size(); ++e) {
+      for (std::size_t k = 0; k < nbits_; ++k) {
+        if ((top >> k) & 1u) continue;
+        sat::Clause clause;
+        for (std::size_t j = k + 1; j < nbits_; ++j)
+          clause.push_back((top >> j) & 1u ? vars_[e][j].neg() : vars_[e][j]);
+        clause.push_back(vars_[e][k].neg());
+        solver_.add_clause(std::move(clause));
+      }
+    }
+  }
+
+  if (options_.symmetry_breaking) {
+    // f(first cell) = 0 (any solution can relabel that rectangle to 0).
+    for (std::size_t k = 0; k < nbits_; ++k)
+      solver_.add_clause(vars_[0][k].neg());
+  }
+
+  // Eq. 4 over all cross pairs.
+  for (std::size_t a = 0; a < cells_.size(); ++a) {
+    const auto [i, j] = cells_[a];
+    for (std::size_t b = a + 1; b < cells_.size(); ++b) {
+      const auto [i2, j2] = cells_[b];
+      if (i == i2 || j == j2) continue;  // constraints are trivial
+      const bool c1 = m_.test(i, j2);
+      const bool c2 = m_.test(i2, j);
+      if (!c1 || !c2) {
+        // f(a) != f(b)
+        solver_.add_clause(
+            sat::Clause(diff_lits(a, b).begin(), diff_lits(a, b).end()));
+        ++stats_.neq_pairs;
+      } else {
+        // (f(a) = f(b)) => f(a) = f(i, j2), and the swapped orientation.
+        const auto corner1 = static_cast<std::size_t>(cell_index_[i][j2]);
+        const auto corner2 = static_cast<std::size_t>(cell_index_[i2][j]);
+        {
+          sat::Clause clause(diff_lits(a, b).begin(), diff_lits(a, b).end());
+          clause.push_back(eq_lit(a, corner1));
+          solver_.add_clause(std::move(clause));
+        }
+        {
+          sat::Clause clause(diff_lits(a, b).begin(), diff_lits(a, b).end());
+          clause.push_back(eq_lit(b, corner2));
+          solver_.add_clause(std::move(clause));
+        }
+        stats_.implication_pairs += 2;
+      }
+    }
+  }
+}
+
+void LabelFormula::build_onehot() {
+  vars_.resize(cells_.size());
+  for (auto& sel : vars_) {
+    sel.reserve(bound_);
+    for (std::size_t t = 0; t < bound_; ++t)
+      sel.push_back(sat::pos(solver_.new_var()));
+  }
+  const auto amo = bound_ > 8 ? sat::AmoEncoding::Commander
+                              : sat::AmoEncoding::Pairwise;
+  for (auto& sel : vars_) sat::add_exactly_one(solver_, sel, amo);
+
+  // Eq. 4 per label.
+  for (std::size_t a = 0; a < cells_.size(); ++a) {
+    const auto [i, j] = cells_[a];
+    for (std::size_t b = a + 1; b < cells_.size(); ++b) {
+      const auto [i2, j2] = cells_[b];
+      if (i == i2 || j == j2) continue;
+      const bool c1 = m_.test(i, j2);
+      const bool c2 = m_.test(i2, j);
+      if (!c1 || !c2) {
+        for (std::size_t t = 0; t < bound_; ++t)
+          solver_.add_clause(vars_[a][t].neg(), vars_[b][t].neg());
+        ++stats_.neq_pairs;
+      } else {
+        const auto corner1 = static_cast<std::size_t>(cell_index_[i][j2]);
+        const auto corner2 = static_cast<std::size_t>(cell_index_[i2][j]);
+        for (std::size_t t = 0; t < bound_; ++t) {
+          solver_.add_clause(vars_[a][t].neg(), vars_[b][t].neg(),
+                             vars_[corner1][t]);
+          solver_.add_clause(vars_[a][t].neg(), vars_[b][t].neg(),
+                             vars_[corner2][t]);
+        }
+        stats_.implication_pairs += 2;
+      }
+    }
+  }
+
+  if (options_.symmetry_breaking && bound_ >= 2 && cells_.size() >= 2) {
+    // Precedence ("value ordering") symmetry breaking: cell e may open
+    // label t only if label t-1 appears among cells before e. u[e][t] is a
+    // one-sided prefix-use indicator for labels 0..bound-2.
+    const std::size_t tmax = bound_ - 1;  // labels needing a predecessor - 1
+    std::vector<std::vector<sat::Lit>> used(cells_.size() - 1);
+    for (std::size_t e = 0; e + 1 < cells_.size(); ++e) {
+      used[e].reserve(tmax);
+      for (std::size_t t = 0; t < tmax; ++t)
+        used[e].push_back(sat::pos(solver_.new_var()));
+    }
+    for (std::size_t e = 0; e + 1 < cells_.size(); ++e) {
+      for (std::size_t t = 0; t < tmax; ++t) {
+        // x[e][t] -> u[e][t];   u[e-1][t] -> u[e][t]
+        solver_.add_clause(vars_[e][t].neg(), used[e][t]);
+        if (e > 0) solver_.add_clause(used[e - 1][t].neg(), used[e][t]);
+      }
+    }
+    // First cell must take label 0.
+    for (std::size_t t = 1; t < bound_; ++t)
+      solver_.add_clause(vars_[0][t].neg());
+    // Later cells: x[e][t] -> u[e-1][t-1].
+    for (std::size_t e = 1; e < cells_.size(); ++e)
+      for (std::size_t t = 1; t < bound_; ++t)
+        solver_.add_clause(vars_[e][t].neg(), used[e - 1][t - 1]);
+  }
+}
+
+sat::SolveResult LabelFormula::solve(const sat::Budget& budget) {
+  return solver_.solve({}, budget);
+}
+
+sat::Cnf LabelFormula::export_cnf() const {
+  sat::Cnf cnf;
+  cnf.num_vars = solver_.num_vars();
+  cnf.clauses = solver_.problem_clauses();
+  return cnf;
+}
+
+std::size_t LabelFormula::label_of(std::size_t cell) const {
+  if (options_.encoding == LabelEncoding::OneHot) {
+    for (std::size_t t = 0; t < vars_[cell].size(); ++t)
+      if (solver_.model_true(vars_[cell][t])) return t;
+    EBMF_ENSURES(false);  // exactly-one guarantees a hit
+    return 0;
+  }
+  std::size_t value = 0;
+  for (std::size_t k = 0; k < nbits_; ++k)
+    if (solver_.model_true(vars_[cell][k])) value |= std::size_t{1} << k;
+  return value;
+}
+
+Partition LabelFormula::extract_partition() const {
+  EBMF_EXPECTS(solver_.has_model());
+  std::vector<Rectangle> by_label(
+      bound_, Rectangle{BitVec(m_.rows()), BitVec(m_.cols())});
+  for (std::size_t e = 0; e < cells_.size(); ++e) {
+    const std::size_t t = label_of(e);
+    EBMF_ENSURES(t < bound_);
+    by_label[t].rows.set(cells_[e].first);
+    by_label[t].cols.set(cells_[e].second);
+  }
+  Partition p;
+  p.reserve(bound_);
+  for (auto& r : by_label)
+    if (!r.empty()) p.push_back(std::move(r));
+  return p;
+}
+
+void LabelFormula::forbid_label_onehot(std::size_t t) {
+  for (std::size_t e = 0; e < cells_.size(); ++e)
+    solver_.add_clause(vars_[e][t].neg());
+}
+
+void LabelFormula::forbid_label_binary(std::size_t value) {
+  for (std::size_t e = 0; e < cells_.size(); ++e) {
+    sat::Clause clause;
+    clause.reserve(nbits_);
+    for (std::size_t k = 0; k < nbits_; ++k)
+      clause.push_back((value >> k) & 1u ? vars_[e][k].neg() : vars_[e][k]);
+    solver_.add_clause(std::move(clause));
+  }
+}
+
+void LabelFormula::narrow(std::size_t new_bound) {
+  EBMF_EXPECTS(new_bound >= 1);
+  EBMF_EXPECTS(new_bound < bound_);
+  for (std::size_t v = new_bound; v < bound_; ++v) {
+    if (options_.encoding == LabelEncoding::OneHot)
+      forbid_label_onehot(v);
+    else
+      forbid_label_binary(v);
+  }
+  bound_ = new_bound;
+}
+
+}  // namespace ebmf::smt

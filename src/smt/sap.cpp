@@ -1,0 +1,162 @@
+#include "smt/sap.h"
+
+#include <algorithm>
+
+#include "core/preprocess.h"
+#include "support/stopwatch.h"
+
+namespace ebmf {
+
+namespace {
+
+/// Algorithm 1 on one irreducible matrix (no preprocessing).
+SapResult sap_solve_core(const BinaryMatrix& m, const SapOptions& options) {
+  Stopwatch total;
+  SapResult result;
+
+  if (m.is_zero()) {
+    result.status = SapStatus::Optimal;
+    result.total_seconds = total.seconds();
+    return result;
+  }
+
+  // Lower bound: exact real rank (Eq. 3).
+  Stopwatch phase;
+  result.rank_lower = real_rank(m);
+  result.rank_seconds = phase.seconds();
+
+  // Upper bound: row packing (Algorithm 2). Stop early on a rank match —
+  // such a partition is already provably optimal.
+  RowPackingOptions packing = options.packing;
+  if (packing.stop_at == 0) packing.stop_at = result.rank_lower;
+  if (options.deadline.limited() && !packing.deadline.limited())
+    packing.deadline = options.deadline;
+  phase.restart();
+  RowPackingResult heuristic = row_packing_ebmf(m, packing);
+  result.heuristic_seconds = phase.seconds();
+  result.partition = std::move(heuristic.partition);
+  result.heuristic_size = result.partition.size();
+  EBMF_ENSURES(static_cast<bool>(validate_partition(m, result.partition)));
+
+  if (result.partition.size() == result.rank_lower) {
+    result.status = SapStatus::Optimal;
+    result.total_seconds = total.seconds();
+    return result;
+  }
+  if (!options.use_smt ||
+      (options.smt_cell_limit != 0 &&
+       m.ones_count() > options.smt_cell_limit)) {
+    result.status = SapStatus::HeuristicOnly;
+    result.total_seconds = total.seconds();
+    return result;
+  }
+  if (options.deadline.expired()) {
+    result.status = SapStatus::BoundedOnly;
+    result.total_seconds = total.seconds();
+    return result;
+  }
+
+  // SMT phase: query r_B(M) <= b for decreasing b (Algorithm 1, lines 2-10).
+  std::size_t b = result.partition.size() - 1;
+  EBMF_ASSERT(b >= 1);  // size==rank handled above; rank >= 1 for nonzero M
+  smt::LabelFormula formula(m, b, options.encoder);
+  result.status = SapStatus::BoundedOnly;
+  while (b >= result.rank_lower) {
+    sat::Budget budget;
+    budget.max_conflicts = options.conflicts_per_call;
+    budget.deadline = options.deadline;
+    phase.restart();
+    const sat::SolveResult answer = formula.solve(budget);
+    const double call_seconds = phase.seconds();
+    result.smt_seconds += call_seconds;
+    result.smt_calls.push_back(SapSmtCall{b, answer, call_seconds});
+
+    if (answer == sat::SolveResult::Sat) {
+      Partition p = formula.extract_partition();
+      EBMF_ENSURES(p.size() <= b);
+      EBMF_ENSURES(static_cast<bool>(validate_partition(m, p)));
+      result.partition = std::move(p);
+      // The extracted partition can use fewer than b rectangles; continue
+      // below its size, not just below b.
+      const std::size_t next = result.partition.size() - 1;
+      if (next < result.rank_lower ||
+          result.partition.size() == result.rank_lower) {
+        result.status = SapStatus::Optimal;
+        break;
+      }
+      formula.narrow(next);
+      b = next;
+    } else if (answer == sat::SolveResult::Unsat) {
+      // No partition with <= b rectangles: the current one (size b+1 or the
+      // heuristic's) is optimal.
+      result.status = SapStatus::Optimal;
+      break;
+    } else {
+      break;  // budget exhausted: keep best-so-far, bounds stand
+    }
+    if (options.deadline.expired()) break;
+  }
+  result.smt_stats = formula.solver().stats();
+  result.total_seconds = total.seconds();
+  EBMF_ENSURES(result.partition.size() >= result.rank_lower);
+  return result;
+}
+
+void accumulate_stats(sat::SolverStats& into, const sat::SolverStats& from) {
+  into.decisions += from.decisions;
+  into.propagations += from.propagations;
+  into.conflicts += from.conflicts;
+  into.restarts += from.restarts;
+  into.learned_clauses += from.learned_clauses;
+  into.learned_literals += from.learned_literals;
+  into.minimized_literals += from.minimized_literals;
+  into.deleted_clauses += from.deleted_clauses;
+}
+
+}  // namespace
+
+SapResult sap_solve(const BinaryMatrix& m, const SapOptions& options) {
+  if (!options.preprocess) return sap_solve_core(m, options);
+
+  Stopwatch total;
+  // Exactness-preserving reductions: collapse duplicates, then split the
+  // bipartite row/column graph into connected components; r_B is additive
+  // over components and invariant under the collapse (see preprocess.h).
+  const DuplicateReduction reduction = reduce_duplicates(m);
+  const auto components = split_components(reduction.reduced);
+
+  SapOptions sub_options = options;
+  sub_options.preprocess = false;
+
+  SapResult aggregate;
+  aggregate.status = SapStatus::Optimal;
+  Partition reduced_partition;
+  for (const auto& component : components) {
+    SapResult sub = sap_solve_core(component.matrix, sub_options);
+    Partition lifted =
+        lift_partition(sub.partition, component, reduction.reduced.rows(),
+                       reduction.reduced.cols());
+    reduced_partition.insert(reduced_partition.end(),
+                             std::make_move_iterator(lifted.begin()),
+                             std::make_move_iterator(lifted.end()));
+    aggregate.rank_lower += sub.rank_lower;
+    aggregate.heuristic_size += sub.heuristic_size;
+    aggregate.rank_seconds += sub.rank_seconds;
+    aggregate.heuristic_seconds += sub.heuristic_seconds;
+    aggregate.smt_seconds += sub.smt_seconds;
+    aggregate.smt_calls.insert(aggregate.smt_calls.end(),
+                               sub.smt_calls.begin(), sub.smt_calls.end());
+    accumulate_stats(aggregate.smt_stats, sub.smt_stats);
+    if (sub.status != SapStatus::Optimal &&
+        aggregate.status == SapStatus::Optimal)
+      aggregate.status = sub.status;
+  }
+  aggregate.partition = expand_partition(reduced_partition, reduction);
+  aggregate.total_seconds = total.seconds();
+  EBMF_ENSURES(
+      static_cast<bool>(validate_partition(m, aggregate.partition)));
+  EBMF_ENSURES(aggregate.partition.size() >= aggregate.rank_lower);
+  return aggregate;
+}
+
+}  // namespace ebmf

@@ -1,0 +1,85 @@
+#pragma once
+/// \file sap.h
+/// \brief SAP ("SMT and packing") — Algorithm 1 of the paper, the library's
+/// headline entry point.
+///
+/// 1. Row packing produces a valid EBMF P (upper bound |P| ≥ r_B).
+/// 2. The real rank gives the lower bound (Eq. 3).
+/// 3. If they meet, P is optimal with no search at all.
+/// 4. Otherwise the SMT formula for b = |P|−1 is built and solved with
+///    decreasing b (narrowing incrementally) until UNSAT or b < rank_ℝ(M).
+///
+/// The procedure is *anytime*: P always holds the best valid partition
+/// found so far, so an expired deadline or exhausted conflict budget
+/// degrades the optimality certificate, never the solution's validity.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/partition.h"
+#include "core/row_packing.h"
+#include "smt/label_formula.h"
+
+namespace ebmf {
+
+/// How strong the answer's optimality claim is.
+enum class SapStatus {
+  Optimal,        ///< |P| = r_B proven (rank match or UNSAT certificate).
+  BoundedOnly,    ///< Search ended by budget; rank_lower ≤ r_B ≤ |P|.
+  HeuristicOnly,  ///< SMT disabled by options; same bracketing as above.
+};
+
+/// Options for sap_solve.
+struct SapOptions {
+  RowPackingOptions packing;             ///< Heuristic phase configuration.
+  smt::EncoderOptions encoder;           ///< CNF lowering choices.
+  Deadline deadline;                     ///< Total wall-clock budget.
+  std::int64_t conflicts_per_call = -1;  ///< SAT budget per decision (<0 = ∞).
+  bool use_smt = true;                   ///< false → heuristic only.
+  /// Skip building the SMT formula when the matrix has more 1-cells than
+  /// this (the formula is quadratic in cells; the paper's 100×100 set is
+  /// "too large for SMT"). 0 disables the guard.
+  std::size_t smt_cell_limit = 0;
+  /// Apply the exactness-preserving reductions of core/preprocess.h
+  /// (duplicate collapse + connected-component split) and solve each piece
+  /// independently. Never changes the answer; often shrinks the SMT
+  /// formula enough to make sparse 100×100 instances exactly solvable.
+  bool preprocess = true;
+};
+
+/// Timing/record of one SMT decision call inside SAP.
+struct SapSmtCall {
+  std::size_t bound = 0;          ///< b queried ("r_B ≤ b?").
+  sat::SolveResult result = sat::SolveResult::Unknown;
+  double seconds = 0.0;
+};
+
+/// Result of sap_solve.
+struct SapResult {
+  Partition partition;            ///< Best valid EBMF found (always valid).
+  SapStatus status = SapStatus::HeuristicOnly;
+  std::size_t rank_lower = 0;     ///< rank_ℝ(M) (Eq. 3 lower bound).
+  std::size_t heuristic_size = 0; ///< |P| after the packing phase.
+  double rank_seconds = 0.0;
+  double heuristic_seconds = 0.0;
+  double smt_seconds = 0.0;       ///< Total across all decision calls.
+  double total_seconds = 0.0;
+  std::vector<SapSmtCall> smt_calls;
+  sat::SolverStats smt_stats;     ///< Cumulative SAT search statistics.
+
+  /// Depth of the addressing schedule = |partition|.
+  [[nodiscard]] std::size_t depth() const noexcept { return partition.size(); }
+
+  /// True when the result is certified depth-optimal.
+  [[nodiscard]] bool proven_optimal() const noexcept {
+    return status == SapStatus::Optimal;
+  }
+};
+
+/// Run SAP (Algorithm 1) on `m`.
+/// Postcondition: result.partition is a valid EBMF of `m`
+/// (empty iff `m` is the zero matrix) and |partition| ≥ rank_lower.
+SapResult sap_solve(const BinaryMatrix& m, const SapOptions& options = {});
+
+}  // namespace ebmf

@@ -1,0 +1,54 @@
+#pragma once
+/// \file contracts.h
+/// \brief Precondition / postcondition / invariant checking for the ebmf
+/// library, in the spirit of the C++ Core Guidelines (I.6, I.8) and the GSL
+/// `Expects` / `Ensures` macros.
+///
+/// Violations throw ebmf::ContractViolation so that tests can assert on them
+/// and library users get a diagnosable error instead of undefined behaviour.
+/// The checks are cheap (single branch) and are kept enabled in all build
+/// types; hot inner loops use EBMF_ASSERT which compiles out in NDEBUG.
+
+#include <stdexcept>
+#include <string>
+
+namespace ebmf {
+
+/// Thrown when a precondition, postcondition, or invariant of a public API
+/// is violated. Carries the failing expression and source location.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace ebmf
+
+/// Check a precondition of a public API; throws ebmf::ContractViolation.
+#define EBMF_EXPECTS(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::ebmf::detail::contract_fail("precondition", #cond, __FILE__, \
+                                          __LINE__))
+
+/// Check a postcondition of a public API; throws ebmf::ContractViolation.
+#define EBMF_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::ebmf::detail::contract_fail("postcondition", #cond, __FILE__, \
+                                          __LINE__))
+
+/// Internal invariant check; disabled in NDEBUG builds (hot paths).
+#ifdef NDEBUG
+#define EBMF_ASSERT(cond) static_cast<void>(0)
+#else
+#define EBMF_ASSERT(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::ebmf::detail::contract_fail("invariant", #cond, __FILE__, \
+                                          __LINE__))
+#endif

@@ -1,0 +1,56 @@
+#include "support/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ebmf {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  EBMF_ASSERT(bound > 0);
+  // Lemire: multiply a 64-bit draw by bound, take high word; reject the
+  // short low-word region to remove bias.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
+  EBMF_ASSERT(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  shuffle(p);
+  return p;
+}
+
+std::vector<std::size_t> Rng::sample(std::size_t n, std::size_t k) {
+  EBMF_EXPECTS(k <= n);
+  // Floyd's algorithm would avoid the O(n) permutation, but n here is a
+  // matrix dimension (tiny); keep it simple and exact.
+  auto p = permutation(n);
+  p.resize(k);
+  std::sort(p.begin(), p.end());
+  return p;
+}
+
+}  // namespace ebmf

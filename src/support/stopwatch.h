@@ -1,0 +1,62 @@
+#pragma once
+/// \file stopwatch.h
+/// \brief Wall-clock timing used by the SAP solver's anytime loop and by the
+/// benchmark harnesses.
+
+#include <chrono>
+
+namespace ebmf {
+
+/// Monotonic wall-clock stopwatch. Started at construction; restartable.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restart the clock.
+  void restart() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last restart().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// A soft deadline: hand one to long-running solvers so they can stop early
+/// and report the best answer found so far (the paper's "terminate at any
+/// time, return P" property of Algorithm 1).
+class Deadline {
+ public:
+  /// No limit.
+  Deadline() = default;
+
+  /// Expire `budget_seconds` from now; non-positive means "already expired".
+  static Deadline after(double budget_seconds) {
+    Deadline d;
+    d.limited_ = true;
+    d.expiry_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(budget_seconds));
+    return d;
+  }
+
+  /// True when the budget is spent. Unlimited deadlines never expire.
+  [[nodiscard]] bool expired() const {
+    return limited_ && std::chrono::steady_clock::now() >= expiry_;
+  }
+
+  /// True when a finite budget was set.
+  [[nodiscard]] bool limited() const { return limited_; }
+
+ private:
+  bool limited_ = false;
+  std::chrono::steady_clock::time_point expiry_{};
+};
+
+}  // namespace ebmf

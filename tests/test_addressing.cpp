@@ -1,0 +1,83 @@
+// Tests for the AOD schedule model.
+
+#include "addressing/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "smt/sap.h"
+#include "support/rng.h"
+
+namespace ebmf::addressing {
+namespace {
+
+TEST(Schedule, FromValidPartition) {
+  const auto m = BinaryMatrix::parse("110;110;001");
+  const Partition p{
+      Rectangle{BitVec::from_string("110"), BitVec::from_string("110")},
+      Rectangle{BitVec::from_string("001"), BitVec::from_string("001")}};
+  const Schedule s(m, p);
+  EXPECT_EQ(s.depth(), 2u);
+  EXPECT_EQ(s.control_channels(), 6u);
+  ASSERT_EQ(s.steps().size(), 2u);
+  EXPECT_EQ(s.steps()[0].row_tones, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(s.steps()[0].col_tones, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(s.steps()[1].row_tones, (std::vector<std::size_t>{2}));
+}
+
+TEST(Schedule, RejectsInvalidPartition) {
+  const auto m = BinaryMatrix::parse("10;01");
+  const Partition bad{
+      Rectangle{BitVec::from_string("11"), BitVec::from_string("11")}};
+  EXPECT_THROW((Schedule{m, bad}), ContractViolation);
+}
+
+TEST(Schedule, TimingModelLinearInDepth) {
+  const auto m = BinaryMatrix::parse("10;01");
+  const Partition p{
+      Rectangle{BitVec::from_string("10"), BitVec::from_string("10")},
+      Rectangle{BitVec::from_string("01"), BitVec::from_string("01")}};
+  TimingModel timing;
+  timing.reconfigure_us = 8.0;
+  timing.pulse_us = 2.0;
+  const Schedule s(m, p, timing);
+  EXPECT_DOUBLE_EQ(s.duration_us(), 20.0);
+}
+
+TEST(Schedule, ZeroMatrixEmptySchedule) {
+  const BinaryMatrix z(3, 4);
+  const Schedule s(z, {});
+  EXPECT_EQ(s.depth(), 0u);
+  EXPECT_DOUBLE_EQ(s.duration_us(), 0.0);
+  EXPECT_EQ(s.control_channels(), 7u);
+}
+
+TEST(Schedule, RenderMentionsEveryStep) {
+  const auto m = BinaryMatrix::parse("10;01");
+  const Partition p{
+      Rectangle{BitVec::from_string("10"), BitVec::from_string("10")},
+      Rectangle{BitVec::from_string("01"), BitVec::from_string("01")}};
+  const Schedule s(m, p);
+  const auto text = s.render();
+  EXPECT_NE(text.find("step 0"), std::string::npos);
+  EXPECT_NE(text.find("step 1"), std::string::npos);
+  EXPECT_NE(text.find("depth 2"), std::string::npos);
+}
+
+TEST(Schedule, EndToEndWithSap) {
+  Rng rng(5150);
+  const auto m = BinaryMatrix::random(8, 8, 0.4, rng);
+  const auto r = sap_solve(m);
+  const Schedule s(m, r.partition);
+  EXPECT_EQ(s.depth(), r.depth());
+  // Every 1 of the pattern is pulsed exactly once across the schedule.
+  std::vector<std::vector<int>> hits(m.rows(), std::vector<int>(m.cols(), 0));
+  for (const auto& step : s.steps())
+    for (auto i : step.row_tones)
+      for (auto j : step.col_tones) ++hits[i][j];
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      EXPECT_EQ(hits[i][j], m.test(i, j) ? 1 : 0);
+}
+
+}  // namespace
+}  // namespace ebmf::addressing

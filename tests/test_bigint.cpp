@@ -1,0 +1,152 @@
+// Tests for the arbitrary-precision integers backing exact rank.
+
+#include "linalg/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "support/contracts.h"
+#include "support/rng.h"
+
+namespace ebmf {
+namespace {
+
+TEST(BigInt, ZeroBasics) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.sign(), 0);
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_string(), "0");
+  EXPECT_EQ((-z).to_string(), "0");
+  EXPECT_EQ(z.to_int64(), 0);
+}
+
+TEST(BigInt, FromInt64RoundTrip) {
+  const std::vector<std::int64_t> values{
+      0, 1, -1, 42, -42, std::int64_t{1} << 40, -(std::int64_t{1} << 40),
+      INT64_MAX, INT64_MIN + 1};
+  for (std::int64_t v : values) {
+    BigInt b(v);
+    EXPECT_EQ(b.to_int64(), v) << v;
+    EXPECT_EQ(b.to_string(), std::to_string(v)) << v;
+  }
+}
+
+TEST(BigInt, Int64MinHandled) {
+  BigInt b(INT64_MIN);
+  EXPECT_EQ(b.to_string(), "-9223372036854775808");
+}
+
+TEST(BigInt, FromStringRoundTrip) {
+  const std::string big = "123456789012345678901234567890";
+  EXPECT_EQ(BigInt::from_string(big).to_string(), big);
+  EXPECT_EQ(BigInt::from_string("-" + big).to_string(), "-" + big);
+  EXPECT_EQ(BigInt::from_string("0").to_string(), "0");
+  EXPECT_EQ(BigInt::from_string("-0").to_string(), "0");
+}
+
+TEST(BigInt, ComparisonTotalOrder) {
+  const BigInt a(-5), b(0), c(5), d(500);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(c, d);
+  EXPECT_GT(d, a);
+  EXPECT_LE(a, a);
+  EXPECT_EQ(BigInt(7), BigInt(7));
+  EXPECT_NE(BigInt(7), BigInt(-7));
+}
+
+TEST(BigInt, AdditionSmall) {
+  EXPECT_EQ((BigInt(2) + BigInt(3)).to_int64(), 5);
+  EXPECT_EQ((BigInt(-2) + BigInt(3)).to_int64(), 1);
+  EXPECT_EQ((BigInt(2) + BigInt(-3)).to_int64(), -1);
+  EXPECT_EQ((BigInt(-2) + BigInt(-3)).to_int64(), -5);
+  EXPECT_EQ((BigInt(5) + BigInt(-5)).sign(), 0);
+}
+
+TEST(BigInt, CarryPropagation) {
+  const BigInt a = BigInt::from_string("4294967295");  // 2^32 - 1
+  EXPECT_EQ((a + BigInt(1)).to_string(), "4294967296");
+  const BigInt b = BigInt::from_string("18446744073709551615");  // 2^64 - 1
+  EXPECT_EQ((b + BigInt(1)).to_string(), "18446744073709551616");
+}
+
+TEST(BigInt, MultiplicationBig) {
+  const BigInt ten20 = BigInt::from_string("100000000000000000000");
+  EXPECT_EQ((ten20 * ten20).to_string(),
+            "10000000000000000000000000000000000000000");
+  EXPECT_EQ((ten20 * BigInt(0)).to_string(), "0");
+  EXPECT_EQ((ten20 * BigInt(-1)).to_string(), "-100000000000000000000");
+}
+
+TEST(BigInt, DivExactSingleLimb) {
+  const BigInt a = BigInt::from_string("999999999999999999999");
+  const BigInt q = a.div_exact(BigInt(3));
+  EXPECT_EQ(q.to_string(), "333333333333333333333");
+}
+
+TEST(BigInt, DivExactMultiLimb) {
+  const BigInt a = BigInt::from_string("123456789012345678901234567890");
+  const BigInt b = BigInt::from_string("987654321098765");
+  const BigInt prod = a * b;
+  EXPECT_EQ(prod.div_exact(b), a);
+  EXPECT_EQ(prod.div_exact(a), b);
+  EXPECT_EQ((-prod).div_exact(b), -a);
+  EXPECT_EQ(prod.div_exact(-b), -a);
+}
+
+TEST(BigInt, DivExactRejectsInexact) {
+  EXPECT_THROW((void)BigInt(7).div_exact(BigInt(2)), ContractViolation);
+  EXPECT_THROW((void)BigInt(7).div_exact(BigInt(0)), ContractViolation);
+}
+
+TEST(BigInt, BitLength) {
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+  EXPECT_EQ(BigInt(2).bit_length(), 2u);
+  EXPECT_EQ(BigInt(255).bit_length(), 8u);
+  EXPECT_EQ(BigInt(256).bit_length(), 9u);
+  EXPECT_EQ(BigInt::from_string("18446744073709551616").bit_length(), 65u);
+}
+
+// Property: arithmetic agrees with __int128 on random 60-bit operands.
+class BigIntProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigIntProperty, MatchesInt128Reference) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t x =
+        rng.range(-(1LL << 30), 1LL << 30) * rng.range(0, 1 << 20);
+    const std::int64_t y =
+        rng.range(-(1LL << 30), 1LL << 30) * rng.range(0, 1 << 20);
+    const BigInt bx(x), by(y);
+    EXPECT_EQ((bx + by).to_int64(), x + y);
+    EXPECT_EQ((bx - by).to_int64(), x - y);
+    const __int128 prod = static_cast<__int128>(x) * y;
+    const BigInt bprod = bx * by;
+    // Compare via string rendering of the 128-bit product.
+    __int128 p = prod;
+    std::string expect;
+    const bool negative = p < 0;
+    if (p == 0) expect = "0";
+    if (negative) p = -p;
+    while (p != 0) {
+      expect.push_back(static_cast<char>('0' + static_cast<int>(p % 10)));
+      p /= 10;
+    }
+    if (expect.empty()) expect = "0";
+    if (negative) expect.push_back('-');
+    std::reverse(expect.begin(), expect.end());
+    EXPECT_EQ(bprod.to_string(), expect);
+    if (y != 0) {
+      EXPECT_EQ((bprod).div_exact(by), bx * BigInt(1));
+    }
+    EXPECT_EQ(bx.compare(by), x < y ? -1 : (x == y ? 0 : 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ebmf

@@ -1,0 +1,208 @@
+// Unit and property tests for ebmf::BitVec, cross-checked against a
+// std::vector<bool> reference model.
+
+#include "support/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace ebmf {
+namespace {
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.none());
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_EQ(v.find_first(), 0u);
+}
+
+TEST(BitVec, ConstructedZeroed) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_TRUE(v.none());
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(v.test(i));
+}
+
+TEST(BitVec, SetTestReset) {
+  BitVec v(70);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(69);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(69));
+  EXPECT_FALSE(v.test(1));
+  EXPECT_EQ(v.count(), 4u);
+  v.reset(63);
+  EXPECT_FALSE(v.test(63));
+  EXPECT_EQ(v.count(), 3u);
+}
+
+TEST(BitVec, FromToStringRoundTrip) {
+  const std::string s = "101100111010001";
+  BitVec v = BitVec::from_string(s);
+  EXPECT_EQ(v.to_string(), s);
+  EXPECT_EQ(v.count(), 8u);
+}
+
+TEST(BitVec, FromStringRejectsBadChars) {
+  EXPECT_THROW(BitVec::from_string("10a"), ContractViolation);
+}
+
+TEST(BitVec, FillRespectsTrailingBits) {
+  BitVec v(67);
+  v.fill();
+  EXPECT_EQ(v.count(), 67u);
+  BitVec w(67);
+  w.fill();
+  EXPECT_EQ(v, w);
+}
+
+TEST(BitVec, FindFirstNext) {
+  BitVec v = BitVec::from_string("010010000001");
+  EXPECT_EQ(v.find_first(), 1u);
+  EXPECT_EQ(v.find_next(1), 4u);
+  EXPECT_EQ(v.find_next(4), 11u);
+  EXPECT_EQ(v.find_next(11), v.size());
+}
+
+TEST(BitVec, FindAcrossWordBoundary) {
+  BitVec v(200);
+  v.set(63);
+  v.set(64);
+  v.set(127);
+  v.set(199);
+  EXPECT_EQ(v.find_first(), 63u);
+  EXPECT_EQ(v.find_next(63), 64u);
+  EXPECT_EQ(v.find_next(64), 127u);
+  EXPECT_EQ(v.find_next(127), 199u);
+  EXPECT_EQ(v.find_next(199), 200u);
+}
+
+TEST(BitVec, OnesListsAscending) {
+  BitVec v = BitVec::from_string("1001001");
+  const std::vector<std::size_t> expected{0, 3, 6};
+  EXPECT_EQ(v.ones(), expected);
+}
+
+TEST(BitVec, SubsetAndDisjoint) {
+  const BitVec a = BitVec::from_string("110100");
+  const BitVec b = BitVec::from_string("110110");
+  const BitVec c = BitVec::from_string("001001");
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_TRUE(a.disjoint(c));
+  EXPECT_FALSE(a.disjoint(b));
+  EXPECT_TRUE(a.intersects(b));
+  BitVec empty(6);
+  EXPECT_TRUE(empty.subset_of(a));
+  EXPECT_TRUE(empty.disjoint(a));
+}
+
+TEST(BitVec, SizeMismatchThrows) {
+  BitVec a(5);
+  BitVec b(6);
+  EXPECT_THROW((void)a.subset_of(b), ContractViolation);
+  EXPECT_THROW((void)a.disjoint(b), ContractViolation);
+  EXPECT_THROW(a |= b, ContractViolation);
+}
+
+TEST(BitVec, SetOperations) {
+  const BitVec a = BitVec::from_string("1100");
+  const BitVec b = BitVec::from_string("1010");
+  EXPECT_EQ((a | b).to_string(), "1110");
+  EXPECT_EQ((a & b).to_string(), "1000");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+  EXPECT_EQ((a - b).to_string(), "0100");
+}
+
+TEST(BitVec, OrderingIsTotal) {
+  const BitVec a = BitVec::from_string("100");
+  const BitVec b = BitVec::from_string("010");
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(BitVec, HashDistinguishesAndAgreesOnEqual) {
+  const BitVec a = BitVec::from_string("10110");
+  const BitVec b = BitVec::from_string("10110");
+  const BitVec c = BitVec::from_string("10111");
+  EXPECT_EQ(a.hash(), b.hash());
+  // Not guaranteed in theory, but catastrophic if violated in practice:
+  EXPECT_NE(a.hash(), c.hash());
+  std::unordered_set<BitVec, BitVecHash> set{a, b, c};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+// ---- Property tests vs a vector<bool> reference model ------------------
+
+class BitVecProperty : public ::testing::TestWithParam<std::size_t> {};
+
+using Model = std::vector<bool>;
+
+Model random_model(std::size_t n, Rng& rng) {
+  Model m(n);
+  for (std::size_t i = 0; i < n; ++i) m[i] = rng.chance(0.5);
+  return m;
+}
+
+BitVec to_bitvec(const Model& m) {
+  BitVec v(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i)
+    if (m[i]) v.set(i);
+  return v;
+}
+
+TEST_P(BitVecProperty, OpsMatchReferenceModel) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 977 + 13);
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    const Model ma = random_model(n, rng);
+    const Model mb = random_model(n, rng);
+    const BitVec a = to_bitvec(ma);
+    const BitVec b = to_bitvec(mb);
+
+    std::size_t count = 0;
+    bool subset = true;
+    bool disjoint = true;
+    Model m_or(n), m_and(n), m_xor(n), m_diff(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      count += ma[i] ? 1 : 0;
+      if (ma[i] && !mb[i]) subset = false;
+      if (ma[i] && mb[i]) disjoint = false;
+      m_or[i] = ma[i] || mb[i];
+      m_and[i] = ma[i] && mb[i];
+      m_xor[i] = ma[i] != mb[i];
+      m_diff[i] = ma[i] && !mb[i];
+    }
+    EXPECT_EQ(a.count(), count);
+    EXPECT_EQ(a.subset_of(b), subset);
+    EXPECT_EQ(a.disjoint(b), disjoint);
+    EXPECT_EQ(a | b, to_bitvec(m_or));
+    EXPECT_EQ(a & b, to_bitvec(m_and));
+    EXPECT_EQ(a ^ b, to_bitvec(m_xor));
+    EXPECT_EQ(a - b, to_bitvec(m_diff));
+
+    // Iteration visits exactly the set bits, ascending.
+    std::vector<std::size_t> visited;
+    for (std::size_t i = a.find_first(); i < n; i = a.find_next(i))
+      visited.push_back(i);
+    EXPECT_EQ(visited, a.ones());
+    EXPECT_EQ(visited.size(), count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVecProperty,
+                         ::testing::Values(1, 2, 7, 63, 64, 65, 100, 128, 129,
+                                           1000));
+
+}  // namespace
+}  // namespace ebmf

@@ -1,0 +1,185 @@
+// Tests for cardinality encodings: every encoding must admit exactly the
+// assignments with the right number of true literals (checked by model
+// enumeration with blocking clauses).
+
+#include "sat/cardinality.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sat/solver.h"
+
+namespace ebmf::sat {
+namespace {
+
+/// Enumerate all models projected onto `lits`, returning the set of true
+/// subsets (as bitmasks). Uses blocking clauses; fine for <= 12 literals.
+std::set<std::uint32_t> project_models(Solver& s, const std::vector<Lit>& lits) {
+  std::set<std::uint32_t> seen;
+  while (s.solve() == SolveResult::Sat) {
+    std::uint32_t mask = 0;
+    Clause block;
+    for (std::size_t i = 0; i < lits.size(); ++i) {
+      if (s.model_true(lits[i])) {
+        mask |= 1u << i;
+        block.push_back(lits[i].neg());
+      } else {
+        block.push_back(lits[i]);
+      }
+    }
+    seen.insert(mask);
+    if (!s.add_clause(block)) break;
+  }
+  return seen;
+}
+
+std::size_t popcount32(std::uint32_t x) {
+  std::size_t c = 0;
+  while (x != 0) {
+    c += x & 1;
+    x >>= 1;
+  }
+  return c;
+}
+
+std::vector<Lit> fresh_lits(Solver& s, std::size_t n) {
+  std::vector<Lit> lits;
+  for (std::size_t i = 0; i < n; ++i) lits.push_back(pos(s.new_var()));
+  return lits;
+}
+
+class AmoTest : public ::testing::TestWithParam<
+                    std::tuple<std::size_t, AmoEncoding>> {};
+
+TEST_P(AmoTest, ExactlyTheAmoModels) {
+  const auto [n, enc] = GetParam();
+  Solver s;
+  const auto lits = fresh_lits(s, n);
+  add_at_most_one(s, lits, enc);
+  const auto models = project_models(s, lits);
+  std::size_t expected = n + 1;  // empty + singletons
+  EXPECT_EQ(models.size(), expected);
+  for (auto m : models) EXPECT_LE(popcount32(m), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, AmoTest,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{4}, std::size_t{7},
+                                         std::size_t{9}, std::size_t{12}),
+                       ::testing::Values(AmoEncoding::Pairwise,
+                                         AmoEncoding::Commander)));
+
+class ExactlyOneTest : public ::testing::TestWithParam<
+                           std::tuple<std::size_t, AmoEncoding>> {};
+
+TEST_P(ExactlyOneTest, ExactlyTheSingletons) {
+  const auto [n, enc] = GetParam();
+  Solver s;
+  const auto lits = fresh_lits(s, n);
+  add_exactly_one(s, lits, enc);
+  const auto models = project_models(s, lits);
+  EXPECT_EQ(models.size(), n);
+  for (auto m : models) EXPECT_EQ(popcount32(m), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ExactlyOneTest,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{3},
+                                         std::size_t{8}, std::size_t{11}),
+                       ::testing::Values(AmoEncoding::Pairwise,
+                                         AmoEncoding::Commander)));
+
+std::size_t binom(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  std::size_t r = 1;
+  for (std::size_t i = 0; i < k; ++i) r = r * (n - i) / (i + 1);
+  return r;
+}
+
+enum class AmkKind { Sequential, Totalizer };
+
+class AtMostKTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::pair<std::size_t, std::size_t>, AmkKind>> {};
+
+TEST_P(AtMostKTest, AdmitsExactlyTheSmallSubsets) {
+  const auto [nk, kind] = GetParam();
+  const auto [n, k] = nk;
+  Solver s;
+  const auto lits = fresh_lits(s, n);
+  if (kind == AmkKind::Sequential)
+    add_at_most_k(s, lits, k);
+  else
+    add_at_most_k_totalizer(s, lits, k);
+  const auto models = project_models(s, lits);
+  std::size_t expected = 0;
+  for (std::size_t j = 0; j <= k && j <= n; ++j) expected += binom(n, j);
+  EXPECT_EQ(models.size(), expected);
+  for (auto m : models) EXPECT_LE(popcount32(m), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AtMostKTest,
+    ::testing::Combine(
+        ::testing::Values(std::make_pair(std::size_t{4}, std::size_t{0}),
+                          std::make_pair(std::size_t{4}, std::size_t{2}),
+                          std::make_pair(std::size_t{5}, std::size_t{1}),
+                          std::make_pair(std::size_t{5}, std::size_t{3}),
+                          std::make_pair(std::size_t{6}, std::size_t{2}),
+                          std::make_pair(std::size_t{6}, std::size_t{5}),
+                          std::make_pair(std::size_t{7}, std::size_t{4})),
+        ::testing::Values(AmkKind::Sequential, AmkKind::Totalizer)));
+
+class AtLeastKTest : public ::testing::TestWithParam<
+                         std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(AtLeastKTest, AdmitsExactlyTheLargeSubsets) {
+  const auto [n, k] = GetParam();
+  Solver s;
+  const auto lits = fresh_lits(s, n);
+  add_at_least_k(s, lits, k);
+  const auto models = project_models(s, lits);
+  std::size_t expected = 0;
+  for (std::size_t j = k; j <= n; ++j) expected += binom(n, j);
+  EXPECT_EQ(models.size(), expected);
+  for (auto m : models) EXPECT_GE(popcount32(m), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AtLeastKTest,
+    ::testing::Values(std::make_pair(std::size_t{4}, std::size_t{1}),
+                      std::make_pair(std::size_t{5}, std::size_t{5}),
+                      std::make_pair(std::size_t{5}, std::size_t{2}),
+                      std::make_pair(std::size_t{6}, std::size_t{3}),
+                      std::make_pair(std::size_t{7}, std::size_t{6})));
+
+TEST(Cardinality, AtMostKTrivialWhenKGeqN) {
+  Solver s;
+  const auto lits = fresh_lits(s, 4);
+  add_at_most_k(s, lits, 4);
+  EXPECT_EQ(s.num_clauses(), 0u);
+  EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(Cardinality, AtLeastZeroIsNoop) {
+  Solver s;
+  const auto lits = fresh_lits(s, 3);
+  add_at_least_k(s, lits, 0);
+  EXPECT_EQ(s.num_clauses(), 0u);
+}
+
+TEST(Cardinality, CombinedWindowExactlyK) {
+  // at_least_2 && at_most_2 over 5 literals = C(5,2)=10 models.
+  Solver s;
+  const auto lits = fresh_lits(s, 5);
+  add_at_most_k(s, lits, 2);
+  add_at_least_k(s, lits, 2);
+  const auto models = project_models(s, lits);
+  EXPECT_EQ(models.size(), 10u);
+  for (auto m : models) EXPECT_EQ(popcount32(m), 2u);
+}
+
+}  // namespace
+}  // namespace ebmf::sat

@@ -1,0 +1,194 @@
+// Tests for the ebmf command-line tool (via the testable cli library).
+
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ebmf::cli {
+namespace {
+
+/// Run a command capturing stdout/stderr and exit code.
+struct RunResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+RunResult run_cli(const std::string& command,
+                  const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  const int code = run_command(command, args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+/// Write a small matrix file usable across tests.
+std::string write_temp_matrix(const std::string& content,
+                              const std::string& name) {
+  const std::string path = "/tmp/ebmf_cli_" + name + ".txt";
+  std::ofstream file(path);
+  file << content;
+  return path;
+}
+
+TEST(Cli, UsageOnUnknownCommand) {
+  const auto r = run_cli("frobnicate", {});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, SolveProducesOptimalPartition) {
+  const auto path = write_temp_matrix("110\n011\n111\n", "eq2");
+  const auto r = run_cli("solve", {path});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("depth 3 (proven optimal)"), std::string::npos);
+  EXPECT_NE(r.out.find("partition 3 3 3"), std::string::npos);
+}
+
+TEST(Cli, SolveHeuristicOnlyFlag) {
+  const auto path = write_temp_matrix("10\n01\n", "diag");
+  const auto r = run_cli("solve", {path, "--heuristic-only"});
+  EXPECT_EQ(r.code, 0);
+  // diag is rank-certified even without SMT
+  EXPECT_NE(r.out.find("depth 2"), std::string::npos);
+}
+
+TEST(Cli, SolveRenderFlagShowsLabels) {
+  const auto path = write_temp_matrix("11\n11\n", "ones");
+  const auto r = run_cli("solve", {path, "--render"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("00\n00"), std::string::npos);
+}
+
+TEST(Cli, SolveMissingFileFails) {
+  const auto r = run_cli("solve", {"/nonexistent/file.txt"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, SolveUsageError) {
+  const auto r = run_cli("solve", {});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(Cli, BoundsBracketsConsistently) {
+  const auto path = write_temp_matrix("110\n011\n111\n", "eq2b");
+  const auto r = run_cli("bounds", {path});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("rank lower bound     3"), std::string::npos);
+  EXPECT_NE(r.out.find("trivial upper bound  3"), std::string::npos);
+}
+
+TEST(Cli, FoolingExactOnFig1b) {
+  const auto path = write_temp_matrix(
+      "101100\n010011\n101010\n010101\n111000\n000111\n", "fig1b");
+  const auto r = run_cli("fooling", {path, "--exact"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("fooling set size 5"), std::string::npos);
+}
+
+TEST(Cli, ComponentsReport) {
+  const auto path = write_temp_matrix("1100\n1100\n0011\n0011\n", "blocks");
+  const auto r = run_cli("components", {path});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("components 2"), std::string::npos);
+  EXPECT_NE(r.out.find("reduced 2x2"), std::string::npos);
+}
+
+TEST(Cli, GenerateFamiliesAndFormats) {
+  for (const char* family : {"rand", "opt", "gap"}) {
+    const auto r = run_cli("generate", {family, "--rows=8", "--cols=8",
+                                        "--k=2", "--seed=3"});
+    EXPECT_EQ(r.code, 0) << family;
+    EXPECT_FALSE(r.out.empty());
+  }
+  const auto sparse =
+      run_cli("generate", {"rand", "--format=sparse", "--seed=4"});
+  EXPECT_NE(sparse.out.find("sparse 10 10"), std::string::npos);
+  const auto pbm = run_cli("generate", {"rand", "--format=pbm", "--seed=4"});
+  EXPECT_NE(pbm.out.find("P1"), std::string::npos);
+}
+
+TEST(Cli, GenerateDeterministicPerSeed) {
+  const auto a = run_cli("generate", {"rand", "--seed=9"});
+  const auto b = run_cli("generate", {"rand", "--seed=9"});
+  EXPECT_EQ(a.out, b.out);
+}
+
+TEST(Cli, GenerateRejectsUnknownFamily) {
+  const auto r = run_cli("generate", {"weird"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(Cli, ScheduleRespectsTimingFlags) {
+  const auto path = write_temp_matrix("10\n01\n", "sched");
+  const auto r =
+      run_cli("schedule", {path, "--reconfig-us=5", "--pulse-us=1"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("depth 2"), std::string::npos);
+  EXPECT_NE(r.out.find("12 us"), std::string::npos);
+}
+
+TEST(Cli, ConvertRoundTrip) {
+  const auto path = write_temp_matrix("101\n110\n", "conv");
+  const auto to_pbm = run_cli("convert", {path, "/tmp/ebmf_cli_conv.pbm"});
+  EXPECT_EQ(to_pbm.code, 0);
+  const auto back =
+      run_cli("convert", {"/tmp/ebmf_cli_conv.pbm", "/tmp/ebmf_cli_back.txt"});
+  EXPECT_EQ(back.code, 0);
+  std::ifstream file("/tmp/ebmf_cli_back.txt");
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_NE(content.str().find("101"), std::string::npos);
+  EXPECT_NE(content.str().find("110"), std::string::npos);
+}
+
+TEST(Cli, SolveSaveWritesPartitionFile) {
+  const auto path = write_temp_matrix("11\n11\n", "save");
+  const auto r =
+      run_cli("solve", {path, "--save=/tmp/ebmf_cli_saved.partition"});
+  EXPECT_EQ(r.code, 0);
+  std::ifstream file("/tmp/ebmf_cli_saved.partition");
+  std::string first;
+  std::getline(file, first);
+  EXPECT_EQ(first, "partition 2 2 1");
+}
+
+TEST(Cli, SolveDontCares) {
+  const auto path = write_temp_matrix("1*\n*1\n", "dc");
+  const auto r = run_cli("solve", {path, "--dont-cares"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("depth 1"), std::string::npos);
+}
+
+TEST(Cli, EncodeEmitsValidDimacs) {
+  const auto path = write_temp_matrix("110\n011\n111\n", "enc");
+  const auto r = run_cli("encode", {path, "--bound=3"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("p cnf "), std::string::npos);
+  EXPECT_NE(r.out.find("c EBMF decision problem: r_B(M) <= 3"),
+            std::string::npos);
+  // Binary encoding variant also works and differs in size.
+  const auto rb = run_cli("encode", {path, "--bound=3", "--encoding=binary"});
+  EXPECT_EQ(rb.code, 0);
+  EXPECT_NE(rb.out, r.out);
+}
+
+TEST(Cli, EncodeRejectsZeroMatrix) {
+  const auto path = write_temp_matrix("00\n00\n", "encz");
+  const auto r = run_cli("encode", {path});
+  EXPECT_EQ(r.code, 1);
+}
+
+TEST(Cli, UsageListsAllCommands) {
+  const auto text = usage();
+  for (const char* cmd : {"solve", "bounds", "fooling", "components",
+                          "schedule", "generate", "convert", "encode"})
+    EXPECT_NE(text.find(cmd), std::string::npos) << cmd;
+}
+
+}  // namespace
+}  // namespace ebmf::cli

@@ -1,0 +1,170 @@
+// Tests for the dancing-links exact cover solver and the DLX-upgraded row
+// packing heuristic.
+
+#include "dlx/dlx.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchgen/generators.h"
+#include "core/bounds.h"
+#include "dlx/packing_dlx.h"
+#include "support/rng.h"
+
+namespace ebmf::dlx {
+namespace {
+
+TEST(Dlx, KnuthPaperExample) {
+  // The instance from Knuth's "Dancing Links" paper (7 items, 6 options);
+  // unique solution = options {0, 3, 4}.
+  ExactCover ec(7);
+  ec.add_option({2, 4, 5});     // 0
+  ec.add_option({0, 3, 6});     // 1
+  ec.add_option({1, 2, 5});     // 2
+  ec.add_option({0, 3});        // 3
+  ec.add_option({1, 6});        // 4
+  ec.add_option({3, 4, 6});     // 5
+  const auto sol = ec.solve();
+  ASSERT_TRUE(sol.has_value());
+  const std::set<std::size_t> got(sol->begin(), sol->end());
+  const std::set<std::size_t> expected{0, 3, 4};
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Dlx, NoSolution) {
+  ExactCover ec(3);
+  ec.add_option({0, 1});
+  ec.add_option({1, 2});
+  EXPECT_FALSE(ec.solve().has_value());
+}
+
+TEST(Dlx, SingleOptionCoversAll) {
+  ExactCover ec(4);
+  ec.add_option({0, 1, 2, 3});
+  const auto sol = ec.solve();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->size(), 1u);
+}
+
+TEST(Dlx, ZeroItemsTriviallyCovered) {
+  ExactCover ec(0);
+  const auto sol = ec.solve();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_TRUE(sol->empty());
+}
+
+TEST(Dlx, RejectsEmptyOption) {
+  ExactCover ec(3);
+  EXPECT_THROW((void)ec.add_option({}), ContractViolation);
+}
+
+TEST(Dlx, EnumerateCountsAllCovers) {
+  // Items {0,1}; options: {0},{1},{0,1}. Covers: {{0},{1}} and {{0,1}} = 2.
+  ExactCover ec(2);
+  ec.add_option({0});
+  ec.add_option({1});
+  ec.add_option({0, 1});
+  std::size_t count = ec.enumerate([](const auto&) {}, 0);
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(Dlx, EnumerateRespectsLimit) {
+  ExactCover ec(2);
+  ec.add_option({0});
+  ec.add_option({1});
+  ec.add_option({0, 1});
+  std::size_t seen = 0;
+  const auto count = ec.enumerate([&](const auto&) { ++seen; }, 1);
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST(Dlx, PartitionOfSixIntoPairs) {
+  // All 2-subsets of {0..5} as options: perfect matchings of K6 = 15.
+  ExactCover ec(6);
+  for (std::size_t a = 0; a < 6; ++a)
+    for (std::size_t b = a + 1; b < 6; ++b) ec.add_option({a, b});
+  const auto count = ec.enumerate([](const auto&) {}, 0);
+  EXPECT_EQ(count, 15u);
+}
+
+TEST(Dlx, SolutionsAreDisjointAndComplete) {
+  Rng rng(5);
+  for (int t = 0; t < 20; ++t) {
+    const std::size_t items = 8;
+    ExactCover ec(items);
+    std::vector<std::vector<std::size_t>> options;
+    for (int o = 0; o < 14; ++o) {
+      std::vector<std::size_t> opt;
+      for (std::size_t i = 0; i < items; ++i)
+        if (rng.chance(0.3)) opt.push_back(i);
+      if (opt.empty()) opt.push_back(rng.below(items));
+      options.push_back(opt);
+      ec.add_option(opt);
+    }
+    const auto sol = ec.solve();
+    if (!sol) continue;
+    std::vector<int> covered(items, 0);
+    for (auto o : *sol)
+      for (auto i : options[o]) ++covered[i];
+    for (std::size_t i = 0; i < items; ++i) EXPECT_EQ(covered[i], 1);
+  }
+}
+
+TEST(DlxPacking, ValidOnRandomSweep) {
+  Rng rng(11);
+  for (int t = 0; t < 30; ++t) {
+    const auto m = BinaryMatrix::random(8, 8, 0.2 + 0.02 * t, rng);
+    RowPackingOptions opt;
+    opt.trials = 5;
+    opt.seed = t;
+    const auto r = row_packing_dlx(m, opt);
+    const auto v = validate_partition(m, r.partition);
+    ASSERT_TRUE(v.ok) << v.reason;
+    if (!m.is_zero()) {
+      EXPECT_LE(r.partition.size(), trivial_upper_bound(m));
+    }
+  }
+}
+
+TEST(DlxPacking, FindsExactDecompositionGreedyMisses) {
+  // Greedy (basis order) picks v0 ⊂ r4 first and strands a residue; exact
+  // cover finds r4 = v2 + v3. Construction: rows A={0,1}, B={2,3}, C={0,2},
+  // D={1,3}, E={0,1,2,3}: processing A,B,C,D then E. Greedy subtracts A
+  // then B (E fully covered!) — need a harder case: make A ⊂ E, B ⊄ E.
+  // Rows: A={0,1}, C={0,2}, D={1,3}, E={0,1,2,3}. Greedy: A⊆E -> residue
+  // {2,3}; C,D not ⊆ {2,3} -> residue {2,3} stays, new basis. DLX: E = C+D
+  // exactly. So DLX uses 3 rectangles + row E packed, greedy needs 4.
+  const auto m = BinaryMatrix::parse(
+      "1100"
+      ";1010"
+      ";0101"
+      ";1111");
+  const std::vector<std::size_t> order{0, 1, 2, 3};
+  const auto greedy = row_packing_pass(m, order);
+  const auto exact = row_packing_dlx_pass(m, order);
+  EXPECT_TRUE(validate_partition(m, greedy).ok);
+  EXPECT_TRUE(validate_partition(m, exact).ok);
+  EXPECT_EQ(exact.size(), 3u);
+  EXPECT_EQ(greedy.size(), 4u);
+}
+
+TEST(DlxPacking, NeverWorseThanGreedyOnGapFamily) {
+  Rng rng(23);
+  for (int t = 0; t < 10; ++t) {
+    const auto inst = benchgen::gap_matrix(8, 8, 3, rng);
+    RowPackingOptions opt;
+    opt.trials = 8;
+    opt.seed = 100 + t;
+    const auto greedy = row_packing_ebmf(inst.matrix, opt);
+    const auto exact = row_packing_dlx(inst.matrix, opt);
+    EXPECT_TRUE(validate_partition(inst.matrix, exact.partition).ok);
+    // Not a theorem per-shuffle, but with equal seeds/trials DLX should not
+    // lose by more than 1 on these sizes.
+    EXPECT_LE(exact.partition.size(), greedy.partition.size() + 1);
+  }
+}
+
+}  // namespace
+}  // namespace ebmf::dlx

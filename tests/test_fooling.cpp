@@ -1,0 +1,118 @@
+// Tests for fooling sets: validity, the paper's worked examples, and the
+// lower-bound relationship phi(M) <= r_B(M).
+
+#include "core/fooling.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "support/rng.h"
+
+namespace ebmf {
+namespace {
+
+TEST(Fooling, EmptySetIsFooling) {
+  const auto m = BinaryMatrix::parse("10;01");
+  EXPECT_TRUE(is_fooling_set(m, {}));
+}
+
+TEST(Fooling, RejectsZeroCell) {
+  const auto m = BinaryMatrix::parse("10;01");
+  EXPECT_FALSE(is_fooling_set(m, {{0, 1}}));
+}
+
+TEST(Fooling, DiagonalOfIdentityIsFooling) {
+  BinaryMatrix m(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) m.set(i, i);
+  CellSet diag{{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  EXPECT_TRUE(is_fooling_set(m, diag));
+}
+
+TEST(Fooling, RejectsSameRowPair) {
+  // Two 1s in the same row always have 1-crossings (themselves).
+  const auto m = BinaryMatrix::parse("11;00");
+  EXPECT_FALSE(is_fooling_set(m, {{0, 0}, {0, 1}}));
+}
+
+TEST(Fooling, RejectsRectangleCorners) {
+  const auto m = BinaryMatrix::parse("11;11");
+  EXPECT_FALSE(is_fooling_set(m, {{0, 0}, {1, 1}}));
+}
+
+TEST(Fooling, GreedyProducesValidSet) {
+  Rng rng(42);
+  for (int t = 0; t < 20; ++t) {
+    const auto m = BinaryMatrix::random(6, 6, 0.4, rng);
+    const auto s = greedy_fooling_set(m, 8, t);
+    EXPECT_TRUE(is_fooling_set(m, s));
+  }
+}
+
+TEST(Fooling, ExactOnIdentity) {
+  BinaryMatrix m(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) m.set(i, i);
+  EXPECT_EQ(max_fooling_set(m).size(), 5u);
+}
+
+TEST(Fooling, ExactOnAllOnes) {
+  const auto m = BinaryMatrix::parse("111;111");
+  EXPECT_EQ(max_fooling_set(m).size(), 1u);
+}
+
+TEST(Fooling, ExactOnZeroMatrix) {
+  const BinaryMatrix z(3, 3);
+  EXPECT_TRUE(max_fooling_set(z).empty());
+}
+
+TEST(Fooling, PaperEq2MatrixPhiTwo) {
+  // Paper: 3 rectangles needed but max fooling set is 2 — the bound is not
+  // always tight.
+  const auto m = BinaryMatrix::parse("110;011;111");
+  EXPECT_EQ(max_fooling_set(m).size(), 2u);
+  const auto brute = brute_force_ebmf(m);
+  ASSERT_TRUE(brute.has_value());
+  EXPECT_EQ(brute->binary_rank, 3u);
+}
+
+TEST(Fooling, PaperFig1bPhiFive) {
+  // Fig. 1b: the shaded markers form a fooling set of size 5 certifying the
+  // 5-rectangle partition optimal.
+  const auto m = BinaryMatrix::parse(
+      "101100;010011;101010;010101;111000;000111");
+  const auto s = max_fooling_set(m);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_TRUE(is_fooling_set(m, s));
+}
+
+TEST(Fooling, GreedyNeverExceedsExact) {
+  Rng rng(88);
+  for (int t = 0; t < 15; ++t) {
+    const auto m = BinaryMatrix::random(5, 5, 0.5, rng);
+    const auto exact = max_fooling_set(m);
+    const auto greedy = greedy_fooling_set(m, 4, t);
+    EXPECT_LE(greedy.size(), exact.size());
+  }
+}
+
+TEST(Fooling, PhiBoundedByMinDimensionAndBinaryRank) {
+  Rng rng(99);
+  for (int t = 0; t < 15; ++t) {
+    const auto m = BinaryMatrix::random(4, 5, 0.45, rng);
+    if (m.is_zero()) continue;
+    const auto phi = max_fooling_set(m).size();
+    EXPECT_LE(phi, 4u);
+    const auto brute = brute_force_ebmf(m);
+    ASSERT_TRUE(brute.has_value());
+    EXPECT_LE(phi, brute->binary_rank);
+  }
+}
+
+TEST(Fooling, DeadlineReturnsValidSet) {
+  Rng rng(7);
+  const auto m = BinaryMatrix::random(8, 8, 0.5, rng);
+  const auto s = max_fooling_set(m, Deadline::after(0.0));
+  EXPECT_TRUE(is_fooling_set(m, s));  // greedy fallback is still valid
+}
+
+}  // namespace
+}  // namespace ebmf

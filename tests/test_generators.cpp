@@ -1,0 +1,146 @@
+// Tests for the benchmark generators: each family must actually have the
+// structural properties the paper's construction claims.
+
+#include "benchgen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/suites.h"
+#include "core/bounds.h"
+#include "core/row_packing.h"
+#include "linalg/rank.h"
+#include "smt/sap.h"
+
+namespace ebmf::benchgen {
+namespace {
+
+TEST(Generators, RandomMatrixShapeAndOccupancy) {
+  Rng rng(1);
+  const auto m = random_matrix(50, 80, 0.25, rng);
+  EXPECT_EQ(m.rows(), 50u);
+  EXPECT_EQ(m.cols(), 80u);
+  const double occ = static_cast<double>(m.ones_count()) / (50.0 * 80.0);
+  EXPECT_NEAR(occ, 0.25, 0.05);
+}
+
+class KnownOptimalFamily : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KnownOptimalFamily, RankEqualsKAndPartitionExists) {
+  const std::size_t k = GetParam();
+  Rng rng(100 + k);
+  for (int i = 0; i < 5; ++i) {
+    const auto inst = known_optimal_matrix(10, 10, k, rng);
+    EXPECT_EQ(inst.optimal, k);
+    // Certificate: rank == k (so r_B >= k) ...
+    EXPECT_EQ(real_rank(inst.matrix), k);
+    // ... and a k-partition exists (so r_B <= k): row packing finds it
+    // (paper Observation 2 says it always does on this family).
+    RowPackingOptions opt;
+    opt.trials = 20;
+    const auto r = row_packing_ebmf(inst.matrix, opt);
+    EXPECT_EQ(r.partition.size(), k);
+    EXPECT_TRUE(validate_partition(inst.matrix, r.partition).ok);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, KnownOptimalFamily,
+                         ::testing::Range(std::size_t{1}, std::size_t{11}));
+
+TEST(Generators, KnownOptimalRejectsBadK) {
+  Rng rng(3);
+  EXPECT_THROW((void)known_optimal_matrix(5, 5, 0, rng), ContractViolation);
+  EXPECT_THROW((void)known_optimal_matrix(5, 5, 6, rng), ContractViolation);
+}
+
+class GapFamily : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GapFamily, PairRowsHaveRankKPlusOne) {
+  const std::size_t k = GetParam();
+  Rng rng(200 + k);
+  for (int i = 0; i < 5; ++i) {
+    const auto inst = gap_matrix(10, 10, k, rng);
+    EXPECT_EQ(inst.pairs, k);
+    EXPECT_EQ(inst.pair_rank, k + 1);
+    EXPECT_EQ(inst.matrix.rows(), 10u);
+    // First 2k rows: pairwise sums of pair p equal the same base row.
+    const auto& rows = inst.matrix.row_vectors();
+    const BitVec base = rows[0] | rows[1];
+    for (std::size_t p = 0; p < k; ++p) {
+      EXPECT_TRUE(rows[2 * p].disjoint(rows[2 * p + 1]));
+      EXPECT_EQ(rows[2 * p] | rows[2 * p + 1], base);
+    }
+    // Rank of the pair block alone is k+1.
+    std::vector<BitVec> pair_rows(rows.begin(),
+                                  rows.begin() + static_cast<long>(2 * k));
+    EXPECT_EQ(ebmf::real_rank(pair_rows, 10), k + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, GapFamily,
+                         ::testing::Values(std::size_t{2}, std::size_t{3},
+                                           std::size_t{4}, std::size_t{5}));
+
+TEST(GapFamilyProperty, BinaryRankExceedsPairRank) {
+  // The family's purpose: r_B > rank for the pair block. Verify on the
+  // 2k-row submatrix via SAP (small enough to prove).
+  // Note: the gap is probabilistic, not certain — the paper's own Table I
+  // "rank" column shows it materializes in 26-58% of cases. Ten instances
+  // at these parameters reliably contain several.
+  Rng rng(303);
+  int gaps = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto inst = gap_matrix(6, 8, 3, rng);  // exactly the pair block
+    const auto r = sap_solve(inst.matrix);
+    ASSERT_TRUE(r.proven_optimal());
+    EXPECT_GE(r.depth(), inst.pair_rank);
+    if (r.depth() > inst.pair_rank) ++gaps;
+  }
+  EXPECT_GT(gaps, 0);
+}
+
+TEST(Suites, RandomSuiteCountsAndConfigs) {
+  const auto suite = random_suite(10, 10, {0.1, 0.5}, 3, 42);
+  EXPECT_EQ(suite.size(), 6u);
+  EXPECT_EQ(suite[0].family, "rand");
+  EXPECT_NE(suite[0].config.find("10x10"), std::string::npos);
+  for (const auto& inst : suite) {
+    EXPECT_EQ(inst.matrix.rows(), 10u);
+    EXPECT_EQ(inst.matrix.cols(), 10u);
+    EXPECT_EQ(inst.known_optimal, 0u);
+  }
+}
+
+TEST(Suites, KnownOptimalSuiteCarriesCertificates) {
+  const auto suite = known_optimal_suite(10, 10, 4, 2, 42);
+  EXPECT_EQ(suite.size(), 8u);
+  for (const auto& inst : suite) {
+    EXPECT_EQ(inst.family, "opt");
+    EXPECT_GE(inst.known_optimal, 1u);
+    EXPECT_EQ(real_rank(inst.matrix), inst.known_optimal);
+  }
+}
+
+TEST(Suites, GapSuiteCounts) {
+  const auto suite = gap_suite(10, 10, {2, 4}, 3, 7);
+  EXPECT_EQ(suite.size(), 6u);
+  EXPECT_EQ(suite[0].config, "pairs=2");
+  EXPECT_EQ(suite[5].config, "pairs=4");
+}
+
+TEST(Suites, DeterministicAcrossCalls) {
+  const auto a = random_suite(8, 8, {0.3}, 2, 9);
+  const auto b = random_suite(8, 8, {0.3}, 2, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].matrix, b[i].matrix);
+}
+
+TEST(Suites, PaperOccupancyGrids) {
+  EXPECT_EQ(paper_occupancies_small().size(), 9u);
+  EXPECT_EQ(paper_occupancies_large().size(), 5u);
+  EXPECT_DOUBLE_EQ(paper_occupancies_small().front(), 0.1);
+  EXPECT_DOUBLE_EQ(paper_occupancies_large().back(), 0.20);
+}
+
+}  // namespace
+}  // namespace ebmf::benchgen

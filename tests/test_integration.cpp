@@ -1,0 +1,165 @@
+// Cross-module integration tests: the full pipelines a user of the library
+// would run, plus consistency checks between independent solvers.
+
+#include <gtest/gtest.h>
+
+#include "addressing/schedule.h"
+#include "benchgen/suites.h"
+#include "core/brute_force.h"
+#include "core/fooling.h"
+#include "core/trivial.h"
+#include "dlx/packing_dlx.h"
+#include "ftqc/patterns.h"
+#include "ftqc/two_level.h"
+#include "smt/sap.h"
+#include "support/rng.h"
+
+namespace ebmf {
+namespace {
+
+// The Fig. 1 pattern of the paper: pattern -> SAP -> certificate -> schedule.
+TEST(Integration, PaperFigure1Pipeline) {
+  const auto m = BinaryMatrix::parse(
+      "101100;010011;101010;010101;111000;000111");
+  const auto result = sap_solve(m);
+  ASSERT_TRUE(result.proven_optimal());
+  EXPECT_EQ(result.depth(), 5u);
+
+  // Fooling-set certificate, as in the figure's filled markers.
+  const auto fooling = max_fooling_set(m);
+  EXPECT_EQ(fooling.size(), 5u);
+  EXPECT_TRUE(is_fooling_set(m, fooling));
+
+  // Execute on the AOD model.
+  const addressing::Schedule schedule(m, result.partition);
+  EXPECT_EQ(schedule.depth(), 5u);
+  EXPECT_EQ(schedule.control_channels(), 12u);  // 6 rows + 6 cols vs 36 sites
+}
+
+// All four solvers agree on the optimum for tiny instances.
+class SolverAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverAgreement, FourWayConsistency) {
+  Rng rng(GetParam());
+  for (int t = 0; t < 6; ++t) {
+    const auto m = BinaryMatrix::random(4, 4, 0.35 + 0.06 * t, rng);
+    if (m.is_zero()) continue;
+    const auto brute = brute_force_ebmf(m);
+    ASSERT_TRUE(brute.has_value());
+
+    SapOptions onehot;
+    onehot.encoder.encoding = smt::LabelEncoding::OneHot;
+    onehot.packing.trials = 3;
+    const auto sap_oh = sap_solve(m, onehot);
+    SapOptions binary;
+    binary.encoder.encoding = smt::LabelEncoding::Binary;
+    binary.packing.trials = 3;
+    const auto sap_bin = sap_solve(m, binary);
+
+    ASSERT_TRUE(sap_oh.proven_optimal());
+    ASSERT_TRUE(sap_bin.proven_optimal());
+    EXPECT_EQ(sap_oh.depth(), brute->binary_rank);
+    EXPECT_EQ(sap_bin.depth(), brute->binary_rank);
+
+    // Heuristics are upper bounds.
+    RowPackingOptions packing;
+    packing.trials = 20;
+    EXPECT_GE(row_packing_ebmf(m, packing).partition.size(),
+              brute->binary_rank);
+    EXPECT_GE(dlx::row_packing_dlx(m, packing).partition.size(),
+              brute->binary_rank);
+    EXPECT_GE(trivial_ebmf(m).size(), brute->binary_rank);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverAgreement,
+                         ::testing::Values(7, 14, 28, 56));
+
+// A miniature Table-I style run: on the gap family, row packing with many
+// trials dominates the trivial heuristic (paper Observation 3).
+TEST(Integration, GapFamilyHeuristicOrdering) {
+  const auto suite = benchgen::gap_suite(10, 10, {3}, 12, 2024);
+  std::size_t trivial_total = 0;
+  std::size_t pack1_total = 0;
+  std::size_t pack100_total = 0;
+  for (const auto& inst : suite) {
+    trivial_total += trivial_ebmf(inst.matrix).size();
+    RowPackingOptions one;
+    one.trials = 1;
+    one.use_transpose = false;
+    pack1_total += row_packing_ebmf(inst.matrix, one).partition.size();
+    RowPackingOptions hundred;
+    hundred.trials = 100;
+    pack100_total += row_packing_ebmf(inst.matrix, hundred).partition.size();
+  }
+  EXPECT_LE(pack100_total, pack1_total);
+  EXPECT_LT(pack100_total, trivial_total);
+}
+
+// The 100x100 scale of the paper: heuristics + rank certificate, no SMT.
+TEST(Integration, LargeScaleHeuristicCertification) {
+  Rng rng(4096);
+  const auto m = BinaryMatrix::random(100, 100, 0.05, rng);
+  SapOptions opt;
+  opt.packing.trials = 200;
+  opt.smt_cell_limit = 200;  // ones ~ 500 >> limit: SMT must be skipped
+  const auto r = sap_solve(m, opt);
+  EXPECT_TRUE(validate_partition(m, r.partition).ok);
+  EXPECT_TRUE(r.smt_calls.empty());
+  // Paper Table I: at 5%+ occupancy the 100x100 set is full rank and the
+  // heuristic reaches it; allow a small margin here to keep the test robust
+  // across seeds while still asserting near-optimality.
+  EXPECT_LE(r.depth(), r.rank_lower + 2);
+}
+
+// Two-level FTQC pipeline on a surface-code-like workload.
+TEST(Integration, FtqcTwoLevelPipeline) {
+  Rng rng(11);
+  const auto logical = ftqc::logical_pattern(4, 4, 0.5, rng);
+  if (logical.is_zero()) GTEST_SKIP();
+  const auto physical = ftqc::transversal_patch(4);
+  const auto two = ftqc::solve_two_level(logical, physical);
+  const auto big = BinaryMatrix::kron(logical, physical);
+  ASSERT_TRUE(validate_partition(big, two.product_partition).ok);
+
+  // Direct solve of the 16x16 product must not beat the certified product
+  // solution (physical factor is all-ones -> product is optimal).
+  SapOptions opt;
+  opt.packing.trials = 50;
+  const auto direct = sap_solve(big, opt);
+  EXPECT_GE(direct.depth(), two.product_partition.size());
+
+  // And the schedule executes on the full physical array.
+  const addressing::Schedule schedule(big, two.product_partition);
+  EXPECT_EQ(schedule.depth(), two.upper_bound);
+}
+
+// Anytime contract under pressure: random deadlines never yield invalid or
+// bound-violating answers.
+TEST(Integration, AnytimeContractUnderRandomDeadlines) {
+  Rng rng(13);
+  for (int t = 0; t < 6; ++t) {
+    const auto inst = benchgen::gap_matrix(10, 10, 4, rng);
+    SapOptions opt;
+    opt.deadline = Deadline::after(0.001 * t);
+    opt.conflicts_per_call = 50;
+    const auto r = sap_solve(inst.matrix, opt);
+    EXPECT_TRUE(validate_partition(inst.matrix, r.partition).ok);
+    EXPECT_GE(r.depth(), r.rank_lower);
+  }
+}
+
+// Determinism: the full SAP pipeline is reproducible for a fixed seed.
+TEST(Integration, SapDeterministicGivenSeeds) {
+  Rng rng(15);
+  const auto inst = benchgen::gap_matrix(8, 8, 2, rng);
+  SapOptions opt;
+  opt.packing.seed = 99;
+  const auto a = sap_solve(inst.matrix, opt);
+  const auto b = sap_solve(inst.matrix, opt);
+  EXPECT_EQ(a.depth(), b.depth());
+  EXPECT_EQ(a.status, b.status);
+}
+
+}  // namespace
+}  // namespace ebmf

@@ -1,0 +1,154 @@
+// Tests for matrix and partition serialization.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/matrix_io.h"
+#include "io/partition_io.h"
+#include "support/rng.h"
+
+namespace ebmf::io {
+namespace {
+
+TEST(MatrixIo, DenseRoundTrip) {
+  const auto m = BinaryMatrix::parse("10110;01001;11100");
+  std::ostringstream out;
+  write_dense(out, m);
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_matrix(in), m);
+}
+
+TEST(MatrixIo, SparseRoundTrip) {
+  Rng rng(3);
+  const auto m = BinaryMatrix::random(7, 9, 0.3, rng);
+  std::ostringstream out;
+  write_sparse(out, m);
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_matrix(in), m);
+}
+
+TEST(MatrixIo, PbmRoundTrip) {
+  Rng rng(4);
+  const auto m = BinaryMatrix::random(5, 11, 0.5, rng);
+  std::ostringstream out;
+  write_pbm(out, m);
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_matrix(in), m);
+}
+
+TEST(MatrixIo, PbmPackedPixelsAccepted) {
+  std::istringstream in("P1\n3 2\n101\n010\n");
+  const auto m = read_matrix(in);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_TRUE(m.test(0, 0));
+  EXPECT_TRUE(m.test(1, 1));
+  EXPECT_FALSE(m.test(1, 2));
+}
+
+TEST(MatrixIo, CommentsAndBlankLinesSkipped) {
+  std::istringstream in("# header\n\n101\n# middle\n010\n");
+  const auto m = read_matrix(in);
+  EXPECT_EQ(m.rows(), 2u);
+}
+
+TEST(MatrixIo, DenseWithSpacesAccepted) {
+  std::istringstream in("1 0 1\n0 1 0\n");
+  const auto m = read_matrix(in);
+  EXPECT_EQ(m.cols(), 3u);
+}
+
+TEST(MatrixIo, ErrorsAreDiagnosed) {
+  {
+    std::istringstream in("");
+    EXPECT_THROW((void)read_matrix(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("101\n01\n");  // ragged
+    EXPECT_THROW((void)read_matrix(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("1a1\n");
+    EXPECT_THROW((void)read_matrix(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("sparse 2 2\n5 0\n");  // out of range
+    EXPECT_THROW((void)read_matrix(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("P1\n2 2\n1 0 1\n");  // too few pixels
+    EXPECT_THROW((void)read_matrix(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("P1\n2 2\n1 0 1 1 0\n");  // too many pixels
+    EXPECT_THROW((void)read_matrix(in), std::runtime_error);
+  }
+}
+
+TEST(MatrixIo, MaskedReadsKeepDontCares) {
+  std::istringstream in("1*0\n0x1\n");
+  const auto m = read_masked(in);
+  EXPECT_EQ(m.at(0, 1), completion::Cell::DontCare);
+  EXPECT_EQ(m.at(1, 1), completion::Cell::DontCare);
+  EXPECT_EQ(m.at(0, 0), completion::Cell::One);
+  // Plain reader treats them as zeros.
+  std::istringstream in2("1*0\n0x1\n");
+  const auto plain = read_matrix(in2);
+  EXPECT_FALSE(plain.test(0, 1));
+}
+
+TEST(MatrixIo, SaveLoadByExtension) {
+  Rng rng(5);
+  const auto m = BinaryMatrix::random(6, 6, 0.4, rng);
+  for (const char* name : {"/tmp/ebmf_io_test.txt", "/tmp/ebmf_io_test.pbm",
+                           "/tmp/ebmf_io_test.sparse"}) {
+    save_matrix(name, m);
+    EXPECT_EQ(load_matrix(name), m) << name;
+  }
+}
+
+TEST(PartitionIo, RoundTrip) {
+  const Partition p{
+      Rectangle{BitVec::from_string("101"), BitVec::from_string("0110")},
+      Rectangle{BitVec::from_string("010"), BitVec::from_string("1001")}};
+  std::ostringstream out;
+  write_partition(out, p, 3, 4);
+  std::istringstream in(out.str());
+  const auto loaded = read_partition(in);
+  EXPECT_EQ(loaded.rows, 3u);
+  EXPECT_EQ(loaded.cols, 4u);
+  ASSERT_EQ(loaded.partition.size(), 2u);
+  EXPECT_EQ(loaded.partition[0], p[0]);
+  EXPECT_EQ(loaded.partition[1], p[1]);
+}
+
+TEST(PartitionIo, EmptyPartitionRoundTrip) {
+  std::ostringstream out;
+  write_partition(out, {}, 2, 2);
+  std::istringstream in(out.str());
+  const auto loaded = read_partition(in);
+  EXPECT_TRUE(loaded.partition.empty());
+}
+
+TEST(PartitionIo, Errors) {
+  {
+    std::istringstream in("rect 0 x 1\n");  // no header
+    EXPECT_THROW((void)read_partition(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("partition 2 2 2\nrect 0 x 1\n");  // count mismatch
+    EXPECT_THROW((void)read_partition(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("partition 2 2 1\nrect 5 x 0\n");  // out of range
+    EXPECT_THROW((void)read_partition(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("partition 2 2 1\nrect 0 y 0\n");  // bad separator
+    EXPECT_THROW((void)read_partition(in), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace ebmf::io

@@ -1,0 +1,145 @@
+// Tests for BinaryMatrix.
+
+#include "core/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace ebmf {
+namespace {
+
+TEST(Matrix, DefaultEmpty) {
+  BinaryMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.is_zero());
+  EXPECT_EQ(m.ones_count(), 0u);
+}
+
+TEST(Matrix, ParseAndToString) {
+  const auto m = BinaryMatrix::parse("101;010;110");
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_TRUE(m.test(0, 0));
+  EXPECT_FALSE(m.test(0, 1));
+  EXPECT_TRUE(m.test(2, 1));
+  EXPECT_EQ(m.to_string(), "101\n010\n110");
+}
+
+TEST(Matrix, ParseAcceptsNewlinesAndSpaces) {
+  const auto m = BinaryMatrix::parse("10 1\n0 10\n");
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+}
+
+TEST(Matrix, ParseRejectsGarbage) {
+  EXPECT_THROW((void)BinaryMatrix::parse("10;2x"), ContractViolation);
+}
+
+TEST(Matrix, FromStringsRejectsRaggedRows) {
+  EXPECT_THROW((void)BinaryMatrix::from_strings({"101", "10"}),
+               ContractViolation);
+}
+
+TEST(Matrix, SetAndCount) {
+  BinaryMatrix m(4, 6);
+  m.set(0, 0);
+  m.set(3, 5);
+  m.set(1, 2);
+  m.set(1, 2, false);
+  EXPECT_EQ(m.ones_count(), 2u);
+  EXPECT_FALSE(m.is_zero());
+}
+
+TEST(Matrix, OnesRowMajor) {
+  const auto m = BinaryMatrix::parse("010;101");
+  using P = std::pair<std::size_t, std::size_t>;
+  const std::vector<P> expected{{0, 1}, {1, 0}, {1, 2}};
+  EXPECT_EQ(m.ones(), expected);
+}
+
+TEST(Matrix, ColExtraction) {
+  const auto m = BinaryMatrix::parse("10;11;01");
+  EXPECT_EQ(m.col(0).to_string(), "110");
+  EXPECT_EQ(m.col(1).to_string(), "011");
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Rng rng(5);
+  for (int t = 0; t < 10; ++t) {
+    const auto m = BinaryMatrix::random(7, 4, 0.4, rng);
+    const auto mtt = m.transposed().transposed();
+    EXPECT_EQ(m, mtt);
+  }
+}
+
+TEST(Matrix, TransposeShapeAndEntries) {
+  const auto m = BinaryMatrix::parse("110;001");
+  const auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(m.test(i, j), t.test(j, i));
+}
+
+TEST(Matrix, PermutedRows) {
+  const auto m = BinaryMatrix::parse("100;010;001");
+  const auto p = m.permuted_rows({2, 0, 1});
+  EXPECT_EQ(p.to_string(), "001\n100\n010");
+  EXPECT_THROW((void)m.permuted_rows({0, 1}), ContractViolation);
+}
+
+TEST(Matrix, KronSmall) {
+  const auto a = BinaryMatrix::parse("10;01");
+  const auto b = BinaryMatrix::parse("11;10");
+  const auto k = BinaryMatrix::kron(a, b);
+  EXPECT_EQ(k.rows(), 4u);
+  EXPECT_EQ(k.cols(), 4u);
+  EXPECT_EQ(k.to_string(), "1100\n1000\n0011\n0010");
+}
+
+TEST(Matrix, KronWithAllOnesReplicates) {
+  const auto a = BinaryMatrix::parse("10;01");
+  const auto ones = BinaryMatrix::parse("11;11");
+  const auto k = BinaryMatrix::kron(a, ones);
+  EXPECT_EQ(k.ones_count(), a.ones_count() * 4);
+}
+
+TEST(Matrix, KronEntriesMatchDefinition) {
+  Rng rng(77);
+  const auto a = BinaryMatrix::random(3, 4, 0.5, rng);
+  const auto b = BinaryMatrix::random(2, 5, 0.5, rng);
+  const auto k = BinaryMatrix::kron(a, b);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      for (std::size_t x = 0; x < b.rows(); ++x)
+        for (std::size_t y = 0; y < b.cols(); ++y)
+          EXPECT_EQ(k.test(i * b.rows() + x, j * b.cols() + y),
+                    a.test(i, j) && b.test(x, y));
+}
+
+TEST(Matrix, RandomOccupancyCalibrated) {
+  Rng rng(31);
+  const auto m = BinaryMatrix::random(100, 100, 0.3, rng);
+  const double occ = static_cast<double>(m.ones_count()) / (100.0 * 100.0);
+  EXPECT_NEAR(occ, 0.3, 0.03);
+}
+
+TEST(Matrix, RandomDeterministicPerSeed) {
+  Rng rng1(8);
+  Rng rng2(8);
+  EXPECT_EQ(BinaryMatrix::random(6, 6, 0.5, rng1),
+            BinaryMatrix::random(6, 6, 0.5, rng2));
+}
+
+TEST(Matrix, EqualityDetectsDifferences) {
+  auto a = BinaryMatrix::parse("10;01");
+  auto b = a;
+  EXPECT_EQ(a, b);
+  b.set(0, 1);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace ebmf

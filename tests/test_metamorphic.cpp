@@ -1,0 +1,114 @@
+// Metamorphic tests: transformations of the input with known effect on the
+// binary rank. These catch subtle solver bugs that fixed-instance tests
+// miss, because the oracle is the *relation* between two solved instances.
+
+#include <gtest/gtest.h>
+
+#include "benchgen/generators.h"
+#include "core/bounds.h"
+#include "smt/sap.h"
+#include "support/rng.h"
+
+namespace ebmf {
+namespace {
+
+std::size_t solved_rank(const BinaryMatrix& m) {
+  SapOptions opt;
+  opt.packing.trials = 30;
+  const auto r = sap_solve(m, opt);
+  EXPECT_TRUE(r.proven_optimal()) << m.to_string();
+  return r.depth();
+}
+
+class Metamorphic : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Metamorphic, InvariantUnderRowAndColumnPermutation) {
+  Rng rng(GetParam());
+  for (int t = 0; t < 4; ++t) {
+    const auto m = BinaryMatrix::random(5, 5, 0.5, rng);
+    if (m.is_zero()) continue;
+    const auto base = solved_rank(m);
+    const auto row_perm = m.permuted_rows(rng.permutation(5));
+    EXPECT_EQ(solved_rank(row_perm), base);
+    const auto col_perm =
+        row_perm.transposed().permuted_rows(rng.permutation(5)).transposed();
+    EXPECT_EQ(solved_rank(col_perm), base);
+  }
+}
+
+TEST_P(Metamorphic, InvariantUnderTranspose) {
+  Rng rng(GetParam() + 1000);
+  for (int t = 0; t < 4; ++t) {
+    const auto m = BinaryMatrix::random(4, 6, 0.45, rng);
+    if (m.is_zero()) continue;
+    EXPECT_EQ(solved_rank(m), solved_rank(m.transposed()));
+  }
+}
+
+TEST_P(Metamorphic, InvariantUnderRowDuplication) {
+  Rng rng(GetParam() + 2000);
+  for (int t = 0; t < 4; ++t) {
+    const auto m = BinaryMatrix::random(4, 5, 0.5, rng);
+    if (m.is_zero()) continue;
+    auto rows = m.row_vectors();
+    rows.push_back(m.row(rng.below(4)));  // duplicate a random row
+    rows.push_back(BitVec(5));            // and a zero row
+    const auto bigger = BinaryMatrix::from_rows(rows, 5);
+    EXPECT_EQ(solved_rank(bigger), solved_rank(m));
+  }
+}
+
+TEST_P(Metamorphic, MonotoneUnderRowDeletion) {
+  Rng rng(GetParam() + 3000);
+  for (int t = 0; t < 4; ++t) {
+    const auto m = BinaryMatrix::random(5, 5, 0.5, rng);
+    if (m.is_zero()) continue;
+    auto rows = m.row_vectors();
+    rows.erase(rows.begin() + static_cast<std::ptrdiff_t>(rng.below(5)));
+    const auto smaller = BinaryMatrix::from_rows(rows, 5);
+    if (smaller.is_zero()) continue;
+    EXPECT_LE(solved_rank(smaller), solved_rank(m));
+  }
+}
+
+TEST_P(Metamorphic, AdditiveUnderBlockDiagonalComposition) {
+  Rng rng(GetParam() + 4000);
+  for (int t = 0; t < 3; ++t) {
+    const auto a = BinaryMatrix::random(3, 3, 0.6, rng);
+    const auto b = BinaryMatrix::random(3, 4, 0.6, rng);
+    if (a.is_zero() || b.is_zero()) continue;
+    // Block-diagonal stack of a and b.
+    BinaryMatrix block(a.rows() + b.rows(), a.cols() + b.cols());
+    for (const auto& [i, j] : a.ones()) block.set(i, j);
+    for (const auto& [i, j] : b.ones())
+      block.set(a.rows() + i, a.cols() + j);
+    EXPECT_EQ(solved_rank(block), solved_rank(a) + solved_rank(b));
+  }
+}
+
+TEST_P(Metamorphic, SubmultiplicativeUnderKronecker) {
+  Rng rng(GetParam() + 5000);
+  for (int t = 0; t < 2; ++t) {
+    const auto a = BinaryMatrix::random(2, 3, 0.6, rng);
+    const auto b = BinaryMatrix::random(3, 2, 0.6, rng);
+    if (a.is_zero() || b.is_zero()) continue;
+    const auto product = BinaryMatrix::kron(a, b);
+    EXPECT_LE(solved_rank(product), solved_rank(a) * solved_rank(b));
+    EXPECT_GE(solved_rank(product), real_rank(product));
+  }
+}
+
+TEST_P(Metamorphic, PaddingWithZeroBorderIsInvariant) {
+  Rng rng(GetParam() + 6000);
+  const auto m = BinaryMatrix::random(4, 4, 0.5, rng);
+  if (m.is_zero()) GTEST_SKIP();
+  BinaryMatrix padded(6, 6);
+  for (const auto& [i, j] : m.ones()) padded.set(i + 1, j + 1);
+  EXPECT_EQ(solved_rank(padded), solved_rank(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Metamorphic,
+                         ::testing::Values(10, 20, 30, 40));
+
+}  // namespace
+}  // namespace ebmf

@@ -1,0 +1,139 @@
+// Tests for exact rank computation (the Eq. 3 lower bound of the paper).
+
+#include "linalg/rank.h"
+
+#include <gtest/gtest.h>
+
+#include "core/matrix.h"
+#include "support/rng.h"
+
+namespace ebmf {
+namespace {
+
+std::vector<BitVec> rows_of(const BinaryMatrix& m) { return m.row_vectors(); }
+
+TEST(Rank, EmptyAndZero) {
+  EXPECT_EQ(real_rank({}, 0), 0u);
+  BinaryMatrix z(4, 5);
+  EXPECT_EQ(real_rank(rows_of(z), 5), 0u);
+  EXPECT_EQ(rank_gf2(rows_of(z)), 0u);
+  EXPECT_EQ(rank_bareiss(rows_of(z), 5), 0u);
+}
+
+TEST(Rank, Identity) {
+  BinaryMatrix id(6, 6);
+  for (std::size_t i = 0; i < 6; ++i) id.set(i, i);
+  EXPECT_EQ(real_rank(rows_of(id), 6), 6u);
+  EXPECT_EQ(rank_gf2(rows_of(id)), 6u);
+  EXPECT_EQ(rank_mod_p(rows_of(id), 6, 1000000007ull), 6u);
+}
+
+TEST(Rank, AllOnesIsRankOne) {
+  BinaryMatrix ones(5, 7);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 7; ++j) ones.set(i, j);
+  EXPECT_EQ(real_rank(rows_of(ones), 7), 1u);
+  EXPECT_EQ(rank_bareiss(rows_of(ones), 7), 1u);
+}
+
+TEST(Rank, DuplicateRowsDontCount) {
+  const auto m = BinaryMatrix::parse("1100;1100;0011;0011;1111");
+  // row0=row1, row2=row3, row4=row0+row2 -> rank 2.
+  EXPECT_EQ(real_rank(rows_of(m), 4), 2u);
+}
+
+TEST(Rank, Gf2DiffersFromRealRank) {
+  // The classic parity example (also the paper's Eq. 2 matrix shape):
+  // rank over GF(2) collapses because rows sum to zero mod 2.
+  const auto m = BinaryMatrix::parse("011;101;110");
+  EXPECT_EQ(rank_gf2(rows_of(m)), 2u);
+  EXPECT_EQ(real_rank(rows_of(m), 3), 3u);
+  EXPECT_EQ(rank_bareiss(rows_of(m), 3), 3u);
+}
+
+TEST(Rank, Eq2MatrixFullRank) {
+  // The paper's Eq. 2 matrix: r_B = 3 and rank 3 here too.
+  const auto m = BinaryMatrix::parse("110;011;111");
+  EXPECT_EQ(real_rank(rows_of(m), 3), 3u);
+}
+
+TEST(Rank, WideAndTallAgreeWithTranspose) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto m = BinaryMatrix::random(6, 11, 0.4, rng);
+    const auto mt = m.transposed();
+    EXPECT_EQ(real_rank(rows_of(m), m.cols()),
+              real_rank(rows_of(mt), mt.cols()));
+  }
+}
+
+TEST(Rank, BareissMatchesModularOnRandom) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto m = BinaryMatrix::random(8, 8, 0.5, rng);
+    const auto rb = rank_bareiss(rows_of(m), 8);
+    const auto rp = rank_mod_p(rows_of(m), 8, 2147483647ull);
+    const auto rr = real_rank(rows_of(m), 8);
+    EXPECT_EQ(rb, rr);
+    EXPECT_LE(rp, rb);  // GF(p) rank can only drop
+    EXPECT_EQ(rp, rb);  // ... but virtually never does for 0/1 matrices
+  }
+}
+
+TEST(Rank, RankBoundedByDims) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto m = BinaryMatrix::random(5, 9, 0.6, rng);
+    const auto r = real_rank(rows_of(m), 9);
+    EXPECT_LE(r, 5u);
+  }
+}
+
+TEST(Rank, LargeSparseExactPath) {
+  // 60x60 at 5%: usually rank-deficient, exercising the Bareiss fallback.
+  Rng rng(123);
+  const auto m = BinaryMatrix::random(60, 60, 0.05, rng);
+  const auto rr = real_rank(rows_of(m), 60);
+  const auto rb = rank_bareiss(rows_of(m), 60);
+  EXPECT_EQ(rr, rb);
+  EXPECT_LT(rr, 60u);
+}
+
+TEST(Rank, KroneckerRankMultiplicative) {
+  Rng rng(55);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto a = BinaryMatrix::random(4, 5, 0.5, rng);
+    const auto b = BinaryMatrix::random(3, 4, 0.5, rng);
+    const auto k = BinaryMatrix::kron(a, b);
+    EXPECT_EQ(real_rank(rows_of(k), k.cols()),
+              real_rank(rows_of(a), a.cols()) *
+                  real_rank(rows_of(b), b.cols()));
+  }
+}
+
+// Paper Observation 1 backdrop: wide random matrices are almost surely
+// full-rank at moderate occupancy.
+class FullRankTendency
+    : public ::testing::TestWithParam<std::pair<std::size_t, double>> {};
+
+TEST_P(FullRankTendency, WideMatricesUsuallyFullRank) {
+  const auto [cols, occ] = GetParam();
+  Rng rng(1000 + cols);
+  int full = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    const auto m = BinaryMatrix::random(10, cols, occ, rng);
+    if (real_rank(rows_of(m), cols) == 10) ++full;
+  }
+  EXPECT_GE(full, trials - 2);  // ≥ 90% full rank
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FullRankTendency,
+    ::testing::Values(std::make_pair(std::size_t{20}, 0.3),
+                      std::make_pair(std::size_t{20}, 0.5),
+                      std::make_pair(std::size_t{30}, 0.2),
+                      std::make_pair(std::size_t{30}, 0.5)));
+
+}  // namespace
+}  // namespace ebmf

@@ -1,0 +1,198 @@
+// Tests for SAP (Algorithm 1): optimality against brute force, certificate
+// statuses, anytime behaviour, and the paper's benchmark families.
+
+#include "smt/sap.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/generators.h"
+#include "core/brute_force.h"
+#include "support/rng.h"
+
+namespace ebmf {
+namespace {
+
+TEST(Sap, ZeroMatrix) {
+  const BinaryMatrix z(5, 5);
+  const auto r = sap_solve(z);
+  EXPECT_TRUE(r.partition.empty());
+  EXPECT_EQ(r.status, SapStatus::Optimal);
+  EXPECT_EQ(r.rank_lower, 0u);
+}
+
+TEST(Sap, FullRectangle) {
+  const auto m = BinaryMatrix::parse("111;111;111");
+  const auto r = sap_solve(m);
+  EXPECT_EQ(r.depth(), 1u);
+  EXPECT_TRUE(r.proven_optimal());
+  // rank == 1 == |P|: no SMT call should have been needed.
+  EXPECT_TRUE(r.smt_calls.empty());
+}
+
+TEST(Sap, SingleCell) {
+  const auto m = BinaryMatrix::parse("000;010;000");
+  const auto r = sap_solve(m);
+  EXPECT_EQ(r.depth(), 1u);
+  EXPECT_TRUE(r.proven_optimal());
+}
+
+TEST(Sap, PaperFig1bOptimalFive) {
+  const auto m = BinaryMatrix::parse(
+      "101100;010011;101010;010101;111000;000111");
+  const auto r = sap_solve(m);
+  EXPECT_EQ(r.depth(), 5u);
+  EXPECT_TRUE(r.proven_optimal());
+  EXPECT_TRUE(validate_partition(m, r.partition).ok);
+}
+
+TEST(Sap, Eq2MatrixOptimalThree) {
+  const auto m = BinaryMatrix::parse("110;011;111");
+  const auto r = sap_solve(m);
+  EXPECT_EQ(r.depth(), 3u);
+  EXPECT_TRUE(r.proven_optimal());
+}
+
+class SapBrute : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SapBrute, MatchesBruteForceOnTinyMatrices) {
+  Rng rng(GetParam());
+  for (int t = 0; t < 10; ++t) {
+    const auto m = BinaryMatrix::random(4, 5, 0.3 + 0.05 * t, rng);
+    if (m.is_zero()) continue;
+    const auto brute = brute_force_ebmf(m);
+    ASSERT_TRUE(brute.has_value());
+    SapOptions opt;
+    opt.packing.trials = 5;  // force the SMT phase to do real work
+    const auto r = sap_solve(m, opt);
+    EXPECT_TRUE(r.proven_optimal()) << m.to_string();
+    EXPECT_EQ(r.depth(), brute->binary_rank) << m.to_string();
+    EXPECT_TRUE(validate_partition(m, r.partition).ok);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SapBrute,
+                         ::testing::Values(21, 42, 63, 84, 105, 126));
+
+TEST(Sap, KnownOptimalFamilyShortCircuits) {
+  // Family 2 matrices have rank == r_B: packing + rank certificate suffice.
+  Rng rng(1999);
+  for (std::size_t k = 1; k <= 8; ++k) {
+    const auto inst = benchgen::known_optimal_matrix(10, 10, k, rng);
+    const auto r = sap_solve(inst.matrix);
+    EXPECT_TRUE(r.proven_optimal());
+    EXPECT_EQ(r.depth(), inst.optimal);
+    EXPECT_TRUE(r.smt_calls.empty());  // rank match, no SMT needed
+  }
+}
+
+TEST(Sap, GapFamilyNeedsUnsatCertificate) {
+  // Family 3 is built so r_B > rank: SAP must run SMT and finish with an
+  // UNSAT certificate (or walk down to the optimum).
+  Rng rng(3003);
+  bool saw_unsat_certificate = false;
+  for (int t = 0; t < 8; ++t) {
+    const auto inst = benchgen::gap_matrix(8, 8, 3, rng);
+    const auto r = sap_solve(inst.matrix);
+    EXPECT_TRUE(r.proven_optimal());
+    EXPECT_TRUE(validate_partition(inst.matrix, r.partition).ok);
+    EXPECT_GE(r.depth(), r.rank_lower);
+    if (!r.smt_calls.empty() &&
+        r.smt_calls.back().result == sat::SolveResult::Unsat)
+      saw_unsat_certificate = true;
+  }
+  EXPECT_TRUE(saw_unsat_certificate);
+}
+
+TEST(Sap, HeuristicOnlyModeSkipsSmt) {
+  Rng rng(11);
+  const auto m = BinaryMatrix::random(8, 8, 0.5, rng);
+  SapOptions opt;
+  opt.use_smt = false;
+  const auto r = sap_solve(m, opt);
+  EXPECT_TRUE(r.smt_calls.empty());
+  EXPECT_TRUE(validate_partition(m, r.partition).ok);
+  EXPECT_TRUE(r.status == SapStatus::HeuristicOnly ||
+              r.status == SapStatus::Optimal);
+}
+
+TEST(Sap, CellLimitGuardsSmt) {
+  Rng rng(12);
+  const auto m = BinaryMatrix::random(10, 10, 0.5, rng);
+  SapOptions opt;
+  opt.smt_cell_limit = 5;  // way below the ~50 ones
+  const auto r = sap_solve(m, opt);
+  EXPECT_TRUE(r.smt_calls.empty());
+}
+
+TEST(Sap, AnytimeUnderTightDeadline) {
+  // With an already-expired deadline the result is still a valid partition.
+  Rng rng(13);
+  const auto m = BinaryMatrix::random(10, 10, 0.5, rng);
+  SapOptions opt;
+  opt.deadline = Deadline::after(0.0);
+  const auto r = sap_solve(m, opt);
+  EXPECT_TRUE(validate_partition(m, r.partition).ok);
+  EXPECT_GE(r.depth(), r.rank_lower);
+}
+
+TEST(Sap, ConflictBudgetKeepsBestSoFar) {
+  Rng rng(14);
+  const auto inst = benchgen::gap_matrix(10, 10, 4, rng);
+  SapOptions opt;
+  opt.conflicts_per_call = 1;
+  const auto r = sap_solve(inst.matrix, opt);
+  EXPECT_TRUE(validate_partition(inst.matrix, r.partition).ok);
+  // Status may be BoundedOnly (budget) or Optimal (lucky small calls), but
+  // the partition is never invalid and never better than the lower bound.
+  EXPECT_GE(r.depth(), r.rank_lower);
+}
+
+TEST(Sap, BothEncodingsReachTheSameOptimum) {
+  Rng rng(15);
+  for (int t = 0; t < 6; ++t) {
+    const auto inst = benchgen::gap_matrix(8, 8, 2, rng);
+    SapOptions onehot;
+    onehot.encoder.encoding = smt::LabelEncoding::OneHot;
+    SapOptions binary;
+    binary.encoder.encoding = smt::LabelEncoding::Binary;
+    const auto a = sap_solve(inst.matrix, onehot);
+    const auto b = sap_solve(inst.matrix, binary);
+    ASSERT_TRUE(a.proven_optimal());
+    ASSERT_TRUE(b.proven_optimal());
+    EXPECT_EQ(a.depth(), b.depth());
+  }
+}
+
+TEST(Sap, StatsAreCoherent) {
+  Rng rng(16);
+  const auto inst = benchgen::gap_matrix(8, 8, 3, rng);
+  const auto r = sap_solve(inst.matrix);
+  EXPECT_GE(r.heuristic_size, r.depth());
+  EXPECT_GE(r.total_seconds, 0.0);
+  double sum = 0;
+  for (const auto& call : r.smt_calls) {
+    EXPECT_GE(call.seconds, 0.0);
+    sum += call.seconds;
+  }
+  EXPECT_NEAR(r.smt_seconds, sum, 1e-9);
+  // Bounds must be decreasing across calls.
+  for (std::size_t i = 1; i < r.smt_calls.size(); ++i)
+    EXPECT_LT(r.smt_calls[i].bound, r.smt_calls[i - 1].bound);
+}
+
+TEST(Sap, WideRandomMatricesUsuallyRankCertified) {
+  // Paper Observation 1: wide random matrices are full rank, so SAP
+  // certifies via the rank match without SMT most of the time.
+  Rng rng(17);
+  int no_smt = 0;
+  for (int t = 0; t < 10; ++t) {
+    const auto m = BinaryMatrix::random(6, 18, 0.5, rng);
+    const auto r = sap_solve(m);
+    EXPECT_TRUE(validate_partition(m, r.partition).ok);
+    if (r.smt_calls.empty() && r.proven_optimal()) ++no_smt;
+  }
+  EXPECT_GE(no_smt, 8);
+}
+
+}  // namespace
+}  // namespace ebmf

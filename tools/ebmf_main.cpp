@@ -1,0 +1,10 @@
+// The `ebmf` command-line tool. All logic lives in src/cli (testable);
+// this file only forwards to it.
+
+#include <iostream>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  return ebmf::cli::run(argc, argv, std::cout, std::cerr);
+}
