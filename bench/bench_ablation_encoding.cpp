@@ -14,7 +14,7 @@
 
 #include "benchgen/suites.h"
 #include "common.h"
-#include "smt/sap.h"
+#include "engine/engine.h"
 
 namespace {
 
@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
               "SMT[s]", "max[s]", "conflicts", "calls");
   std::printf("%s\n", std::string(76, '-').c_str());
 
+  const ebmf::engine::Engine engine;
   for (const auto& config : configs) {
     std::size_t proven = 0;
     double total_smt = 0;
@@ -56,19 +57,19 @@ int main(int argc, char** argv) {
     std::uint64_t conflicts = 0;
     std::size_t calls = 0;
     for (const auto& inst : pool) {
-      ebmf::SapOptions sopt;
-      sopt.encoder.encoding = config.encoding;
-      sopt.encoder.symmetry_breaking = config.symmetry;
-      sopt.packing.trials = 5;  // weak heuristic: force SMT to work
-      sopt.packing.seed = opt.seed;
-      sopt.deadline = ebmf::Deadline::after(opt.budget_seconds);
-      const auto r = ebmf::sap_solve(inst.matrix, sopt);
+      auto request = ebmf::engine::SolveRequest::dense(inst.matrix, "sap");
+      request.encoding = config.encoding;
+      request.symmetry_breaking = config.symmetry;
+      request.trials = 5;  // weak heuristic: force SMT to work
+      request.seed = opt.seed;
+      request.budget = opt.budget();
+      const auto r = engine.solve(request);
+      ebmf::bench::emit_json(opt, inst.family, inst.config, r);
       if (r.proven_optimal()) ++proven;
-      total_smt += r.smt_seconds;
-      conflicts += r.smt_stats.conflicts;
-      calls += r.smt_calls.size();
-      double inst_smt = 0;
-      for (const auto& call : r.smt_calls) inst_smt += call.seconds;
+      const double inst_smt = r.timing("smt");
+      total_smt += inst_smt;
+      conflicts += r.telemetry_count("sat.conflicts");
+      calls += r.telemetry_count("smt.calls");
       max_smt = std::max(max_smt, inst_smt);
     }
     std::printf("%-22s %6.0f%% %10.3f %10.3f %12llu %10zu\n",

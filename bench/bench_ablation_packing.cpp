@@ -16,23 +16,20 @@
 
 #include "benchgen/suites.h"
 #include "common.h"
-#include "core/greedy_rect.h"
-#include "core/row_packing.h"
 #include "core/trivial.h"
-#include "dlx/packing_dlx.h"
-#include "smt/sap.h"
+#include "engine/engine.h"
 #include "support/stopwatch.h"
 
 namespace {
 
 using ebmf::benchgen::Instance;
+using ebmf::engine::SolveRequest;
 
 struct Variant {
   std::string name;
   ebmf::RowOrder order = ebmf::RowOrder::Shuffle;
   bool basis_update = true;
-  bool use_dlx = false;
-  bool use_greedy_rect = false;
+  std::string strategy = "heuristic";  // heuristic | dlx | greedy
   std::size_t trials = 1;
 };
 
@@ -56,14 +53,16 @@ int main(int argc, char** argv) {
                                  opt.seed + 50))
     pool.push_back(std::move(inst));
 
-  // Certified optima.
+  // Certified optima (engine "sap" backend).
+  const ebmf::engine::Engine engine;
   std::vector<std::size_t> optimum(pool.size(), 0);
   std::size_t proven = 0;
   for (std::size_t i = 0; i < pool.size(); ++i) {
-    ebmf::SapOptions sopt;
-    sopt.packing.trials = 200;
-    sopt.deadline = ebmf::Deadline::after(opt.budget_seconds);
-    const auto r = ebmf::sap_solve(pool[i].matrix, sopt);
+    auto request = SolveRequest::dense(pool[i].matrix, "sap");
+    request.trials = 200;
+    request.budget = opt.budget();
+    const auto r = engine.solve(request);
+    ebmf::bench::emit_json(opt, pool[i].family, pool[i].config, r);
     if (r.proven_optimal()) {
       optimum[i] = r.depth();
       ++proven;
@@ -71,19 +70,19 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<Variant> variants = {
-      {"shuffle+update      x1", ebmf::RowOrder::Shuffle, true, false, false, 1},
-      {"shuffle+update     x10", ebmf::RowOrder::Shuffle, true, false, false, 10},
-      {"shuffle+update    x100", ebmf::RowOrder::Shuffle, true, false, false, 100},
-      {"sorted+update       x1", ebmf::RowOrder::SortedByOnes, true, false, false, 1},
-      {"shuffle, no update  x1", ebmf::RowOrder::Shuffle, false, false, false, 1},
-      {"shuffle, no update x10", ebmf::RowOrder::Shuffle, false, false, false, 10},
-      {"shuffle, no upd   x100", ebmf::RowOrder::Shuffle, false, false, false, 100},
-      {"DLX+update          x1", ebmf::RowOrder::Shuffle, true, true, false, 1},
-      {"DLX+update         x10", ebmf::RowOrder::Shuffle, true, true, false, 10},
-      {"DLX+update        x100", ebmf::RowOrder::Shuffle, true, true, false, 100},
-      {"greedy-extract      x1", ebmf::RowOrder::Shuffle, true, false, true, 1},
-      {"greedy-extract     x10", ebmf::RowOrder::Shuffle, true, false, true, 10},
-      {"greedy-extract    x100", ebmf::RowOrder::Shuffle, true, false, true, 100},
+      {"shuffle+update      x1", ebmf::RowOrder::Shuffle, true, "heuristic", 1},
+      {"shuffle+update     x10", ebmf::RowOrder::Shuffle, true, "heuristic", 10},
+      {"shuffle+update    x100", ebmf::RowOrder::Shuffle, true, "heuristic", 100},
+      {"sorted+update       x1", ebmf::RowOrder::SortedByOnes, true, "heuristic", 1},
+      {"shuffle, no update  x1", ebmf::RowOrder::Shuffle, false, "heuristic", 1},
+      {"shuffle, no update x10", ebmf::RowOrder::Shuffle, false, "heuristic", 10},
+      {"shuffle, no upd   x100", ebmf::RowOrder::Shuffle, false, "heuristic", 100},
+      {"DLX+update          x1", ebmf::RowOrder::Shuffle, true, "dlx", 1},
+      {"DLX+update         x10", ebmf::RowOrder::Shuffle, true, "dlx", 10},
+      {"DLX+update        x100", ebmf::RowOrder::Shuffle, true, "dlx", 100},
+      {"greedy-extract      x1", ebmf::RowOrder::Shuffle, true, "greedy", 1},
+      {"greedy-extract     x10", ebmf::RowOrder::Shuffle, true, "greedy", 10},
+      {"greedy-extract    x100", ebmf::RowOrder::Shuffle, true, "greedy", 100},
   };
 
   std::printf("=== Ablation: row packing variants (paper §III-B, §VI) ===\n");
@@ -113,23 +112,13 @@ int main(int argc, char** argv) {
     std::uint64_t seed = opt.seed;
     for (std::size_t i = 0; i < pool.size(); ++i) {
       if (optimum[i] == 0) continue;
-      ebmf::RowPackingOptions packing;
-      packing.order = variant.order;
-      packing.basis_update = variant.basis_update;
-      packing.trials = variant.trials;
-      packing.seed = ++seed;
-      packing.stop_at = optimum[i];
-      std::size_t size = 0;
-      if (variant.use_dlx)
-        size = ebmf::dlx::row_packing_dlx(pool[i].matrix, packing)
-                   .partition.size();
-      else if (variant.use_greedy_rect)
-        size = ebmf::greedy_rectangles(pool[i].matrix, packing)
-                   .partition.size();
-      else
-        size = ebmf::row_packing_ebmf(pool[i].matrix, packing)
-                   .partition.size();
-      if (size == optimum[i]) ++tally.hits;
+      auto request = SolveRequest::dense(pool[i].matrix, variant.strategy);
+      request.order = variant.order;
+      request.basis_update = variant.basis_update;
+      request.trials = variant.trials;
+      request.seed = ++seed;
+      request.stop_at = optimum[i];
+      if (engine.solve(request).depth() == optimum[i]) ++tally.hits;
     }
     tally.seconds = watch.seconds();
     std::printf("%-24s %9.0f%% %12.3f\n", variant.name.c_str(),

@@ -15,7 +15,7 @@
 
 #include "benchgen/suites.h"
 #include "common.h"
-#include "smt/sap.h"
+#include "engine/engine.h"
 
 namespace {
 
@@ -30,20 +30,24 @@ struct CaseTiming {
   [[nodiscard]] double total() const { return packing_s + smt_s; }
 };
 
-CaseTiming run_case(const std::string& tag,
-                    const ebmf::benchgen::Instance& inst, double budget) {
-  ebmf::SapOptions opt;
-  opt.packing.trials = 1000;  // paper's most thorough setting
-  opt.deadline = ebmf::Deadline::after(budget);
-  const auto r = ebmf::sap_solve(inst.matrix, opt);
+CaseTiming run_case(const ebmf::engine::Engine& engine,
+                    const std::string& tag,
+                    const ebmf::benchgen::Instance& inst,
+                    const ebmf::bench::Options& opt) {
+  auto request = ebmf::engine::SolveRequest::dense(inst.matrix, "sap");
+  request.trials = 1000;  // paper's most thorough setting
+  request.budget = opt.budget();
+  request.label = tag;
+  const auto r = engine.solve(request);
+  ebmf::bench::emit_json(opt, inst.family, inst.config, r);
   CaseTiming timing;
   timing.tag = tag;
-  timing.packing_s = r.heuristic_seconds;
-  timing.smt_s = r.smt_seconds;
-  timing.rank = r.rank_lower;
+  timing.packing_s = r.timing("heuristic");
+  timing.smt_s = r.timing("smt");
+  timing.rank = r.lower_bound;
   timing.proven = r.proven_optimal();
-  timing.last_unsat = !r.smt_calls.empty() &&
-                      r.smt_calls.back().result == ebmf::sat::SolveResult::Unsat;
+  const std::string* last = r.find_telemetry("smt.last_result");
+  timing.last_unsat = last != nullptr && *last == "unsat";
   return timing;
 }
 
@@ -53,6 +57,7 @@ int main(int argc, char** argv) {
   const auto opt = ebmf::bench::parse_options(argc, argv);
   using namespace ebmf::benchgen;
 
+  const ebmf::engine::Engine engine;
   std::vector<CaseTiming> cases;
   // The figure draws from the full benchmark pool; gap + small random are
   // the families that ever reach the SMT phase.
@@ -60,12 +65,11 @@ int main(int argc, char** argv) {
     const auto suite =
         gap_suite(10, 10, {k}, opt.count(100, 12), opt.seed + k);
     for (const auto& inst : suite)
-      cases.push_back(
-          run_case("g" + std::to_string(k), inst, opt.budget_seconds));
+      cases.push_back(run_case(engine, "g" + std::to_string(k), inst, opt));
   }
   for (const auto& inst : random_suite(10, 10, paper_occupancies_small(),
                                        opt.count(10, 2), opt.seed + 99))
-    cases.push_back(run_case("r", inst, opt.budget_seconds));
+    cases.push_back(run_case(engine, "r", inst, opt));
 
   std::sort(cases.begin(), cases.end(),
             [](const CaseTiming& a, const CaseTiming& b) {

@@ -18,13 +18,14 @@
 #include "common.h"
 #include "core/bounds.h"
 #include "core/fooling.h"
+#include "engine/engine.h"
 #include "ftqc/patterns.h"
 #include "ftqc/two_level.h"
-#include "smt/sap.h"
 
 namespace {
 
 void part_a(const ebmf::bench::Options& opt) {
+  const ebmf::engine::Engine engine;
   std::printf("--- Part A: tensor product bounds (Eq. 5 bracket) ---\n\n");
   std::printf("%-12s %-12s | %6s %6s | %8s %8s %8s %9s\n", "logical",
               "physical", "rB(A)", "rB(B)", "lower", "direct", "product",
@@ -54,10 +55,11 @@ void part_a(const ebmf::bench::Options& opt) {
       if (phys.m.is_zero()) continue;
       const auto two = ebmf::ftqc::solve_two_level(logical, phys.m);
       const auto big = ebmf::BinaryMatrix::kron(logical, phys.m);
-      ebmf::SapOptions sopt;
-      sopt.packing.trials = 100;
-      sopt.deadline = ebmf::Deadline::after(opt.budget_seconds);
-      const auto direct = ebmf::sap_solve(big, sopt);
+      auto request = ebmf::engine::SolveRequest::dense(big, "sap");
+      request.trials = 100;
+      request.budget = opt.budget();
+      const auto direct = engine.solve(request);
+      ebmf::bench::emit_json(opt, "ftqc-tensor", phys.name, direct);
       std::printf("%-12s %-12s | %6zu %6zu | %8zu %7zu%s %8zu %9s\n",
                   ("rand#" + std::to_string(c)).c_str(), phys.name.c_str(),
                   two.logical.depth(), two.physical.depth(), two.lower_bound,
@@ -79,10 +81,11 @@ void part_a(const ebmf::bench::Options& opt) {
   {
     const auto eq2 = ebmf::BinaryMatrix::parse("110;011;111");
     const auto big = ebmf::BinaryMatrix::kron(eq2, eq2);
-    ebmf::SapOptions sopt;
-    sopt.packing.trials = 200;
-    sopt.deadline = ebmf::Deadline::after(4 * opt.budget_seconds);
-    const auto direct = ebmf::sap_solve(big, sopt);
+    auto request = ebmf::engine::SolveRequest::dense(big, "sap");
+    request.trials = 200;
+    request.budget = ebmf::Budget::after(4 * opt.budget_seconds);
+    const auto direct = engine.solve(request);
+    ebmf::bench::emit_json(opt, "ftqc-tensor", "eq2 (x) eq2", direct);
     std::printf("Open question probe: eq2 (x) eq2 (9x9): Eq.5 bracket "
                 "[6, 9], direct r_B = %zu%s\n",
                 direct.depth(), direct.proven_optimal() ? " (proven)" : "+");

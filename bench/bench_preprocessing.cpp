@@ -13,7 +13,7 @@
 #include "benchgen/suites.h"
 #include "common.h"
 #include "core/preprocess.h"
-#include "smt/sap.h"
+#include "engine/engine.h"
 #include "support/rng.h"
 
 namespace {
@@ -51,14 +51,17 @@ struct FamilyReport {
   std::size_t cases = 0;
   std::size_t proven_plain = 0;
   std::size_t proven_preprocessed = 0;
+  std::size_t proven_split = 0;
   double time_plain = 0;
   double time_preprocessed = 0;
+  double time_split = 0;
   double avg_components = 0;
   double avg_largest_cells = 0;
 };
 
 FamilyReport study(const std::vector<ebmf::benchgen::Instance>& instances,
-                   double budget) {
+                   const ebmf::bench::Options& opt) {
+  const ebmf::engine::Engine engine;
   FamilyReport report;
   for (const auto& inst : instances) {
     ++report.cases;
@@ -70,23 +73,35 @@ FamilyReport study(const std::vector<ebmf::benchgen::Instance>& instances,
       largest = std::max(largest, c.matrix.ones_count());
     report.avg_largest_cells += static_cast<double>(largest);
 
-    ebmf::SapOptions plain;
+    auto plain = ebmf::engine::SolveRequest::dense(inst.matrix, "sap");
     plain.preprocess = false;
-    plain.packing.trials = 100;
-    plain.deadline = ebmf::Deadline::after(budget);
+    plain.trials = 100;
+    plain.budget = opt.budget();
     // Guard the monolithic SMT as the paper effectively did: past ~120
     // cells construction+solve of the whole formula is hopeless within the
     // budget and only burns time.
     plain.smt_cell_limit = 120;
-    const auto rp = ebmf::sap_solve(inst.matrix, plain);
+    const auto rp = engine.solve(plain);
+    ebmf::bench::emit_json(opt, inst.family, inst.config + " plain", rp);
     report.time_plain += rp.total_seconds;
     if (rp.proven_optimal()) ++report.proven_plain;
 
-    ebmf::SapOptions pre = plain;
+    auto pre = plain;
     pre.preprocess = true;
-    const auto rq = ebmf::sap_solve(inst.matrix, pre);
+    pre.budget = opt.budget();
+    const auto rq = engine.solve(pre);
+    ebmf::bench::emit_json(opt, inst.family, inst.config + " prep", rq);
     report.time_preprocessed += rq.total_seconds;
     if (rq.proven_optimal()) ++report.proven_preprocessed;
+
+    // Component-parallel: the engine splits once and fans the components
+    // out across the thread pool.
+    auto par = plain;
+    par.budget = opt.budget();
+    const auto rs = engine.solve_split(par);
+    ebmf::bench::emit_json(opt, inst.family, inst.config + " split", rs);
+    report.time_split += rs.total_seconds;
+    if (rs.proven_optimal()) ++report.proven_split;
   }
   if (report.cases != 0) {
     report.avg_components /= static_cast<double>(report.cases);
@@ -96,9 +111,11 @@ FamilyReport study(const std::vector<ebmf::benchgen::Instance>& instances,
 }
 
 void print_row(const char* label, const FamilyReport& r) {
-  std::printf("%-20s %5zu | %6.1f %9.0f | %6zu %8.2fs | %6zu %8.2fs\n", label,
-              r.cases, r.avg_components, r.avg_largest_cells, r.proven_plain,
-              r.time_plain, r.proven_preprocessed, r.time_preprocessed);
+  std::printf(
+      "%-20s %5zu | %6.1f %9.0f | %6zu %8.2fs | %6zu %8.2fs | %6zu %8.2fs\n",
+      label, r.cases, r.avg_components, r.avg_largest_cells, r.proven_plain,
+      r.time_plain, r.proven_preprocessed, r.time_preprocessed,
+      r.proven_split, r.time_split);
 }
 
 }  // namespace
@@ -110,33 +127,34 @@ int main(int argc, char** argv) {
   std::printf("=== Extension: exact preprocessing (dedup + components) ===\n");
   std::printf("('proven' = certified optimal within %.0fs budget)\n\n",
               opt.budget_seconds);
-  std::printf("%-20s %5s | %6s %9s | %15s | %15s\n", "family", "cases",
-              "comps", "max cells", "plain: opt/time", "prep: opt/time");
-  std::printf("%s\n", std::string(86, '-').c_str());
+  std::printf("%-20s %5s | %6s %9s | %15s | %15s | %15s\n", "family", "cases",
+              "comps", "max cells", "plain: opt/time", "prep: opt/time",
+              "split: opt/time");
+  std::printf("%s\n", std::string(104, '-').c_str());
 
   print_row("100x100 @ 1%",
             study(random_suite(100, 100, {0.01}, opt.count(10, 4), opt.seed),
-                  opt.budget_seconds));
+                  opt));
   print_row("100x100 @ 2%",
             study(random_suite(100, 100, {0.02}, opt.count(10, 3),
                                opt.seed + 1),
-                  opt.budget_seconds));
+                  opt));
   print_row("100x100 @ 5%",
             study(random_suite(100, 100, {0.05}, opt.count(10, 2),
                                opt.seed + 2),
-                  opt.budget_seconds));
+                  opt));
   print_row("10x10 gap k=3",
             study(gap_suite(10, 10, {3}, opt.count(40, 8), opt.seed + 3),
-                  opt.budget_seconds));
+                  opt));
   print_row("10x10 rand @ 30%",
             study(random_suite(10, 10, {0.3}, opt.count(10, 6), opt.seed + 4),
-                  opt.budget_seconds));
+                  opt));
   print_row("scattered gap x4",
             study(scattered_gap_suite(4, opt.count(8, 3), opt.seed + 5),
-                  opt.budget_seconds));
+                  opt));
   print_row("scattered gap x8",
             study(scattered_gap_suite(8, opt.count(6, 2), opt.seed + 6),
-                  opt.budget_seconds));
+                  opt));
 
   std::printf("\nShape checks: sparse 100x100 shatters into many small "
               "components -> the\npreprocessed solver proves optimality where "

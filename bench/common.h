@@ -8,13 +8,21 @@
 ///   --full            paper-scale instance counts (equivalent to the
 ///                     counts in §IV-A)
 ///   --seed=<uint>     master seed (default 2024)
-///   --budget=<sec>    per-instance SMT budget (default 5 s)
+///   --budget=<sec>    per-instance solve budget (default 5 s)
+///   --json            additionally emit one line of JSON per solved
+///                     instance (engine SolveReport + provenance) on
+///                     stdout, so BENCH_*.json trajectories can be scripted
+///
+/// Solving goes through the ebmf::engine facade; emit_json renders the
+/// facade's SolveReport (status, bounds, per-phase timings, telemetry).
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include "engine/engine.h"
 
 namespace ebmf::bench {
 
@@ -24,6 +32,7 @@ struct Options {
   bool full = false;
   std::uint64_t seed = 2024;
   double budget_seconds = 5.0;
+  bool json = false;
 
   /// Scale an instance count (at least 1).
   [[nodiscard]] std::size_t count(std::size_t paper_count,
@@ -32,6 +41,11 @@ struct Options {
     const auto scaled = static_cast<std::size_t>(
         static_cast<double>(base) * scale + 0.5);
     return scaled == 0 ? 1 : scaled;
+  }
+
+  /// The per-instance budget as the engine's shared type.
+  [[nodiscard]] Budget budget() const {
+    return Budget::after(budget_seconds);
   }
 };
 
@@ -42,6 +56,8 @@ inline Options parse_options(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--full") {
       opt.full = true;
+    } else if (arg == "--json") {
+      opt.json = true;
     } else if (arg.rfind("--scale=", 0) == 0) {
       opt.scale = std::strtod(arg.c_str() + 8, nullptr);
     } else if (arg.rfind("--seed=", 0) == 0) {
@@ -50,12 +66,24 @@ inline Options parse_options(int argc, char** argv) {
       opt.budget_seconds = std::strtod(arg.c_str() + 9, nullptr);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--full] [--scale=F] [--seed=N] [--budget=S]\n",
+                   "usage: %s [--full] [--scale=F] [--seed=N] [--budget=S] "
+                   "[--json]\n",
                    argv[0]);
       std::exit(2);
     }
   }
   return opt;
+}
+
+/// When --json was given, print one line of JSON for a solved instance.
+/// `family`/`config` identify the instance (benchgen provenance).
+inline void emit_json(const Options& opt, const std::string& family,
+                      const std::string& config,
+                      const engine::SolveReport& report) {
+  if (!opt.json) return;
+  std::printf("{\"family\":\"%s\",\"config\":\"%s\",\"report\":%s}\n",
+              family.c_str(), config.c_str(),
+              engine::to_json(report).c_str());
 }
 
 }  // namespace ebmf::bench

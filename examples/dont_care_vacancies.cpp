@@ -9,23 +9,25 @@
 
 #include <cstdio>
 
-#include "completion/completion_solver.h"
+#include "engine/engine.h"
 
 namespace {
 
 void solve_and_report(const char* name, const ebmf::completion::MaskedMatrix& m) {
-  using namespace ebmf::completion;
-  CompletionOptions free_opt;
-  CompletionOptions strict_opt;
-  strict_opt.semantics = DontCareSemantics::AtMostOnce;
-  const auto free_r = solve_masked(m, free_opt);
-  const auto strict_r = solve_masked(m, strict_opt);
-  std::printf("%-24s ones=%2zu vacancies=%2zu | ignore-DC depth %zu -> "
+  using namespace ebmf::engine;
+  const Engine engine;
+  auto free_req = SolveRequest::with_mask(m);
+  auto strict_req = SolveRequest::with_mask(m);
+  strict_req.semantics = ebmf::completion::DontCareSemantics::AtMostOnce;
+  const auto free_r = engine.solve(free_req);
+  const auto strict_r = engine.solve(strict_req);
+  std::printf("%-24s ones=%2zu vacancies=%2zu | ignore-DC depth %llu -> "
               "free %zu%s / at-most-once %zu%s\n",
               name, m.pattern().ones_count(), m.dont_care_count(),
-              free_r.heuristic_size, free_r.partition.size(),
-              free_r.proven_optimal ? "*" : "", strict_r.partition.size(),
-              strict_r.proven_optimal ? "*" : "");
+              static_cast<unsigned long long>(
+                  free_r.telemetry_count("completion.heuristic_size")),
+              free_r.depth(), free_r.proven_optimal() ? "*" : "",
+              strict_r.depth(), strict_r.proven_optimal() ? "*" : "");
 }
 
 }  // namespace

@@ -17,7 +17,7 @@
 #include "core/fooling.h"
 #include "core/row_packing.h"
 #include "core/trivial.h"
-#include "smt/sap.h"
+#include "engine/engine.h"
 
 int main() {
   const auto pattern = ebmf::BinaryMatrix::parse(
@@ -54,13 +54,18 @@ int main() {
                 packed.partition.size());
   }
 
-  // Exact: SAP (Algorithm 1).
-  const auto result = ebmf::sap_solve(pattern);
-  std::printf("\nSAP: %zu rectangles (%s), heuristic gave %zu, "
-              "%zu SMT call(s)\n",
+  // Exact: SAP (Algorithm 1) through the engine facade.
+  const ebmf::engine::Engine engine;
+  const auto result =
+      engine.solve(ebmf::engine::SolveRequest::dense(pattern, "sap"));
+  std::printf("\nSAP: %zu rectangles (%s), heuristic gave %llu, "
+              "%llu SMT call(s)\n",
               result.depth(),
               result.proven_optimal() ? "PROVEN OPTIMAL" : "not proven",
-              result.heuristic_size, result.smt_calls.size());
+              static_cast<unsigned long long>(
+                  result.telemetry_count("heuristic.size")),
+              static_cast<unsigned long long>(
+                  result.telemetry_count("smt.calls")));
   std::printf("Partition:\n%s\n\n",
               ebmf::render_partition(pattern, result.partition).c_str());
 

@@ -6,14 +6,15 @@
 //
 // A pattern of qubits to address is given as a 0/1 matrix. One AOD
 // configuration can address any rectangle (set of rows x set of columns);
-// sap_solve finds a depth-optimal sequence of rectangles covering every 1
-// exactly once and no 0.
+// the engine facade finds a depth-optimal sequence of rectangles covering
+// every 1 exactly once and no 0 (the "auto" strategy picks the right
+// backend for the instance size).
 
 #include <cstdio>
 
 #include "addressing/schedule.h"
 #include "core/partition.h"
-#include "smt/sap.h"
+#include "engine/engine.h"
 
 int main() {
   // The matrix from Fig. 1b of the paper.
@@ -29,13 +30,15 @@ int main() {
               pattern.rows(), pattern.cols(), pattern.ones_count(),
               pattern.to_string().c_str());
 
-  const ebmf::SapResult result = ebmf::sap_solve(pattern);
+  const ebmf::engine::Engine engine;
+  const ebmf::engine::SolveReport result =
+      engine.solve(ebmf::engine::SolveRequest::dense(pattern));
 
-  std::printf("Depth-optimal addressing: %zu rectangles (%s; rank lower "
-              "bound %zu)\n\n",
+  std::printf("Depth-optimal addressing: %zu rectangles (%s; strategy %s; "
+              "lower bound %zu)\n\n",
               result.depth(),
               result.proven_optimal() ? "proven optimal" : "best found",
-              result.rank_lower);
+              result.strategy.c_str(), result.lower_bound);
   std::printf("Partition (cells labeled by rectangle):\n%s\n\n",
               ebmf::render_partition(pattern, result.partition).c_str());
 

@@ -1,5 +1,8 @@
 #include "cli/cli.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -7,16 +10,15 @@
 
 #include "addressing/schedule.h"
 #include "benchgen/generators.h"
-#include "completion/completion_solver.h"
 #include "core/bounds.h"
 #include "core/fooling.h"
 #include "core/preprocess.h"
 #include "core/trivial.h"
+#include "engine/engine.h"
 #include "io/matrix_io.h"
+#include "io/partition_io.h"
 #include "sat/dimacs.h"
 #include "smt/label_formula.h"
-#include "io/partition_io.h"
-#include "smt/sap.h"
 
 namespace ebmf::cli {
 
@@ -34,10 +36,6 @@ struct Args {
                                 const std::string& fallback) const {
     const auto it = flags.find(name);
     return it == flags.end() ? fallback : it->second;
-  }
-  [[nodiscard]] double num(const std::string& name, double fallback) const {
-    const auto it = flags.find(name);
-    return it == flags.end() ? fallback : std::stod(it->second);
   }
 };
 
@@ -57,80 +55,271 @@ Args parse_args(const std::vector<std::string>& raw) {
   return args;
 }
 
-SapOptions sap_options_from(const Args& args) {
-  SapOptions opt;
-  opt.packing.trials =
-      static_cast<std::size_t>(args.num("trials", 100));
-  opt.packing.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+/// Checked numeric flag reads. A malformed or out-of-range value (e.g.
+/// --budget=soon, --seed=-1, --trials=inf) marks the reader bad; commands
+/// turn that into exit code 2 + usage, never a throw or an undefined
+/// float-to-integer cast (the cli.h contract).
+class FlagReader {
+ public:
+  explicit FlagReader(const Args& args) : args_(&args) {}
+
+  double num(const std::string& name, double fallback) {
+    const auto it = args_->flags.find(name);
+    if (it == args_->flags.end()) return fallback;
+    const char* text = it->second.c_str();
+    char* end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0' || !std::isfinite(value)) {
+      fail(name, it->second);
+      return fallback;
+    }
+    return value;
+  }
+
+  /// A non-negative integer flag (size_t). Doubles keep 53 exact bits —
+  /// far beyond any meaningful trial/row count — so the cast is safe once
+  /// the range check passes.
+  std::size_t count(const std::string& name, std::size_t fallback) {
+    const double value = num(name, static_cast<double>(fallback));
+    if (value < 0 || value > 9e15) {
+      fail(name, args_->get(name, ""));
+      return fallback;
+    }
+    return static_cast<std::size_t>(value);
+  }
+
+  /// An unsigned 64-bit flag (seeds, node caps).
+  std::uint64_t u64(const std::string& name, std::uint64_t fallback) {
+    return count(name, static_cast<std::size_t>(fallback));
+  }
+
+  /// A signed 64-bit flag (conflict caps; negative means unlimited).
+  std::int64_t i64(const std::string& name, std::int64_t fallback) {
+    const double value = num(name, static_cast<double>(fallback));
+    if (value < -9e15 || value > 9e15) {
+      fail(name, args_->get(name, ""));
+      return fallback;
+    }
+    return static_cast<std::int64_t>(value);
+  }
+
+  /// True when all reads parsed; otherwise prints the diagnostic to `err`.
+  bool valid(std::ostream& err) const {
+    if (error_.empty()) return true;
+    err << "error: " << error_ << "\n";
+    return false;
+  }
+
+ private:
+  void fail(const std::string& name, const std::string& value) {
+    if (error_.empty())
+      error_ = "invalid value for --" + name + ": '" + value + "'";
+  }
+
+  const Args* args_;
+  std::string error_;
+};
+
+/// The request-building flags shared by `solve` and `schedule`.
+constexpr const char* kRequestFlagsUsage =
+    "[--strategy=NAME] [--trials=N] [--seed=N] [--budget=S] [--conflicts=N] "
+    "[--nodes=N] [--encoding=onehot|binary] [--no-preprocess] "
+    "[--heuristic-only]";
+
+/// Build the facade request skeleton (everything but the pattern) from
+/// flags. Returns false — after printing to `err` — on malformed numeric
+/// values, bad enum values, or an unknown strategy name (exit code 2 at the
+/// call site).
+bool request_from(const Args& args, const engine::Engine& engine,
+                  engine::SolveRequest& request, std::ostream& err) {
+  FlagReader flags(args);
+  request.trials = flags.count("trials", 100);
+  request.seed = flags.u64("seed", 1);
   if (args.has("budget"))
-    opt.deadline = Deadline::after(args.num("budget", 10.0));
-  if (args.has("heuristic-only")) opt.use_smt = false;
-  if (args.has("no-preprocess")) opt.preprocess = false;
-  if (args.get("encoding", "onehot") == "binary")
-    opt.encoder.encoding = smt::LabelEncoding::Binary;
-  return opt;
+    request.budget.deadline = Deadline::after(flags.num("budget", 10.0));
+  if (args.has("conflicts"))
+    request.budget.max_conflicts = flags.i64("conflicts", -1);
+  if (args.has("nodes")) request.budget.max_nodes = flags.u64("nodes", 0);
+  if (!flags.valid(err)) return false;
+
+  if (args.has("no-preprocess")) request.preprocess = false;
+  const auto encoding = args.get("encoding", "onehot");
+  if (encoding == "binary") {
+    request.encoding = smt::LabelEncoding::Binary;
+  } else if (encoding != "onehot") {
+    err << "error: unknown encoding '" << encoding
+        << "' (expected onehot|binary)\n";
+    return false;
+  }
+  const auto semantics = args.get("semantics", "free");
+  if (semantics == "at-most-once") {
+    request.semantics = completion::DontCareSemantics::AtMostOnce;
+  } else if (semantics != "free") {
+    err << "error: unknown semantics '" << semantics
+        << "' (expected free|at-most-once)\n";
+    return false;
+  }
+
+  // Strategy: --strategy wins; the legacy switches are aliases.
+  if (args.has("strategy")) {
+    request.strategy = args.get("strategy", "auto");
+  } else if (args.has("heuristic-only")) {
+    request.strategy = "heuristic";
+  } else if (args.has("dont-cares")) {
+    request.strategy = "completion";
+  }
+  if (!engine.registry().contains(request.strategy)) {
+    err << "error: unknown strategy '" << request.strategy
+        << "' (available:";
+    for (const auto& name : engine.registry().names()) err << " " << name;
+    err << ")\n";
+    return false;
+  }
+  return true;
+}
+
+void print_report_line(std::ostream& out, const engine::SolveReport& r) {
+  out << "depth " << r.depth();
+  switch (r.status) {
+    case engine::Status::Optimal:
+      out << " (proven optimal)";
+      break;
+    case engine::Status::Bounded:
+      out << " (in [" << r.lower_bound << ", " << r.upper_bound << "])";
+      break;
+    case engine::Status::Heuristic:
+      out << " (heuristic; lower bound " << r.lower_bound << ")";
+      break;
+  }
+  out << ", strategy " << r.strategy << ", " << r.total_seconds << " s\n";
 }
 
 int cmd_solve(const Args& args, std::ostream& out, std::ostream& err) {
-  if (args.positional.size() != 1) {
-    err << "usage: ebmf solve <matrix-file> [--trials=N] [--budget=S] "
-           "[--encoding=onehot|binary] [--heuristic-only] [--no-preprocess] "
-           "[--render] [--save=FILE]\n";
+  if (args.positional.empty()) {
+    err << "usage: ebmf solve <matrix-file> [more files...] "
+        << kRequestFlagsUsage
+        << " [--dont-cares] [--semantics=free|at-most-once] [--split] "
+           "[--threads=N] [--json] [--render] [--save=FILE]\n";
     return 2;
   }
-  const auto m = io::load_matrix(args.positional[0]);
-  if (args.has("dont-cares")) {
-    // Masked path: reparse with '*' kept.
-    const auto masked = io::load_masked(args.positional[0]);
-    completion::CompletionOptions copt;
-    if (args.get("semantics", "free") == "at-most-once")
-      copt.semantics = completion::DontCareSemantics::AtMostOnce;
-    const auto r = completion::solve_masked(masked, copt);
-    out << "depth " << r.partition.size()
-        << (r.proven_optimal ? " (proven optimal)" : " (best found)")
-        << ", heuristic " << r.heuristic_size << "\n";
-    io::write_partition(out, r.partition, masked.rows(), masked.cols());
-    return 0;
+  const engine::Engine engine;
+  engine::SolveRequest base;
+  if (!request_from(args, engine, base, err)) return 2;
+  FlagReader flags(args);
+  const auto threads = flags.count("threads", 0);
+  if (!flags.valid(err)) return 2;
+  const bool masked_input =
+      args.has("dont-cares") || base.strategy == "completion";
+  if (args.positional.size() > 1 &&
+      (args.has("save") || args.has("render") || args.has("split"))) {
+    err << "error: --save/--render/--split apply to a single matrix file\n";
+    return 2;
   }
-  const auto result = sap_solve(m, sap_options_from(args));
-  out << "depth " << result.depth();
-  switch (result.status) {
-    case SapStatus::Optimal:
-      out << " (proven optimal)";
-      break;
-    case SapStatus::BoundedOnly:
-      out << " (in [" << result.rank_lower << ", " << result.depth() << "])";
-      break;
-    case SapStatus::HeuristicOnly:
-      out << " (heuristic; lower bound " << result.rank_lower << ")";
-      break;
+
+  // Many files: one batch through the facade, deterministic result order.
+  // A file that fails to load is reported and skipped — it must not sink
+  // the rest of the batch.
+  if (args.positional.size() > 1) {
+    std::vector<engine::SolveRequest> requests;
+    requests.reserve(args.positional.size());
+    bool load_failed = false;
+    for (const auto& path : args.positional) {
+      engine::SolveRequest request = base;
+      request.label = path;
+      try {
+        if (masked_input)
+          request.masked = io::load_masked(path);
+        else
+          request.matrix = io::load_matrix(path);
+      } catch (const std::exception& e) {
+        err << path << ": error: " << e.what() << "\n";
+        load_failed = true;
+        continue;
+      }
+      requests.push_back(std::move(request));
+    }
+    const auto reports = engine.solve_batch(requests, threads);
+    bool solve_failed = false;
+    for (const auto& report : reports) {
+      if (const std::string* error = report.find_telemetry("error")) {
+        err << report.label << ": error: " << *error << "\n";
+        solve_failed = true;
+        continue;
+      }
+      if (args.has("json")) {
+        out << engine::to_json(report) << "\n";
+      } else {
+        out << report.label << ": ";
+        print_report_line(out, report);
+      }
+    }
+    return load_failed || solve_failed ? 1 : 0;
   }
-  out << ", rank " << result.rank_lower << ", heuristic "
-      << result.heuristic_size << ", smt calls " << result.smt_calls.size()
-      << ", " << result.total_seconds << " s\n";
-  if (args.has("render")) out << render_partition(m, result.partition) << "\n";
-  io::write_partition(out, result.partition, m.rows(), m.cols());
+
+  const auto& path = args.positional[0];
+  engine::SolveRequest request = base;
+  request.label = path;
+  if (masked_input)
+    request.masked = io::load_masked(path);
+  else
+    request.matrix = io::load_matrix(path);
+
+  const auto report = args.has("split") ? engine.solve_split(request, threads)
+                                        : engine.solve(request);
+  const BinaryMatrix& pattern = request.pattern();
+  if (args.has("json")) {
+    // Machine mode: only the JSON line on stdout (same contract as the
+    // batch path), so `... --json | jq` always parses.
+    out << engine::to_json(report) << "\n";
+  } else {
+    print_report_line(out, report);
+    if (args.has("render"))
+      out << render_partition(pattern, report.partition) << "\n";
+    io::write_partition(out, report.partition, pattern.rows(),
+                        pattern.cols());
+  }
   if (args.has("save"))
-    io::save_partition(args.get("save", ""), result.partition, m.rows(),
-                       m.cols());
+    io::save_partition(args.get("save", ""), report.partition, pattern.rows(),
+                       pattern.cols());
+  return 0;
+}
+
+int cmd_strategies(const Args& /*args*/, std::ostream& out,
+                   std::ostream& /*err*/) {
+  const engine::Engine engine;
+  for (const auto& name : engine.registry().names()) {
+    const auto* entry = engine.registry().find(name);
+    out << name << "\t" << entry->description << "\n";
+  }
   return 0;
 }
 
 int cmd_bounds(const Args& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 1) {
-    err << "usage: ebmf bounds <matrix-file>\n";
+    err << "usage: ebmf bounds <matrix-file> [--trials=N]\n";
     return 2;
   }
+  FlagReader flags(args);
+  const auto trials = flags.count("trials", 32);
+  if (!flags.valid(err)) return 2;
   const auto m = io::load_matrix(args.positional[0]);
   const auto rank = real_rank(m);
   const auto fooling = greedy_fooling_set(m).size();
   const auto trivial = trivial_upper_bound(m);
+  // The facade's heuristic backend often beats the trivial upper bound.
+  const engine::Engine engine;
+  auto request = engine::SolveRequest::dense(m, "heuristic");
+  request.trials = trials;
+  const auto heuristic = engine.solve(request);
   out << "shape " << m.rows() << "x" << m.cols() << ", ones "
       << m.ones_count() << "\n";
   out << "rank lower bound     " << rank << "\n";
   out << "fooling lower bound  " << fooling << " (greedy)\n";
   out << "trivial upper bound  " << trivial << "\n";
-  out << "r_B in [" << std::max(rank, fooling) << ", " << trivial << "]\n";
+  out << "packing upper bound  " << heuristic.depth() << " (engine, "
+      << trials << " trials)\n";
+  out << "r_B in [" << std::max(rank, fooling) << ", "
+      << std::min(trivial, heuristic.depth()) << "]\n";
   return 0;
 }
 
@@ -139,15 +328,15 @@ int cmd_fooling(const Args& args, std::ostream& out, std::ostream& err) {
     err << "usage: ebmf fooling <matrix-file> [--exact] [--budget=S]\n";
     return 2;
   }
+  FlagReader flags(args);
+  Budget budget;
+  if (args.has("budget")) budget = Budget::after(flags.num("budget", 10));
+  if (!flags.valid(err)) return 2;
   const auto m = io::load_matrix(args.positional[0]);
   const auto set =
-      args.has("exact")
-          ? max_fooling_set(m, args.has("budget")
-                                   ? Deadline::after(args.num("budget", 10))
-                                   : Deadline{})
-          : greedy_fooling_set(m);
-  out << "fooling set size " << set.size() << (args.has("exact") ? "" : " (greedy)")
-      << "\n";
+      args.has("exact") ? max_fooling_set(m, budget) : greedy_fooling_set(m);
+  out << "fooling set size " << set.size()
+      << (args.has("exact") ? "" : " (greedy)") << "\n";
   for (const auto& [i, j] : set) out << i << " " << j << "\n";
   return 0;
 }
@@ -173,15 +362,23 @@ int cmd_components(const Args& args, std::ostream& out, std::ostream& err) {
 int cmd_schedule(const Args& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 1) {
     err << "usage: ebmf schedule <matrix-file> [--reconfig-us=T] "
-           "[--pulse-us=T] [solve flags]\n";
+           "[--pulse-us=T] "
+        << kRequestFlagsUsage << "\n";
     return 2;
   }
-  const auto m = io::load_matrix(args.positional[0]);
-  const auto result = sap_solve(m, sap_options_from(args));
+  const engine::Engine engine;
+  engine::SolveRequest request;
+  if (!request_from(args, engine, request, err)) return 2;
+  FlagReader flags(args);
   addressing::TimingModel timing;
-  timing.reconfigure_us = args.num("reconfig-us", 10.0);
-  timing.pulse_us = args.num("pulse-us", 0.5);
-  const addressing::Schedule schedule(m, result.partition, timing);
+  timing.reconfigure_us = flags.num("reconfig-us", 10.0);
+  timing.pulse_us = flags.num("pulse-us", 0.5);
+  if (!flags.valid(err)) return 2;
+  const auto m = io::load_matrix(args.positional[0]);
+  request.matrix = m;
+  request.label = args.positional[0];
+  const auto report = engine.solve(request);
+  const addressing::Schedule schedule(m, report.partition, timing);
   out << schedule.render();
   return 0;
 }
@@ -194,20 +391,21 @@ int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
            "[--occupancy=P] [--k=K] [--seed=S] [--format=dense|sparse|pbm]\n";
     return 2;
   }
-  const auto rows = static_cast<std::size_t>(args.num("rows", 10));
-  const auto cols = static_cast<std::size_t>(args.num("cols", 10));
-  Rng rng(static_cast<std::uint64_t>(args.num("seed", 1)));
+  FlagReader flags(args);
+  const auto rows = flags.count("rows", 10);
+  const auto cols = flags.count("cols", 10);
+  const auto occupancy = flags.num("occupancy", 0.5);
+  const auto k = flags.count("k", 3);
+  const auto seed = flags.u64("seed", 1);
+  if (!flags.valid(err)) return 2;
+  Rng rng(seed);
   BinaryMatrix m;
   if (args.positional[0] == "rand") {
-    m = benchgen::random_matrix(rows, cols, args.num("occupancy", 0.5), rng);
+    m = benchgen::random_matrix(rows, cols, occupancy, rng);
   } else if (args.positional[0] == "opt") {
-    m = benchgen::known_optimal_matrix(
-            rows, cols, static_cast<std::size_t>(args.num("k", 3)), rng)
-            .matrix;
+    m = benchgen::known_optimal_matrix(rows, cols, k, rng).matrix;
   } else {
-    m = benchgen::gap_matrix(rows, cols,
-                             static_cast<std::size_t>(args.num("k", 3)), rng)
-            .matrix;
+    m = benchgen::gap_matrix(rows, cols, k, rng).matrix;
   }
   const auto format = args.get("format", "dense");
   if (format == "sparse")
@@ -230,8 +428,9 @@ int cmd_encode(const Args& args, std::ostream& out, std::ostream& err) {
     err << "error: zero matrix has nothing to encode\n";
     return 1;
   }
-  const auto bound = static_cast<std::size_t>(
-      args.num("bound", static_cast<double>(trivial_upper_bound(m))));
+  FlagReader flags(args);
+  const auto bound = flags.count("bound", trivial_upper_bound(m));
+  if (!flags.valid(err)) return 2;
   smt::EncoderOptions enc;
   if (args.get("encoding", "onehot") == "binary")
     enc.encoding = smt::LabelEncoding::Binary;
@@ -262,8 +461,9 @@ std::string usage() {
          "usage: ebmf <command> [args]\n"
          "\n"
          "commands:\n"
-         "  solve <file>        depth-optimal partition of a pattern (SAP)\n"
-         "  bounds <file>       rank / fooling / trivial bracket of r_B\n"
+         "  solve <file>...     partition pattern(s) via the engine facade\n"
+         "  strategies          list the registered solving strategies\n"
+         "  bounds <file>       rank / fooling / trivial / packing bracket\n"
          "  fooling <file>      fooling set (--exact for maximum)\n"
          "  components <file>   preprocessing report\n"
          "  schedule <file>     AOD pulse schedule of the solution\n"
@@ -271,7 +471,10 @@ std::string usage() {
          "  convert <in> <out>  rewrite between dense/sparse/PBM formats\n"
          "  encode <file>       emit the SMT decision problem as DIMACS CNF\n"
          "\n"
-         "run a command without arguments for its flags\n";
+         "solve strategies: auto (portfolio), sap, heuristic, greedy, "
+         "trivial,\n"
+         "brute, dlx, completion; run a command without arguments for its "
+         "flags\n";
 }
 
 int run_command(const std::string& command,
@@ -280,6 +483,7 @@ int run_command(const std::string& command,
   try {
     const Args parsed = parse_args(args);
     if (command == "solve") return cmd_solve(parsed, out, err);
+    if (command == "strategies") return cmd_strategies(parsed, out, err);
     if (command == "bounds") return cmd_bounds(parsed, out, err);
     if (command == "fooling") return cmd_fooling(parsed, out, err);
     if (command == "components") return cmd_components(parsed, out, err);

@@ -3,18 +3,22 @@
 /// \brief The `ebmf` command-line tool, as a testable library.
 ///
 /// Each sub-command is a function taking parsed arguments and an output
-/// stream; the `ebmf` binary (tools/ebmf.cpp) only dispatches. Commands:
+/// stream; the `ebmf` binary (tools/ebmf.cpp) only dispatches. Solving
+/// commands go through the ebmf::engine facade, so `--strategy=NAME`
+/// selects any registered backend. Commands:
 ///
-///   solve <file>      depth-optimal partition of a pattern (SAP)
-///   bounds <file>     rank / fooling / trivial bracketing of r_B
+///   solve <file>...   partition pattern(s) via the engine facade
+///   strategies        list the registered solving strategies
+///   bounds <file>     rank / fooling / trivial / packing bracketing of r_B
 ///   fooling <file>    maximum (or greedy) fooling set
 ///   components <file> preprocessing report (dedup + component split)
-///   schedule <file>   AOD pulse schedule for the SAP solution
+///   schedule <file>   AOD pulse schedule for the solution
 ///   generate <fam>    emit a benchmark instance (rand | opt | gap)
 ///   convert <in> <out>  rewrite a pattern between formats
 ///
 /// All commands return a process exit code (0 = success, 1 = runtime
-/// failure, 2 = usage error) and never throw.
+/// failure, 2 = usage error) and never throw. Unknown strategy names and
+/// malformed numeric flag values are usage errors (2), reported on `err`.
 
 #include <iosfwd>
 #include <string>

@@ -8,10 +8,6 @@
 
 namespace ebmf::completion {
 
-namespace {
-
-/// Greedy fooling-set-style lower bound valid under don't-cares: two 1-cells
-/// that cannot share any rectangle because a crossing cell is a hard Zero.
 std::size_t masked_fooling_lower_bound(const MaskedMatrix& m) {
   std::vector<std::pair<std::size_t, std::size_t>> chosen;
   for (std::size_t i = 0; i < m.rows(); ++i)
@@ -26,6 +22,8 @@ std::size_t masked_fooling_lower_bound(const MaskedMatrix& m) {
     }
   return chosen.size();
 }
+
+namespace {
 
 /// One-hot CNF for "the 1-cells of m are addressable with <= bound
 /// rectangles" under the chosen don't-care semantics.
@@ -155,15 +153,19 @@ CompletionResult solve_masked(const MaskedMatrix& m,
   Stopwatch timer;
   CompletionResult result;
 
+  // The packing phase inherits the solve-wide budget unless it has its own.
+  RowPackingOptions packing = options.packing;
+  if (!packing.budget.limited()) packing.budget = options.budget;
+
   // Upper bound: ignore don't-cares entirely (always valid) ...
-  RowPackingResult packed = row_packing_ebmf(m.pattern(), options.packing);
+  RowPackingResult packed = row_packing_ebmf(m.pattern(), packing);
   result.partition = std::move(packed.partition);
   // ... and, under Free semantics, also try the vacancy-aware packing that
   // lets rectangles extend across don't-cares (it may overlap on them, so
   // it is not admissible for AtMostOnce).
   if (options.semantics == DontCareSemantics::Free &&
       m.dont_care_count() > 0) {
-    RowPackingResult masked = masked_row_packing(m, options.packing);
+    RowPackingResult masked = masked_row_packing(m, packing);
     if (masked.partition.size() < result.partition.size())
       result.partition = std::move(masked.partition);
   }
@@ -185,10 +187,7 @@ CompletionResult solve_masked(const MaskedMatrix& m,
   std::size_t b = result.partition.size() - 1;
   MaskedFormula formula(m, b, options.semantics);
   while (b >= lower) {
-    sat::Budget budget;
-    budget.max_conflicts = options.conflicts_per_call;
-    budget.deadline = options.deadline;
-    const auto answer = formula.solve(budget);
+    const auto answer = formula.solve(options.budget);
     if (answer == sat::SolveResult::Sat) {
       Partition p = formula.extract();
       EBMF_ENSURES(validate_masked(
@@ -207,7 +206,7 @@ CompletionResult solve_masked(const MaskedMatrix& m,
     } else {
       break;
     }
-    if (options.deadline.expired()) break;
+    if (options.budget.exhausted()) break;
   }
   result.seconds = timer.seconds();
   return result;

@@ -31,11 +31,15 @@ enum class DontCareSemantics {
 /// Options for solve_masked.
 struct CompletionOptions {
   DontCareSemantics semantics = DontCareSemantics::Free;
-  RowPackingOptions packing;             ///< For the upper-bound phase.
-  Deadline deadline;
-  std::int64_t conflicts_per_call = -1;
+  RowPackingOptions packing;  ///< For the upper-bound phase.
+  Budget budget;              ///< Shared deadline/conflict/cancel budget.
   bool use_sat = true;
 };
+
+/// Greedy fooling-set-style lower bound valid under don't-cares: 1-cells
+/// that pairwise cannot share a rectangle because a crossing cell is a hard
+/// Zero. Result ≤ r_B under either semantics.
+std::size_t masked_fooling_lower_bound(const MaskedMatrix& m);
 
 /// Result of solve_masked.
 struct CompletionResult {

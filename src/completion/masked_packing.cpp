@@ -53,7 +53,7 @@ RowPackingResult masked_row_packing(const MaskedMatrix& m,
     ++best.trials_run;
     if (options.stop_at != 0 && best.partition.size() <= options.stop_at)
       break;
-    if (options.deadline.expired()) break;
+    if (options.budget.exhausted()) break;
     if (options.order != RowOrder::Shuffle) break;
   }
   best.seconds = timer.seconds();

@@ -18,6 +18,7 @@
 #include <optional>
 
 #include "core/partition.h"
+#include "support/budget.h"
 
 namespace ebmf {
 
@@ -28,9 +29,12 @@ struct BruteForceResult {
 };
 
 /// Compute r_B(M) exactly by exhaustive search.
-/// `max_rank` caps the search (0 = use the trivial upper bound).
-/// Returns nullopt only if max_rank was set below the true rank.
+/// `max_rank` caps the search (0 = use the trivial upper bound); `budget`
+/// bounds the work (deadline/cancellation plus max_nodes recursion steps).
+/// Returns nullopt if max_rank was set below the true rank or the budget
+/// ran out before the rank was certified.
 std::optional<BruteForceResult> brute_force_ebmf(const BinaryMatrix& m,
-                                                 std::size_t max_rank = 0);
+                                                 std::size_t max_rank = 0,
+                                                 const Budget& budget = {});
 
 }  // namespace ebmf

@@ -47,7 +47,7 @@ CellSet greedy_fooling_set(const BinaryMatrix& m, std::size_t trials,
   return best;
 }
 
-CellSet max_fooling_set(const BinaryMatrix& m, const Deadline& deadline) {
+CellSet max_fooling_set(const BinaryMatrix& m, const Budget& budget) {
   CellSet best = greedy_fooling_set(m);
   const CellSet cells = m.ones();
   if (cells.empty()) return best;
@@ -71,8 +71,6 @@ CellSet max_fooling_set(const BinaryMatrix& m, const Deadline& deadline) {
           solver.add_clause(sel[x].neg(), sel[y].neg());
     sat::add_at_least_k(solver, sel, target);
 
-    sat::Budget budget;
-    budget.deadline = deadline;
     const auto result = solver.solve({}, budget);
     if (result != sat::SolveResult::Sat) break;  // Unsat: maximum; Unknown: give up
     CellSet found;

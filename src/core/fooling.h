@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "core/matrix.h"
-#include "support/stopwatch.h"
+#include "support/budget.h"
 
 namespace ebmf {
 
@@ -37,8 +37,8 @@ CellSet greedy_fooling_set(const BinaryMatrix& m, std::size_t trials = 16,
 /// Exact maximum fooling set φ(M) via SAT with cardinality constraints.
 /// Fooling cells must lie on distinct rows and columns, so φ ≤ min(m, n)
 /// and the search solves at most min(m, n) decision problems.
-/// `deadline` bounds the work; on expiry the best set found so far is
+/// `budget` bounds the work; on exhaustion the best set found so far is
 /// returned (it is still a valid fooling set, possibly not maximum).
-CellSet max_fooling_set(const BinaryMatrix& m, const Deadline& deadline = {});
+CellSet max_fooling_set(const BinaryMatrix& m, const Budget& budget = {});
 
 }  // namespace ebmf

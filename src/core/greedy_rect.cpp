@@ -69,7 +69,7 @@ RowPackingResult greedy_rectangles(const BinaryMatrix& m,
       if (options.stop_at != 0 && best.partition.size() <= options.stop_at)
         break;
     }
-    if (options.deadline.expired()) break;
+    if (options.budget.exhausted()) break;
     if (options.order != RowOrder::Shuffle) break;
   }
   best.seconds = timer.seconds();

@@ -117,7 +117,7 @@ RowPackingResult row_packing_ebmf(const BinaryMatrix& m,
       if (options.stop_at != 0 && best.partition.size() <= options.stop_at)
         break;
     }
-    if (options.deadline.expired()) break;
+    if (options.budget.exhausted()) break;
     // Deterministic orders never change between trials; one pass suffices.
     if (options.order != RowOrder::Shuffle) break;
   }

@@ -23,7 +23,7 @@
 #include <optional>
 
 #include "core/partition.h"
-#include "support/stopwatch.h"
+#include "support/budget.h"
 
 namespace ebmf {
 
@@ -42,7 +42,7 @@ struct RowPackingOptions {
   bool basis_update = true;     ///< Enable lines 9–16 of Algorithm 2.
   bool use_transpose = true;    ///< Also pack Mᵀ, keep the better result.
   std::size_t stop_at = 0;      ///< Stop early when |P| ≤ stop_at (0 = never).
-  Deadline deadline;            ///< Optional wall-clock budget.
+  Budget budget;                ///< Shared wall-clock/cancellation budget.
 };
 
 /// Outcome of a row-packing run.

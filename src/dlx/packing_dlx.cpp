@@ -89,6 +89,7 @@ RowPackingResult row_packing_dlx(const BinaryMatrix& m,
   Stopwatch timer;
   RowPackingResult best;
   Rng rng(options.seed);
+  if (options.budget.max_nodes != 0) max_nodes = options.budget.max_nodes;
   const BinaryMatrix mt =
       options.use_transpose ? m.transposed() : BinaryMatrix{};
 
@@ -127,7 +128,7 @@ RowPackingResult row_packing_dlx(const BinaryMatrix& m,
       if (options.stop_at != 0 && best.partition.size() <= options.stop_at)
         break;
     }
-    if (options.deadline.expired()) break;
+    if (options.budget.exhausted()) break;
     if (options.order != RowOrder::Shuffle) break;
   }
   best.seconds = timer.seconds();

@@ -23,6 +23,8 @@ Partition row_packing_dlx_pass(const BinaryMatrix& m,
                                std::uint64_t max_nodes = 100000);
 
 /// Full heuristic, mirroring row_packing_ebmf but with the DLX packing step.
+/// When options.budget.max_nodes is nonzero it overrides `max_nodes` (the
+/// shared Budget is the preferred way to cap the per-row searches).
 RowPackingResult row_packing_dlx(const BinaryMatrix& m,
                                  const RowPackingOptions& options = {},
                                  std::uint64_t max_nodes = 100000);

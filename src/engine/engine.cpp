@@ -1,0 +1,143 @@
+// Engine: strategy resolution, report finalization/validation, batch
+// execution, and the component-parallel solve.
+
+#include <utility>
+
+#include "core/preprocess.h"
+#include "engine/engine.h"
+#include "engine/thread_pool.h"
+#include "support/stopwatch.h"
+
+namespace ebmf::engine {
+
+namespace {
+
+/// Weakest status wins when merging component reports: a single piece
+/// without a bound search (Heuristic) leaves the whole answer heuristic; a
+/// single budget-cut piece (Bounded) leaves it bounded.
+Status merge_status(Status a, Status b) {
+  if (a == Status::Heuristic || b == Status::Heuristic)
+    return Status::Heuristic;
+  if (a == Status::Bounded || b == Status::Bounded) return Status::Bounded;
+  return Status::Optimal;
+}
+
+}  // namespace
+
+SolveReport Engine::run_checked(const SolveRequest& request) const {
+  const SolverRegistry::Entry* entry = registry_.find(request.strategy);
+  if (entry == nullptr)
+    throw UnknownStrategyError(request.strategy, registry_.names());
+
+  Stopwatch total;
+  SolveReport report = entry->solve(request);
+  report.label = request.label;
+  if (report.strategy.empty()) report.strategy = request.strategy;
+  report.upper_bound = report.depth();
+  report.total_seconds = total.seconds();
+
+  // The facade's contract: every report's partition is a valid witness.
+  if (request.masked) {
+    std::string why;
+    const bool at_most_once =
+        request.semantics == completion::DontCareSemantics::AtMostOnce;
+    EBMF_ENSURES(completion::validate_masked(*request.masked,
+                                             report.partition, at_most_once,
+                                             &why));
+  } else {
+    EBMF_ENSURES(
+        static_cast<bool>(validate_partition(request.matrix,
+                                             report.partition)));
+  }
+  EBMF_ENSURES(report.partition.empty() ||
+               report.depth() >= report.lower_bound);
+  return report;
+}
+
+SolveReport Engine::solve(const SolveRequest& request) const {
+  return run_checked(request);
+}
+
+std::vector<SolveReport> Engine::solve_batch(
+    const std::vector<SolveRequest>& requests, std::size_t threads) const {
+  std::vector<SolveReport> reports(requests.size());
+  parallel_for(requests.size(), threads, [&](std::size_t i) {
+    try {
+      reports[i] = run_checked(requests[i]);
+    } catch (const std::exception& e) {
+      SolveReport failed;
+      failed.label = requests[i].label;
+      failed.strategy = requests[i].strategy;
+      failed.add_telemetry("error", e.what());
+      reports[i] = std::move(failed);
+    }
+  });
+  return reports;
+}
+
+SolveReport Engine::solve_split(const SolveRequest& request,
+                                std::size_t threads) const {
+  // Masked patterns do not split (a don't-care can bridge components of
+  // the DC-as-0 pattern), and unknown names should throw before any work.
+  if (request.masked) return solve(request);
+  if (!registry_.contains(request.strategy))
+    throw UnknownStrategyError(request.strategy, registry_.names());
+
+  Stopwatch total;
+  Stopwatch phase;
+  const DuplicateReduction reduction = reduce_duplicates(request.matrix);
+  const std::vector<Component> components =
+      split_components(reduction.reduced);
+  const double split_seconds = phase.seconds();
+
+  std::vector<SolveRequest> subs;
+  subs.reserve(components.size());
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    SolveRequest sub = request;
+    sub.matrix = components[c].matrix;
+    sub.masked.reset();
+    sub.preprocess = false;  // already deduplicated and split
+    sub.label = request.label + "#" + std::to_string(c);
+    subs.push_back(std::move(sub));
+  }
+
+  std::vector<SolveReport> reports(subs.size());
+  parallel_for(subs.size(), threads,
+               [&](std::size_t i) { reports[i] = run_checked(subs[i]); });
+
+  SolveReport merged;
+  merged.label = request.label;
+  merged.strategy = request.strategy;
+  merged.status = Status::Optimal;
+  merged.add_timing("split", split_seconds);
+  Partition reduced_partition;
+  for (std::size_t c = 0; c < reports.size(); ++c) {
+    Partition lifted =
+        lift_partition(reports[c].partition, components[c],
+                       reduction.reduced.rows(), reduction.reduced.cols());
+    reduced_partition.insert(reduced_partition.end(),
+                             std::make_move_iterator(lifted.begin()),
+                             std::make_move_iterator(lifted.end()));
+    merged.lower_bound += reports[c].lower_bound;
+    merged.status = merge_status(merged.status, reports[c].status);
+    for (const auto& t : reports[c].timings)
+      merged.add_timing(t.phase, t.seconds);
+  }
+  merged.partition = expand_partition(reduced_partition, reduction);
+  merged.upper_bound = merged.depth();
+  merged.add_telemetry("split.components",
+                       static_cast<std::uint64_t>(components.size()));
+  merged.add_telemetry(
+      "split.reduced_shape",
+      std::to_string(reduction.reduced.rows()) + "x" +
+          std::to_string(reduction.reduced.cols()));
+  merged.total_seconds = total.seconds();
+
+  EBMF_ENSURES(static_cast<bool>(
+      validate_partition(request.matrix, merged.partition)));
+  EBMF_ENSURES(merged.partition.empty() ||
+               merged.depth() >= merged.lower_bound);
+  return merged;
+}
+
+}  // namespace ebmf::engine

@@ -1,0 +1,175 @@
+// SolveRequest/SolveReport helpers, JSON rendering, and the error type.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "engine/engine.h"
+
+namespace ebmf::engine {
+
+const char* to_string(Status status) noexcept {
+  switch (status) {
+    case Status::Optimal:
+      return "optimal";
+    case Status::Bounded:
+      return "bounded";
+    case Status::Heuristic:
+      return "heuristic";
+  }
+  return "unknown";
+}
+
+SolveRequest SolveRequest::dense(BinaryMatrix m, std::string strategy) {
+  SolveRequest request;
+  request.matrix = std::move(m);
+  request.strategy = std::move(strategy);
+  return request;
+}
+
+SolveRequest SolveRequest::with_mask(completion::MaskedMatrix m,
+                                     std::string strategy) {
+  SolveRequest request;
+  request.masked = std::move(m);
+  request.strategy = std::move(strategy);
+  return request;
+}
+
+const BinaryMatrix& SolveRequest::pattern() const {
+  return masked ? masked->pattern() : matrix;
+}
+
+void SolveReport::add_timing(const std::string& phase, double seconds) {
+  for (auto& t : timings) {
+    if (t.phase == phase) {
+      t.seconds += seconds;
+      return;
+    }
+  }
+  timings.push_back(PhaseTiming{phase, seconds});
+}
+
+double SolveReport::timing(const std::string& phase) const {
+  for (const auto& t : timings)
+    if (t.phase == phase) return t.seconds;
+  return 0.0;
+}
+
+void SolveReport::add_telemetry(std::string key, std::string value) {
+  telemetry.emplace_back(std::move(key), std::move(value));
+}
+
+void SolveReport::add_telemetry(std::string key, std::uint64_t value) {
+  add_telemetry(std::move(key), std::to_string(value));
+}
+
+void SolveReport::add_telemetry(std::string key, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  add_telemetry(std::move(key), std::string(buffer));
+}
+
+const std::string* SolveReport::find_telemetry(const std::string& key) const {
+  for (const auto& [k, v] : telemetry)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::uint64_t SolveReport::telemetry_count(const std::string& key) const {
+  const std::string* value = find_telemetry(key);
+  if (value == nullptr) return 0;
+  return std::strtoull(value->c_str(), nullptr, 10);
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+      out += buffer;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string to_json(const SolveReport& report) {
+  std::ostringstream out;
+  out << "{\"label\":\"" << json_escape(report.label) << "\""
+      << ",\"strategy\":\"" << json_escape(report.strategy) << "\""
+      << ",\"status\":\"" << to_string(report.status) << "\""
+      << ",\"depth\":" << report.depth()
+      << ",\"lower_bound\":" << report.lower_bound
+      << ",\"upper_bound\":" << report.upper_bound
+      << ",\"total_seconds\":" << json_number(report.total_seconds);
+  out << ",\"timings\":{";
+  for (std::size_t i = 0; i < report.timings.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << json_escape(report.timings[i].phase)
+        << "\":" << json_number(report.timings[i].seconds);
+  }
+  out << "},\"telemetry\":{";
+  for (std::size_t i = 0; i < report.telemetry.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << json_escape(report.telemetry[i].first) << "\":\""
+        << json_escape(report.telemetry[i].second) << "\"";
+  }
+  out << "}}";
+  return out.str();
+}
+
+namespace {
+
+std::string unknown_strategy_message(const std::string& name,
+                                     const std::vector<std::string>& known) {
+  std::string message = "unknown strategy '" + name + "' (available:";
+  for (const auto& k : known) message += " " + k;
+  message += ")";
+  return message;
+}
+
+}  // namespace
+
+UnknownStrategyError::UnknownStrategyError(
+    const std::string& name, const std::vector<std::string>& known)
+    : std::invalid_argument(unknown_strategy_message(name, known)),
+      name_(name) {}
+
+void SolverRegistry::add(std::string name, std::string description,
+                         StrategyFn solve) {
+  Entry entry{name, std::move(description), std::move(solve)};
+  entries_[std::move(name)] = std::move(entry);
+}
+
+const SolverRegistry::Entry* SolverRegistry::find(
+    const std::string& name) const noexcept {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+}  // namespace ebmf::engine

@@ -1,0 +1,330 @@
+// The built-in strategies behind SolverRegistry::with_builtins().
+//
+// Each strategy maps a SolveRequest onto one of the library's backends and
+// its backend-specific result onto the unified SolveReport: status, bounds,
+// per-phase timings, and key/value telemetry. The "auto" strategy is the
+// portfolio dispatcher: it picks a backend from instance size/density and
+// falls back along brute → sap when the exhaustive search runs out of
+// budget.
+
+#include <utility>
+
+#include "completion/completion_solver.h"
+#include "core/bounds.h"
+#include "core/brute_force.h"
+#include "core/greedy_rect.h"
+#include "core/row_packing.h"
+#include "core/trivial.h"
+#include "dlx/packing_dlx.h"
+#include "engine/engine.h"
+#include "smt/sap.h"
+#include "support/stopwatch.h"
+
+namespace ebmf::engine {
+
+namespace {
+
+/// Instance-size thresholds for the "auto" portfolio. Brute force is
+/// exponential in the 1-cell count (intended ≲ 20 ones); the SMT formula is
+/// quadratic in cells, and preprocessing usually shatters sparse instances
+/// into SMT-feasible components up to a few hundred ones.
+constexpr std::size_t kAutoBruteOnesLimit = 16;
+constexpr std::size_t kAutoSmtOnesLimit = 300;
+/// Per-component formula guard "auto" applies when the caller set none.
+constexpr std::size_t kAutoSmtCellGuard = 200;
+
+const char* to_string(sat::SolveResult r) noexcept {
+  switch (r) {
+    case sat::SolveResult::Sat:
+      return "sat";
+    case sat::SolveResult::Unsat:
+      return "unsat";
+    case sat::SolveResult::Unknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+RowPackingOptions packing_from(const SolveRequest& request) {
+  RowPackingOptions packing;
+  packing.trials = request.trials;
+  packing.seed = request.seed;
+  packing.stop_at = request.stop_at;
+  packing.order = request.order;
+  packing.basis_update = request.basis_update;
+  packing.use_transpose = request.use_transpose;
+  packing.budget = request.budget;
+  return packing;
+}
+
+/// Shared shape of the pure-heuristic backends: rank lower bound + one
+/// multi-trial packing run, Optimal exactly when they meet.
+template <typename Run>
+SolveReport heuristic_report(const SolveRequest& request, Run run) {
+  SolveReport report;
+  const BinaryMatrix& m = request.pattern();
+  if (m.is_zero()) {
+    report.status = Status::Optimal;
+    return report;
+  }
+  Stopwatch phase;
+  report.lower_bound = real_rank(m);
+  report.add_timing("rank", phase.seconds());
+
+  RowPackingOptions packing = packing_from(request);
+  if (packing.stop_at == 0) packing.stop_at = report.lower_bound;
+  phase.restart();
+  RowPackingResult packed = run(m, packing);
+  report.add_timing("heuristic", phase.seconds());
+  report.partition = std::move(packed.partition);
+  report.status = report.partition.size() == report.lower_bound
+                      ? Status::Optimal
+                      : Status::Heuristic;
+  report.add_telemetry("packing.trials_run",
+                       static_cast<std::uint64_t>(packed.trials_run));
+  report.add_telemetry("packing.from_transpose",
+                       packed.from_transpose ? "1" : "0");
+  return report;
+}
+
+SolveReport solve_sap(const SolveRequest& request) {
+  SapOptions options;
+  options.packing = packing_from(request);
+  options.encoder.encoding = request.encoding;
+  options.encoder.symmetry_breaking = request.symmetry_breaking;
+  options.budget = request.budget;
+  options.preprocess = request.preprocess;
+  options.smt_cell_limit = request.smt_cell_limit;
+  SapResult result = sap_solve(request.pattern(), options);
+
+  SolveReport report;
+  report.partition = std::move(result.partition);
+  report.lower_bound = result.rank_lower;
+  switch (result.status) {
+    case SapStatus::Optimal:
+      report.status = Status::Optimal;
+      break;
+    case SapStatus::BoundedOnly:
+      report.status = Status::Bounded;
+      break;
+    case SapStatus::HeuristicOnly:
+      report.status = Status::Heuristic;
+      break;
+  }
+  report.add_timing("rank", result.rank_seconds);
+  report.add_timing("heuristic", result.heuristic_seconds);
+  report.add_timing("smt", result.smt_seconds);
+  report.add_telemetry("heuristic.size",
+                       static_cast<std::uint64_t>(result.heuristic_size));
+  report.add_telemetry("smt.calls",
+                       static_cast<std::uint64_t>(result.smt_calls.size()));
+  if (!result.smt_calls.empty()) {
+    report.add_telemetry("smt.last_result",
+                         to_string(result.smt_calls.back().result));
+    report.add_telemetry(
+        "smt.last_bound",
+        static_cast<std::uint64_t>(result.smt_calls.back().bound));
+  }
+  report.add_telemetry("sat.conflicts", result.smt_stats.conflicts);
+  report.add_telemetry("sat.decisions", result.smt_stats.decisions);
+  report.add_telemetry("sat.propagations", result.smt_stats.propagations);
+  report.add_telemetry("sat.restarts", result.smt_stats.restarts);
+  report.add_telemetry("sat.learned_clauses",
+                       result.smt_stats.learned_clauses);
+  return report;
+}
+
+SolveReport solve_heuristic(const SolveRequest& request) {
+  return heuristic_report(request,
+                          [](const BinaryMatrix& m,
+                             const RowPackingOptions& options) {
+                            return row_packing_ebmf(m, options);
+                          });
+}
+
+SolveReport solve_greedy(const SolveRequest& request) {
+  return heuristic_report(request,
+                          [](const BinaryMatrix& m,
+                             const RowPackingOptions& options) {
+                            return greedy_rectangles(m, options);
+                          });
+}
+
+SolveReport solve_dlx(const SolveRequest& request) {
+  return heuristic_report(request,
+                          [](const BinaryMatrix& m,
+                             const RowPackingOptions& options) {
+                            return dlx::row_packing_dlx(m, options);
+                          });
+}
+
+SolveReport solve_trivial(const SolveRequest& request) {
+  SolveReport report;
+  const BinaryMatrix& m = request.pattern();
+  if (m.is_zero()) {
+    report.status = Status::Optimal;
+    return report;
+  }
+  Stopwatch phase;
+  report.lower_bound = real_rank(m);
+  report.add_timing("rank", phase.seconds());
+  phase.restart();
+  report.partition = trivial_ebmf(m);
+  report.add_timing("heuristic", phase.seconds());
+  report.status = report.partition.size() == report.lower_bound
+                      ? Status::Optimal
+                      : Status::Heuristic;
+  return report;
+}
+
+SolveReport solve_brute(const SolveRequest& request) {
+  SolveReport report;
+  const BinaryMatrix& m = request.pattern();
+  if (m.is_zero()) {
+    report.status = Status::Optimal;
+    report.add_telemetry("brute.completed", "1");
+    return report;
+  }
+  Stopwatch phase;
+  auto exact = brute_force_ebmf(m, 0, request.budget);
+  report.add_timing("brute", phase.seconds());
+  if (exact.has_value()) {
+    report.partition = std::move(exact->partition);
+    report.lower_bound = exact->binary_rank;
+    report.status = Status::Optimal;
+    report.add_telemetry("brute.completed", "1");
+    return report;
+  }
+  // Budget ran out mid-proof: fall back to the anytime bracket so the
+  // report still carries a valid partition.
+  phase.restart();
+  report.lower_bound = real_rank(m);
+  report.add_timing("rank", phase.seconds());
+  RowPackingOptions packing = packing_from(request);
+  if (packing.stop_at == 0) packing.stop_at = report.lower_bound;
+  phase.restart();
+  report.partition = row_packing_ebmf(m, packing).partition;
+  report.add_timing("heuristic", phase.seconds());
+  report.status = report.partition.size() == report.lower_bound
+                      ? Status::Optimal
+                      : Status::Bounded;
+  report.add_telemetry("brute.completed", "0");
+  return report;
+}
+
+/// A mask-free wrapper so the completion backend accepts dense requests.
+completion::MaskedMatrix mask_free(const BinaryMatrix& m) {
+  completion::MaskedMatrix masked(m.rows(), m.cols());
+  for (const auto& [i, j] : m.ones())
+    masked.set(i, j, completion::Cell::One);
+  return masked;
+}
+
+SolveReport solve_completion(const SolveRequest& request) {
+  const completion::MaskedMatrix masked =
+      request.masked ? *request.masked : mask_free(request.matrix);
+  completion::CompletionOptions options;
+  options.semantics = request.semantics;
+  options.packing = packing_from(request);
+  options.budget = request.budget;
+  const completion::CompletionResult result =
+      completion::solve_masked(masked, options);
+
+  SolveReport report;
+  report.partition = result.partition;
+  report.add_timing("completion", result.seconds);
+  report.lower_bound = completion::masked_fooling_lower_bound(masked);
+  if (result.proven_optimal) {
+    report.status = Status::Optimal;
+    // The UNSAT proof certifies the depth even when the fooling bound lags.
+    report.lower_bound = report.partition.size();
+  } else {
+    report.status = Status::Bounded;
+  }
+  report.add_telemetry("completion.heuristic_size",
+                       static_cast<std::uint64_t>(result.heuristic_size));
+  report.add_telemetry(
+      "completion.dont_cares",
+      static_cast<std::uint64_t>(masked.dont_care_count()));
+  report.add_telemetry("completion.semantics",
+                       request.semantics ==
+                               completion::DontCareSemantics::AtMostOnce
+                           ? "at-most-once"
+                           : "free");
+  return report;
+}
+
+SolveReport solve_auto(const SolveRequest& request) {
+  std::string selected;
+  if (request.has_dont_cares()) {
+    selected = "completion";
+  } else {
+    const std::size_t ones = request.pattern().ones_count();
+    if (ones <= kAutoBruteOnesLimit)
+      selected = "brute";
+    else if (ones <= kAutoSmtOnesLimit)
+      selected = "sap";
+    else
+      selected = "heuristic";
+  }
+
+  SolveRequest sub = request;
+  sub.strategy = selected;
+  if (selected == "sap" && sub.smt_cell_limit == 0)
+    sub.smt_cell_limit = kAutoSmtCellGuard;
+
+  std::string portfolio = selected;
+  SolveReport report;
+  if (selected == "completion") {
+    report = solve_completion(sub);
+  } else if (selected == "brute") {
+    report = solve_brute(sub);
+    const std::string* completed = report.find_telemetry("brute.completed");
+    if (completed != nullptr && *completed == "0" &&
+        !request.budget.exhausted()) {
+      // Portfolio fallback: let SAP spend what remains of the budget.
+      sub.strategy = "sap";
+      if (sub.smt_cell_limit == 0) sub.smt_cell_limit = kAutoSmtCellGuard;
+      selected = "sap";
+      portfolio += ">sap";
+      report = solve_sap(sub);
+    }
+  } else if (selected == "sap") {
+    report = solve_sap(sub);
+  } else {
+    report = solve_heuristic(sub);
+  }
+  report.strategy = selected;
+  report.add_telemetry("auto.selected", selected);
+  report.add_telemetry("auto.portfolio", portfolio);
+  return report;
+}
+
+}  // namespace
+
+SolverRegistry SolverRegistry::with_builtins() {
+  SolverRegistry registry;
+  registry.add("sap", "SMT-and-packing (Algorithm 1): exact with anytime "
+                      "heuristic fallback",
+               solve_sap);
+  registry.add("heuristic", "multi-trial row packing (Algorithm 2) with a "
+                            "rank certificate",
+               solve_heuristic);
+  registry.add("greedy", "greedy whole-rectangle extraction baseline",
+               solve_greedy);
+  registry.add("trivial", "consolidated single-row/column partition",
+               solve_trivial);
+  registry.add("brute", "exhaustive exact search (tiny instances, ≲20 ones)",
+               solve_brute);
+  registry.add("dlx", "row packing with exact-cover (DLX) decomposition",
+               solve_dlx);
+  registry.add("completion", "don't-care-aware SAT minimization (masked "
+                             "patterns)",
+               solve_completion);
+  registry.add("auto", "portfolio: backend picked by instance size/density, "
+                       "with fallback",
+               solve_auto);
+  return registry;
+}
+
+}  // namespace ebmf::engine

@@ -1,0 +1,63 @@
+#pragma once
+/// \file thread_pool.h
+/// \brief Deterministic fork-join parallel loop for the engine's batch and
+/// component-parallel execution.
+///
+/// parallel_for(n, threads, fn) invokes fn(0..n-1) exactly once each,
+/// striped dynamically over a transient pool of std::threads. Callers index
+/// into pre-sized result vectors, so output order is independent of
+/// scheduling — the determinism guarantee Engine::solve_batch documents.
+/// Exceptions thrown by fn are captured and the lowest-index one is
+/// rethrown on the calling thread after all workers join.
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace ebmf::engine {
+
+/// Number of workers to use for `jobs` tasks given a requested count
+/// (0 = hardware concurrency, itself at least 1).
+inline std::size_t effective_threads(std::size_t requested, std::size_t jobs) {
+  std::size_t n = requested != 0
+                      ? requested
+                      : static_cast<std::size_t>(
+                            std::thread::hardware_concurrency());
+  if (n == 0) n = 1;
+  return n < jobs ? n : jobs;
+}
+
+template <typename Fn>
+void parallel_for(std::size_t n, std::size_t threads, Fn&& fn) {
+  if (n == 0) return;
+  const std::size_t workers = effective_threads(threads, n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(n);
+  const auto worker = [&]() {
+    for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& t : pool) t.join();
+
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace ebmf::engine

@@ -12,24 +12,29 @@ std::size_t watson_lower_bound(std::size_t rb_logical, std::size_t phi_logical,
 
 TwoLevelResult solve_two_level(const BinaryMatrix& logical,
                                const BinaryMatrix& physical,
-                               const SapOptions& options) {
+                               const engine::SolveRequest& base) {
+  const engine::Engine facade;
   TwoLevelResult out;
-  out.logical = sap_solve(logical, options);
-  out.physical = sap_solve(physical, options);
+  engine::SolveRequest request = base;
+  request.masked.reset();
+  request.matrix = logical;
+  out.logical = facade.solve(request);
+  request.matrix = physical;
+  out.physical = facade.solve(request);
   out.product_partition =
       tensor_partition(out.logical.partition, out.physical.partition);
   out.upper_bound = out.product_partition.size();
   out.phi_logical = max_fooling_set(logical).size();
   out.phi_physical = max_fooling_set(physical).size();
-  // Eq. 5 needs the true r_B of each factor. When SAP proved optimality the
-  // partition size is exact; otherwise substitute the rank lower bound so
-  // the product bound stays sound (r_B appears positively).
+  // Eq. 5 needs the true r_B of each factor. When the solve proved
+  // optimality the partition size is exact; otherwise substitute the lower
+  // bound so the product bound stays sound (r_B appears positively).
   const std::size_t rb_logical = out.logical.proven_optimal()
                                      ? out.logical.depth()
-                                     : out.logical.rank_lower;
+                                     : out.logical.lower_bound;
   const std::size_t rb_physical = out.physical.proven_optimal()
                                       ? out.physical.depth()
-                                      : out.physical.rank_lower;
+                                      : out.physical.lower_bound;
   out.lower_bound = watson_lower_bound(rb_logical, out.phi_logical,
                                        rb_physical, out.phi_physical);
   return out;

@@ -323,7 +323,7 @@ std::uint64_t Solver::luby(std::uint64_t i) {
 }
 
 SolveResult Solver::search(std::int64_t conflict_budget,
-                           const Deadline& deadline) {
+                           const Budget& budget) {
   std::int64_t conflicts_here = 0;
   while (true) {
     const CRef confl = propagate();
@@ -352,7 +352,7 @@ SolveResult Solver::search(std::int64_t conflict_budget,
       ++stats_.learned_clauses;
       var_decay_all();
       clause_inc_ /= kClauseDecay;
-      if ((stats_.conflicts & 0xff) == 0 && deadline.expired())
+      if ((stats_.conflicts & 0xff) == 0 && budget.exhausted())
         return SolveResult::Unknown;
     } else {
       if (conflict_budget >= 0 && conflicts_here >= conflict_budget) {
@@ -418,12 +418,12 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions,
       break;
     }
     const auto before = stats_.conflicts;
-    result = search(this_budget, budget.deadline);
+    result = search(this_budget, budget);
     conflicts_used += static_cast<std::int64_t>(stats_.conflicts - before);
     if (result != SolveResult::Unknown) break;
     ++stats_.restarts;
     cancel_until(0);
-    if (budget.deadline.expired() ||
+    if (budget.exhausted() ||
         (budget.max_conflicts >= 0 && conflicts_used >= budget.max_conflicts))
       break;
   }

@@ -25,15 +25,15 @@
 #include <vector>
 
 #include "sat/types.h"
+#include "support/budget.h"
 #include "support/stopwatch.h"
 
 namespace ebmf::sat {
 
-/// Resource budget for one solve() call. Default: unlimited.
-struct Budget {
-  std::int64_t max_conflicts = -1;  ///< Negative = unlimited.
-  Deadline deadline;                ///< Soft wall-clock deadline.
-};
+/// Resource budget for one solve() call (the library-wide shared type;
+/// max_conflicts and deadline apply here, and the cancellation flag is
+/// honoured at the same checkpoints as the deadline).
+using Budget = ebmf::Budget;
 
 /// Counters describing the work a solve() performed (cumulative).
 struct SolverStats {
@@ -144,7 +144,7 @@ class Solver {
   void analyze_final(Lit p, std::vector<Lit>& out_core);
   void cancel_until(int level);
   Lit pick_branch_lit();
-  SolveResult search(std::int64_t conflict_budget, const Deadline& deadline);
+  SolveResult search(std::int64_t conflict_budget, const Budget& budget);
   void reduce_db();
   void rebuild_watches();
 

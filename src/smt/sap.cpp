@@ -29,8 +29,8 @@ SapResult sap_solve_core(const BinaryMatrix& m, const SapOptions& options) {
   // such a partition is already provably optimal.
   RowPackingOptions packing = options.packing;
   if (packing.stop_at == 0) packing.stop_at = result.rank_lower;
-  if (options.deadline.limited() && !packing.deadline.limited())
-    packing.deadline = options.deadline;
+  if (options.budget.limited() && !packing.budget.limited())
+    packing.budget = options.budget;
   phase.restart();
   RowPackingResult heuristic = row_packing_ebmf(m, packing);
   result.heuristic_seconds = phase.seconds();
@@ -50,7 +50,7 @@ SapResult sap_solve_core(const BinaryMatrix& m, const SapOptions& options) {
     result.total_seconds = total.seconds();
     return result;
   }
-  if (options.deadline.expired()) {
+  if (options.budget.exhausted()) {
     result.status = SapStatus::BoundedOnly;
     result.total_seconds = total.seconds();
     return result;
@@ -62,11 +62,8 @@ SapResult sap_solve_core(const BinaryMatrix& m, const SapOptions& options) {
   smt::LabelFormula formula(m, b, options.encoder);
   result.status = SapStatus::BoundedOnly;
   while (b >= result.rank_lower) {
-    sat::Budget budget;
-    budget.max_conflicts = options.conflicts_per_call;
-    budget.deadline = options.deadline;
     phase.restart();
-    const sat::SolveResult answer = formula.solve(budget);
+    const sat::SolveResult answer = formula.solve(options.budget);
     const double call_seconds = phase.seconds();
     result.smt_seconds += call_seconds;
     result.smt_calls.push_back(SapSmtCall{b, answer, call_seconds});
@@ -94,7 +91,7 @@ SapResult sap_solve_core(const BinaryMatrix& m, const SapOptions& options) {
     } else {
       break;  // budget exhausted: keep best-so-far, bounds stand
     }
-    if (options.deadline.expired()) break;
+    if (options.budget.exhausted()) break;
   }
   result.smt_stats = formula.solver().stats();
   result.total_seconds = total.seconds();

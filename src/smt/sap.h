@@ -32,11 +32,12 @@ enum class SapStatus {
 
 /// Options for sap_solve.
 struct SapOptions {
-  RowPackingOptions packing;             ///< Heuristic phase configuration.
-  smt::EncoderOptions encoder;           ///< CNF lowering choices.
-  Deadline deadline;                     ///< Total wall-clock budget.
-  std::int64_t conflicts_per_call = -1;  ///< SAT budget per decision (<0 = ∞).
-  bool use_smt = true;                   ///< false → heuristic only.
+  RowPackingOptions packing;    ///< Heuristic phase configuration.
+  smt::EncoderOptions encoder;  ///< CNF lowering choices.
+  /// Shared budget: deadline over the whole solve, max_conflicts per SAT
+  /// decision call, plus the optional cancellation flag.
+  Budget budget;
+  bool use_smt = true;          ///< false → heuristic only.
   /// Skip building the SMT formula when the matrix has more 1-cells than
   /// this (the formula is quadratic in cells; the paper's 100×100 set is
   /// "too large for SMT"). 0 disables the guard.

@@ -63,6 +63,117 @@ TEST(Cli, SolveRenderFlagShowsLabels) {
   EXPECT_NE(r.out.find("00\n00"), std::string::npos);
 }
 
+TEST(Cli, SolveStrategyFlagSelectsBackend) {
+  const auto path = write_temp_matrix("110\n011\n111\n", "eq2s");
+  for (const char* strategy :
+       {"sap", "heuristic", "brute", "dlx", "auto", "greedy", "trivial"}) {
+    const auto r =
+        run_cli("solve", {path, std::string("--strategy=") + strategy});
+    EXPECT_EQ(r.code, 0) << strategy;
+    EXPECT_NE(r.out.find("strategy "), std::string::npos) << strategy;
+    EXPECT_NE(r.out.find("partition 3 3"), std::string::npos) << strategy;
+  }
+}
+
+TEST(Cli, SolveUnknownStrategyIsUsageError) {
+  const auto path = write_temp_matrix("10\n01\n", "badstrat");
+  const auto r = run_cli("solve", {path, "--strategy=frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown strategy 'frobnicate'"), std::string::npos);
+  EXPECT_NE(r.err.find("sap"), std::string::npos);  // alternatives listed
+}
+
+TEST(Cli, SolveMalformedBudgetIsUsageError) {
+  const auto path = write_temp_matrix("10\n01\n", "badbudget");
+  for (const char* flag : {"--budget=soon", "--trials=lots", "--seed=x",
+                           "--conflicts=many", "--budget=1.5zzz"}) {
+    const auto r = run_cli("solve", {path, flag});
+    EXPECT_EQ(r.code, 2) << flag;
+    EXPECT_NE(r.err.find("invalid value"), std::string::npos) << flag;
+  }
+}
+
+TEST(Cli, ScheduleMalformedFlagsAreUsageErrors) {
+  const auto path = write_temp_matrix("10\n01\n", "badsched");
+  EXPECT_EQ(run_cli("schedule", {path, "--budget=abc"}).code, 2);
+  EXPECT_EQ(run_cli("schedule", {path, "--reconfig-us=xy"}).code, 2);
+  EXPECT_EQ(run_cli("schedule", {path, "--strategy=nope"}).code, 2);
+}
+
+TEST(Cli, SolveBatchKeepsInputOrder) {
+  const auto a = write_temp_matrix("110\n011\n111\n", "batch_a");
+  const auto b = write_temp_matrix("10\n01\n", "batch_b");
+  const auto r = run_cli("solve", {a, b, "--strategy=sap"});
+  EXPECT_EQ(r.code, 0);
+  const auto pos_a = r.out.find("batch_a");
+  const auto pos_b = r.out.find("batch_b");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);  // request order, not completion order
+  EXPECT_NE(r.out.find("depth 3"), std::string::npos);
+  EXPECT_NE(r.out.find("depth 2"), std::string::npos);
+}
+
+TEST(Cli, SolveBatchSkipsUnreadableFilesAndFails) {
+  const auto good = write_temp_matrix("110\n011\n111\n", "batch_good");
+  const auto r = run_cli("solve", {good, "/nonexistent/batch.txt"});
+  EXPECT_EQ(r.code, 1);  // partial failure is a runtime error...
+  EXPECT_NE(r.out.find("depth 3"), std::string::npos);  // ...but good
+  EXPECT_NE(r.err.find("cannot open"), std::string::npos);  // files solve
+}
+
+TEST(Cli, SolveJsonEmitsOnlyJson) {
+  const auto path = write_temp_matrix("110\n011\n111\n", "json");
+  const auto r = run_cli("solve", {path, "--json", "--strategy=sap"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("\"status\":\"optimal\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"depth\":3"), std::string::npos);
+  // Machine mode: no human report line mixed in (scripts pipe to jq).
+  EXPECT_EQ(r.out.find("proven optimal"), std::string::npos);
+  EXPECT_EQ(r.out.find("partition 3 3"), std::string::npos);
+}
+
+TEST(Cli, SolveBatchRejectsSingleFileFlags) {
+  const auto a = write_temp_matrix("10\n01\n", "multi_a");
+  const auto b = write_temp_matrix("11\n11\n", "multi_b");
+  for (const char* flag : {"--save=/tmp/x.part", "--render", "--split"}) {
+    const auto r = run_cli("solve", {a, b, flag});
+    EXPECT_EQ(r.code, 2) << flag;
+    EXPECT_NE(r.err.find("single matrix file"), std::string::npos) << flag;
+  }
+}
+
+TEST(Cli, SolveOutOfRangeNumericsAreUsageErrors) {
+  const auto path = write_temp_matrix("10\n01\n", "range");
+  for (const char* flag : {"--seed=-1", "--trials=inf", "--nodes=-2"}) {
+    const auto r = run_cli("solve", {path, flag});
+    EXPECT_EQ(r.code, 2) << flag;
+    EXPECT_NE(r.err.find("invalid value"), std::string::npos) << flag;
+  }
+}
+
+TEST(Cli, SolveSplitMatchesPlainDepth) {
+  const auto path = write_temp_matrix("1100\n1100\n0011\n0011\n", "split");
+  const auto split = run_cli("solve", {path, "--split", "--strategy=sap"});
+  EXPECT_EQ(split.code, 0);
+  EXPECT_NE(split.out.find("depth 2 (proven optimal)"), std::string::npos);
+}
+
+TEST(Cli, StrategiesListsRegistry) {
+  const auto r = run_cli("strategies", {});
+  EXPECT_EQ(r.code, 0);
+  for (const char* name :
+       {"sap", "heuristic", "brute", "dlx", "completion", "auto"})
+    EXPECT_NE(r.out.find(name), std::string::npos) << name;
+}
+
+TEST(Cli, BoundsIncludesPackingUpperBound) {
+  const auto path = write_temp_matrix("110\n011\n111\n", "eq2pk");
+  const auto r = run_cli("bounds", {path});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("packing upper bound  3"), std::string::npos);
+}
+
 TEST(Cli, SolveMissingFileFails) {
   const auto r = run_cli("solve", {"/nonexistent/file.txt"});
   EXPECT_EQ(r.code, 1);
@@ -185,8 +296,9 @@ TEST(Cli, EncodeRejectsZeroMatrix) {
 
 TEST(Cli, UsageListsAllCommands) {
   const auto text = usage();
-  for (const char* cmd : {"solve", "bounds", "fooling", "components",
-                          "schedule", "generate", "convert", "encode"})
+  for (const char* cmd : {"solve", "strategies", "bounds", "fooling",
+                          "components", "schedule", "generate", "convert",
+                          "encode"})
     EXPECT_NE(text.find(cmd), std::string::npos) << cmd;
 }
 

@@ -1,0 +1,260 @@
+// Tests for the ebmf::engine facade: registry resolution, the unified
+// report contract, the "auto" portfolio, budget/anytime behaviour, and
+// batch/component-parallel execution.
+
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/generators.h"
+#include "benchgen/suites.h"
+#include "core/bounds.h"
+#include "support/rng.h"
+
+namespace ebmf::engine {
+namespace {
+
+BinaryMatrix eq2() { return BinaryMatrix::parse("110;011;111"); }
+
+BinaryMatrix fig1b() {
+  return BinaryMatrix::parse(
+      "101100;010011;101010;010101;111000;000111");
+}
+
+TEST(Registry, BuiltinsArePresent) {
+  const auto registry = SolverRegistry::with_builtins();
+  for (const char* name : {"sap", "heuristic", "greedy", "trivial", "brute",
+                           "dlx", "completion", "auto"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    ASSERT_NE(registry.find(name), nullptr);
+    EXPECT_FALSE(registry.find(name)->description.empty()) << name;
+  }
+  const auto names = registry.names();
+  EXPECT_EQ(names.size(), registry.size());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, UnknownNameThrowsListingAlternatives) {
+  const Engine engine;
+  auto request = SolveRequest::dense(eq2(), "frobnicate");
+  try {
+    (void)engine.solve(request);
+    FAIL() << "expected UnknownStrategyError";
+  } catch (const UnknownStrategyError& e) {
+    EXPECT_EQ(e.name(), "frobnicate");
+    EXPECT_NE(std::string(e.what()).find("sap"), std::string::npos);
+  }
+}
+
+TEST(Registry, CustomStrategyPlugsIn) {
+  SolverRegistry registry = SolverRegistry::with_builtins();
+  registry.add("rowwise", "one rectangle per nonzero row",
+               [](const SolveRequest& request) {
+                 SolveReport report;
+                 const BinaryMatrix& m = request.pattern();
+                 for (std::size_t i = 0; i < m.rows(); ++i) {
+                   if (m.row(i).none()) continue;
+                   BitVec rows(m.rows());
+                   rows.set(i);
+                   report.partition.push_back(Rectangle{rows, m.row(i)});
+                 }
+                 report.status = Status::Heuristic;
+                 return report;
+               });
+  const Engine engine(std::move(registry));
+  const auto report = engine.solve(SolveRequest::dense(eq2(), "rowwise"));
+  EXPECT_EQ(report.depth(), 3u);
+  EXPECT_EQ(report.strategy, "rowwise");
+  EXPECT_EQ(report.upper_bound, 3u);
+}
+
+TEST(Engine, EveryBuiltinStrategyYieldsValidOptimalOnEq2) {
+  // r_B = 3 for the Eq. 2 matrix and every backend can reach it; the engine
+  // validates each partition internally (run_checked postcondition).
+  const Engine engine;
+  for (const char* name :
+       {"sap", "heuristic", "greedy", "trivial", "brute", "dlx",
+        "completion", "auto"}) {
+    const auto report = engine.solve(SolveRequest::dense(eq2(), name));
+    EXPECT_EQ(report.depth(), 3u) << name;
+    EXPECT_TRUE(validate_partition(eq2(), report.partition).ok) << name;
+    EXPECT_GT(report.total_seconds, 0.0) << name;
+  }
+}
+
+TEST(Engine, ReportCarriesTimingsAndTelemetry) {
+  const Engine engine;
+  const auto report = engine.solve(SolveRequest::dense(fig1b(), "sap"));
+  EXPECT_TRUE(report.proven_optimal());
+  EXPECT_EQ(report.depth(), 5u);  // the paper's Fig. 1b optimum
+  EXPECT_GE(report.timing("heuristic"), 0.0);
+  EXPECT_NE(report.find_telemetry("heuristic.size"), nullptr);
+  // Timings merge by phase name.
+  SolveReport scratch;
+  scratch.add_timing("x", 1.0);
+  scratch.add_timing("x", 2.0);
+  EXPECT_DOUBLE_EQ(scratch.timing("x"), 3.0);
+  EXPECT_DOUBLE_EQ(scratch.timing("absent"), 0.0);
+}
+
+TEST(Engine, ZeroMatrixIsOptimalEverywhere) {
+  const Engine engine;
+  for (const char* name : {"sap", "heuristic", "brute", "auto"}) {
+    const auto report =
+        engine.solve(SolveRequest::dense(BinaryMatrix(4, 4), name));
+    EXPECT_TRUE(report.proven_optimal()) << name;
+    EXPECT_EQ(report.depth(), 0u) << name;
+  }
+}
+
+TEST(Auto, SmallInstanceSelectsBrute) {
+  const Engine engine;
+  const auto report = engine.solve(SolveRequest::dense(eq2(), "auto"));
+  ASSERT_NE(report.find_telemetry("auto.selected"), nullptr);
+  EXPECT_EQ(*report.find_telemetry("auto.selected"), "brute");
+  EXPECT_EQ(report.strategy, "brute");
+  EXPECT_TRUE(report.proven_optimal());
+}
+
+TEST(Auto, MidSizeInstanceSelectsSap) {
+  Rng rng(21);
+  const auto m = BinaryMatrix::random(10, 10, 0.5, rng);  // ~50 ones
+  const Engine engine;
+  const auto report = engine.solve(SolveRequest::dense(m, "auto"));
+  ASSERT_NE(report.find_telemetry("auto.selected"), nullptr);
+  EXPECT_EQ(*report.find_telemetry("auto.selected"), "sap");
+}
+
+TEST(Auto, LargeInstanceSelectsHeuristicAndStaysValid) {
+  Rng rng(22);
+  const auto m = BinaryMatrix::random(40, 40, 0.5, rng);  // ~800 ones
+  const Engine engine;
+  auto request = SolveRequest::dense(m, "auto");
+  request.trials = 10;
+  const auto report = engine.solve(request);
+  ASSERT_NE(report.find_telemetry("auto.selected"), nullptr);
+  EXPECT_EQ(*report.find_telemetry("auto.selected"), "heuristic");
+  EXPECT_TRUE(validate_partition(m, report.partition).ok);
+}
+
+TEST(Auto, DontCaresSelectCompletion) {
+  const auto masked = completion::MaskedMatrix::parse("1*;*1");
+  const Engine engine;
+  const auto report = engine.solve(SolveRequest::with_mask(masked, "auto"));
+  ASSERT_NE(report.find_telemetry("auto.selected"), nullptr);
+  EXPECT_EQ(*report.find_telemetry("auto.selected"), "completion");
+  EXPECT_EQ(report.depth(), 1u);  // the vacancy bridge fuses the diagonal
+}
+
+TEST(Budget, ExpiredDeadlineStillYieldsValidAnytimePartition) {
+  Rng rng(23);
+  const auto inst = benchgen::gap_matrix(10, 10, 4, rng);
+  const Engine engine;
+  for (const char* name : {"sap", "brute", "auto", "heuristic"}) {
+    auto request = SolveRequest::dense(inst.matrix, name);
+    request.budget = Budget::after(0.0);
+    request.trials = 3;
+    const auto report = engine.solve(request);
+    EXPECT_TRUE(validate_partition(inst.matrix, report.partition).ok) << name;
+    EXPECT_GE(report.depth(), report.lower_bound) << name;
+    EXPECT_FALSE(report.partition.empty()) << name;
+  }
+}
+
+TEST(Budget, CancellationFlagIsSharedAcrossCopies) {
+  Budget budget;
+  budget.cancellable();
+  const Budget copy = budget;
+  EXPECT_FALSE(copy.exhausted());
+  budget.request_cancel();
+  EXPECT_TRUE(copy.cancelled());
+  EXPECT_TRUE(copy.exhausted());
+}
+
+TEST(Batch, DeterministicOrderAndDepthsAcrossRuns) {
+  Rng rng(24);
+  std::vector<SolveRequest> requests;
+  for (int i = 0; i < 6; ++i) {
+    auto request = SolveRequest::dense(
+        BinaryMatrix::random(8, 8, 0.4, rng), "auto");
+    request.label = "instance-" + std::to_string(i);
+    request.trials = 20;
+    request.seed = 7;
+    requests.push_back(std::move(request));
+  }
+  const Engine engine;
+  const auto first = engine.solve_batch(requests, 4);
+  const auto second = engine.solve_batch(requests, 2);
+  ASSERT_EQ(first.size(), requests.size());
+  ASSERT_EQ(second.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(first[i].label, requests[i].label);
+    EXPECT_EQ(second[i].label, requests[i].label);
+    EXPECT_EQ(first[i].depth(), second[i].depth()) << i;
+    EXPECT_EQ(first[i].status, second[i].status) << i;
+    EXPECT_EQ(first[i].strategy, second[i].strategy) << i;
+  }
+}
+
+TEST(Batch, UnknownStrategyYieldsErrorTelemetryNotThrow) {
+  std::vector<SolveRequest> requests;
+  requests.push_back(SolveRequest::dense(eq2(), "auto"));
+  requests.push_back(SolveRequest::dense(eq2(), "nope"));
+  const Engine engine;
+  const auto reports = engine.solve_batch(requests, 2);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].depth(), 3u);
+  ASSERT_NE(reports[1].find_telemetry("error"), nullptr);
+  EXPECT_NE(reports[1].find_telemetry("error")->find("nope"),
+            std::string::npos);
+}
+
+TEST(Split, ComponentParallelMatchesMonolithicDepth) {
+  // Block-diagonal gap instances: components are solved independently and
+  // the merged result matches a plain preprocessed SAP solve.
+  Rng rng(25);
+  BinaryMatrix big(20, 20);
+  for (std::size_t b = 0; b < 2; ++b) {
+    const auto gap = benchgen::gap_matrix(10, 10, 3, rng);
+    for (const auto& [i, j] : gap.matrix.ones())
+      big.set(b * 10 + i, b * 10 + j);
+  }
+  const Engine engine;
+  auto request = SolveRequest::dense(big, "sap");
+  request.trials = 40;
+  const auto split = engine.solve_split(request, 4);
+  const auto plain = engine.solve(request);
+  EXPECT_TRUE(validate_partition(big, split.partition).ok);
+  EXPECT_EQ(split.depth(), plain.depth());
+  EXPECT_EQ(split.status, plain.status);
+  EXPECT_EQ(split.lower_bound, plain.lower_bound);
+  EXPECT_EQ(split.telemetry_count("split.components"), 2u);
+}
+
+TEST(Split, UnknownStrategyThrows) {
+  const Engine engine;
+  EXPECT_THROW((void)engine.solve_split(SolveRequest::dense(eq2(), "nope")),
+               UnknownStrategyError);
+}
+
+TEST(Report, JsonIsOneLineWithStableFields) {
+  const Engine engine;
+  auto request = SolveRequest::dense(eq2(), "sap");
+  request.label = "eq2 \"quoted\"";
+  const auto report = engine.solve(request);
+  const auto json = to_json(report);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\"strategy\":\"sap\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"optimal\""), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":3"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST(Report, StatusNames) {
+  EXPECT_STREQ(to_string(Status::Optimal), "optimal");
+  EXPECT_STREQ(to_string(Status::Bounded), "bounded");
+  EXPECT_STREQ(to_string(Status::Heuristic), "heuristic");
+}
+
+}  // namespace
+}  // namespace ebmf::engine

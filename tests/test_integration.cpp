@@ -141,8 +141,8 @@ TEST(Integration, AnytimeContractUnderRandomDeadlines) {
   for (int t = 0; t < 6; ++t) {
     const auto inst = benchgen::gap_matrix(10, 10, 4, rng);
     SapOptions opt;
-    opt.deadline = Deadline::after(0.001 * t);
-    opt.conflicts_per_call = 50;
+    opt.budget.deadline = Deadline::after(0.001 * t);
+    opt.budget.max_conflicts = 50;
     const auto r = sap_solve(inst.matrix, opt);
     EXPECT_TRUE(validate_partition(inst.matrix, r.partition).ok);
     EXPECT_GE(r.depth(), r.rank_lower);

@@ -174,7 +174,7 @@ TEST(SapPreprocess, SparseLargeMatrixExactlySolved) {
   Rng rng(46);
   const auto m = BinaryMatrix::random(60, 60, 0.02, rng);
   SapOptions opt;
-  opt.deadline = Deadline::after(20.0);
+  opt.budget.deadline = Deadline::after(20.0);
   const auto r = sap_solve(m, opt);
   EXPECT_TRUE(r.proven_optimal());
   EXPECT_TRUE(validate_partition(m, r.partition).ok);

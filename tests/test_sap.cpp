@@ -129,7 +129,7 @@ TEST(Sap, AnytimeUnderTightDeadline) {
   Rng rng(13);
   const auto m = BinaryMatrix::random(10, 10, 0.5, rng);
   SapOptions opt;
-  opt.deadline = Deadline::after(0.0);
+  opt.budget.deadline = Deadline::after(0.0);
   const auto r = sap_solve(m, opt);
   EXPECT_TRUE(validate_partition(m, r.partition).ok);
   EXPECT_GE(r.depth(), r.rank_lower);
@@ -139,7 +139,7 @@ TEST(Sap, ConflictBudgetKeepsBestSoFar) {
   Rng rng(14);
   const auto inst = benchgen::gap_matrix(10, 10, 4, rng);
   SapOptions opt;
-  opt.conflicts_per_call = 1;
+  opt.budget.max_conflicts = 1;
   const auto r = sap_solve(inst.matrix, opt);
   EXPECT_TRUE(validate_partition(inst.matrix, r.partition).ok);
   // Status may be BoundedOnly (budget) or Optimal (lucky small calls), but
