@@ -1,0 +1,195 @@
+// Service-path benchmark: cold vs warm (cache-hit) solve latency on
+// repeated FTQC per-patch patterns — the workload the ebmf::service result
+// cache exists for. Every repeat is a fresh row/column permutation of the
+// family's base pattern, so a hit must go through canonicalization and the
+// partition lift, exactly like a live server request (minus the TCP hop).
+//
+// With --json, each solved instance emits one line in the common bench
+// format ({"family":...,"config":...,"report":<SolveReport>}), cache
+// telemetry included, so BENCH_*.json trajectories capture the hit rate and
+// the warm/cold split.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchgen/generators.h"
+#include "common.h"
+#include "engine/engine.h"
+#include "ftqc/patterns.h"
+#include "service/cache.h"
+#include "support/rng.h"
+#include "support/stopwatch.h"
+
+namespace {
+
+using ebmf::BinaryMatrix;
+using ebmf::Rng;
+
+/// A fresh row/column permutation of `m` (the per-patch repeat shape:
+/// same pattern, different patch position / orientation).
+BinaryMatrix permuted_copy(const BinaryMatrix& m, Rng& rng) {
+  const auto row_perm = rng.permutation(m.rows());
+  const auto col_perm = rng.permutation(m.cols());
+  BinaryMatrix out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      if (m.test(row_perm[i], col_perm[j])) out.set(i, j);
+  return out;
+}
+
+struct FamilyResult {
+  std::string name;
+  std::size_t instances = 0;
+  std::size_t cold = 0;
+  std::size_t warm = 0;
+  double cold_seconds = 0.0;  // summed
+  double warm_seconds = 0.0;  // summed
+};
+
+FamilyResult run_family(const ebmf::bench::Options& opt,
+                        const ebmf::engine::Engine& engine,
+                        const std::string& name,
+                        const std::vector<BinaryMatrix>& variants) {
+  FamilyResult result;
+  result.name = name;
+  for (std::size_t k = 0; k < variants.size(); ++k) {
+    auto request = ebmf::engine::SolveRequest::dense(variants[k], "auto");
+    request.budget = opt.budget();
+    request.trials = 40;
+    request.label = name + "#" + std::to_string(k);
+    const auto report = engine.solve(request);
+    const std::string* hit = report.find_telemetry("cache_hit");
+    const bool warm = hit != nullptr && *hit == "true";
+    if (warm) {
+      ++result.warm;
+      result.warm_seconds += report.total_seconds;
+    } else {
+      ++result.cold;
+      result.cold_seconds += report.total_seconds;
+    }
+    ++result.instances;
+    ebmf::bench::emit_json(opt, "service_repeat", request.label, report);
+  }
+  return result;
+}
+
+void print_result(const FamilyResult& r) {
+  const double cold_mean =
+      r.cold == 0 ? 0.0 : r.cold_seconds / static_cast<double>(r.cold);
+  const double warm_mean =
+      r.warm == 0 ? 0.0 : r.warm_seconds / static_cast<double>(r.warm);
+  const double speedup = warm_mean > 0 ? cold_mean / warm_mean : 0.0;
+  std::printf("%-26s %5zu %6zu %7zu | %11.6f %11.6f | %8.1fx\n",
+              r.name.c_str(), r.instances, r.cold, r.warm, cold_mean * 1e3,
+              warm_mean * 1e3, speedup);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = ebmf::bench::parse_options(argc, argv);
+  Rng rng(opt.seed);
+
+  ebmf::engine::Engine engine;
+  engine.set_cache(ebmf::cache::ResultCache::with_capacity_mb(64));
+
+  std::printf(
+      "--- Service result cache: cold vs warm latency on FTQC repeats ---\n");
+  std::printf("(every repeat is a fresh row/col permutation of the base "
+              "pattern)\n\n");
+  std::printf("%-26s %5s %6s %7s | %11s %11s | %9s\n", "family", "insts",
+              "cold", "warm", "cold ms", "warm ms", "speedup");
+  std::printf("%s\n", std::string(88, '-').c_str());
+
+  std::vector<FamilyResult> results;
+
+  {
+    // Surface-code boundary rows: all d offsets of a d x d patch are row
+    // permutations of one pattern (one cold solve, d-1 hits).
+    const std::size_t d = 13;
+    std::vector<BinaryMatrix> variants;
+    for (std::size_t repeat = 0; repeat < opt.count(4, 2); ++repeat)
+      for (std::size_t row = 0; row < d; ++row)
+        variants.push_back(ebmf::ftqc::boundary_row_patch(d, row));
+    results.push_back(
+        run_family(opt, engine, "patch-boundary d=13", variants));
+  }
+  {
+    // Checkerboard sublattice, both parities, repeated.
+    std::vector<BinaryMatrix> variants;
+    for (std::size_t repeat = 0; repeat < opt.count(20, 8); ++repeat) {
+      variants.push_back(ebmf::ftqc::checkerboard_patch(12, repeat % 2));
+    }
+    results.push_back(
+        run_family(opt, engine, "patch-checker d=12", variants));
+  }
+  {
+    // Logical-level sparse addressing pattern (shatters into components;
+    // the exact sparse path makes the cold solve substantial).
+    const BinaryMatrix base =
+        ebmf::ftqc::logical_pattern(48, 48, 0.04, rng);
+    std::vector<BinaryMatrix> variants{base};
+    for (std::size_t repeat = 1; repeat < opt.count(24, 10); ++repeat)
+      variants.push_back(permuted_copy(base, rng));
+    results.push_back(
+        run_family(opt, engine, "logical 48x48 occ=0.04", variants));
+  }
+  {
+    // qLDPC 1D memory blocks.
+    const BinaryMatrix base =
+        ebmf::ftqc::qldpc_block_pattern(12, 18, 0.3, rng);
+    std::vector<BinaryMatrix> variants{base};
+    for (std::size_t repeat = 1; repeat < opt.count(24, 10); ++repeat)
+      variants.push_back(permuted_copy(base, rng));
+    results.push_back(
+        run_family(opt, engine, "qldpc 12x18 occ=0.3", variants));
+  }
+  {
+    // Two-level structure: logical pattern tensored with a physical patch.
+    const BinaryMatrix base = BinaryMatrix::kron(
+        ebmf::ftqc::logical_pattern(4, 4, 0.5, rng),
+        ebmf::ftqc::checkerboard_patch(3, 0));
+    std::vector<BinaryMatrix> variants{base};
+    for (std::size_t repeat = 1; repeat < opt.count(16, 8); ++repeat)
+      variants.push_back(permuted_copy(base, rng));
+    results.push_back(
+        run_family(opt, engine, "kron(4x4, checker3)", variants));
+  }
+  {
+    // A deliberately SMT-hard per-patch pattern (gap family, slack rank
+    // bound): the cold solve pays real bound-search time — typically the
+    // whole budget — and the warm hits replay its result for the cost of
+    // canonicalization + lift.
+    const auto gap = ebmf::benchgen::gap_matrix(20, 20, 6, rng);
+    std::vector<BinaryMatrix> variants{gap.matrix};
+    for (std::size_t repeat = 1; repeat < opt.count(12, 6); ++repeat)
+      variants.push_back(permuted_copy(gap.matrix, rng));
+    results.push_back(run_family(opt, engine, "gap 20x20 k=6", variants));
+  }
+
+  double cold_mean_total = 0.0;
+  double warm_mean_total = 0.0;
+  std::size_t families_with_warm = 0;
+  for (const auto& r : results) {
+    print_result(r);
+    if (r.warm > 0 && r.cold > 0) {
+      cold_mean_total += r.cold_seconds / static_cast<double>(r.cold);
+      warm_mean_total += r.warm_seconds / static_cast<double>(r.warm);
+      ++families_with_warm;
+    }
+  }
+
+  const auto stats = engine.cache()->stats();
+  std::printf("\ncache: %llu hits, %llu misses, %llu evictions, %zu entries "
+              "(%zu bytes)\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.evictions), stats.entries,
+              stats.bytes);
+  if (families_with_warm > 0 && warm_mean_total > 0)
+    std::printf("aggregate warm speedup over cold (mean of family means): "
+                "%.1fx\n",
+                cold_mean_total / warm_mean_total);
+  return 0;
+}

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include <fstream>
+
 #include "addressing/schedule.h"
 #include "benchgen/generators.h"
 #include "core/bounds.h"
@@ -17,7 +19,9 @@
 #include "engine/engine.h"
 #include "io/matrix_io.h"
 #include "io/partition_io.h"
+#include "io/request_io.h"
 #include "sat/dimacs.h"
+#include "service/service.h"
 #include "smt/label_formula.h"
 
 namespace ebmf::cli {
@@ -194,12 +198,95 @@ void print_report_line(std::ostream& out, const engine::SolveReport& r) {
   out << ", strategy " << r.strategy << ", " << r.total_seconds << " s\n";
 }
 
+/// `ebmf solve --requests=FILE`: each line is one wire-protocol request
+/// (io/request_io.h) — the same format the service consumes — solved as one
+/// batch, one report JSON line out per request line.
+int solve_request_file(const Args& args, std::ostream& out,
+                       std::ostream& err) {
+  const std::string path = args.get("requests", "");
+  std::ifstream file(path);
+  if (!file) {
+    err << "error: cannot read requests file '" << path << "'\n";
+    return 1;
+  }
+  FlagReader flags(args);
+  const auto threads = flags.count("threads", 0);
+  if (!flags.valid(err)) return 2;
+
+  const engine::Engine engine;
+  std::vector<io::WireRequest> wires;
+  std::string line;
+  std::size_t line_number = 0;
+  bool failed = false;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      io::WireRequest wire = io::parse_wire_request(line);
+      if (wire.request.label.empty())
+        wire.request.label = path + ":" + std::to_string(line_number);
+      wires.push_back(std::move(wire));
+    } catch (const std::exception& e) {
+      err << path << ":" << line_number << ": error: " << e.what() << "\n";
+      failed = true;
+    }
+  }
+
+  // Same routing as the service: non-split requests share one batch,
+  // split ones go through solve_split; output stays in line order. The
+  // per-request deadline is re-armed here — at submission, like the
+  // server's admission step — not at file-parse time, so reading a large
+  // file does not eat into the first request's budget. (Within the batch
+  // a deadline is still a wall-clock SLA from submission: queueing behind
+  // the pool counts against it.)
+  std::vector<std::size_t> batch_index(wires.size(), wires.size());
+  std::vector<engine::SolveRequest> batch;
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    if (wires[i].budget_seconds > 0)
+      wires[i].request.budget.deadline =
+          Deadline::after(wires[i].budget_seconds);
+    if (wires[i].split && !wires[i].request.masked) continue;
+    batch_index[i] = batch.size();
+    batch.push_back(wires[i].request);
+  }
+  const auto batch_reports = engine.solve_batch(batch, threads);
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    engine::SolveReport report;
+    if (batch_index[i] < batch_reports.size()) {
+      report = batch_reports[batch_index[i]];
+    } else {
+      try {
+        report = engine.solve_split(wires[i].request, wires[i].threads);
+      } catch (const std::exception& e) {
+        err << wires[i].request.label << ": error: " << e.what() << "\n";
+        failed = true;
+        continue;
+      }
+    }
+    if (const std::string* error = report.find_telemetry("error")) {
+      err << report.label << ": error: " << *error << "\n";
+      failed = true;
+      continue;
+    }
+    out << io::wire_response_json(report, wires[i].include_partition) << "\n";
+  }
+  return failed ? 1 : 0;
+}
+
 int cmd_solve(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.has("requests")) {
+    if (!args.positional.empty()) {
+      err << "error: --requests=FILE replaces positional matrix files\n";
+      return 2;
+    }
+    return solve_request_file(args, out, err);
+  }
   if (args.positional.empty()) {
     err << "usage: ebmf solve <matrix-file> [more files...] "
         << kRequestFlagsUsage
         << " [--dont-cares] [--semantics=free|at-most-once] [--split] "
-           "[--threads=N] [--json] [--render] [--save=FILE]\n";
+           "[--threads=N] [--json] [--render] [--save=FILE] "
+           "[--requests=FILE]\n";
     return 2;
   }
   const engine::Engine engine;
@@ -443,6 +530,93 @@ int cmd_encode(const Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
+  FlagReader flags(args);
+  service::ServerOptions options;
+  const auto port = flags.count("port", 7421);
+  options.host = args.get("host", "127.0.0.1");
+  options.threads = flags.count("threads", 0);
+  options.cache_mb = flags.num("cache-mb", 64.0);
+  options.max_inflight = flags.count("max-inflight", 256);
+  options.budget_ceiling_seconds = flags.num("budget", 10.0);
+  options.max_batch = flags.count("max-batch", 32);
+  if (!flags.valid(err) || port > 65535 || options.cache_mb < 0 ||
+      options.budget_ceiling_seconds < 0) {
+    err << "usage: ebmf serve [--port=P] [--host=ADDR] [--threads=N] "
+           "[--cache-mb=MB] [--max-inflight=N] [--budget=S] "
+           "[--max-batch=N]\n";
+    return 2;
+  }
+  options.port = static_cast<std::uint16_t>(port);
+  // Blocks until SIGTERM/SIGINT, then drains and reports.
+  return service::serve_forever(options, out);
+}
+
+int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.empty()) {
+    err << "usage: ebmf client <matrix-file>... [--host=ADDR] [--port=P] "
+        << kRequestFlagsUsage
+        << " [--dont-cares] [--split] [--include-partition]\n";
+    return 2;
+  }
+  const engine::Engine engine;
+  engine::SolveRequest base;
+  if (!request_from(args, engine, base, err)) return 2;
+  FlagReader flags(args);
+  const auto port = flags.count("port", 7421);
+  const auto threads = flags.count("threads", 0);
+  const auto budget_seconds = flags.num("budget", 0.0);
+  if (!flags.valid(err) || port > 65535) return 2;
+  const std::string host = args.get("host", "127.0.0.1");
+  const bool masked_input =
+      args.has("dont-cares") || base.strategy == "completion";
+
+  std::vector<std::string> lines;
+  for (const auto& path : args.positional) {
+    io::WireRequest wire;
+    wire.request = base;
+    wire.request.label = path;
+    try {
+      if (masked_input)
+        wire.request.masked = io::load_masked(path);
+      else
+        wire.request.matrix = io::load_matrix(path);
+    } catch (const std::exception& e) {
+      err << path << ": error: " << e.what() << "\n";
+      return 1;
+    }
+    wire.budget_seconds = budget_seconds;
+    wire.split = args.has("split");
+    wire.threads = threads;
+    wire.include_partition = args.has("include-partition");
+    lines.push_back(io::wire_request_json(wire));
+  }
+
+  try {
+    service::Client client(host, static_cast<std::uint16_t>(port));
+    // Pipeline with a bounded window: blasting every line before reading
+    // any reply can deadlock two blocking peers once both socket buffers
+    // fill (server stuck in send, client stuck in send). Eight in flight
+    // keeps the server's micro-batching fed while bounding buffered bytes.
+    constexpr std::size_t kWindow = 8;
+    bool failed = false;
+    std::size_t sent = 0;
+    for (std::size_t received = 0; received < lines.size(); ++received) {
+      while (sent < lines.size() && sent - received < kWindow) {
+        client.send_line(lines[sent]);
+        ++sent;
+      }
+      const std::string reply = client.read_line();
+      out << reply << "\n";
+      if (reply.rfind("{\"error\"", 0) == 0) failed = true;
+    }
+    return failed ? 1 : 0;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 int cmd_convert(const Args& args, std::ostream& /*out*/, std::ostream& err) {
   if (args.positional.size() != 2) {
     err << "usage: ebmf convert <in-file> <out-file>  (format by extension: "
@@ -462,6 +636,8 @@ std::string usage() {
          "\n"
          "commands:\n"
          "  solve <file>...     partition pattern(s) via the engine facade\n"
+         "  serve               long-lived line-JSON solver server (TCP)\n"
+         "  client <file>...    send patterns to a running server\n"
          "  strategies          list the registered solving strategies\n"
          "  bounds <file>       rank / fooling / trivial / packing bracket\n"
          "  fooling <file>      fooling set (--exact for maximum)\n"
@@ -483,6 +659,8 @@ int run_command(const std::string& command,
   try {
     const Args parsed = parse_args(args);
     if (command == "solve") return cmd_solve(parsed, out, err);
+    if (command == "serve") return cmd_serve(parsed, out, err);
+    if (command == "client") return cmd_client(parsed, out, err);
     if (command == "strategies") return cmd_strategies(parsed, out, err);
     if (command == "bounds") return cmd_bounds(parsed, out, err);
     if (command == "fooling") return cmd_fooling(parsed, out, err);

@@ -1,11 +1,14 @@
 // Engine: strategy resolution, report finalization/validation, batch
-// execution, and the component-parallel solve.
+// execution, the component-parallel solve, and the result-cache hook.
 
+#include <algorithm>
 #include <utility>
 
 #include "core/preprocess.h"
 #include "engine/engine.h"
 #include "engine/thread_pool.h"
+#include "service/cache.h"
+#include "service/canon.h"
 #include "support/stopwatch.h"
 
 namespace ebmf::engine {
@@ -22,12 +25,37 @@ Status merge_status(Status a, Status b) {
   return Status::Optimal;
 }
 
+int certificate_strength(Status status) {
+  switch (status) {
+    case Status::Optimal:
+      return 2;
+    case Status::Bounded:
+      return 1;
+    case Status::Heuristic:
+      return 0;
+  }
+  return 0;
+}
+
+/// True when `a` is a strictly better answer than `b` for the same
+/// pattern: stronger certificate, then smaller depth, then tighter bound.
+bool strictly_better(const SolveReport& a, const SolveReport& b) {
+  if (certificate_strength(a.status) != certificate_strength(b.status))
+    return certificate_strength(a.status) > certificate_strength(b.status);
+  if (a.depth() != b.depth()) return a.depth() < b.depth();
+  return a.lower_bound > b.lower_bound;
+}
+
 }  // namespace
 
 SolveReport Engine::run_checked(const SolveRequest& request) const {
   const SolverRegistry::Entry* entry = registry_.find(request.strategy);
   if (entry == nullptr)
     throw UnknownStrategyError(request.strategy, registry_.names());
+
+  // Masked requests bypass the cache: don't-care cells are not part of the
+  // canonical form and two masks with equal DC-as-0 patterns differ.
+  if (cache_ && !request.masked) return run_cached(*entry, request);
 
   Stopwatch total;
   SolveReport report = entry->solve(request);
@@ -49,6 +77,87 @@ SolveReport Engine::run_checked(const SolveRequest& request) const {
         static_cast<bool>(validate_partition(request.matrix,
                                              report.partition)));
   }
+  EBMF_ENSURES(report.partition.empty() ||
+               report.depth() >= report.lower_bound);
+  return report;
+}
+
+SolveReport Engine::run_cached(const SolverRegistry::Entry& entry,
+                               const SolveRequest& request) const {
+  Stopwatch total;
+  Stopwatch phase;
+  const canon::Canonical canonical = canon::canonicalize(request.matrix);
+  const double canon_seconds = phase.seconds();
+  // The key distinguishes strategies: a heuristic answer must not shadow a
+  // pending "sap" certificate and vice versa. Tuning knobs (trials, seed,
+  // encoding) are deliberately not part of the key — every stored partition
+  // is a valid answer for the pattern, and the upgrade-only insert policy
+  // keeps the strongest one seen.
+  const canon::CacheKey key = canonical.key.mixed_with(request.strategy);
+
+  SolveReport report;
+  std::optional<cache::CachedResult> cached =
+      cache_->lookup(key, request.strategy, canonical.pattern);
+  // A Bounded entry is a budget-cut exact search; when this request can
+  // afford meaningfully more time than the stored attempt spent, re-solve
+  // and let the upgrade-only insert keep the better certificate. Optimal
+  // entries are final, and Heuristic entries would return the same answer
+  // regardless of budget (no bound search is attempted), so both serve.
+  const bool retry_for_upgrade =
+      cached && cached->report.status == Status::Bounded &&
+      !request.budget.exhausted() &&
+      request.budget.deadline.remaining_seconds() >
+          2.0 * cached->report.total_seconds + 0.01;
+  bool served_from_cache = cached.has_value() && !retry_for_upgrade;
+  const char* upgrade = nullptr;
+  if (!served_from_cache) {
+    // Solve the canonical pattern itself: the cache stays in canonical
+    // space, and the strategy benefits from the deduplicated instance.
+    SolveRequest sub = request;
+    sub.matrix = canonical.pattern;
+    sub.masked.reset();
+    sub.label.clear();
+    report = entry.solve(sub);
+    if (report.strategy.empty()) report.strategy = request.strategy;
+    report.upper_bound = report.depth();
+    report.total_seconds = total.seconds();  // what this attempt cost
+    cache_->insert(key, request.strategy, canonical.pattern, report);
+    if (retry_for_upgrade) {
+      // A retry cut short (cancellation, contention) can come back weaker
+      // than the certificate it tried to beat — never serve that.
+      if (strictly_better(cached->report, report)) {
+        served_from_cache = true;
+        upgrade = "retry-kept-stored";
+      } else {
+        upgrade = "retry";
+      }
+    }
+  }
+  if (served_from_cache) report = std::move(cached->report);
+  phase.restart();
+  report.partition = canon::lift(report.partition, canonical);
+  report.add_timing("cache.lift", phase.seconds());
+  report.add_telemetry("cache_hit", served_from_cache ? "true" : "false");
+  if (upgrade != nullptr) report.add_telemetry("cache.upgrade", upgrade);
+
+  report.label = request.label;
+  if (report.strategy.empty()) report.strategy = request.strategy;
+  report.upper_bound = report.depth();
+  report.add_timing("canon", canon_seconds);
+  report.add_telemetry("canon.key", key.hex());
+  report.add_telemetry(
+      "canon.shape", std::to_string(canonical.pattern.rows()) + "x" +
+                         std::to_string(canonical.pattern.cols()));
+  report.add_telemetry("canon.components",
+                       static_cast<std::uint64_t>(canonical.components.size()));
+  const cache::CacheStats stats = cache_->counters();
+  report.add_telemetry("cache.hits", stats.hits);
+  report.add_telemetry("cache.misses", stats.misses);
+  report.add_telemetry("cache.evictions", stats.evictions);
+  report.total_seconds = total.seconds();
+
+  EBMF_ENSURES(static_cast<bool>(
+      validate_partition(request.matrix, report.partition)));
   EBMF_ENSURES(report.partition.empty() ||
                report.depth() >= report.lower_bound);
   return report;
@@ -89,6 +198,27 @@ SolveReport Engine::solve_split(const SolveRequest& request,
   const std::vector<Component> components =
       split_components(reduction.reduced);
   const double split_seconds = phase.seconds();
+
+  // One giant component serializes the whole pool while the merge still
+  // pays the reduce/lift overhead — fall back to the plain path and let the
+  // strategy's own preprocessing handle the few stray ones. 90% is the
+  // share past which the parallel speedup cannot reach ~1.1x.
+  constexpr double kGiantComponentShare = 0.9;
+  std::size_t largest_ones = 0;
+  for (const Component& component : components)
+    largest_ones = std::max(largest_ones, component.matrix.ones_count());
+  const std::size_t total_ones = reduction.reduced.ones_count();
+  if (components.size() <= 1 ||
+      static_cast<double>(largest_ones) >=
+          kGiantComponentShare * static_cast<double>(total_ones)) {
+    SolveReport whole = run_checked(request);
+    whole.add_telemetry("split.fallback", components.size() <= 1
+                                              ? "single-component"
+                                              : "giant-component");
+    whole.add_telemetry("split.components",
+                        static_cast<std::uint64_t>(components.size()));
+    return whole;
+  }
 
   std::vector<SolveRequest> subs;
   subs.reserve(components.size());

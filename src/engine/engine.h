@@ -66,12 +66,18 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "completion/completion_solver.h"
 #include "core/matrix.h"
 #include "core/partition.h"
 #include "core/row_packing.h"
 #include "smt/label_formula.h"
 #include "support/budget.h"
+
+namespace ebmf::cache {
+class ResultCache;  // service/cache.h — attached via Engine::set_cache
+}  // namespace ebmf::cache
 
 namespace ebmf::engine {
 
@@ -239,6 +245,24 @@ class Engine {
   }
   [[nodiscard]] SolverRegistry& registry() noexcept { return registry_; }
 
+  /// Attach a canonical-pattern result cache (see service/cache.h). With a
+  /// cache attached, every dense solve — including solve_batch workers and
+  /// solve_split components — first canonicalizes the pattern (dedup +
+  /// component split + row/col sort) and answers permutation-equivalent
+  /// repeats from the cache, lifting the stored partition back through the
+  /// request's own permutation record. Reports gain `cache_hit`, `canon.*`,
+  /// and `cache.*` telemetry. Masked (don't-care) requests bypass the
+  /// cache. Pass nullptr to detach.
+  void set_cache(std::shared_ptr<cache::ResultCache> cache) {
+    cache_ = std::move(cache);
+  }
+
+  /// The attached cache (null when caching is disabled).
+  [[nodiscard]] const std::shared_ptr<cache::ResultCache>& cache()
+      const noexcept {
+    return cache_;
+  }
+
   /// Solve one request. Throws UnknownStrategyError for unregistered
   /// names. Postcondition: the report's partition is a valid partition of
   /// the request's pattern (masked-validated when don't-cares are present)
@@ -256,14 +280,21 @@ class Engine {
   /// Component-parallel solve: apply the exactness-preserving reductions
   /// (duplicate collapse + connected-component split), solve each component
   /// as an independent sub-request across the pool, and merge the lifted
-  /// partitions into one report. Falls back to solve() for masked requests.
+  /// partitions into one report. Falls back to solve() for masked requests,
+  /// and to the whole-matrix path when there is at most one component or a
+  /// single giant component holds ≥90% of the ones (the split would
+  /// serialize on it and only pay overhead); the decision is recorded as
+  /// `split.fallback` telemetry.
   [[nodiscard]] SolveReport solve_split(const SolveRequest& request,
                                         std::size_t threads = 0) const;
 
  private:
   SolveReport run_checked(const SolveRequest& request) const;
+  SolveReport run_cached(const SolverRegistry::Entry& entry,
+                         const SolveRequest& request) const;
 
   SolverRegistry registry_;
+  std::shared_ptr<cache::ResultCache> cache_;
 };
 
 }  // namespace ebmf::engine

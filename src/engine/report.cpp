@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "engine/engine.h"
+#include "io/json.h"
 
 namespace ebmf::engine {
 
@@ -84,30 +85,11 @@ std::uint64_t SolveReport::telemetry_count(const std::string& key) const {
 
 namespace {
 
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buffer[8];
-      std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
-      out += buffer;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
+// One escaping/number-formatting routine repo-wide (io/json.h), so the
+// wire protocol and the bench emitters can never diverge from to_json.
+std::string json_escape(const std::string& s) { return io::json::escape(s); }
 
-std::string json_number(double value) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof buffer, "%.6g", value);
-  return buffer;
-}
+std::string json_number(double value) { return io::json::number(value); }
 
 }  // namespace
 

@@ -28,8 +28,27 @@ namespace {
 /// exponential in the 1-cell count (intended ≲ 20 ones); the SMT formula is
 /// quadratic in cells, and preprocessing usually shatters sparse instances
 /// into SMT-feasible components up to a few hundred ones.
+///
+/// The cutoffs were calibrated against the benchgen families (seeds 5/7/9,
+/// budget 3 s, 40 trials):
+///  * gap matrices at density ~0.35–0.40 past ~300 ones: sap burns the full
+///    budget for the same depth the heuristic reaches in milliseconds
+///    (30×30 k=8, 316 ones: both depth 28, 3.06 s vs 1.6 ms) — so above
+///    kAutoSmtOnesLimit a *dense* instance goes to the heuristic;
+///  * random matrices at the paper's sparse occupancies shatter into
+///    SMT-feasible components far beyond that 1-count (100×100 at 4–6%,
+///    200×200 at 3% = 1169 ones, 150×150 at 5% = 1118 ones, 120×120 at 8%
+///    = 1126 ones: all certified optimal by sap in 2–6 ms) — so a *sparse*
+///    instance (density ≤ kAutoSparseDensity) keeps the exact path up to
+///    kAutoSparseOnesLimit ones.
 constexpr std::size_t kAutoBruteOnesLimit = 16;
 constexpr std::size_t kAutoSmtOnesLimit = 300;
+/// Density (ones/(m·n)) at or below which preprocessing reliably shatters
+/// the pattern (paper §IV-B works at 1–5% occupancy; 8% still held).
+constexpr double kAutoSparseDensity = 0.08;
+/// 1-count ceiling for the sparse exact path (measured safe with ~2× margin
+/// over the calibration grid).
+constexpr std::size_t kAutoSparseOnesLimit = 1500;
 /// Per-component formula guard "auto" applies when the caller set none.
 constexpr std::size_t kAutoSmtCellGuard = 200;
 
@@ -255,14 +274,21 @@ SolveReport solve_completion(const SolveRequest& request) {
 }
 
 SolveReport solve_auto(const SolveRequest& request) {
+  const BinaryMatrix& pattern = request.pattern();
+  const std::size_t ones = pattern.ones_count();
+  const std::size_t cells = pattern.rows() * pattern.cols();
+  const double density =
+      cells == 0 ? 0.0
+                 : static_cast<double>(ones) / static_cast<double>(cells);
   std::string selected;
   if (request.has_dont_cares()) {
     selected = "completion";
   } else {
-    const std::size_t ones = request.pattern().ones_count();
+    const bool sparse = density <= kAutoSparseDensity &&
+                        ones <= kAutoSparseOnesLimit;
     if (ones <= kAutoBruteOnesLimit)
       selected = "brute";
-    else if (ones <= kAutoSmtOnesLimit)
+    else if (ones <= kAutoSmtOnesLimit || sparse)
       selected = "sap";
     else
       selected = "heuristic";
@@ -297,6 +323,7 @@ SolveReport solve_auto(const SolveRequest& request) {
   report.strategy = selected;
   report.add_telemetry("auto.selected", selected);
   report.add_telemetry("auto.portfolio", portfolio);
+  report.add_telemetry("auto.density", density);
   return report;
 }
 

@@ -1,0 +1,88 @@
+#pragma once
+/// \file json.h
+/// \brief A minimal JSON value type and recursive-descent parser.
+///
+/// The service wire protocol and the CLI's `--requests` batch files are
+/// line-JSON; the repo deliberately carries no third-party JSON dependency,
+/// so this is the small subset the protocol needs: the six JSON value
+/// kinds, object key lookup with insertion order preserved, and parse
+/// errors as std::runtime_error with a byte offset. Numbers are stored as
+/// double (the protocol's integers stay well inside the 53-bit exact
+/// range). Strings support the standard escapes; \uXXXX accepts Basic
+/// Multilingual Plane code points and encodes them as UTF-8.
+///
+/// Writing JSON stays with the bespoke renderers (engine::to_json,
+/// io::wire_request_json): output is append-only string building and does
+/// not need a tree.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ebmf::io::json {
+
+/// One JSON value (tree-owning).
+class Value {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+
+  /// Parse a complete JSON document; trailing non-space input is an error.
+  /// Throws std::runtime_error("json at offset N: ...") on malformed text.
+  static Value parse(const std::string& text);
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::Number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::String;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::Object;
+  }
+
+  /// Typed accessors; throw std::runtime_error on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Array access. Preconditions: is_array(), i < size().
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const Value& at(std::size_t i) const;
+
+  /// Object lookup: the value under `key`, or nullptr when absent (or when
+  /// this value is not an object — absent and mistyped read the same for
+  /// optional protocol fields).
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+  /// Object members in document order. Precondition: is_object().
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members()
+      const;
+
+ private:
+  friend class Parser;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Escape a string for embedding in a JSON document (no surrounding
+/// quotes): ", \, and control characters. The one escaping routine shared
+/// by every JSON renderer in the repo (engine::to_json, the wire protocol,
+/// the bench emitters).
+std::string escape(const std::string& s);
+
+/// Render a finite double as a compact JSON number token (%.6g).
+std::string number(double value);
+
+}  // namespace ebmf::io::json

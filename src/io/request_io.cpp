@@ -1,0 +1,227 @@
+// Parsing and rendering of the line-JSON solve-request protocol.
+
+#include "io/request_io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/json.h"
+
+namespace ebmf::io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("request: " + what);
+}
+
+/// A finite number field within [min, max]; `fallback` when absent.
+double number_field(const json::Value& object, const char* key,
+                    double fallback, double min, double max) {
+  const json::Value* field = object.find(key);
+  if (field == nullptr) return fallback;
+  if (!field->is_number()) fail(std::string("field '") + key + "' must be a number");
+  const double value = field->as_number();
+  if (!(value >= min && value <= max))
+    fail(std::string("field '") + key + "' out of range");
+  return value;
+}
+
+bool bool_field(const json::Value& object, const char* key, bool fallback) {
+  const json::Value* field = object.find(key);
+  if (field == nullptr) return fallback;
+  if (!field->is_bool()) fail(std::string("field '") + key + "' must be a bool");
+  return field->as_bool();
+}
+
+std::string string_field(const json::Value& object, const char* key,
+                         const std::string& fallback) {
+  const json::Value* field = object.find(key);
+  if (field == nullptr) return fallback;
+  if (!field->is_string())
+    fail(std::string("field '") + key + "' must be a string");
+  return field->as_string();
+}
+
+/// The pattern field as a ';'-joined row text (string or array form).
+std::string pattern_text(const json::Value& object) {
+  const json::Value* field = object.find("pattern");
+  if (field == nullptr) fail("missing required field 'pattern'");
+  if (field->is_string()) {
+    if (field->as_string().empty()) fail("field 'pattern' is empty");
+    return field->as_string();
+  }
+  if (field->is_array()) {
+    if (field->size() == 0) fail("field 'pattern' is empty");
+    std::string text;
+    for (std::size_t i = 0; i < field->size(); ++i) {
+      if (!field->at(i).is_string())
+        fail("field 'pattern' rows must be strings");
+      if (i != 0) text += ';';
+      text += field->at(i).as_string();
+    }
+    return text;
+  }
+  fail("field 'pattern' must be a string or an array of row strings");
+}
+
+bool has_dont_care_cells(const std::string& text) {
+  return text.find('*') != std::string::npos ||
+         text.find('x') != std::string::npos;
+}
+
+}  // namespace
+
+WireRequest parse_wire_request(const std::string& line) {
+  json::Value document;
+  try {
+    document = json::Value::parse(line);
+  } catch (const std::exception& e) {
+    fail(e.what());
+  }
+  if (!document.is_object()) fail("a request must be a JSON object");
+
+  WireRequest wire;
+  engine::SolveRequest& request = wire.request;
+
+  const std::string pattern = pattern_text(document);
+  const bool masked = has_dont_care_cells(pattern);
+  try {
+    if (masked)
+      request.masked = completion::MaskedMatrix::parse(pattern);
+    else
+      request.matrix = BinaryMatrix::parse(pattern);
+  } catch (const std::exception& e) {
+    fail(std::string("bad pattern: ") + e.what());
+  }
+
+  request.strategy =
+      string_field(document, "strategy", masked ? "completion" : "auto");
+  request.label = string_field(document, "label", "");
+
+  wire.budget_seconds =
+      number_field(document, "budget", 0.0, 0.0, 86400.0 * 365);
+  if (wire.budget_seconds > 0)
+    request.budget.deadline = Deadline::after(wire.budget_seconds);
+  request.budget.max_conflicts = static_cast<std::int64_t>(
+      number_field(document, "conflicts", -1.0, -1.0, 9e15));
+  request.budget.max_nodes = static_cast<std::uint64_t>(
+      number_field(document, "nodes", 0.0, 0.0, 9e15));
+
+  request.trials = static_cast<std::size_t>(
+      number_field(document, "trials", 100.0, 1.0, 1e9));
+  request.seed =
+      static_cast<std::uint64_t>(number_field(document, "seed", 1.0, 0.0, 9e15));
+  request.stop_at = static_cast<std::size_t>(
+      number_field(document, "stop_at", 0.0, 0.0, 9e15));
+
+  const std::string encoding = string_field(document, "encoding", "onehot");
+  if (encoding == "binary")
+    request.encoding = smt::LabelEncoding::Binary;
+  else if (encoding != "onehot")
+    fail("field 'encoding' must be onehot|binary");
+  request.symmetry_breaking = bool_field(document, "symmetry_breaking", true);
+  request.preprocess = bool_field(document, "preprocess", true);
+
+  const std::string semantics = string_field(document, "semantics", "free");
+  if (semantics == "at-most-once")
+    request.semantics = completion::DontCareSemantics::AtMostOnce;
+  else if (semantics != "free")
+    fail("field 'semantics' must be free|at-most-once");
+
+  wire.split = bool_field(document, "split", false);
+  wire.threads = static_cast<std::size_t>(
+      number_field(document, "threads", 0.0, 0.0, 4096.0));
+  wire.include_partition = bool_field(document, "include_partition", false);
+  return wire;
+}
+
+namespace {
+
+/// Pattern rows joined with ';' ('*' marks don't-care cells).
+std::string render_pattern(const engine::SolveRequest& request) {
+  std::string text;
+  if (request.masked) {
+    const completion::MaskedMatrix& m = *request.masked;
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      if (i != 0) text += ';';
+      for (std::size_t j = 0; j < m.cols(); ++j) {
+        switch (m.at(i, j)) {
+          case completion::Cell::One:
+            text += '1';
+            break;
+          case completion::Cell::DontCare:
+            text += '*';
+            break;
+          default:
+            text += '0';
+        }
+      }
+    }
+    return text;
+  }
+  for (std::size_t i = 0; i < request.matrix.rows(); ++i) {
+    if (i != 0) text += ';';
+    text += request.matrix.row(i).to_string();
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string wire_request_json(const WireRequest& wire) {
+  const engine::SolveRequest& request = wire.request;
+  std::ostringstream out;
+  out << "{\"pattern\":\"" << json::escape(render_pattern(request)) << "\"";
+  out << ",\"strategy\":\"" << json::escape(request.strategy) << "\"";
+  if (!request.label.empty())
+    out << ",\"label\":\"" << json::escape(request.label) << "\"";
+  if (wire.budget_seconds > 0)
+    out << ",\"budget\":" << json::number(wire.budget_seconds);
+  if (request.budget.max_conflicts >= 0)
+    out << ",\"conflicts\":" << request.budget.max_conflicts;
+  if (request.budget.max_nodes > 0)
+    out << ",\"nodes\":" << request.budget.max_nodes;
+  if (request.trials != 100) out << ",\"trials\":" << request.trials;
+  if (request.seed != 1) out << ",\"seed\":" << request.seed;
+  if (request.stop_at != 0) out << ",\"stop_at\":" << request.stop_at;
+  if (request.encoding == smt::LabelEncoding::Binary)
+    out << ",\"encoding\":\"binary\"";
+  if (!request.symmetry_breaking) out << ",\"symmetry_breaking\":false";
+  if (!request.preprocess) out << ",\"preprocess\":false";
+  if (request.semantics == completion::DontCareSemantics::AtMostOnce)
+    out << ",\"semantics\":\"at-most-once\"";
+  if (wire.split) out << ",\"split\":true";
+  if (wire.threads != 0) out << ",\"threads\":" << wire.threads;
+  if (wire.include_partition) out << ",\"include_partition\":true";
+  out << "}";
+  return out.str();
+}
+
+std::string wire_response_json(const engine::SolveReport& report,
+                               bool include_partition) {
+  std::string line = engine::to_json(report);
+  if (!include_partition) return line;
+  // Splice the partition before the closing brace of the report object.
+  std::ostringstream tail;
+  tail << ",\"partition\":[";
+  for (std::size_t t = 0; t < report.partition.size(); ++t) {
+    if (t != 0) tail << ",";
+    tail << "{\"rows\":[";
+    const auto rows = report.partition[t].rows.ones();
+    for (std::size_t k = 0; k < rows.size(); ++k)
+      tail << (k == 0 ? "" : ",") << rows[k];
+    tail << "],\"cols\":[";
+    const auto cols = report.partition[t].cols.ones();
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      tail << (k == 0 ? "" : ",") << cols[k];
+    tail << "]}";
+  }
+  tail << "]}";
+  line.pop_back();  // drop the report's closing '}' and re-close via tail
+  return line + tail.str();
+}
+
+}  // namespace ebmf::io

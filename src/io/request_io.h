@@ -1,0 +1,66 @@
+#pragma once
+/// \file request_io.h
+/// \brief The line-JSON solve-request format — one request per line —
+/// shared by the `ebmf::service` wire protocol, the `ebmf client`
+/// subcommand, and `ebmf solve --requests=FILE` batch files.
+///
+/// Request schema (all fields except "pattern" optional):
+///
+/// ```json
+/// {"pattern": "110;011;111",        // rows joined by ';' — or an array
+///                                   // of row strings; '*'/'x' cells make
+///                                   // the request masked (don't-cares)
+///  "strategy": "auto",              // registry name
+///  "label": "patch-17",             // echoed into the report
+///  "budget": 2.5,                   // per-request deadline, seconds
+///  "conflicts": 20000,              // SAT conflict cap per decision call
+///  "nodes": 0,                      // DLX/brute node cap (0 = unlimited)
+///  "trials": 100, "seed": 1, "stop_at": 0,
+///  "encoding": "onehot",            // or "binary"
+///  "symmetry_breaking": true,
+///  "preprocess": true,
+///  "semantics": "free",             // or "at-most-once" (masked requests)
+///  "split": false,                  // route through Engine::solve_split
+///  "threads": 0,                    // split worker count (0 = hardware)
+///  "include_partition": false}      // append the partition to the reply
+/// ```
+///
+/// The response is one line of engine::to_json output; with
+/// "include_partition" it gains a "partition" array of
+/// {"rows": [...], "cols": [...]} index lists.
+
+#include <string>
+
+#include "engine/engine.h"
+
+namespace ebmf::io {
+
+/// One parsed wire request: the facade request plus routing options that
+/// live outside SolveRequest.
+struct WireRequest {
+  engine::SolveRequest request;
+  /// The requested deadline in seconds (0 = none). Mirrored into
+  /// request.budget.deadline by the parser; kept here as well because a
+  /// Deadline is an absolute time point and cannot be re-serialized.
+  double budget_seconds = 0.0;
+  bool split = false;              ///< Use Engine::solve_split.
+  std::size_t threads = 0;         ///< solve_split worker count.
+  bool include_partition = false;  ///< Attach the partition to the reply.
+};
+
+/// Parse one line of the request format. Throws std::runtime_error with a
+/// protocol-level message on malformed JSON, a missing/ill-formed pattern,
+/// or out-of-range numeric fields (strategy names are resolved later by the
+/// engine, where the registry lives).
+WireRequest parse_wire_request(const std::string& line);
+
+/// Render a request back to one protocol line (client side; defaults are
+/// omitted). parse_wire_request(wire_request_json(r)) round-trips.
+std::string wire_request_json(const WireRequest& wire);
+
+/// Render a report reply, optionally with the partition attached — the
+/// exact line the server writes back.
+std::string wire_response_json(const engine::SolveReport& report,
+                               bool include_partition);
+
+}  // namespace ebmf::io

@@ -1,0 +1,203 @@
+// The sharded LRU: per-shard mutex + intrusive recency list + hash index,
+// byte-budgeted eviction, and upgrade-only replacement.
+
+#include "service/cache.h"
+
+#include <atomic>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace ebmf::cache {
+
+namespace {
+
+/// Estimated resident footprint of one entry (pattern + partition words +
+/// telemetry strings + container overhead). An estimate is fine: eviction
+/// only needs proportionality, not byte-exact accounting.
+std::size_t entry_bytes(const BinaryMatrix& pattern,
+                        const engine::SolveReport& report) {
+  const std::size_t row_words = (pattern.cols() + 63) / 64;
+  const std::size_t col_words = (pattern.rows() + 63) / 64;
+  std::size_t bytes = 256;  // fixed node/index overhead
+  bytes += pattern.rows() * row_words * 8;
+  bytes += report.partition.size() * (row_words + col_words) * 8 +
+           report.partition.size() * sizeof(Rectangle);
+  for (const auto& [key, value] : report.telemetry)
+    bytes += key.size() + value.size() + 64;
+  for (const auto& timing : report.timings) bytes += timing.phase.size() + 32;
+  return bytes;
+}
+
+/// True when `fresh` is a strictly better answer than `stored` for the same
+/// canonical pattern: stronger certificate first, then smaller depth.
+bool improves(const engine::SolveReport& fresh,
+              const engine::SolveReport& stored) {
+  auto strength = [](engine::Status s) {
+    switch (s) {
+      case engine::Status::Optimal:
+        return 2;
+      case engine::Status::Bounded:
+        return 1;
+      case engine::Status::Heuristic:
+        return 0;
+    }
+    return 0;
+  };
+  if (strength(fresh.status) != strength(stored.status))
+    return strength(fresh.status) > strength(stored.status);
+  if (fresh.depth() != stored.depth()) return fresh.depth() < stored.depth();
+  return fresh.lower_bound > stored.lower_bound;  // tighter bracket
+}
+
+struct Entry {
+  canon::CacheKey key;
+  std::string strategy;
+  BinaryMatrix pattern;
+  engine::SolveReport report;
+  std::size_t bytes = 0;
+};
+
+struct Shard {
+  std::mutex mutex;
+  std::list<Entry> lru;  ///< Front = most recently used.
+  std::unordered_map<canon::CacheKey, std::list<Entry>::iterator,
+                     canon::CacheKeyHash>
+      index;
+  std::size_t bytes = 0;
+};
+
+}  // namespace
+
+struct ResultCache::Impl {
+  Options options;
+  std::vector<Shard> shards;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> evictions{0};
+  std::atomic<std::uint64_t> insertions{0};
+
+  explicit Impl(Options opt) : options(opt), shards(opt.shards) {}
+
+  Shard& shard_for(const canon::CacheKey& key) {
+    return shards[static_cast<std::size_t>(key.lo) % shards.size()];
+  }
+
+  std::size_t shard_budget() const {
+    return options.capacity_bytes / shards.size();
+  }
+
+  /// Drop LRU entries until the shard fits its budget (caller holds lock).
+  void evict_over_budget(Shard& shard) {
+    const std::size_t budget = shard_budget();
+    while (shard.bytes > budget && shard.lru.size() > 1) {
+      const Entry& victim = shard.lru.back();
+      shard.bytes -= victim.bytes;
+      shard.index.erase(victim.key);
+      shard.lru.pop_back();
+      evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+ResultCache::ResultCache(Options options)
+    : impl_(std::make_unique<Impl>(Options{
+          options.capacity_bytes,
+          options.shards == 0 ? std::size_t{1} : options.shards})) {}
+
+ResultCache::~ResultCache() = default;
+
+std::shared_ptr<ResultCache> ResultCache::with_capacity_mb(double mb) {
+  Options options;
+  if (mb < 0) mb = 0;
+  options.capacity_bytes = static_cast<std::size_t>(mb * 1024.0 * 1024.0);
+  return std::make_shared<ResultCache>(options);
+}
+
+std::optional<CachedResult> ResultCache::lookup(
+    const canon::CacheKey& key, const std::string& strategy,
+    const BinaryMatrix& canonical_pattern) {
+  Shard& shard = impl_->shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end() && it->second->strategy == strategy &&
+        it->second->pattern == canonical_pattern) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      impl_->hits.fetch_add(1, std::memory_order_relaxed);
+      return CachedResult{it->second->report};
+    }
+  }
+  impl_->misses.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void ResultCache::insert(const canon::CacheKey& key,
+                         const std::string& strategy,
+                         const BinaryMatrix& canonical_pattern,
+                         const engine::SolveReport& report) {
+  Shard& shard = impl_->shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    Entry& entry = *it->second;
+    const bool same_problem =
+        entry.strategy == strategy && entry.pattern == canonical_pattern;
+    if (same_problem && !improves(report, entry.report)) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;  // keep the stronger stored certificate
+    }
+    shard.bytes -= entry.bytes;
+    entry.strategy = strategy;
+    entry.pattern = canonical_pattern;
+    entry.report = report;
+    entry.bytes = entry_bytes(entry.pattern, entry.report);
+    shard.bytes += entry.bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    impl_->insertions.fetch_add(1, std::memory_order_relaxed);
+    impl_->evict_over_budget(shard);
+    return;
+  }
+  Entry entry{key, strategy, canonical_pattern, report, 0};
+  entry.bytes = entry_bytes(entry.pattern, entry.report);
+  shard.lru.push_front(std::move(entry));
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += shard.lru.front().bytes;
+  impl_->insertions.fetch_add(1, std::memory_order_relaxed);
+  impl_->evict_over_budget(shard);
+}
+
+CacheStats ResultCache::counters() const noexcept {
+  CacheStats out;
+  out.hits = impl_->hits.load(std::memory_order_relaxed);
+  out.misses = impl_->misses.load(std::memory_order_relaxed);
+  out.evictions = impl_->evictions.load(std::memory_order_relaxed);
+  out.insertions = impl_->insertions.load(std::memory_order_relaxed);
+  return out;
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats out = counters();
+  for (auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.entries += shard.lru.size();
+    out.bytes += shard.bytes;
+  }
+  return out;
+}
+
+void ResultCache::clear() {
+  for (auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+std::size_t ResultCache::capacity_bytes() const noexcept {
+  return impl_->options.capacity_bytes;
+}
+
+}  // namespace ebmf::cache

@@ -1,0 +1,107 @@
+#pragma once
+/// \file canon.h
+/// \brief Pattern canonicalization for the result cache (`ebmf::canon`).
+///
+/// The service's headline workload — repeated addressing of per-patch FTQC
+/// patterns — solves the *same* pattern over and over, usually shifted by a
+/// row/column permutation (the boundary row of patch 3 vs patch 7, the two
+/// checkerboard parities, …). r_B is invariant under row/column permutation,
+/// duplicate collapse, and connected-component decomposition, so all those
+/// variants share one canonical representative:
+///
+///  1. **Dedup** — collapse duplicate rows/columns and drop zero ones
+///     (reduce_duplicates), recording the groups.
+///  2. **Split** — decompose into connected components of the bipartite
+///     row/column graph (split_components).
+///  3. **Sort** — inside each component, first compute permutation-
+///     invariant row/column colors by Weisfeiler–Leman-style refinement on
+///     the bipartite row/column graph (a line's color hashes the multiset
+///     of its neighbours' colors, iterated), then alternately sort rows and
+///     columns by (color desc, content desc) until a fixpoint (capped).
+///     When refinement individualizes the lines — almost surely for random
+///     patterns — the order is fully permutation-invariant; symmetric
+///     orbits fall back to the content tie-break.
+///  4. **Order** — sort the components themselves by shape and content and
+///     reassemble block-diagonally into one canonical pattern.
+///
+/// The iterated sort is a *sound but incomplete* canonical form: two
+/// patterns with equal canonical matrices are always row/column-permutation
+/// equivalent up to duplicates (every step is invertible), but graph
+/// isomorphism being hard, some equivalent pairs may land on different
+/// fixpoints and merely miss the cache. Lookups therefore compare the full
+/// canonical pattern, never just the 128-bit key, so a hash or fixpoint
+/// collision can never serve a wrong result.
+///
+/// Every step's permutation record is kept in Canonical, and lift() maps a
+/// partition of the canonical pattern back to a valid partition of the
+/// original — the certificate a cache hit replays.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/partition.h"
+#include "core/preprocess.h"
+
+namespace ebmf::canon {
+
+/// A 128-bit content hash of a canonical pattern (FNV-1a over shape and row
+/// words, two independent bases). Collisions are guarded by full pattern
+/// comparison at the cache, so the key only needs to spread well.
+struct CacheKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  /// Fold extra bytes (e.g. the strategy name) into this key.
+  [[nodiscard]] CacheKey mixed_with(const std::string& bytes) const;
+
+  /// 32 hex digits, hi then lo (stable across runs; telemetry-friendly).
+  [[nodiscard]] std::string hex() const;
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) noexcept {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const CacheKey& a, const CacheKey& b) noexcept {
+    return !(a == b);
+  }
+};
+
+/// Hash functor so CacheKey can key unordered containers.
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const noexcept {
+    return static_cast<std::size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// A pattern's canonical form plus the invertible record needed to lift a
+/// partition of the canonical pattern back onto the original matrix.
+struct Canonical {
+  BinaryMatrix pattern;  ///< Deduped, sorted, block-diagonal canonical form.
+  CacheKey key;          ///< Content hash of `pattern`.
+
+  // ---- lift record (canonical space -> original space) -----------------
+  DuplicateReduction reduction;       ///< Original -> reduced mapping.
+  std::vector<Component> components;  ///< Of `reduction.reduced`, canonical order.
+  /// row_order[c][r] = component-local row shown at canonical block row r.
+  std::vector<std::vector<std::size_t>> row_order;
+  /// col_order[c][j] = component-local column shown at canonical block col j.
+  std::vector<std::vector<std::size_t>> col_order;
+  std::vector<std::size_t> row_offset;  ///< Block row start in `pattern`.
+  std::vector<std::size_t> col_offset;  ///< Block col start in `pattern`.
+  std::size_t sort_passes = 0;  ///< Row+col sort passes until fixpoint.
+
+  /// Shape of the matrix canonicalize() was called on.
+  std::size_t original_rows = 0;
+  std::size_t original_cols = 0;
+};
+
+/// Canonicalize a pattern. Deterministic; r_B(pattern) == r_B(input).
+Canonical canonicalize(const BinaryMatrix& m);
+
+/// Lift a valid partition of `c.pattern` to a valid partition of the matrix
+/// `c` was built from. Preserves the partition size (and hence any
+/// optimality certificate: r_B is invariant under every canonical step).
+Partition lift(const Partition& p, const Canonical& c);
+
+}  // namespace ebmf::canon

@@ -1,0 +1,571 @@
+// The line-JSON solver server: accept/connection/watchdog threads,
+// micro-batched solving through the engine pool, admission control, and
+// cancellation wiring (client disconnects, SIGTERM drain).
+
+#include "service/service.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "io/json.h"
+#include "io/request_io.h"
+
+namespace ebmf::service {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Per-connection state shared between its reader thread and the watchdog.
+struct Connection {
+  int fd = -1;
+  /// Cancellation flag threaded into every Budget this connection solves
+  /// under; flipped by the watchdog on disconnect and by stop() on drain.
+  std::shared_ptr<std::atomic<bool>> cancel =
+      std::make_shared<std::atomic<bool>>(false);
+  std::atomic<bool> solving{false};
+};
+
+/// `{"error": "...", "label": "..."}` — the protocol's failure reply.
+std::string error_json(const std::string& message, const std::string& label) {
+  std::string out = "{\"error\":\"" + io::json::escape(message) + "\"";
+  if (!label.empty()) out += ",\"label\":\"" + io::json::escape(label) + "\"";
+  out += "}";
+  return out;
+}
+
+/// Send `line` + '\n' fully; false when the peer is gone.
+bool write_line(int fd, std::string line) {
+  line += '\n';
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n =
+        ::send(fd, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(ServerOptions opt) : options(std::move(opt)) {
+    if (options.max_batch == 0) options.max_batch = 1;
+    if (options.cache_mb > 0)
+      engine.set_cache(cache::ResultCache::with_capacity_mb(options.cache_mb));
+  }
+
+  ServerOptions options;
+  engine::Engine engine;
+
+  int listen_fd = -1;
+  std::uint16_t bound_port = 0;
+  std::atomic<bool> running{false};
+  std::atomic<bool> stopping{false};
+
+  std::thread accept_thread;
+  std::thread watchdog_thread;
+  std::mutex threads_mutex;
+  std::vector<std::thread> connection_threads;
+
+  std::mutex connections_mutex;
+  std::vector<std::shared_ptr<Connection>> connections;
+
+  std::atomic<std::size_t> inflight{0};
+  std::atomic<std::uint64_t> stat_connections{0};
+  std::atomic<std::uint64_t> stat_requests{0};
+  std::atomic<std::uint64_t> stat_errors{0};
+  std::atomic<std::uint64_t> stat_rejected{0};
+
+  /// Reserve one admission slot; false when the server is at capacity.
+  bool try_admit() {
+    const std::size_t limit = options.max_inflight;
+    const std::size_t current =
+        inflight.fetch_add(1, std::memory_order_relaxed);
+    if (limit != 0 && current >= limit) {
+      inflight.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  void release_admitted(std::size_t count) {
+    if (count > 0) inflight.fetch_sub(count, std::memory_order_relaxed);
+  }
+
+  bool read_batch(Connection& conn, std::string& buffer,
+                  std::vector<std::string>& lines);
+  bool process_batch(Connection& conn, const std::vector<std::string>& lines);
+  void serve_connection(const std::shared_ptr<Connection>& conn);
+  void accept_loop();
+  void watchdog_loop();
+};
+
+/// Pull the next micro-batch of request lines off the socket: block for the
+/// first complete line, then opportunistically drain whatever pipelined
+/// lines are already queued (up to max_batch). False on EOF/overflow with
+/// nothing left to process.
+bool Server::Impl::read_batch(Connection& conn, std::string& buffer,
+                              std::vector<std::string>& lines) {
+  Impl& impl = *this;
+  lines.clear();
+  const auto extract = [&]() {
+    std::size_t start = 0;
+    while (lines.size() < impl.options.max_batch) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = buffer.substr(start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      lines.push_back(std::move(line));
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+  };
+
+  char chunk[16384];
+  while (true) {
+    extract();
+    if (!lines.empty()) break;
+    if (buffer.size() > impl.options.max_line_bytes) {
+      write_line(conn.fd, error_json("request line too long", ""));
+      return false;
+    }
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // EOF (or a dead socket): a trailing unterminated line still counts —
+    // `printf '...' | nc` clients do not always send the final newline.
+    if (!buffer.empty()) {
+      lines.push_back(std::move(buffer));
+      buffer.clear();
+      return true;
+    }
+    return false;
+  }
+
+  // Micro-batching: pick up already-pipelined lines without blocking.
+  while (lines.size() < impl.options.max_batch) {
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, MSG_DONTWAIT);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    extract();
+  }
+  return true;
+}
+
+namespace {
+
+/// One request line's lifecycle through a batch.
+struct PendingLine {
+  bool skip = false;      ///< Blank line: no response at all.
+  std::string error;      ///< Non-empty: reply with error_json.
+  std::string label;      ///< For error replies.
+  bool admitted = false;
+  bool split = false;
+  bool include_partition = false;
+  std::size_t batch_index = 0;  ///< Into the solve_batch vector.
+  std::optional<io::WireRequest> wire;            ///< Split path keeps it.
+  std::optional<engine::SolveReport> report;      ///< Split path result.
+};
+
+}  // namespace
+
+/// Parse, admit, solve, and answer one micro-batch, preserving line order.
+/// False when the client went away mid-write.
+bool Server::Impl::process_batch(Connection& conn,
+                                 const std::vector<std::string>& lines) {
+  Impl& impl = *this;
+  std::vector<PendingLine> pending(lines.size());
+  std::vector<engine::SolveRequest> batch;
+  std::size_t admitted = 0;
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    PendingLine& p = pending[i];
+    if (lines[i].find_first_not_of(" \t") == std::string::npos) {
+      p.skip = true;
+      continue;
+    }
+    io::WireRequest wire;
+    try {
+      wire = io::parse_wire_request(lines[i]);
+    } catch (const std::exception& e) {
+      p.error = e.what();
+      continue;
+    }
+    p.label = wire.request.label;
+    p.include_partition = wire.include_partition;
+    if (!impl.try_admit()) {
+      impl.stat_rejected.fetch_add(1, std::memory_order_relaxed);
+      p.error = "overloaded: " + std::to_string(impl.options.max_inflight) +
+                " requests already in flight";
+      continue;
+    }
+    p.admitted = true;
+    ++admitted;
+
+    // Per-request deadline: the client's budget capped by the server
+    // ceiling; no budget means exactly the ceiling. Every budget shares
+    // the connection's cancellation flag.
+    const double ceiling = impl.options.budget_ceiling_seconds;
+    double seconds = wire.budget_seconds;
+    if (ceiling > 0) seconds = seconds > 0 ? std::min(seconds, ceiling) : ceiling;
+    if (seconds > 0) wire.request.budget.deadline = Deadline::after(seconds);
+    wire.request.budget.cancel = conn.cancel;
+
+    if (wire.split && !wire.request.masked) {
+      p.split = true;
+      p.wire = std::move(wire);
+    } else {
+      p.batch_index = batch.size();
+      batch.push_back(std::move(wire.request));
+    }
+  }
+
+  conn.solving.store(admitted > 0, std::memory_order_relaxed);
+  std::vector<engine::SolveReport> reports;
+  if (!batch.empty())
+    reports = impl.engine.solve_batch(batch, impl.options.threads);
+  for (PendingLine& p : pending) {
+    if (!p.split) continue;
+    try {
+      p.report = impl.engine.solve_split(p.wire->request, p.wire->threads);
+    } catch (const std::exception& e) {
+      p.error = e.what();
+    }
+  }
+  conn.solving.store(false, std::memory_order_relaxed);
+  impl.release_admitted(admitted);
+
+  for (PendingLine& p : pending) {
+    if (p.skip) continue;
+    std::string reply;
+    if (!p.error.empty()) {
+      reply = error_json(p.error, p.label);
+      impl.stat_errors.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      const engine::SolveReport& report =
+          p.split ? *p.report : reports[p.batch_index];
+      // solve_batch converts per-request failures (unknown strategy) into
+      // "error" telemetry; surface those as protocol errors too.
+      if (const std::string* error = report.find_telemetry("error")) {
+        reply = error_json(*error, report.label);
+        impl.stat_errors.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        reply = io::wire_response_json(report, p.include_partition);
+        impl.stat_requests.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (!write_line(conn.fd, reply)) return false;
+  }
+  return true;
+}
+
+void Server::Impl::serve_connection(const std::shared_ptr<Connection>& conn) {
+  Impl& impl = *this;
+  std::string buffer;
+  std::vector<std::string> lines;
+  while (!impl.stopping.load(std::memory_order_relaxed) &&
+         read_batch(*conn, buffer, lines)) {
+    if (!process_batch(*conn, lines)) break;
+  }
+  ::close(conn->fd);
+  std::lock_guard<std::mutex> lock(impl.connections_mutex);
+  auto& registry = impl.connections;
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    if (registry[i].get() == conn.get()) {
+      registry.erase(registry.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+}
+
+void Server::Impl::accept_loop() {
+  Impl& impl = *this;
+  while (!impl.stopping.load(std::memory_order_relaxed)) {
+    pollfd waiter{impl.listen_fd, POLLIN, 0};
+    const int ready = ::poll(&waiter, 1, 100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(impl.listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(impl.connections_mutex);
+      impl.connections.push_back(conn);
+    }
+    impl.stat_connections.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(impl.threads_mutex);
+    impl.connection_threads.emplace_back(
+        [&impl, conn = std::move(conn)]() { impl.serve_connection(conn); });
+  }
+}
+
+/// Notice clients that died mid-solve and cancel their budgets — the
+/// anytime contract turns the cancellation into a fast valid return, which
+/// frees the admission slot. Only a hard socket error (ECONNRESET after the
+/// peer was killed) counts as dead: an orderly FIN (recv == 0) is how a
+/// one-shot `printf ... | nc` client says "no more requests" while still
+/// waiting to read its answers, so it must keep its full budget. A client
+/// that fully closed and sent no RST yet costs at most one deadline-capped
+/// solve; the response write then fails and the connection is reaped.
+void Server::Impl::watchdog_loop() {
+  Impl& impl = *this;
+  while (!impl.stopping.load(std::memory_order_relaxed)) {
+    timespec nap{0, 50 * 1000 * 1000};
+    ::nanosleep(&nap, nullptr);
+    std::lock_guard<std::mutex> lock(impl.connections_mutex);
+    for (const auto& conn : impl.connections) {
+      if (!conn->solving.load(std::memory_order_relaxed)) continue;
+      char probe = 0;
+      const ssize_t n =
+          ::recv(conn->fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+      const bool dead = n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                        errno != EINTR;
+      if (dead) conn->cancel->store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+Server::Server(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  Impl& impl = *impl_;
+  impl.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (impl.listen_fd < 0) sys_fail("socket");
+  const int yes = 1;
+  ::setsockopt(impl.listen_fd, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof yes);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(impl.options.port);
+  if (::inet_pton(AF_INET, impl.options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(impl.listen_fd);
+    impl.listen_fd = -1;
+    throw std::runtime_error("bad bind address '" + impl.options.host + "'");
+  }
+  if (::bind(impl.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(impl.listen_fd);
+    impl.listen_fd = -1;
+    errno = saved;
+    sys_fail("bind " + impl.options.host + ":" +
+             std::to_string(impl.options.port));
+  }
+  if (::listen(impl.listen_fd, SOMAXCONN) != 0) {
+    ::close(impl.listen_fd);
+    impl.listen_fd = -1;
+    sys_fail("listen");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(impl.listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  impl.bound_port = ntohs(addr.sin_port);
+
+  impl.stopping = false;
+  impl.running = true;
+  impl.accept_thread = std::thread([&impl]() { impl.accept_loop(); });
+  impl.watchdog_thread = std::thread([&impl]() { impl.watchdog_loop(); });
+}
+
+void Server::stop() {
+  Impl& impl = *impl_;
+  if (impl.stopping.exchange(true)) return;
+  if (!impl.running.load()) return;
+
+  // 1. No new connections: wake the accept loop and retire it.
+  if (impl.listen_fd >= 0) ::shutdown(impl.listen_fd, SHUT_RDWR);
+  if (impl.accept_thread.joinable()) impl.accept_thread.join();
+
+  // 2. Drain: cancel every in-flight budget (anytime results come back
+  // fast) and half-close the reading side so idle readers see EOF while
+  // pending responses still go out.
+  {
+    std::lock_guard<std::mutex> lock(impl.connections_mutex);
+    for (const auto& conn : impl.connections) {
+      conn->cancel->store(true, std::memory_order_relaxed);
+      ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(impl.threads_mutex);
+    workers.swap(impl.connection_threads);
+  }
+  for (std::thread& t : workers)
+    if (t.joinable()) t.join();
+
+  if (impl.watchdog_thread.joinable()) impl.watchdog_thread.join();
+  if (impl.listen_fd >= 0) {
+    ::close(impl.listen_fd);
+    impl.listen_fd = -1;
+  }
+  impl.running = false;
+}
+
+bool Server::running() const noexcept { return impl_->running.load(); }
+
+std::uint16_t Server::port() const noexcept { return impl_->bound_port; }
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.connections = impl_->stat_connections.load(std::memory_order_relaxed);
+  out.requests = impl_->stat_requests.load(std::memory_order_relaxed);
+  out.errors = impl_->stat_errors.load(std::memory_order_relaxed);
+  out.rejected = impl_->stat_rejected.load(std::memory_order_relaxed);
+  return out;
+}
+
+engine::Engine& Server::engine() noexcept { return impl_->engine; }
+
+const ServerOptions& Server::options() const noexcept {
+  return impl_->options;
+}
+
+// ---- Client ---------------------------------------------------------------
+
+Client::Client(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) sys_fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("bad host '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    sys_fail("connect " + host + ":" + std::to_string(port));
+  }
+}
+
+Client::~Client() { close(); }
+
+void Client::send_line(const std::string& line) {
+  if (fd_ < 0) throw std::runtime_error("client is closed");
+  if (!write_line(fd_, line)) sys_fail("send");
+}
+
+std::string Client::read_line() {
+  if (fd_ < 0) throw std::runtime_error("client is closed");
+  char chunk[16384];
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (!buffer_.empty()) {
+      std::string line;
+      line.swap(buffer_);
+      return line;
+    }
+    throw std::runtime_error("server closed the connection");
+  }
+}
+
+std::string Client::round_trip(const std::string& line) {
+  send_line(line);
+  return read_line();
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---- serve_forever --------------------------------------------------------
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int sig) { g_signal = sig; }
+
+}  // namespace
+
+int serve_forever(const ServerOptions& options, std::ostream& log) {
+  Server server(options);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    log << "error: " << e.what() << "\n";
+    return 1;
+  }
+
+  g_signal = 0;
+  struct sigaction action{};
+  action.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // write_line already uses MSG_NOSIGNAL
+
+  log << "ebmf service listening on " << options.host << ":" << server.port()
+      << " (threads=" << options.threads << ", cache-mb=" << options.cache_mb
+      << ", max-inflight=" << options.max_inflight << ")" << std::endl;
+
+  while (g_signal == 0) {
+    timespec nap{0, 100 * 1000 * 1000};
+    ::nanosleep(&nap, nullptr);
+  }
+
+  log << "signal " << static_cast<int>(g_signal) << " received, draining"
+      << std::endl;
+  server.stop();
+  const ServerStats stats = server.stats();
+  log << "served " << stats.requests << " requests, " << stats.errors
+      << " errors, " << stats.rejected << " rejected, across "
+      << stats.connections << " connections";
+  if (server.engine().cache()) {
+    const cache::CacheStats cache_stats = server.engine().cache()->stats();
+    log << "; cache " << cache_stats.hits << " hits / " << cache_stats.misses
+        << " misses / " << cache_stats.evictions << " evictions";
+  }
+  log << std::endl;
+  return 0;
+}
+
+}  // namespace ebmf::service

@@ -1,0 +1,136 @@
+#pragma once
+/// \file service.h
+/// \brief `ebmf::service` — the long-lived line-JSON solver server.
+///
+/// The paper's FTQC workload is a stream of near-duplicate addressing
+/// patterns; the one-shot CLI re-pays process start, pattern load, and the
+/// full solve for each. The service keeps one engine (and its canonical
+/// result cache, see cache.h) alive behind a TCP socket:
+///
+///  * **Protocol.** Newline-delimited JSON, one request per line in, one
+///    response per line out (schema: io/request_io.h). Responses on a
+///    connection are written in request order, so clients may pipeline
+///    freely. A malformed line yields `{"error": "..."}` and the
+///    connection stays open.
+///  * **Concurrency.** One reader thread per connection; consecutive
+///    pipelined lines are micro-batched through Engine::solve_batch, which
+///    fans them across the engine's thread pool. A global in-flight limit
+///    (admission control) sheds load with an `overloaded` error instead of
+///    queueing unboundedly, and every request runs under a deadline — its
+///    own `budget` capped by the server ceiling — so a slot is always
+///    reclaimed.
+///  * **Cancellation.** Each connection owns a shared Budget cancellation
+///    flag threaded into every solver it runs. A watchdog notices dead
+///    sockets (hard errors, not an orderly half-close — one-shot clients
+///    legitimately FIN and then read) mid-solve and flips the flag (the
+///    anytime contract turns that into a fast, still-valid return), and
+///    stop()/SIGTERM flips all of them for a graceful drain: accepted
+///    requests are answered, then connections close.
+///
+/// Server is usable in-process (tests bind port 0 and connect with
+/// Client); serve_forever() is the `ebmf serve` entry point wiring
+/// SIGTERM/SIGINT to the drain.
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "engine/engine.h"
+#include "service/cache.h"
+
+namespace ebmf::service {
+
+/// Knobs of one server instance (CLI flags map 1:1).
+struct ServerOptions {
+  std::uint16_t port = 7421;       ///< 0 = pick an ephemeral port.
+  std::string host = "127.0.0.1";  ///< Bind address.
+  std::size_t threads = 0;  ///< solve_batch/split workers (0 = hardware).
+  double cache_mb = 64.0;   ///< Canonical result cache budget (0 = off).
+  std::size_t max_inflight = 256;  ///< Global admission limit.
+  /// Per-request deadline ceiling in seconds. A request's own `budget` is
+  /// capped by this; requests without one get exactly this. 0 = no ceiling
+  /// (trusted clients only).
+  double budget_ceiling_seconds = 10.0;
+  std::size_t max_batch = 32;  ///< Pipelined lines solved per batch.
+  std::size_t max_line_bytes = 4u << 20;  ///< Oversized-line guard.
+};
+
+/// Point-in-time server counters (drain report, tests).
+struct ServerStats {
+  std::uint64_t connections = 0;  ///< Accepted since start.
+  std::uint64_t requests = 0;     ///< Lines answered with a report.
+  std::uint64_t errors = 0;       ///< Lines answered with an error.
+  std::uint64_t rejected = 0;     ///< Requests shed by admission control.
+};
+
+/// A long-lived solver server. Thread-safe; start() once, stop() once
+/// (destructor stops too).
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and launch the accept/watchdog threads. Throws
+  /// std::runtime_error (with errno text) when the address is unusable.
+  void start();
+
+  /// Graceful drain: stop accepting, cancel in-flight budgets, answer
+  /// what was accepted, join every thread. Idempotent.
+  void stop();
+
+  /// True between start() and stop().
+  [[nodiscard]] bool running() const noexcept;
+
+  /// The port actually bound (resolves port 0 after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  [[nodiscard]] ServerStats stats() const;
+
+  /// The engine serving requests (its cache() holds the hit counters).
+  [[nodiscard]] engine::Engine& engine() noexcept;
+
+  [[nodiscard]] const ServerOptions& options() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// A minimal blocking client for the wire protocol: one connection, line
+/// round-trips. Used by `ebmf client`, the tests, and the smoke job.
+class Client {
+ public:
+  /// Connect (throws std::runtime_error on refusal/timeout).
+  Client(const std::string& host, std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one request line (newline appended if missing).
+  void send_line(const std::string& line);
+
+  /// Block for the next response line. Throws on server EOF.
+  std::string read_line();
+
+  /// send_line + read_line.
+  std::string round_trip(const std::string& line);
+
+  /// Half-close the sending side / tear down the connection.
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// Run a server until SIGTERM/SIGINT, then drain and report on `log`.
+/// Returns a process exit code (0 on a clean drain). The `ebmf serve`
+/// entry point.
+int serve_forever(const ServerOptions& options, std::ostream& log);
+
+}  // namespace ebmf::service

@@ -4,6 +4,7 @@
 /// benchmark harnesses.
 
 #include <chrono>
+#include <limits>
 
 namespace ebmf {
 
@@ -53,6 +54,16 @@ class Deadline {
 
   /// True when a finite budget was set.
   [[nodiscard]] bool limited() const { return limited_; }
+
+  /// Seconds until expiry: +infinity when unlimited, ≤ 0 once expired.
+  /// Lets callers compare "time we could still spend" against "time a
+  /// previous attempt spent" (the cache's upgrade-retry policy).
+  [[nodiscard]] double remaining_seconds() const {
+    if (!limited_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(expiry_ -
+                                         std::chrono::steady_clock::now())
+        .count();
+  }
 
  private:
   bool limited_ = false;

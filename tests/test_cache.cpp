@@ -1,0 +1,261 @@
+// Tests for ebmf::cache and the engine's cache hook: hits on permuted
+// duplicates, soundness guards, LRU eviction under a tiny budget, and
+// concurrent hammering through the batch pool.
+
+#include "service/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "benchgen/generators.h"
+#include "engine/thread_pool.h"
+#include "ftqc/patterns.h"
+#include "support/rng.h"
+
+namespace ebmf::cache {
+namespace {
+
+engine::SolveReport toy_report(const BinaryMatrix& pattern) {
+  // One rectangle per nonzero row: always a valid canonical-space answer.
+  engine::SolveReport report;
+  for (std::size_t i = 0; i < pattern.rows(); ++i) {
+    if (pattern.row(i).none()) continue;
+    BitVec rows(pattern.rows());
+    rows.set(i);
+    report.partition.push_back(Rectangle{rows, pattern.row(i)});
+  }
+  report.upper_bound = report.partition.size();
+  report.status = engine::Status::Heuristic;
+  return report;
+}
+
+TEST(Cache, InsertThenLookupHits) {
+  ResultCache cache(ResultCache::Options{});
+  const auto c = canon::canonicalize(BinaryMatrix::parse("110;011;111"));
+  EXPECT_FALSE(cache.lookup(c.key, "auto", c.pattern).has_value());
+  cache.insert(c.key, "auto", c.pattern, toy_report(c.pattern));
+  const auto hit = cache.lookup(c.key, "auto", c.pattern);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->report.depth(), 3u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(Cache, StrategyAndPatternGuardAgainstFalseHits) {
+  ResultCache cache(ResultCache::Options{});
+  const auto c = canon::canonicalize(BinaryMatrix::parse("110;011;111"));
+  cache.insert(c.key, "auto", c.pattern, toy_report(c.pattern));
+  // Same key, different strategy string: must miss (collision guard).
+  EXPECT_FALSE(cache.lookup(c.key, "sap", c.pattern).has_value());
+  // Same key, different pattern: must miss.
+  const auto other = canon::canonicalize(BinaryMatrix::parse("10;01"));
+  EXPECT_FALSE(cache.lookup(c.key, "auto", other.pattern).has_value());
+}
+
+TEST(Cache, UpgradeOnlyReplacement) {
+  ResultCache cache(ResultCache::Options{});
+  const auto c = canon::canonicalize(BinaryMatrix::parse("110;011;111"));
+  engine::SolveReport weak = toy_report(c.pattern);
+  cache.insert(c.key, "auto", c.pattern, weak);
+  engine::SolveReport strong = weak;
+  strong.status = engine::Status::Optimal;
+  strong.lower_bound = strong.depth();
+  cache.insert(c.key, "auto", c.pattern, strong);
+  auto hit = cache.lookup(c.key, "auto", c.pattern);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->report.status, engine::Status::Optimal);
+  // Re-inserting the weak report must not downgrade the stored optimum.
+  cache.insert(c.key, "auto", c.pattern, weak);
+  hit = cache.lookup(c.key, "auto", c.pattern);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->report.status, engine::Status::Optimal);
+}
+
+TEST(Cache, EvictionUnderTinyBudget) {
+  ResultCache::Options options;
+  options.capacity_bytes = 4096;  // a couple of entries at most
+  options.shards = 1;
+  ResultCache cache(options);
+  Rng rng(3);
+  for (int i = 0; i < 32; ++i) {
+    const auto c =
+        canon::canonicalize(benchgen::random_matrix(8, 8, 0.4, rng));
+    cache.insert(c.key, "auto", c.pattern, toy_report(c.pattern));
+  }
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LT(stats.entries, 32u);
+  EXPECT_LE(stats.bytes, 2 * options.capacity_bytes);
+}
+
+TEST(EngineCache, PermutedDuplicateIsAnsweredFromCache) {
+  // The acceptance scenario: a row/col-permuted repeat of a solved pattern
+  // comes back with cache_hit=true and an identically-valid partition.
+  engine::Engine engine;
+  engine.set_cache(ResultCache::with_capacity_mb(8));
+  const BinaryMatrix first = ftqc::boundary_row_patch(9, 1);
+  const BinaryMatrix second = ftqc::boundary_row_patch(9, 6);
+
+  const auto cold = engine.solve(engine::SolveRequest::dense(first, "auto"));
+  ASSERT_NE(cold.find_telemetry("cache_hit"), nullptr);
+  EXPECT_EQ(*cold.find_telemetry("cache_hit"), "false");
+  EXPECT_TRUE(validate_partition(first, cold.partition).ok);
+
+  const auto warm = engine.solve(engine::SolveRequest::dense(second, "auto"));
+  ASSERT_NE(warm.find_telemetry("cache_hit"), nullptr);
+  EXPECT_EQ(*warm.find_telemetry("cache_hit"), "true");
+  EXPECT_TRUE(validate_partition(second, warm.partition).ok);
+  EXPECT_EQ(warm.depth(), cold.depth());
+  EXPECT_EQ(warm.status, cold.status);
+  EXPECT_EQ(warm.lower_bound, cold.lower_bound);
+  EXPECT_GE(engine.cache()->stats().hits, 1u);
+}
+
+TEST(EngineCache, CachedCertificateStaysOptimal) {
+  engine::Engine engine;
+  engine.set_cache(ResultCache::with_capacity_mb(8));
+  const BinaryMatrix eq2 = BinaryMatrix::parse("110;011;111");
+  const auto cold = engine.solve(engine::SolveRequest::dense(eq2, "sap"));
+  EXPECT_TRUE(cold.proven_optimal());
+  const auto warm = engine.solve(engine::SolveRequest::dense(eq2, "sap"));
+  EXPECT_TRUE(warm.proven_optimal());
+  EXPECT_EQ(*warm.find_telemetry("cache_hit"), "true");
+  EXPECT_EQ(warm.depth(), 3u);
+}
+
+TEST(EngineCache, DifferentStrategiesDoNotShareEntries) {
+  engine::Engine engine;
+  engine.set_cache(ResultCache::with_capacity_mb(8));
+  const BinaryMatrix eq2 = BinaryMatrix::parse("110;011;111");
+  (void)engine.solve(engine::SolveRequest::dense(eq2, "heuristic"));
+  const auto sap = engine.solve(engine::SolveRequest::dense(eq2, "sap"));
+  EXPECT_EQ(*sap.find_telemetry("cache_hit"), "false");
+  EXPECT_EQ(sap.strategy, "sap");
+}
+
+TEST(EngineCache, MaskedRequestsBypassTheCache) {
+  engine::Engine engine;
+  engine.set_cache(ResultCache::with_capacity_mb(8));
+  const auto masked = completion::MaskedMatrix::parse("1*;*1");
+  const auto report =
+      engine.solve(engine::SolveRequest::with_mask(masked, "completion"));
+  EXPECT_EQ(report.find_telemetry("cache_hit"), nullptr);
+  EXPECT_EQ(engine.cache()->stats().misses, 0u);
+}
+
+TEST(EngineCache, SolveBatchSharesTheCacheAcrossWorkers) {
+  engine::Engine engine;
+  engine.set_cache(ResultCache::with_capacity_mb(8));
+  // 24 requests over only 3 distinct canonical patterns.
+  std::vector<engine::SolveRequest> requests;
+  for (int i = 0; i < 24; ++i) {
+    auto request = engine::SolveRequest::dense(
+        ftqc::boundary_row_patch(11, static_cast<std::size_t>(i) % 11),
+        "auto");
+    request.label = "req-" + std::to_string(i);
+    requests.push_back(std::move(request));
+  }
+  requests.push_back(
+      engine::SolveRequest::dense(ftqc::checkerboard_patch(8, 0), "auto"));
+  requests.push_back(
+      engine::SolveRequest::dense(ftqc::checkerboard_patch(8, 1), "auto"));
+  const auto reports = engine.solve_batch(requests, 8);
+  ASSERT_EQ(reports.size(), requests.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[i].find_telemetry("error"), nullptr) << i;
+    EXPECT_FALSE(reports[i].partition.empty()) << i;
+  }
+  const auto stats = engine.cache()->stats();
+  // Racing workers may both miss the same fresh key, but far fewer than
+  // one miss per request must remain once the cache warms.
+  EXPECT_GE(stats.hits + stats.misses, requests.size());
+  EXPECT_GE(stats.hits, requests.size() / 2);
+}
+
+TEST(EngineCache, BoundedEntryUpgradesUnderABiggerBudget) {
+  // A Bounded entry is a budget-cut search; a request that can afford
+  // meaningfully more time than the stored attempt spent must re-solve
+  // (and upgrade the entry) instead of being shadowed by the stale bound.
+  engine::SolverRegistry registry = engine::SolverRegistry::with_builtins();
+  registry.add("probe", "bounded when rushed, optimal with time",
+               [](const engine::SolveRequest& request) {
+                 std::this_thread::sleep_for(std::chrono::milliseconds(30));
+                 engine::SolveReport report = [&] {
+                   engine::SolveReport r;
+                   const BinaryMatrix& m = request.pattern();
+                   for (std::size_t i = 0; i < m.rows(); ++i) {
+                     if (m.row(i).none()) continue;
+                     BitVec rows(m.rows());
+                     rows.set(i);
+                     r.partition.push_back(Rectangle{rows, m.row(i)});
+                   }
+                   return r;
+                 }();
+                 const bool generous =
+                     request.budget.deadline.remaining_seconds() > 5.0;
+                 report.status = generous ? engine::Status::Optimal
+                                          : engine::Status::Bounded;
+                 report.lower_bound = generous ? report.partition.size() : 1;
+                 return report;
+               });
+  engine::Engine engine(std::move(registry));
+  engine.set_cache(ResultCache::with_capacity_mb(4));
+  const BinaryMatrix eq2 = BinaryMatrix::parse("110;011;111");
+  const auto tight_request = [&]() {
+    auto request = engine::SolveRequest::dense(eq2, "probe");
+    request.budget = Budget::after(0.05);
+    return request;
+  };
+
+  const auto first = engine.solve(tight_request());
+  EXPECT_EQ(first.status, engine::Status::Bounded);
+  EXPECT_EQ(*first.find_telemetry("cache_hit"), "false");
+
+  // Same tight budget: cannot afford a longer attempt, serves the hit.
+  const auto hit = engine.solve(tight_request());
+  EXPECT_EQ(*hit.find_telemetry("cache_hit"), "true");
+  EXPECT_EQ(hit.status, engine::Status::Bounded);
+
+  // A generous budget re-solves and upgrades the entry.
+  auto generous = engine::SolveRequest::dense(eq2, "probe");
+  generous.budget = Budget::after(30.0);
+  const auto upgraded = engine.solve(generous);
+  EXPECT_EQ(*upgraded.find_telemetry("cache_hit"), "false");
+  ASSERT_NE(upgraded.find_telemetry("cache.upgrade"), nullptr);
+  EXPECT_EQ(upgraded.status, engine::Status::Optimal);
+
+  // The optimal certificate is final: even rushed requests now hit it.
+  const auto final_hit = engine.solve(tight_request());
+  EXPECT_EQ(*final_hit.find_telemetry("cache_hit"), "true");
+  EXPECT_EQ(final_hit.status, engine::Status::Optimal);
+}
+
+TEST(EngineCache, ConcurrentHammeringStaysConsistent) {
+  engine::Engine engine;
+  engine.set_cache(ResultCache::with_capacity_mb(1));
+  Rng rng(17);
+  std::vector<BinaryMatrix> patterns;
+  for (int i = 0; i < 6; ++i)
+    patterns.push_back(benchgen::random_matrix(7, 7, 0.35, rng));
+  std::atomic<int> failures{0};
+  engine::parallel_for(64, 8, [&](std::size_t i) {
+    const BinaryMatrix& m = patterns[i % patterns.size()];
+    auto request = engine::SolveRequest::dense(m, "auto");
+    request.trials = 8;
+    const auto report = engine.solve(request);
+    if (!validate_partition(m, report.partition).ok) failures.fetch_add(1);
+    if (report.find_telemetry("cache_hit") == nullptr) failures.fetch_add(1);
+  });
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = engine.cache()->stats();
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_EQ(stats.hits + stats.misses, 64u);
+}
+
+}  // namespace
+}  // namespace ebmf::cache

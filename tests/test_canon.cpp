@@ -1,0 +1,151 @@
+// Tests for ebmf::canon: lift round-trips (property-style over benchgen
+// matrices), permutation-invariant keys for the workloads the cache serves,
+// and determinism of the canonical form.
+
+#include "service/canon.h"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/generators.h"
+#include "engine/engine.h"
+#include "ftqc/patterns.h"
+#include "support/rng.h"
+
+namespace ebmf::canon {
+namespace {
+
+/// Apply row/column permutations: out[i][j] = m[row_perm[i]][col_perm[j]].
+BinaryMatrix permuted(const BinaryMatrix& m,
+                      const std::vector<std::size_t>& row_perm,
+                      const std::vector<std::size_t>& col_perm) {
+  BinaryMatrix out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      if (m.test(row_perm[i], col_perm[j])) out.set(i, j);
+  return out;
+}
+
+TEST(Canon, CanonicalPatternPreservesBinaryRankWitness) {
+  // Solving the canonical pattern and lifting must give a valid partition
+  // of the original with the same depth — the cache's core contract.
+  Rng rng(42);
+  const engine::Engine engine;
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t m = 4 + rng.below(8);
+    const std::size_t n = 4 + rng.below(8);
+    const double occupancy = 0.1 + 0.1 * static_cast<double>(trial % 6);
+    const BinaryMatrix a = benchgen::random_matrix(m, n, occupancy, rng);
+    const Canonical canonical = canonicalize(a);
+    auto request = engine::SolveRequest::dense(canonical.pattern, "heuristic");
+    request.trials = 20;
+    const auto report = engine.solve(request);
+    const Partition lifted = lift(report.partition, canonical);
+    const auto validation = validate_partition(a, lifted);
+    EXPECT_TRUE(validation.ok) << validation.reason;
+    EXPECT_EQ(lifted.size(), report.partition.size());
+  }
+}
+
+TEST(Canon, LiftRoundTripsForKnownOptimalFamily) {
+  Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto inst = benchgen::known_optimal_matrix(10, 10, 4, rng);
+    const Canonical canonical = canonicalize(inst.matrix);
+    const engine::Engine engine;
+    const auto report = engine.solve(
+        engine::SolveRequest::dense(canonical.pattern, "heuristic"));
+    const Partition lifted = lift(report.partition, canonical);
+    EXPECT_TRUE(validate_partition(inst.matrix, lifted).ok);
+  }
+}
+
+TEST(Canon, KeyInvariantUnderRowColPermutation) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const BinaryMatrix a = benchgen::random_matrix(8, 9, 0.35, rng);
+    const auto row_perm = rng.permutation(a.rows());
+    const auto col_perm = rng.permutation(a.cols());
+    const BinaryMatrix b = permuted(a, row_perm, col_perm);
+    const Canonical ca = canonicalize(a);
+    const Canonical cb = canonicalize(b);
+    EXPECT_EQ(ca.key, cb.key) << "trial " << trial;
+    EXPECT_EQ(ca.pattern, cb.pattern) << "trial " << trial;
+  }
+}
+
+TEST(Canon, FtqcPatchVariantsShareOneCanonicalForm) {
+  // The service's headline repeats: the same per-patch pattern shifted
+  // around. Boundary rows at different offsets and the two checkerboard
+  // parities must all collapse onto one cache entry.
+  const Canonical row2 = canonicalize(ftqc::boundary_row_patch(7, 2));
+  const Canonical row5 = canonicalize(ftqc::boundary_row_patch(7, 5));
+  EXPECT_EQ(row2.key, row5.key);
+  EXPECT_EQ(row2.pattern, row5.pattern);
+
+  const Canonical even = canonicalize(ftqc::checkerboard_patch(6, 0));
+  const Canonical odd = canonicalize(ftqc::checkerboard_patch(6, 1));
+  EXPECT_EQ(even.key, odd.key);
+  EXPECT_EQ(even.pattern, odd.pattern);
+}
+
+TEST(Canon, ComponentOrderIsCanonical) {
+  // The same two blocks laid out in either diagonal order canonicalize
+  // identically (components are re-sorted by content).
+  const BinaryMatrix x = BinaryMatrix::parse("110;011;111");
+  const BinaryMatrix y = BinaryMatrix::parse("11;10");
+  BinaryMatrix xy(5, 5);
+  BinaryMatrix yx(5, 5);
+  for (const auto& [i, j] : x.ones()) {
+    xy.set(i, j);
+    yx.set(i + 2, j + 2);
+  }
+  for (const auto& [i, j] : y.ones()) {
+    xy.set(i + 3, j + 3);
+    yx.set(i, j);
+  }
+  const Canonical a = canonicalize(xy);
+  const Canonical b = canonicalize(yx);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.pattern, b.pattern);
+  EXPECT_EQ(a.components.size(), 2u);
+}
+
+TEST(Canon, DuplicatesCollapse) {
+  // Duplicate rows/cols and zero lines vanish from the canonical form.
+  const BinaryMatrix a = BinaryMatrix::parse("1010;1010;0000;0101");
+  const Canonical c = canonicalize(a);
+  EXPECT_EQ(c.pattern.rows(), 2u);
+  EXPECT_EQ(c.pattern.cols(), 2u);
+  // An all-ones row pattern of any width dedups to a single 1x1 block.
+  const Canonical one = canonicalize(ftqc::transversal_patch(5));
+  EXPECT_EQ(one.pattern.rows(), 1u);
+  EXPECT_EQ(one.pattern.cols(), 1u);
+}
+
+TEST(Canon, DistinctPatternsGetDistinctKeys) {
+  const Canonical a = canonicalize(BinaryMatrix::parse("110;011;111"));
+  const Canonical b = canonicalize(
+      BinaryMatrix::parse("101100;010011;101010;010101;111000;000111"));
+  EXPECT_NE(a.key, b.key);
+  // Mixing the strategy name produces a distinct key for the same pattern.
+  EXPECT_NE(a.key, a.key.mixed_with("sap"));
+  EXPECT_NE(a.key.mixed_with("sap"), a.key.mixed_with("heuristic"));
+}
+
+TEST(Canon, ZeroAndEmptyMatricesAreStable) {
+  const Canonical zero = canonicalize(BinaryMatrix(4, 6));
+  EXPECT_EQ(zero.pattern.rows(), 0u);
+  EXPECT_EQ(zero.pattern.cols(), 0u);
+  EXPECT_TRUE(lift({}, zero).empty());
+  const Canonical empty = canonicalize(BinaryMatrix());
+  EXPECT_EQ(zero.key, empty.key);  // both canonicalize to the 0x0 pattern
+}
+
+TEST(Canon, KeyHexIsStable32Digits) {
+  const Canonical c = canonicalize(BinaryMatrix::parse("10;01"));
+  EXPECT_EQ(c.key.hex().size(), 32u);
+  EXPECT_EQ(c.key.hex(), canonicalize(BinaryMatrix::parse("10;01")).key.hex());
+}
+
+}  // namespace
+}  // namespace ebmf::canon

@@ -1,0 +1,154 @@
+// Tests for the io JSON parser and the line-JSON wire request format.
+
+#include "io/request_io.h"
+
+#include <gtest/gtest.h>
+
+#include "io/json.h"
+
+namespace ebmf::io {
+namespace {
+
+TEST(Json, ParsesNestedDocument) {
+  const auto v = json::Value::parse(
+      R"({"a": [1, 2.5, -3e2], "b": {"c": "x\ny"}, "t": true, "n": null})");
+  ASSERT_TRUE(v.is_object());
+  const json::Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_DOUBLE_EQ(a->at(0).as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(a->at(1).as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(a->at(2).as_number(), -300.0);
+  const json::Value* b = v.find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->find("c")->as_string(), "x\ny");
+  EXPECT_TRUE(v.find("t")->as_bool());
+  EXPECT_TRUE(v.find("n")->is_null());
+  EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  const auto v = json::Value::parse("\"a\\u00e9\\u20ac\"");
+  EXPECT_EQ(v.as_string(), "a\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(Json, MalformedDocumentsThrowWithOffset) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\":1,}", "nan", "[1e999]"}) {
+    EXPECT_THROW((void)json::Value::parse(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(Json, EscapeRoundTripsThroughParse) {
+  const std::string nasty = "a\"b\\c\nd\te";
+  const auto v = json::Value::parse("\"" + json::escape(nasty) + "\"");
+  EXPECT_EQ(v.as_string(), nasty);
+}
+
+TEST(WireRequest, MinimalRequestGetsDefaults) {
+  const auto wire = parse_wire_request(R"({"pattern": "110;011;111"})");
+  EXPECT_EQ(wire.request.strategy, "auto");
+  EXPECT_EQ(wire.request.matrix.rows(), 3u);
+  EXPECT_EQ(wire.request.trials, 100u);
+  EXPECT_FALSE(wire.split);
+  EXPECT_FALSE(wire.include_partition);
+  EXPECT_EQ(wire.budget_seconds, 0.0);
+  EXPECT_FALSE(wire.request.budget.deadline.limited());
+}
+
+TEST(WireRequest, AllFieldsParse) {
+  const auto wire = parse_wire_request(
+      R"({"pattern": ["110", "011", "111"], "strategy": "sap",
+          "label": "patch", "budget": 1.5, "conflicts": 5000, "nodes": 10,
+          "trials": 7, "seed": 9, "stop_at": 2, "encoding": "binary",
+          "symmetry_breaking": false, "preprocess": false,
+          "split": true, "threads": 2, "include_partition": true})");
+  EXPECT_EQ(wire.request.strategy, "sap");
+  EXPECT_EQ(wire.request.label, "patch");
+  EXPECT_DOUBLE_EQ(wire.budget_seconds, 1.5);
+  EXPECT_TRUE(wire.request.budget.deadline.limited());
+  EXPECT_EQ(wire.request.budget.max_conflicts, 5000);
+  EXPECT_EQ(wire.request.budget.max_nodes, 10u);
+  EXPECT_EQ(wire.request.trials, 7u);
+  EXPECT_EQ(wire.request.seed, 9u);
+  EXPECT_EQ(wire.request.stop_at, 2u);
+  EXPECT_EQ(wire.request.encoding, smt::LabelEncoding::Binary);
+  EXPECT_FALSE(wire.request.symmetry_breaking);
+  EXPECT_FALSE(wire.request.preprocess);
+  EXPECT_TRUE(wire.split);
+  EXPECT_EQ(wire.threads, 2u);
+  EXPECT_TRUE(wire.include_partition);
+}
+
+TEST(WireRequest, DontCareCellsMakeTheRequestMasked) {
+  const auto wire = parse_wire_request(R"({"pattern": "1*;*1"})");
+  ASSERT_TRUE(wire.request.masked.has_value());
+  EXPECT_EQ(wire.request.strategy, "completion");
+  EXPECT_EQ(wire.request.masked->dont_care_count(), 2u);
+}
+
+TEST(WireRequest, MalformedRequestsThrow) {
+  for (const char* bad : {
+           "not json at all",
+           "[1,2,3]",                           // not an object
+           R"({"strategy": "sap"})",            // missing pattern
+           R"({"pattern": ""})",                // empty pattern
+           R"({"pattern": "10;0"})",            // ragged rows
+           R"({"pattern": "10;01", "budget": "soon"})",   // non-numeric
+           R"({"pattern": "10;01", "budget": -1})",       // out of range
+           R"({"pattern": "10;01", "trials": 0})",        // out of range
+           R"({"pattern": "10;01", "encoding": "gray"})",
+           R"({"pattern": "10;01", "semantics": "maybe"})",
+           R"({"pattern": [1, 2]})",            // rows must be strings
+       }) {
+    EXPECT_THROW((void)parse_wire_request(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(WireRequest, JsonRoundTrips) {
+  const std::string line =
+      R"({"pattern": "1*;*1", "strategy": "completion", "label": "l",
+          "budget": 2, "trials": 3, "split": true, "include_partition": true,
+          "semantics": "at-most-once"})";
+  const auto wire = parse_wire_request(line);
+  const auto rendered = wire_request_json(wire);
+  const auto reparsed = parse_wire_request(rendered);
+  EXPECT_EQ(reparsed.request.strategy, "completion");
+  EXPECT_EQ(reparsed.request.label, "l");
+  EXPECT_DOUBLE_EQ(reparsed.budget_seconds, 2.0);
+  EXPECT_EQ(reparsed.request.trials, 3u);
+  EXPECT_TRUE(reparsed.split);
+  EXPECT_TRUE(reparsed.include_partition);
+  EXPECT_EQ(reparsed.request.semantics,
+            completion::DontCareSemantics::AtMostOnce);
+  ASSERT_TRUE(reparsed.request.masked.has_value());
+  EXPECT_EQ(reparsed.request.masked->dont_care_count(), 2u);
+}
+
+TEST(WireResponse, PartitionAttachesAsIndexLists) {
+  engine::SolveReport report;
+  report.label = "x";
+  report.strategy = "auto";
+  BitVec rows(2);
+  rows.set(0);
+  BitVec cols(2);
+  cols.set(1);
+  report.partition.push_back(Rectangle{rows, cols});
+  report.upper_bound = 1;
+  const std::string plain = wire_response_json(report, false);
+  EXPECT_EQ(plain.find("partition"), std::string::npos);
+  const std::string with = wire_response_json(report, true);
+  EXPECT_NE(with.find("\"partition\":[{\"rows\":[0],\"cols\":[1]}]"),
+            std::string::npos);
+  // Both stay single-line JSON objects.
+  EXPECT_EQ(with.find('\n'), std::string::npos);
+  EXPECT_EQ(with.back(), '}');
+  // And the splice point keeps the document well-formed.
+  EXPECT_NO_THROW((void)json::Value::parse(with));
+  EXPECT_NO_THROW((void)json::Value::parse(plain));
+}
+
+}  // namespace
+}  // namespace ebmf::io

@@ -1,0 +1,257 @@
+// Tests for ebmf::service: in-process server round-trips, per-connection
+// ordering under pipelining, 64-way concurrency, protocol errors, admission
+// control, and the cache behaviour across connections.
+
+#include "service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "io/json.h"
+#include "io/request_io.h"
+
+namespace ebmf::service {
+namespace {
+
+ServerOptions test_options() {
+  ServerOptions options;
+  options.port = 0;  // ephemeral
+  options.cache_mb = 8;
+  options.budget_ceiling_seconds = 5.0;
+  return options;
+}
+
+/// Parsed response convenience: depth + cache_hit + error presence.
+struct Reply {
+  io::json::Value document;
+
+  explicit Reply(const std::string& line)
+      : document(io::json::Value::parse(line)) {}
+
+  [[nodiscard]] bool is_error() const {
+    return document.find("error") != nullptr;
+  }
+  [[nodiscard]] double depth() const {
+    return document.find("depth")->as_number();
+  }
+  [[nodiscard]] std::string label() const {
+    const io::json::Value* value = document.find("label");
+    return value == nullptr ? "" : value->as_string();
+  }
+  [[nodiscard]] std::string telemetry(const std::string& key) const {
+    const io::json::Value* t = document.find("telemetry");
+    if (t == nullptr) return "";
+    const io::json::Value* value = t->find(key);
+    return value == nullptr ? "" : value->as_string();
+  }
+};
+
+TEST(Service, RoundTripSolvesAndReportsJson) {
+  Server server(test_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  const Reply reply(client.round_trip(
+      R"({"pattern": "110;011;111", "label": "eq2"})"));
+  EXPECT_FALSE(reply.is_error());
+  EXPECT_EQ(reply.depth(), 3.0);
+  EXPECT_EQ(reply.label(), "eq2");
+  EXPECT_EQ(reply.document.find("status")->as_string(), "optimal");
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.stats().requests, 1u);
+}
+
+TEST(Service, IncludePartitionAttachesCertificate) {
+  Server server(test_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  const Reply reply(client.round_trip(
+      R"({"pattern": "10;01", "include_partition": true})"));
+  ASSERT_FALSE(reply.is_error());
+  const io::json::Value* partition = reply.document.find("partition");
+  ASSERT_NE(partition, nullptr);
+  EXPECT_EQ(partition->size(), 2u);
+  server.stop();
+}
+
+TEST(Service, PipelinedRequestsAnswerInOrder) {
+  Server server(test_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  const int n = 20;
+  for (int i = 0; i < n; ++i) {
+    // Alternate instance sizes so completion order would differ from
+    // request order without the server's per-connection sequencing.
+    const std::string pattern =
+        (i % 2 == 0) ? "110;011;111" : "10;01";
+    client.send_line("{\"pattern\": \"" + pattern + "\", \"label\": \"r" +
+                     std::to_string(i) + "\"}");
+  }
+  for (int i = 0; i < n; ++i) {
+    const Reply reply(client.read_line());
+    ASSERT_FALSE(reply.is_error()) << i;
+    EXPECT_EQ(reply.label(), "r" + std::to_string(i));
+    EXPECT_EQ(reply.depth(), (i % 2 == 0) ? 3.0 : 2.0);
+  }
+  server.stop();
+}
+
+TEST(Service, Sustains64ConcurrentInFlightRequests) {
+  ServerOptions options = test_options();
+  options.threads = 4;  // solver pool much smaller than the request count
+  Server server(options);
+  server.start();
+  const int connections = 64;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(connections);
+  for (int c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c]() {
+      try {
+        Client client("127.0.0.1", server.port());
+        const Reply reply(client.round_trip(
+            "{\"pattern\": \"110;011;111\", \"label\": \"c" +
+            std::to_string(c) + "\"}"));
+        if (!reply.is_error() && reply.depth() == 3.0 &&
+            reply.label() == "c" + std::to_string(c))
+          ok.fetch_add(1);
+      } catch (const std::exception&) {
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), connections);
+  EXPECT_GE(server.stats().connections, 64u);
+  server.stop();
+}
+
+TEST(Service, RepeatedPatternHitsCacheAcrossConnections) {
+  Server server(test_options());
+  server.start();
+  {
+    Client first("127.0.0.1", server.port());
+    const Reply cold(first.round_trip(R"({"pattern": "1110;0111;1111"})"));
+    EXPECT_EQ(cold.telemetry("cache_hit"), "false");
+  }
+  {
+    Client second("127.0.0.1", server.port());
+    // A column-permuted duplicate from a brand-new connection.
+    const Reply warm(second.round_trip(R"({"pattern": "1101;1011;1111"})"));
+    EXPECT_EQ(warm.telemetry("cache_hit"), "true");
+  }
+  ASSERT_NE(server.engine().cache(), nullptr);
+  EXPECT_GE(server.engine().cache()->stats().hits, 1u);
+  server.stop();
+}
+
+TEST(Service, MalformedLinesYieldErrorsAndKeepTheConnection) {
+  Server server(test_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  const Reply bad(client.round_trip("this is not json"));
+  EXPECT_TRUE(bad.is_error());
+  const Reply missing(client.round_trip(R"({"strategy": "sap"})"));
+  EXPECT_TRUE(missing.is_error());
+  const Reply unknown(
+      client.round_trip(R"({"pattern": "10;01", "strategy": "nope"})"));
+  EXPECT_TRUE(unknown.is_error());
+  EXPECT_NE(unknown.document.find("error")->as_string().find("nope"),
+            std::string::npos);
+  // The connection still works after three protocol errors.
+  const Reply good(client.round_trip(R"({"pattern": "10;01"})"));
+  EXPECT_FALSE(good.is_error());
+  EXPECT_EQ(good.depth(), 2.0);
+  EXPECT_EQ(server.stats().errors, 3u);
+  server.stop();
+}
+
+TEST(Service, SplitRequestsRouteThroughSolveSplit) {
+  Server server(test_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  // Two diagonal blocks: the split path decomposes, the giant-component
+  // fallback telemetry appears for a single-component pattern.
+  const Reply split(client.round_trip(
+      R"({"pattern": "1100;1100;0011;0011", "split": true})"));
+  ASSERT_FALSE(split.is_error());
+  EXPECT_EQ(split.depth(), 2.0);
+  const Reply single(client.round_trip(
+      R"({"pattern": "11;11", "split": true})"));
+  ASSERT_FALSE(single.is_error());
+  EXPECT_EQ(single.telemetry("split.fallback"), "single-component");
+  server.stop();
+}
+
+TEST(Service, AdmissionControlShedsLoadWithAnError) {
+  ServerOptions options = test_options();
+  options.max_inflight = 1;
+  options.max_batch = 8;
+  Server server(options);
+  server.start();
+  Client client("127.0.0.1", server.port());
+  // A pipelined burst on one connection is parsed as one batch; with one
+  // admission slot the surplus is rejected, in order.
+  for (int i = 0; i < 4; ++i)
+    client.send_line(R"({"pattern": "110;011;111"})");
+  int errors = 0;
+  int served = 0;
+  for (int i = 0; i < 4; ++i) {
+    const Reply reply(client.read_line());
+    if (reply.is_error())
+      ++errors;
+    else
+      ++served;
+  }
+  EXPECT_GE(served, 1);
+  EXPECT_EQ(served + errors, 4);
+  if (errors > 0) EXPECT_GE(server.stats().rejected, 1u);
+  server.stop();
+}
+
+TEST(Service, StopDrainsCleanlyUnderLoad) {
+  ServerOptions options = test_options();
+  options.budget_ceiling_seconds = 30.0;  // long budgets; drain must cancel
+  Server server(options);
+  server.start();
+  std::vector<std::thread> clients;
+  std::atomic<int> answered{0};
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&]() {
+      try {
+        Client client("127.0.0.1", server.port());
+        const Reply reply(client.round_trip(
+            R"({"pattern": "111000;000111;110011"})"));
+        (void)reply;
+        answered.fetch_add(1);
+      } catch (const std::exception&) {
+        // Server closed first: acceptable during drain.
+      }
+    });
+  }
+  // Give the clients a moment to get in flight, then drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.stop();
+  for (auto& t : clients) t.join();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(Service, EphemeralPortIsReportedAndReusable) {
+  Server first(test_options());
+  first.start();
+  const std::uint16_t port = first.port();
+  EXPECT_NE(port, 0);
+  first.stop();
+  // The port is released after stop(); a new server can bind it again.
+  ServerOptions options = test_options();
+  options.port = port;
+  Server second(options);
+  second.start();
+  EXPECT_EQ(second.port(), port);
+  second.stop();
+}
+
+}  // namespace
+}  // namespace ebmf::service
