@@ -1,8 +1,19 @@
 // Component microbenchmarks (google-benchmark): the building blocks whose
 // throughput determines how far the heuristics scale (the paper's 100x100
 // "current limit of atom array technology" and beyond).
+//
+// `bench_micro --json` skips google-benchmark and instead emits one JSON
+// line of SAT propagation-throughput numbers (the solver's hot-path
+// metric): a pigeonhole UNSAT proof and a large conflict-capped SMT
+// decision formula. tools/bench_compare.py diffs these lines against the
+// committed BENCH_sap.json baseline.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <thread>
 
 #include "benchgen/generators.h"
 #include "core/bounds.h"
@@ -15,6 +26,7 @@
 #include "smt/label_formula.h"
 #include "support/bitvec.h"
 #include "support/rng.h"
+#include "support/stopwatch.h"
 
 namespace {
 
@@ -185,4 +197,94 @@ void BM_KnownOptimalGenerator(benchmark::State& state) {
 }
 BENCHMARK(BM_KnownOptimalGenerator);
 
+// ---- --json propagation-throughput summary ------------------------------
+
+struct SatRun {
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  double seconds = 0.0;
+  [[nodiscard]] double propagations_per_sec() const {
+    return seconds > 0 ? static_cast<double>(propagations) / seconds : 0.0;
+  }
+};
+
+/// Pigeonhole UNSAT proof (9 pigeons, 8 holes): small formula, deep search.
+SatRun run_pigeonhole() {
+  ebmf::sat::Solver s;
+  constexpr int kHoles = 8;
+  std::vector<std::vector<ebmf::sat::Lit>> x(kHoles + 1);
+  for (auto& row : x)
+    for (int h = 0; h < kHoles; ++h) row.push_back(ebmf::sat::pos(s.new_var()));
+  for (auto& row : x) s.add_clause(ebmf::sat::Clause(row));
+  for (int h = 0; h < kHoles; ++h)
+    for (std::size_t p1 = 0; p1 < x.size(); ++p1)
+      for (std::size_t p2 = p1 + 1; p2 < x.size(); ++p2)
+        s.add_clause(x[p1][static_cast<std::size_t>(h)].neg(),
+                     x[p2][static_cast<std::size_t>(h)].neg());
+  ebmf::Stopwatch sw;
+  (void)s.solve();
+  SatRun run;
+  run.seconds = sw.seconds();
+  run.propagations = s.stats().propagations;
+  run.conflicts = s.stats().conflicts;
+  return run;
+}
+
+/// Large conflict-capped SMT decision formula (~330k clauses): the
+/// cache-busting regime where clause-storage layout dominates.
+SatRun run_large_smt() {
+  ebmf::Rng rng(5);
+  const auto gap = ebmf::benchgen::gap_matrix(24, 24, 8, rng);
+  ebmf::smt::LabelFormula f(gap.matrix, ebmf::real_rank(gap.matrix));
+  ebmf::Budget budget;
+  budget.max_conflicts = 60000;
+  ebmf::Stopwatch sw;
+  (void)f.solve(budget);
+  SatRun run;
+  run.seconds = sw.seconds();
+  run.propagations = f.solver().stats().propagations;
+  run.conflicts = f.solver().stats().conflicts;
+  return run;
+}
+
+/// Best-of-N to damp scheduler noise on shared machines.
+template <typename Fn>
+SatRun best_of(Fn fn, int reps) {
+  SatRun best = fn();
+  for (int r = 1; r < reps; ++r) {
+    const SatRun run = fn();
+    if (run.propagations_per_sec() > best.propagations_per_sec()) best = run;
+  }
+  return best;
+}
+
+int json_summary() {
+  const SatRun sat = best_of(run_pigeonhole, 3);
+  const SatRun smt = best_of(run_large_smt, 3);
+  std::printf(
+      "{\"bench\":\"micro\",\"summary\":true,\"hardware_threads\":%u,"
+      "\"sat\":{\"propagations\":%llu,\"conflicts\":%llu,\"seconds\":%.4f,"
+      "\"propagations_per_sec\":%.0f},"
+      "\"smt_large\":{\"propagations\":%llu,\"conflicts\":%llu,"
+      "\"seconds\":%.4f,\"propagations_per_sec\":%.0f}}\n",
+      std::thread::hardware_concurrency(),
+      static_cast<unsigned long long>(sat.propagations),
+      static_cast<unsigned long long>(sat.conflicts), sat.seconds,
+      sat.propagations_per_sec(),
+      static_cast<unsigned long long>(smt.propagations),
+      static_cast<unsigned long long>(smt.conflicts), smt.seconds,
+      smt.propagations_per_sec());
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) return json_summary();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,6 +12,7 @@
 // the rank lower bound when a heuristic attains it.
 
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "benchgen/suites.h"
@@ -19,6 +20,8 @@
 #include "core/bounds.h"
 #include "core/trivial.h"
 #include "engine/engine.h"
+#include "support/rng.h"
+#include "support/stopwatch.h"
 
 namespace {
 
@@ -32,6 +35,7 @@ struct RowResult {
   std::size_t rank_match = 0;  // optimum == real rank
   std::size_t trivial_hits = 0;
   std::size_t packing_hits[4] = {0, 0, 0, 0};  // 1, 10, 100, 1000 trials
+  double seconds = 0.0;        // wall-clock of the whole suite row
 };
 
 constexpr std::size_t kTrialCounts[4] = {1, 10, 100, 1000};
@@ -60,6 +64,7 @@ RowResult evaluate(const std::string& label,
                    const std::vector<Instance>& instances, bool smt_feasible,
                    const ebmf::bench::Options& opt) {
   const ebmf::engine::Engine engine;
+  ebmf::Stopwatch suite_clock;
   RowResult row;
   row.label = label;
   std::uint64_t seed = opt.seed;
@@ -82,7 +87,51 @@ RowResult evaluate(const std::string& label,
       if (result.depth() == optimum) ++row.packing_hits[t];
     }
   }
+  row.seconds = suite_clock.seconds();
   return row;
+}
+
+/// Cold (sequential) vs probe-raced SMT wall-clock on the weak-heuristic
+/// gap instances where the bound race engages (heuristic overshoot >= 2).
+/// Depths and statuses must agree; the two timings land in the --json
+/// summary so the BENCH_sap.json trajectory tracks the race.
+struct RaceComparison {
+  double seq_seconds = 0.0;
+  double race_seconds = 0.0;
+  std::size_t probes = 4;
+  bool depth_match = true;
+  /// True when every run certified optimality. Depth equality is only
+  /// guaranteed when both sides converge; a budget-cut run may
+  /// legitimately stop at different anytime depths.
+  bool converged = true;
+};
+
+RaceComparison compare_bound_race(const ebmf::bench::Options& opt) {
+  const struct {
+    std::size_t n, k;
+    std::uint64_t seed;
+  } kCases[] = {{10, 3, 3}, {12, 4, 1}};
+  const ebmf::engine::Engine engine;
+  RaceComparison cmp;
+  for (const auto& c : kCases) {
+    ebmf::Rng rng(c.seed);
+    const auto m = ebmf::benchgen::gap_matrix(c.n, c.n, c.k, rng).matrix;
+    std::size_t depths[2] = {0, 0};
+    for (int r = 0; r < 2; ++r) {
+      auto request = SolveRequest::dense(m, "sap");
+      request.trials = 1;  // weak heuristic: leaves bounds for the race
+      request.seed = 7;
+      request.probes = r == 0 ? 1 : cmp.probes;
+      request.budget = opt.budget();
+      ebmf::Stopwatch sw;
+      const auto report = engine.solve(request);
+      (r == 0 ? cmp.seq_seconds : cmp.race_seconds) += sw.seconds();
+      depths[r] = report.depth();
+      if (!report.proven_optimal()) cmp.converged = false;
+    }
+    if (depths[0] != depths[1]) cmp.depth_match = false;
+  }
+  return cmp;
 }
 
 void print_row(const RowResult& r) {
@@ -151,6 +200,35 @@ int main(int argc, char** argv) {
   }
 
   for (const auto& r : rows) print_row(r);
+
+  const RaceComparison race = compare_bound_race(opt);
+  std::printf("\nSMT bound race (weak-heuristic gap set): sequential %.2fs, "
+              "%zu probes %.2fs, depths %s\n",
+              race.seq_seconds, race.probes, race.race_seconds,
+              race.depth_match ? "match" : "DIFFER");
+
+  if (opt.json) {
+    // One machine-readable summary line (suite wall-clocks + race timings)
+    // for the BENCH_sap.json trajectory; tools/bench_compare.py diffs it.
+    double total = 0.0;
+    for (const auto& r : rows) total += r.seconds;
+    std::printf("{\"bench\":\"table1\",\"summary\":true,"
+                "\"hardware_threads\":%u,\"total_seconds\":%.3f,\"suites\":[",
+                std::thread::hardware_concurrency(), total);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i != 0) std::printf(",");
+      std::printf("{\"label\":\"%s\",\"cases\":%zu,\"proven\":%zu,"
+                  "\"seconds\":%.3f}",
+                  rows[i].label.c_str(), rows[i].cases, rows[i].proven,
+                  rows[i].seconds);
+    }
+    std::printf("],\"race\":{\"probes\":%zu,\"seq_seconds\":%.3f,"
+                "\"race_seconds\":%.3f,\"depth_match\":%s,"
+                "\"converged\":%s}}\n",
+                race.probes, race.seq_seconds, race.race_seconds,
+                race.depth_match ? "true" : "false",
+                race.converged ? "true" : "false");
+  }
 
   std::printf("\nPaper's shape to verify: rank column high for random "
               "(~98-100%%), 100%% for opt;\n"

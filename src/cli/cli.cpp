@@ -127,7 +127,7 @@ class FlagReader {
 /// The request-building flags shared by `solve` and `schedule`.
 constexpr const char* kRequestFlagsUsage =
     "[--strategy=NAME] [--trials=N] [--seed=N] [--budget=S] [--conflicts=N] "
-    "[--nodes=N] [--encoding=onehot|binary] [--no-preprocess] "
+    "[--nodes=N] [--probes=N] [--encoding=onehot|binary] [--no-preprocess] "
     "[--heuristic-only]";
 
 /// Build the facade request skeleton (everything but the pattern) from
@@ -144,6 +144,8 @@ bool request_from(const Args& args, const engine::Engine& engine,
   if (args.has("conflicts"))
     request.budget.max_conflicts = flags.i64("conflicts", -1);
   if (args.has("nodes")) request.budget.max_nodes = flags.u64("nodes", 0);
+  // SMT bound-race width: 1 = sequential, 0 = auto (hardware threads).
+  if (args.has("probes")) request.probes = flags.count("probes", 1);
   if (!flags.valid(err)) return false;
 
   if (args.has("no-preprocess")) request.preprocess = false;

@@ -108,6 +108,14 @@ struct SolveRequest {
   bool use_transpose = true;  ///< Also pack Mᵀ, keep the better result.
   bool preprocess = true;     ///< Dedup + component split before search.
   std::size_t smt_cell_limit = 0;  ///< Skip SMT above this many 1-cells.
+  /// Width of the SMT bound race ("sap.probes"): 1 = the paper's
+  /// sequential decreasing-b loop, k > 1 = race k bound probes on threads
+  /// (SAT/UNSAT answers cancel the probes they make redundant), 0 = auto
+  /// (hardware threads). Engaged for SMT-hard instances — when the
+  /// heuristic leaves at least two unresolved bounds above the rank. The
+  /// final depth/status/bounds match probes=1 whenever the budget lets the
+  /// search converge.
+  std::size_t probes = 1;
   smt::LabelEncoding encoding = smt::LabelEncoding::OneHot;
   bool symmetry_breaking = true;   ///< Label symmetry breaking in the CNF.
   completion::DontCareSemantics semantics =

@@ -114,11 +114,14 @@ SolveReport solve_sap(const SolveRequest& request) {
   options.budget = request.budget;
   options.preprocess = request.preprocess;
   options.smt_cell_limit = request.smt_cell_limit;
+  options.probes = request.probes;
   SapResult result = sap_solve(request.pattern(), options);
 
   SolveReport report;
   report.partition = std::move(result.partition);
-  report.lower_bound = result.rank_lower;
+  // certified_lower carries UNSAT-proof tightenings past the rank bound
+  // (the race can certify one even when the budget cuts the search).
+  report.lower_bound = std::max(result.rank_lower, result.certified_lower);
   switch (result.status) {
     case SapStatus::Optimal:
       report.status = Status::Optimal;
@@ -150,6 +153,19 @@ SolveReport solve_sap(const SolveRequest& request) {
   report.add_telemetry("sat.restarts", result.smt_stats.restarts);
   report.add_telemetry("sat.learned_clauses",
                        result.smt_stats.learned_clauses);
+  report.add_telemetry("sat.arena_bytes", result.smt_stats.arena_bytes);
+  report.add_telemetry("sat.arena_gcs", result.smt_stats.arena_gcs);
+  if (result.probes_used > 1) {
+    report.add_telemetry("sap.probes",
+                         static_cast<std::uint64_t>(result.probes_used));
+    report.add_telemetry("sap.probe.waves",
+                         static_cast<std::uint64_t>(result.probe_waves));
+    report.add_telemetry("sap.probe.calls",
+                         static_cast<std::uint64_t>(result.probe_calls));
+    report.add_telemetry(
+        "sap.probe.cancelled",
+        static_cast<std::uint64_t>(result.probes_cancelled));
+  }
   return report;
 }
 

@@ -15,6 +15,8 @@
 ///  "budget": 2.5,                   // per-request deadline, seconds
 ///  "conflicts": 20000,              // SAT conflict cap per decision call
 ///  "nodes": 0,                      // DLX/brute node cap (0 = unlimited)
+///  "probes": 1,                     // SMT bound-race width (1 =
+///                                   // sequential, 0 = hardware threads)
 ///  "trials": 100, "seed": 1, "stop_at": 0,
 ///  "encoding": "onehot",            // or "binary"
 ///  "symmetry_breaking": true,

@@ -1,0 +1,238 @@
+#pragma once
+/// \file arena.h
+/// \brief Contiguous clause storage and flat watch lists for the CDCL solver.
+///
+/// The first solver generation kept one heap-allocated `std::vector<Lit>`
+/// per clause behind a `std::vector<ClauseData>`, so every clause visit in
+/// propagate() chased two pointers into unrelated cache lines. ClauseArena
+/// replaces that with a single `std::uint32_t` buffer in the MiniSat
+/// RegionAllocator tradition: a clause is a packed three-word header
+/// (size/flags, LBD, activity) followed by its literals inline, and a CRef
+/// is simply the header's offset into the buffer. Deletion only marks the
+/// header; reduce_db() runs a compacting GC that rewrites every live
+/// reference (watchers, reasons, learnt list) to the moved clauses.
+///
+/// WatchLists is the matching flat occurrence structure: all watcher
+/// buckets live in one contiguous pool with per-literal (offset, size,
+/// capacity) records, watcher = (CRef, blocker literal) packed in eight
+/// bytes, so scanning a literal's watchers is a linear walk with the
+/// blocker on the same cache line as the clause reference. A full bucket
+/// relocates itself to the end of the pool with doubled capacity (classic
+/// amortized growth, no per-bucket allocation). Abandoned slots are NOT
+/// compacted: clear_all() keeps every bucket's offset and capacity so the
+/// post-GC watch rebuild refills in place without reallocating. The pool
+/// therefore holds at most the sum of bucket capacities (~2x the live
+/// watchers, the same bound a vector-per-literal layout pays in capacity),
+/// and it stops growing once bucket sizes reach steady state.
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "sat/types.h"
+#include "support/contracts.h"
+
+namespace ebmf::sat {
+
+/// A clause reference: offset of the clause header inside the arena.
+using CRef = std::uint32_t;
+
+/// Sentinel for "no clause" (also used as the solver's "no reason").
+inline constexpr CRef kCRefUndef = 0xFFFFFFFFu;
+
+/// Hard capacity limit: the top CRef bit is reserved for the solver's
+/// binary-watcher tag, so clause offsets must stay below 2^31 words
+/// (8 GiB of clauses). alloc() checks this — a formula that large must
+/// fail loudly, not silently corrupt references.
+inline constexpr std::size_t kArenaWordLimit = std::size_t{1} << 31;
+
+/// Packed clause storage. Layout per clause, in 32-bit words:
+///   [0] meta: size << 2 | learnt << 1 | deleted
+///   [1] LBD (learnt clauses; 0 for problem clauses)
+///   [2] activity (float bit pattern)
+///   [3] saved search position (propagate() resumes its replacement-watch
+///       scan here instead of rescanning the false prefix — CaDiCaL's
+///       "literal position" optimization)
+///   [4..4+size) literals (Lit bit patterns)
+class ClauseArena {
+ public:
+  static constexpr std::uint32_t kHeaderWords = 4;
+
+  /// Append a clause; returns its reference. `size` must be >= 1.
+  CRef alloc(const Lit* lits, std::uint32_t size, bool learnt,
+             std::uint32_t lbd, float activity) {
+    EBMF_ASSERT(size >= 1);
+    EBMF_EXPECTS(data_.size() + kHeaderWords + size < kArenaWordLimit);
+    const CRef c = static_cast<CRef>(data_.size());
+    // Growth stays amortized-doubling (plain push_back): an exact-fit
+    // reserve here would recopy the whole arena on every allocation.
+    data_.push_back((size << 2) | (learnt ? 2u : 0u));
+    data_.push_back(lbd);
+    data_.push_back(std::bit_cast<std::uint32_t>(activity));
+    data_.push_back(2);  // search position: first non-watched literal
+    for (std::uint32_t i = 0; i < size; ++i)
+      data_.push_back(std::bit_cast<std::uint32_t>(lits[i]));
+    return c;
+  }
+
+  /// Saved replacement-watch search position (in [2, size)).
+  [[nodiscard]] std::uint32_t search_pos(CRef c) const { return data_[c + 3]; }
+  void set_search_pos(CRef c, std::uint32_t pos) { data_[c + 3] = pos; }
+
+  [[nodiscard]] std::uint32_t size(CRef c) const { return data_[c] >> 2; }
+  [[nodiscard]] bool learnt(CRef c) const { return (data_[c] & 2u) != 0; }
+  [[nodiscard]] bool deleted(CRef c) const { return (data_[c] & 1u) != 0; }
+
+  /// Flag the clause dead; its words are reclaimed by the next compact().
+  void mark_deleted(CRef c) {
+    if (!deleted(c)) wasted_ += kHeaderWords + size(c);
+    data_[c] |= 1u;
+  }
+
+  [[nodiscard]] std::uint32_t lbd(CRef c) const { return data_[c + 1]; }
+  void set_lbd(CRef c, std::uint32_t lbd) { data_[c + 1] = lbd; }
+
+  [[nodiscard]] float activity(CRef c) const {
+    return std::bit_cast<float>(data_[c + 2]);
+  }
+  void set_activity(CRef c, float a) {
+    data_[c + 2] = std::bit_cast<std::uint32_t>(a);
+  }
+
+  [[nodiscard]] Lit lit(CRef c, std::uint32_t i) const {
+    return std::bit_cast<Lit>(data_[c + kHeaderWords + i]);
+  }
+  void set_lit(CRef c, std::uint32_t i, Lit l) {
+    data_[c + kHeaderWords + i] = std::bit_cast<std::uint32_t>(l);
+  }
+
+  /// Raw literal words of a clause — the propagate() hot loop reads and
+  /// swaps literals through this pointer (valid until the next alloc).
+  [[nodiscard]] std::uint32_t* lits_raw(CRef c) {
+    return data_.data() + c + kHeaderWords;
+  }
+  [[nodiscard]] const std::uint32_t* lits_raw(CRef c) const {
+    return data_.data() + c + kHeaderWords;
+  }
+
+  // -- sequential walk (the arena is self-describing) ---------------------
+  [[nodiscard]] CRef walk_begin() const { return 0; }
+  [[nodiscard]] CRef walk_end() const {
+    return static_cast<CRef>(data_.size());
+  }
+  [[nodiscard]] CRef walk_next(CRef c) const {
+    return c + kHeaderWords + size(c);
+  }
+
+  [[nodiscard]] std::size_t words() const { return data_.size(); }
+  [[nodiscard]] std::size_t bytes() const {
+    return data_.size() * sizeof(std::uint32_t);
+  }
+  [[nodiscard]] std::size_t wasted_words() const { return wasted_; }
+
+  /// Compacting GC: drop deleted clauses, slide live ones down, and leave a
+  /// forwarding address for each moved clause readable via `forward()`
+  /// until the next alloc. Callers must then remap every CRef they hold
+  /// (reasons, learnt list, watchers).
+  void compact() {
+    std::vector<std::uint32_t> fresh;
+    fresh.reserve(data_.size() - wasted_);
+    for (CRef c = walk_begin(); c < walk_end(); c = walk_next(c)) {
+      const std::uint32_t n = size(c);
+      if (deleted(c)) continue;
+      const CRef moved = static_cast<CRef>(fresh.size());
+      fresh.insert(fresh.end(), data_.begin() + c,
+                   data_.begin() + c + kHeaderWords + n);
+      // The old LBD word becomes the forwarding address; the clause itself
+      // lives on in `fresh`.
+      data_[c + 1] = moved;
+    }
+    forwarding_ = std::move(data_);
+    data_ = std::move(fresh);
+    wasted_ = 0;
+  }
+
+  /// New reference of a live clause after the last compact().
+  [[nodiscard]] CRef forward(CRef old) const { return forwarding_[old + 1]; }
+
+  /// Release the forwarding table once every holder has been remapped.
+  void drop_forwarding() {
+    forwarding_.clear();
+    forwarding_.shrink_to_fit();
+  }
+
+ private:
+  std::vector<std::uint32_t> data_;
+  std::vector<std::uint32_t> forwarding_;  // previous buffer during a GC
+  std::size_t wasted_ = 0;                 // words held by deleted clauses
+};
+
+/// One watched-literal occurrence: the clause and a "blocker" literal whose
+/// satisfaction lets propagate() skip the clause without touching it.
+struct Watcher {
+  CRef cref = kCRefUndef;
+  Lit blocker;
+};
+static_assert(sizeof(Watcher) == 8, "Watcher must stay two words");
+
+/// All watcher buckets in one pool, indexed by Lit::idx().
+class WatchLists {
+ public:
+  struct Bucket {
+    std::uint32_t off = 0;
+    std::uint32_t size = 0;
+    std::uint32_t cap = 0;
+  };
+
+  /// Register one more variable (two literal buckets).
+  void add_var() {
+    buckets_.emplace_back();
+    buckets_.emplace_back();
+  }
+
+  [[nodiscard]] std::size_t num_lits() const { return buckets_.size(); }
+
+  [[nodiscard]] const Bucket& bucket(std::size_t lit_idx) const {
+    return buckets_[lit_idx];
+  }
+
+  /// Pool base pointer. Invalidated by push() growth — the propagate loop
+  /// re-derives its cursor from bucket().off after every push.
+  [[nodiscard]] Watcher* pool() { return pool_.data(); }
+
+  void push(std::size_t lit_idx, Watcher w) {
+    Bucket& b = buckets_[lit_idx];
+    if (b.size == b.cap) grow(b);
+    pool_[b.off + b.size++] = w;
+  }
+
+  /// Shrink a bucket after in-place compaction of its live watchers.
+  void shrink(std::size_t lit_idx, std::uint32_t new_size) {
+    EBMF_ASSERT(new_size <= buckets_[lit_idx].size);
+    buckets_[lit_idx].size = new_size;
+  }
+
+  /// Empty every bucket, keeping offsets and capacities for reuse (the
+  /// solver refills them right away when rebuilding after a GC).
+  void clear_all() {
+    for (Bucket& b : buckets_) b.size = 0;
+  }
+
+  [[nodiscard]] std::size_t pool_words() const { return pool_.size(); }
+
+ private:
+  void grow(Bucket& b) {
+    const std::uint32_t cap = b.cap == 0 ? 4 : b.cap * 2;
+    const std::uint32_t off = static_cast<std::uint32_t>(pool_.size());
+    pool_.resize(pool_.size() + cap);
+    for (std::uint32_t i = 0; i < b.size; ++i)
+      pool_[off + i] = pool_[b.off + i];
+    b.off = off;
+    b.cap = cap;
+  }
+
+  std::vector<Watcher> pool_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace ebmf::sat

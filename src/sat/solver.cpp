@@ -1,9 +1,19 @@
 #include "sat/solver.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 namespace ebmf::sat {
+
+namespace {
+
+inline Lit as_lit(std::uint32_t w) noexcept { return std::bit_cast<Lit>(w); }
+inline std::uint32_t as_word(Lit l) noexcept {
+  return std::bit_cast<std::uint32_t>(l);
+}
+
+}  // namespace
 
 Solver::Solver() = default;
 
@@ -21,22 +31,30 @@ std::vector<Clause> Solver::problem_clauses() const {
   // equisatisfiable with the original input.
   for (const Lit l : trail_)
     if (level_[static_cast<std::size_t>(l.var())] == 0) out.push_back({l});
-  for (const auto& cd : clauses_)
-    if (!cd.learnt && !cd.deleted) out.push_back(cd.lits);
+  for (CRef c = arena_.walk_begin(); c < arena_.walk_end();
+       c = arena_.walk_next(c)) {
+    if (arena_.learnt(c) || arena_.deleted(c)) continue;
+    Clause clause;
+    const std::uint32_t n = arena_.size(c);
+    clause.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) clause.push_back(arena_.lit(c, i));
+    out.push_back(std::move(clause));
+  }
   return out;
 }
 
 Var Solver::new_var() {
   const Var v = static_cast<Var>(assigns_.size());
   assigns_.push_back(LBool::Undef);
+  lit_val_.push_back(static_cast<std::uint8_t>(LBool::Undef));
+  lit_val_.push_back(static_cast<std::uint8_t>(LBool::Undef));
   polarity_.push_back(0);
   reason_.push_back(kNoReason);
   level_.push_back(0);
   activity_.push_back(0.0);
   seen_.push_back(0);
   heap_pos_.push_back(-1);
-  watches_.emplace_back();
-  watches_.emplace_back();
+  watches_.add_var();
   heap_insert(v);
   return v;
 }
@@ -63,86 +81,127 @@ bool Solver::add_clause(Clause lits) {
   }
   if (out.size() == 1) {
     enqueue(out[0], kNoReason);
-    if (propagate() != kNoReason) ok_ = false;
+    if (propagate() != kCRefUndef) ok_ = false;
     return ok_;
   }
-  const CRef c = static_cast<CRef>(clauses_.size());
-  clauses_.push_back(ClauseData{std::move(out), 0.0, 0, false, false});
+  const CRef c = arena_.alloc(out.data(),
+                              static_cast<std::uint32_t>(out.size()),
+                              /*learnt=*/false, /*lbd=*/0, /*activity=*/0.0f);
   ++n_problem_;
   attach_clause(c);
   return true;
 }
 
 void Solver::attach_clause(CRef c) {
-  auto& cd = clauses_[static_cast<std::size_t>(c)];
-  EBMF_ASSERT(cd.lits.size() >= 2);
-  watches_[static_cast<std::size_t>(cd.lits[0].neg().idx())].push_back(
-      Watcher{c, cd.lits[1]});
-  watches_[static_cast<std::size_t>(cd.lits[1].neg().idx())].push_back(
-      Watcher{c, cd.lits[0]});
+  EBMF_ASSERT(arena_.size(c) >= 2);
+  const Lit l0 = arena_.lit(c, 0);
+  const Lit l1 = arena_.lit(c, 1);
+  const CRef tag = arena_.size(c) == 2 ? (c | kBinaryBit) : c;
+  watches_.push(static_cast<std::size_t>(l0.neg().idx()), Watcher{tag, l1});
+  watches_.push(static_cast<std::size_t>(l1.neg().idx()), Watcher{tag, l0});
 }
 
 void Solver::enqueue(Lit l, CRef reason) {
   EBMF_ASSERT(value(l) == LBool::Undef);
   const auto v = static_cast<std::size_t>(l.var());
   assigns_[v] = l.sign() ? LBool::False : LBool::True;
+  lit_val_[static_cast<std::size_t>(l.idx())] =
+      static_cast<std::uint8_t>(LBool::True);
+  lit_val_[static_cast<std::size_t>(l.neg().idx())] =
+      static_cast<std::uint8_t>(LBool::False);
   reason_[v] = reason;
   level_[v] = decision_level();
   trail_.push_back(l);
 }
 
-Solver::CRef Solver::propagate() {
-  CRef confl = kNoReason;
+void Solver::normalize_reason(CRef c, Lit implied) {
+  if (arena_.lit(c, 0) == implied) return;
+  EBMF_ASSERT(arena_.size(c) == 2 && arena_.lit(c, 1) == implied);
+  std::uint32_t* lits = arena_.lits_raw(c);
+  std::swap(lits[0], lits[1]);
+}
+
+CRef Solver::propagate() {
+  CRef confl = kCRefUndef;
   while (qhead_ < trail_.size()) {
     const Lit p = trail_[qhead_++];  // p is now true
     ++stats_.propagations;
-    auto& ws = watches_[static_cast<std::size_t>(p.idx())];
-    std::size_t keep = 0;
-    std::size_t i = 0;
-    for (; i < ws.size(); ++i) {
+    const auto pidx = static_cast<std::size_t>(p.idx());
+    const Lit false_lit = p.neg();
+    const WatchLists::Bucket& bucket = watches_.bucket(pidx);
+    // The cursor is re-derived from the bucket after every push: pushing a
+    // new watch may relocate the shared pool. The bucket of `p` itself
+    // never grows mid-scan (the replacement watch is never ~p).
+    Watcher* ws = watches_.pool() + bucket.off;
+    const std::uint32_t n = bucket.size;
+    std::uint32_t keep = 0;
+    std::uint32_t i = 0;
+    for (; i < n; ++i) {
       const Watcher w = ws[i];
       // Fast path: blocker already satisfied.
       if (value(w.blocker) == LBool::True) {
         ws[keep++] = w;
         continue;
       }
-      auto& cd = clauses_[static_cast<std::size_t>(w.cref)];
-      if (cd.deleted) continue;  // lazily dropped
-      auto& c = cd.lits;
-      // Normalize: the false literal (~p) goes to position 1.
-      const Lit false_lit = p.neg();
-      if (c[0] == false_lit) std::swap(c[0], c[1]);
-      EBMF_ASSERT(c[1] == false_lit);
-      // First literal satisfied?
-      if (value(c[0]) == LBool::True) {
-        ws[keep++] = Watcher{w.cref, c[0]};
+      // Binary clauses resolve from the watcher alone: the blocker IS the
+      // rest of the clause, so no arena access is needed.
+      if ((w.cref & kBinaryBit) != 0) {
+        const CRef cref = w.cref & ~kBinaryBit;
+        ws[keep++] = w;
+        if (value(w.blocker) == LBool::False) {
+          confl = cref;
+          qhead_ = trail_.size();
+          for (++i; i < n; ++i) ws[keep++] = ws[i];
+          break;
+        }
+        enqueue(w.blocker, cref);
         continue;
       }
-      // Look for a non-false replacement watch.
+      std::uint32_t* lits = arena_.lits_raw(w.cref);
+      // Normalize: the false literal (~p) goes to position 1.
+      if (as_lit(lits[0]) == false_lit) std::swap(lits[0], lits[1]);
+      EBMF_ASSERT(as_lit(lits[1]) == false_lit);
+      const Lit first = as_lit(lits[0]);
+      // First literal satisfied?
+      if (value(first) == LBool::True) {
+        ws[keep++] = Watcher{w.cref, first};
+        continue;
+      }
+      // Look for a non-false replacement watch, resuming from the saved
+      // search position (circular scan: long learnt clauses keep a false
+      // prefix for many levels, so restarting at 2 rescans it every time).
+      const std::uint32_t size = arena_.size(w.cref);
+      const std::uint32_t start = arena_.search_pos(w.cref);
       bool moved = false;
-      for (std::size_t k = 2; k < c.size(); ++k) {
-        if (value(c[k]) != LBool::False) {
-          std::swap(c[1], c[k]);
-          watches_[static_cast<std::size_t>(c[1].neg().idx())].push_back(
-              Watcher{w.cref, c[0]});
+      std::uint32_t k = start;
+      for (std::uint32_t scanned = 2; scanned < size; ++scanned, ++k) {
+        if (k == size) k = 2;
+        const Lit ck = as_lit(lits[k]);
+        if (value(ck) != LBool::False) {
+          lits[1] = lits[k];
+          lits[k] = as_word(false_lit);
+          arena_.set_search_pos(w.cref, k);
+          watches_.push(static_cast<std::size_t>(ck.neg().idx()),
+                        Watcher{w.cref, first});
+          ws = watches_.pool() + bucket.off;  // pool may have relocated
           moved = true;
           break;
         }
       }
       if (moved) continue;
       // Clause is unit or conflicting.
-      if (value(c[0]) == LBool::False) {
+      if (value(first) == LBool::False) {
         confl = w.cref;
         qhead_ = trail_.size();
         // Copy back the remaining watchers before aborting.
-        for (; i < ws.size(); ++i) ws[keep++] = ws[i];
+        for (; i < n; ++i) ws[keep++] = ws[i];
         break;
       }
       ws[keep++] = w;
-      enqueue(c[0], w.cref);
+      enqueue(first, w.cref);
     }
-    ws.resize(keep);
-    if (confl != kNoReason) break;
+    watches_.shrink(pidx, keep);
+    if (confl != kCRefUndef) break;
   }
   return confl;
 }
@@ -156,12 +215,13 @@ void Solver::analyze(CRef confl, Clause& out_learnt, int& out_btlevel,
   std::size_t index = trail_.size();
 
   do {
-    EBMF_ASSERT(confl != kNoReason);
-    auto& cd = clauses_[static_cast<std::size_t>(confl)];
-    if (cd.learnt) clause_bump(cd);
-    const std::size_t start = p.is_undef() ? 0 : 1;
-    for (std::size_t k = start; k < cd.lits.size(); ++k) {
-      const Lit q = cd.lits[k];
+    EBMF_ASSERT(confl != kCRefUndef);
+    if (arena_.learnt(confl)) clause_bump(confl);
+    if (!p.is_undef()) normalize_reason(confl, p);
+    const std::uint32_t start = p.is_undef() ? 0 : 1;
+    const std::uint32_t size = arena_.size(confl);
+    for (std::uint32_t k = start; k < size; ++k) {
+      const Lit q = arena_.lit(confl, k);
       const auto v = static_cast<std::size_t>(q.var());
       if (seen_[v] == 0 && level_[v] > 0) {
         var_bump(q.var());
@@ -237,9 +297,11 @@ bool Solver::lit_redundant(Lit l, std::uint32_t ab_levels) {
     analyze_stack_.pop_back();
     const auto qv = static_cast<std::size_t>(q.var());
     EBMF_ASSERT(reason_[qv] != kNoReason);
-    const auto& c = clauses_[static_cast<std::size_t>(reason_[qv])].lits;
-    for (std::size_t k = 1; k < c.size(); ++k) {
-      const Lit p = c[k];
+    const CRef c = reason_[qv];
+    normalize_reason(c, q.neg());  // q is false; the implied literal is ~q
+    const std::uint32_t size = arena_.size(c);
+    for (std::uint32_t k = 1; k < size; ++k) {
+      const Lit p = arena_.lit(c, k);
       const auto pv = static_cast<std::size_t>(p.var());
       if (seen_[pv] != 0 || level_[pv] == 0) continue;
       if (reason_[pv] != kNoReason &&
@@ -271,10 +333,14 @@ void Solver::analyze_final(Lit p, std::vector<Lit>& out_core) {
       // A decision inside the assumption prefix == an assumption literal.
       out_core.push_back(trail_[i]);
     } else {
-      const auto& c = clauses_[static_cast<std::size_t>(reason_[v])].lits;
-      for (std::size_t k = 1; k < c.size(); ++k)
-        if (level_[static_cast<std::size_t>(c[k].var())] > 0)
-          seen_[static_cast<std::size_t>(c[k].var())] = 1;
+      const CRef c = reason_[v];
+      normalize_reason(c, trail_[i]);
+      const std::uint32_t size = arena_.size(c);
+      for (std::uint32_t k = 1; k < size; ++k) {
+        const Lit q = arena_.lit(c, k);
+        if (level_[static_cast<std::size_t>(q.var())] > 0)
+          seen_[static_cast<std::size_t>(q.var())] = 1;
+      }
     }
     seen_[v] = 0;
   }
@@ -285,9 +351,14 @@ void Solver::cancel_until(int level) {
   if (decision_level() <= level) return;
   const auto bound = static_cast<std::size_t>(trail_lim_[static_cast<std::size_t>(level)]);
   for (std::size_t i = trail_.size(); i-- > bound;) {
-    const auto v = static_cast<std::size_t>(trail_[i].var());
+    const Lit l = trail_[i];
+    const auto v = static_cast<std::size_t>(l.var());
     polarity_[v] = assigns_[v] == LBool::True ? 1 : 0;
     assigns_[v] = LBool::Undef;
+    lit_val_[static_cast<std::size_t>(l.idx())] =
+        static_cast<std::uint8_t>(LBool::Undef);
+    lit_val_[static_cast<std::size_t>(l.neg().idx())] =
+        static_cast<std::uint8_t>(LBool::Undef);
     reason_[v] = kNoReason;
     if (heap_pos_[v] < 0) heap_insert(static_cast<Var>(v));
   }
@@ -327,7 +398,15 @@ SolveResult Solver::search(std::int64_t conflict_budget,
   std::int64_t conflicts_here = 0;
   while (true) {
     const CRef confl = propagate();
-    if (confl != kNoReason) {
+    // Propagation-count budget checkpoint: conflicts can be hundreds of
+    // thousands of propagations apart on propagate-heavy instances, so a
+    // per-conflict check alone leaves cancellation (race losers, client
+    // disconnects) waiting far too long.
+    if (stats_.propagations >= next_budget_check_) {
+      next_budget_check_ = stats_.propagations + kBudgetCheckProps;
+      if (budget.exhausted()) return SolveResult::Unknown;
+    }
+    if (confl != kCRefUndef) {
       ++stats_.conflicts;
       ++conflicts_here;
       if (decision_level() == 0) {
@@ -342,12 +421,12 @@ SolveResult Solver::search(std::int64_t conflict_budget,
       if (learnt.size() == 1) {
         enqueue(learnt[0], kNoReason);
       } else {
-        const CRef c = static_cast<CRef>(clauses_.size());
-        clauses_.push_back(ClauseData{std::move(learnt), clause_inc_, lbd,
-                                      true, false});
+        const CRef c = arena_.alloc(learnt.data(),
+                                    static_cast<std::uint32_t>(learnt.size()),
+                                    /*learnt=*/true, lbd, clause_inc_);
         learnts_.push_back(c);
         attach_clause(c);
-        enqueue(clauses_[static_cast<std::size_t>(c)].lits[0], c);
+        enqueue(learnt[0], c);
       }
       ++stats_.learned_clauses;
       var_decay_all();
@@ -403,6 +482,7 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions,
   if (!ok_) return SolveResult::Unsat;
   assumptions_ = assumptions;
   max_learnts_ = std::max(2000.0, static_cast<double>(n_problem_) / 3.0);
+  next_budget_check_ = stats_.propagations;
 
   SolveResult result = SolveResult::Unknown;
   std::int64_t conflicts_used = 0;
@@ -429,6 +509,7 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions,
   }
   cancel_until(0);
   assumptions_.clear();
+  stats_.arena_bytes = arena_.bytes();
   return result;
 }
 
@@ -437,39 +518,53 @@ void Solver::reduce_db() {
   // otherwise prefer low LBD, then high activity. Delete the worse half,
   // except clauses currently acting as reasons ("locked").
   std::sort(learnts_.begin(), learnts_.end(), [this](CRef a, CRef b) {
-    const auto& ca = clauses_[static_cast<std::size_t>(a)];
-    const auto& cb = clauses_[static_cast<std::size_t>(b)];
-    if (ca.lbd != cb.lbd) return ca.lbd < cb.lbd;
-    return ca.activity > cb.activity;
+    if (arena_.lbd(a) != arena_.lbd(b)) return arena_.lbd(a) < arena_.lbd(b);
+    return arena_.activity(a) > arena_.activity(b);
   });
   const std::size_t keep_target = learnts_.size() / 2;
   std::vector<CRef> kept;
   kept.reserve(learnts_.size());
   for (std::size_t i = 0; i < learnts_.size(); ++i) {
-    auto& cd = clauses_[static_cast<std::size_t>(learnts_[i])];
-    const Lit first = cd.lits[0];
+    const CRef c = learnts_[i];
+    const Lit first = arena_.lit(c, 0);
     const bool locked =
         value(first) == LBool::True &&
-        reason_[static_cast<std::size_t>(first.var())] == learnts_[i];
-    if (i < keep_target || cd.lbd <= 2 || cd.lits.size() == 2 || locked) {
-      kept.push_back(learnts_[i]);
+        reason_[static_cast<std::size_t>(first.var())] == c;
+    if (i < keep_target || arena_.lbd(c) <= 2 || arena_.size(c) == 2 ||
+        locked) {
+      kept.push_back(c);
     } else {
-      cd.deleted = true;
-      cd.lits.clear();
-      cd.lits.shrink_to_fit();
+      arena_.mark_deleted(c);
       ++stats_.deleted_clauses;
     }
   }
   learnts_ = std::move(kept);
   max_learnts_ *= 1.15;
+  garbage_collect();
+}
+
+/// Compact the arena and rewrite every live clause reference: the learnt
+/// list, the per-variable reasons (always live — locked clauses are never
+/// deleted), and the watch lists (rebuilt from scratch, which also reclaims
+/// their lazily-dropped entries).
+void Solver::garbage_collect() {
+  arena_.compact();
+  for (CRef& c : learnts_) c = arena_.forward(c);
+  for (std::size_t v = 0; v < reason_.size(); ++v) {
+    if (reason_[v] != kNoReason && assigns_[v] != LBool::Undef)
+      reason_[v] = arena_.forward(reason_[v]);
+  }
+  arena_.drop_forwarding();
+  ++stats_.arena_gcs;
   rebuild_watches();
 }
 
 void Solver::rebuild_watches() {
-  for (auto& ws : watches_) ws.clear();
-  for (std::size_t c = 0; c < clauses_.size(); ++c) {
-    if (clauses_[c].deleted || clauses_[c].lits.size() < 2) continue;
-    attach_clause(static_cast<CRef>(c));
+  watches_.clear_all();
+  for (CRef c = arena_.walk_begin(); c < arena_.walk_end();
+       c = arena_.walk_next(c)) {
+    if (arena_.deleted(c) || arena_.size(c) < 2) continue;
+    attach_clause(c);
   }
 }
 
@@ -486,12 +581,12 @@ void Solver::var_bump(Var v) {
     heap_sift_up(static_cast<std::size_t>(heap_pos_[static_cast<std::size_t>(v)]));
 }
 
-void Solver::clause_bump(ClauseData& c) {
-  c.activity += clause_inc_;
-  if (c.activity > 1e20) {
-    for (CRef l : learnts_)
-      clauses_[static_cast<std::size_t>(l)].activity *= 1e-20;
-    clause_inc_ *= 1e-20;
+void Solver::clause_bump(CRef c) {
+  const float bumped = arena_.activity(c) + clause_inc_;
+  arena_.set_activity(c, bumped);
+  if (bumped > 1e20f) {
+    for (CRef l : learnts_) arena_.set_activity(l, arena_.activity(l) * 1e-20f);
+    clause_inc_ *= 1e-20f;
   }
 }
 

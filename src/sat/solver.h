@@ -17,13 +17,24 @@
 ///    assumption literals (used by Algorithm 1's decreasing-b narrowing and
 ///    by the maximum fooling set search).
 ///
-/// Solving is budgetable (conflict count and/or wall-clock deadline); an
-/// exhausted budget yields SolveResult::Unknown, which the SAP driver treats
-/// as "keep the best heuristic solution" — the paper's anytime behaviour.
+/// Clause storage is a single contiguous arena (sat/arena.h): literals live
+/// inline behind a packed header, clause references are arena offsets, and
+/// watch lists are flat per-literal buckets — propagate() walks cache-dense
+/// memory instead of chasing a heap vector per clause. reduce_db() compacts
+/// the arena and rewrites all live references (watchers, reasons, learnt
+/// list), so the arena never accumulates dead clauses.
+///
+/// Solving is budgetable (conflict count and/or wall-clock deadline, plus a
+/// shared cancellation flag checked both per-conflict and per-propagation
+/// block, so cancellation lands promptly even on propagation-heavy
+/// instances); an exhausted budget yields SolveResult::Unknown, which the
+/// SAP driver treats as "keep the best heuristic solution" — the paper's
+/// anytime behaviour.
 
 #include <cstdint>
 #include <vector>
 
+#include "sat/arena.h"
 #include "sat/types.h"
 #include "support/budget.h"
 #include "support/stopwatch.h"
@@ -45,9 +56,15 @@ struct SolverStats {
   std::uint64_t learned_literals = 0;
   std::uint64_t minimized_literals = 0;  ///< Removed by clause minimization.
   std::uint64_t deleted_clauses = 0;
+  std::uint64_t arena_gcs = 0;    ///< Compacting collections run.
+  std::uint64_t arena_bytes = 0;  ///< Arena footprint after the last solve.
 };
 
 /// CDCL SAT solver. See file comment for architecture.
+///
+/// Copyable: all state lives in flat value containers, so a copy is an
+/// independent solver with the same clauses, learnt set, and activities.
+/// The SAP bound race clones a solved-up formula per probe this way.
 class Solver {
  public:
   Solver();
@@ -107,26 +124,18 @@ class Solver {
   [[nodiscard]] std::vector<Clause> problem_clauses() const;
 
  private:
-  // ---- clause storage ------------------------------------------------
-  struct ClauseData {
-    std::vector<Lit> lits;
-    double activity = 0.0;
-    std::uint32_t lbd = 0;
-    bool learnt = false;
-    bool deleted = false;
-  };
-  using CRef = std::int32_t;
-  static constexpr CRef kNoReason = -1;
-  static constexpr CRef kAssumptionReason = -2;
+  static constexpr CRef kNoReason = kCRefUndef;
 
-  struct Watcher {
-    CRef cref;
-    Lit blocker;
-  };
+  /// Watchers of binary clauses carry this flag in their CRef: the blocker
+  /// is the whole rest of the clause, so propagate() can enqueue/conflict
+  /// without touching the arena at all.
+  static constexpr CRef kBinaryBit = 0x80000000u;
 
   // ---- core CDCL -----------------------------------------------------
+  /// Branch-free literal truth: one byte load from the per-literal mirror
+  /// of assigns_ (the propagate() hot path's most frequent operation).
   [[nodiscard]] LBool value(Lit l) const noexcept {
-    return lit_value(assigns_[static_cast<std::size_t>(l.var())], l.sign());
+    return static_cast<LBool>(lit_val_[static_cast<std::size_t>(l.idx())]);
   }
   [[nodiscard]] LBool value(Var v) const noexcept {
     return assigns_[static_cast<std::size_t>(v)];
@@ -137,6 +146,11 @@ class Solver {
 
   void attach_clause(CRef c);
   void enqueue(Lit l, CRef reason);
+  /// The binary fast path in propagate() enqueues without swapping the
+  /// implied literal to position 0; normalize lazily before conflict
+  /// analysis reads a reason clause (which skips position 0 as "the
+  /// implied literal").
+  void normalize_reason(CRef c, Lit implied);
   CRef propagate();
   void analyze(CRef confl, Clause& out_learnt, int& out_btlevel,
                std::uint32_t& out_lbd);
@@ -146,12 +160,13 @@ class Solver {
   Lit pick_branch_lit();
   SolveResult search(std::int64_t conflict_budget, const Budget& budget);
   void reduce_db();
+  void garbage_collect();
   void rebuild_watches();
 
   // VSIDS / heap
   void var_bump(Var v);
   void var_decay_all() { var_inc_ /= kVarDecay; }
-  void clause_bump(ClauseData& c);
+  void clause_bump(CRef c);
   void heap_insert(Var v);
   Var heap_pop_max();
   void heap_sift_up(std::size_t i);
@@ -164,12 +179,15 @@ class Solver {
   static std::uint64_t luby(std::uint64_t i);
 
   // ---- state ----------------------------------------------------------
-  std::vector<ClauseData> clauses_;      // all clauses (problem + learned)
-  std::vector<CRef> learnts_;            // indices of live learned clauses
-  std::size_t n_problem_ = 0;            // live problem clause count
-  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::idx()
+  ClauseArena arena_;          // all clauses (problem + learned), inline
+  std::vector<CRef> learnts_;  // refs of live learned clauses
+  std::size_t n_problem_ = 0;  // live problem clause count
+  WatchLists watches_;         // flat buckets indexed by Lit::idx()
 
   std::vector<LBool> assigns_;  // per var
+  /// Per-literal truth mirror of assigns_ (False/True/Undef as uint8),
+  /// updated in enqueue()/cancel_until(); makes value(Lit) one byte load.
+  std::vector<std::uint8_t> lit_val_;
   std::vector<char> polarity_;  // saved phase per var (1 = last was true)
   std::vector<CRef> reason_;    // per var
   std::vector<int> level_;      // per var
@@ -180,8 +198,8 @@ class Solver {
   std::vector<double> activity_;  // per var
   double var_inc_ = 1.0;
   static constexpr double kVarDecay = 0.95;
-  double clause_inc_ = 1.0;
-  static constexpr double kClauseDecay = 0.999;
+  float clause_inc_ = 1.0f;
+  static constexpr float kClauseDecay = 0.999f;
   std::vector<std::int32_t> heap_pos_;  // var -> heap index or -1
   std::vector<Var> heap_;               // max-heap by activity
 
@@ -193,6 +211,11 @@ class Solver {
   std::vector<Lit> conflict_core_;
 
   double max_learnts_ = 0;  // reduceDB threshold (grows geometrically)
+  /// Next stats_.propagations value at which search() re-checks the budget
+  /// (deadline + cancellation) — keeps cancellation latency bounded even
+  /// when conflicts are rare (satellite of the bound-race work).
+  std::uint64_t next_budget_check_ = 0;
+  static constexpr std::uint64_t kBudgetCheckProps = 4096;
 
   bool ok_ = true;
   bool has_model_ = false;

@@ -43,6 +43,11 @@ struct Connection {
   std::shared_ptr<std::atomic<bool>> cancel =
       std::make_shared<std::atomic<bool>>(false);
   std::atomic<bool> solving{false};
+  /// Set by the reader thread as its very last action; the accept loop
+  /// joins and discards finished threads continuously (a long-lived server
+  /// must not accumulate one dead std::thread handle per past connection
+  /// until stop()).
+  std::atomic<bool> finished{false};
 };
 
 /// `{"error": "...", "label": "..."}` — the protocol's failure reply.
@@ -86,10 +91,16 @@ struct Server::Impl {
   std::atomic<bool> running{false};
   std::atomic<bool> stopping{false};
 
+  /// A connection's reader thread paired with its completion flag.
+  struct ConnThread {
+    std::thread thread;
+    std::shared_ptr<Connection> conn;
+  };
+
   std::thread accept_thread;
   std::thread watchdog_thread;
   std::mutex threads_mutex;
-  std::vector<std::thread> connection_threads;
+  std::vector<ConnThread> connection_threads;
 
   std::mutex connections_mutex;
   std::vector<std::shared_ptr<Connection>> connections;
@@ -120,9 +131,35 @@ struct Server::Impl {
                   std::vector<std::string>& lines);
   bool process_batch(Connection& conn, const std::vector<std::string>& lines);
   void serve_connection(const std::shared_ptr<Connection>& conn);
+  void reap_finished_threads();
   void accept_loop();
   void watchdog_loop();
 };
+
+/// Join and drop the reader threads of connections that have finished.
+/// Called from the accept loop on every wakeup (at least every poll
+/// timeout), so handles are reclaimed within ~100 ms of a disconnect
+/// instead of accumulating until stop().
+void Server::Impl::reap_finished_threads() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex);
+    for (std::size_t i = 0; i < connection_threads.size();) {
+      if (connection_threads[i].conn->finished.load(
+              std::memory_order_acquire)) {
+        done.push_back(std::move(connection_threads[i].thread));
+        connection_threads.erase(connection_threads.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  // Join outside the lock: the flag is the thread's last store, so these
+  // joins return immediately.
+  for (std::thread& t : done)
+    if (t.joinable()) t.join();
+}
 
 /// Pull the next micro-batch of request lines off the socket: block for the
 /// first complete line, then opportunistically drain whatever pipelined
@@ -295,19 +332,24 @@ void Server::Impl::serve_connection(const std::shared_ptr<Connection>& conn) {
     if (!process_batch(*conn, lines)) break;
   }
   ::close(conn->fd);
-  std::lock_guard<std::mutex> lock(impl.connections_mutex);
-  auto& registry = impl.connections;
-  for (std::size_t i = 0; i < registry.size(); ++i) {
-    if (registry[i].get() == conn.get()) {
-      registry.erase(registry.begin() + static_cast<std::ptrdiff_t>(i));
-      break;
+  {
+    std::lock_guard<std::mutex> lock(impl.connections_mutex);
+    auto& registry = impl.connections;
+    for (std::size_t i = 0; i < registry.size(); ++i) {
+      if (registry[i].get() == conn.get()) {
+        registry.erase(registry.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
     }
   }
+  // Last action: hand the thread handle to the accept loop's reaper.
+  conn->finished.store(true, std::memory_order_release);
 }
 
 void Server::Impl::accept_loop() {
   Impl& impl = *this;
   while (!impl.stopping.load(std::memory_order_relaxed)) {
+    impl.reap_finished_threads();
     pollfd waiter{impl.listen_fd, POLLIN, 0};
     const int ready = ::poll(&waiter, 1, 100);
     if (ready <= 0) continue;
@@ -321,8 +363,11 @@ void Server::Impl::accept_loop() {
     }
     impl.stat_connections.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(impl.threads_mutex);
-    impl.connection_threads.emplace_back(
-        [&impl, conn = std::move(conn)]() { impl.serve_connection(conn); });
+    ConnThread worker;
+    worker.conn = conn;
+    worker.thread =
+        std::thread([&impl, conn]() { impl.serve_connection(conn); });
+    impl.connection_threads.push_back(std::move(worker));
   }
 }
 
@@ -415,13 +460,13 @@ void Server::stop() {
       ::shutdown(conn->fd, SHUT_RD);
     }
   }
-  std::vector<std::thread> workers;
+  std::vector<Impl::ConnThread> workers;
   {
     std::lock_guard<std::mutex> lock(impl.threads_mutex);
     workers.swap(impl.connection_threads);
   }
-  for (std::thread& t : workers)
-    if (t.joinable()) t.join();
+  for (Impl::ConnThread& w : workers)
+    if (w.thread.joinable()) w.thread.join();
 
   if (impl.watchdog_thread.joinable()) impl.watchdog_thread.join();
   if (impl.listen_fd >= 0) {

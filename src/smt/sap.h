@@ -47,6 +47,14 @@ struct SapOptions {
   /// independently. Never changes the answer; often shrinks the SMT
   /// formula enough to make sparse 100×100 instances exactly solvable.
   bool preprocess = true;
+  /// Width of the parallel bound race in the SMT phase. 1 = the paper's
+  /// sequential decreasing-b loop; k > 1 races probes for bounds
+  /// b, b-1, …, b-k+1 concurrently (each on a clone of the formula), a SAT
+  /// answer cancels the probes it makes redundant and reseeds the race
+  /// below, an UNSAT answer certifies from below; 0 = auto (hardware
+  /// threads). The final (depth, status, bounds) answer matches the
+  /// sequential loop whenever the budget suffices to converge.
+  std::size_t probes = 1;
 };
 
 /// Timing/record of one SMT decision call inside SAP.
@@ -61,6 +69,10 @@ struct SapResult {
   Partition partition;            ///< Best valid EBMF found (always valid).
   SapStatus status = SapStatus::HeuristicOnly;
   std::size_t rank_lower = 0;     ///< rank_ℝ(M) (Eq. 3 lower bound).
+  /// Tightest certified lower bound on r_B: rank_lower, raised to b+1 by
+  /// every UNSAT answer at bound b (the race can certify this even when
+  /// the budget expires before the bracket closes).
+  std::size_t certified_lower = 0;
   std::size_t heuristic_size = 0; ///< |P| after the packing phase.
   double rank_seconds = 0.0;
   double heuristic_seconds = 0.0;
@@ -68,6 +80,12 @@ struct SapResult {
   double total_seconds = 0.0;
   std::vector<SapSmtCall> smt_calls;
   sat::SolverStats smt_stats;     ///< Cumulative SAT search statistics.
+
+  // -- bound-race accounting (zero when the sequential loop ran) ---------
+  std::size_t probes_used = 0;       ///< Race width actually engaged.
+  std::size_t probe_waves = 0;       ///< Fork-join rounds of the race.
+  std::size_t probe_calls = 0;       ///< Probe solves launched in total.
+  std::size_t probes_cancelled = 0;  ///< Probes retired by a rival's answer.
 
   /// Depth of the addressing schedule = |partition|.
   [[nodiscard]] std::size_t depth() const noexcept { return partition.size(); }

@@ -38,6 +38,11 @@ struct Budget {
   std::uint64_t max_nodes = 0;      ///< Search-node cap (DLX/brute; 0 = unlimited).
   /// Optional shared stop flag; null means "not cancellable".
   std::shared_ptr<std::atomic<bool>> cancel;
+  /// Optional secondary stop flag, observed in addition to `cancel`. The
+  /// SAP bound race gives every probe its own `cancel` (so a winner can
+  /// retire just the redundant probes) while chaining the caller's original
+  /// flag here — a client disconnect still stops the whole race.
+  std::shared_ptr<std::atomic<bool>> also_cancel;
 
   /// Make this budget cancellable (idempotent) and return it for chaining.
   Budget& cancellable() {
@@ -51,9 +56,10 @@ struct Budget {
     if (cancel) cancel->store(true, std::memory_order_relaxed);
   }
 
-  /// True when cancellation was requested.
+  /// True when cancellation was requested on either flag.
   [[nodiscard]] bool cancelled() const {
-    return cancel && cancel->load(std::memory_order_relaxed);
+    return (cancel && cancel->load(std::memory_order_relaxed)) ||
+           (also_cancel && also_cancel->load(std::memory_order_relaxed));
   }
 
   /// True when work should stop now (cancelled or past the deadline).
@@ -64,7 +70,7 @@ struct Budget {
   /// True when any finite limit is set.
   [[nodiscard]] bool limited() const {
     return deadline.limited() || max_conflicts >= 0 || max_nodes > 0 ||
-           cancel != nullptr;
+           cancel != nullptr || also_cancel != nullptr;
   }
 };
 

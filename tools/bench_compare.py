@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Compare bench JSON summaries against the committed BENCH_sap.json baseline.
+
+The benches emit one machine-readable summary line each:
+
+    ./build/bench_micro --json                      > bench.jsonl
+    ./build/bench_table1 --json --budget=3 --scale=0.5 \
+        | grep '"summary":true'                     >> bench.jsonl
+
+Check the run against the baseline (exit 1 on a >20% regression):
+
+    python3 tools/bench_compare.py --baseline BENCH_sap.json bench.jsonl
+
+Regenerate the baseline after an intentional perf change:
+
+    python3 tools/bench_compare.py --baseline BENCH_sap.json \
+        --write-baseline bench.jsonl
+
+Checked metrics:
+  * micro: sat / smt_large propagations per second (lower = regression)
+  * table1: total wall-clock and per-suite wall-clock (higher = regression;
+    suites faster than --floor seconds are skipped as noise)
+  * table1: the bound race must reproduce the sequential depths
+
+CI runs on different hardware than the machine that wrote the baseline, so
+pass a wider --tolerance there (wall-clock scales with the machine; the
+regression signal is the ratio drifting, not the absolute number).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_summaries(path):
+    """The bench summary lines keyed by bench name."""
+    summaries = {}
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if record.get("summary") is True and "bench" in record:
+                summaries[record["bench"]] = record
+    return summaries
+
+
+def check_throughput(failures, label, base, current, tolerance):
+    """Propagations/sec must not drop below baseline / (1 + tolerance).
+
+    Ratio semantics keep the gate meaningful for tolerances >= 1 (used by
+    CI across heterogeneous hardware): tolerance 2.0 still fails a >3x
+    throughput drop, whereas `base * (1 - tolerance)` would go negative
+    and never fail.
+    """
+    floor = base / (1.0 + tolerance)
+    status = "ok" if current >= floor else "REGRESSION"
+    print(f"  {label}: {current:,.0f} props/s vs baseline {base:,.0f} "
+          f"({current / base:.2f}x) [{status}]")
+    if current < floor:
+        failures.append(f"{label} dropped to {current / base:.2f}x of baseline")
+
+
+def check_seconds(failures, label, base, current, tolerance, floor_seconds):
+    """Wall-clock must not rise more than `tolerance` above baseline."""
+    if base < floor_seconds and current < floor_seconds:
+        return  # too fast to measure meaningfully
+    ceiling = base * (1.0 + tolerance)
+    status = "ok" if current <= ceiling else "REGRESSION"
+    print(f"  {label}: {current:.3f}s vs baseline {base:.3f}s "
+          f"({current / base if base > 0 else 0:.2f}x) [{status}]")
+    if current > ceiling:
+        failures.append(f"{label} slowed to {current:.3f}s "
+                        f"(baseline {base:.3f}s)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="file of bench --json summary lines")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline (BENCH_sap.json)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    parser.add_argument("--floor", type=float, default=0.5,
+                        help="ignore suites faster than this many seconds (default 0.5)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from the current run")
+    args = parser.parse_args()
+
+    current = load_summaries(args.current)
+    if args.write_baseline:
+        baseline = {
+            "comment": "bench baseline; regenerate via tools/bench_compare.py "
+                       "--write-baseline (see file docstring for commands)",
+            "micro": current.get("micro"),
+            "table1": current.get("table1"),
+        }
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.baseline}")
+        return 0
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    failures = []
+
+    base_micro, cur_micro = baseline.get("micro"), current.get("micro")
+    if base_micro and cur_micro:
+        print("micro (propagation throughput):")
+        for key in ("sat", "smt_large"):
+            check_throughput(failures, f"micro.{key}",
+                             base_micro[key]["propagations_per_sec"],
+                             cur_micro[key]["propagations_per_sec"],
+                             args.tolerance)
+    elif base_micro:
+        failures.append("no micro summary in the current run")
+
+    base_t1, cur_t1 = baseline.get("table1"), current.get("table1")
+    if base_t1 and cur_t1:
+        print("table1 (suite wall-clock):")
+        check_seconds(failures, "table1.total", base_t1["total_seconds"],
+                      cur_t1["total_seconds"], args.tolerance, args.floor)
+        base_suites = {s["label"]: s for s in base_t1.get("suites", [])}
+        for suite in cur_t1.get("suites", []):
+            base_suite = base_suites.get(suite["label"])
+            if base_suite is None:
+                continue
+            check_seconds(failures, f"table1[{suite['label']}]",
+                          base_suite["seconds"], suite["seconds"],
+                          args.tolerance, args.floor)
+        race = cur_t1.get("race", {})
+        print(f"  race: sequential {race.get('seq_seconds', 0):.3f}s vs "
+              f"{race.get('probes', 0)} probes "
+              f"{race.get('race_seconds', 0):.3f}s, depth_match="
+              f"{race.get('depth_match')}, converged="
+              f"{race.get('converged')}")
+        # Depth equality is only guaranteed when both sides certified
+        # optimality; a budget-cut run may stop at different anytime depths
+        # on a slow runner, which is not a correctness regression.
+        if race.get("converged") is True and race.get("depth_match") is not True:
+            failures.append("bound race depths diverged from sequential "
+                            "despite both sides converging")
+    elif base_t1:
+        failures.append("no table1 summary in the current run")
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: no regression beyond tolerance "
+          f"{args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
