@@ -4,12 +4,20 @@
 // family's base pattern, so a hit must go through canonicalization and the
 // partition lift, exactly like a live server request (minus the TCP hop).
 //
+// With --connect=HOST:PORT the same workload is sent over the wire to a
+// running `ebmf serve` or `ebmf route` instead of the in-process engine:
+// per-request wall-clock is then the full round trip, so the cold/warm
+// split measures what a client of the (routed) fleet actually sees —
+// backend cache hits and router L1 hits both count as warm.
+//
 // With --json, each solved instance emits one line in the common bench
 // format ({"family":...,"config":...,"report":<SolveReport>}), cache
 // telemetry included, so BENCH_*.json trajectories capture the hit rate and
 // the warm/cold split.
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,7 +25,10 @@
 #include "common.h"
 #include "engine/engine.h"
 #include "ftqc/patterns.h"
+#include "io/request_io.h"
 #include "service/cache.h"
+#include "service/net.h"
+#include "service/service.h"
 #include "support/rng.h"
 #include "support/stopwatch.h"
 
@@ -47,8 +58,27 @@ struct FamilyResult {
   double warm_seconds = 0.0;  // summed
 };
 
+/// Solve one instance remotely (ebmf serve / ebmf route): wire round trip,
+/// report parsed back, total_seconds overwritten with the client-observed
+/// wall-clock — the number a fleet client actually experiences.
+ebmf::engine::SolveReport wire_solve(ebmf::service::Client& client,
+                                     const ebmf::engine::SolveRequest& request,
+                                     double budget_seconds) {
+  ebmf::io::WireRequest wire;
+  wire.request = request;
+  wire.budget_seconds = budget_seconds;
+  ebmf::Stopwatch round_trip;
+  const std::string reply =
+      client.round_trip(ebmf::io::wire_request_json(wire));
+  const double seconds = round_trip.seconds();
+  auto report = ebmf::io::parse_wire_response(reply);  // throws on error
+  report.total_seconds = seconds;
+  return report;
+}
+
 FamilyResult run_family(const ebmf::bench::Options& opt,
                         const ebmf::engine::Engine& engine,
+                        ebmf::service::Client* client,
                         const std::string& name,
                         const std::vector<BinaryMatrix>& variants) {
   FamilyResult result;
@@ -58,9 +88,13 @@ FamilyResult run_family(const ebmf::bench::Options& opt,
     request.budget = opt.budget();
     request.trials = 40;
     request.label = name + "#" + std::to_string(k);
-    const auto report = engine.solve(request);
+    const auto report =
+        client != nullptr ? wire_solve(*client, request, opt.budget_seconds)
+                          : engine.solve(request);
     const std::string* hit = report.find_telemetry("cache_hit");
-    const bool warm = hit != nullptr && *hit == "true";
+    const std::string* l1 = report.find_telemetry("routed.l1");
+    const bool warm = (hit != nullptr && *hit == "true") ||
+                      (l1 != nullptr && *l1 == "hit");
     if (warm) {
       ++result.warm;
       result.warm_seconds += report.total_seconds;
@@ -88,14 +122,46 @@ void print_result(const FamilyResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto opt = ebmf::bench::parse_options(argc, argv);
+  // --connect=HOST:PORT is bench_service-specific; strip it before the
+  // shared option parser (which rejects unknown flags).
+  std::string connect;
+  std::vector<char*> filtered;
+  filtered.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--connect=", 10) == 0)
+      connect = argv[i] + 10;
+    else
+      filtered.push_back(argv[i]);
+  }
+  const auto opt = ebmf::bench::parse_options(
+      static_cast<int>(filtered.size()), filtered.data());
   Rng rng(opt.seed);
 
   ebmf::engine::Engine engine;
   engine.set_cache(ebmf::cache::ResultCache::with_capacity_mb(64));
 
+  std::unique_ptr<ebmf::service::Client> client;
+  if (!connect.empty()) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!ebmf::service::net::parse_endpoint(connect, host, port)) {
+      std::fprintf(stderr, "bad --connect endpoint '%s' (want host:port)\n",
+                   connect.c_str());
+      return 2;
+    }
+    try {
+      client = std::make_unique<ebmf::service::Client>(host, port);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "connect failed: %s\n", e.what());
+      return 1;
+    }
+  }
+
   std::printf(
       "--- Service result cache: cold vs warm latency on FTQC repeats ---\n");
+  if (client != nullptr)
+    std::printf("(driving %s over the wire; latencies are full round "
+                "trips)\n", connect.c_str());
   std::printf("(every repeat is a fresh row/col permutation of the base "
               "pattern)\n\n");
   std::printf("%-26s %5s %6s %7s | %11s %11s | %9s\n", "family", "insts",
@@ -113,7 +179,7 @@ int main(int argc, char** argv) {
       for (std::size_t row = 0; row < d; ++row)
         variants.push_back(ebmf::ftqc::boundary_row_patch(d, row));
     results.push_back(
-        run_family(opt, engine, "patch-boundary d=13", variants));
+        run_family(opt, engine, client.get(), "patch-boundary d=13", variants));
   }
   {
     // Checkerboard sublattice, both parities, repeated.
@@ -122,7 +188,7 @@ int main(int argc, char** argv) {
       variants.push_back(ebmf::ftqc::checkerboard_patch(12, repeat % 2));
     }
     results.push_back(
-        run_family(opt, engine, "patch-checker d=12", variants));
+        run_family(opt, engine, client.get(), "patch-checker d=12", variants));
   }
   {
     // Logical-level sparse addressing pattern (shatters into components;
@@ -133,7 +199,7 @@ int main(int argc, char** argv) {
     for (std::size_t repeat = 1; repeat < opt.count(24, 10); ++repeat)
       variants.push_back(permuted_copy(base, rng));
     results.push_back(
-        run_family(opt, engine, "logical 48x48 occ=0.04", variants));
+        run_family(opt, engine, client.get(), "logical 48x48 occ=0.04", variants));
   }
   {
     // qLDPC 1D memory blocks.
@@ -143,7 +209,7 @@ int main(int argc, char** argv) {
     for (std::size_t repeat = 1; repeat < opt.count(24, 10); ++repeat)
       variants.push_back(permuted_copy(base, rng));
     results.push_back(
-        run_family(opt, engine, "qldpc 12x18 occ=0.3", variants));
+        run_family(opt, engine, client.get(), "qldpc 12x18 occ=0.3", variants));
   }
   {
     // Two-level structure: logical pattern tensored with a physical patch.
@@ -154,7 +220,7 @@ int main(int argc, char** argv) {
     for (std::size_t repeat = 1; repeat < opt.count(16, 8); ++repeat)
       variants.push_back(permuted_copy(base, rng));
     results.push_back(
-        run_family(opt, engine, "kron(4x4, checker3)", variants));
+        run_family(opt, engine, client.get(), "kron(4x4, checker3)", variants));
   }
   {
     // A deliberately SMT-hard per-patch pattern (gap family, slack rank
@@ -165,7 +231,7 @@ int main(int argc, char** argv) {
     std::vector<BinaryMatrix> variants{gap.matrix};
     for (std::size_t repeat = 1; repeat < opt.count(12, 6); ++repeat)
       variants.push_back(permuted_copy(gap.matrix, rng));
-    results.push_back(run_family(opt, engine, "gap 20x20 k=6", variants));
+    results.push_back(run_family(opt, engine, client.get(), "gap 20x20 k=6", variants));
   }
 
   double cold_mean_total = 0.0;
@@ -180,13 +246,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto stats = engine.cache()->stats();
-  std::printf("\ncache: %llu hits, %llu misses, %llu evictions, %zu entries "
-              "(%zu bytes)\n",
-              static_cast<unsigned long long>(stats.hits),
-              static_cast<unsigned long long>(stats.misses),
-              static_cast<unsigned long long>(stats.evictions), stats.entries,
-              stats.bytes);
+  if (client == nullptr) {
+    const auto stats = engine.cache()->stats();
+    std::printf("\ncache: %llu hits, %llu misses, %llu evictions, %zu "
+                "entries (%zu bytes)\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.evictions),
+                stats.entries, stats.bytes);
+  } else {
+    std::printf("\n(remote run: cache counters live on the fleet — ask "
+                "with `ebmf client --stats`)\n");
+  }
   if (families_with_warm > 0 && warm_mean_total > 0)
     std::printf("aggregate warm speedup over cold (mean of family means): "
                 "%.1fx\n",

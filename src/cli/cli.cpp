@@ -18,9 +18,12 @@
 #include "core/trivial.h"
 #include "engine/engine.h"
 #include "io/matrix_io.h"
+#include "io/json.h"
 #include "io/partition_io.h"
 #include "io/request_io.h"
+#include "router/router.h"
 #include "sat/dimacs.h"
+#include "service/net.h"
 #include "service/service.h"
 #include "smt/label_formula.h"
 
@@ -225,6 +228,9 @@ int solve_request_file(const Args& args, std::ostream& out,
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     try {
       io::WireRequest wire = io::parse_wire_request(line);
+      if (wire.op == io::WireOp::Stats)
+        throw std::runtime_error(
+            "'stats' is a service verb; send it with ebmf client --stats");
       if (wire.request.label.empty())
         wire.request.label = path + ":" + std::to_string(line_number);
       wires.push_back(std::move(wire));
@@ -542,11 +548,12 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
   options.max_inflight = flags.count("max-inflight", 256);
   options.budget_ceiling_seconds = flags.num("budget", 10.0);
   options.max_batch = flags.count("max-batch", 32);
+  options.cache_file = args.get("cache-file", "");
   if (!flags.valid(err) || port > 65535 || options.cache_mb < 0 ||
       options.budget_ceiling_seconds < 0) {
     err << "usage: ebmf serve [--port=P] [--host=ADDR] [--threads=N] "
            "[--cache-mb=MB] [--max-inflight=N] [--budget=S] "
-           "[--max-batch=N]\n";
+           "[--max-batch=N] [--cache-file=PATH]\n";
     return 2;
   }
   options.port = static_cast<std::uint16_t>(port);
@@ -554,11 +561,118 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
   return service::serve_forever(options, out);
 }
 
+/// `ebmf route BACKEND... --listen=P`: the canon-key sharding front tier.
+/// Backends are positional "host:port" endpoints and/or a comma-separated
+/// --backends= list (the flag parser keeps only the last repeated flag, so
+/// positionals are the ergonomic spelling).
+int cmd_route(const Args& args, std::ostream& out, std::ostream& err) {
+  router::RouterOptions options;
+  for (const auto& endpoint : args.positional)
+    options.backends.push_back(endpoint);
+  const std::string joined = args.get("backends", "");
+  std::size_t start = 0;
+  while (start < joined.size()) {
+    std::size_t comma = joined.find(',', start);
+    if (comma == std::string::npos) comma = joined.size();
+    if (comma > start)
+      options.backends.push_back(joined.substr(start, comma - start));
+    start = comma + 1;
+  }
+
+  FlagReader flags(args);
+  const auto port = flags.count("listen", 7500);
+  options.host = args.get("host", "127.0.0.1");
+  options.l1_mb = flags.num("l1-mb", 64.0);
+  options.cache_file = args.get("cache-file", "");
+  options.max_inflight = flags.count("max-inflight", 256);
+  options.max_batch = flags.count("max-batch", 32);
+  options.pool_connections = flags.count("pool", 1);
+  options.reply_timeout_seconds = flags.num("timeout", 30.0);
+  if (!flags.valid(err) || port > 65535 || options.l1_mb < 0 ||
+      options.reply_timeout_seconds < 0 || options.backends.empty()) {
+    err << "usage: ebmf route <host:port>... [--backends=H:P,H:P] "
+           "[--listen=P] [--host=ADDR] [--l1-mb=MB] [--cache-file=PATH] "
+           "[--max-inflight=N] [--max-batch=N] [--pool=N] [--timeout=S]\n";
+    return 2;
+  }
+  for (const auto& endpoint : options.backends) {
+    std::string host;
+    std::uint16_t backend_port = 0;
+    if (!service::net::parse_endpoint(endpoint, host, backend_port)) {
+      err << "error: bad backend endpoint '" << endpoint
+          << "' (want host:port)\n";
+      return 2;
+    }
+  }
+  options.port = static_cast<std::uint16_t>(port);
+  // Blocks until SIGTERM/SIGINT, then drains and reports.
+  return router::route_forever(options, out);
+}
+
+/// Indented key/value rendering of a stats reply (or any JSON object) —
+/// `ebmf client --stats` output.
+void print_json_tree(std::ostream& out, const std::string& prefix,
+                     const io::json::Value& value) {
+  if (value.is_object()) {
+    for (const auto& [key, member] : value.members()) {
+      const std::string path = prefix.empty() ? key : prefix + "." + key;
+      print_json_tree(out, path, member);
+    }
+    return;
+  }
+  if (value.is_array()) {
+    for (std::size_t i = 0; i < value.size(); ++i)
+      print_json_tree(out, prefix + "[" + std::to_string(i) + "]",
+                      value.at(i));
+    return;
+  }
+  out << prefix << " = ";
+  if (value.is_string())
+    out << value.as_string();
+  else if (value.is_number())
+    out << io::json::number(value.as_number());
+  else if (value.is_bool())
+    out << (value.as_bool() ? "true" : "false");
+  else
+    out << "null";
+  out << "\n";
+}
+
+/// `ebmf client --stats`: ask the server/router for its counters and
+/// pretty-print the reply one `path = value` line at a time.
+int client_stats(const Args& args, std::ostream& out, std::ostream& err) {
+  FlagReader flags(args);
+  const auto port = flags.count("port", 7421);
+  if (!flags.valid(err) || port > 65535) return 2;
+  const std::string host = args.get("host", "127.0.0.1");
+  try {
+    service::Client client(host, static_cast<std::uint16_t>(port));
+    const std::string reply = client.round_trip(R"({"op":"stats"})");
+    const io::json::Value document = io::json::Value::parse(reply);
+    if (document.find("error") != nullptr) {
+      err << "error: " << document.find("error")->as_string() << "\n";
+      return 1;
+    }
+    print_json_tree(out, "", document);
+    return 0;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.has("stats")) {
+    if (!args.positional.empty()) {
+      err << "error: --stats takes no matrix files\n";
+      return 2;
+    }
+    return client_stats(args, out, err);
+  }
   if (args.positional.empty()) {
     err << "usage: ebmf client <matrix-file>... [--host=ADDR] [--port=P] "
         << kRequestFlagsUsage
-        << " [--dont-cares] [--split] [--include-partition]\n";
+        << " [--dont-cares] [--split] [--include-partition] [--stats]\n";
     return 2;
   }
   const engine::Engine engine;
@@ -639,7 +753,8 @@ std::string usage() {
          "commands:\n"
          "  solve <file>...     partition pattern(s) via the engine facade\n"
          "  serve               long-lived line-JSON solver server (TCP)\n"
-         "  client <file>...    send patterns to a running server\n"
+         "  route <h:p>...      canon-key sharding front tier over servers\n"
+         "  client <file>...    send patterns to a running server/router\n"
          "  strategies          list the registered solving strategies\n"
          "  bounds <file>       rank / fooling / trivial / packing bracket\n"
          "  fooling <file>      fooling set (--exact for maximum)\n"
@@ -662,6 +777,7 @@ int run_command(const std::string& command,
     const Args parsed = parse_args(args);
     if (command == "solve") return cmd_solve(parsed, out, err);
     if (command == "serve") return cmd_serve(parsed, out, err);
+    if (command == "route") return cmd_route(parsed, out, err);
     if (command == "client") return cmd_client(parsed, out, err);
     if (command == "strategies") return cmd_strategies(parsed, out, err);
     if (command == "bounds") return cmd_bounds(parsed, out, err);

@@ -86,6 +86,17 @@ WireRequest parse_wire_request(const std::string& line) {
   WireRequest wire;
   engine::SolveRequest& request = wire.request;
 
+  wire.id = static_cast<std::int64_t>(
+      number_field(document, "id", -1.0, -1.0, 9e15));
+
+  const std::string op = string_field(document, "op", "solve");
+  if (op == "stats") {
+    // Admin verb: no pattern, no solve knobs — counters come back.
+    wire.op = WireOp::Stats;
+    return wire;
+  }
+  if (op != "solve") fail("field 'op' must be solve|stats");
+
   const std::string pattern = pattern_text(document);
   const bool masked = has_dont_care_cells(pattern);
   try {
@@ -175,10 +186,34 @@ std::string render_pattern(const engine::SolveRequest& request) {
 
 }  // namespace
 
+std::string render_pattern_text(const engine::SolveRequest& request) {
+  return render_pattern(request);
+}
+
+std::int64_t salvage_request_id(const std::string& line) noexcept {
+  try {
+    const json::Value document = json::Value::parse(line);
+    const json::Value* id = document.find("id");
+    if (id != nullptr && id->is_number() && id->as_number() >= 0 &&
+        id->as_number() <= 9e15)
+      return static_cast<std::int64_t>(id->as_number());
+  } catch (...) {
+  }
+  return -1;
+}
+
 std::string wire_request_json(const WireRequest& wire) {
   const engine::SolveRequest& request = wire.request;
   std::ostringstream out;
-  out << "{\"pattern\":\"" << json::escape(render_pattern(request)) << "\"";
+  if (wire.op == WireOp::Stats) {
+    out << "{";
+    if (wire.id >= 0) out << "\"id\":" << wire.id << ",";
+    out << "\"op\":\"stats\"}";
+    return out.str();
+  }
+  out << "{";
+  if (wire.id >= 0) out << "\"id\":" << wire.id << ",";
+  out << "\"pattern\":\"" << json::escape(render_pattern(request)) << "\"";
   out << ",\"strategy\":\"" << json::escape(request.strategy) << "\"";
   if (!request.label.empty())
     out << ",\"label\":\"" << json::escape(request.label) << "\"";
@@ -206,8 +241,10 @@ std::string wire_request_json(const WireRequest& wire) {
 }
 
 std::string wire_response_json(const engine::SolveReport& report,
-                               bool include_partition) {
+                               bool include_partition, std::int64_t id) {
   std::string line = engine::to_json(report);
+  if (id >= 0)
+    line = "{\"id\":" + std::to_string(id) + "," + line.substr(1);
   if (!include_partition) return line;
   // Splice the partition before the closing brace of the report object.
   std::ostringstream tail;
@@ -227,6 +264,103 @@ std::string wire_response_json(const engine::SolveReport& report,
   tail << "]}";
   line.pop_back();  // drop the report's closing '}' and re-close via tail
   return line + tail.str();
+}
+
+namespace {
+
+[[noreturn]] void fail_response(const std::string& what) {
+  throw std::runtime_error("response: " + what);
+}
+
+engine::Status status_from(const std::string& name) {
+  if (name == "optimal") return engine::Status::Optimal;
+  if (name == "bounded") return engine::Status::Bounded;
+  if (name == "heuristic") return engine::Status::Heuristic;
+  fail_response("unknown status '" + name + "'");
+}
+
+/// One "partition" element's "rows"/"cols" index list as a bit set of
+/// length `n`.
+BitVec bitset_from_indices(const json::Value& rect, const char* key,
+                           std::size_t n) {
+  const json::Value* list = rect.find(key);
+  if (list == nullptr || !list->is_array())
+    fail_response(std::string("partition entry missing '") + key + "' array");
+  BitVec bits(n);
+  for (std::size_t k = 0; k < list->size(); ++k) {
+    if (!list->at(k).is_number()) fail_response("partition index not a number");
+    const double value = list->at(k).as_number();
+    if (!(value >= 0) || value >= static_cast<double>(n))
+      fail_response(std::string("partition '") + key + "' index out of range");
+    bits.set(static_cast<std::size_t>(value));
+  }
+  return bits;
+}
+
+}  // namespace
+
+engine::SolveReport parse_wire_response(const json::Value& document,
+                                        std::size_t rows, std::size_t cols) {
+  if (!document.is_object()) fail_response("a response must be a JSON object");
+  if (const json::Value* error = document.find("error")) {
+    fail_response("error line: " +
+                  (error->is_string() ? error->as_string() : std::string()));
+  }
+  engine::SolveReport report;
+  if (const json::Value* label = document.find("label");
+      label != nullptr && label->is_string())
+    report.label = label->as_string();
+  if (const json::Value* strategy = document.find("strategy");
+      strategy != nullptr && strategy->is_string())
+    report.strategy = strategy->as_string();
+  const json::Value* status = document.find("status");
+  if (status == nullptr || !status->is_string())
+    fail_response("missing 'status'");
+  report.status = status_from(status->as_string());
+  const json::Value* lower = document.find("lower_bound");
+  const json::Value* upper = document.find("upper_bound");
+  if (lower == nullptr || !lower->is_number() || upper == nullptr ||
+      !upper->is_number())
+    fail_response("missing bounds");
+  report.lower_bound = static_cast<std::size_t>(lower->as_number());
+  report.upper_bound = static_cast<std::size_t>(upper->as_number());
+  if (const json::Value* seconds = document.find("total_seconds");
+      seconds != nullptr && seconds->is_number())
+    report.total_seconds = seconds->as_number();
+  if (const json::Value* timings = document.find("timings");
+      timings != nullptr && timings->is_object()) {
+    for (const auto& [phase, value] : timings->members())
+      if (value.is_number()) report.add_timing(phase, value.as_number());
+  }
+  if (const json::Value* telemetry = document.find("telemetry");
+      telemetry != nullptr && telemetry->is_object()) {
+    for (const auto& [key, value] : telemetry->members())
+      if (value.is_string()) report.add_telemetry(key, value.as_string());
+  }
+  const json::Value* partition = document.find("partition");
+  if (partition != nullptr && rows > 0 && cols > 0) {
+    if (!partition->is_array()) fail_response("'partition' must be an array");
+    for (std::size_t t = 0; t < partition->size(); ++t) {
+      const json::Value& rect = partition->at(t);
+      report.partition.push_back(
+          Rectangle{bitset_from_indices(rect, "rows", rows),
+                    bitset_from_indices(rect, "cols", cols)});
+    }
+    if (report.upper_bound != report.partition.size())
+      fail_response("depth disagrees with the partition");
+  }
+  return report;
+}
+
+engine::SolveReport parse_wire_response(const std::string& line,
+                                        std::size_t rows, std::size_t cols) {
+  json::Value document;
+  try {
+    document = json::Value::parse(line);
+  } catch (const std::exception& e) {
+    fail_response(e.what());
+  }
+  return parse_wire_response(document, rows, cols);
 }
 
 }  // namespace ebmf::io

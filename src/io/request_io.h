@@ -31,16 +31,27 @@
 /// "include_partition" it gains a "partition" array of
 /// {"rows": [...], "cols": [...]} index lists.
 
+#include <cstdint>
 #include <string>
 
 #include "engine/engine.h"
+#include "io/json.h"
 
 namespace ebmf::io {
+
+/// What a request line asks for: a solve, or the admin `stats` snapshot
+/// (`{"op":"stats"}` — cache counters, in-flight, per-backend health).
+enum class WireOp { Solve, Stats };
 
 /// One parsed wire request: the facade request plus routing options that
 /// live outside SolveRequest.
 struct WireRequest {
+  WireOp op = WireOp::Solve;  ///< `"op"` field; "solve" when absent.
   engine::SolveRequest request;
+  /// Correlation id echoed as the *first* member of the response line
+  /// (absent when < 0). The router assigns these to match pipelined
+  /// backend replies to their requests; clients may use them too.
+  std::int64_t id = -1;
   /// The requested deadline in seconds (0 = none). Mirrored into
   /// request.budget.deadline by the parser; kept here as well because a
   /// Deadline is an absolute time point and cannot be re-serialized.
@@ -60,9 +71,38 @@ WireRequest parse_wire_request(const std::string& line);
 /// omitted). parse_wire_request(wire_request_json(r)) round-trips.
 std::string wire_request_json(const WireRequest& wire);
 
+/// The request's pattern as the wire text: rows joined by ';', '*' for
+/// don't-care cells. The router keys masked (pass-through) requests by
+/// exactly this text so repeats share one backend.
+std::string render_pattern_text(const engine::SolveRequest& request);
+
+/// Best-effort extraction of the "id" field from a (possibly malformed)
+/// request line: -1 when absent, mistyped, out of range, or the line is
+/// not JSON. Lets error replies echo the correlation id even for lines
+/// parse_wire_request rejects.
+std::int64_t salvage_request_id(const std::string& line) noexcept;
+
 /// Render a report reply, optionally with the partition attached — the
-/// exact line the server writes back.
+/// exact line the server writes back. `id` >= 0 is echoed as the first
+/// member (`{"id":N,...}`), the shape net::strip_id_prefix matches.
 std::string wire_response_json(const engine::SolveReport& report,
-                               bool include_partition);
+                               bool include_partition, std::int64_t id = -1);
+
+/// Parse a wire response line back into a SolveReport: label, strategy,
+/// status, bounds, total_seconds, timings, telemetry — and, when the line
+/// carries a "partition" array and `rows`/`cols` give the pattern shape,
+/// the partition itself (index lists -> bit sets). The router uses this to
+/// re-own backend replies (lift + re-render + L1 insert); the cache
+/// snapshot loader and bench_service --connect share it. Throws
+/// std::runtime_error on malformed input or an `{"error": ...}` line.
+engine::SolveReport parse_wire_response(const std::string& line,
+                                        std::size_t rows = 0,
+                                        std::size_t cols = 0);
+
+/// Same, from an already-parsed document (cache snapshot entries embed the
+/// response object inside a larger line).
+engine::SolveReport parse_wire_response(const json::Value& document,
+                                        std::size_t rows = 0,
+                                        std::size_t cols = 0);
 
 }  // namespace ebmf::io

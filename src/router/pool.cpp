@@ -1,0 +1,306 @@
+// Backend connection pool: pipelined submits, id-matched reply dispatch,
+// break detection, and exponential-backoff reconnect.
+
+#include "router/pool.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "service/net.h"
+
+namespace ebmf::router {
+
+namespace net = service::net;
+
+using Clock = std::chrono::steady_clock;
+
+PendingReply::Outcome PendingReply::wait(double seconds) {
+  std::unique_lock<std::mutex> lock(mutex);
+  const auto ready = [&] { return done || broken; };
+  if (seconds <= 0) {
+    cv.wait(lock, ready);
+  } else if (!cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                          ready)) {
+    return Outcome::TimedOut;
+  }
+  return broken ? Outcome::Broken : Outcome::Reply;
+}
+
+bool PendingReply::has_reply() {
+  std::lock_guard<std::mutex> lock(mutex);
+  return done && !broken;
+}
+
+void PendingReply::reset() {
+  std::lock_guard<std::mutex> lock(mutex);
+  done = false;
+  broken = false;
+  line.clear();
+}
+
+namespace {
+
+/// One persistent socket to the backend plus its reader thread. Conn
+/// objects are created once and recycled through reconnects (stable
+/// addresses: the vector holds unique_ptrs and never shrinks).
+struct Conn {
+  int fd = -1;
+  std::atomic<bool> open{false};
+  /// Reader's last store before exiting; maintain() joins on it.
+  std::atomic<bool> reader_done{true};
+  std::thread reader;
+  std::mutex write_mutex;
+  std::mutex pending_mutex;
+  std::unordered_map<std::uint64_t, PendingPtr> pending;
+};
+
+}  // namespace
+
+struct BackendPool::Impl {
+  std::string host;
+  std::uint16_t port;
+  std::string endpoint_text;
+  PoolOptions options;
+
+  /// Structural lock: connection selection, reconnects, shutdown.
+  mutable std::mutex mutex;
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::size_t cursor = 0;
+  std::atomic<bool> shutting_down{false};
+
+  double backoff_ms;
+  Clock::time_point next_attempt = Clock::now();
+
+  std::atomic<std::uint64_t> stat_requests{0};
+  std::atomic<std::uint64_t> stat_failures{0};
+
+  explicit Impl(std::string h, std::uint16_t p, PoolOptions opt)
+      : host(std::move(h)),
+        port(p),
+        endpoint_text(host + ":" + std::to_string(port)),
+        options(opt),
+        backoff_ms(opt.backoff_base_ms) {
+    if (options.connections == 0) options.connections = 1;
+    for (std::size_t i = 0; i < options.connections; ++i)
+      conns.push_back(std::make_unique<Conn>());
+  }
+
+  /// Fail every reply pending on `conn` (the connection broke): waiting
+  /// router threads wake with Broken and fail over.
+  void break_pending(Conn& conn) {
+    std::unordered_map<std::uint64_t, PendingPtr> orphans;
+    {
+      std::lock_guard<std::mutex> lock(conn.pending_mutex);
+      orphans.swap(conn.pending);
+    }
+    for (auto& [id, pending] : orphans) {
+      std::lock_guard<std::mutex> lock(pending->mutex);
+      pending->broken = true;
+      pending->cv.notify_all();
+    }
+  }
+
+  /// The reader: frame response lines, match ids, dispatch. Exits (and
+  /// fails all pending) when the socket breaks or shutdown() wakes it.
+  void reader_loop(Conn& conn) {
+    net::LineBuffer buffer;
+    char chunk[16384];
+    const int fd = conn.fd;
+    while (true) {
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::string line;
+      while (buffer.pop(line)) {
+        std::uint64_t id = 0;
+        if (!net::strip_id_prefix(line, id)) continue;  // unmatched noise
+        PendingPtr pending;
+        {
+          std::lock_guard<std::mutex> lock(conn.pending_mutex);
+          const auto it = conn.pending.find(id);
+          if (it == conn.pending.end()) continue;  // late reply, forgotten
+          pending = it->second;
+          conn.pending.erase(it);
+        }
+        std::lock_guard<std::mutex> lock(pending->mutex);
+        pending->line = std::move(line);
+        pending->done = true;
+        pending->cv.notify_all();
+      }
+    }
+    conn.open.store(false, std::memory_order_relaxed);
+    break_pending(conn);
+    if (!shutting_down.load(std::memory_order_relaxed)) {
+      stat_failures.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mutex);
+      next_attempt = Clock::now() +
+                     std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2.0, options.backoff_max_ms);
+    }
+    conn.reader_done.store(true, std::memory_order_release);
+  }
+
+  /// Pick a live connection round-robin; nullptr when the backend is down.
+  Conn* pick_open() {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (std::size_t step = 0; step < conns.size(); ++step) {
+      Conn& conn = *conns[(cursor + step) % conns.size()];
+      if (conn.open.load(std::memory_order_relaxed)) {
+        cursor = (cursor + step + 1) % conns.size();
+        return &conn;
+      }
+    }
+    return nullptr;
+  }
+
+  void maintain() {
+    if (shutting_down.load(std::memory_order_relaxed)) return;
+    std::lock_guard<std::mutex> lock(mutex);
+    bool attempted = false;
+    for (auto& conn_ptr : conns) {
+      Conn& conn = *conn_ptr;
+      if (conn.open.load(std::memory_order_relaxed)) continue;
+      if (!conn.reader_done.load(std::memory_order_acquire)) continue;
+      if (conn.reader.joinable()) conn.reader.join();
+      if (conn.fd >= 0) {
+        std::lock_guard<std::mutex> write_lock(conn.write_mutex);
+        ::close(conn.fd);
+        conn.fd = -1;
+      }
+      // One connect attempt per maintain() call, rate-limited by backoff.
+      if (attempted || Clock::now() < next_attempt) continue;
+      attempted = true;
+      int fd = -1;
+      try {
+        fd = net::tcp_connect(host, port);
+      } catch (const std::exception&) {
+        next_attempt =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2.0, options.backoff_max_ms);
+        continue;
+      }
+      backoff_ms = options.backoff_base_ms;  // healthy again
+      {
+        // The fd swap happens under the write lock: a submitter that
+        // picked this conn just before the break re-checks `open` under
+        // the same lock and can never write into (or shut down) a
+        // recycled descriptor.
+        std::lock_guard<std::mutex> write_lock(conn.write_mutex);
+        conn.fd = fd;
+        conn.reader_done.store(false, std::memory_order_relaxed);
+        conn.open.store(true, std::memory_order_release);
+      }
+      conn.reader = std::thread([this, &conn]() { reader_loop(conn); });
+    }
+  }
+
+  void shutdown() {
+    if (shutting_down.exchange(true)) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      for (auto& conn : conns)
+        if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    for (auto& conn : conns) {
+      if (conn->reader.joinable()) conn->reader.join();
+      if (conn->fd >= 0) {
+        ::close(conn->fd);
+        conn->fd = -1;
+      }
+      conn->open.store(false, std::memory_order_relaxed);
+    }
+  }
+};
+
+BackendPool::BackendPool(std::string host, std::uint16_t port,
+                         PoolOptions options)
+    : impl_(std::make_unique<Impl>(std::move(host), port, options)) {}
+
+BackendPool::~BackendPool() { shutdown(); }
+
+const std::string& BackendPool::endpoint() const noexcept {
+  return impl_->endpoint_text;
+}
+
+bool BackendPool::alive() const noexcept {
+  for (const auto& conn : impl_->conns)
+    if (conn->open.load(std::memory_order_relaxed)) return true;
+  return false;
+}
+
+bool BackendPool::submit(std::uint64_t id, const std::string& line,
+                         const PendingPtr& pending) {
+  Conn* conn = impl_->pick_open();
+  if (conn == nullptr) {
+    // Opportunistic revival: a failed submit is exactly when the health
+    // cadence is too slow to matter (the caller is about to fail over).
+    impl_->maintain();
+    conn = impl_->pick_open();
+    if (conn == nullptr) return false;
+  }
+  // Register before writing: a pipelined backend can answer before the
+  // write call even returns.
+  {
+    std::lock_guard<std::mutex> lock(conn->pending_mutex);
+    conn->pending[id] = pending;
+  }
+  bool sent = false;
+  {
+    // write_mutex also guards the fd lifecycle (maintain() swaps fds only
+    // under it), so the re-check below cannot see a recycled descriptor
+    // and the failure-path shutdown always hits the socket we wrote to.
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (conn->open.load(std::memory_order_relaxed)) {
+      sent = net::write_line(conn->fd, line);
+      // Wake the reader so the break is processed once, centrally.
+      if (!sent) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  if (!sent) {
+    // Withdraw the registration: the caller resubmits this PendingReply
+    // elsewhere, and a stale break signal must not chase it.
+    std::lock_guard<std::mutex> lock(conn->pending_mutex);
+    conn->pending.erase(id);
+    return false;
+  }
+  impl_->stat_requests.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void BackendPool::forget(std::uint64_t id) {
+  for (auto& conn : impl_->conns) {
+    std::lock_guard<std::mutex> lock(conn->pending_mutex);
+    if (conn->pending.erase(id) > 0) return;
+  }
+}
+
+void BackendPool::maintain() { impl_->maintain(); }
+
+void BackendPool::shutdown() { impl_->shutdown(); }
+
+PoolStats BackendPool::stats() const {
+  PoolStats out;
+  out.alive = alive();
+  out.requests = impl_->stat_requests.load(std::memory_order_relaxed);
+  out.failures = impl_->stat_failures.load(std::memory_order_relaxed);
+  for (const auto& conn : impl_->conns) {
+    std::lock_guard<std::mutex> lock(conn->pending_mutex);
+    out.inflight += conn->pending.size();
+  }
+  return out;
+}
+
+}  // namespace ebmf::router

@@ -1,0 +1,74 @@
+// Rendezvous hashing: scoring and the per-key backend ranking.
+
+#include "router/ring.h"
+
+#include <algorithm>
+
+namespace ebmf::router {
+
+std::uint64_t fnv1a64(const std::string& bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t hrw_score(std::uint64_t backend_seed,
+                        std::uint64_t key) noexcept {
+  // splitmix64 finalizer over the pair: avalanche on every input bit, so
+  // per-key rankings are uncorrelated across backends.
+  std::uint64_t z = backend_seed ^ (key + 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::size_t RendezvousRing::add(const std::string& id) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].id == id) return i;
+  nodes_.push_back(Node{id, fnv1a64(id)});
+  return nodes_.size() - 1;
+}
+
+bool RendezvousRing::remove(const std::string& id) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].id == id) {
+      nodes_.erase(nodes_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t RendezvousRing::owner(std::uint64_t key) const {
+  std::size_t best = 0;
+  std::uint64_t best_score = hrw_score(nodes_[0].seed, key);
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    const std::uint64_t score = hrw_score(nodes_[i].seed, key);
+    if (score > best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> RendezvousRing::ordered(std::uint64_t key) const {
+  std::vector<std::pair<std::uint64_t, std::size_t>> scored;
+  scored.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    scored.emplace_back(hrw_score(nodes_[i].seed, key), i);
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  std::vector<std::size_t> order;
+  order.reserve(scored.size());
+  for (const auto& [score, index] : scored) order.push_back(index);
+  return order;
+}
+
+}  // namespace ebmf::router

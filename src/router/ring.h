@@ -1,0 +1,77 @@
+#pragma once
+/// \file ring.h
+/// \brief Rendezvous (highest-random-weight) hashing over a backend set —
+/// the shard map of the `ebmf route` front tier.
+///
+/// The router's whole value is cache affinity: every permuted repeat of a
+/// canonical pattern must land on the same backend so that backend's result
+/// cache sees all of them. HRW hashing gives that with the two properties a
+/// failover tier needs and a mod-N table lacks:
+///
+///  * **Minimal movement.** Each key independently ranks every backend by
+///    score(backend, key); adding a backend only steals the keys it now
+///    wins, removing one only re-homes the keys it owned (each ~1/N of the
+///    space). No other key moves, so the surviving backends keep their
+///    warm caches through membership changes.
+///  * **Built-in failover order.** The full descending-score ranking is a
+///    per-key preference list: when the owner is down, the next live
+///    backend in the ranking takes the key — deterministically, so even
+///    failed-over repeats keep hitting one (secondary) cache.
+///
+/// Scores mix a per-backend seed (split-mix of its endpoint string's FNV
+/// hash) with the 64-bit key; the ring is a value type, cheap to copy, and
+/// does no locking — the router owns membership and health elsewhere.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ebmf::router {
+
+/// FNV-1a of an arbitrary string — the ring's backend-id hash, also used
+/// by the router to key masked (pass-through) patterns by raw text.
+[[nodiscard]] std::uint64_t fnv1a64(const std::string& bytes) noexcept;
+
+/// The HRW score of one (backend seed, key) pair: a split-mix style
+/// finalizer over the xor, so one backend's scores across keys — and one
+/// key's scores across backends — are independently spread.
+[[nodiscard]] std::uint64_t hrw_score(std::uint64_t backend_seed,
+                                      std::uint64_t key) noexcept;
+
+/// An HRW backend set. Indices are stable: add() appends and returns the
+/// new index, remove() erases (later indices shift — the router only
+/// mutates membership at startup, so it never observes the shift).
+class RendezvousRing {
+ public:
+  /// Register a backend under its identity string (endpoint "host:port").
+  /// Returns its index. Duplicate ids are rejected (returns the existing
+  /// index) — two entries with one seed would shadow each other.
+  std::size_t add(const std::string& id);
+
+  /// Remove a backend by id; false when unknown.
+  bool remove(const std::string& id);
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+  [[nodiscard]] const std::string& id(std::size_t index) const {
+    return nodes_[index].id;
+  }
+
+  /// The owning backend index for `key` (highest score). Precondition:
+  /// !empty().
+  [[nodiscard]] std::size_t owner(std::uint64_t key) const;
+
+  /// All backend indices ordered by descending score for `key` — the
+  /// failover preference list (owner first). Ties break by index, so the
+  /// order is total and deterministic.
+  [[nodiscard]] std::vector<std::size_t> ordered(std::uint64_t key) const;
+
+ private:
+  struct Node {
+    std::string id;
+    std::uint64_t seed;
+  };
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ebmf::router

@@ -1,0 +1,767 @@
+// The sharding front tier: client accept/connection threads, local
+// canonicalization + L1 cache, HRW dispatch over the backend pools,
+// in-order reply reassembly with failover, and the SIGTERM drain.
+
+#include "router/router.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <ctime>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/partition.h"
+#include "io/json.h"
+#include "io/request_io.h"
+#include "router/pool.h"
+#include "router/ring.h"
+#include "service/canon.h"
+#include "service/net.h"
+
+namespace ebmf::router {
+
+namespace net = service::net;
+
+using net::error_json;
+using net::write_line;
+
+namespace {
+
+/// Per-client-connection state (mirrors service.cpp's Connection).
+struct ClientConn {
+  int fd = -1;
+  std::atomic<bool> finished{false};
+};
+
+/// One client line's journey through a batch: either an immediate reply
+/// (parse error, stats, L1 hit, local zero-pattern answer) or an in-flight
+/// backend exchange plus the context needed to re-own the response.
+struct RouteTask {
+  bool skip = false;
+  std::string immediate;  ///< Pre-rendered reply; empty = awaiting backend.
+  bool immediate_is_error = false;
+  bool admitted = false;
+
+  // -- forwarding state --------------------------------------------------
+  bool forwarded = false;
+  bool passthrough = false;  ///< Masked request: reply forwarded verbatim.
+  std::uint64_t route_key = 0;
+  std::uint64_t router_id = 0;
+  std::string backend_line;
+  PendingPtr pending;
+  std::vector<std::size_t> preference;  ///< HRW failover order.
+  std::size_t preference_cursor = 0;    ///< Index serving the request.
+  std::size_t failovers = 0;
+
+  // -- client context ----------------------------------------------------
+  std::int64_t client_id = -1;
+  std::string label;
+  bool include_partition = false;
+
+  // -- canonical context (dense path) ------------------------------------
+  bool canonical_mode = false;
+  canon::Canonical canonical;
+  canon::CacheKey l1_key;
+  std::string strategy;
+  BinaryMatrix original;  ///< For re-validating the lifted certificate.
+};
+
+/// True when a reply line (with or without an id prefix) is a protocol
+/// error object.
+bool is_error_reply(std::string line) {
+  std::uint64_t id = 0;
+  net::strip_id_prefix(line, id);
+  return line.rfind("{\"error\"", 0) == 0;
+}
+
+}  // namespace
+
+struct Router::Impl {
+  explicit Impl(RouterOptions opt) : options(std::move(opt)) {
+    if (options.max_batch == 0) options.max_batch = 1;
+    if (options.l1_mb > 0)
+      l1 = cache::ResultCache::with_capacity_mb(options.l1_mb);
+  }
+
+  RouterOptions options;
+  std::shared_ptr<cache::ResultCache> l1;
+
+  RendezvousRing ring;
+  std::vector<std::unique_ptr<BackendPool>> pools;
+
+  net::TcpListener listener;
+  std::atomic<bool> running{false};
+  std::atomic<bool> stopping{false};
+
+  struct ConnThread {
+    std::thread thread;
+    std::shared_ptr<ClientConn> conn;
+  };
+
+  std::thread accept_thread;
+  std::thread health_thread;
+  std::mutex threads_mutex;
+  std::vector<ConnThread> connection_threads;
+
+  std::mutex connections_mutex;
+  std::vector<std::shared_ptr<ClientConn>> connections;
+
+  std::atomic<std::uint64_t> next_id{1};
+  std::atomic<std::size_t> inflight{0};
+  std::atomic<std::uint64_t> stat_connections{0};
+  std::atomic<std::uint64_t> stat_requests{0};
+  std::atomic<std::uint64_t> stat_errors{0};
+  std::atomic<std::uint64_t> stat_rejected{0};
+  std::atomic<std::uint64_t> stat_l1_hits{0};
+  std::atomic<std::uint64_t> stat_failovers{0};
+
+  bool try_admit() {
+    const std::size_t limit = options.max_inflight;
+    const std::size_t current =
+        inflight.fetch_add(1, std::memory_order_relaxed);
+    if (limit != 0 && current >= limit) {
+      inflight.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  void release_admitted(std::size_t count) {
+    if (count > 0) inflight.fetch_sub(count, std::memory_order_relaxed);
+  }
+
+  std::string stats_json(std::int64_t id) const;
+  void prepare_task(const std::string& line, RouteTask& task);
+  bool dispatch(RouteTask& task);
+  std::string await_reply(RouteTask& task);
+  std::string finalize_reply(RouteTask& task, const std::string& raw);
+  std::string render_report(RouteTask& task, engine::SolveReport report,
+                            const char* source);
+  bool read_batch(ClientConn& conn, net::LineBuffer& buffer,
+                  std::vector<std::string>& lines);
+  bool process_batch(ClientConn& conn, const std::vector<std::string>& lines);
+  void serve_client(const std::shared_ptr<ClientConn>& conn);
+  void reap_finished_threads();
+  void accept_loop();
+  void health_loop();
+};
+
+std::string Router::Impl::stats_json(std::int64_t id) const {
+  std::ostringstream out;
+  out << "{";
+  if (id >= 0) out << "\"id\":" << id << ",";
+  out << "\"stats\":true,\"role\":\"router\",\"router\":{"
+      << "\"connections\":" << stat_connections.load(std::memory_order_relaxed)
+      << ",\"requests\":" << stat_requests.load(std::memory_order_relaxed)
+      << ",\"errors\":" << stat_errors.load(std::memory_order_relaxed)
+      << ",\"rejected\":" << stat_rejected.load(std::memory_order_relaxed)
+      << ",\"l1_hits\":" << stat_l1_hits.load(std::memory_order_relaxed)
+      << ",\"failovers\":" << stat_failovers.load(std::memory_order_relaxed)
+      << ",\"inflight\":" << inflight.load(std::memory_order_relaxed)
+      << ",\"max_inflight\":" << options.max_inflight << "}";
+  if (l1) {
+    const cache::CacheStats stats = l1->stats();
+    out << ",\"l1\":{\"hits\":" << stats.hits
+        << ",\"misses\":" << stats.misses
+        << ",\"evictions\":" << stats.evictions
+        << ",\"insertions\":" << stats.insertions
+        << ",\"entries\":" << stats.entries << ",\"bytes\":" << stats.bytes
+        << ",\"capacity_bytes\":" << l1->capacity_bytes() << "}";
+  } else {
+    out << ",\"l1\":null";
+  }
+  out << ",\"backends\":[";
+  for (std::size_t i = 0; i < pools.size(); ++i) {
+    const PoolStats pool = pools[i]->stats();
+    if (i != 0) out << ",";
+    out << "{\"endpoint\":\"" << io::json::escape(pools[i]->endpoint())
+        << "\",\"alive\":" << (pool.alive ? "true" : "false")
+        << ",\"requests\":" << pool.requests
+        << ",\"failures\":" << pool.failures
+        << ",\"inflight\":" << pool.inflight << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+/// Decorate a canonical-space report for one client: lift the partition
+/// through the request's own permutation record, re-validate, restore the
+/// label, and stamp routing telemetry. `source` names who answered (a
+/// backend endpoint, "l1", or "local").
+std::string Router::Impl::render_report(RouteTask& task,
+                                        engine::SolveReport report,
+                                        const char* source) {
+  try {
+    report.partition = canon::lift(report.partition, task.canonical);
+  } catch (const std::exception& e) {
+    return error_json(std::string("router: lift failed: ") + e.what(),
+                      task.label, task.client_id);
+  }
+  // Soundness gate — cached snapshots and remote replies are inputs, not
+  // trusted state. An invalid certificate becomes an error, never a wrong
+  // answer.
+  if (!validate_partition(task.original, report.partition))
+    return error_json("router: invalid lifted certificate", task.label,
+                      task.client_id);
+  report.label = task.label;
+  report.upper_bound = report.partition.size();
+  report.add_telemetry("routed.backend", source);
+  if (task.failovers > 0)
+    report.add_telemetry("routed.failover",
+                         static_cast<std::uint64_t>(task.failovers));
+  return io::wire_response_json(report, task.include_partition,
+                                task.client_id);
+}
+
+/// Parse one client line and decide its path: immediate reply, passthrough
+/// forward, or canonical forward. Admission happens here, dispatch later.
+void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
+  if (line.find_first_not_of(" \t") == std::string::npos) {
+    task.skip = true;
+    return;
+  }
+  io::WireRequest wire;
+  try {
+    wire = io::parse_wire_request(line);
+  } catch (const std::exception& e) {
+    task.immediate =
+        error_json(e.what(), "", io::salvage_request_id(line));
+    task.immediate_is_error = true;
+    return;
+  }
+  task.client_id = wire.id;
+  if (wire.op == io::WireOp::Stats) {
+    task.immediate = stats_json(wire.id);
+    return;
+  }
+  task.label = wire.request.label;
+  task.include_partition = wire.include_partition;
+  if (!try_admit()) {
+    stat_rejected.fetch_add(1, std::memory_order_relaxed);
+    task.immediate =
+        error_json("overloaded: " + std::to_string(options.max_inflight) +
+                       " requests already in flight",
+                   task.label, task.client_id);
+    task.immediate_is_error = true;
+    return;
+  }
+  task.admitted = true;
+  task.router_id = next_id.fetch_add(1, std::memory_order_relaxed);
+
+  io::WireRequest forward = wire;
+  forward.id = static_cast<std::int64_t>(task.router_id);
+
+  if (wire.request.masked) {
+    // Masked patterns have no canonical form: forward verbatim, keyed by
+    // the raw pattern text alone — ids, labels, and knobs must not split
+    // the shard — so repeats of one masked pattern share a backend.
+    task.passthrough = true;
+    task.route_key = fnv1a64(io::render_pattern_text(wire.request));
+    task.backend_line = io::wire_request_json(forward);
+    return;
+  }
+
+  task.canonical_mode = true;
+  task.original = wire.request.matrix;
+  task.canonical = canon::canonicalize(wire.request.matrix);
+  task.strategy = wire.request.strategy;
+  task.l1_key = task.canonical.key.mixed_with(task.strategy);
+  // Shard by the pattern alone (not the strategy): every view of one
+  // canonical pattern warms the same backend.
+  task.route_key = task.canonical.key.hi ^
+                   (task.canonical.key.lo * 0x9e3779b97f4a7c15ULL);
+
+  // All-zero patterns canonicalize to an empty matrix that the wire format
+  // cannot carry; their answer is trivial, so the router owns it.
+  if (task.canonical.pattern.rows() == 0 ||
+      task.canonical.pattern.cols() == 0) {
+    engine::SolveReport report;
+    report.status = engine::Status::Optimal;
+    report.strategy = task.strategy;
+    task.immediate = render_report(task, std::move(report), "local");
+    return;
+  }
+
+  if (l1) {
+    std::optional<cache::CachedResult> hit =
+        l1->lookup(task.l1_key, task.strategy, task.canonical.pattern);
+    if (hit) {
+      stat_l1_hits.fetch_add(1, std::memory_order_relaxed);
+      engine::SolveReport report = std::move(hit->report);
+      report.add_telemetry("routed.l1", "hit");
+      task.immediate = render_report(task, std::move(report), "l1");
+      return;
+    }
+  }
+
+  // Forward the *canonical* pattern: the backend answers in canonical
+  // space (its own canon pass is then near-trivial), which is exactly the
+  // space the L1 stores and the lift consumes. The client's label stays
+  // here; the partition always rides along for the L1 insert.
+  forward.request.matrix = task.canonical.pattern;
+  forward.request.label.clear();
+  forward.include_partition = true;
+  task.backend_line = io::wire_request_json(forward);
+}
+
+/// First submission: walk the key's HRW preference list to the first live
+/// pool. False when every backend is down (immediate error reply).
+bool Router::Impl::dispatch(RouteTask& task) {
+  task.pending = std::make_shared<PendingReply>();
+  task.preference = ring.ordered(task.route_key);
+  for (std::size_t i = 0; i < task.preference.size(); ++i) {
+    BackendPool& pool = *pools[task.preference[i]];
+    if (pool.submit(task.router_id, task.backend_line, task.pending)) {
+      task.preference_cursor = i;
+      task.failovers += i > 0 ? 1 : 0;
+      if (i > 0) stat_failovers.fetch_add(1, std::memory_order_relaxed);
+      task.forwarded = true;
+      return true;
+    }
+  }
+  task.immediate = error_json(
+      "no live backend (" + std::to_string(pools.size()) + " configured)",
+      task.label, task.client_id);
+  task.immediate_is_error = true;
+  return false;
+}
+
+/// Block for this task's backend reply, failing over to the next live
+/// backend in HRW order when the serving connection breaks or times out.
+/// Returns the raw reply line, or an empty string when every backend was
+/// exhausted (the caller renders the error).
+std::string Router::Impl::await_reply(RouteTask& task) {
+  // Each failover re-walks the preference list from the slot after the
+  // one that failed; a bounded number of total attempts guards against a
+  // backend that accepts and immediately breaks, forever.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 2 * pools.size() + 2;
+  while (attempts++ < max_attempts) {
+    const double window = options.reply_timeout_seconds;
+    PendingReply::Outcome outcome;
+    if (window > 0) {
+      outcome = task.pending->wait(window);
+    } else {
+      // "Wait forever" still polls in slices, so a SIGTERM drain can
+      // interrupt a wait on a backend that will never answer.
+      do {
+        outcome = task.pending->wait(0.5);
+      } while (outcome == PendingReply::Outcome::TimedOut &&
+               !stopping.load(std::memory_order_relaxed));
+    }
+    if (outcome == PendingReply::Outcome::Reply) {
+      std::lock_guard<std::mutex> lock(task.pending->mutex);
+      return task.pending->line;
+    }
+    if (outcome == PendingReply::Outcome::TimedOut) {
+      // Withdraw the registration; a reply that raced the give-up still
+      // counts (served, not re-solved).
+      pools[task.preference[task.preference_cursor]]->forget(task.router_id);
+      if (task.pending->has_reply()) {
+        std::lock_guard<std::mutex> lock(task.pending->mutex);
+        return task.pending->line;
+      }
+    }
+    if (stopping.load(std::memory_order_relaxed)) break;
+    // The serving backend broke (or hung): resubmit to the next live one.
+    bool resubmitted = false;
+    for (std::size_t step = 1; step <= task.preference.size(); ++step) {
+      const std::size_t i =
+          (task.preference_cursor + step) % task.preference.size();
+      task.pending->reset();
+      if (pools[task.preference[i]]->submit(task.router_id, task.backend_line,
+                                            task.pending)) {
+        task.preference_cursor = i;
+        ++task.failovers;
+        stat_failovers.fetch_add(1, std::memory_order_relaxed);
+        resubmitted = true;
+        break;
+      }
+    }
+    if (!resubmitted) break;
+  }
+  return std::string();
+}
+
+/// Turn a raw backend reply into the client's reply line.
+std::string Router::Impl::finalize_reply(RouteTask& task,
+                                         const std::string& raw) {
+  if (raw.empty()) {
+    stat_errors.fetch_add(1, std::memory_order_relaxed);
+    return error_json("all backends unavailable", task.label, task.client_id);
+  }
+  if (task.passthrough) {
+    if (raw.rfind("{\"error\"", 0) == 0)
+      stat_errors.fetch_add(1, std::memory_order_relaxed);
+    else
+      stat_requests.fetch_add(1, std::memory_order_relaxed);
+    return net::with_id_prefix(raw, task.client_id);
+  }
+  if (raw.rfind("{\"error\"", 0) == 0) {
+    // A semantic backend error (unknown strategy, bad knobs): re-own it so
+    // the client sees its own label/id, and do not fail over — every
+    // backend would refuse the same request.
+    std::string message = "backend error";
+    try {
+      const io::json::Value document = io::json::Value::parse(raw);
+      if (const io::json::Value* error = document.find("error");
+          error != nullptr && error->is_string())
+        message = error->as_string();
+    } catch (const std::exception&) {
+    }
+    stat_errors.fetch_add(1, std::memory_order_relaxed);
+    return error_json(message, task.label, task.client_id);
+  }
+  engine::SolveReport report;
+  try {
+    report = io::parse_wire_response(raw, task.canonical.pattern.rows(),
+                                     task.canonical.pattern.cols());
+  } catch (const std::exception& e) {
+    stat_errors.fetch_add(1, std::memory_order_relaxed);
+    return error_json(std::string("router: bad backend reply: ") + e.what(),
+                      task.label, task.client_id);
+  }
+  // Insert the clean canonical-space report before stamping per-client
+  // routing telemetry; the partition must witness the canonical pattern.
+  if (l1 && validate_partition(task.canonical.pattern, report.partition))
+    l1->insert(task.l1_key, task.strategy, task.canonical.pattern, report);
+  const std::string endpoint =
+      pools[task.preference[task.preference_cursor]]->endpoint();
+  const std::string reply =
+      render_report(task, std::move(report), endpoint.c_str());
+  if (is_error_reply(reply))
+    stat_errors.fetch_add(1, std::memory_order_relaxed);
+  else
+    stat_requests.fetch_add(1, std::memory_order_relaxed);
+  return reply;
+}
+
+/// Pull the next micro-batch of client lines (same shape as the server's
+/// reader: block for one line, drain what is already pipelined).
+bool Router::Impl::read_batch(ClientConn& conn, net::LineBuffer& buffer,
+                              std::vector<std::string>& lines) {
+  lines.clear();
+  const auto extract = [&]() {
+    std::string line;
+    while (lines.size() < options.max_batch && buffer.pop(line))
+      lines.push_back(std::move(line));
+  };
+
+  char chunk[16384];
+  while (true) {
+    extract();
+    if (!lines.empty()) break;
+    if (buffer.size() > options.max_line_bytes) {
+      write_line(conn.fd, error_json("request line too long", ""));
+      return false;
+    }
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    std::string tail;
+    if (buffer.flush(tail)) {
+      lines.push_back(std::move(tail));
+      return true;
+    }
+    return false;
+  }
+
+  while (lines.size() < options.max_batch) {
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, MSG_DONTWAIT);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    extract();
+  }
+  return true;
+}
+
+/// One micro-batch: prepare every line, dispatch the forwards (they run
+/// concurrently on the backends — the pipelined fan-out), then await and
+/// write replies in line order. False when the client went away.
+bool Router::Impl::process_batch(ClientConn& conn,
+                                 const std::vector<std::string>& lines) {
+  std::vector<RouteTask> tasks(lines.size());
+  std::size_t admitted = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    prepare_task(lines[i], tasks[i]);
+    if (tasks[i].admitted) ++admitted;
+    if (tasks[i].admitted && tasks[i].immediate.empty()) dispatch(tasks[i]);
+  }
+
+  bool client_alive = true;
+  for (RouteTask& task : tasks) {
+    if (task.skip) continue;
+    std::string reply;
+    if (!task.immediate.empty()) {
+      reply = task.immediate;
+      if (task.immediate_is_error)
+        stat_errors.fetch_add(1, std::memory_order_relaxed);
+      else if (task.admitted || task.canonical_mode)
+        stat_requests.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      reply = finalize_reply(task, await_reply(task));
+    }
+    if (client_alive && !write_line(conn.fd, reply)) client_alive = false;
+    // A dead client still drains its remaining in-flight replies (the
+    // loop keeps awaiting) so admission slots and pending ids retire
+    // cleanly.
+  }
+  release_admitted(admitted);
+  return client_alive;
+}
+
+void Router::Impl::serve_client(const std::shared_ptr<ClientConn>& conn) {
+  net::LineBuffer buffer;
+  std::vector<std::string> lines;
+  while (!stopping.load(std::memory_order_relaxed) &&
+         read_batch(*conn, buffer, lines)) {
+    if (!process_batch(*conn, lines)) break;
+  }
+  // Deregister before closing: stop() shuts down fds it finds in the
+  // registry, and a closed fd number could already be reused elsewhere.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex);
+    for (std::size_t i = 0; i < connections.size(); ++i) {
+      if (connections[i].get() == conn.get()) {
+        connections.erase(connections.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  ::close(conn->fd);
+  conn->finished.store(true, std::memory_order_release);
+}
+
+void Router::Impl::reap_finished_threads() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex);
+    for (std::size_t i = 0; i < connection_threads.size();) {
+      if (connection_threads[i].conn->finished.load(
+              std::memory_order_acquire)) {
+        done.push_back(std::move(connection_threads[i].thread));
+        connection_threads.erase(connection_threads.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (std::thread& t : done)
+    if (t.joinable()) t.join();
+}
+
+void Router::Impl::accept_loop() {
+  while (!stopping.load(std::memory_order_relaxed)) {
+    reap_finished_threads();
+    const int fd = listener.accept_ready(100);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<ClientConn>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex);
+      connections.push_back(conn);
+    }
+    stat_connections.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(threads_mutex);
+    ConnThread worker;
+    worker.conn = conn;
+    worker.thread = std::thread([this, conn]() { serve_client(conn); });
+    connection_threads.push_back(std::move(worker));
+  }
+}
+
+void Router::Impl::health_loop() {
+  const long interval_ns = static_cast<long>(
+      std::max(1.0, options.health_interval_ms) * 1e6);
+  while (!stopping.load(std::memory_order_relaxed)) {
+    timespec nap{interval_ns / 1000000000L, interval_ns % 1000000000L};
+    ::nanosleep(&nap, nullptr);
+    for (auto& pool : pools) pool->maintain();
+  }
+}
+
+Router::Router(RouterOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Router::~Router() { stop(); }
+
+void Router::start() {
+  Impl& impl = *impl_;
+  if (impl.options.backends.empty())
+    throw std::runtime_error("router needs at least one --backend");
+  PoolOptions pool_options;
+  pool_options.connections = impl.options.pool_connections;
+  pool_options.backoff_base_ms = impl.options.backoff_base_ms;
+  pool_options.backoff_max_ms = impl.options.backoff_max_ms;
+  for (const std::string& endpoint : impl.options.backends) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!net::parse_endpoint(endpoint, host, port))
+      throw std::runtime_error("bad backend endpoint '" + endpoint +
+                               "' (want host:port)");
+    // The ring dedups by id; pools must stay index-aligned with it, so a
+    // repeated endpoint is dropped here rather than shadowing a shard.
+    const std::size_t index = impl.ring.add(host + ":" + std::to_string(port));
+    if (index < impl.pools.size()) continue;  // duplicate endpoint
+    impl.pools.push_back(
+        std::make_unique<BackendPool>(host, port, pool_options));
+  }
+  // Best-effort initial connects: a late backend just starts in backoff.
+  for (auto& pool : impl.pools) pool->maintain();
+
+  impl.listener.listen(impl.options.host, impl.options.port);
+  impl.stopping = false;
+  impl.running = true;
+  impl.accept_thread = std::thread([&impl]() { impl.accept_loop(); });
+  impl.health_thread = std::thread([&impl]() { impl.health_loop(); });
+}
+
+void Router::stop() {
+  Impl& impl = *impl_;
+  if (impl.stopping.exchange(true)) return;
+  if (!impl.running.load()) return;
+
+  // 1. No new clients.
+  impl.listener.shutdown_now();
+  if (impl.accept_thread.joinable()) impl.accept_thread.join();
+
+  // 2. Half-close client read sides: connection threads finish their
+  // in-flight batch (backend pools are still up, replies still flow) and
+  // then see EOF.
+  {
+    std::lock_guard<std::mutex> lock(impl.connections_mutex);
+    for (const auto& conn : impl.connections)
+      ::shutdown(conn->fd, SHUT_RD);
+  }
+  std::vector<Impl::ConnThread> workers;
+  {
+    std::lock_guard<std::mutex> lock(impl.threads_mutex);
+    workers.swap(impl.connection_threads);
+  }
+  for (Impl::ConnThread& w : workers)
+    if (w.thread.joinable()) w.thread.join();
+
+  // 3. Only now tear down the transport.
+  if (impl.health_thread.joinable()) impl.health_thread.join();
+  for (auto& pool : impl.pools) pool->shutdown();
+  impl.listener.close();
+  impl.running = false;
+}
+
+bool Router::running() const noexcept { return impl_->running.load(); }
+
+std::uint16_t Router::port() const noexcept { return impl_->listener.port(); }
+
+RouterStats Router::stats() const {
+  RouterStats out;
+  out.connections = impl_->stat_connections.load(std::memory_order_relaxed);
+  out.requests = impl_->stat_requests.load(std::memory_order_relaxed);
+  out.errors = impl_->stat_errors.load(std::memory_order_relaxed);
+  out.rejected = impl_->stat_rejected.load(std::memory_order_relaxed);
+  out.l1_hits = impl_->stat_l1_hits.load(std::memory_order_relaxed);
+  out.failovers = impl_->stat_failovers.load(std::memory_order_relaxed);
+  for (const auto& pool : impl_->pools) {
+    const PoolStats stats = pool->stats();
+    BackendHealth health;
+    health.endpoint = pool->endpoint();
+    health.alive = stats.alive;
+    health.requests = stats.requests;
+    health.failures = stats.failures;
+    out.backends.push_back(std::move(health));
+  }
+  return out;
+}
+
+const std::shared_ptr<cache::ResultCache>& Router::l1() const noexcept {
+  return impl_->l1;
+}
+
+// ---- route_forever --------------------------------------------------------
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int sig) { g_signal = sig; }
+
+}  // namespace
+
+int route_forever(const RouterOptions& options, std::ostream& log) {
+  Router router(options);
+
+  if (!options.cache_file.empty() && router.l1()) {
+    std::string warning;
+    const std::size_t loaded =
+        router.l1()->load_file(options.cache_file, &warning);
+    if (!warning.empty()) log << "cache-file: " << warning << std::endl;
+    if (loaded > 0)
+      log << "cache-file: reloaded " << loaded << " entries from "
+          << options.cache_file << std::endl;
+  }
+
+  try {
+    router.start();
+  } catch (const std::exception& e) {
+    log << "error: " << e.what() << "\n";
+    return 1;
+  }
+
+  g_signal = 0;
+  struct sigaction action{};
+  action.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  log << "ebmf router listening on " << options.host << ":" << router.port()
+      << " over " << options.backends.size() << " backends (l1-mb="
+      << options.l1_mb << ", max-inflight=" << options.max_inflight << ")"
+      << std::endl;
+
+  while (g_signal == 0) {
+    timespec nap{0, 100 * 1000 * 1000};
+    ::nanosleep(&nap, nullptr);
+  }
+
+  log << "signal " << static_cast<int>(g_signal) << " received, draining"
+      << std::endl;
+  router.stop();
+  const RouterStats stats = router.stats();
+  log << "routed " << stats.requests << " requests, " << stats.errors
+      << " errors, " << stats.rejected << " rejected, " << stats.l1_hits
+      << " l1 hits, " << stats.failovers << " failovers, across "
+      << stats.connections << " connections" << std::endl;
+  for (const BackendHealth& backend : stats.backends)
+    log << "  backend " << backend.endpoint << ": "
+        << (backend.alive ? "alive" : "down") << ", " << backend.requests
+        << " requests, " << backend.failures << " failures" << std::endl;
+
+  if (!options.cache_file.empty() && router.l1()) {
+    std::string error;
+    if (router.l1()->save_file(options.cache_file, &error)) {
+      log << "cache-file: saved " << router.l1()->stats().entries
+          << " entries to " << options.cache_file << std::endl;
+    } else {
+      log << "cache-file: " << error << std::endl;
+    }
+  }
+  return 0;
+}
+
+}  // namespace ebmf::router

@@ -1,0 +1,135 @@
+#pragma once
+/// \file router.h
+/// \brief `ebmf::router` — the canon-key sharding front tier
+/// (`ebmf route`): one address that makes N `ebmf serve` backends behave
+/// like a single coherent result cache.
+///
+/// The paper's FTQC workload is dominated by permuted repeats of a small
+/// set of canonical factorization patterns. A single server already
+/// collapses those through `ebmf::canon` + the sharded LRU; the router
+/// extends the same idea across processes and machines:
+///
+///  * **Canonical sharding.** The router speaks the exact client protocol
+///    (line-JSON, request order preserved per connection) and computes
+///    `canon::CacheKey` *locally* for every dense request, then picks the
+///    backend by rendezvous hashing on the key (ring.h). Permuted
+///    duplicates therefore always land on the same backend's cache, no
+///    matter which client sent them. Forwarded requests carry the
+///    *canonical* pattern — backends answer in canonical space, which is
+///    what the router's own cache stores — and the router lifts the
+///    returned partition back through the requester's permutation record
+///    before replying (certificates transfer exactly; every lifted
+///    partition is re-validated).
+///  * **L1 cache.** An in-process `ebmf::cache::ResultCache` sits in front
+///    of the fan-out: a repeat the router has already seen is answered
+///    without touching a backend (`routed.l1: "hit"` telemetry), and the
+///    snapshot persistence (`--cache-file`) survives restarts.
+///  * **Failover.** Per-backend persistent connection pools (pool.h)
+///    pipeline requests under router-assigned ids. A broken backend fails
+///    its in-flight replies immediately; the owning connection threads
+///    resubmit to the next live backend in the key's HRW order, so a
+///    killed backend loses no accepted request. Degraded replies carry
+///    `routed.failover` telemetry; reconnects follow exponential backoff
+///    driven by a health thread.
+///  * **Admission control.** The same global max-inflight scheme as
+///    service.cpp: past the limit, requests get an `overloaded` error
+///    instead of queueing unboundedly.
+///
+/// Masked (don't-care) requests bypass canonicalization — they are
+/// forwarded verbatim (keyed by raw pattern text, so repeats still share a
+/// backend) and their replies pass through untouched. `{"op":"stats"}`
+/// answers locally with router counters, L1 counters, and per-backend
+/// health.
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/cache.h"
+
+namespace ebmf::router {
+
+/// Knobs of one router instance (CLI flags map 1:1).
+struct RouterOptions {
+  std::uint16_t port = 7500;       ///< 0 = pick an ephemeral port.
+  std::string host = "127.0.0.1";  ///< Bind address.
+  /// Backend endpoints ("host:port"), the shard set. At least one.
+  std::vector<std::string> backends;
+  double l1_mb = 64.0;        ///< Router-local result cache (0 = off).
+  std::string cache_file;     ///< L1 snapshot path ("" = no persistence).
+  std::size_t max_inflight = 256;  ///< Global admission limit.
+  std::size_t max_batch = 32;      ///< Pipelined lines read per batch.
+  std::size_t max_line_bytes = 4u << 20;  ///< Oversized-line guard.
+  std::size_t pool_connections = 1;  ///< Sockets per backend.
+  /// Give up on a backend reply after this long and fail over (a hung
+  /// backend must not wedge a client thread forever). 0 = wait forever.
+  double reply_timeout_seconds = 30.0;
+  double backoff_base_ms = 50.0;   ///< Reconnect backoff start.
+  double backoff_max_ms = 2000.0;  ///< Reconnect backoff ceiling.
+  double health_interval_ms = 100.0;  ///< Health/reconnect thread cadence.
+};
+
+/// Point-in-time health + counters of one backend.
+struct BackendHealth {
+  std::string endpoint;
+  bool alive = false;
+  std::uint64_t requests = 0;  ///< Lines submitted to this backend.
+  std::uint64_t failures = 0;  ///< Connection breaks observed.
+};
+
+/// Router counters (stats verb, drain report, tests).
+struct RouterStats {
+  std::uint64_t connections = 0;  ///< Client connections accepted.
+  std::uint64_t requests = 0;     ///< Lines answered with a report.
+  std::uint64_t errors = 0;       ///< Lines answered with an error.
+  std::uint64_t rejected = 0;     ///< Shed by admission control.
+  std::uint64_t l1_hits = 0;      ///< Answered from the router's cache.
+  std::uint64_t failovers = 0;    ///< Resubmits after a backend failure.
+  std::vector<BackendHealth> backends;
+};
+
+/// The front tier. Thread-safe; start() once, stop() once (destructor
+/// stops too).
+class Router {
+ public:
+  explicit Router(RouterOptions options);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Bind, connect the backend pools (best effort — a down backend just
+  /// starts in backoff), and launch the accept/health threads. Throws
+  /// std::runtime_error on an unusable address, no backends, or a
+  /// malformed endpoint.
+  void start();
+
+  /// Graceful drain: stop accepting, close backend pools (in-flight
+  /// replies fail fast), answer what can be answered, join every thread.
+  /// Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept;
+
+  /// The port actually bound (resolves port 0 after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  [[nodiscard]] RouterStats stats() const;
+
+  /// The router-local result cache (null when --l1-mb=0).
+  [[nodiscard]] const std::shared_ptr<cache::ResultCache>& l1()
+      const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Run a router until SIGTERM/SIGINT, then drain and report on `log`.
+/// Returns a process exit code (0 on a clean drain). Loads/saves the L1
+/// snapshot when options.cache_file is set. The `ebmf route` entry point.
+int route_forever(const RouterOptions& options, std::ostream& log);
+
+}  // namespace ebmf::router

@@ -4,10 +4,17 @@
 #include "service/cache.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
 #include <list>
 #include <mutex>
+#include <sstream>
 #include <unordered_map>
 #include <utility>
+
+#include "io/json.h"
+#include "io/request_io.h"
 
 namespace ebmf::cache {
 
@@ -198,6 +205,130 @@ void ResultCache::clear() {
 
 std::size_t ResultCache::capacity_bytes() const noexcept {
   return impl_->options.capacity_bytes;
+}
+
+// ---- persistence -----------------------------------------------------------
+
+namespace {
+
+constexpr int kSnapshotVersion = 1;
+
+/// Parse the 32-hex-digit key rendering (hi then lo) back into a CacheKey.
+bool key_from_hex(const std::string& hex, canon::CacheKey& key) {
+  if (hex.size() != 32) return false;
+  for (const char c : hex)
+    if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
+  key.hi = std::strtoull(hex.substr(0, 16).c_str(), nullptr, 16);
+  key.lo = std::strtoull(hex.substr(16, 16).c_str(), nullptr, 16);
+  return true;
+}
+
+/// Rows joined with ';' — the dense pattern text BinaryMatrix::parse reads.
+std::string pattern_text(const BinaryMatrix& m) {
+  std::string text;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    if (i != 0) text += ';';
+    text += m.row(i).to_string();
+  }
+  return text;
+}
+
+}  // namespace
+
+bool ResultCache::save_file(const std::string& path,
+                            std::string* error) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot write '" + path + "'";
+    return false;
+  }
+  out << "{\"ebmf_cache\":" << kSnapshotVersion << "}\n";
+  for (auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // Back-to-front: LRU first, so reload (insert order = recency) ends
+    // with the hottest entries freshest.
+    for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+      out << "{\"cache_key\":\"" << it->key.hex() << "\",\"strategy\":\""
+          << io::json::escape(it->strategy) << "\",\"pattern\":\""
+          << io::json::escape(pattern_text(it->pattern)) << "\",\"report\":"
+          << io::wire_response_json(it->report, /*include_partition=*/true)
+          << "}\n";
+    }
+  }
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "short write to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+std::size_t ResultCache::load_file(const std::string& path,
+                                   std::string* warning) {
+  const auto warn = [&](const std::string& message) {
+    if (warning != nullptr && warning->empty()) *warning = message;
+  };
+  std::ifstream in(path);
+  if (!in) {
+    warn("no snapshot at '" + path + "' (starting cold)");
+    return 0;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    warn("empty snapshot '" + path + "' ignored");
+    return 0;
+  }
+  try {
+    const io::json::Value header = io::json::Value::parse(line);
+    const io::json::Value* version = header.find("ebmf_cache");
+    if (version == nullptr || !version->is_number() ||
+        static_cast<int>(version->as_number()) != kSnapshotVersion) {
+      warn("snapshot '" + path + "' has an unsupported version; ignored");
+      return 0;
+    }
+  } catch (const std::exception&) {
+    warn("snapshot '" + path + "' is not an ebmf cache file; ignored");
+    return 0;
+  }
+
+  std::size_t loaded = 0;
+  std::size_t skipped = 0;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      const io::json::Value entry = io::json::Value::parse(line);
+      const io::json::Value* key_field = entry.find("cache_key");
+      const io::json::Value* strategy_field = entry.find("strategy");
+      const io::json::Value* pattern_field = entry.find("pattern");
+      const io::json::Value* report_field = entry.find("report");
+      if (key_field == nullptr || !key_field->is_string() ||
+          strategy_field == nullptr || !strategy_field->is_string() ||
+          pattern_field == nullptr || !pattern_field->is_string() ||
+          report_field == nullptr)
+        throw std::runtime_error("missing entry fields");
+      canon::CacheKey key;
+      if (!key_from_hex(key_field->as_string(), key))
+        throw std::runtime_error("bad cache_key");
+      const BinaryMatrix pattern =
+          BinaryMatrix::parse(pattern_field->as_string());
+      engine::SolveReport report = io::parse_wire_response(
+          *report_field, pattern.rows(), pattern.cols());
+      // Soundness gate: a snapshot is untrusted input. The partition must
+      // still be a valid witness of the stored pattern.
+      if (!validate_partition(pattern, report.partition))
+        throw std::runtime_error("invalid partition certificate");
+      if (report.partition.empty() && pattern.ones_count() > 0)
+        throw std::runtime_error("missing partition certificate");
+      insert(key, strategy_field->as_string(), pattern, report);
+      ++loaded;
+    } catch (const std::exception&) {
+      ++skipped;
+    }
+  }
+  if (skipped > 0)
+    warn("snapshot '" + path + "': skipped " + std::to_string(skipped) +
+         " corrupt entries");
+  return loaded;
 }
 
 }  // namespace ebmf::cache

@@ -96,6 +96,27 @@ class ResultCache {
 
   [[nodiscard]] std::size_t capacity_bytes() const noexcept;
 
+  // ---- persistence across restarts -------------------------------------
+  //
+  // Snapshot format: line 1 is the versioned header
+  // `{"ebmf_cache":1}`; every further line is one entry,
+  // `{"cache_key":"<32 hex>","strategy":"...","pattern":"rows;...",
+  //   "report":{<wire response JSON, partition attached>}}`.
+  // The pattern is the *canonical* pattern, so a reloaded entry serves the
+  // same permuted repeats as the live one did, certificates intact.
+
+  /// Write every resident entry (LRU order preserved: the snapshot replays
+  /// oldest-first so reloaded recency matches). False + `error` on I/O
+  /// failure.
+  bool save_file(const std::string& path, std::string* error = nullptr) const;
+
+  /// Reload a snapshot written by save_file. Returns the number of entries
+  /// inserted. A missing file, a bad header, or a version mismatch ignores
+  /// the whole file with a warning in `warning`; a corrupt entry line (bad
+  /// JSON, invalid partition, depth mismatch) is skipped and noted there
+  /// too — a damaged snapshot can cost hits, never correctness.
+  std::size_t load_file(const std::string& path, std::string* warning);
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

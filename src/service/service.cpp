@@ -1,12 +1,10 @@
 // The line-JSON solver server: accept/connection/watchdog threads,
 // micro-batched solving through the engine pool, admission control, and
-// cancellation wiring (client disconnects, SIGTERM drain).
+// cancellation wiring (client disconnects, SIGTERM drain). Socket and
+// line-framing plumbing is shared with the router via service/net.h.
 
 #include "service/service.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -19,6 +17,7 @@
 #include <mutex>
 #include <optional>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -26,14 +25,14 @@
 
 #include "io/json.h"
 #include "io/request_io.h"
+#include "service/net.h"
 
 namespace ebmf::service {
 
 namespace {
 
-[[noreturn]] void sys_fail(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
-}
+using net::error_json;
+using net::write_line;
 
 /// Per-connection state shared between its reader thread and the watchdog.
 struct Connection {
@@ -50,30 +49,6 @@ struct Connection {
   std::atomic<bool> finished{false};
 };
 
-/// `{"error": "...", "label": "..."}` — the protocol's failure reply.
-std::string error_json(const std::string& message, const std::string& label) {
-  std::string out = "{\"error\":\"" + io::json::escape(message) + "\"";
-  if (!label.empty()) out += ",\"label\":\"" + io::json::escape(label) + "\"";
-  out += "}";
-  return out;
-}
-
-/// Send `line` + '\n' fully; false when the peer is gone.
-bool write_line(int fd, std::string line) {
-  line += '\n';
-  std::size_t sent = 0;
-  while (sent < line.size()) {
-    const ssize_t n =
-        ::send(fd, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
 }  // namespace
 
 struct Server::Impl {
@@ -86,8 +61,7 @@ struct Server::Impl {
   ServerOptions options;
   engine::Engine engine;
 
-  int listen_fd = -1;
-  std::uint16_t bound_port = 0;
+  net::TcpListener listener;
   std::atomic<bool> running{false};
   std::atomic<bool> stopping{false};
 
@@ -127,7 +101,8 @@ struct Server::Impl {
     if (count > 0) inflight.fetch_sub(count, std::memory_order_relaxed);
   }
 
-  bool read_batch(Connection& conn, std::string& buffer,
+  std::string stats_json(std::int64_t id) const;
+  bool read_batch(Connection& conn, net::LineBuffer& buffer,
                   std::vector<std::string>& lines);
   bool process_batch(Connection& conn, const std::vector<std::string>& lines);
   void serve_connection(const std::shared_ptr<Connection>& conn);
@@ -135,6 +110,33 @@ struct Server::Impl {
   void accept_loop();
   void watchdog_loop();
 };
+
+/// The `{"op":"stats"}` reply: server counters + cache counters, one line.
+std::string Server::Impl::stats_json(std::int64_t id) const {
+  std::ostringstream out;
+  out << "{";
+  if (id >= 0) out << "\"id\":" << id << ",";
+  out << "\"stats\":true,\"role\":\"server\",\"server\":{"
+      << "\"connections\":" << stat_connections.load(std::memory_order_relaxed)
+      << ",\"requests\":" << stat_requests.load(std::memory_order_relaxed)
+      << ",\"errors\":" << stat_errors.load(std::memory_order_relaxed)
+      << ",\"rejected\":" << stat_rejected.load(std::memory_order_relaxed)
+      << ",\"inflight\":" << inflight.load(std::memory_order_relaxed)
+      << ",\"max_inflight\":" << options.max_inflight << "}";
+  if (engine.cache()) {
+    const cache::CacheStats stats = engine.cache()->stats();
+    out << ",\"cache\":{\"hits\":" << stats.hits
+        << ",\"misses\":" << stats.misses
+        << ",\"evictions\":" << stats.evictions
+        << ",\"insertions\":" << stats.insertions
+        << ",\"entries\":" << stats.entries << ",\"bytes\":" << stats.bytes
+        << ",\"capacity_bytes\":" << engine.cache()->capacity_bytes() << "}";
+  } else {
+    out << ",\"cache\":null";
+  }
+  out << "}";
+  return out.str();
+}
 
 /// Join and drop the reader threads of connections that have finished.
 /// Called from the accept loop on every wakeup (at least every poll
@@ -165,21 +167,14 @@ void Server::Impl::reap_finished_threads() {
 /// first complete line, then opportunistically drain whatever pipelined
 /// lines are already queued (up to max_batch). False on EOF/overflow with
 /// nothing left to process.
-bool Server::Impl::read_batch(Connection& conn, std::string& buffer,
+bool Server::Impl::read_batch(Connection& conn, net::LineBuffer& buffer,
                               std::vector<std::string>& lines) {
   Impl& impl = *this;
   lines.clear();
   const auto extract = [&]() {
-    std::size_t start = 0;
-    while (lines.size() < impl.options.max_batch) {
-      const std::size_t nl = buffer.find('\n', start);
-      if (nl == std::string::npos) break;
-      std::string line = buffer.substr(start, nl - start);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string line;
+    while (lines.size() < impl.options.max_batch && buffer.pop(line))
       lines.push_back(std::move(line));
-      start = nl + 1;
-    }
-    buffer.erase(0, start);
   };
 
   char chunk[16384];
@@ -198,9 +193,9 @@ bool Server::Impl::read_batch(Connection& conn, std::string& buffer,
     if (n < 0 && errno == EINTR) continue;
     // EOF (or a dead socket): a trailing unterminated line still counts —
     // `printf '...' | nc` clients do not always send the final newline.
-    if (!buffer.empty()) {
-      lines.push_back(std::move(buffer));
-      buffer.clear();
+    std::string tail;
+    if (buffer.flush(tail)) {
+      lines.push_back(std::move(tail));
       return true;
     }
     return false;
@@ -223,6 +218,8 @@ struct PendingLine {
   bool skip = false;      ///< Blank line: no response at all.
   std::string error;      ///< Non-empty: reply with error_json.
   std::string label;      ///< For error replies.
+  std::int64_t id = -1;   ///< Correlation id echoed into the reply.
+  std::string immediate;  ///< Pre-rendered reply (the stats verb).
   bool admitted = false;
   bool split = false;
   bool include_partition = false;
@@ -253,6 +250,15 @@ bool Server::Impl::process_batch(Connection& conn,
       wire = io::parse_wire_request(lines[i]);
     } catch (const std::exception& e) {
       p.error = e.what();
+      // A client (or the router) correlating by id needs it echoed even
+      // on a rejected request.
+      p.id = io::salvage_request_id(lines[i]);
+      continue;
+    }
+    p.id = wire.id;
+    if (wire.op == io::WireOp::Stats) {
+      // Admin verb: answered from counters, never admitted or solved.
+      p.immediate = impl.stats_json(wire.id);
       continue;
     }
     p.label = wire.request.label;
@@ -302,8 +308,10 @@ bool Server::Impl::process_batch(Connection& conn,
   for (PendingLine& p : pending) {
     if (p.skip) continue;
     std::string reply;
-    if (!p.error.empty()) {
-      reply = error_json(p.error, p.label);
+    if (!p.immediate.empty()) {
+      reply = p.immediate;
+    } else if (!p.error.empty()) {
+      reply = error_json(p.error, p.label, p.id);
       impl.stat_errors.fetch_add(1, std::memory_order_relaxed);
     } else {
       const engine::SolveReport& report =
@@ -311,10 +319,10 @@ bool Server::Impl::process_batch(Connection& conn,
       // solve_batch converts per-request failures (unknown strategy) into
       // "error" telemetry; surface those as protocol errors too.
       if (const std::string* error = report.find_telemetry("error")) {
-        reply = error_json(*error, report.label);
+        reply = error_json(*error, report.label, p.id);
         impl.stat_errors.fetch_add(1, std::memory_order_relaxed);
       } else {
-        reply = io::wire_response_json(report, p.include_partition);
+        reply = io::wire_response_json(report, p.include_partition, p.id);
         impl.stat_requests.fetch_add(1, std::memory_order_relaxed);
       }
     }
@@ -325,13 +333,14 @@ bool Server::Impl::process_batch(Connection& conn,
 
 void Server::Impl::serve_connection(const std::shared_ptr<Connection>& conn) {
   Impl& impl = *this;
-  std::string buffer;
+  net::LineBuffer buffer;
   std::vector<std::string> lines;
   while (!impl.stopping.load(std::memory_order_relaxed) &&
          read_batch(*conn, buffer, lines)) {
     if (!process_batch(*conn, lines)) break;
   }
-  ::close(conn->fd);
+  // Deregister before closing: stop() and the watchdog touch fds they
+  // find in the registry, and a closed fd number could already be reused.
   {
     std::lock_guard<std::mutex> lock(impl.connections_mutex);
     auto& registry = impl.connections;
@@ -342,6 +351,7 @@ void Server::Impl::serve_connection(const std::shared_ptr<Connection>& conn) {
       }
     }
   }
+  ::close(conn->fd);
   // Last action: hand the thread handle to the accept loop's reaper.
   conn->finished.store(true, std::memory_order_release);
 }
@@ -350,10 +360,7 @@ void Server::Impl::accept_loop() {
   Impl& impl = *this;
   while (!impl.stopping.load(std::memory_order_relaxed)) {
     impl.reap_finished_threads();
-    pollfd waiter{impl.listen_fd, POLLIN, 0};
-    const int ready = ::poll(&waiter, 1, 100);
-    if (ready <= 0) continue;
-    const int fd = ::accept(impl.listen_fd, nullptr, nullptr);
+    const int fd = impl.listener.accept_ready(100);
     if (fd < 0) continue;
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
@@ -404,37 +411,7 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   Impl& impl = *impl_;
-  impl.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (impl.listen_fd < 0) sys_fail("socket");
-  const int yes = 1;
-  ::setsockopt(impl.listen_fd, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof yes);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(impl.options.port);
-  if (::inet_pton(AF_INET, impl.options.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(impl.listen_fd);
-    impl.listen_fd = -1;
-    throw std::runtime_error("bad bind address '" + impl.options.host + "'");
-  }
-  if (::bind(impl.listen_fd, reinterpret_cast<sockaddr*>(&addr),
-             sizeof addr) != 0) {
-    const int saved = errno;
-    ::close(impl.listen_fd);
-    impl.listen_fd = -1;
-    errno = saved;
-    sys_fail("bind " + impl.options.host + ":" +
-             std::to_string(impl.options.port));
-  }
-  if (::listen(impl.listen_fd, SOMAXCONN) != 0) {
-    ::close(impl.listen_fd);
-    impl.listen_fd = -1;
-    sys_fail("listen");
-  }
-  socklen_t len = sizeof addr;
-  ::getsockname(impl.listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
-  impl.bound_port = ntohs(addr.sin_port);
-
+  impl.listener.listen(impl.options.host, impl.options.port);
   impl.stopping = false;
   impl.running = true;
   impl.accept_thread = std::thread([&impl]() { impl.accept_loop(); });
@@ -447,7 +424,7 @@ void Server::stop() {
   if (!impl.running.load()) return;
 
   // 1. No new connections: wake the accept loop and retire it.
-  if (impl.listen_fd >= 0) ::shutdown(impl.listen_fd, SHUT_RDWR);
+  impl.listener.shutdown_now();
   if (impl.accept_thread.joinable()) impl.accept_thread.join();
 
   // 2. Drain: cancel every in-flight budget (anytime results come back
@@ -469,16 +446,13 @@ void Server::stop() {
     if (w.thread.joinable()) w.thread.join();
 
   if (impl.watchdog_thread.joinable()) impl.watchdog_thread.join();
-  if (impl.listen_fd >= 0) {
-    ::close(impl.listen_fd);
-    impl.listen_fd = -1;
-  }
+  impl.listener.close();
   impl.running = false;
 }
 
 bool Server::running() const noexcept { return impl_->running.load(); }
 
-std::uint16_t Server::port() const noexcept { return impl_->bound_port; }
+std::uint16_t Server::port() const noexcept { return impl_->listener.port(); }
 
 ServerStats Server::stats() const {
   ServerStats out;
@@ -497,31 +471,33 @@ const ServerOptions& Server::options() const noexcept {
 
 // ---- Client ---------------------------------------------------------------
 
-Client::Client(const std::string& host, std::uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) sys_fail("socket");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error("bad host '" + host + "'");
-  }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    const int saved = errno;
-    ::close(fd_);
-    fd_ = -1;
-    errno = saved;
-    sys_fail("connect " + host + ":" + std::to_string(port));
-  }
+Client::Client(const std::string& host, std::uint16_t port)
+    : host_(host), port_(port) {
+  fd_ = net::tcp_connect(host, port);
 }
 
 Client::~Client() { close(); }
 
+bool Client::reconnect() {
+  close();
+  buffer_.clear();
+  try {
+    fd_ = net::tcp_connect(host_, port_);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
 void Client::send_line(const std::string& line) {
   if (fd_ < 0) throw std::runtime_error("client is closed");
-  if (!write_line(fd_, line)) sys_fail("send");
+  if (write_line(fd_, line)) return;
+  // A reset peer (restarting backend, failed-over router) is retried once
+  // over a fresh connection; any other failure propagates immediately.
+  if ((errno == ECONNRESET || errno == EPIPE) && reconnect() &&
+      write_line(fd_, line))
+    return;
+  net::sys_fail("send");
 }
 
 std::string Client::read_line() {
@@ -551,8 +527,17 @@ std::string Client::read_line() {
 }
 
 std::string Client::round_trip(const std::string& line) {
-  send_line(line);
-  return read_line();
+  try {
+    send_line(line);
+    return read_line();
+  } catch (const std::runtime_error&) {
+    // The connection died between send and reply (peer restarted). Solve
+    // and stats requests are idempotent, so re-send once over a fresh
+    // connection; a second failure propagates.
+    if (!reconnect()) throw;
+    send_line(line);
+    return read_line();
+  }
 }
 
 void Client::close() {
@@ -574,6 +559,18 @@ void on_signal(int sig) { g_signal = sig; }
 
 int serve_forever(const ServerOptions& options, std::ostream& log) {
   Server server(options);
+
+  // Cache persistence: reload the previous run's snapshot before serving.
+  if (!options.cache_file.empty() && server.engine().cache()) {
+    std::string warning;
+    const std::size_t loaded =
+        server.engine().cache()->load_file(options.cache_file, &warning);
+    if (!warning.empty()) log << "cache-file: " << warning << std::endl;
+    if (loaded > 0)
+      log << "cache-file: reloaded " << loaded << " entries from "
+          << options.cache_file << std::endl;
+  }
+
   try {
     server.start();
   } catch (const std::exception& e) {
@@ -610,6 +607,18 @@ int serve_forever(const ServerOptions& options, std::ostream& log) {
         << " misses / " << cache_stats.evictions << " evictions";
   }
   log << std::endl;
+
+  // Snapshot the drained cache so the next start answers warm.
+  if (!options.cache_file.empty() && server.engine().cache()) {
+    std::string error;
+    if (server.engine().cache()->save_file(options.cache_file, &error)) {
+      log << "cache-file: saved "
+          << server.engine().cache()->stats().entries << " entries to "
+          << options.cache_file << std::endl;
+    } else {
+      log << "cache-file: " << error << std::endl;
+    }
+  }
   return 0;
 }
 

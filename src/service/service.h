@@ -54,6 +54,11 @@ struct ServerOptions {
   double budget_ceiling_seconds = 10.0;
   std::size_t max_batch = 32;  ///< Pipelined lines solved per batch.
   std::size_t max_line_bytes = 4u << 20;  ///< Oversized-line guard.
+  /// Cache persistence across restarts: when non-empty, serve_forever
+  /// reloads the result cache from this snapshot on start (corrupt or
+  /// version-mismatched files are ignored with a warning) and rewrites it
+  /// after the SIGTERM drain.
+  std::string cache_file;
 };
 
 /// Point-in-time server counters (drain report, tests).
@@ -102,6 +107,14 @@ class Server {
 
 /// A minimal blocking client for the wire protocol: one connection, line
 /// round-trips. Used by `ebmf client`, the tests, and the smoke job.
+///
+/// Resilience: a send that fails with a connection reset (ECONNRESET /
+/// EPIPE — the peer was restarted) retries once after a fresh connect, and
+/// round_trip() re-sends its line once when the reply side reports EOF or a
+/// reset, so a router failover or a quick backend restart is invisible to a
+/// blocking caller. Solve requests are idempotent, which makes the one
+/// re-send safe; only one reconnect is attempted before the error
+/// propagates.
 class Client {
  public:
   /// Connect (throws std::runtime_error on refusal/timeout).
@@ -111,19 +124,27 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Send one request line (newline appended if missing).
+  /// Send one request line (newline appended if missing). Retries once
+  /// over a fresh connection when the send hits ECONNRESET/EPIPE.
   void send_line(const std::string& line);
 
   /// Block for the next response line. Throws on server EOF.
   std::string read_line();
 
-  /// send_line + read_line.
+  /// send_line + read_line, with one reconnect + re-send when the
+  /// connection died between the two.
   std::string round_trip(const std::string& line);
 
   /// Half-close the sending side / tear down the connection.
   void close();
 
  private:
+  /// Tear down and re-establish the connection. False when the peer
+  /// refuses (the original error should propagate then).
+  bool reconnect();
+
+  std::string host_;
+  std::uint16_t port_ = 0;
   int fd_ = -1;
   std::string buffer_;
 };

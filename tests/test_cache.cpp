@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <thread>
 
 #include "benchgen/generators.h"
@@ -255,6 +259,142 @@ TEST(EngineCache, ConcurrentHammeringStaysConsistent) {
   const auto stats = engine.cache()->stats();
   EXPECT_GE(stats.hits, 1u);
   EXPECT_EQ(stats.hits + stats.misses, 64u);
+}
+
+// ---- persistence ----------------------------------------------------------
+
+namespace {
+
+/// A scratch snapshot path unique to this test process.
+std::string snapshot_path(const char* name) {
+  return ::testing::TempDir() + "ebmf_cache_" + name + "_" +
+         std::to_string(::getpid()) + ".jsonl";
+}
+
+}  // namespace
+
+TEST(CachePersistence, SaveThenLoadRoundTripsEntries) {
+  const std::string path = snapshot_path("roundtrip");
+  const auto a = canon::canonicalize(BinaryMatrix::parse("110;011;111"));
+  const auto b = canon::canonicalize(BinaryMatrix::parse("1010;0101"));
+  {
+    ResultCache cache(ResultCache::Options{});
+    auto optimal = toy_report(a.pattern);
+    optimal.status = engine::Status::Optimal;
+    optimal.lower_bound = optimal.upper_bound;
+    optimal.add_telemetry("sat.conflicts", "12");
+    cache.insert(a.key.mixed_with("auto"), "auto", a.pattern, optimal);
+    cache.insert(b.key.mixed_with("sap"), "sap", b.pattern,
+                 toy_report(b.pattern));
+    std::string error;
+    ASSERT_TRUE(cache.save_file(path, &error)) << error;
+  }
+  ResultCache reloaded(ResultCache::Options{});
+  std::string warning;
+  EXPECT_EQ(reloaded.load_file(path, &warning), 2u);
+  EXPECT_TRUE(warning.empty()) << warning;
+
+  const auto hit = reloaded.lookup(a.key.mixed_with("auto"), "auto",
+                                   a.pattern);
+  ASSERT_TRUE(hit.has_value());
+  // The certificate survived the round trip intact.
+  EXPECT_EQ(hit->report.status, engine::Status::Optimal);
+  EXPECT_EQ(hit->report.depth(), 3u);
+  EXPECT_TRUE(validate_partition(a.pattern, hit->report.partition).ok);
+  ASSERT_NE(hit->report.find_telemetry("sat.conflicts"), nullptr);
+  EXPECT_TRUE(reloaded
+                  .lookup(b.key.mixed_with("sap"), "sap", b.pattern)
+                  .has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CachePersistence, ReloadedEntriesServeTheEngineWithCertificates) {
+  const std::string path = snapshot_path("engine");
+  const BinaryMatrix pattern = BinaryMatrix::parse("1110;0111;1111");
+  {
+    engine::Engine engine;
+    engine.set_cache(ResultCache::with_capacity_mb(8));
+    const auto cold =
+        engine.solve(engine::SolveRequest::dense(pattern, "auto"));
+    EXPECT_EQ(cold.status, engine::Status::Optimal);
+    std::string error;
+    ASSERT_TRUE(engine.cache()->save_file(path, &error)) << error;
+  }
+  engine::Engine restarted;
+  restarted.set_cache(ResultCache::with_capacity_mb(8));
+  std::string warning;
+  ASSERT_GE(restarted.cache()->load_file(path, &warning), 1u);
+  // A *column-permuted* duplicate after the "restart" is a warm hit with
+  // the optimality certificate intact.
+  const auto warm = restarted.solve(
+      engine::SolveRequest::dense(BinaryMatrix::parse("1101;1011;1111"),
+                                  "auto"));
+  const std::string* hit = warm.find_telemetry("cache_hit");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "true");
+  EXPECT_EQ(warm.status, engine::Status::Optimal);
+  std::remove(path.c_str());
+}
+
+TEST(CachePersistence, MissingCorruptAndMismatchedFilesAreIgnored) {
+  ResultCache cache(ResultCache::Options{});
+  std::string warning;
+  // Missing file: cold start with a warning, no throw.
+  EXPECT_EQ(cache.load_file(snapshot_path("missing"), &warning), 0u);
+  EXPECT_FALSE(warning.empty());
+
+  // Not an ebmf snapshot at all.
+  const std::string garbage = snapshot_path("garbage");
+  {
+    std::ofstream out(garbage);
+    out << "definitely not json\n";
+  }
+  warning.clear();
+  EXPECT_EQ(cache.load_file(garbage, &warning), 0u);
+  EXPECT_NE(warning.find("ignored"), std::string::npos);
+  std::remove(garbage.c_str());
+
+  // Future version: whole file ignored.
+  const std::string future = snapshot_path("future");
+  {
+    std::ofstream out(future);
+    out << "{\"ebmf_cache\":999}\n";
+  }
+  warning.clear();
+  EXPECT_EQ(cache.load_file(future, &warning), 0u);
+  EXPECT_NE(warning.find("version"), std::string::npos);
+  std::remove(future.c_str());
+}
+
+TEST(CachePersistence, CorruptEntriesAreSkippedNotServed) {
+  const std::string path = snapshot_path("tampered");
+  const auto c = canon::canonicalize(BinaryMatrix::parse("110;011;111"));
+  {
+    ResultCache cache(ResultCache::Options{});
+    cache.insert(c.key.mixed_with("auto"), "auto", c.pattern,
+                 toy_report(c.pattern));
+    std::string error;
+    ASSERT_TRUE(cache.save_file(path, &error)) << error;
+  }
+  // Append one truncated line and one entry whose partition does not
+  // cover the pattern (an invalid certificate).
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"cache_key\":\"zz\"\n";
+    out << "{\"cache_key\":\"00000000000000000000000000000001\","
+           "\"strategy\":\"auto\",\"pattern\":\"11;11\","
+           "\"report\":{\"status\":\"optimal\",\"lower_bound\":1,"
+           "\"upper_bound\":1,\"partition\":[{\"rows\":[0],\"cols\":[0]}]}}"
+        << "\n";
+  }
+  ResultCache reloaded(ResultCache::Options{});
+  std::string warning;
+  EXPECT_EQ(reloaded.load_file(path, &warning), 1u);  // only the good one
+  EXPECT_NE(warning.find("skipped 2"), std::string::npos);
+  EXPECT_TRUE(reloaded
+                  .lookup(c.key.mixed_with("auto"), "auto", c.pattern)
+                  .has_value());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -150,5 +150,92 @@ TEST(WireResponse, PartitionAttachesAsIndexLists) {
   EXPECT_NO_THROW((void)json::Value::parse(plain));
 }
 
+TEST(WireRequest, IdRoundTripsAndLeadsTheResponse) {
+  const auto wire =
+      parse_wire_request(R"({"pattern": "10;01", "id": 7})");
+  EXPECT_EQ(wire.id, 7);
+  // Absent id parses as -1 and renders nothing.
+  EXPECT_EQ(parse_wire_request(R"({"pattern": "10;01"})").id, -1);
+  const std::string rendered = wire_request_json(wire);
+  EXPECT_EQ(rendered.rfind("{\"id\":7,", 0), 0u);
+  EXPECT_EQ(parse_wire_request(rendered).id, 7);
+
+  engine::SolveReport report;
+  report.label = "x";
+  const std::string response = wire_response_json(report, false, 7);
+  EXPECT_EQ(response.rfind("{\"id\":7,", 0), 0u);
+  EXPECT_NO_THROW((void)json::Value::parse(response));
+}
+
+TEST(WireRequest, StatsOpSkipsThePattern) {
+  const auto wire = parse_wire_request(R"({"op": "stats", "id": 3})");
+  EXPECT_EQ(wire.op, WireOp::Stats);
+  EXPECT_EQ(wire.id, 3);
+  const std::string rendered = wire_request_json(wire);
+  EXPECT_EQ(rendered, "{\"id\":3,\"op\":\"stats\"}");
+  EXPECT_EQ(parse_wire_request(rendered).op, WireOp::Stats);
+  // Unknown verbs and solve-without-pattern still fail.
+  EXPECT_THROW((void)parse_wire_request(R"({"op": "nope"})"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_wire_request(R"({"op": "solve"})"),
+               std::runtime_error);
+}
+
+TEST(WireResponse, ParsesBackIntoAReport) {
+  engine::SolveReport report;
+  report.label = "rt";
+  report.strategy = "sap";
+  report.status = engine::Status::Optimal;
+  report.lower_bound = 1;
+  report.total_seconds = 0.25;
+  report.add_timing("smt", 0.125);
+  report.add_telemetry("cache_hit", "false");
+  BitVec rows(2);
+  rows.set(0);
+  BitVec cols(3);
+  cols.set(1);
+  cols.set(2);
+  report.partition.push_back(Rectangle{rows, cols});
+  report.upper_bound = 1;
+
+  const std::string line = wire_response_json(report, true);
+  const engine::SolveReport parsed = parse_wire_response(line, 2, 3);
+  EXPECT_EQ(parsed.label, "rt");
+  EXPECT_EQ(parsed.strategy, "sap");
+  EXPECT_EQ(parsed.status, engine::Status::Optimal);
+  EXPECT_EQ(parsed.lower_bound, 1u);
+  EXPECT_EQ(parsed.upper_bound, 1u);
+  EXPECT_DOUBLE_EQ(parsed.total_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(parsed.timing("smt"), 0.125);
+  ASSERT_NE(parsed.find_telemetry("cache_hit"), nullptr);
+  ASSERT_EQ(parsed.partition.size(), 1u);
+  EXPECT_EQ(parsed.partition[0], report.partition[0]);
+
+  // Without dims the partition is skipped but the scalars survive.
+  const engine::SolveReport scalars = parse_wire_response(line);
+  EXPECT_TRUE(scalars.partition.empty());
+  EXPECT_EQ(scalars.upper_bound, 1u);
+}
+
+TEST(WireResponse, ParseRejectsGarbageAndErrors) {
+  EXPECT_THROW((void)parse_wire_response("nope"), std::runtime_error);
+  EXPECT_THROW((void)parse_wire_response(R"({"error": "boom"})"),
+               std::runtime_error);
+  // Depth/partition mismatch is rejected, not silently accepted.
+  EXPECT_THROW(
+      (void)parse_wire_response(
+          R"({"status":"optimal","lower_bound":1,"upper_bound":2,)"
+          R"("partition":[{"rows":[0],"cols":[0]}]})",
+          2, 2),
+      std::runtime_error);
+  // Out-of-range partition indices are rejected.
+  EXPECT_THROW(
+      (void)parse_wire_response(
+          R"({"status":"optimal","lower_bound":1,"upper_bound":1,)"
+          R"("partition":[{"rows":[5],"cols":[0]}]})",
+          2, 2),
+      std::runtime_error);
+}
+
 }  // namespace
 }  // namespace ebmf::io

@@ -238,6 +238,68 @@ TEST(Service, StopDrainsCleanlyUnderLoad) {
   EXPECT_FALSE(server.running());
 }
 
+TEST(Service, StatsVerbReportsCountersAndCache) {
+  Server server(test_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  const Reply solve(client.round_trip(R"({"pattern": "110;011;111"})"));
+  ASSERT_FALSE(solve.is_error());
+  const Reply stats(client.round_trip(R"({"op": "stats", "id": 5})"));
+  ASSERT_FALSE(stats.is_error());
+  EXPECT_EQ(stats.document.find("id")->as_number(), 5.0);
+  EXPECT_EQ(stats.document.find("role")->as_string(), "server");
+  const io::json::Value* server_block = stats.document.find("server");
+  ASSERT_NE(server_block, nullptr);
+  EXPECT_EQ(server_block->find("requests")->as_number(), 1.0);
+  const io::json::Value* cache_block = stats.document.find("cache");
+  ASSERT_NE(cache_block, nullptr);
+  ASSERT_TRUE(cache_block->is_object());
+  EXPECT_GE(cache_block->find("misses")->as_number(), 1.0);
+  // The stats line is not a solve: the request counter did not move.
+  EXPECT_EQ(server.stats().requests, 1u);
+  server.stop();
+}
+
+TEST(Service, RequestIdIsEchoedFirstInTheResponse) {
+  Server server(test_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  const std::string raw =
+      client.round_trip(R"({"pattern": "10;01", "id": 11})");
+  EXPECT_EQ(raw.rfind("{\"id\":11,", 0), 0u);
+  const Reply reply(raw);
+  ASSERT_FALSE(reply.is_error());
+  EXPECT_EQ(reply.document.find("id")->as_number(), 11.0);
+  // Errors echo the id too (the router matches error replies by id).
+  const std::string bad = client.round_trip(R"({"id": 12, "nope": 1})");
+  EXPECT_EQ(bad.rfind("{\"id\":12,", 0), 0u);
+  EXPECT_TRUE(Reply(bad).is_error());
+  server.stop();
+}
+
+TEST(Service, ClientReconnectsOnceAcrossAServerRestart) {
+  ServerOptions options = test_options();
+  Server first(options);
+  first.start();
+  const std::uint16_t port = first.port();
+  Client client("127.0.0.1", port);
+  const Reply before(client.round_trip(R"({"pattern": "10;01"})"));
+  ASSERT_FALSE(before.is_error());
+
+  // Restart the server on the same port while the client holds its (now
+  // dead) connection. The next round_trip must succeed transparently via
+  // the single reconnect + re-send.
+  first.stop();
+  options.port = port;
+  Server second(options);
+  second.start();
+  const Reply after(client.round_trip(R"({"pattern": "110;011;111"})"));
+  ASSERT_FALSE(after.is_error());
+  EXPECT_EQ(after.depth(), 3.0);
+  EXPECT_GE(second.stats().requests, 1u);
+  second.stop();
+}
+
 TEST(Service, EphemeralPortIsReportedAndReusable) {
   Server first(test_options());
   first.start();
