@@ -16,6 +16,7 @@
 // the warm/cold split.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -122,14 +123,17 @@ void print_result(const FamilyResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --connect=HOST:PORT is bench_service-specific; strip it before the
-  // shared option parser (which rejects unknown flags).
+  // --connect=HOST:PORT and --hot=N are bench_service-specific; strip them
+  // before the shared option parser (which rejects unknown flags).
   std::string connect;
+  std::size_t hot_repeats = 0;
   std::vector<char*> filtered;
   filtered.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--connect=", 10) == 0)
       connect = argv[i] + 10;
+    else if (std::strncmp(argv[i], "--hot=", 6) == 0)
+      hot_repeats = static_cast<std::size_t>(std::atol(argv[i] + 6));
     else
       filtered.push_back(argv[i]);
   }
@@ -232,6 +236,19 @@ int main(int argc, char** argv) {
     for (std::size_t repeat = 1; repeat < opt.count(12, 6); ++repeat)
       variants.push_back(permuted_copy(gap.matrix, rng));
     results.push_back(run_family(opt, engine, client.get(), "gap 20x20 k=6", variants));
+  }
+  if (hot_repeats > 0) {
+    // --hot=N: the skewed repeat distribution of lattice-surgery traffic —
+    // one pattern carries N permuted repeats. Against a dynamic router
+    // (--connect) this is the workload that crosses --promote-after and
+    // exercises hot-key replication (`cluster.promote` telemetry on the
+    // promoting reply, `ebmf client --stats --json` for the counters).
+    const BinaryMatrix base = ebmf::ftqc::logical_pattern(16, 16, 0.25, rng);
+    std::vector<BinaryMatrix> variants{base};
+    for (std::size_t repeat = 1; repeat < hot_repeats; ++repeat)
+      variants.push_back(permuted_copy(base, rng));
+    results.push_back(run_family(opt, engine, client.get(),
+                                 "hot logical 16x16 (skewed)", variants));
   }
 
   double cold_mean_total = 0.0;

@@ -228,9 +228,15 @@ int solve_request_file(const Args& args, std::ostream& out,
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     try {
       io::WireRequest wire = io::parse_wire_request(line);
+      // Every non-solve op is a service/cluster verb: solving a replayed
+      // {"op":"join"} line as an empty pattern would emit a bogus report.
       if (wire.op == io::WireOp::Stats)
         throw std::runtime_error(
             "'stats' is a service verb; send it with ebmf client --stats");
+      if (wire.op != io::WireOp::Solve)
+        throw std::runtime_error(
+            "cluster verbs (join/leave/heartbeat/put) go to a running "
+            "router/server; --requests files hold solve requests only");
       if (wire.request.label.empty())
         wire.request.label = path + ":" + std::to_string(line_number);
       wires.push_back(std::move(wire));
@@ -549,11 +555,42 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
   options.budget_ceiling_seconds = flags.num("budget", 10.0);
   options.max_batch = flags.count("max-batch", 32);
   options.cache_file = args.get("cache-file", "");
+  options.announce = args.get("announce", "");
+  options.advertise = args.get("advertise", "");
+  options.heartbeat_ms = flags.num("heartbeat-ms", 500.0);
+  bool endpoints_ok = true;
+  std::string endpoint_host;
+  std::uint16_t endpoint_port = 0;
+  if (!options.announce.empty() &&
+      !service::net::parse_endpoint(options.announce, endpoint_host,
+                                    endpoint_port)) {
+    err << "error: bad --announce endpoint '" << options.announce
+        << "' (want host:port)\n";
+    endpoints_ok = false;
+  }
+  if (!options.advertise.empty() &&
+      !service::net::parse_endpoint(options.advertise, endpoint_host,
+                                    endpoint_port)) {
+    err << "error: bad --advertise endpoint '" << options.advertise
+        << "' (want host:port)\n";
+    endpoints_ok = false;
+  }
+  if (!options.announce.empty() && options.advertise.empty() &&
+      (options.host == "0.0.0.0" || options.host == "::")) {
+    // Announcing the wildcard bind address would make the router dial its
+    // own loopback; the operator must name a reachable address.
+    err << "error: --announce with --host=" << options.host
+        << " needs an explicit --advertise=HOST:PORT (the router cannot "
+           "dial the wildcard address)\n";
+    endpoints_ok = false;
+  }
   if (!flags.valid(err) || port > 65535 || options.cache_mb < 0 ||
-      options.budget_ceiling_seconds < 0) {
+      options.budget_ceiling_seconds < 0 || options.heartbeat_ms <= 0 ||
+      !endpoints_ok) {
     err << "usage: ebmf serve [--port=P] [--host=ADDR] [--threads=N] "
            "[--cache-mb=MB] [--max-inflight=N] [--budget=S] "
-           "[--max-batch=N] [--cache-file=PATH]\n";
+           "[--max-batch=N] [--cache-file=PATH] [--announce=HOST:PORT] "
+           "[--advertise=HOST:PORT] [--heartbeat-ms=N]\n";
     return 2;
   }
   options.port = static_cast<std::uint16_t>(port);
@@ -588,11 +625,20 @@ int cmd_route(const Args& args, std::ostream& out, std::ostream& err) {
   options.max_batch = flags.count("max-batch", 32);
   options.pool_connections = flags.count("pool", 1);
   options.reply_timeout_seconds = flags.num("timeout", 30.0);
+  options.dynamic = args.has("dynamic");
+  options.replicas = flags.count("replicas", 2);
+  options.promote_after = flags.u64("promote-after", 8);
+  options.heartbeat_ms = flags.num("heartbeat-ms", 500.0);
+  options.grace_ms = flags.num("grace-ms", 0.0);
   if (!flags.valid(err) || port > 65535 || options.l1_mb < 0 ||
-      options.reply_timeout_seconds < 0 || options.backends.empty()) {
+      options.reply_timeout_seconds < 0 || options.heartbeat_ms <= 0 ||
+      options.grace_ms < 0 || options.replicas == 0 ||
+      (options.backends.empty() && !options.dynamic)) {
     err << "usage: ebmf route <host:port>... [--backends=H:P,H:P] "
            "[--listen=P] [--host=ADDR] [--l1-mb=MB] [--cache-file=PATH] "
-           "[--max-inflight=N] [--max-batch=N] [--pool=N] [--timeout=S]\n";
+           "[--max-inflight=N] [--max-batch=N] [--pool=N] [--timeout=S] "
+           "[--dynamic] [--replicas=R] [--promote-after=N] "
+           "[--heartbeat-ms=N] [--grace-ms=N]\n";
     return 2;
   }
   for (const auto& endpoint : options.backends) {
@@ -639,7 +685,9 @@ void print_json_tree(std::ostream& out, const std::string& prefix,
 }
 
 /// `ebmf client --stats`: ask the server/router for its counters and
-/// pretty-print the reply one `path = value` line at a time.
+/// pretty-print the reply one `path = value` line at a time. With --json
+/// the raw stats line is emitted instead, so CI jobs and tools can assert
+/// on counters without scraping the pretty format.
 int client_stats(const Args& args, std::ostream& out, std::ostream& err) {
   FlagReader flags(args);
   const auto port = flags.count("port", 7421);
@@ -653,7 +701,10 @@ int client_stats(const Args& args, std::ostream& out, std::ostream& err) {
       err << "error: " << document.find("error")->as_string() << "\n";
       return 1;
     }
-    print_json_tree(out, "", document);
+    if (args.has("json"))
+      out << reply << "\n";
+    else
+      print_json_tree(out, "", document);
     return 0;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
@@ -672,7 +723,8 @@ int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
   if (args.positional.empty()) {
     err << "usage: ebmf client <matrix-file>... [--host=ADDR] [--port=P] "
         << kRequestFlagsUsage
-        << " [--dont-cares] [--split] [--include-partition] [--stats]\n";
+        << " [--dont-cares] [--split] [--include-partition] "
+           "[--stats [--json]]\n";
     return 2;
   }
   const engine::Engine engine;

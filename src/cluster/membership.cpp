@@ -1,0 +1,119 @@
+// The versioned backend registry: join/leave/heartbeat bookkeeping and
+// missed-heartbeat eviction.
+
+#include "cluster/membership.h"
+
+#include <algorithm>
+
+namespace ebmf::cluster {
+
+Membership::Membership(Clock::duration grace) : grace_(grace) {}
+
+std::size_t Membership::index_of(const std::string& endpoint) const {
+  for (std::size_t i = 0; i < members_.size(); ++i)
+    if (members_[i].endpoint == endpoint) return i;
+  return members_.size();
+}
+
+MembershipUpdate Membership::add_static(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MembershipUpdate update;
+  const std::size_t i = index_of(endpoint);
+  if (i < members_.size()) {
+    members_[i].is_static = true;  // announce + config: config wins
+  } else {
+    Member member;
+    member.endpoint = endpoint;
+    member.is_static = true;
+    member.joined_epoch = ++epoch_;
+    members_.push_back(std::move(member));
+    update.changed = true;
+  }
+  update.known = true;
+  update.epoch = epoch_;
+  return update;
+}
+
+MembershipUpdate Membership::join(const std::string& endpoint,
+                                  Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MembershipUpdate update;
+  const std::size_t i = index_of(endpoint);
+  if (i < members_.size()) {
+    // Re-join of a live member doubles as a heartbeat.
+    members_[i].last_seen = now;
+  } else {
+    Member member;
+    member.endpoint = endpoint;
+    member.joined_epoch = ++epoch_;
+    member.last_seen = now;
+    members_.push_back(std::move(member));
+    update.changed = true;
+  }
+  update.known = true;
+  update.epoch = epoch_;
+  return update;
+}
+
+MembershipUpdate Membership::leave(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MembershipUpdate update;
+  const std::size_t i = index_of(endpoint);
+  if (i < members_.size()) {
+    members_.erase(members_.begin() + static_cast<std::ptrdiff_t>(i));
+    ++epoch_;
+    update.changed = true;
+  }
+  update.epoch = epoch_;
+  return update;
+}
+
+MembershipUpdate Membership::heartbeat(const std::string& endpoint,
+                                       Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MembershipUpdate update;
+  const std::size_t i = index_of(endpoint);
+  if (i < members_.size()) {
+    members_[i].last_seen = now;
+    update.known = true;
+  }
+  update.epoch = epoch_;
+  return update;
+}
+
+std::vector<std::string> Membership::sweep(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> evicted;
+  for (std::size_t i = 0; i < members_.size();) {
+    const Member& member = members_[i];
+    if (!member.is_static && now - member.last_seen > grace_) {
+      evicted.push_back(member.endpoint);
+      members_.erase(members_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  if (!evicted.empty()) ++epoch_;
+  return evicted;
+}
+
+std::vector<Member> Membership::members() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Member> out = members_;
+  std::sort(out.begin(), out.end(), [](const Member& a, const Member& b) {
+    return a.endpoint < b.endpoint;
+  });
+  return out;
+}
+
+std::uint64_t Membership::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+std::size_t Membership::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return members_.size();
+}
+
+}  // namespace ebmf::cluster

@@ -1,0 +1,106 @@
+#pragma once
+/// \file membership.h
+/// \brief `ebmf::cluster` — the versioned backend registry behind the
+/// router's live membership control plane.
+///
+/// PR 4 froze the backend set at router startup: failover papered over
+/// outages, but a backend could never join under load and a drained one
+/// stayed in the ring forever. Membership closes that gap with the
+/// join/leave/heartbeat half of the control plane:
+///
+///  * **Announced members.** Backends announce themselves over the
+///    existing line-JSON protocol (`{"op":"join","endpoint":"H:P"}`) and
+///    then heartbeat periodically. A member whose heartbeats stop for
+///    longer than the grace window is evicted by sweep() — the router's
+///    health thread calls it on its cadence — so a crashed backend leaves
+///    the ring within one grace window even though it never said goodbye.
+///  * **Static members.** Endpoints configured on the command line are
+///    registered as static: they never heartbeat and are never swept
+///    (their liveness is the connection pool's business, exactly as in
+///    PR 4), so a fixed fleet behaves identically with or without the
+///    control plane.
+///  * **Epochs.** Every change to the member *set* (join of a new
+///    endpoint, leave, eviction) bumps a monotonic epoch. The epoch is
+///    what view.h stamps on each published ring, and what join/heartbeat
+///    replies carry back to backends.
+///
+/// All methods are thread-safe (one internal mutex; membership changes are
+/// rare next to request traffic). Time is passed in explicitly so tests can
+/// drive eviction deterministically; callers default to `Clock::now()`.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ebmf::cluster {
+
+using Clock = std::chrono::steady_clock;
+
+/// Point-in-time snapshot of one registered backend.
+struct Member {
+  std::string endpoint;  ///< "host:port" — the ring id.
+  bool is_static = false;  ///< Configured at startup; exempt from sweep().
+  std::uint64_t joined_epoch = 0;  ///< Epoch produced by this member's join.
+  Clock::time_point last_seen{};   ///< Last join/heartbeat (announced only).
+};
+
+/// Outcome of one join/leave/heartbeat call.
+struct MembershipUpdate {
+  bool changed = false;  ///< The member *set* changed (epoch was bumped).
+  bool known = false;    ///< The endpoint is (now) a registered member.
+  std::uint64_t epoch = 0;  ///< Registry epoch after the call.
+};
+
+/// The versioned backend registry. One per router.
+class Membership {
+ public:
+  /// Grace window for announced members: evicted when
+  /// `now - last_seen > grace`. Static members ignore it.
+  explicit Membership(Clock::duration grace = std::chrono::seconds(2));
+
+  /// Register a startup-configured endpoint (idempotent). Bumps the epoch
+  /// when the endpoint is new.
+  MembershipUpdate add_static(const std::string& endpoint);
+
+  /// `{"op":"join"}`: register an announced member, or refresh an existing
+  /// one (a re-join after eviction is just a join). `changed` is true only
+  /// for a genuinely new endpoint.
+  MembershipUpdate join(const std::string& endpoint,
+                        Clock::time_point now = Clock::now());
+
+  /// `{"op":"leave"}`: remove a member (announced or static). `changed`
+  /// when it was present.
+  MembershipUpdate leave(const std::string& endpoint);
+
+  /// `{"op":"heartbeat"}`: refresh an announced member's last-seen stamp.
+  /// `known == false` means the member was evicted (or never joined) and
+  /// must re-join; the epoch still reports the current registry version.
+  MembershipUpdate heartbeat(const std::string& endpoint,
+                             Clock::time_point now = Clock::now());
+
+  /// Evict announced members whose heartbeats are older than the grace
+  /// window. Returns the evicted endpoints (epoch bumped once per sweep
+  /// that evicts anything).
+  std::vector<std::string> sweep(Clock::time_point now = Clock::now());
+
+  /// Every registered member, endpoint-sorted (deterministic ring input).
+  [[nodiscard]] std::vector<Member> members() const;
+
+  [[nodiscard]] std::uint64_t epoch() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] Clock::duration grace() const noexcept { return grace_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Member> members_;
+  std::uint64_t epoch_ = 0;
+  Clock::duration grace_;
+
+  [[nodiscard]] std::size_t index_of(const std::string& endpoint) const;
+};
+
+}  // namespace ebmf::cluster

@@ -1,0 +1,65 @@
+// Bounded per-key hit counting with threshold promotion.
+
+#include "cluster/replica.h"
+
+namespace ebmf::cluster {
+
+HotKeyTracker::HotKeyTracker(Options options) : options_(options) {
+  if (options_.max_tracked == 0) options_.max_tracked = 1;
+}
+
+void HotKeyTracker::decay_locked() {
+  for (auto it = hits_.begin(); it != hits_.end();) {
+    it->second /= 2;
+    if (it->second == 0)
+      it = hits_.erase(it);
+    else
+      ++it;
+  }
+  // Promotions are sticky for warm keys, but the set must stay bounded
+  // too: once it outgrows the tracking budget, demote promotions whose
+  // hit count decayed all the way to zero — they have not been seen for
+  // at least one full decay cycle, so losing their replica set is cheap.
+  if (promoted_.size() > options_.max_tracked) {
+    for (auto it = promoted_.begin(); it != promoted_.end();) {
+      if (hits_.count(*it) == 0)
+        it = promoted_.erase(it);
+      else
+        ++it;
+    }
+  }
+}
+
+HotKeyUpdate HotKeyTracker::record(std::uint64_t key) {
+  HotKeyUpdate update;
+  if (options_.promote_threshold == 0) return update;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (hits_.size() >= options_.max_tracked && hits_.count(key) == 0)
+    decay_locked();
+  const std::uint64_t count = ++hits_[key];
+  update.hits = count;
+  update.promoted = promoted_.count(key) != 0;
+  if (!update.promoted && count >= options_.promote_threshold) {
+    promoted_.insert(key);
+    update.promoted = true;
+    update.promoted_now = true;
+  }
+  return update;
+}
+
+bool HotKeyTracker::is_promoted(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return promoted_.count(key) != 0;
+}
+
+std::size_t HotKeyTracker::promoted_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return promoted_.size();
+}
+
+std::size_t HotKeyTracker::tracked_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_.size();
+}
+
+}  // namespace ebmf::cluster

@@ -1,0 +1,76 @@
+#pragma once
+/// \file replica.h
+/// \brief Hot-key tracking and promotion — the replication half of
+/// `ebmf::cluster`.
+///
+/// The FTQC workload's repeat distribution is heavily skewed: a handful of
+/// canonical lattice-surgery patterns account for most of the traffic
+/// (bench_ftqc). Under pure HRW sharding each of those hot keys lives on
+/// exactly one backend, so losing that backend turns the hottest patterns
+/// cold at once. HotKeyTracker watches per-key hit counts on the router
+/// and *promotes* keys past a threshold: a promoted key is replicated to
+/// the top-R backends of its HRW order (the router fans a cache write to
+/// every replica and reads from the first healthy one), so any single
+/// replica death still serves the key warm — `cluster.promote` marks the
+/// promoting request, `cluster.replica_hit` a read served by a
+/// non-primary replica.
+///
+/// The tracker is deliberately approximate: counts live in a bounded map;
+/// past the bound every count is halved and zeros are dropped (a coarse
+/// decay that keeps genuinely hot keys promoted while shedding one-off
+/// keys), so memory stays O(max_tracked) no matter how many distinct
+/// patterns flow through. Promotions are sticky while a key stays warm —
+/// the cost of a stale promotion is a few idempotent cache writes, while
+/// the cost of a lost one is a cold hot key — but the promoted set is
+/// bounded too: once it outgrows max_tracked, promotions whose count has
+/// decayed to zero (unseen for a full decay cycle) are demoted.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ebmf::cluster {
+
+/// What record() observed about one key.
+struct HotKeyUpdate {
+  std::uint64_t hits = 0;     ///< Tracked hit count after this request.
+  bool promoted = false;      ///< The key is (now) promoted.
+  bool promoted_now = false;  ///< This request crossed the threshold.
+};
+
+/// Router-side per-key hit counter with threshold promotion. Thread-safe.
+class HotKeyTracker {
+ public:
+  struct Options {
+    /// Hits before a key is promoted to replicated. 0 disables promotion
+    /// entirely (fixed-fleet routers pay nothing).
+    std::uint64_t promote_threshold = 8;
+    /// Bound on tracked distinct keys; exceeding it halves all counts and
+    /// drops zeros (promoted keys stay promoted).
+    std::size_t max_tracked = 65536;
+  };
+
+  explicit HotKeyTracker(Options options);
+
+  /// Count one request for `key` (call before any cache lookup, so L1 hits
+  /// heat keys too). Returns the key's state after counting.
+  HotKeyUpdate record(std::uint64_t key);
+
+  /// True when `key` crossed the threshold at some point.
+  [[nodiscard]] bool is_promoted(std::uint64_t key) const;
+
+  [[nodiscard]] std::size_t promoted_count() const;
+  [[nodiscard]] std::size_t tracked_count() const;
+
+ private:
+  Options options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::uint64_t> hits_;
+  std::unordered_set<std::uint64_t> promoted_;
+
+  void decay_locked();
+};
+
+}  // namespace ebmf::cluster

@@ -1,0 +1,35 @@
+// Immutable epoch-stamped routing snapshots over the rendezvous ring.
+
+#include "cluster/view.h"
+
+namespace ebmf::cluster {
+
+std::shared_ptr<const ClusterView> ClusterView::make(
+    std::uint64_t epoch, const std::vector<std::string>& endpoints) {
+  auto view = std::shared_ptr<ClusterView>(new ClusterView());
+  view->epoch_ = epoch;
+  for (const std::string& endpoint : endpoints) {
+    const std::size_t index = view->ring_.add(endpoint);
+    if (index == view->endpoints_.size())  // not a duplicate
+      view->endpoints_.push_back(endpoint);
+  }
+  return view;
+}
+
+std::vector<std::string> ClusterView::ordered(std::uint64_t key) const {
+  std::vector<std::string> out;
+  if (ring_.empty()) return out;
+  const std::vector<std::size_t> order = ring_.ordered(key);
+  out.reserve(order.size());
+  for (const std::size_t index : order) out.push_back(ring_.id(index));
+  return out;
+}
+
+std::vector<std::string> ClusterView::top(std::uint64_t key,
+                                          std::size_t count) const {
+  std::vector<std::string> out = ordered(key);
+  if (out.size() > count) out.resize(count);
+  return out;
+}
+
+}  // namespace ebmf::cluster

@@ -1,0 +1,91 @@
+#pragma once
+/// \file view.h
+/// \brief Epoch-stamped cluster views with atomic swap — how the router
+/// changes its HRW ring under live traffic without losing a request.
+///
+/// A ClusterView is an immutable snapshot: the membership epoch it was
+/// built from, the endpoint list, and the rendezvous ring over exactly
+/// those endpoints. The router's request path takes a shared_ptr to the
+/// current view once, at dispatch, and routes the whole request (including
+/// every failover resubmit) against that one snapshot; ViewHolder::publish
+/// swaps the pointer for new requests without disturbing anything
+/// in flight. Join/leave/eviction therefore never invalidates a preference
+/// list mid-walk — an in-flight request finishes against the old view
+/// (a stale endpoint just resolves to no pool and is skipped, which is the
+/// ordinary failover move), while the next request routes on the new
+/// epoch. That extends PR 4's "no accepted request lost" guarantee across
+/// membership changes, not just outages.
+///
+/// HRW gives the complementary half of the guarantee: a single join or
+/// leave re-homes only the ~1/N of the key space the changed backend owns,
+/// so every other canonical pattern keeps its backend — and that backend's
+/// warm cache — across the epoch swap.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "router/ring.h"
+
+namespace ebmf::cluster {
+
+/// One immutable routing snapshot. Build with make(), then share freely.
+class ClusterView {
+ public:
+  /// A view over `endpoints` stamped with `epoch`. Order does not matter
+  /// (the ring hashes endpoint ids); duplicates collapse.
+  static std::shared_ptr<const ClusterView> make(
+      std::uint64_t epoch, const std::vector<std::string>& endpoints);
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] bool empty() const noexcept { return ring_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+
+  /// Every endpoint, ring order (stable for one view).
+  [[nodiscard]] const std::vector<std::string>& endpoints() const noexcept {
+    return endpoints_;
+  }
+
+  /// The key's backends in descending HRW score — the failover preference
+  /// list (owner first), as endpoint strings.
+  [[nodiscard]] std::vector<std::string> ordered(std::uint64_t key) const;
+
+  /// The first `count` endpoints of ordered(key) — a promoted key's
+  /// replica set (owner + count-1 secondaries).
+  [[nodiscard]] std::vector<std::string> top(std::uint64_t key,
+                                             std::size_t count) const;
+
+ private:
+  ClusterView() = default;
+
+  std::uint64_t epoch_ = 0;
+  router::RendezvousRing ring_;
+  std::vector<std::string> endpoints_;
+};
+
+/// The router's one mutable cell: the current view, swapped atomically.
+/// Readers get a shared_ptr (their snapshot outlives any number of
+/// publishes); publish() is called with the membership lock held by the
+/// router so epochs reach the cell in order.
+class ViewHolder {
+ public:
+  ViewHolder() : view_(ClusterView::make(0, {})) {}
+
+  [[nodiscard]] std::shared_ptr<const ClusterView> current() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return view_;
+  }
+
+  void publish(std::shared_ptr<const ClusterView> view) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    view_ = std::move(view);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ClusterView> view_;
+};
+
+}  // namespace ebmf::cluster

@@ -95,7 +95,40 @@ WireRequest parse_wire_request(const std::string& line) {
     wire.op = WireOp::Stats;
     return wire;
   }
-  if (op != "solve") fail("field 'op' must be solve|stats");
+  if (op == "join" || op == "leave" || op == "heartbeat") {
+    // Cluster membership verbs: just the announcing backend's endpoint.
+    wire.op = op == "join" ? WireOp::Join
+              : op == "leave" ? WireOp::Leave
+                              : WireOp::Heartbeat;
+    wire.endpoint = string_field(document, "endpoint", "");
+    if (wire.endpoint.empty())
+      fail("'" + op + "' needs an 'endpoint' (\"host:port\")");
+    return wire;
+  }
+  if (op == "put") {
+    // Replica cache write: canonical pattern + strategy + full report.
+    wire.op = WireOp::Put;
+    const std::string pattern = pattern_text(document);
+    if (has_dont_care_cells(pattern)) fail("'put' patterns must be dense");
+    try {
+      request.matrix = BinaryMatrix::parse(pattern);
+    } catch (const std::exception& e) {
+      fail(std::string("bad pattern: ") + e.what());
+    }
+    request.strategy = string_field(document, "strategy", "auto");
+    const json::Value* report = document.find("report");
+    if (report == nullptr || !report->is_object())
+      fail("'put' needs a 'report' object");
+    try {
+      wire.put_report = parse_wire_response(*report, request.matrix.rows(),
+                                            request.matrix.cols());
+    } catch (const std::exception& e) {
+      fail(std::string("bad report: ") + e.what());
+    }
+    return wire;
+  }
+  if (op != "solve")
+    fail("field 'op' must be solve|stats|join|leave|heartbeat|put");
 
   const std::string pattern = pattern_text(document);
   const bool masked = has_dont_care_cells(pattern);
@@ -209,6 +242,27 @@ std::string wire_request_json(const WireRequest& wire) {
     out << "{";
     if (wire.id >= 0) out << "\"id\":" << wire.id << ",";
     out << "\"op\":\"stats\"}";
+    return out.str();
+  }
+  if (wire.op == WireOp::Join || wire.op == WireOp::Leave ||
+      wire.op == WireOp::Heartbeat) {
+    const char* op = wire.op == WireOp::Join      ? "join"
+                     : wire.op == WireOp::Leave   ? "leave"
+                                                  : "heartbeat";
+    out << "{";
+    if (wire.id >= 0) out << "\"id\":" << wire.id << ",";
+    out << "\"op\":\"" << op << "\",\"endpoint\":\""
+        << json::escape(wire.endpoint) << "\"}";
+    return out.str();
+  }
+  if (wire.op == WireOp::Put) {
+    out << "{";
+    if (wire.id >= 0) out << "\"id\":" << wire.id << ",";
+    out << "\"op\":\"put\",\"pattern\":\""
+        << json::escape(render_pattern(request)) << "\",\"strategy\":\""
+        << json::escape(request.strategy) << "\",\"report\":"
+        << wire_response_json(wire.put_report, /*include_partition=*/true)
+        << "}";
     return out.str();
   }
   out << "{";

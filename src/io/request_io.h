@@ -30,6 +30,15 @@
 /// The response is one line of engine::to_json output; with
 /// "include_partition" it gains a "partition" array of
 /// {"rows": [...], "cols": [...]} index lists.
+///
+/// Cluster verbs (PR 5): backends announce themselves to a dynamic router
+/// with `{"op":"join","endpoint":"host:port"}`, then send periodic
+/// `{"op":"heartbeat","endpoint":...}` lines (reply `{"ok":true,"epoch":E}`;
+/// `{"ok":false,"rejoin":true}` after an eviction) and a final
+/// `{"op":"leave","endpoint":...}` on drain. The router replicates promoted
+/// hot keys by fanning `{"op":"put","pattern":"<canonical>","strategy":...,
+/// "report":{<wire response with partition>}}` writes to replica backends,
+/// which validate the certificate and insert it into their result cache.
 
 #include <cstdint>
 #include <string>
@@ -39,15 +48,26 @@
 
 namespace ebmf::io {
 
-/// What a request line asks for: a solve, or the admin `stats` snapshot
-/// (`{"op":"stats"}` — cache counters, in-flight, per-backend health).
-enum class WireOp { Solve, Stats };
+/// What a request line asks for: a solve, the admin `stats` snapshot
+/// (`{"op":"stats"}` — cache counters, in-flight, per-backend health), one
+/// of the cluster membership verbs backends send to a dynamic router
+/// (`{"op":"join"|"leave"|"heartbeat","endpoint":"host:port"}`), or a
+/// replica cache write the router fans to backends
+/// (`{"op":"put","pattern":...,"strategy":...,"report":{...}}`).
+enum class WireOp { Solve, Stats, Join, Leave, Heartbeat, Put };
 
 /// One parsed wire request: the facade request plus routing options that
 /// live outside SolveRequest.
 struct WireRequest {
   WireOp op = WireOp::Solve;  ///< `"op"` field; "solve" when absent.
   engine::SolveRequest request;
+  /// Join/Leave/Heartbeat: the announcing backend's own "host:port" (the
+  /// address the router should dial and the ring id it shards under).
+  std::string endpoint;
+  /// Put: the report to insert into the receiving backend's cache, its
+  /// partition witnessing request.matrix (which carries the canonical
+  /// pattern) under request.strategy.
+  engine::SolveReport put_report;
   /// Correlation id echoed as the *first* member of the response line
   /// (absent when < 0). The router assigns these to match pipelined
   /// backend replies to their requests; clients may use them too.

@@ -1,6 +1,8 @@
 // The sharding front tier: client accept/connection threads, local
 // canonicalization + L1 cache, HRW dispatch over the backend pools,
-// in-order reply reassembly with failover, and the SIGTERM drain.
+// in-order reply reassembly with failover, the cluster control plane
+// (join/leave/heartbeat membership, epoch-stamped view swaps, hot-key
+// replication), and the SIGTERM drain.
 
 #include "router/router.h"
 
@@ -18,9 +20,13 @@
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "cluster/membership.h"
+#include "cluster/replica.h"
+#include "cluster/view.h"
 #include "core/partition.h"
 #include "io/json.h"
 #include "io/request_io.h"
@@ -45,8 +51,9 @@ struct ClientConn {
 };
 
 /// One client line's journey through a batch: either an immediate reply
-/// (parse error, stats, L1 hit, local zero-pattern answer) or an in-flight
-/// backend exchange plus the context needed to re-own the response.
+/// (parse error, stats, membership verb, L1 hit, local zero-pattern
+/// answer) or an in-flight backend exchange plus the context needed to
+/// re-own the response.
 struct RouteTask {
   bool skip = false;
   std::string immediate;  ///< Pre-rendered reply; empty = awaiting backend.
@@ -60,7 +67,11 @@ struct RouteTask {
   std::uint64_t router_id = 0;
   std::string backend_line;
   PendingPtr pending;
-  std::vector<std::size_t> preference;  ///< HRW failover order.
+  /// The view this request routes on: taken once at dispatch and held for
+  /// the whole exchange (failovers included), so an epoch swap mid-flight
+  /// never invalidates the walk.
+  std::shared_ptr<const cluster::ClusterView> view;
+  std::vector<std::string> preference;  ///< HRW failover order (endpoints).
   std::size_t preference_cursor = 0;    ///< Index serving the request.
   std::size_t failovers = 0;
 
@@ -75,6 +86,11 @@ struct RouteTask {
   canon::CacheKey l1_key;
   std::string strategy;
   BinaryMatrix original;  ///< For re-validating the lifted certificate.
+
+  // -- hot-key replication -----------------------------------------------
+  bool promoted = false;      ///< The key is in the replicated set.
+  bool promoted_now = false;  ///< This request crossed the threshold.
+  std::uint64_t hot_hits = 0;
 };
 
 /// True when a reply line (with or without an id prefix) is a protocol
@@ -88,8 +104,16 @@ bool is_error_reply(std::string line) {
 }  // namespace
 
 struct Router::Impl {
-  explicit Impl(RouterOptions opt) : options(std::move(opt)) {
+  explicit Impl(RouterOptions opt)
+      : options(std::move(opt)),
+        membership(std::chrono::duration_cast<cluster::Clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                options.grace_ms > 0 ? options.grace_ms
+                                     : 4.0 * options.heartbeat_ms))),
+        hot_keys(cluster::HotKeyTracker::Options{
+            options.replicas > 1 ? options.promote_after : 0, 65536}) {
     if (options.max_batch == 0) options.max_batch = 1;
+    if (options.replicas == 0) options.replicas = 1;
     if (options.l1_mb > 0)
       l1 = cache::ResultCache::with_capacity_mb(options.l1_mb);
   }
@@ -97,8 +121,16 @@ struct Router::Impl {
   RouterOptions options;
   std::shared_ptr<cache::ResultCache> l1;
 
-  RendezvousRing ring;
-  std::vector<std::unique_ptr<BackendPool>> pools;
+  // -- cluster state -----------------------------------------------------
+  // `cluster_mutex` serializes membership mutation + view publication (so
+  // epochs reach the view cell in order); the request path only reads
+  // `views.current()` and copies pool pointers out of `pools`.
+  cluster::Membership membership;
+  cluster::ViewHolder views;
+  cluster::HotKeyTracker hot_keys;
+  std::mutex cluster_mutex;
+  mutable std::mutex pools_mutex;
+  std::unordered_map<std::string, std::shared_ptr<BackendPool>> pools;
 
   net::TcpListener listener;
   std::atomic<bool> running{false};
@@ -125,6 +157,12 @@ struct Router::Impl {
   std::atomic<std::uint64_t> stat_rejected{0};
   std::atomic<std::uint64_t> stat_l1_hits{0};
   std::atomic<std::uint64_t> stat_failovers{0};
+  std::atomic<std::uint64_t> stat_joins{0};
+  std::atomic<std::uint64_t> stat_leaves{0};
+  std::atomic<std::uint64_t> stat_evictions{0};
+  std::atomic<std::uint64_t> stat_promotions{0};
+  std::atomic<std::uint64_t> stat_replica_hits{0};
+  std::atomic<std::uint64_t> stat_replica_puts{0};
 
   bool try_admit() {
     const std::size_t limit = options.max_inflight;
@@ -141,10 +179,24 @@ struct Router::Impl {
     if (count > 0) inflight.fetch_sub(count, std::memory_order_relaxed);
   }
 
+  /// One backend row of a stats report: pool handle + membership flavor.
+  struct BackendSnapshot {
+    std::string endpoint;
+    std::shared_ptr<BackendPool> pool;
+    bool is_static = false;
+  };
+
+  std::shared_ptr<BackendPool> pool_for(const std::string& endpoint);
+  std::shared_ptr<BackendPool> ensure_pool(const std::string& endpoint);
+  std::shared_ptr<BackendPool> detach_pool(const std::string& endpoint);
+  std::vector<BackendSnapshot> backend_snapshot() const;
+  void publish_view();
+  std::string handle_membership(const io::WireRequest& wire);
   std::string stats_json(std::int64_t id) const;
   void prepare_task(const std::string& line, RouteTask& task);
   bool dispatch(RouteTask& task);
   std::string await_reply(RouteTask& task);
+  void replicate(RouteTask& task, const engine::SolveReport& report);
   std::string finalize_reply(RouteTask& task, const std::string& raw);
   std::string render_report(RouteTask& task, engine::SolveReport report,
                             const char* source);
@@ -156,6 +208,159 @@ struct Router::Impl {
   void accept_loop();
   void health_loop();
 };
+
+std::shared_ptr<BackendPool> Router::Impl::pool_for(
+    const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(pools_mutex);
+  const auto it = pools.find(endpoint);
+  return it == pools.end() ? nullptr : it->second;
+}
+
+/// The pool for `endpoint`, created on first use (join path). The caller
+/// validates the endpoint; creation never throws past parse.
+std::shared_ptr<BackendPool> Router::Impl::ensure_pool(
+    const std::string& endpoint) {
+  {
+    std::lock_guard<std::mutex> lock(pools_mutex);
+    const auto it = pools.find(endpoint);
+    if (it != pools.end()) return it->second;
+  }
+  std::string host;
+  std::uint16_t port = 0;
+  if (!net::parse_endpoint(endpoint, host, port)) return nullptr;
+  PoolOptions pool_options;
+  pool_options.connections = options.pool_connections;
+  pool_options.backoff_base_ms = options.backoff_base_ms;
+  pool_options.backoff_max_ms = options.backoff_max_ms;
+  auto pool = std::make_shared<BackendPool>(host, port, pool_options);
+  std::lock_guard<std::mutex> lock(pools_mutex);
+  // Lost a creation race: keep the incumbent (ours is dropped unopened).
+  auto it = pools.find(endpoint);
+  if (it == pools.end()) it = pools.emplace(endpoint, std::move(pool)).first;
+  return it->second;
+}
+
+/// Remove `endpoint`'s pool from the routing set and hand it back. The
+/// caller shuts it down *outside* the locks: in-flight replies then fail
+/// fast and their owners re-walk the (already-republished) view.
+std::shared_ptr<BackendPool> Router::Impl::detach_pool(
+    const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(pools_mutex);
+  const auto it = pools.find(endpoint);
+  if (it == pools.end()) return nullptr;
+  std::shared_ptr<BackendPool> pool = std::move(it->second);
+  pools.erase(it);
+  return pool;
+}
+
+/// The endpoint-sorted backend set for stats reporting (stats verb and
+/// Router::stats() share it). A pool with no membership entry is
+/// mid-removal and reported as announced.
+std::vector<Router::Impl::BackendSnapshot> Router::Impl::backend_snapshot()
+    const {
+  std::unordered_map<std::string, bool> is_static;
+  for (const cluster::Member& member : membership.members())
+    is_static[member.endpoint] = member.is_static;
+  std::vector<BackendSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(pools_mutex);
+    out.reserve(pools.size());
+    for (const auto& [endpoint, pool] : pools)
+      out.push_back(BackendSnapshot{endpoint, pool, false});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BackendSnapshot& a, const BackendSnapshot& b) {
+              return a.endpoint < b.endpoint;
+            });
+  for (BackendSnapshot& backend : out) {
+    const auto it = is_static.find(backend.endpoint);
+    backend.is_static = it != is_static.end() && it->second;
+  }
+  return out;
+}
+
+/// Rebuild the routing view from the current member set and swap it in.
+/// Callers hold `cluster_mutex`, so concurrent membership changes publish
+/// their epochs in order.
+void Router::Impl::publish_view() {
+  const std::vector<cluster::Member> members = membership.members();
+  std::vector<std::string> endpoints;
+  endpoints.reserve(members.size());
+  for (const cluster::Member& member : members)
+    endpoints.push_back(member.endpoint);
+  views.publish(cluster::ClusterView::make(membership.epoch(), endpoints));
+}
+
+/// The join/leave/heartbeat control plane, answered inline on the client
+/// connection thread (membership changes are rare next to solves).
+std::string Router::Impl::handle_membership(const io::WireRequest& wire) {
+  if (!options.dynamic)
+    return error_json(
+        "membership verbs need a dynamic router (ebmf route --dynamic)", "",
+        wire.id);
+  std::string host;
+  std::uint16_t port = 0;
+  if (!net::parse_endpoint(wire.endpoint, host, port))
+    return error_json("bad endpoint '" + wire.endpoint + "' (want host:port)",
+                      "", wire.id);
+  const std::string endpoint = host + ":" + std::to_string(port);
+  std::ostringstream out;
+  out << "{";
+  if (wire.id >= 0) out << "\"id\":" << wire.id << ",";
+
+  if (wire.op == io::WireOp::Heartbeat) {
+    // No lock needed: a heartbeat never changes the member set.
+    const cluster::MembershipUpdate update = membership.heartbeat(endpoint);
+    if (update.known)
+      out << "\"ok\":true,\"epoch\":" << update.epoch << "}";
+    else  // evicted (or never joined): the backend must announce again
+      out << "\"ok\":false,\"rejoin\":true,\"epoch\":" << update.epoch << "}";
+    return out.str();
+  }
+
+  if (wire.op == io::WireOp::Join) {
+    cluster::MembershipUpdate update;
+    {
+      std::lock_guard<std::mutex> lock(cluster_mutex);
+      update = membership.join(endpoint);
+      ensure_pool(endpoint);
+      if (update.changed) publish_view();
+    }
+    if (update.changed) stat_joins.fetch_add(1, std::memory_order_relaxed);
+    // Opportunistic connect outside the cluster lock — the first requests
+    // for this shard should not eat a health-cadence delay.
+    if (const auto pool = pool_for(endpoint)) pool->maintain();
+    out << "\"joined\":true,\"epoch\":" << update.epoch << "}";
+    return out.str();
+  }
+
+  // Leave: publish the shrunken view first, then break the pool — its
+  // in-flight replies fail over against a view that no longer lists it.
+  std::shared_ptr<BackendPool> detached;
+  cluster::MembershipUpdate update;
+  {
+    std::lock_guard<std::mutex> lock(cluster_mutex);
+    // Static members are the operator's command line, not the wire's to
+    // retract: a misdirected (or spoofed) leave would unroute a configured
+    // shard until restart, since static members never announce/re-join.
+    for (const cluster::Member& member : membership.members()) {
+      if (member.endpoint == endpoint && member.is_static)
+        return error_json("cannot leave static backend '" + endpoint +
+                              "' (configured on the router command line)",
+                          "", wire.id);
+    }
+    update = membership.leave(endpoint);
+    if (update.changed) {
+      publish_view();
+      detached = detach_pool(endpoint);
+    }
+  }
+  if (update.changed) stat_leaves.fetch_add(1, std::memory_order_relaxed);
+  if (detached) detached->shutdown();
+  out << "\"left\":" << (update.changed ? "true" : "false")
+      << ",\"epoch\":" << update.epoch << "}";
+  return out.str();
+}
 
 std::string Router::Impl::stats_json(std::int64_t id) const {
   std::ostringstream out;
@@ -170,6 +375,20 @@ std::string Router::Impl::stats_json(std::int64_t id) const {
       << ",\"failovers\":" << stat_failovers.load(std::memory_order_relaxed)
       << ",\"inflight\":" << inflight.load(std::memory_order_relaxed)
       << ",\"max_inflight\":" << options.max_inflight << "}";
+  out << ",\"cluster\":{\"dynamic\":" << (options.dynamic ? "true" : "false")
+      << ",\"epoch\":" << membership.epoch()
+      << ",\"members\":" << membership.size()
+      << ",\"joins\":" << stat_joins.load(std::memory_order_relaxed)
+      << ",\"leaves\":" << stat_leaves.load(std::memory_order_relaxed)
+      << ",\"evictions\":" << stat_evictions.load(std::memory_order_relaxed)
+      << ",\"replicas\":" << options.replicas
+      << ",\"promote_after\":" << options.promote_after
+      << ",\"promoted\":" << hot_keys.promoted_count()
+      << ",\"promotions\":" << stat_promotions.load(std::memory_order_relaxed)
+      << ",\"replica_hits\":"
+      << stat_replica_hits.load(std::memory_order_relaxed)
+      << ",\"replica_puts\":"
+      << stat_replica_puts.load(std::memory_order_relaxed) << "}";
   if (l1) {
     const cache::CacheStats stats = l1->stats();
     out << ",\"l1\":{\"hits\":" << stats.hits
@@ -181,12 +400,14 @@ std::string Router::Impl::stats_json(std::int64_t id) const {
   } else {
     out << ",\"l1\":null";
   }
+  const std::vector<BackendSnapshot> snapshot = backend_snapshot();
   out << ",\"backends\":[";
-  for (std::size_t i = 0; i < pools.size(); ++i) {
-    const PoolStats pool = pools[i]->stats();
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const PoolStats pool = snapshot[i].pool->stats();
     if (i != 0) out << ",";
-    out << "{\"endpoint\":\"" << io::json::escape(pools[i]->endpoint())
+    out << "{\"endpoint\":\"" << io::json::escape(snapshot[i].endpoint)
         << "\",\"alive\":" << (pool.alive ? "true" : "false")
+        << ",\"static\":" << (snapshot[i].is_static ? "true" : "false")
         << ",\"requests\":" << pool.requests
         << ",\"failures\":" << pool.failures
         << ",\"inflight\":" << pool.inflight << "}";
@@ -220,8 +441,48 @@ std::string Router::Impl::render_report(RouteTask& task,
   if (task.failovers > 0)
     report.add_telemetry("routed.failover",
                          static_cast<std::uint64_t>(task.failovers));
+  if (task.promoted_now)
+    report.add_telemetry("cluster.promote", task.hot_hits);
   return io::wire_response_json(report, task.include_partition,
                                 task.client_id);
+}
+
+/// Fan a promoted key's canonical-space result to its replica set as
+/// `{"op":"put"}` cache writes — fire-and-forget: nobody waits on the
+/// replies, a broken replica just misses one write (the next promotion or
+/// fresh solve re-fans). Skips the backend that already served it.
+void Router::Impl::replicate(RouteTask& task,
+                             const engine::SolveReport& report) {
+  if (report.partition.empty()) return;
+  const std::string serving = task.forwarded && !task.preference.empty()
+                                  ? task.preference[task.preference_cursor]
+                                  : std::string();
+  if (!task.view) task.view = views.current();
+  io::WireRequest put;
+  put.op = io::WireOp::Put;
+  put.request.matrix = task.canonical.pattern;
+  put.request.strategy = task.strategy;
+  put.put_report = report;
+  put.put_report.label.clear();
+  // The telemetry and timings describe *this* exchange (the serving
+  // backend's cache_hit, routing stamps, phase clocks). Shipping them into
+  // a replica's cache would make the replica's future replies lead with
+  // stale entries — find_telemetry returns the first match, so a
+  // put-warmed replica would report cache_hit:"false" forever. Replicas
+  // stamp their own.
+  put.put_report.telemetry.clear();
+  put.put_report.timings.clear();
+  for (const std::string& endpoint :
+       task.view->top(task.route_key, options.replicas)) {
+    if (endpoint == serving) continue;
+    const std::shared_ptr<BackendPool> pool = pool_for(endpoint);
+    if (!pool) continue;
+    const std::uint64_t id = next_id.fetch_add(1, std::memory_order_relaxed);
+    put.id = static_cast<std::int64_t>(id);
+    if (pool->submit(id, io::wire_request_json(put),
+                     std::make_shared<PendingReply>()))
+      stat_replica_puts.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 /// Parse one client line and decide its path: immediate reply, passthrough
@@ -243,6 +504,19 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
   task.client_id = wire.id;
   if (wire.op == io::WireOp::Stats) {
     task.immediate = stats_json(wire.id);
+    return;
+  }
+  if (wire.op == io::WireOp::Join || wire.op == io::WireOp::Leave ||
+      wire.op == io::WireOp::Heartbeat) {
+    task.immediate = handle_membership(wire);
+    task.immediate_is_error = is_error_reply(task.immediate);
+    return;
+  }
+  if (wire.op == io::WireOp::Put) {
+    // The router *sends* puts; receiving one means a misdirected fan-out.
+    task.immediate =
+        error_json("put is a backend verb, not a router verb", "", wire.id);
+    task.immediate_is_error = true;
     return;
   }
   task.label = wire.request.label;
@@ -293,12 +567,26 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
     return;
   }
 
+  // Hot-key accounting happens before the L1 lookup so L1-served repeats
+  // heat their key too (promotion must not stall just because the router
+  // already answers the key locally).
+  const cluster::HotKeyUpdate hot = hot_keys.record(task.route_key);
+  task.promoted = hot.promoted;
+  task.promoted_now = hot.promoted_now;
+  task.hot_hits = hot.hits;
+  if (hot.promoted_now)
+    stat_promotions.fetch_add(1, std::memory_order_relaxed);
+
   if (l1) {
     std::optional<cache::CachedResult> hit =
         l1->lookup(task.l1_key, task.strategy, task.canonical.pattern);
     if (hit) {
       stat_l1_hits.fetch_add(1, std::memory_order_relaxed);
       engine::SolveReport report = std::move(hit->report);
+      // A key promoted off an L1 repeat still warms its replicas — that is
+      // the whole point: the backends must hold it before one of them (or
+      // this router) goes away.
+      if (task.promoted_now) replicate(task, report);
       report.add_telemetry("routed.l1", "hit");
       task.immediate = render_report(task, std::move(report), "l1");
       return;
@@ -315,14 +603,17 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
   task.backend_line = io::wire_request_json(forward);
 }
 
-/// First submission: walk the key's HRW preference list to the first live
-/// pool. False when every backend is down (immediate error reply).
+/// First submission: take the current view, then walk the key's HRW
+/// preference list to the first live pool. False when every backend is
+/// down or the view is empty (immediate error reply).
 bool Router::Impl::dispatch(RouteTask& task) {
   task.pending = std::make_shared<PendingReply>();
-  task.preference = ring.ordered(task.route_key);
+  task.view = views.current();
+  task.preference = task.view->ordered(task.route_key);
   for (std::size_t i = 0; i < task.preference.size(); ++i) {
-    BackendPool& pool = *pools[task.preference[i]];
-    if (pool.submit(task.router_id, task.backend_line, task.pending)) {
+    const std::shared_ptr<BackendPool> pool = pool_for(task.preference[i]);
+    if (!pool) continue;  // membership raced ahead of the pool set
+    if (pool->submit(task.router_id, task.backend_line, task.pending)) {
       task.preference_cursor = i;
       task.failovers += i > 0 ? 1 : 0;
       if (i > 0) stat_failovers.fetch_add(1, std::memory_order_relaxed);
@@ -331,7 +622,7 @@ bool Router::Impl::dispatch(RouteTask& task) {
     }
   }
   task.immediate = error_json(
-      "no live backend (" + std::to_string(pools.size()) + " configured)",
+      "no live backend (" + std::to_string(task.view->size()) + " members)",
       task.label, task.client_id);
   task.immediate_is_error = true;
   return false;
@@ -346,7 +637,7 @@ std::string Router::Impl::await_reply(RouteTask& task) {
   // one that failed; a bounded number of total attempts guards against a
   // backend that accepts and immediately breaks, forever.
   std::size_t attempts = 0;
-  const std::size_t max_attempts = 2 * pools.size() + 2;
+  const std::size_t max_attempts = 2 * task.preference.size() + 2;
   while (attempts++ < max_attempts) {
     const double window = options.reply_timeout_seconds;
     PendingReply::Outcome outcome;
@@ -367,7 +658,8 @@ std::string Router::Impl::await_reply(RouteTask& task) {
     if (outcome == PendingReply::Outcome::TimedOut) {
       // Withdraw the registration; a reply that raced the give-up still
       // counts (served, not re-solved).
-      pools[task.preference[task.preference_cursor]]->forget(task.router_id);
+      if (const auto pool = pool_for(task.preference[task.preference_cursor]))
+        pool->forget(task.router_id);
       if (task.pending->has_reply()) {
         std::lock_guard<std::mutex> lock(task.pending->mutex);
         return task.pending->line;
@@ -375,13 +667,16 @@ std::string Router::Impl::await_reply(RouteTask& task) {
     }
     if (stopping.load(std::memory_order_relaxed)) break;
     // The serving backend broke (or hung): resubmit to the next live one.
+    // The walk stays on the task's own view — a key whose owner just left
+    // fails over along the same preference list the dispatch used.
     bool resubmitted = false;
     for (std::size_t step = 1; step <= task.preference.size(); ++step) {
       const std::size_t i =
           (task.preference_cursor + step) % task.preference.size();
+      const std::shared_ptr<BackendPool> pool = pool_for(task.preference[i]);
+      if (!pool) continue;
       task.pending->reset();
-      if (pools[task.preference[i]]->submit(task.router_id, task.backend_line,
-                                            task.pending)) {
+      if (pool->submit(task.router_id, task.backend_line, task.pending)) {
         task.preference_cursor = i;
         ++task.failovers;
         stat_failovers.fetch_add(1, std::memory_order_relaxed);
@@ -434,10 +729,28 @@ std::string Router::Impl::finalize_reply(RouteTask& task,
   }
   // Insert the clean canonical-space report before stamping per-client
   // routing telemetry; the partition must witness the canonical pattern.
-  if (l1 && validate_partition(task.canonical.pattern, report.partition))
+  const bool certified = static_cast<bool>(
+      validate_partition(task.canonical.pattern, report.partition));
+  if (l1 && certified)
     l1->insert(task.l1_key, task.strategy, task.canonical.pattern, report);
-  const std::string endpoint =
-      pools[task.preference[task.preference_cursor]]->endpoint();
+  const std::string endpoint = task.preference[task.preference_cursor];
+  if (task.promoted && certified) {
+    // Replica-aware accounting: a promoted key answered by a non-primary
+    // member of its replica set is the survives-a-kill property working.
+    if (task.preference_cursor > 0 &&
+        task.preference_cursor < options.replicas) {
+      stat_replica_hits.fetch_add(1, std::memory_order_relaxed);
+      report.add_telemetry("cluster.replica_hit",
+                           static_cast<std::uint64_t>(task.preference_cursor));
+    }
+    // Fan the result out when the key just crossed the threshold, or when
+    // a backend actually re-solved it (a fresh certificate the other
+    // replicas do not have yet). Warm repeats skip the fan-out.
+    const std::string* cache_hit = report.find_telemetry("cache_hit");
+    if (task.promoted_now ||
+        (cache_hit != nullptr && *cache_hit == "false"))
+      replicate(task, report);
+  }
   const std::string reply =
       render_report(task, std::move(report), endpoint.c_str());
   if (is_error_reply(reply))
@@ -592,7 +905,32 @@ void Router::Impl::health_loop() {
   while (!stopping.load(std::memory_order_relaxed)) {
     timespec nap{interval_ns / 1000000000L, interval_ns % 1000000000L};
     ::nanosleep(&nap, nullptr);
-    for (auto& pool : pools) pool->maintain();
+    std::vector<std::shared_ptr<BackendPool>> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(pools_mutex);
+      snapshot.reserve(pools.size());
+      for (const auto& [endpoint, pool] : pools) snapshot.push_back(pool);
+    }
+    for (const auto& pool : snapshot) pool->maintain();
+    if (!options.dynamic) continue;
+    // Missed-heartbeat eviction: drop silent members, publish the new
+    // epoch, then break their pools (outside the cluster lock) so any
+    // in-flight replies fail over promptly.
+    std::vector<std::string> evicted;
+    std::vector<std::shared_ptr<BackendPool>> detached;
+    {
+      std::lock_guard<std::mutex> lock(cluster_mutex);
+      evicted = membership.sweep();
+      if (!evicted.empty()) {
+        publish_view();
+        for (const std::string& endpoint : evicted)
+          if (auto pool = detach_pool(endpoint))
+            detached.push_back(std::move(pool));
+      }
+    }
+    if (!evicted.empty())
+      stat_evictions.fetch_add(evicted.size(), std::memory_order_relaxed);
+    for (const auto& pool : detached) pool->shutdown();
   }
 }
 
@@ -603,27 +941,36 @@ Router::~Router() { stop(); }
 
 void Router::start() {
   Impl& impl = *impl_;
-  if (impl.options.backends.empty())
-    throw std::runtime_error("router needs at least one --backend");
-  PoolOptions pool_options;
-  pool_options.connections = impl.options.pool_connections;
-  pool_options.backoff_base_ms = impl.options.backoff_base_ms;
-  pool_options.backoff_max_ms = impl.options.backoff_max_ms;
-  for (const std::string& endpoint : impl.options.backends) {
-    std::string host;
-    std::uint16_t port = 0;
-    if (!net::parse_endpoint(endpoint, host, port))
-      throw std::runtime_error("bad backend endpoint '" + endpoint +
-                               "' (want host:port)");
-    // The ring dedups by id; pools must stay index-aligned with it, so a
-    // repeated endpoint is dropped here rather than shadowing a shard.
-    const std::size_t index = impl.ring.add(host + ":" + std::to_string(port));
-    if (index < impl.pools.size()) continue;  // duplicate endpoint
-    impl.pools.push_back(
-        std::make_unique<BackendPool>(host, port, pool_options));
+  if (impl.options.backends.empty() && !impl.options.dynamic)
+    throw std::runtime_error(
+        "router needs at least one backend (or --dynamic to let backends "
+        "join)");
+  {
+    std::lock_guard<std::mutex> lock(impl.cluster_mutex);
+    for (const std::string& endpoint : impl.options.backends) {
+      std::string host;
+      std::uint16_t port = 0;
+      if (!net::parse_endpoint(endpoint, host, port))
+        throw std::runtime_error("bad backend endpoint '" + endpoint +
+                                 "' (want host:port)");
+      // Membership dedups by endpoint, so a repeated endpoint cannot
+      // shadow a shard.
+      const std::string normalized = host + ":" + std::to_string(port);
+      impl.membership.add_static(normalized);
+      impl.ensure_pool(normalized);
+    }
+    impl.publish_view();
   }
   // Best-effort initial connects: a late backend just starts in backoff.
-  for (auto& pool : impl.pools) pool->maintain();
+  {
+    std::vector<std::shared_ptr<BackendPool>> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(impl.pools_mutex);
+      for (const auto& [endpoint, pool] : impl.pools)
+        snapshot.push_back(pool);
+    }
+    for (const auto& pool : snapshot) pool->maintain();
+  }
 
   impl.listener.listen(impl.options.host, impl.options.port);
   impl.stopping = false;
@@ -659,7 +1006,12 @@ void Router::stop() {
 
   // 3. Only now tear down the transport.
   if (impl.health_thread.joinable()) impl.health_thread.join();
-  for (auto& pool : impl.pools) pool->shutdown();
+  std::vector<std::shared_ptr<BackendPool>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(impl.pools_mutex);
+    for (const auto& [endpoint, pool] : impl.pools) snapshot.push_back(pool);
+  }
+  for (const auto& pool : snapshot) pool->shutdown();
   impl.listener.close();
   impl.running = false;
 }
@@ -676,11 +1028,20 @@ RouterStats Router::stats() const {
   out.rejected = impl_->stat_rejected.load(std::memory_order_relaxed);
   out.l1_hits = impl_->stat_l1_hits.load(std::memory_order_relaxed);
   out.failovers = impl_->stat_failovers.load(std::memory_order_relaxed);
-  for (const auto& pool : impl_->pools) {
-    const PoolStats stats = pool->stats();
+  out.epoch = impl_->membership.epoch();
+  out.members = impl_->membership.size();
+  out.joins = impl_->stat_joins.load(std::memory_order_relaxed);
+  out.leaves = impl_->stat_leaves.load(std::memory_order_relaxed);
+  out.evictions = impl_->stat_evictions.load(std::memory_order_relaxed);
+  out.promotions = impl_->stat_promotions.load(std::memory_order_relaxed);
+  out.replica_hits = impl_->stat_replica_hits.load(std::memory_order_relaxed);
+  out.replica_puts = impl_->stat_replica_puts.load(std::memory_order_relaxed);
+  for (const Impl::BackendSnapshot& backend : impl_->backend_snapshot()) {
+    const PoolStats stats = backend.pool->stats();
     BackendHealth health;
-    health.endpoint = pool->endpoint();
+    health.endpoint = backend.endpoint;
     health.alive = stats.alive;
+    health.is_static = backend.is_static;
     health.requests = stats.requests;
     health.failures = stats.failures;
     out.backends.push_back(std::move(health));
@@ -730,9 +1091,11 @@ int route_forever(const RouterOptions& options, std::ostream& log) {
   ::signal(SIGPIPE, SIG_IGN);
 
   log << "ebmf router listening on " << options.host << ":" << router.port()
-      << " over " << options.backends.size() << " backends (l1-mb="
-      << options.l1_mb << ", max-inflight=" << options.max_inflight << ")"
-      << std::endl;
+      << " over " << options.backends.size() << " static backends"
+      << (options.dynamic ? " (dynamic: join/leave/heartbeat enabled)" : "")
+      << " (l1-mb=" << options.l1_mb
+      << ", max-inflight=" << options.max_inflight
+      << ", replicas=" << options.replicas << ")" << std::endl;
 
   while (g_signal == 0) {
     timespec nap{0, 100 * 1000 * 1000};
@@ -747,10 +1110,17 @@ int route_forever(const RouterOptions& options, std::ostream& log) {
       << " errors, " << stats.rejected << " rejected, " << stats.l1_hits
       << " l1 hits, " << stats.failovers << " failovers, across "
       << stats.connections << " connections" << std::endl;
+  log << "cluster: epoch " << stats.epoch << ", " << stats.members
+      << " members (" << stats.joins << " joins, " << stats.leaves
+      << " leaves, " << stats.evictions << " evictions); " << stats.promotions
+      << " promotions, " << stats.replica_hits << " replica hits, "
+      << stats.replica_puts << " replica puts" << std::endl;
   for (const BackendHealth& backend : stats.backends)
     log << "  backend " << backend.endpoint << ": "
-        << (backend.alive ? "alive" : "down") << ", " << backend.requests
-        << " requests, " << backend.failures << " failures" << std::endl;
+        << (backend.alive ? "alive" : "down")
+        << (backend.is_static ? " (static)" : " (announced)") << ", "
+        << backend.requests << " requests, " << backend.failures
+        << " failures" << std::endl;
 
   if (!options.cache_file.empty() && router.l1()) {
     std::string error;

@@ -38,8 +38,24 @@
 /// Masked (don't-care) requests bypass canonicalization — they are
 /// forwarded verbatim (keyed by raw pattern text, so repeats still share a
 /// backend) and their replies pass through untouched. `{"op":"stats"}`
-/// answers locally with router counters, L1 counters, and per-backend
-/// health.
+/// answers locally with router counters, L1 counters, cluster state, and
+/// per-backend health.
+///
+/// **Live membership (PR 5, `--dynamic`).** The backend set is no longer
+/// frozen at startup: backends announce themselves with
+/// `{"op":"join","endpoint":...}` (see `ebmf serve --announce`), heartbeat
+/// periodically, and are evicted after a missed-heartbeat grace window
+/// (cluster/membership.h). Every membership change publishes a fresh
+/// epoch-stamped view (cluster/view.h) whose HRW ring new requests route
+/// on, while in-flight requests finish against the view they started with
+/// — so a join or leave under load loses no accepted request.
+///
+/// **Hot-key replication.** The router counts per-key hits
+/// (cluster/replica.h); a key past `--promote-after` is promoted to the
+/// top-`--replicas` backends of its HRW order: results are fanned to every
+/// replica as `{"op":"put"}` cache writes, and reads served by a surviving
+/// non-primary replica carry `cluster.replica_hit` telemetry — a killed
+/// backend no longer turns the hottest patterns cold.
 
 #include <cstdint>
 #include <iosfwd>
@@ -55,8 +71,23 @@ namespace ebmf::router {
 struct RouterOptions {
   std::uint16_t port = 7500;       ///< 0 = pick an ephemeral port.
   std::string host = "127.0.0.1";  ///< Bind address.
-  /// Backend endpoints ("host:port"), the shard set. At least one.
+  /// Backend endpoints ("host:port") configured at startup. These are
+  /// *static* members: never heartbeat-evicted. A non-dynamic router
+  /// requires at least one; a dynamic router may start empty and let
+  /// backends join.
   std::vector<std::string> backends;
+  /// Accept join/leave/heartbeat membership verbs and run missed-heartbeat
+  /// eviction (`ebmf route --dynamic`).
+  bool dynamic = false;
+  /// Replica set size for promoted hot keys (top-R of the key's HRW
+  /// order). 1 disables replication (a key lives on its owner only).
+  std::size_t replicas = 2;
+  /// Hits before a key is promoted to replicated (0 = never promote).
+  std::uint64_t promote_after = 8;
+  /// Expected announce heartbeat cadence; grace_ms defaults off it.
+  double heartbeat_ms = 500.0;
+  /// Missed-heartbeat eviction window (0 = 4 * heartbeat_ms).
+  double grace_ms = 0.0;
   double l1_mb = 64.0;        ///< Router-local result cache (0 = off).
   std::string cache_file;     ///< L1 snapshot path ("" = no persistence).
   std::size_t max_inflight = 256;  ///< Global admission limit.
@@ -75,6 +106,7 @@ struct RouterOptions {
 struct BackendHealth {
   std::string endpoint;
   bool alive = false;
+  bool is_static = false;      ///< Configured at startup (never evicted).
   std::uint64_t requests = 0;  ///< Lines submitted to this backend.
   std::uint64_t failures = 0;  ///< Connection breaks observed.
 };
@@ -87,6 +119,15 @@ struct RouterStats {
   std::uint64_t rejected = 0;     ///< Shed by admission control.
   std::uint64_t l1_hits = 0;      ///< Answered from the router's cache.
   std::uint64_t failovers = 0;    ///< Resubmits after a backend failure.
+  // -- cluster control plane ---------------------------------------------
+  std::uint64_t epoch = 0;        ///< Current membership epoch.
+  std::size_t members = 0;        ///< Registered members right now.
+  std::uint64_t joins = 0;        ///< Accepted join verbs (new members).
+  std::uint64_t leaves = 0;       ///< Accepted leave verbs.
+  std::uint64_t evictions = 0;    ///< Members dropped by missed heartbeats.
+  std::uint64_t promotions = 0;   ///< Keys promoted to replicated.
+  std::uint64_t replica_hits = 0; ///< Promoted reads served off-primary.
+  std::uint64_t replica_puts = 0; ///< Cache writes fanned to replicas.
   std::vector<BackendHealth> backends;
 };
 
@@ -102,8 +143,9 @@ class Router {
 
   /// Bind, connect the backend pools (best effort — a down backend just
   /// starts in backoff), and launch the accept/health threads. Throws
-  /// std::runtime_error on an unusable address, no backends, or a
-  /// malformed endpoint.
+  /// std::runtime_error on an unusable address, a malformed endpoint, or
+  /// no backends on a non-dynamic router (a dynamic one may start empty
+  /// and wait for joins).
   void start();
 
   /// Graceful drain: stop accepting, close backend pools (in-flight

@@ -5,12 +5,17 @@
 
 #include "service/service.h"
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <ctime>
@@ -23,8 +28,10 @@
 #include <utility>
 #include <vector>
 
+#include "core/partition.h"
 #include "io/json.h"
 #include "io/request_io.h"
+#include "service/canon.h"
 #include "service/net.h"
 
 namespace ebmf::service {
@@ -79,11 +86,22 @@ struct Server::Impl {
   std::mutex connections_mutex;
   std::vector<std::shared_ptr<Connection>> connections;
 
+  /// The announce client's live socket to the router (-1 when none):
+  /// stop() shuts it down (under the mutex, so a concurrent close/reuse
+  /// can never hand it a recycled descriptor) to wake a blocking
+  /// heartbeat read.
+  std::thread announce_thread;
+  std::mutex announce_mutex;
+  int announce_fd = -1;
+
   std::atomic<std::size_t> inflight{0};
   std::atomic<std::uint64_t> stat_connections{0};
   std::atomic<std::uint64_t> stat_requests{0};
   std::atomic<std::uint64_t> stat_errors{0};
   std::atomic<std::uint64_t> stat_rejected{0};
+  std::atomic<std::uint64_t> stat_puts{0};
+  std::atomic<std::uint64_t> stat_joins_sent{0};
+  std::atomic<std::uint64_t> stat_join_rejects{0};
 
   /// Reserve one admission slot; false when the server is at capacity.
   bool try_admit() {
@@ -102,6 +120,12 @@ struct Server::Impl {
   }
 
   std::string stats_json(std::int64_t id) const;
+  std::string handle_put(const io::WireRequest& wire);
+  std::string advertised_endpoint() const;
+  int dial_announce(const std::string& host, std::uint16_t port);
+  bool announce_round(const std::string& host, std::uint16_t port,
+                      const std::string& self);
+  void announce_loop();
   bool read_batch(Connection& conn, net::LineBuffer& buffer,
                   std::vector<std::string>& lines);
   bool process_batch(Connection& conn, const std::vector<std::string>& lines);
@@ -121,6 +145,10 @@ std::string Server::Impl::stats_json(std::int64_t id) const {
       << ",\"requests\":" << stat_requests.load(std::memory_order_relaxed)
       << ",\"errors\":" << stat_errors.load(std::memory_order_relaxed)
       << ",\"rejected\":" << stat_rejected.load(std::memory_order_relaxed)
+      << ",\"puts\":" << stat_puts.load(std::memory_order_relaxed)
+      << ",\"joins_sent\":" << stat_joins_sent.load(std::memory_order_relaxed)
+      << ",\"join_rejects\":"
+      << stat_join_rejects.load(std::memory_order_relaxed)
       << ",\"inflight\":" << inflight.load(std::memory_order_relaxed)
       << ",\"max_inflight\":" << options.max_inflight << "}";
   if (engine.cache()) {
@@ -136,6 +164,189 @@ std::string Server::Impl::stats_json(std::int64_t id) const {
   }
   out << "}";
   return out.str();
+}
+
+/// `{"op":"put"}`: a replica cache write from the router. The payload is
+/// an input, not trusted state — the pattern must already be canonical
+/// (so the stored key matches what this server's own lookups compute) and
+/// the certificate must validate before anything reaches the cache; a bad
+/// put becomes an error reply, never a wrong cached answer.
+std::string Server::Impl::handle_put(const io::WireRequest& wire) {
+  if (!engine.cache())
+    return error_json("put: this server runs without a cache", "", wire.id);
+  const canon::Canonical canonical = canon::canonicalize(wire.request.matrix);
+  if (!(canonical.pattern == wire.request.matrix))
+    return error_json("put: pattern is not canonical", "", wire.id);
+  if (wire.put_report.partition.empty() ||
+      !validate_partition(canonical.pattern, wire.put_report.partition))
+    return error_json("put: invalid certificate", "", wire.id);
+  const canon::CacheKey key = canonical.key.mixed_with(wire.request.strategy);
+  engine.cache()->insert(key, wire.request.strategy, canonical.pattern,
+                         wire.put_report);
+  stat_puts.fetch_add(1, std::memory_order_relaxed);
+  std::ostringstream out;
+  out << "{";
+  if (wire.id >= 0) out << "\"id\":" << wire.id << ",";
+  out << "\"ok\":true,\"put\":true}";
+  return out.str();
+}
+
+/// The endpoint this server announces: --advertise when given, else the
+/// bind host plus the actually-bound port (resolves --port=0).
+std::string Server::Impl::advertised_endpoint() const {
+  if (!options.advertise.empty()) return options.advertise;
+  return options.host + ":" + std::to_string(listener.port());
+}
+
+namespace {
+
+/// Block for one reply line on `fd` into `buffer`. False on EOF/error.
+bool read_reply_line(int fd, net::LineBuffer& buffer, std::string& line) {
+  char chunk[4096];
+  while (true) {
+    if (buffer.pop(line)) return true;
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+}
+
+}  // namespace
+
+/// Announce-path connect: a non-blocking dial polled in slices (so stop()
+/// lands within ~50 ms even against an unroutable router, instead of the
+/// kernel SYN timeout), then a bounded recv window (so a router that
+/// accepts but never answers cannot wedge the announce thread — stop()
+/// joins it). Returns -1 on any failure; the caller retries.
+int Server::Impl::dial_announce(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return -1;
+    }
+    bool connected = false;
+    for (int slice = 0;
+         slice < 40 && !stopping.load(std::memory_order_relaxed); ++slice) {
+      pollfd waiter{fd, POLLOUT, 0};
+      const int ready = ::poll(&waiter, 1, 50);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready != 0) {
+        int error = 0;
+        socklen_t length = sizeof error;
+        connected = ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error,
+                                 &length) == 0 &&
+                    error == 0;
+        break;
+      }
+    }
+    if (!connected) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  timeval window{};
+  window.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &window, sizeof window);
+  return fd;
+}
+
+/// One announce session: dial the router, join, then heartbeat until the
+/// session breaks (router gone, eviction notice, or stop()). Returns true
+/// when the session ended because of stop() — the loop must not retry.
+bool Server::Impl::announce_round(const std::string& host, std::uint16_t port,
+                                  const std::string& self) {
+  const int fd = dial_announce(host, port);
+  if (fd < 0) return stopping.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(announce_mutex);
+    announce_fd = fd;
+  }
+  net::LineBuffer buffer;
+  std::string reply;
+  const std::string endpoint_json = "\"endpoint\":\"" +
+                                    io::json::escape(self) + "\"}";
+  bool stopped = false;
+  bool joined = false;
+  if (write_line(fd, "{\"op\":\"join\"," + endpoint_json) &&
+      read_reply_line(fd, buffer, reply))
+    joined = reply.find("\"joined\":true") != std::string::npos;
+  // A router that answered but refused (not --dynamic, bad endpoint) must
+  // not be indistinguishable from an unreachable one: the reject counter
+  // shows up in this server's own stats verb.
+  if (!reply.empty() && !joined)
+    stat_join_rejects.fetch_add(1, std::memory_order_relaxed);
+  if (joined) {
+    stat_joins_sent.fetch_add(1, std::memory_order_relaxed);
+    // Heartbeat until the router stops answering or asks for a re-join.
+    while (!(stopped = stopping.load(std::memory_order_relaxed))) {
+      // Nap one heartbeat interval in slices so stop() lands promptly.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration<double, std::milli>(options.heartbeat_ms);
+      while (std::chrono::steady_clock::now() < deadline &&
+             !stopping.load(std::memory_order_relaxed)) {
+        timespec nap{0, 20 * 1000 * 1000};
+        ::nanosleep(&nap, nullptr);
+      }
+      if ((stopped = stopping.load(std::memory_order_relaxed))) break;
+      if (!write_line(fd, "{\"op\":\"heartbeat\"," + endpoint_json)) break;
+      if (!read_reply_line(fd, buffer, reply)) break;
+      if (reply.find("\"rejoin\":true") != std::string::npos) break;
+    }
+  }
+  // A graceful stop says goodbye on the session it held; eviction after a
+  // crash is the fallback, not the normal path. The session fd is only
+  // read-shutdown by stop() (to wake a blocking reply read), so the leave
+  // write still goes through — re-check `stopping` because the wake-up
+  // itself surfaces as a failed read, not as `stopped`.
+  if (stopped || stopping.load(std::memory_order_relaxed))
+    write_line(fd, "{\"op\":\"leave\"," + endpoint_json);
+  {
+    // Deregister before closing: once announce_fd is -1 under the lock,
+    // stop() can no longer shut this (possibly recycled) descriptor down.
+    std::lock_guard<std::mutex> lock(announce_mutex);
+    announce_fd = -1;
+  }
+  ::close(fd);
+  return stopped || stopping.load(std::memory_order_relaxed);
+}
+
+/// The announce client: join + heartbeat sessions against the router,
+/// retried with a pause while the router is unreachable.
+void Server::Impl::announce_loop() {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!net::parse_endpoint(options.announce, host, port)) return;
+  const std::string self = advertised_endpoint();
+  while (!announce_round(host, port, self)) {
+    // Router unreachable or session broken: pause one heartbeat before
+    // re-dialing (also in slices, for prompt stop()).
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double, std::milli>(
+            std::max(50.0, options.heartbeat_ms));
+    while (std::chrono::steady_clock::now() < deadline &&
+           !stopping.load(std::memory_order_relaxed)) {
+      timespec nap{0, 20 * 1000 * 1000};
+      ::nanosleep(&nap, nullptr);
+    }
+    if (stopping.load(std::memory_order_relaxed)) break;
+  }
 }
 
 /// Join and drop the reader threads of connections that have finished.
@@ -259,6 +470,33 @@ bool Server::Impl::process_batch(Connection& conn,
     if (wire.op == io::WireOp::Stats) {
       // Admin verb: answered from counters, never admitted or solved.
       p.immediate = impl.stats_json(wire.id);
+      continue;
+    }
+    if (wire.op == io::WireOp::Put) {
+      // Replica cache write: validated + inserted inline, but under the
+      // same admission gate as solves — canonicalization + certificate
+      // validation on untrusted payloads is real work, and a put flood
+      // must shed exactly like a solve flood.
+      if (!impl.try_admit()) {
+        impl.stat_rejected.fetch_add(1, std::memory_order_relaxed);
+        p.error = "overloaded: " + std::to_string(impl.options.max_inflight) +
+                  " requests already in flight";
+        continue;
+      }
+      p.admitted = true;
+      ++admitted;
+      p.immediate = impl.handle_put(wire);
+      if (p.immediate.rfind("{\"error\"", 0) == 0 ||
+          p.immediate.find(",\"error\"", 0) != std::string::npos)
+        impl.stat_errors.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (wire.op == io::WireOp::Join || wire.op == io::WireOp::Leave ||
+        wire.op == io::WireOp::Heartbeat) {
+      // Membership verbs belong to the router's control plane; a backend
+      // answering them would silently swallow a misconfigured announce.
+      p.error = "cluster membership verbs go to a router (ebmf route "
+                "--dynamic), not a backend server";
       continue;
     }
     p.label = wire.request.label;
@@ -416,12 +654,26 @@ void Server::start() {
   impl.running = true;
   impl.accept_thread = std::thread([&impl]() { impl.accept_loop(); });
   impl.watchdog_thread = std::thread([&impl]() { impl.watchdog_loop(); });
+  // The announce client starts after the listener so the advertised
+  // endpoint carries the actually-bound port (resolves --port=0).
+  if (!impl.options.announce.empty())
+    impl.announce_thread = std::thread([&impl]() { impl.announce_loop(); });
 }
 
 void Server::stop() {
   Impl& impl = *impl_;
   if (impl.stopping.exchange(true)) return;
   if (!impl.running.load()) return;
+
+  // 0. Say goodbye to the router first: the announce thread sends the
+  // best-effort leave on its way out (a blocking heartbeat read is woken
+  // by shutting its socket down), so the router stops routing here before
+  // the drain closes any connection.
+  {
+    std::lock_guard<std::mutex> lock(impl.announce_mutex);
+    if (impl.announce_fd >= 0) ::shutdown(impl.announce_fd, SHUT_RD);
+  }
+  if (impl.announce_thread.joinable()) impl.announce_thread.join();
 
   // 1. No new connections: wake the accept loop and retire it.
   impl.listener.shutdown_now();
@@ -460,6 +712,10 @@ ServerStats Server::stats() const {
   out.requests = impl_->stat_requests.load(std::memory_order_relaxed);
   out.errors = impl_->stat_errors.load(std::memory_order_relaxed);
   out.rejected = impl_->stat_rejected.load(std::memory_order_relaxed);
+  out.puts = impl_->stat_puts.load(std::memory_order_relaxed);
+  out.joins_sent = impl_->stat_joins_sent.load(std::memory_order_relaxed);
+  out.join_rejects =
+      impl_->stat_join_rejects.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -59,6 +59,16 @@ struct ServerOptions {
   /// version-mismatched files are ignored with a warning) and rewrites it
   /// after the SIGTERM drain.
   std::string cache_file;
+  /// Cluster announcement (`--announce=HOST:PORT`): when non-empty, the
+  /// server dials this router after binding, sends `{"op":"join"}` with its
+  /// own endpoint, heartbeats every `heartbeat_ms`, re-joins after an
+  /// eviction or a router restart (with backoff), and sends a best-effort
+  /// `{"op":"leave"}` on stop(). Empty = PR 4 behavior, no control plane.
+  std::string announce;
+  /// The endpoint announced to the router ("" = host:bound-port — override
+  /// when the router must dial a different address than the bind one).
+  std::string advertise;
+  double heartbeat_ms = 500.0;  ///< Announce heartbeat cadence.
 };
 
 /// Point-in-time server counters (drain report, tests).
@@ -67,6 +77,9 @@ struct ServerStats {
   std::uint64_t requests = 0;     ///< Lines answered with a report.
   std::uint64_t errors = 0;       ///< Lines answered with an error.
   std::uint64_t rejected = 0;     ///< Requests shed by admission control.
+  std::uint64_t puts = 0;         ///< Replica cache writes accepted.
+  std::uint64_t joins_sent = 0;   ///< Successful join announcements.
+  std::uint64_t join_rejects = 0; ///< Join attempts the router refused.
 };
 
 /// A long-lived solver server. Thread-safe; start() once, stop() once

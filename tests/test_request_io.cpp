@@ -181,6 +181,79 @@ TEST(WireRequest, StatsOpSkipsThePattern) {
                std::runtime_error);
 }
 
+TEST(WireRequest, ClusterMembershipVerbsRoundTrip) {
+  const struct {
+    const char* name;
+    WireOp op;
+  } verbs[] = {{"join", WireOp::Join},
+               {"leave", WireOp::Leave},
+               {"heartbeat", WireOp::Heartbeat}};
+  for (const auto& verb : verbs) {
+    const std::string line = std::string("{\"id\":7,\"op\":\"") + verb.name +
+                             "\",\"endpoint\":\"127.0.0.1:7441\"}";
+    const WireRequest wire = parse_wire_request(line);
+    EXPECT_EQ(wire.op, verb.op) << verb.name;
+    EXPECT_EQ(wire.id, 7) << verb.name;
+    EXPECT_EQ(wire.endpoint, "127.0.0.1:7441") << verb.name;
+    // Render is canonical (id, op, endpoint): the round trip is exact.
+    EXPECT_EQ(wire_request_json(wire), line) << verb.name;
+  }
+  // The endpoint is mandatory.
+  EXPECT_THROW((void)parse_wire_request(R"({"op":"join"})"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_wire_request(R"({"op":"join","endpoint":""})"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_wire_request(R"({"op":"heartbeat"})"),
+               std::runtime_error);
+}
+
+TEST(WireRequest, PutVerbRoundTripsPatternStrategyAndReport) {
+  WireRequest put;
+  put.op = WireOp::Put;
+  put.id = 12;
+  put.request.matrix = BinaryMatrix::parse("10;01");
+  put.request.strategy = "sap";
+  put.put_report.strategy = "sap";
+  put.put_report.status = engine::Status::Optimal;
+  put.put_report.lower_bound = 2;
+  BitVec row0(2), row1(2), col0(2), col1(2);
+  row0.set(0);
+  col0.set(0);
+  row1.set(1);
+  col1.set(1);
+  put.put_report.partition.push_back(Rectangle{row0, col0});
+  put.put_report.partition.push_back(Rectangle{row1, col1});
+  put.put_report.upper_bound = 2;
+
+  const std::string line = wire_request_json(put);
+  const WireRequest parsed = parse_wire_request(line);
+  EXPECT_EQ(parsed.op, WireOp::Put);
+  EXPECT_EQ(parsed.id, 12);
+  EXPECT_TRUE(parsed.request.matrix == put.request.matrix);
+  EXPECT_EQ(parsed.request.strategy, "sap");
+  EXPECT_EQ(parsed.put_report.status, engine::Status::Optimal);
+  EXPECT_EQ(parsed.put_report.upper_bound, 2u);
+  ASSERT_EQ(parsed.put_report.partition.size(), 2u);
+  EXPECT_EQ(parsed.put_report.partition[0], put.put_report.partition[0]);
+
+  // A put without a report, with a masked pattern, or with a report whose
+  // depth disagrees with its partition is rejected at parse time.
+  EXPECT_THROW(
+      (void)parse_wire_request(R"({"op":"put","pattern":"10;01"})"),
+      std::runtime_error);
+  EXPECT_THROW((void)parse_wire_request(
+                   R"({"op":"put","pattern":"1*;01","strategy":"sap",)"
+                   R"("report":{"status":"optimal","lower_bound":1,)"
+                   R"("upper_bound":1}})"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_wire_request(
+                   R"({"op":"put","pattern":"10;01","strategy":"sap",)"
+                   R"("report":{"status":"optimal","lower_bound":1,)"
+                   R"("upper_bound":2,"partition":[{"rows":[0],)"
+                   R"("cols":[0]}]}})"),
+               std::runtime_error);
+}
+
 TEST(WireResponse, ParsesBackIntoAReport) {
   engine::SolveReport report;
   report.label = "rt";

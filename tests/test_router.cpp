@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "io/json.h"
+#include "router/pool.h"
 #include "router/ring.h"
 #include "service/net.h"
 #include "service/service.h"
@@ -161,6 +162,61 @@ TEST(RendezvousRing, RemovingABackendOnlyRehomesItsKeys) {
   }
 }
 
+TEST(RendezvousRing, SingleAddMovesAtMostAboutOneNthOfKeys) {
+  // The HRW contract: adding one backend to N steals only the keys the
+  // newcomer now wins — in expectation 1/(N+1) of the space, and *every*
+  // moved key moves to the newcomer. Checked across fleet sizes.
+  const std::uint64_t keys = 8000;
+  for (const std::size_t n : {2u, 3u, 5u, 8u}) {
+    RendezvousRing before;
+    for (std::size_t i = 0; i < n; ++i)
+      before.add("backend-" + std::to_string(i) + ":1");
+    RendezvousRing after = before;
+    const std::size_t added = after.add("newcomer:1");
+
+    std::uint64_t moved = 0;
+    for (std::uint64_t key = 0; key < keys; ++key) {
+      const std::size_t old_owner = before.owner(key);
+      const std::size_t new_owner = after.owner(key);
+      if (new_owner != old_owner) {
+        ++moved;
+        EXPECT_EQ(new_owner, added) << "n=" << n << " key=" << key;
+      }
+    }
+    // ~1/(n+1) of the keys move; 2x slack absorbs hash variance, and the
+    // bound still certifies "<= 1/N", not "anything goes".
+    EXPECT_LE(moved, 2 * keys / (n + 1)) << "n=" << n;
+    EXPECT_GE(moved, keys / (2 * (n + 1))) << "n=" << n;
+  }
+}
+
+TEST(RendezvousRing, SingleRemoveRehomesOnlyTheRemovedBackendsKeys) {
+  const std::uint64_t keys = 8000;
+  for (const std::size_t n : {2u, 3u, 5u, 8u}) {
+    RendezvousRing before;
+    for (std::size_t i = 0; i < n; ++i)
+      before.add("backend-" + std::to_string(i) + ":1");
+    // Remove the *last* backend so surviving indices align across rings.
+    RendezvousRing after = before;
+    ASSERT_TRUE(after.remove("backend-" + std::to_string(n - 1) + ":1"));
+
+    std::uint64_t rehomed = 0;
+    for (std::uint64_t key = 0; key < keys; ++key) {
+      const std::size_t old_owner = before.owner(key);
+      if (old_owner == n - 1) {
+        ++rehomed;
+        continue;  // the dead backend's keys go wherever ranks them next
+      }
+      // Every survivor keeps every key it owned: zero collateral movement.
+      EXPECT_EQ(after.owner(key), old_owner) << "n=" << n << " key=" << key;
+    }
+    // The removed backend owned ~1/n of the space — that is the movement
+    // ceiling for a single remove.
+    EXPECT_LE(rehomed, 2 * keys / n) << "n=" << n;
+    EXPECT_GE(rehomed, keys / (2 * n)) << "n=" << n;
+  }
+}
+
 TEST(RendezvousRing, OrderedIsAPermutationWithOwnerFirst) {
   RendezvousRing ring;
   ring.add("a:1");
@@ -173,6 +229,54 @@ TEST(RendezvousRing, OrderedIsAPermutationWithOwnerFirst) {
     const std::set<std::size_t> unique(order.begin(), order.end());
     EXPECT_EQ(unique.size(), 3u);
   }
+}
+
+// ---- pool backoff ---------------------------------------------------------
+
+TEST(BackendPool, ReconnectRespectsExponentialBackoff) {
+  // Reserve a loopback port, then close it: connects now fail fast
+  // (ECONNREFUSED), so backoff timing is the only clock in the test.
+  std::uint16_t port = 0;
+  {
+    service::net::TcpListener probe;
+    probe.listen("127.0.0.1", 0);
+    port = probe.port();
+  }
+
+  PoolOptions options;
+  options.backoff_base_ms = 100;
+  options.backoff_max_ms = 2000;
+  BackendPool pool("127.0.0.1", port, options);
+  using Clock = std::chrono::steady_clock;
+
+  // Failure 1: arms a 100 ms window and doubles the next one to 200 ms.
+  pool.maintain();
+  EXPECT_FALSE(pool.alive());
+  // Inside the window, maintain() must not even attempt to connect.
+  pool.maintain();
+  EXPECT_FALSE(pool.alive());
+
+  // Failure 2 (past the first window): arms the doubled 200 ms window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  pool.maintain();
+  EXPECT_FALSE(pool.alive());
+  const auto second_failure = Clock::now();
+
+  // The backend comes up immediately — but the pool owes the window.
+  service::net::TcpListener listener;
+  listener.listen("127.0.0.1", port);
+  while (!pool.alive() &&
+         Clock::now() - second_failure < std::chrono::seconds(5)) {
+    pool.maintain();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(pool.alive()) << "pool never reconnected";
+  const auto waited = Clock::now() - second_failure;
+  // The doubled window was honored. The lower bound is loose (150 of the
+  // 200 ms) so scheduler jitter cannot flake the test, but an eager pool
+  // that skips backoff reconnects within ~5 ms and fails it clearly.
+  EXPECT_GE(waited, std::chrono::milliseconds(150));
+  pool.shutdown();
 }
 
 // ---- routing --------------------------------------------------------------

@@ -96,9 +96,11 @@ def main():
         baseline = {
             "comment": "bench baseline; regenerate via tools/bench_compare.py "
                        "--write-baseline (see file docstring for commands)",
-            "micro": current.get("micro"),
-            "table1": current.get("table1"),
         }
+        # Persist *every* bench summary, not just the known ones, so a new
+        # suite starts being gated the first time the baseline is rewritten.
+        for name, record in sorted(current.items()):
+            baseline[name] = record
         with open(args.baseline, "w", encoding="utf-8") as handle:
             json.dump(baseline, handle, indent=1, sort_keys=True)
             handle.write("\n")
@@ -109,6 +111,15 @@ def main():
         baseline = json.load(handle)
 
     failures = []
+
+    # A suite present in the candidate but absent from the baseline is NOT
+    # a regression — it is a new suite with nothing to compare against. Say
+    # so clearly and keep the gate green; --write-baseline adopts it.
+    for name in sorted(current):
+        if baseline.get(name) is None:
+            print(f"note: no baseline for bench '{name}' in {args.baseline}; "
+                  "skipping (rewrite the baseline with --write-baseline to "
+                  "start gating it)")
 
     base_micro, cur_micro = baseline.get("micro"), current.get("micro")
     if base_micro and cur_micro:
@@ -130,6 +141,8 @@ def main():
         for suite in cur_t1.get("suites", []):
             base_suite = base_suites.get(suite["label"])
             if base_suite is None:
+                print(f"  table1[{suite['label']}]: no baseline suite; "
+                      "skipping")
                 continue
             check_seconds(failures, f"table1[{suite['label']}]",
                           base_suite["seconds"], suite["seconds"],
