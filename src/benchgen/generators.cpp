@@ -113,4 +113,62 @@ GapInstance gap_matrix(std::size_t m, std::size_t n, std::size_t k, Rng& rng) {
   return {};
 }
 
+BinaryMatrix qldpc_block_matrix(std::size_t blocks, std::size_t width,
+                                double occupancy, Rng& rng) {
+  // Offset-pattern library: ~blocks/64 base patterns (at least one), each
+  // contributing itself plus up to 4 split pairs (half + complement-half
+  // of the base support, the family-3 mechanism). Each block then draws
+  // its row from the library, so rows repeat across blocks while the
+  // pair-halves keep the real rank well below the binary rank.
+  const std::size_t groups = std::max<std::size_t>(1, blocks / 64);
+  constexpr std::size_t kSplitsPerBase = 4;
+  std::vector<BitVec> library;
+  for (std::size_t g = 0; g < groups; ++g) {
+    BitVec base(width);
+    for (std::size_t j = 0; j < width; ++j)
+      if (rng.chance(occupancy)) base.set(j);
+    if (base.count() < 2) {
+      // Too sparse to split — use the base pattern as-is.
+      if (base.none()) base.set(rng.below(width));
+      library.push_back(std::move(base));
+      continue;
+    }
+    library.push_back(base);
+    std::set<BitVec> seen;
+    for (std::size_t p = 0; p < kSplitsPerBase; ++p) {
+      for (int tries = 0; tries < 64; ++tries) {
+        BitVec half(width);
+        for (std::size_t j = base.find_first(); j < width;
+             j = base.find_next(j))
+          if (rng.chance(0.5)) half.set(j);
+        if (half.none() || half == base) continue;
+        BitVec other = base - half;
+        if (seen.count(half) != 0 || seen.count(other) != 0) continue;
+        seen.insert(half);
+        seen.insert(other);
+        library.push_back(std::move(half));
+        library.push_back(std::move(other));
+        break;
+      }
+    }
+  }
+  std::vector<BitVec> rows;
+  rows.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b)
+    rows.push_back(library[rng.below(library.size())]);
+  return BinaryMatrix::from_rows(std::move(rows), width);
+}
+
+BinaryMatrix neutral_atom_matrix(std::size_t m, std::size_t n,
+                                 double occupancy, Rng& rng) {
+  BinaryMatrix out(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double row_occ =
+        std::min(1.0, occupancy * (0.5 + rng.uniform01()));
+    for (std::size_t j = 0; j < n; ++j)
+      if (rng.chance(row_occ)) out.set(i, j);
+  }
+  return out;
+}
+
 }  // namespace ebmf::benchgen

@@ -51,4 +51,22 @@ struct GapInstance {
 /// Preconditions: 2 ≤ 2k ≤ m, n ≥ k+1 (enough columns to split).
 GapInstance gap_matrix(std::size_t m, std::size_t n, std::size_t k, Rng& rng);
 
+/// qLDPC 1D-memory instance (paper §V, Fig. 5b): `blocks` memory blocks in
+/// a row, `width` qubit columns per block. Blocks share a limited library
+/// of offset-dependent gate patterns (each block row is one library
+/// entry), and half the library consists of split pairs — one base pattern
+/// addressed across two pulses — which drives rank_ℝ below r_B exactly as
+/// in the family-3 gap construction, but at 10^2–10^3 rows. This is the
+/// anytime tier's home regime: the rank certificate goes slack and the
+/// pattern is far past the SMT cutoffs, so exact SAP cannot certify.
+BinaryMatrix qldpc_block_matrix(std::size_t blocks, std::size_t width,
+                                double occupancy, Rng& rng);
+
+/// Neutral-atom array instance: an m×n trap grid where row loading is
+/// uneven — each row draws its own occupancy uniformly from
+/// [0.5·occupancy, 1.5·occupancy] (clamped to 1) before Bernoulli filling,
+/// modeling AOD rows that address sparse and dense atom rows alike.
+BinaryMatrix neutral_atom_matrix(std::size_t m, std::size_t n,
+                                 double occupancy, Rng& rng);
+
 }  // namespace ebmf::benchgen

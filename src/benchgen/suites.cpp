@@ -72,6 +72,43 @@ std::vector<Instance> gap_suite(std::size_t m, std::size_t n,
   return out;
 }
 
+std::vector<Instance> qldpc_suite(std::size_t blocks, std::size_t width,
+                                  const std::vector<double>& occupancies,
+                                  std::size_t per_config, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Instance> out;
+  out.reserve(occupancies.size() * per_config);
+  for (double occ : occupancies) {
+    for (std::size_t i = 0; i < per_config; ++i) {
+      Instance inst;
+      inst.family = "qldpc";
+      inst.config = size_occ_config(blocks, width, occ);
+      inst.matrix = qldpc_block_matrix(blocks, width, occ, rng);
+      out.push_back(std::move(inst));
+    }
+  }
+  return out;
+}
+
+std::vector<Instance> neutral_atom_suite(std::size_t m, std::size_t n,
+                                         const std::vector<double>& occupancies,
+                                         std::size_t per_config,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Instance> out;
+  out.reserve(occupancies.size() * per_config);
+  for (double occ : occupancies) {
+    for (std::size_t i = 0; i < per_config; ++i) {
+      Instance inst;
+      inst.family = "atom";
+      inst.config = size_occ_config(m, n, occ);
+      inst.matrix = neutral_atom_matrix(m, n, occ, rng);
+      out.push_back(std::move(inst));
+    }
+  }
+  return out;
+}
+
 std::vector<double> paper_occupancies_small() {
   return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
 }

@@ -40,6 +40,19 @@ std::vector<Instance> gap_suite(std::size_t m, std::size_t n,
                                 const std::vector<std::size_t>& pair_counts,
                                 std::size_t per_k, std::uint64_t seed);
 
+/// qLDPC-block suite (family "qldpc"): `per_config` instances of
+/// `blocks`×`width` for each occupancy — the 10^2–10^3-row anytime regime.
+std::vector<Instance> qldpc_suite(std::size_t blocks, std::size_t width,
+                                  const std::vector<double>& occupancies,
+                                  std::size_t per_config, std::uint64_t seed);
+
+/// Neutral-atom suite (family "atom"): `per_config` m×n trap grids with
+/// uneven per-row loading for each nominal occupancy.
+std::vector<Instance> neutral_atom_suite(std::size_t m, std::size_t n,
+                                         const std::vector<double>& occupancies,
+                                         std::size_t per_config,
+                                         std::uint64_t seed);
+
 /// The paper's occupancy grids.
 std::vector<double> paper_occupancies_small();   ///< 10%..90% step 10.
 std::vector<double> paper_occupancies_large();   ///< 1,2,5,10,20%.

@@ -130,8 +130,8 @@ class FlagReader {
 /// The request-building flags shared by `solve` and `schedule`.
 constexpr const char* kRequestFlagsUsage =
     "[--strategy=NAME] [--trials=N] [--seed=N] [--budget=S] [--conflicts=N] "
-    "[--nodes=N] [--probes=N] [--encoding=onehot|binary] [--no-preprocess] "
-    "[--heuristic-only]";
+    "[--nodes=N] [--probes=N] [--stop-at=D] [--encoding=onehot|binary] "
+    "[--no-preprocess] [--heuristic-only]";
 
 /// Build the facade request skeleton (everything but the pattern) from
 /// flags. Returns false — after printing to `err` — on malformed numeric
@@ -149,6 +149,8 @@ bool request_from(const Args& args, const engine::Engine& engine,
   if (args.has("nodes")) request.budget.max_nodes = flags.u64("nodes", 0);
   // SMT bound-race width: 1 = sequential, 0 = auto (hardware threads).
   if (args.has("probes")) request.probes = flags.count("probes", 1);
+  // Anytime early-stop: accept the first incumbent at depth <= D.
+  if (args.has("stop-at")) request.stop_at = flags.count("stop-at", 0);
   if (!flags.valid(err)) return false;
 
   if (args.has("no-preprocess")) request.preprocess = false;
@@ -485,11 +487,15 @@ int cmd_schedule(const Args& args, std::ostream& out, std::ostream& err) {
 }
 
 int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
-  if (args.positional.size() != 1 ||
-      (args.positional[0] != "rand" && args.positional[0] != "opt" &&
-       args.positional[0] != "gap")) {
-    err << "usage: ebmf generate rand|opt|gap [--rows=M] [--cols=N] "
-           "[--occupancy=P] [--k=K] [--seed=S] [--format=dense|sparse|pbm]\n";
+  const bool known_family =
+      args.positional.size() == 1 &&
+      (args.positional[0] == "rand" || args.positional[0] == "opt" ||
+       args.positional[0] == "gap" || args.positional[0] == "qldpc" ||
+       args.positional[0] == "atom");
+  if (!known_family) {
+    err << "usage: ebmf generate rand|opt|gap|qldpc|atom [--rows=M] "
+           "[--cols=N] [--occupancy=P] [--k=K] [--seed=S] "
+           "[--format=dense|sparse|pbm]\n";
     return 2;
   }
   FlagReader flags(args);
@@ -505,6 +511,10 @@ int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
     m = benchgen::random_matrix(rows, cols, occupancy, rng);
   } else if (args.positional[0] == "opt") {
     m = benchgen::known_optimal_matrix(rows, cols, k, rng).matrix;
+  } else if (args.positional[0] == "qldpc") {
+    m = benchgen::qldpc_block_matrix(rows, cols, occupancy, rng);
+  } else if (args.positional[0] == "atom") {
+    m = benchgen::neutral_atom_matrix(rows, cols, occupancy, rng);
   } else {
     m = benchgen::gap_matrix(rows, cols, k, rng).matrix;
   }
@@ -812,14 +822,15 @@ std::string usage() {
          "  fooling <file>      fooling set (--exact for maximum)\n"
          "  components <file>   preprocessing report\n"
          "  schedule <file>     AOD pulse schedule of the solution\n"
-         "  generate <family>   rand | opt | gap benchmark instance\n"
+         "  generate <family>   rand | opt | gap | qldpc | atom instance\n"
          "  convert <in> <out>  rewrite between dense/sparse/PBM formats\n"
          "  encode <file>       emit the SMT decision problem as DIMACS CNF\n"
          "\n"
-         "solve strategies: auto (portfolio), sap, heuristic, greedy, "
-         "trivial,\n"
-         "brute, dlx, completion; run a command without arguments for its "
-         "flags\n";
+         "solve strategies: auto (fitted portfolio), sap, local (anytime), "
+         "heuristic,\n"
+         "greedy, trivial, brute, dlx, completion; run a command without "
+         "arguments\n"
+         "for its flags\n";
 }
 
 int run_command(const std::string& command,

@@ -46,6 +46,22 @@ bool strictly_better(const SolveReport& a, const SolveReport& b) {
   return a.lower_bound > b.lower_bound;
 }
 
+/// Settle the anytime fields once upper_bound is final. Establishes the
+/// report contract: a matching bracket promotes to Optimal, Optimal pins
+/// lower == upper, incumbent_depth defaults to the final depth, and
+/// gap == upper − lower — so gap == 0 iff the answer is certified optimal
+/// for every solve that produced a partition.
+void finalize_anytime(SolveReport& report) {
+  if (!report.partition.empty() &&
+      report.lower_bound == report.upper_bound)
+    report.status = Status::Optimal;
+  if (report.status == Status::Optimal) report.lower_bound = report.upper_bound;
+  if (report.incumbent_depth == 0) report.incumbent_depth = report.upper_bound;
+  report.gap = report.upper_bound > report.lower_bound
+                   ? report.upper_bound - report.lower_bound
+                   : 0;
+}
+
 }  // namespace
 
 SolveReport Engine::run_checked(const SolveRequest& request) const {
@@ -63,6 +79,7 @@ SolveReport Engine::run_checked(const SolveRequest& request) const {
   if (report.strategy.empty()) report.strategy = request.strategy;
   report.upper_bound = report.depth();
   report.total_seconds = total.seconds();
+  finalize_anytime(report);
 
   // The facade's contract: every report's partition is a valid witness.
   if (request.masked) {
@@ -155,6 +172,7 @@ SolveReport Engine::run_cached(const SolverRegistry::Entry& entry,
   report.add_telemetry("cache.misses", stats.misses);
   report.add_telemetry("cache.evictions", stats.evictions);
   report.total_seconds = total.seconds();
+  finalize_anytime(report);
 
   EBMF_ENSURES(static_cast<bool>(
       validate_partition(request.matrix, report.partition)));
@@ -262,6 +280,7 @@ SolveReport Engine::solve_split(const SolveRequest& request,
       std::to_string(reduction.reduced.rows()) + "x" +
           std::to_string(reduction.reduced.cols()));
   merged.total_seconds = total.seconds();
+  finalize_anytime(merged);
 
   EBMF_ENSURES(static_cast<bool>(
       validate_partition(request.matrix, merged.partition)));

@@ -153,6 +153,15 @@ struct SolveReport {
   Status status = Status::Heuristic;
   std::size_t lower_bound = 0;  ///< Proven lower bound on r_B (0 = none).
   std::size_t upper_bound = 0;  ///< |partition| (filled by the engine).
+  /// Depth of the best incumbent the backend produced — for the anytime
+  /// `local` strategy the last validated improving cover, for one-shot
+  /// backends simply the final depth. The engine defaults it to
+  /// upper_bound when a strategy leaves it unset.
+  std::size_t incumbent_depth = 0;
+  /// Certified optimality gap: upper_bound − lower_bound, clamped at 0.
+  /// Invariant (engine-finalized): gap == 0 iff status == Optimal for any
+  /// solve that produced a partition.
+  std::size_t gap = 0;
   Partition partition;          ///< Valid witness of the upper bound.
   std::vector<PhaseTiming> timings;  ///< Per-phase wall-clock.
   double total_seconds = 0.0;

@@ -101,6 +101,8 @@ std::string to_json(const SolveReport& report) {
       << ",\"depth\":" << report.depth()
       << ",\"lower_bound\":" << report.lower_bound
       << ",\"upper_bound\":" << report.upper_bound
+      << ",\"incumbent_depth\":" << report.incumbent_depth
+      << ",\"gap\":" << report.gap
       << ",\"total_seconds\":" << json_number(report.total_seconds);
   out << ",\"timings\":{";
   for (std::size_t i = 0; i < report.timings.size(); ++i) {

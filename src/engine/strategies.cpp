@@ -7,6 +7,8 @@
 // falls back along brute → sap when the exhaustive search runs out of
 // budget.
 
+#include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "completion/completion_solver.h"
@@ -17,6 +19,9 @@
 #include "core/trivial.h"
 #include "dlx/packing_dlx.h"
 #include "engine/engine.h"
+#include "engine/portfolio_cutoffs.h"
+#include "local/local_search.h"
+#include "local/probe_bounds.h"
 #include "smt/sap.h"
 #include "support/stopwatch.h"
 
@@ -24,33 +29,16 @@ namespace ebmf::engine {
 
 namespace {
 
-/// Instance-size thresholds for the "auto" portfolio. Brute force is
-/// exponential in the 1-cell count (intended ≲ 20 ones); the SMT formula is
-/// quadratic in cells, and preprocessing usually shatters sparse instances
-/// into SMT-feasible components up to a few hundred ones.
-///
-/// The cutoffs were calibrated against the benchgen families (seeds 5/7/9,
-/// budget 3 s, 40 trials):
-///  * gap matrices at density ~0.35–0.40 past ~300 ones: sap burns the full
-///    budget for the same depth the heuristic reaches in milliseconds
-///    (30×30 k=8, 316 ones: both depth 28, 3.06 s vs 1.6 ms) — so above
-///    kAutoSmtOnesLimit a *dense* instance goes to the heuristic;
-///  * random matrices at the paper's sparse occupancies shatter into
-///    SMT-feasible components far beyond that 1-count (100×100 at 4–6%,
-///    200×200 at 3% = 1169 ones, 150×150 at 5% = 1118 ones, 120×120 at 8%
-///    = 1126 ones: all certified optimal by sap in 2–6 ms) — so a *sparse*
-///    instance (density ≤ kAutoSparseDensity) keeps the exact path up to
-///    kAutoSparseOnesLimit ones.
-constexpr std::size_t kAutoBruteOnesLimit = 16;
-constexpr std::size_t kAutoSmtOnesLimit = 300;
-/// Density (ones/(m·n)) at or below which preprocessing reliably shatters
-/// the pattern (paper §IV-B works at 1–5% occupancy; 8% still held).
-constexpr double kAutoSparseDensity = 0.08;
-/// 1-count ceiling for the sparse exact path (measured safe with ~2× margin
-/// over the calibration grid).
-constexpr std::size_t kAutoSparseOnesLimit = 1500;
+// The "auto" size/density cutoffs live in portfolio_cutoffs.h — generated
+// by tools/fit_portfolio.py from bench_table1 trajectories, not hand-tuned.
+
 /// Per-component formula guard "auto" applies when the caller set none.
 constexpr std::size_t kAutoSmtCellGuard = 200;
+/// 1-count ceiling for the partial-SAP refinement the `local` strategy
+/// appends when budget remains and the gap is open.
+constexpr std::size_t kLocalSapRefineOnes = 300;
+/// Most incumbents spelled out in the local.trajectory telemetry string.
+constexpr std::size_t kLocalTrajectoryCap = 32;
 
 const char* to_string(sat::SolveResult r) noexcept {
   switch (r) {
@@ -289,6 +277,99 @@ SolveReport solve_completion(const SolveRequest& request) {
   return report;
 }
 
+/// The anytime tier: probe cheap certified lower bounds, run the local
+/// search under the shared budget, then (small instances only) let a
+/// partial SAP pass try to close the remaining gap.
+SolveReport solve_local(const SolveRequest& request) {
+  SolveReport report;
+  const BinaryMatrix& m = request.pattern();
+  if (m.is_zero()) {
+    report.status = Status::Optimal;
+    return report;
+  }
+
+  Stopwatch phase;
+  const local::BoundProbes probes =
+      local::probe_lower_bounds(m, request.budget, request.seed);
+  report.add_timing("bounds", phase.seconds());
+  report.lower_bound = probes.best;
+  report.add_telemetry("local.bound.source", probes.source);
+  report.add_telemetry("local.bound.rank_gf2",
+                       static_cast<std::uint64_t>(probes.rank_gf2));
+  report.add_telemetry("local.bound.counting",
+                       static_cast<std::uint64_t>(probes.counting));
+  if (probes.rank_modp != 0)
+    report.add_telemetry("local.bound.rank_modp",
+                         static_cast<std::uint64_t>(probes.rank_modp));
+  if (probes.fooling != 0)
+    report.add_telemetry("local.bound.fooling",
+                         static_cast<std::uint64_t>(probes.fooling));
+
+  local::LocalSearchOptions options;
+  options.seed = request.seed;
+  options.budget = request.budget;
+  options.stop_at = std::max(request.stop_at, report.lower_bound);
+  options.max_moves = request.budget.max_nodes;  // node cap = move cap here
+  options.seed_trials =
+      std::clamp<std::size_t>(request.trials, std::size_t{1}, std::size_t{8});
+  phase.restart();
+  local::LocalSearchResult result = local::local_search_ebmf(m, options);
+  report.add_timing("search", phase.seconds());
+  report.partition = std::move(result.partition);
+  report.incumbent_depth = report.partition.size();
+
+  const local::LocalSearchStats& stats = result.stats;
+  report.add_telemetry("local.moves", stats.moves);
+  report.add_telemetry("local.accepted", stats.accepted);
+  report.add_telemetry("local.rejected", stats.rejected);
+  report.add_telemetry("local.merges", stats.merges);
+  report.add_telemetry("local.relocations", stats.relocations);
+  report.add_telemetry("local.absorptions", stats.absorptions);
+  report.add_telemetry("local.splits", stats.splits);
+  report.add_telemetry("local.restarts", stats.restarts);
+  report.add_telemetry("local.seed_depth",
+                       static_cast<std::uint64_t>(stats.seed_depth));
+  report.add_telemetry("local.incumbents",
+                       static_cast<std::uint64_t>(stats.incumbents.size()));
+  // The incumbent trajectory "depth@seconds;…" — every improving cover
+  // with its wall-clock timestamp (capped; the count above is exact).
+  std::string trajectory;
+  for (std::size_t i = 0;
+       i < stats.incumbents.size() && i < kLocalTrajectoryCap; ++i) {
+    char entry[48];
+    std::snprintf(entry, sizeof entry, "%s%zu@%.3f", i == 0 ? "" : ";",
+                  stats.incumbents[i].depth, stats.incumbents[i].seconds);
+    trajectory += entry;
+  }
+  report.add_telemetry("local.trajectory", trajectory);
+  if (result.reached_stop) report.add_telemetry("local.reached_stop", "1");
+
+  // Partial-SAP refinement: on small instances with budget to spare, an
+  // exact pass can close (or narrow) the gap — its UNSAT proofs certify.
+  if (!report.partition.empty() &&
+      report.partition.size() > report.lower_bound &&
+      m.ones_count() <= kLocalSapRefineOnes && !request.budget.exhausted()) {
+    SolveRequest refine = request;
+    refine.stop_at = 0;
+    if (refine.smt_cell_limit == 0) refine.smt_cell_limit = kAutoSmtCellGuard;
+    phase.restart();
+    SolveReport exact = solve_sap(refine);
+    report.add_timing("refine", phase.seconds());
+    report.add_telemetry("local.refine", to_string(exact.status));
+    report.lower_bound = std::max(report.lower_bound, exact.lower_bound);
+    if (!exact.partition.empty() &&
+        exact.partition.size() < report.partition.size())
+      report.partition = std::move(exact.partition);
+  }
+
+  // Probes ran, so this is a (budget-cut) bound search: Bounded unless the
+  // bracket closed — the engine's finalize promotes that case to Optimal.
+  report.status = report.partition.size() == report.lower_bound
+                      ? Status::Optimal
+                      : Status::Bounded;
+  return report;
+}
+
 SolveReport solve_auto(const SolveRequest& request) {
   const BinaryMatrix& pattern = request.pattern();
   const std::size_t ones = pattern.ones_count();
@@ -296,24 +377,35 @@ SolveReport solve_auto(const SolveRequest& request) {
   const double density =
       cells == 0 ? 0.0
                  : static_cast<double>(ones) / static_cast<double>(cells);
+  // Fitted three-tier routing (portfolio_cutoffs.h): exact SAP while the
+  // instance is small enough to certify, a multi-probe bound race in the
+  // mid band where SMT still answers but the sequential loop wastes the
+  // budget, and the anytime local search beyond.
+  const bool sparse = density <= kFitSparseDensity;
+  const std::size_t exact_limit =
+      sparse ? kFitExactSparseOnes : kFitExactDenseOnes;
+  const std::size_t race_limit =
+      sparse ? kFitRaceSparseOnes : kFitRaceDenseOnes;
+  bool race = false;
   std::string selected;
   if (request.has_dont_cares()) {
     selected = "completion";
+  } else if (ones <= kFitBruteOnesLimit) {
+    selected = "brute";
+  } else if (ones <= exact_limit) {
+    selected = "sap";
+  } else if (ones <= race_limit) {
+    selected = "sap";
+    race = true;
   } else {
-    const bool sparse = density <= kAutoSparseDensity &&
-                        ones <= kAutoSparseOnesLimit;
-    if (ones <= kAutoBruteOnesLimit)
-      selected = "brute";
-    else if (ones <= kAutoSmtOnesLimit || sparse)
-      selected = "sap";
-    else
-      selected = "heuristic";
+    selected = "local";
   }
 
   SolveRequest sub = request;
   sub.strategy = selected;
   if (selected == "sap" && sub.smt_cell_limit == 0)
     sub.smt_cell_limit = kAutoSmtCellGuard;
+  if (race && sub.probes == 1) sub.probes = 0;  // auto-width bound race
 
   std::string portfolio = selected;
   SolveReport report;
@@ -334,12 +426,15 @@ SolveReport solve_auto(const SolveRequest& request) {
   } else if (selected == "sap") {
     report = solve_sap(sub);
   } else {
-    report = solve_heuristic(sub);
+    report = solve_local(sub);
   }
   report.strategy = selected;
   report.add_telemetry("auto.selected", selected);
   report.add_telemetry("auto.portfolio", portfolio);
   report.add_telemetry("auto.density", density);
+  report.add_telemetry("auto.tier", selected == "local" ? "anytime"
+                                    : race              ? "race"
+                                                        : "exact");
   return report;
 }
 
@@ -364,8 +459,11 @@ SolverRegistry SolverRegistry::with_builtins() {
   registry.add("completion", "don't-care-aware SAT minimization (masked "
                              "patterns)",
                solve_completion);
-  registry.add("auto", "portfolio: backend picked by instance size/density, "
-                       "with fallback",
+  registry.add("local", "anytime local search with certified gap bounds "
+                        "(large instances)",
+               solve_local);
+  registry.add("auto", "portfolio: backend picked by fitted size/density "
+                       "cutoffs, with fallback",
                solve_auto);
   return registry;
 }

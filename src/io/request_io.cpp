@@ -378,6 +378,18 @@ engine::SolveReport parse_wire_response(const json::Value& document,
     fail_response("missing bounds");
   report.lower_bound = static_cast<std::size_t>(lower->as_number());
   report.upper_bound = static_cast<std::size_t>(upper->as_number());
+  // Anytime fields: absent in pre-anytime peers' lines, so default rather
+  // than fail — incumbent_depth to the final depth, gap to the bracket.
+  report.incumbent_depth = report.upper_bound;
+  if (const json::Value* incumbent = document.find("incumbent_depth");
+      incumbent != nullptr && incumbent->is_number())
+    report.incumbent_depth = static_cast<std::size_t>(incumbent->as_number());
+  report.gap = report.upper_bound > report.lower_bound
+                   ? report.upper_bound - report.lower_bound
+                   : 0;
+  if (const json::Value* gap = document.find("gap");
+      gap != nullptr && gap->is_number())
+    report.gap = static_cast<std::size_t>(gap->as_number());
   if (const json::Value* seconds = document.find("total_seconds");
       seconds != nullptr && seconds->is_number())
     report.total_seconds = seconds->as_number();

@@ -35,6 +35,25 @@ void accumulate_stats(sat::SolverStats& into, const sat::SolverStats& from) {
 /// unbounded threads.
 constexpr std::size_t kMaxProbes = 64;
 
+/// Estimated seconds per encoding work unit. Both encoders emit
+/// Θ(cells²·bound) clauses (Eq. 4 per cross pair, per label or bit), and
+/// the constructor cannot be interrupted once started — so a deadline-
+/// bounded solve must refuse formulas it cannot even build in time.
+/// Calibration: 27k cells at bound 31 takes ≈ 8 s to encode.
+constexpr double kEncodeSecondsPerUnit = 4e-10;
+
+/// Refuse the SMT phase when building the first formula would by itself
+/// consume most of the remaining deadline. Unlimited deadlines always
+/// qualify — the caller asked for an exact answer at any cost.
+bool smt_encode_affordable(std::size_t cells, std::size_t bound,
+                           const Budget& budget) {
+  if (!budget.deadline.limited()) return true;
+  const double estimate = kEncodeSecondsPerUnit * static_cast<double>(cells) *
+                          static_cast<double>(cells) *
+                          static_cast<double>(bound);
+  return estimate < 0.5 * budget.deadline.remaining_seconds();
+}
+
 /// Race width: 0 means "hardware threads"; always clamped to kMaxProbes.
 std::size_t resolve_probes(std::size_t requested) {
   if (requested == 0) {
@@ -52,6 +71,7 @@ void smt_phase_sequential(const BinaryMatrix& m, const SapOptions& options,
   std::size_t b = result.partition.size() - 1;
   EBMF_ASSERT(b >= 1);  // size==rank handled by caller; rank >= 1
   smt::LabelFormula formula(m, b, options.encoder);
+  result.smt_seconds += phase.seconds();  // encoding time counts too
   result.status = SapStatus::BoundedOnly;
   while (b >= result.rank_lower) {
     phase.restart();
@@ -262,6 +282,14 @@ SapResult sap_solve_core(const BinaryMatrix& m, const SapOptions& options) {
     return result;
   }
   if (options.budget.exhausted()) {
+    result.status = SapStatus::BoundedOnly;
+    result.total_seconds = total.seconds();
+    return result;
+  }
+  // The encoders are not interruptible; refuse a formula whose mere
+  // construction would blow through the deadline and keep the bracket.
+  if (!smt_encode_affordable(m.ones_count(), result.partition.size() - 1,
+                             options.budget)) {
     result.status = SapStatus::BoundedOnly;
     result.total_seconds = total.seconds();
     return result;

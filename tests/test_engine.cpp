@@ -125,16 +125,22 @@ TEST(Auto, MidSizeInstanceSelectsSap) {
   EXPECT_EQ(*report.find_telemetry("auto.selected"), "sap");
 }
 
-TEST(Auto, LargeInstanceSelectsHeuristicAndStaysValid) {
+TEST(Auto, LargeInstanceSelectsAnytimeLocalAndStaysValid) {
   Rng rng(22);
   const auto m = BinaryMatrix::random(40, 40, 0.5, rng);  // ~800 ones
   const Engine engine;
   auto request = SolveRequest::dense(m, "auto");
   request.trials = 10;
   const auto report = engine.solve(request);
+  // ~800 dense 1-cells sits past the fitted exact/race cutoffs, so the
+  // portfolio hands it to the anytime tier, which still returns a valid
+  // partition with a certified gap bound.
   ASSERT_NE(report.find_telemetry("auto.selected"), nullptr);
-  EXPECT_EQ(*report.find_telemetry("auto.selected"), "heuristic");
+  EXPECT_EQ(*report.find_telemetry("auto.selected"), "local");
+  ASSERT_NE(report.find_telemetry("auto.tier"), nullptr);
+  EXPECT_EQ(*report.find_telemetry("auto.tier"), "anytime");
   EXPECT_TRUE(validate_partition(m, report.partition).ok);
+  EXPECT_EQ(report.gap, report.upper_bound - report.lower_bound);
 }
 
 TEST(Auto, DontCaresSelectCompletion) {

@@ -20,6 +20,11 @@ Checked metrics:
   * micro: sat / smt_large propagations per second (lower = regression)
   * table1: total wall-clock and per-suite wall-clock (higher = regression;
     suites faster than --floor seconds are skipped as noise)
+  * table1: anytime suites are gated on solution quality, not throughput —
+    every case must return a validated incumbent, and the mean/max
+    certified gap must not grow past the baseline (lower gap is better;
+    gaps are depths, so the slack is `base * (1 + tolerance) + 1` to keep
+    one unit of integer headroom on near-zero baselines)
   * table1: the bound race must reproduce the sequential depths
 
 CI runs on different hardware than the machine that wrote the baseline, so
@@ -76,6 +81,49 @@ def check_seconds(failures, label, base, current, tolerance, floor_seconds):
     if current > ceiling:
         failures.append(f"{label} slowed to {current:.3f}s "
                         f"(baseline {base:.3f}s)")
+
+
+def check_gap(failures, label, base, current, tolerance):
+    """Certified gap must not grow past baseline (lower is better).
+
+    Gaps are integer depths, so a `+1` absolute slack keeps the gate from
+    tripping on a baseline of 0.0 where any nonzero gap would otherwise be
+    an infinite ratio.
+    """
+    ceiling = base * (1.0 + tolerance) + 1.0
+    status = "ok" if current <= ceiling else "REGRESSION"
+    print(f"  {label}: gap {current:.2f} vs baseline {base:.2f} "
+          f"(lower is better) [{status}]")
+    if current > ceiling:
+        failures.append(f"{label} gap grew to {current:.2f} "
+                        f"(baseline {base:.2f})")
+
+
+def check_anytime(failures, base_rows, cur_rows, tolerance, floor_seconds):
+    """Gate the anytime suites on incumbent validity and gap quality."""
+    base_by_label = {row["label"]: row for row in base_rows}
+    for row in cur_rows:
+        label = f"table1.anytime[{row['label']}]"
+        # Validity is a hard contract, baseline or not: the local strategy
+        # must hand back a validated incumbent for every case.
+        if row["valid"] != row["cases"]:
+            print(f"  {label}: {row['valid']}/{row['cases']} valid "
+                  "incumbents [REGRESSION]")
+            failures.append(f"{label} returned only {row['valid']} valid "
+                            f"incumbents for {row['cases']} cases")
+            continue
+        base = base_by_label.get(row["label"])
+        if base is None:
+            print(f"  {label}: no baseline row; skipping gap gate "
+                  f"(mean_gap {row['mean_gap']:.2f}, "
+                  f"max_gap {row['max_gap']})")
+            continue
+        check_gap(failures, f"{label}.mean", base["mean_gap"],
+                  row["mean_gap"], tolerance)
+        check_gap(failures, f"{label}.max", float(base["max_gap"]),
+                  float(row["max_gap"]), tolerance)
+        check_seconds(failures, f"{label}.seconds", base["seconds"],
+                      row["seconds"], tolerance, floor_seconds)
 
 
 def main():
@@ -146,6 +194,11 @@ def main():
                 continue
             check_seconds(failures, f"table1[{suite['label']}]",
                           base_suite["seconds"], suite["seconds"],
+                          args.tolerance, args.floor)
+        cur_any = cur_t1.get("anytime", [])
+        if cur_any:
+            print("table1 (anytime tier, gap metrics):")
+            check_anytime(failures, base_t1.get("anytime", []), cur_any,
                           args.tolerance, args.floor)
         race = cur_t1.get("race", {})
         print(f"  race: sequential {race.get('seq_seconds', 0):.3f}s vs "
