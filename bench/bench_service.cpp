@@ -27,6 +27,7 @@
 #include "engine/engine.h"
 #include "ftqc/patterns.h"
 #include "io/request_io.h"
+#include "obs/metrics.h"
 #include "service/cache.h"
 #include "service/net.h"
 #include "service/service.h"
@@ -57,6 +58,11 @@ struct FamilyResult {
   std::size_t warm = 0;
   double cold_seconds = 0.0;  // summed
   double warm_seconds = 0.0;  // summed
+  /// Client-observed per-instance latency in micros (cold + warm mixed) —
+  /// the quantile estimator the service tier itself uses, so the p50/p99
+  /// printed here are comparable to the server's own exposition.
+  std::shared_ptr<ebmf::obs::Histogram> latency =
+      std::make_shared<ebmf::obs::Histogram>();
 };
 
 /// Solve one instance remotely (ebmf serve / ebmf route): wire round trip,
@@ -103,6 +109,8 @@ FamilyResult run_family(const ebmf::bench::Options& opt,
       ++result.cold;
       result.cold_seconds += report.total_seconds;
     }
+    result.latency->record(
+        static_cast<std::uint64_t>(report.total_seconds * 1e6));
     ++result.instances;
     ebmf::bench::emit_json(opt, "service_repeat", request.label, report);
   }
@@ -115,9 +123,11 @@ void print_result(const FamilyResult& r) {
   const double warm_mean =
       r.warm == 0 ? 0.0 : r.warm_seconds / static_cast<double>(r.warm);
   const double speedup = warm_mean > 0 ? cold_mean / warm_mean : 0.0;
-  std::printf("%-26s %5zu %6zu %7zu | %11.6f %11.6f | %8.1fx\n",
+  std::printf("%-26s %5zu %6zu %7zu | %11.6f %11.6f | %8.1fx | %9.3f %9.3f\n",
               r.name.c_str(), r.instances, r.cold, r.warm, cold_mean * 1e3,
-              warm_mean * 1e3, speedup);
+              warm_mean * 1e3, speedup,
+              static_cast<double>(r.latency->quantile(0.5)) / 1e3,
+              static_cast<double>(r.latency->quantile(0.99)) / 1e3);
 }
 
 }  // namespace
@@ -168,9 +178,10 @@ int main(int argc, char** argv) {
                 "trips)\n", connect.c_str());
   std::printf("(every repeat is a fresh row/col permutation of the base "
               "pattern)\n\n");
-  std::printf("%-26s %5s %6s %7s | %11s %11s | %9s\n", "family", "insts",
-              "cold", "warm", "cold ms", "warm ms", "speedup");
-  std::printf("%s\n", std::string(88, '-').c_str());
+  std::printf("%-26s %5s %6s %7s | %11s %11s | %9s | %9s %9s\n", "family",
+              "insts", "cold", "warm", "cold ms", "warm ms", "speedup",
+              "p50 ms", "p99 ms");
+  std::printf("%s\n", std::string(110, '-').c_str());
 
   std::vector<FamilyResult> results;
 
@@ -279,5 +290,24 @@ int main(int argc, char** argv) {
     std::printf("aggregate warm speedup over cold (mean of family means): "
                 "%.1fx\n",
                 cold_mean_total / warm_mean_total);
+
+  if (opt.json) {
+    // The machine-readable summary line tools/bench_compare.py gates tail
+    // latency on: client-observed p50/p99 micros per family, measured by
+    // the same histogram estimator the service tier exposes.
+    std::printf("{\"summary\":true,\"bench\":\"service\",\"families\":[");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const FamilyResult& r = results[i];
+      std::printf("%s{\"name\":\"%s\",\"count\":%llu,\"p50_us\":%llu,"
+                  "\"p90_us\":%llu,\"p99_us\":%llu,\"max_us\":%llu}",
+                  i == 0 ? "" : ",", r.name.c_str(),
+                  static_cast<unsigned long long>(r.latency->count()),
+                  static_cast<unsigned long long>(r.latency->quantile(0.5)),
+                  static_cast<unsigned long long>(r.latency->quantile(0.9)),
+                  static_cast<unsigned long long>(r.latency->quantile(0.99)),
+                  static_cast<unsigned long long>(r.latency->max()));
+    }
+    std::printf("]}\n");
+  }
   return 0;
 }

@@ -1,12 +1,14 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <map>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include <fstream>
 
@@ -21,6 +23,7 @@
 #include "io/json.h"
 #include "io/partition_io.h"
 #include "io/request_io.h"
+#include "obs/trace.h"
 #include "router/router.h"
 #include "sat/dimacs.h"
 #include "service/net.h"
@@ -568,6 +571,9 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
   options.announce = args.get("announce", "");
   options.advertise = args.get("advertise", "");
   options.heartbeat_ms = flags.num("heartbeat-ms", 500.0);
+  options.slow_ms = flags.num("slow-ms", 0.0);
+  options.slow_log = args.get("slow-log", "");
+  options.trace_file = args.get("trace-file", "");
   bool endpoints_ok = true;
   std::string endpoint_host;
   std::uint16_t endpoint_port = 0;
@@ -596,11 +602,12 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
   }
   if (!flags.valid(err) || port > 65535 || options.cache_mb < 0 ||
       options.budget_ceiling_seconds < 0 || options.heartbeat_ms <= 0 ||
-      !endpoints_ok) {
+      options.slow_ms < 0 || !endpoints_ok) {
     err << "usage: ebmf serve [--port=P] [--host=ADDR] [--threads=N] "
            "[--cache-mb=MB] [--max-inflight=N] [--budget=S] "
            "[--max-batch=N] [--cache-file=PATH] [--announce=HOST:PORT] "
-           "[--advertise=HOST:PORT] [--heartbeat-ms=N]\n";
+           "[--advertise=HOST:PORT] [--heartbeat-ms=N] [--slow-ms=N] "
+           "[--slow-log=PATH] [--trace-file=PATH]\n";
     return 2;
   }
   options.port = static_cast<std::uint16_t>(port);
@@ -640,15 +647,20 @@ int cmd_route(const Args& args, std::ostream& out, std::ostream& err) {
   options.promote_after = flags.u64("promote-after", 8);
   options.heartbeat_ms = flags.num("heartbeat-ms", 500.0);
   options.grace_ms = flags.num("grace-ms", 0.0);
+  options.trace = args.has("trace");
+  options.slow_ms = flags.num("slow-ms", 0.0);
+  options.slow_log = args.get("slow-log", "");
+  options.trace_file = args.get("trace-file", "");
   if (!flags.valid(err) || port > 65535 || options.l1_mb < 0 ||
       options.reply_timeout_seconds < 0 || options.heartbeat_ms <= 0 ||
-      options.grace_ms < 0 || options.replicas == 0 ||
+      options.grace_ms < 0 || options.replicas == 0 || options.slow_ms < 0 ||
       (options.backends.empty() && !options.dynamic)) {
     err << "usage: ebmf route <host:port>... [--backends=H:P,H:P] "
            "[--listen=P] [--host=ADDR] [--l1-mb=MB] [--cache-file=PATH] "
            "[--max-inflight=N] [--max-batch=N] [--pool=N] [--timeout=S] "
            "[--dynamic] [--replicas=R] [--promote-after=N] "
-           "[--heartbeat-ms=N] [--grace-ms=N]\n";
+           "[--heartbeat-ms=N] [--grace-ms=N] [--trace] [--slow-ms=N] "
+           "[--slow-log=PATH] [--trace-file=PATH]\n";
     return 2;
   }
   for (const auto& endpoint : options.backends) {
@@ -722,7 +734,84 @@ int client_stats(const Args& args, std::ostream& out, std::ostream& err) {
   }
 }
 
+/// `ebmf client --metrics`: fetch `{"op":"metrics"}` and print the
+/// Prometheus text body unwrapped from its line-JSON envelope — the exact
+/// bytes a scraper would ingest.
+int client_metrics(const Args& args, std::ostream& out, std::ostream& err) {
+  FlagReader flags(args);
+  const auto port = flags.count("port", 7421);
+  if (!flags.valid(err) || port > 65535) return 2;
+  const std::string host = args.get("host", "127.0.0.1");
+  try {
+    service::Client client(host, static_cast<std::uint16_t>(port));
+    const std::string reply = client.round_trip(R"({"op":"metrics"})");
+    const io::json::Value document = io::json::Value::parse(reply);
+    if (const io::json::Value* error = document.find("error");
+        error != nullptr && error->is_string()) {
+      err << "error: " << error->as_string() << "\n";
+      return 1;
+    }
+    const io::json::Value* body = document.find("body");
+    if (body == nullptr || !body->is_string()) {
+      err << "error: malformed metrics reply\n";
+      return 1;
+    }
+    out << body->as_string();
+    return 0;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+/// `ebmf client --get-trace=ID`: pull one completed trace's span tree from
+/// the server/router ring (raw JSON with --json, `path = value` otherwise).
+int client_get_trace(const Args& args, std::ostream& out, std::ostream& err) {
+  FlagReader flags(args);
+  const auto port = flags.count("port", 7421);
+  const std::string id = args.get("get-trace", "");
+  if (!flags.valid(err) || port > 65535 || id.empty()) {
+    err << "usage: ebmf client --get-trace=TRACE_ID [--host=ADDR] "
+           "[--port=P] [--json]\n";
+    return 2;
+  }
+  const std::string host = args.get("host", "127.0.0.1");
+  try {
+    service::Client client(host, static_cast<std::uint16_t>(port));
+    const std::string reply = client.round_trip(
+        "{\"op\":\"trace\",\"id\":\"" + io::json::escape(id) + "\"}");
+    const io::json::Value document = io::json::Value::parse(reply);
+    if (const io::json::Value* error = document.find("error");
+        error != nullptr && error->is_string()) {
+      err << "error: " << error->as_string() << "\n";
+      return 1;
+    }
+    if (args.has("json"))
+      out << reply << "\n";
+    else
+      print_json_tree(out, "", document);
+    return 0;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.has("metrics")) {
+    if (!args.positional.empty()) {
+      err << "error: --metrics takes no matrix files\n";
+      return 2;
+    }
+    return client_metrics(args, out, err);
+  }
+  if (args.has("get-trace")) {
+    if (!args.positional.empty()) {
+      err << "error: --get-trace takes no matrix files\n";
+      return 2;
+    }
+    return client_get_trace(args, out, err);
+  }
   if (args.has("stats")) {
     if (!args.positional.empty()) {
       err << "error: --stats takes no matrix files\n";
@@ -733,8 +822,8 @@ int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
   if (args.positional.empty()) {
     err << "usage: ebmf client <matrix-file>... [--host=ADDR] [--port=P] "
         << kRequestFlagsUsage
-        << " [--dont-cares] [--split] [--include-partition] "
-           "[--stats [--json]]\n";
+        << " [--dont-cares] [--split] [--include-partition] [--trace] "
+           "[--stats [--json]] [--metrics] [--get-trace=ID [--json]]\n";
     return 2;
   }
   const engine::Engine engine;
@@ -767,6 +856,12 @@ int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
     wire.split = args.has("split");
     wire.threads = threads;
     wire.include_partition = args.has("include-partition");
+    if (args.has("trace")) {
+      // Client-originated tracing: each request gets its own fresh trace
+      // id; the reply's "trace" member carries the assembled spans.
+      wire.has_trace = true;
+      wire.trace = obs::make_trace_context();
+    }
     lines.push_back(io::wire_request_json(wire));
   }
 
@@ -795,6 +890,156 @@ int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
   }
 }
 
+/// Pull a numeric member out of a JSON object; 0 when absent/mistyped.
+double stat_num(const io::json::Value* object, const char* key) {
+  if (object == nullptr || !object->is_object()) return 0.0;
+  const io::json::Value* member = object->find(key);
+  return member != nullptr && member->is_number() ? member->as_number() : 0.0;
+}
+
+/// One frame of `ebmf top`: counters, cache hit ratio, and the latency
+/// quantiles of `<role>.request.micros` from the stats reply's metrics
+/// block. `prev_requests`/`prev_seconds` carry rps state between frames
+/// (-1 requests = first frame, no rate yet).
+void render_top_frame(std::ostream& out, const std::string& endpoint,
+                      const io::json::Value& document, double prev_requests,
+                      double prev_seconds, double now_seconds) {
+  const io::json::Value* role_value = document.find("role");
+  const std::string role =
+      role_value != nullptr && role_value->is_string() ? role_value->as_string()
+                                                       : "server";
+  const io::json::Value* tier = document.find(role.c_str());
+  const double requests = stat_num(tier, "requests");
+  out << "ebmf top — " << endpoint << " (" << role << ")\n";
+  out << "  requests  " << io::json::number(requests);
+  if (prev_requests >= 0 && now_seconds > prev_seconds) {
+    const double rps =
+        (requests - prev_requests) / (now_seconds - prev_seconds);
+    out << "  (" << io::json::number(rps < 0 ? 0.0 : rps) << "/s)";
+  }
+  out << "   errors " << io::json::number(stat_num(tier, "errors"))
+      << "   rejected " << io::json::number(stat_num(tier, "rejected"))
+      << "   inflight " << io::json::number(stat_num(tier, "inflight")) << "/"
+      << io::json::number(stat_num(tier, "max_inflight")) << "\n";
+  // The local result cache: "l1" on a router, "cache" on a server.
+  const io::json::Value* cache = document.find(role == "router" ? "l1"
+                                                                : "cache");
+  if (cache != nullptr && cache->is_object()) {
+    const double hits = stat_num(cache, "hits");
+    const double misses = stat_num(cache, "misses");
+    const double total = hits + misses;
+    out << "  cache     hits " << io::json::number(hits) << "  misses "
+        << io::json::number(misses);
+    if (total > 0)
+      out << "  (" << io::json::number(100.0 * hits / total) << "% hit)";
+    out << "  entries " << io::json::number(stat_num(cache, "entries"))
+        << "\n";
+  }
+  const io::json::Value* metrics = document.find("metrics");
+  const io::json::Value* latency =
+      metrics != nullptr && metrics->is_object()
+          ? metrics->find((role + ".request.micros").c_str())
+          : nullptr;
+  if (latency != nullptr && latency->is_object() &&
+      stat_num(latency, "count") > 0) {
+    out << "  latency   p50 " << io::json::number(stat_num(latency, "p50") /
+                                                  1000.0)
+        << "ms  p90 " << io::json::number(stat_num(latency, "p90") / 1000.0)
+        << "ms  p99 " << io::json::number(stat_num(latency, "p99") / 1000.0)
+        << "ms  max " << io::json::number(stat_num(latency, "max") / 1000.0)
+        << "ms\n";
+  }
+  if (role == "router") {
+    const io::json::Value* cluster = document.find("cluster");
+    out << "  cluster   members "
+        << io::json::number(stat_num(cluster, "members")) << "  epoch "
+        << io::json::number(stat_num(cluster, "epoch")) << "  promotions "
+        << io::json::number(stat_num(cluster, "promotions"))
+        << "  replica_hits "
+        << io::json::number(stat_num(cluster, "replica_hits"))
+        << "  failovers " << io::json::number(stat_num(tier, "failovers"))
+        << "\n";
+    const io::json::Value* backends = document.find("backends");
+    if (backends != nullptr && backends->is_array()) {
+      for (std::size_t i = 0; i < backends->size(); ++i) {
+        const io::json::Value& backend = backends->at(i);
+        const io::json::Value* name = backend.find("endpoint");
+        const io::json::Value* alive = backend.find("alive");
+        out << "  backend   "
+            << (name != nullptr && name->is_string() ? name->as_string()
+                                                     : "?")
+            << (alive != nullptr && alive->is_bool() && alive->as_bool()
+                    ? "  up"
+                    : "  DOWN")
+            << "  requests " << io::json::number(stat_num(&backend,
+                                                          "requests"))
+            << "  failures " << io::json::number(stat_num(&backend,
+                                                          "failures"))
+            << "\n";
+      }
+    }
+  }
+}
+
+/// `ebmf top --connect=H:P [--watch=SECONDS]`: a live text dashboard over
+/// the stats verb — rps, inflight, cache hit ratio, latency quantiles, and
+/// (on a router) cluster/backend health. Without --watch it prints one
+/// frame and exits (scriptable); with it, redraws until interrupted.
+int cmd_top(const Args& args, std::ostream& out, std::ostream& err) {
+  FlagReader flags(args);
+  const double watch = flags.num("watch", 0.0);
+  const std::string connect = args.get("connect", "");
+  std::string host;
+  std::uint16_t port = 0;
+  if (!flags.valid(err) || watch < 0 || connect.empty() ||
+      !service::net::parse_endpoint(connect, host, port)) {
+    err << "usage: ebmf top --connect=HOST:PORT [--watch=SECONDS]\n";
+    return 2;
+  }
+  double prev_requests = -1.0;
+  double prev_seconds = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  while (true) {
+    std::string reply;
+    try {
+      service::Client client(host, port);
+      reply = client.round_trip(R"({"op":"stats"})");
+    } catch (const std::exception& e) {
+      err << "error: " << e.what() << "\n";
+      return 1;
+    }
+    const double now_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    io::json::Value document;
+    try {
+      document = io::json::Value::parse(reply);
+    } catch (const std::exception& e) {
+      err << "error: bad stats reply: " << e.what() << "\n";
+      return 1;
+    }
+    if (const io::json::Value* error = document.find("error");
+        error != nullptr && error->is_string()) {
+      err << "error: " << error->as_string() << "\n";
+      return 1;
+    }
+    if (watch > 0) out << "\033[2J\033[H";  // clear + home between frames
+    render_top_frame(out, connect, document, prev_requests, prev_seconds,
+                     now_seconds);
+    out.flush();
+    if (watch <= 0) return 0;
+    const io::json::Value* role = document.find("role");
+    const io::json::Value* tier =
+        role != nullptr && role->is_string() ? document.find(
+                                                   role->as_string().c_str())
+                                             : nullptr;
+    prev_requests = stat_num(tier, "requests");
+    prev_seconds = now_seconds;
+    std::this_thread::sleep_for(std::chrono::duration<double>(watch));
+  }
+}
+
 int cmd_convert(const Args& args, std::ostream& /*out*/, std::ostream& err) {
   if (args.positional.size() != 2) {
     err << "usage: ebmf convert <in-file> <out-file>  (format by extension: "
@@ -817,6 +1062,7 @@ std::string usage() {
          "  serve               long-lived line-JSON solver server (TCP)\n"
          "  route <h:p>...      canon-key sharding front tier over servers\n"
          "  client <file>...    send patterns to a running server/router\n"
+         "  top                 live dashboard over a server/router's stats\n"
          "  strategies          list the registered solving strategies\n"
          "  bounds <file>       rank / fooling / trivial / packing bracket\n"
          "  fooling <file>      fooling set (--exact for maximum)\n"
@@ -842,6 +1088,7 @@ int run_command(const std::string& command,
     if (command == "serve") return cmd_serve(parsed, out, err);
     if (command == "route") return cmd_route(parsed, out, err);
     if (command == "client") return cmd_client(parsed, out, err);
+    if (command == "top") return cmd_top(parsed, out, err);
     if (command == "strategies") return cmd_strategies(parsed, out, err);
     if (command == "bounds") return cmd_bounds(parsed, out, err);
     if (command == "fooling") return cmd_fooling(parsed, out, err);

@@ -74,7 +74,14 @@ SolveReport Engine::run_checked(const SolveRequest& request) const {
   if (cache_ && !request.masked) return run_cached(*entry, request);
 
   Stopwatch total;
+  const std::uint64_t solve_start =
+      request.trace ? obs::steady_micros() : 0;
   SolveReport report = entry->solve(request);
+  if (request.trace) {
+    request.trace->record("engine.solve", obs::new_span_id(),
+                          request.trace->context().parent_span, solve_start,
+                          obs::steady_micros());
+  }
   report.label = request.label;
   if (report.strategy.empty()) report.strategy = request.strategy;
   report.upper_bound = report.depth();
@@ -103,8 +110,19 @@ SolveReport Engine::run_cached(const SolverRegistry::Entry& entry,
                                const SolveRequest& request) const {
   Stopwatch total;
   Stopwatch phase;
+  // Traced requests get a span per stage; `span_parent` is the caller's
+  // enclosing span (the server's request root), so the engine's stages
+  // render as its children.
+  const obs::TracePtr& trace = request.trace;
+  const std::uint64_t span_parent =
+      trace ? trace->context().parent_span : 0;
+  std::uint64_t span_start = trace ? obs::steady_micros() : 0;
   const canon::Canonical canonical = canon::canonicalize(request.matrix);
   const double canon_seconds = phase.seconds();
+  if (trace) {
+    trace->record("engine.canon", obs::new_span_id(), span_parent,
+                  span_start, obs::steady_micros());
+  }
   // The key distinguishes strategies: a heuristic answer must not shadow a
   // pending "sap" certificate and vice versa. Tuning knobs (trials, seed,
   // encoding) are deliberately not part of the key — every stored partition
@@ -113,8 +131,13 @@ SolveReport Engine::run_cached(const SolverRegistry::Entry& entry,
   const canon::CacheKey key = canonical.key.mixed_with(request.strategy);
 
   SolveReport report;
+  span_start = trace ? obs::steady_micros() : 0;
   std::optional<cache::CachedResult> cached =
       cache_->lookup(key, request.strategy, canonical.pattern);
+  if (trace) {
+    trace->record("engine.cache_lookup", obs::new_span_id(), span_parent,
+                  span_start, obs::steady_micros());
+  }
   // A Bounded entry is a budget-cut exact search; when this request can
   // afford meaningfully more time than the stored attempt spent, re-solve
   // and let the upgrade-only insert keep the better certificate. Optimal
@@ -134,7 +157,12 @@ SolveReport Engine::run_cached(const SolverRegistry::Entry& entry,
     sub.matrix = canonical.pattern;
     sub.masked.reset();
     sub.label.clear();
+    span_start = trace ? obs::steady_micros() : 0;
     report = entry.solve(sub);
+    if (trace) {
+      trace->record("engine.solve", obs::new_span_id(), span_parent,
+                    span_start, obs::steady_micros());
+    }
     if (report.strategy.empty()) report.strategy = request.strategy;
     report.upper_bound = report.depth();
     report.total_seconds = total.seconds();  // what this attempt cost
@@ -152,7 +180,12 @@ SolveReport Engine::run_cached(const SolverRegistry::Entry& entry,
   }
   if (served_from_cache) report = std::move(cached->report);
   phase.restart();
+  span_start = trace ? obs::steady_micros() : 0;
   report.partition = canon::lift(report.partition, canonical);
+  if (trace) {
+    trace->record("engine.lift", obs::new_span_id(), span_parent,
+                  span_start, obs::steady_micros());
+  }
   report.add_timing("cache.lift", phase.seconds());
   report.add_telemetry("cache_hit", served_from_cache ? "true" : "false");
   if (upgrade != nullptr) report.add_telemetry("cache.upgrade", upgrade);

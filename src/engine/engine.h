@@ -72,6 +72,7 @@
 #include "core/matrix.h"
 #include "core/partition.h"
 #include "core/row_packing.h"
+#include "obs/trace.h"
 #include "smt/label_formula.h"
 #include "support/budget.h"
 
@@ -122,6 +123,13 @@ struct SolveRequest {
       completion::DontCareSemantics::Free;
 
   std::string label;  ///< Free-form identifier echoed into the report.
+
+  /// Optional span recorder of the traced request this solve belongs to
+  /// (see obs/trace.h). When set, the engine records queue-wait, canon,
+  /// cache-lookup, solve, and lift spans into it; null (the default) costs
+  /// nothing. The recorder's context carries the parent span id the
+  /// engine's spans attach under.
+  obs::TracePtr trace;
 
   /// Convenience: a dense request.
   static SolveRequest dense(BinaryMatrix m, std::string strategy = "auto");
@@ -182,17 +190,35 @@ struct SolveReport {
   /// Seconds recorded under `phase` (0 when absent).
   [[nodiscard]] double timing(const std::string& phase) const;
 
-  /// Append a telemetry entry.
+  /// Record a telemetry entry. Keys are deduplicated last-write-wins: a
+  /// repeated key overwrites the earlier value in place instead of growing
+  /// the vector, so per-attempt stats emitted inside batch/retry loops
+  /// cannot grow reports unboundedly.
   void add_telemetry(std::string key, std::string value);
   void add_telemetry(std::string key, std::uint64_t value);
   void add_telemetry(std::string key, double value);
 
-  /// The value stored under `key`, or nullptr.
+  /// The value stored under `key`, or nullptr. Binary search over a lazily
+  /// maintained sorted index (rebuilt when `telemetry` was mutated
+  /// directly); duplicate keys from direct mutation resolve to the first
+  /// occurrence, matching the pre-index linear scan.
   [[nodiscard]] const std::string* find_telemetry(
       const std::string& key) const;
 
   /// Numeric telemetry lookup (0 when absent or non-numeric).
   [[nodiscard]] std::uint64_t telemetry_count(const std::string& key) const;
+
+ private:
+  /// Positions into `telemetry`, sorted by key — the lookup fast path.
+  /// Lazy: valid only while telemetry_indexed_ == telemetry.size();
+  /// rebuilt on the next lookup otherwise (the public vector is mutated
+  /// directly by a few callers, e.g. the router's replication path).
+  mutable std::vector<std::uint32_t> telemetry_index_;
+  mutable std::size_t telemetry_indexed_ = 0;
+
+  void refresh_telemetry_index() const;
+  /// Index slot whose key equals `key`, or npos.
+  [[nodiscard]] std::size_t telemetry_position(const std::string& key) const;
 };
 
 /// One-line JSON rendering of a report (no partition dump): status, bounds,

@@ -57,8 +57,61 @@ double SolveReport::timing(const std::string& phase) const {
   return 0.0;
 }
 
+void SolveReport::refresh_telemetry_index() const {
+  if (telemetry_indexed_ == telemetry.size()) return;
+  telemetry_index_.clear();
+  telemetry_index_.reserve(telemetry.size());
+  for (std::uint32_t i = 0; i < telemetry.size(); ++i) {
+    telemetry_index_.push_back(i);
+  }
+  // stable_sort keeps equal keys in document order, so after unique the
+  // surviving slot per key is the earliest occurrence — the entry the old
+  // first-match linear scan would have returned.
+  std::stable_sort(telemetry_index_.begin(), telemetry_index_.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return telemetry[a].first < telemetry[b].first;
+                   });
+  telemetry_index_.erase(
+      std::unique(telemetry_index_.begin(), telemetry_index_.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                    return telemetry[a].first == telemetry[b].first;
+                  }),
+      telemetry_index_.end());
+  telemetry_indexed_ = telemetry.size();
+}
+
+std::size_t SolveReport::telemetry_position(const std::string& key) const {
+  refresh_telemetry_index();
+  const auto it = std::lower_bound(
+      telemetry_index_.begin(), telemetry_index_.end(), key,
+      [&](std::uint32_t i, const std::string& k) {
+        return telemetry[i].first < k;
+      });
+  if (it == telemetry_index_.end() || telemetry[*it].first != key) {
+    return static_cast<std::size_t>(-1);
+  }
+  return *it;
+}
+
 void SolveReport::add_telemetry(std::string key, std::string value) {
+  const std::size_t pos = telemetry_position(key);
+  if (pos != static_cast<std::size_t>(-1)) {
+    telemetry[pos].second = std::move(value);  // last-write-wins dedup
+    return;
+  }
   telemetry.emplace_back(std::move(key), std::move(value));
+  // Keep the index valid incrementally: insert the new position at its
+  // sorted slot instead of forcing a full rebuild per append.
+  const std::uint32_t appended =
+      static_cast<std::uint32_t>(telemetry.size() - 1);
+  const auto it = std::lower_bound(
+      telemetry_index_.begin(), telemetry_index_.end(),
+      telemetry[appended].first,
+      [&](std::uint32_t i, const std::string& k) {
+        return telemetry[i].first < k;
+      });
+  telemetry_index_.insert(it, appended);
+  telemetry_indexed_ = telemetry.size();
 }
 
 void SolveReport::add_telemetry(std::string key, std::uint64_t value) {
@@ -72,9 +125,9 @@ void SolveReport::add_telemetry(std::string key, double value) {
 }
 
 const std::string* SolveReport::find_telemetry(const std::string& key) const {
-  for (const auto& [k, v] : telemetry)
-    if (k == key) return &v;
-  return nullptr;
+  const std::size_t pos = telemetry_position(key);
+  return pos == static_cast<std::size_t>(-1) ? nullptr
+                                             : &telemetry[pos].second;
 }
 
 std::uint64_t SolveReport::telemetry_count(const std::string& key) const {

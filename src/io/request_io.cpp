@@ -86,13 +86,33 @@ WireRequest parse_wire_request(const std::string& line) {
   WireRequest wire;
   engine::SolveRequest& request = wire.request;
 
+  const std::string op = string_field(document, "op", "solve");
+  if (op == "trace") {
+    // Trace query: "id" is the 32-hex trace id, not the numeric
+    // correlation id every other verb uses.
+    wire.op = WireOp::Trace;
+    wire.trace_id = string_field(document, "id", "");
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    if (!obs::parse_trace_id(wire.trace_id, &hi, &lo))
+      fail("'trace' needs an 'id' of 32 hex digits");
+    return wire;
+  }
+
   wire.id = static_cast<std::int64_t>(
       number_field(document, "id", -1.0, -1.0, 9e15));
 
-  const std::string op = string_field(document, "op", "solve");
   if (op == "stats") {
     // Admin verb: no pattern, no solve knobs — counters come back.
     wire.op = WireOp::Stats;
+    return wire;
+  }
+  if (op == "traces") {
+    wire.op = WireOp::Traces;
+    return wire;
+  }
+  if (op == "metrics") {
+    wire.op = WireOp::Metrics;
     return wire;
   }
   if (op == "join" || op == "leave" || op == "heartbeat") {
@@ -128,7 +148,15 @@ WireRequest parse_wire_request(const std::string& line) {
     return wire;
   }
   if (op != "solve")
-    fail("field 'op' must be solve|stats|join|leave|heartbeat|put");
+    fail("field 'op' must be "
+         "solve|stats|join|leave|heartbeat|put|trace|traces|metrics");
+
+  // Optional distributed-tracing context; absent on legacy requests.
+  if (const json::Value* trace = document.find("trace")) {
+    if (!obs::parse_trace_context(*trace, &wire.trace))
+      fail("field 'trace' must be {\"id\":\"<32 hex>\"[,\"span\":...]}");
+    wire.has_trace = true;
+  }
 
   const std::string pattern = pattern_text(document);
   const bool masked = has_dont_care_cells(pattern);
@@ -238,10 +266,19 @@ std::int64_t salvage_request_id(const std::string& line) noexcept {
 std::string wire_request_json(const WireRequest& wire) {
   const engine::SolveRequest& request = wire.request;
   std::ostringstream out;
-  if (wire.op == WireOp::Stats) {
+  if (wire.op == WireOp::Stats || wire.op == WireOp::Traces ||
+      wire.op == WireOp::Metrics) {
+    const char* op = wire.op == WireOp::Stats    ? "stats"
+                     : wire.op == WireOp::Traces ? "traces"
+                                                 : "metrics";
     out << "{";
     if (wire.id >= 0) out << "\"id\":" << wire.id << ",";
-    out << "\"op\":\"stats\"}";
+    out << "\"op\":\"" << op << "\"}";
+    return out.str();
+  }
+  if (wire.op == WireOp::Trace) {
+    out << "{\"op\":\"trace\",\"id\":\"" << json::escape(wire.trace_id)
+        << "\"}";
     return out.str();
   }
   if (wire.op == WireOp::Join || wire.op == WireOp::Leave ||
@@ -290,6 +327,8 @@ std::string wire_request_json(const WireRequest& wire) {
   if (wire.split) out << ",\"split\":true";
   if (wire.threads != 0) out << ",\"threads\":" << wire.threads;
   if (wire.include_partition) out << ",\"include_partition\":true";
+  if (wire.has_trace)
+    out << ",\"trace\":" << obs::trace_context_json(wire.trace);
   out << "}";
   return out.str();
 }

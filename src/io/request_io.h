@@ -45,16 +45,21 @@
 
 #include "engine/engine.h"
 #include "io/json.h"
+#include "obs/trace.h"
 
 namespace ebmf::io {
 
 /// What a request line asks for: a solve, the admin `stats` snapshot
 /// (`{"op":"stats"}` — cache counters, in-flight, per-backend health), one
 /// of the cluster membership verbs backends send to a dynamic router
-/// (`{"op":"join"|"leave"|"heartbeat","endpoint":"host:port"}`), or a
+/// (`{"op":"join"|"leave"|"heartbeat","endpoint":"host:port"}`), a
 /// replica cache write the router fans to backends
-/// (`{"op":"put","pattern":...,"strategy":...,"report":{...}}`).
-enum class WireOp { Solve, Stats, Join, Leave, Heartbeat, Put };
+/// (`{"op":"put","pattern":...,"strategy":...,"report":{...}}`), or one of
+/// the observability verbs: `{"op":"trace","id":"<32 hex>"}` returns one
+/// completed trace's span tree, `{"op":"traces"}` lists recent traces, and
+/// `{"op":"metrics"}` returns the Prometheus text exposition.
+enum class WireOp { Solve, Stats, Join, Leave, Heartbeat, Put, Trace, Traces,
+                    Metrics };
 
 /// One parsed wire request: the facade request plus routing options that
 /// live outside SolveRequest.
@@ -79,6 +84,15 @@ struct WireRequest {
   bool split = false;              ///< Use Engine::solve_split.
   std::size_t threads = 0;         ///< solve_split worker count.
   bool include_partition = false;  ///< Attach the partition to the reply.
+  /// Solve: the propagated trace context when the request carried a
+  /// `"trace"` member (`{"id":"<32 hex>","span":"<16 hex>"}`); `has_trace`
+  /// distinguishes "absent" from an all-zero context. Legacy requests
+  /// without the member parse with has_trace == false and behave exactly
+  /// as before.
+  obs::TraceContext trace;
+  bool has_trace = false;
+  /// Trace query (`op == Trace`): the requested 32-hex trace id.
+  std::string trace_id;
 };
 
 /// Parse one line of the request format. Throws std::runtime_error with a

@@ -1,0 +1,281 @@
+/// \file metrics.cpp
+/// \brief Registry storage, histogram bucket math, and the two expositions.
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <variant>
+
+#include "io/json.h"
+
+namespace ebmf::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+std::size_t Histogram::bucket_index(std::uint64_t value) noexcept {
+  if (value < kSubCount) return static_cast<std::size_t>(value);
+  const unsigned exp = static_cast<unsigned>(std::bit_width(value)) - 1;
+  const std::size_t sub =
+      static_cast<std::size_t>(value >> (exp - kSubBits)) - kSubCount;
+  const std::size_t index =
+      kSubCount + static_cast<std::size_t>(exp - kSubBits) * kSubCount + sub;
+  // Exponent 63 lands one octave past the table; clamp into the top bucket.
+  return index < kBucketCount ? index : kBucketCount - 1;
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t index) noexcept {
+  if (index < kSubCount) return static_cast<std::uint64_t>(index);
+  const std::size_t oct = (index - kSubCount) / kSubCount;
+  const std::size_t sub = (index - kSubCount) % kSubCount;
+  const unsigned shift = static_cast<unsigned>(oct);
+  return ((static_cast<std::uint64_t>(sub) + kSubCount + 1) << shift) - 1;
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // ceil(q * total), clamped to [1, total]: the rank of the sample we want.
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (static_cast<double>(rank) < q * static_cast<double>(total)) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) return std::min(bucket_upper(i), max());
+  }
+  return max();
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Histogram::nonzero_buckets()
+    const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) out.emplace_back(bucket_upper(i), n);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+namespace {
+
+/// One stripe: a mutex plus its slice of the name space. Series are held by
+/// unique_ptr so the raw pointers handed to call sites survive rehashing.
+struct Stripe {
+  std::mutex mutex;
+  std::unordered_map<std::string,
+                     std::variant<std::unique_ptr<Counter>,
+                                  std::unique_ptr<Gauge>,
+                                  std::unique_ptr<Histogram>>>
+      series;
+};
+
+constexpr std::size_t kStripes = 16;
+
+}  // namespace
+
+struct Registry::Impl {
+  Stripe stripes[kStripes];
+
+  Stripe& stripe_for(const std::string& name) {
+    return stripes[std::hash<std::string>{}(name) % kStripes];
+  }
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Counter* Registry::counter(const std::string& name) {
+  Stripe& s = impl_->stripe_for(name);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.series.find(name);
+  if (it == s.series.end()) {
+    it = s.series.emplace(name, std::make_unique<Counter>()).first;
+  }
+  auto* slot = std::get_if<std::unique_ptr<Counter>>(&it->second);
+  return slot == nullptr ? nullptr : slot->get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  Stripe& s = impl_->stripe_for(name);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.series.find(name);
+  if (it == s.series.end()) {
+    it = s.series.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  auto* slot = std::get_if<std::unique_ptr<Gauge>>(&it->second);
+  return slot == nullptr ? nullptr : slot->get();
+}
+
+Histogram* Registry::histogram(const std::string& name) {
+  Stripe& s = impl_->stripe_for(name);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.series.find(name);
+  if (it == s.series.end()) {
+    it = s.series.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  auto* slot = std::get_if<std::unique_ptr<Histogram>>(&it->second);
+  return slot == nullptr ? nullptr : slot->get();
+}
+
+std::vector<SeriesSnapshot> Registry::snapshot() const {
+  std::vector<SeriesSnapshot> out;
+  for (Stripe& stripe : impl_->stripes) {
+    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    for (const auto& [name, series] : stripe.series) {
+      SeriesSnapshot snap;
+      snap.name = name;
+      if (const auto* c = std::get_if<std::unique_ptr<Counter>>(&series)) {
+        snap.kind = SeriesSnapshot::Kind::Counter;
+        snap.value = static_cast<std::int64_t>((*c)->value());
+      } else if (const auto* g = std::get_if<std::unique_ptr<Gauge>>(&series)) {
+        snap.kind = SeriesSnapshot::Kind::Gauge;
+        snap.value = (*g)->value();
+      } else if (const auto* h =
+                     std::get_if<std::unique_ptr<Histogram>>(&series)) {
+        snap.kind = SeriesSnapshot::Kind::Histogram;
+        snap.count = (*h)->count();
+        snap.sum = (*h)->sum();
+        snap.max = (*h)->max();
+        snap.p50 = (*h)->quantile(0.50);
+        snap.p90 = (*h)->quantile(0.90);
+        snap.p99 = (*h)->quantile(0.99);
+        snap.buckets = (*h)->nonzero_buckets();
+      }
+      out.push_back(std::move(snap));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SeriesSnapshot& a, const SeriesSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+Registry& default_registry() {
+  static Registry registry;
+  return registry;
+}
+
+// ---------------------------------------------------------------------------
+// Exposition
+
+std::string metrics_json(const Registry& registry) {
+  const auto series = registry.snapshot();
+  std::string out = "{";
+  bool first = true;
+  char buf[64];
+  for (const auto& s : series) {
+    if (!first) out += ",";
+    first = false;
+    out += '"';
+    out += io::json::escape(s.name);
+    out += "\":";
+    switch (s.kind) {
+      case SeriesSnapshot::Kind::Counter:
+      case SeriesSnapshot::Kind::Gauge:
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(s.value));
+        out += buf;
+        break;
+      case SeriesSnapshot::Kind::Histogram:
+        std::snprintf(buf, sizeof buf,
+                      "{\"count\":%llu,\"sum\":%llu,\"max\":%llu,",
+                      static_cast<unsigned long long>(s.count),
+                      static_cast<unsigned long long>(s.sum),
+                      static_cast<unsigned long long>(s.max));
+        out += buf;
+        std::snprintf(buf, sizeof buf, "\"p50\":%llu,\"p90\":%llu,\"p99\":%llu}",
+                      static_cast<unsigned long long>(s.p50),
+                      static_cast<unsigned long long>(s.p90),
+                      static_cast<unsigned long long>(s.p99));
+        out += buf;
+        break;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+/// `server.request.micros` → `ebmf_server_request_micros`.
+std::string prometheus_name(const std::string& dotted) {
+  std::string out = "ebmf_";
+  for (const char c : dotted) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_text(const Registry& registry) {
+  const auto series = registry.snapshot();
+  std::string out;
+  char buf[96];
+  for (const auto& s : series) {
+    const std::string name = prometheus_name(s.name);
+    switch (s.kind) {
+      case SeriesSnapshot::Kind::Counter:
+        out += "# TYPE " + name + " counter\n";
+        std::snprintf(buf, sizeof buf, " %lld\n",
+                      static_cast<long long>(s.value));
+        out += name + buf;
+        break;
+      case SeriesSnapshot::Kind::Gauge:
+        out += "# TYPE " + name + " gauge\n";
+        std::snprintf(buf, sizeof buf, " %lld\n",
+                      static_cast<long long>(s.value));
+        out += name + buf;
+        break;
+      case SeriesSnapshot::Kind::Histogram: {
+        out += "# TYPE " + name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (const auto& [upper, count] : s.buckets) {
+          cumulative += count;
+          std::snprintf(buf, sizeof buf, "{le=\"%llu\"} %llu\n",
+                        static_cast<unsigned long long>(upper),
+                        static_cast<unsigned long long>(cumulative));
+          out += name + "_bucket" + buf;
+        }
+        std::snprintf(buf, sizeof buf, "{le=\"+Inf\"} %llu\n",
+                      static_cast<unsigned long long>(s.count));
+        out += name + "_bucket" + buf;
+        std::snprintf(buf, sizeof buf, " %llu\n",
+                      static_cast<unsigned long long>(s.sum));
+        out += name + "_sum" + buf;
+        std::snprintf(buf, sizeof buf, " %llu\n",
+                      static_cast<unsigned long long>(s.count));
+        out += name + "_count" + buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ebmf::obs

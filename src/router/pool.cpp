@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "service/net.h"
 
 namespace ebmf::router {
@@ -142,6 +143,9 @@ struct BackendPool::Impl {
     break_pending(conn);
     if (!shutting_down.load(std::memory_order_relaxed)) {
       stat_failures.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter* const failures =
+          obs::default_registry().counter("router.pool.failures");
+      failures->add(1);
       std::lock_guard<std::mutex> lock(mutex);
       next_attempt = Clock::now() +
                      std::chrono::duration_cast<Clock::duration>(
@@ -277,6 +281,11 @@ bool BackendPool::submit(std::uint64_t id, const std::string& line,
     return false;
   }
   impl_->stat_requests.fetch_add(1, std::memory_order_relaxed);
+  // Fleet-wide dispatch volume, aggregated across every pool instance
+  // (per-backend breakdowns live in the stats verb's pool counters).
+  static obs::Counter* const dispatches =
+      obs::default_registry().counter("router.pool.dispatches");
+  dispatches->add(1);
   return true;
 }
 

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cerrno>
 #include <csignal>
+#include <cstdio>
 #include <ctime>
 #include <mutex>
 #include <optional>
@@ -30,6 +31,8 @@
 #include "core/partition.h"
 #include "io/json.h"
 #include "io/request_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "router/pool.h"
 #include "router/ring.h"
 #include "service/canon.h"
@@ -91,6 +94,19 @@ struct RouteTask {
   bool promoted = false;      ///< The key is in the replicated set.
   bool promoted_now = false;  ///< This request crossed the threshold.
   std::uint64_t hot_hits = 0;
+
+  // -- tracing -----------------------------------------------------------
+  /// Set when the request carries a trace context (or --trace assigns one):
+  /// the span recorder, this request's "router.request" root span id, the
+  /// client's span the root parents under, and the pre-allocated id of the
+  /// "router.dispatch" span — allocated at prepare time because the
+  /// forwarded line must name it as the backend's parent before the
+  /// dispatch interval is known.
+  obs::TracePtr trace;
+  std::uint64_t root_span = 0;
+  std::uint64_t remote_parent = 0;
+  std::uint64_t dispatch_span = 0;
+  std::uint64_t dispatch_start_us = 0;
 };
 
 /// True when a reply line (with or without an id prefix) is a protocol
@@ -116,10 +132,46 @@ struct Router::Impl {
     if (options.replicas == 0) options.replicas = 1;
     if (options.l1_mb > 0)
       l1 = cache::ResultCache::with_capacity_mb(options.l1_mb);
+    if (!options.trace_file.empty()) {
+      std::string error;
+      if (!traces.set_file(options.trace_file, &error))
+        std::fprintf(stderr, "trace-file: %s\n", error.c_str());
+    }
+    if (!options.slow_log.empty()) {
+      slow_file = std::fopen(options.slow_log.c_str(), "a");
+      if (slow_file == nullptr)
+        std::fprintf(stderr, "slow-log: cannot open %s, logging to stderr\n",
+                     options.slow_log.c_str());
+    }
+  }
+
+  ~Impl() {
+    if (slow_file != nullptr) std::fclose(slow_file);
   }
 
   RouterOptions options;
   std::shared_ptr<cache::ResultCache> l1;
+
+  /// Completed traces this router assembled (op:trace/op:traces): its own
+  /// spans plus the backend spans folded out of each reply.
+  obs::TraceStore traces{128};
+  /// Slow-request sink (--slow-log); stderr when null and --slow-ms is on.
+  std::FILE* slow_file = nullptr;
+  std::mutex slow_mutex;
+
+  // Registry series, resolved once (obs/metrics.h).
+  obs::Histogram* obs_request =
+      obs::default_registry().histogram("router.request.micros");
+  obs::Counter* obs_requests =
+      obs::default_registry().counter("router.requests");
+  obs::Counter* obs_errors = obs::default_registry().counter("router.errors");
+  obs::Counter* obs_rejected =
+      obs::default_registry().counter("router.rejected");
+  obs::Counter* obs_l1_hits =
+      obs::default_registry().counter("router.l1_hits");
+  obs::Counter* obs_failovers =
+      obs::default_registry().counter("router.failovers");
+  obs::Gauge* obs_inflight = obs::default_registry().gauge("router.inflight");
 
   // -- cluster state -----------------------------------------------------
   // `cluster_mutex` serializes membership mutation + view publication (so
@@ -172,11 +224,15 @@ struct Router::Impl {
       inflight.fetch_sub(1, std::memory_order_relaxed);
       return false;
     }
+    obs_inflight->add(1);
     return true;
   }
 
   void release_admitted(std::size_t count) {
-    if (count > 0) inflight.fetch_sub(count, std::memory_order_relaxed);
+    if (count > 0) {
+      inflight.fetch_sub(count, std::memory_order_relaxed);
+      obs_inflight->add(-static_cast<std::int64_t>(count));
+    }
   }
 
   /// One backend row of a stats report: pool handle + membership flavor.
@@ -193,6 +249,8 @@ struct Router::Impl {
   void publish_view();
   std::string handle_membership(const io::WireRequest& wire);
   std::string stats_json(std::int64_t id) const;
+  void log_slow(const RouteTask& task, double elapsed_ms,
+                const std::string& trace_hex);
   void prepare_task(const std::string& line, RouteTask& task);
   bool dispatch(RouteTask& task);
   std::string await_reply(RouteTask& task);
@@ -412,8 +470,48 @@ std::string Router::Impl::stats_json(std::int64_t id) const {
         << ",\"failures\":" << pool.failures
         << ",\"inflight\":" << pool.inflight << "}";
   }
-  out << "]}";
+  out << "],\"metrics\":" << obs::metrics_json(obs::default_registry());
+  out << "}";
   return out.str();
+}
+
+/// One slow-request JSON line: wall-clock, trace id (when traced), who
+/// served it, the canonical key, strategy, and the recorder's span
+/// durations — enough to pull the full tree via `{"op":"trace"}`.
+void Router::Impl::log_slow(const RouteTask& task, double elapsed_ms,
+                            const std::string& trace_hex) {
+  std::ostringstream line;
+  line << "{\"slow\":true,\"tier\":\"router\",\"ms\":"
+       << io::json::number(elapsed_ms);
+  if (!task.strategy.empty())
+    line << ",\"strategy\":\"" << io::json::escape(task.strategy) << "\"";
+  if (!task.label.empty())
+    line << ",\"label\":\"" << io::json::escape(task.label) << "\"";
+  if (!trace_hex.empty())
+    line << ",\"trace\":\"" << trace_hex << "\"";
+  if (task.canonical_mode)
+    line << ",\"canon_key\":\""
+         << obs::trace_id_hex(task.canonical.key.hi, task.canonical.key.lo)
+         << "\"";
+  if (task.forwarded && !task.preference.empty())
+    line << ",\"backend\":\""
+         << io::json::escape(task.preference[task.preference_cursor]) << "\"";
+  if (task.failovers > 0) line << ",\"failovers\":" << task.failovers;
+  if (task.trace) {
+    line << ",\"spans\":{";
+    const std::vector<obs::Span> spans = task.trace->spans();
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      if (i != 0) line << ",";
+      line << "\"" << io::json::escape(spans[i].name)
+           << "\":" << spans[i].dur_us;
+    }
+    line << "}";
+  }
+  line << "}";
+  std::lock_guard<std::mutex> lock(slow_mutex);
+  std::FILE* sink = slow_file != nullptr ? slow_file : stderr;
+  std::fprintf(sink, "%s\n", line.str().c_str());
+  std::fflush(sink);
 }
 
 /// Decorate a canonical-space report for one client: lift the partition
@@ -506,6 +604,47 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
     task.immediate = stats_json(wire.id);
     return;
   }
+  if (wire.op == io::WireOp::Metrics) {
+    std::ostringstream reply;
+    reply << "{";
+    if (wire.id >= 0) reply << "\"id\":" << wire.id << ",";
+    reply << "\"metrics\":true,\"content_type\":\"text/plain; "
+             "version=0.0.4\",\"body\":\""
+          << io::json::escape(obs::prometheus_text(obs::default_registry()))
+          << "\"}";
+    task.immediate = reply.str();
+    return;
+  }
+  if (wire.op == io::WireOp::Trace) {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    obs::parse_trace_id(wire.trace_id, &hi, &lo);
+    const std::vector<obs::Span> spans = traces.find(hi, lo);
+    if (spans.empty()) {
+      task.immediate = error_json("unknown trace id", "", wire.id);
+      task.immediate_is_error = true;
+    } else {
+      task.immediate = obs::trace_tree_json(wire.trace_id, spans);
+    }
+    return;
+  }
+  if (wire.op == io::WireOp::Traces) {
+    std::ostringstream reply;
+    reply << "{";
+    if (wire.id >= 0) reply << "\"id\":" << wire.id << ",";
+    reply << "\"traces\":[";
+    const auto recent = traces.recent(32);
+    for (std::size_t t = 0; t < recent.size(); ++t) {
+      if (t != 0) reply << ",";
+      reply << "{\"id\":\"" << recent[t].id << "\",\"root\":\""
+            << io::json::escape(recent[t].root)
+            << "\",\"dur_us\":" << recent[t].dur_us
+            << ",\"spans\":" << recent[t].spans << "}";
+    }
+    reply << "]}";
+    task.immediate = reply.str();
+    return;
+  }
   if (wire.op == io::WireOp::Join || wire.op == io::WireOp::Leave ||
       wire.op == io::WireOp::Heartbeat) {
     task.immediate = handle_membership(wire);
@@ -523,6 +662,7 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
   task.include_partition = wire.include_partition;
   if (!try_admit()) {
     stat_rejected.fetch_add(1, std::memory_order_relaxed);
+    obs_rejected->add(1);
     task.immediate =
         error_json("overloaded: " + std::to_string(options.max_inflight) +
                        " requests already in flight",
@@ -533,8 +673,28 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
   task.admitted = true;
   task.router_id = next_id.fetch_add(1, std::memory_order_relaxed);
 
+  if (wire.has_trace || options.trace) {
+    // Honor a client-sent context; --trace mints one here so a fleet is
+    // observable without client changes. The "router.request" root span
+    // parents under the client's span (0 = this trace starts here), and
+    // the dispatch span id is allocated now because the forwarded line
+    // names it as the backend's parent.
+    obs::TraceContext ctx =
+        wire.has_trace ? wire.trace : obs::make_trace_context();
+    task.remote_parent = ctx.parent_span;
+    task.root_span = obs::new_span_id();
+    task.dispatch_span = obs::new_span_id();
+    ctx.parent_span = task.root_span;
+    task.trace = std::make_shared<obs::TraceRecorder>(ctx);
+  }
+
   io::WireRequest forward = wire;
   forward.id = static_cast<std::int64_t>(task.router_id);
+  if (task.trace) {
+    forward.has_trace = true;
+    forward.trace = task.trace->context();
+    forward.trace.parent_span = task.dispatch_span;
+  }
 
   if (wire.request.masked) {
     // Masked patterns have no canonical form: forward verbatim, keyed by
@@ -548,7 +708,11 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
 
   task.canonical_mode = true;
   task.original = wire.request.matrix;
+  std::uint64_t span_start = obs::steady_micros();
   task.canonical = canon::canonicalize(wire.request.matrix);
+  if (task.trace)
+    task.trace->record("router.canon", obs::new_span_id(), task.root_span,
+                       span_start, obs::steady_micros());
   task.strategy = wire.request.strategy;
   task.l1_key = task.canonical.key.mixed_with(task.strategy);
   // Shard by the pattern alone (not the strategy): every view of one
@@ -578,10 +742,15 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
     stat_promotions.fetch_add(1, std::memory_order_relaxed);
 
   if (l1) {
+    span_start = obs::steady_micros();
     std::optional<cache::CachedResult> hit =
         l1->lookup(task.l1_key, task.strategy, task.canonical.pattern);
+    if (task.trace)
+      task.trace->record("router.l1", obs::new_span_id(), task.root_span,
+                         span_start, obs::steady_micros());
     if (hit) {
       stat_l1_hits.fetch_add(1, std::memory_order_relaxed);
+      obs_l1_hits->add(1);
       engine::SolveReport report = std::move(hit->report);
       // A key promoted off an L1 repeat still warms its replicas — that is
       // the whole point: the backends must hold it before one of them (or
@@ -610,13 +779,17 @@ bool Router::Impl::dispatch(RouteTask& task) {
   task.pending = std::make_shared<PendingReply>();
   task.view = views.current();
   task.preference = task.view->ordered(task.route_key);
+  task.dispatch_start_us = obs::steady_micros();
   for (std::size_t i = 0; i < task.preference.size(); ++i) {
     const std::shared_ptr<BackendPool> pool = pool_for(task.preference[i]);
     if (!pool) continue;  // membership raced ahead of the pool set
     if (pool->submit(task.router_id, task.backend_line, task.pending)) {
       task.preference_cursor = i;
       task.failovers += i > 0 ? 1 : 0;
-      if (i > 0) stat_failovers.fetch_add(1, std::memory_order_relaxed);
+      if (i > 0) {
+        stat_failovers.fetch_add(1, std::memory_order_relaxed);
+        obs_failovers->add(1);
+      }
       task.forwarded = true;
       return true;
     }
@@ -680,6 +853,7 @@ std::string Router::Impl::await_reply(RouteTask& task) {
         task.preference_cursor = i;
         ++task.failovers;
         stat_failovers.fetch_add(1, std::memory_order_relaxed);
+        obs_failovers->add(1);
         resubmitted = true;
         break;
       }
@@ -692,6 +866,11 @@ std::string Router::Impl::await_reply(RouteTask& task) {
 /// Turn a raw backend reply into the client's reply line.
 std::string Router::Impl::finalize_reply(RouteTask& task,
                                          const std::string& raw) {
+  if (task.trace && task.forwarded)
+    // Submit → reply received, the backend exchange the server's own
+    // "server.request" span (folded below) nests under.
+    task.trace->record("router.dispatch", task.dispatch_span, task.root_span,
+                       task.dispatch_start_us, obs::steady_micros());
   if (raw.empty()) {
     stat_errors.fetch_add(1, std::memory_order_relaxed);
     return error_json("all backends unavailable", task.label, task.client_id);
@@ -720,8 +899,19 @@ std::string Router::Impl::finalize_reply(RouteTask& task,
   }
   engine::SolveReport report;
   try {
-    report = io::parse_wire_response(raw, task.canonical.pattern.rows(),
+    const io::json::Value document = io::json::Value::parse(raw);
+    report = io::parse_wire_response(document, task.canonical.pattern.rows(),
                                      task.canonical.pattern.cols());
+    // Fold the backend's spans into this request's recorder: they already
+    // parent under the propagated dispatch span id, so the assembled tree
+    // crosses the process boundary without fixups.
+    if (task.trace) {
+      if (const io::json::Value* trace = document.find("trace");
+          trace != nullptr && trace->is_object())
+        if (const io::json::Value* spans = trace->find("spans");
+            spans != nullptr && spans->is_array())
+          task.trace->adopt(obs::spans_from_json(*spans));
+    }
   } catch (const std::exception& e) {
     stat_errors.fetch_add(1, std::memory_order_relaxed);
     return error_json(std::string("router: bad backend reply: ") + e.what(),
@@ -751,8 +941,12 @@ std::string Router::Impl::finalize_reply(RouteTask& task,
         (cache_hit != nullptr && *cache_hit == "false"))
       replicate(task, report);
   }
+  const std::uint64_t lift_start = obs::steady_micros();
   const std::string reply =
       render_report(task, std::move(report), endpoint.c_str());
+  if (task.trace)
+    task.trace->record("router.lift", obs::new_span_id(), task.root_span,
+                       lift_start, obs::steady_micros());
   if (is_error_reply(reply))
     stat_errors.fetch_add(1, std::memory_order_relaxed);
   else
@@ -807,6 +1001,7 @@ bool Router::Impl::read_batch(ClientConn& conn, net::LineBuffer& buffer,
 /// write replies in line order. False when the client went away.
 bool Router::Impl::process_batch(ClientConn& conn,
                                  const std::vector<std::string>& lines) {
+  const std::uint64_t batch_start_us = obs::steady_micros();
   std::vector<RouteTask> tasks(lines.size());
   std::size_t admitted = 0;
   for (std::size_t i = 0; i < lines.size(); ++i) {
@@ -819,15 +1014,56 @@ bool Router::Impl::process_batch(ClientConn& conn,
   for (RouteTask& task : tasks) {
     if (task.skip) continue;
     std::string reply;
+    bool is_error = false;
     if (!task.immediate.empty()) {
       reply = task.immediate;
+      is_error = task.immediate_is_error;
       if (task.immediate_is_error)
         stat_errors.fetch_add(1, std::memory_order_relaxed);
       else if (task.admitted || task.canonical_mode)
         stat_requests.fetch_add(1, std::memory_order_relaxed);
     } else {
       reply = finalize_reply(task, await_reply(task));
+      is_error = is_error_reply(reply);
     }
+
+    const std::uint64_t done_us = obs::steady_micros();
+    const std::uint64_t elapsed_us = done_us - batch_start_us;
+    std::string trace_hex;
+    if (task.trace) {
+      // Close the root span, attach the assembled spans (router's own +
+      // the backend's, folded in finalize_reply) to the reply, and publish
+      // the trace before the write so an immediate {"op":"trace"} on
+      // another connection finds it.
+      const obs::TraceContext& ctx = task.trace->context();
+      trace_hex = obs::trace_id_hex(ctx.hi, ctx.lo);
+      task.trace->record("router.request", task.root_span, task.remote_parent,
+                         task.trace->created_us(), done_us);
+      std::vector<obs::Span> spans = task.trace->spans();
+      // Passthrough replies are forwarded verbatim and already carry the
+      // backend's own trace member; splicing a second one would duplicate
+      // the key. Their router spans live in the local store only.
+      if (!is_error && !task.passthrough && !reply.empty() &&
+          reply.back() == '}') {
+        reply.pop_back();
+        reply += ",\"trace\":{\"id\":\"" + trace_hex +
+                 "\",\"spans\":" + obs::spans_json(spans) + "}}";
+      }
+      traces.add(ctx.hi, ctx.lo, std::move(spans));
+    }
+    if (task.admitted) {
+      obs_request->record(elapsed_us);
+      if (is_error)
+        obs_errors->add(1);
+      else
+        obs_requests->add(1);
+      if (options.slow_ms > 0) {
+        const double elapsed_ms = static_cast<double>(elapsed_us) / 1000.0;
+        if (elapsed_ms >= options.slow_ms)
+          log_slow(task, elapsed_ms, trace_hex);
+      }
+    }
+
     if (client_alive && !write_line(conn.fd, reply)) client_alive = false;
     // A dead client still drains its remaining in-flight replies (the
     // loop keeps awaiting) so admission slots and pending ids retire

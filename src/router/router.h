@@ -100,6 +100,20 @@ struct RouterOptions {
   double backoff_base_ms = 50.0;   ///< Reconnect backoff start.
   double backoff_max_ms = 2000.0;  ///< Reconnect backoff ceiling.
   double health_interval_ms = 100.0;  ///< Health/reconnect thread cadence.
+  /// Trace every request (`ebmf route --trace`): requests without a client
+  /// trace context get a fresh one at the router, so the whole fleet's
+  /// latency breakdown is observable without client changes. Client-sent
+  /// contexts are always honored regardless of this flag.
+  bool trace = false;
+  /// Slow-request log (`--slow-ms`): any routed solve whose wall-clock
+  /// exceeds this many milliseconds is appended — with trace id, serving
+  /// backend, strategy, and per-span timings — as one JSON line to
+  /// `slow_log` (or stderr when empty). 0 = off.
+  double slow_ms = 0.0;
+  std::string slow_log;  ///< `--slow-log=PATH`; empty = stderr.
+  /// Completed traces additionally append to this JSON-lines file
+  /// (`--trace-file=PATH`); empty = ring only.
+  std::string trace_file;
 };
 
 /// Point-in-time health + counters of one backend.

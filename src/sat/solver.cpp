@@ -4,6 +4,8 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace ebmf::sat {
 
 namespace {
@@ -483,6 +485,12 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions,
   assumptions_ = assumptions;
   max_learnts_ = std::max(2000.0, static_cast<double>(n_problem_) / 3.0);
   next_budget_check_ = stats_.propagations;
+  // Propagation accounting for the process metrics registry: remember the
+  // cumulative counters now and flush the deltas once on exit, so the
+  // propagate()/search() hot loops never touch a shared atomic.
+  const std::uint64_t props_before = stats_.propagations;
+  const std::uint64_t conflicts_before = stats_.conflicts;
+  const std::uint64_t decisions_before = stats_.decisions;
 
   SolveResult result = SolveResult::Unknown;
   std::int64_t conflicts_used = 0;
@@ -510,6 +518,20 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions,
   cancel_until(0);
   assumptions_.clear();
   stats_.arena_bytes = arena_.bytes();
+  {
+    static obs::Counter* const props =
+        obs::default_registry().counter("sat.solver.propagations");
+    static obs::Counter* const conflicts =
+        obs::default_registry().counter("sat.solver.conflicts");
+    static obs::Counter* const decisions =
+        obs::default_registry().counter("sat.solver.decisions");
+    static obs::Counter* const solves =
+        obs::default_registry().counter("sat.solver.solves");
+    props->add(stats_.propagations - props_before);
+    conflicts->add(stats_.conflicts - conflicts_before);
+    decisions->add(stats_.decisions - decisions_before);
+    solves->add();
+  }
   return result;
 }
 

@@ -15,6 +15,7 @@
 
 #include "io/json.h"
 #include "io/request_io.h"
+#include "obs/metrics.h"
 
 namespace ebmf::cache {
 
@@ -85,6 +86,18 @@ struct ResultCache::Impl {
   std::atomic<std::uint64_t> evictions{0};
   std::atomic<std::uint64_t> insertions{0};
 
+  // Process-wide registry mirrors (obs/metrics.h), resolved once so the
+  // hot paths pay one relaxed atomic add, no name lookup. Counters sum
+  // across every ResultCache in the process (backend cache + router L1).
+  obs::Counter* obs_hits = obs::default_registry().counter("cache.hits");
+  obs::Counter* obs_misses = obs::default_registry().counter("cache.misses");
+  obs::Counter* obs_evictions =
+      obs::default_registry().counter("cache.evictions");
+  obs::Counter* obs_insertions =
+      obs::default_registry().counter("cache.insertions");
+  obs::Histogram* obs_lookup =
+      obs::default_registry().histogram("cache.lookup.micros");
+
   explicit Impl(Options opt) : options(opt), shards(opt.shards) {}
 
   Shard& shard_for(const canon::CacheKey& key) {
@@ -104,6 +117,7 @@ struct ResultCache::Impl {
       shard.index.erase(victim.key);
       shard.lru.pop_back();
       evictions.fetch_add(1, std::memory_order_relaxed);
+      obs_evictions->add();
     }
   }
 };
@@ -126,6 +140,7 @@ std::optional<CachedResult> ResultCache::lookup(
     const canon::CacheKey& key, const std::string& strategy,
     const BinaryMatrix& canonical_pattern) {
   Shard& shard = impl_->shard_for(key);
+  const std::uint64_t start_us = obs::steady_micros();
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.index.find(key);
@@ -133,10 +148,15 @@ std::optional<CachedResult> ResultCache::lookup(
         it->second->pattern == canonical_pattern) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       impl_->hits.fetch_add(1, std::memory_order_relaxed);
-      return CachedResult{it->second->report};
+      CachedResult result{it->second->report};
+      impl_->obs_hits->add();
+      impl_->obs_lookup->record(obs::steady_micros() - start_us);
+      return result;
     }
   }
   impl_->misses.fetch_add(1, std::memory_order_relaxed);
+  impl_->obs_misses->add();
+  impl_->obs_lookup->record(obs::steady_micros() - start_us);
   return std::nullopt;
 }
 
@@ -163,6 +183,7 @@ void ResultCache::insert(const canon::CacheKey& key,
     shard.bytes += entry.bytes;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     impl_->insertions.fetch_add(1, std::memory_order_relaxed);
+    impl_->obs_insertions->add();
     impl_->evict_over_budget(shard);
     return;
   }
@@ -172,6 +193,7 @@ void ResultCache::insert(const canon::CacheKey& key,
   shard.index[key] = shard.lru.begin();
   shard.bytes += shard.lru.front().bytes;
   impl_->insertions.fetch_add(1, std::memory_order_relaxed);
+  impl_->obs_insertions->add();
   impl_->evict_over_budget(shard);
 }
 

@@ -17,6 +17,7 @@
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <ctime>
 #include <mutex>
@@ -31,6 +32,8 @@
 #include "core/partition.h"
 #include "io/json.h"
 #include "io/request_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/canon.h"
 #include "service/net.h"
 
@@ -63,10 +66,42 @@ struct Server::Impl {
     if (options.max_batch == 0) options.max_batch = 1;
     if (options.cache_mb > 0)
       engine.set_cache(cache::ResultCache::with_capacity_mb(options.cache_mb));
+    if (!options.trace_file.empty()) {
+      std::string error;
+      if (!traces.set_file(options.trace_file, &error))
+        std::fprintf(stderr, "trace-file: %s\n", error.c_str());
+    }
+    if (!options.slow_log.empty()) {
+      slow_file = std::fopen(options.slow_log.c_str(), "a");
+      if (slow_file == nullptr)
+        std::fprintf(stderr, "slow-log: cannot open %s, logging to stderr\n",
+                     options.slow_log.c_str());
+    }
+  }
+
+  ~Impl() {
+    if (slow_file != nullptr) std::fclose(slow_file);
   }
 
   ServerOptions options;
   engine::Engine engine;
+
+  /// Completed traces of requests this server handled (op:trace/op:traces).
+  obs::TraceStore traces{128};
+  /// Slow-request sink (--slow-log); stderr when null and --slow-ms is on.
+  std::FILE* slow_file = nullptr;
+  std::mutex slow_mutex;
+
+  // Registry series, resolved once (obs/metrics.h).
+  obs::Histogram* obs_request =
+      obs::default_registry().histogram("server.request.micros");
+  obs::Counter* obs_requests =
+      obs::default_registry().counter("server.requests");
+  obs::Counter* obs_errors = obs::default_registry().counter("server.errors");
+  obs::Counter* obs_rejected =
+      obs::default_registry().counter("server.rejected");
+  obs::Gauge* obs_inflight =
+      obs::default_registry().gauge("server.inflight");
 
   net::TcpListener listener;
   std::atomic<bool> running{false};
@@ -112,15 +147,21 @@ struct Server::Impl {
       inflight.fetch_sub(1, std::memory_order_relaxed);
       return false;
     }
+    obs_inflight->add(1);
     return true;
   }
 
   void release_admitted(std::size_t count) {
-    if (count > 0) inflight.fetch_sub(count, std::memory_order_relaxed);
+    if (count > 0) {
+      inflight.fetch_sub(count, std::memory_order_relaxed);
+      obs_inflight->add(-static_cast<std::int64_t>(count));
+    }
   }
 
   std::string stats_json(std::int64_t id) const;
   std::string handle_put(const io::WireRequest& wire);
+  void log_slow(const engine::SolveReport& report, double elapsed_ms,
+                const std::string& trace_id);
   std::string advertised_endpoint() const;
   int dial_announce(const std::string& host, std::uint16_t port);
   bool announce_round(const std::string& host, std::uint16_t port,
@@ -162,8 +203,40 @@ std::string Server::Impl::stats_json(std::int64_t id) const {
   } else {
     out << ",\"cache\":null";
   }
+  out << ",\"metrics\":" << obs::metrics_json(obs::default_registry());
   out << "}";
   return out.str();
+}
+
+/// One slow-request JSON line: wall-clock, trace id (when traced), the
+/// canonical key prefix, strategy, and per-phase timings — enough to pull
+/// the full span tree via `{"op":"trace"}` or find the pattern in the
+/// cache. Appended to --slow-log or stderr.
+void Server::Impl::log_slow(const engine::SolveReport& report,
+                            double elapsed_ms, const std::string& trace_id) {
+  std::ostringstream line;
+  line << "{\"slow\":true,\"tier\":\"server\",\"ms\":"
+       << io::json::number(elapsed_ms) << ",\"strategy\":\""
+       << io::json::escape(report.strategy) << "\"";
+  if (!report.label.empty())
+    line << ",\"label\":\"" << io::json::escape(report.label) << "\"";
+  if (!trace_id.empty())
+    line << ",\"trace\":\"" << io::json::escape(trace_id) << "\"";
+  if (const std::string* key = report.find_telemetry("canon.key"))
+    line << ",\"canon_key\":\"" << io::json::escape(key->substr(0, 16))
+         << "\"";
+  line << ",\"timings\":{";
+  for (std::size_t i = 0; i < report.timings.size(); ++i) {
+    if (i != 0) line << ",";
+    line << "\"" << io::json::escape(report.timings[i].phase)
+         << "\":" << io::json::number(report.timings[i].seconds);
+  }
+  line << "}}";
+  const std::string text = line.str();
+  const std::lock_guard<std::mutex> lock(slow_mutex);
+  std::FILE* sink = slow_file != nullptr ? slow_file : stderr;
+  std::fprintf(sink, "%s\n", text.c_str());
+  std::fflush(sink);
 }
 
 /// `{"op":"put"}`: a replica cache write from the router. The payload is
@@ -437,6 +510,12 @@ struct PendingLine {
   std::size_t batch_index = 0;  ///< Into the solve_batch vector.
   std::optional<io::WireRequest> wire;            ///< Split path keeps it.
   std::optional<engine::SolveReport> report;      ///< Split path result.
+  /// Tracing (set when the request carried a "trace" member): the span
+  /// recorder shared with the engine, this request's "server.request" root
+  /// span id, and the sender's span the root parents under.
+  obs::TracePtr trace;
+  std::uint64_t root_span = 0;
+  std::uint64_t remote_parent = 0;
 };
 
 }  // namespace
@@ -446,6 +525,7 @@ struct PendingLine {
 bool Server::Impl::process_batch(Connection& conn,
                                  const std::vector<std::string>& lines) {
   Impl& impl = *this;
+  const std::uint64_t batch_start_us = obs::steady_micros();
   std::vector<PendingLine> pending(lines.size());
   std::vector<engine::SolveRequest> batch;
   std::size_t admitted = 0;
@@ -472,6 +552,47 @@ bool Server::Impl::process_batch(Connection& conn,
       p.immediate = impl.stats_json(wire.id);
       continue;
     }
+    if (wire.op == io::WireOp::Metrics) {
+      // Prometheus text exposition, wrapped in one JSON line (the protocol
+      // is line-framed); `ebmf client --metrics` unwraps the body.
+      std::ostringstream reply;
+      reply << "{";
+      if (wire.id >= 0) reply << "\"id\":" << wire.id << ",";
+      reply << "\"metrics\":true,\"content_type\":\"text/plain; "
+               "version=0.0.4\",\"body\":\""
+            << io::json::escape(
+                   obs::prometheus_text(obs::default_registry()))
+            << "\"}";
+      p.immediate = reply.str();
+      continue;
+    }
+    if (wire.op == io::WireOp::Trace) {
+      std::uint64_t hi = 0;
+      std::uint64_t lo = 0;
+      obs::parse_trace_id(wire.trace_id, &hi, &lo);
+      const std::vector<obs::Span> spans = impl.traces.find(hi, lo);
+      p.immediate = spans.empty()
+                        ? error_json("unknown trace id", "", wire.id)
+                        : obs::trace_tree_json(wire.trace_id, spans);
+      continue;
+    }
+    if (wire.op == io::WireOp::Traces) {
+      std::ostringstream reply;
+      reply << "{";
+      if (wire.id >= 0) reply << "\"id\":" << wire.id << ",";
+      reply << "\"traces\":[";
+      const auto recent = impl.traces.recent(32);
+      for (std::size_t t = 0; t < recent.size(); ++t) {
+        if (t != 0) reply << ",";
+        reply << "{\"id\":\"" << recent[t].id << "\",\"root\":\""
+              << io::json::escape(recent[t].root)
+              << "\",\"dur_us\":" << recent[t].dur_us
+              << ",\"spans\":" << recent[t].spans << "}";
+      }
+      reply << "]}";
+      p.immediate = reply.str();
+      continue;
+    }
     if (wire.op == io::WireOp::Put) {
       // Replica cache write: validated + inserted inline, but under the
       // same admission gate as solves — canonicalization + certificate
@@ -479,6 +600,7 @@ bool Server::Impl::process_batch(Connection& conn,
       // must shed exactly like a solve flood.
       if (!impl.try_admit()) {
         impl.stat_rejected.fetch_add(1, std::memory_order_relaxed);
+        impl.obs_rejected->add(1);
         p.error = "overloaded: " + std::to_string(impl.options.max_inflight) +
                   " requests already in flight";
         continue;
@@ -503,6 +625,7 @@ bool Server::Impl::process_batch(Connection& conn,
     p.include_partition = wire.include_partition;
     if (!impl.try_admit()) {
       impl.stat_rejected.fetch_add(1, std::memory_order_relaxed);
+      impl.obs_rejected->add(1);
       p.error = "overloaded: " + std::to_string(impl.options.max_inflight) +
                 " requests already in flight";
       continue;
@@ -519,6 +642,18 @@ bool Server::Impl::process_batch(Connection& conn,
     if (seconds > 0) wire.request.budget.deadline = Deadline::after(seconds);
     wire.request.budget.cancel = conn.cancel;
 
+    if (wire.has_trace) {
+      // This request's "server.request" root span parents under the
+      // sender's span (router dispatch / client root); the recorder's
+      // context carries the root id so engine spans parent under it.
+      p.remote_parent = wire.trace.parent_span;
+      p.root_span = obs::new_span_id();
+      obs::TraceContext ctx = wire.trace;
+      ctx.parent_span = p.root_span;
+      p.trace = std::make_shared<obs::TraceRecorder>(ctx);
+      wire.request.trace = p.trace;
+    }
+
     if (wire.split && !wire.request.masked) {
       p.split = true;
       p.wire = std::move(wire);
@@ -529,6 +664,16 @@ bool Server::Impl::process_batch(Connection& conn,
   }
 
   conn.solving.store(admitted > 0, std::memory_order_relaxed);
+  // Queue wait: parse + admission until the engine actually starts. Batches
+  // record it here (once per line), not in the engine, so split sub-requests
+  // sharing one recorder don't each re-report it.
+  if (admitted > 0) {
+    const std::uint64_t queue_end_us = obs::steady_micros();
+    for (PendingLine& p : pending)
+      if (p.trace)
+        p.trace->record("server.queue", obs::new_span_id(), p.root_span,
+                        p.trace->created_us(), queue_end_us);
+  }
   std::vector<engine::SolveReport> reports;
   if (!batch.empty())
     reports = impl.engine.solve_batch(batch, impl.options.threads);
@@ -546,11 +691,13 @@ bool Server::Impl::process_batch(Connection& conn,
   for (PendingLine& p : pending) {
     if (p.skip) continue;
     std::string reply;
+    const engine::SolveReport* done = nullptr;
     if (!p.immediate.empty()) {
       reply = p.immediate;
     } else if (!p.error.empty()) {
       reply = error_json(p.error, p.label, p.id);
       impl.stat_errors.fetch_add(1, std::memory_order_relaxed);
+      impl.obs_errors->add(1);
     } else {
       const engine::SolveReport& report =
           p.split ? *p.report : reports[p.batch_index];
@@ -559,12 +706,61 @@ bool Server::Impl::process_batch(Connection& conn,
       if (const std::string* error = report.find_telemetry("error")) {
         reply = error_json(*error, report.label, p.id);
         impl.stat_errors.fetch_add(1, std::memory_order_relaxed);
+        impl.obs_errors->add(1);
       } else {
         reply = io::wire_response_json(report, p.include_partition, p.id);
         impl.stat_requests.fetch_add(1, std::memory_order_relaxed);
+        impl.obs_requests->add(1);
+        done = &report;
       }
     }
+
+    const std::uint64_t done_us = obs::steady_micros();
+    const std::uint64_t elapsed_us = done_us - batch_start_us;
+    std::string trace_hex;
+    if (p.trace) {
+      // Close the root span, attach this process's spans to the solve reply
+      // (the router folds them into its own trace), and publish the trace
+      // locally *before* the reply is written so an immediate
+      // {"op":"trace"} follow-up on another connection finds it.
+      const obs::TraceContext& ctx = p.trace->context();
+      trace_hex = obs::trace_id_hex(ctx.hi, ctx.lo);
+      p.trace->record("server.request", p.root_span, p.remote_parent,
+                      p.trace->created_us(), done_us);
+      std::vector<obs::Span> spans = p.trace->spans();
+      if (done && !reply.empty() && reply.back() == '}') {
+        reply.pop_back();
+        reply += ",\"trace\":{\"id\":\"" + trace_hex +
+                 "\",\"spans\":" + obs::spans_json(spans) + "}}";
+      }
+      impl.traces.add(ctx.hi, ctx.lo, std::move(spans));
+    }
+    if (done || !p.error.empty()) {
+      impl.obs_request->record(elapsed_us);
+      if (done)
+        obs::default_registry()
+            .histogram("server.solve." + done->strategy + ".micros")
+            ->record(elapsed_us);
+    }
+    if (done && impl.options.slow_ms > 0) {
+      const double elapsed_ms = static_cast<double>(elapsed_us) / 1000.0;
+      if (elapsed_ms >= impl.options.slow_ms)
+        impl.log_slow(*done, elapsed_ms, trace_hex);
+    }
+
     if (!write_line(conn.fd, reply)) return false;
+    if (p.trace) {
+      // The reply-write span can't ride in the reply it measures; it lands
+      // in the local store only, visible to later {"op":"trace"} queries.
+      obs::Span write_span;
+      write_span.name = "server.reply_write";
+      write_span.span_id = obs::new_span_id();
+      write_span.parent_id = p.root_span;
+      write_span.start_us = done_us;
+      write_span.dur_us = obs::steady_micros() - done_us;
+      const obs::TraceContext& ctx = p.trace->context();
+      impl.traces.add(ctx.hi, ctx.lo, {write_span});
+    }
   }
   return true;
 }

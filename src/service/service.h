@@ -69,6 +69,15 @@ struct ServerOptions {
   /// when the router must dial a different address than the bind one).
   std::string advertise;
   double heartbeat_ms = 500.0;  ///< Announce heartbeat cadence.
+  /// Slow-request log (`--slow-ms`): any solve whose wall-clock exceeds
+  /// this many milliseconds is appended — with trace id, canonical key
+  /// prefix, strategy, and per-phase timings — as one JSON line to
+  /// `slow_log` (or stderr when empty). 0 = off.
+  double slow_ms = 0.0;
+  std::string slow_log;  ///< `--slow-log=PATH`; empty = stderr.
+  /// Completed traces additionally append to this JSON-lines file
+  /// (`--trace-file=PATH`); empty = ring only.
+  std::string trace_file;
 };
 
 /// Point-in-time server counters (drain report, tests).

@@ -1,0 +1,366 @@
+// Tests for ebmf::obs: histogram quantiles against a sorted reference,
+// concurrent counter recording through the lock-striped registry, trace
+// context wire round-trips (including legacy no-trace requests), span-tree
+// assembly across a real serve+route pair, and trace-store ring eviction.
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "io/json.h"
+#include "io/request_io.h"
+#include "router/router.h"
+#include "service/service.h"
+
+namespace ebmf::obs {
+namespace {
+
+// ---- histogram -------------------------------------------------------------
+
+TEST(Histogram, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < Histogram::kSubCount; ++v) h.record(v);
+  // Values below kSubCount each get their own bucket: quantiles are exact.
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), Histogram::kSubCount - 1);
+  EXPECT_EQ(h.count(), Histogram::kSubCount);
+  EXPECT_EQ(h.max(), Histogram::kSubCount - 1);
+}
+
+TEST(Histogram, BucketIndexIsMonotoneAndBoundsContain) {
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 1u << 14; ++v) {
+    const std::size_t index = Histogram::bucket_index(v);
+    ASSERT_GE(index, prev) << "bucket index not monotone at " << v;
+    ASSERT_GE(Histogram::bucket_upper(index), v)
+        << "upper bound below the value at " << v;
+    prev = index;
+  }
+}
+
+TEST(Histogram, QuantilesMatchSortedReferenceWithinBucketError) {
+  std::mt19937_64 rng(2024);
+  // Mixed magnitudes: the log-linear grid must hold its relative error
+  // across octaves, not just in one range.
+  std::vector<std::uint64_t> samples;
+  Histogram h;
+  for (int i = 0; i < 20000; ++i) {
+    const int octave = static_cast<int>(rng() % 20);
+    const std::uint64_t value = rng() % (1ull << octave);
+    samples.push_back(value);
+    h.record(value);
+  }
+  std::vector<std::uint64_t> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.10, 0.50, 0.90, 0.99, 0.999}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    const std::uint64_t reference = sorted[rank == 0 ? 0 : rank - 1];
+    const std::uint64_t estimate = h.quantile(q);
+    // The estimate is the inclusive upper bound of the reference's bucket:
+    // never below the true quantile, and above it by at most one sub-bucket
+    // width (relative error <= 2^-kSubBits).
+    EXPECT_GE(estimate, reference) << "q=" << q;
+    const double ceiling =
+        static_cast<double>(reference) *
+            (1.0 + 1.0 / static_cast<double>(Histogram::kSubCount)) +
+        1.0;
+    EXPECT_LE(static_cast<double>(estimate), ceiling) << "q=" << q;
+  }
+  EXPECT_EQ(h.quantile(1.0), sorted.back());
+  EXPECT_EQ(h.count(), samples.size());
+}
+
+TEST(Histogram, ConcurrentRecordLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 16;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.record(static_cast<std::uint64_t>(t * kPerThread + i));
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h.max(), static_cast<std::uint64_t>(kThreads * kPerThread - 1));
+}
+
+// ---- registry --------------------------------------------------------------
+
+TEST(Registry, SixteenThreadsOneCounter) {
+  Registry registry;
+  constexpr int kThreads = 16;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&registry] {
+      // Resolve inside the thread: the test covers concurrent resolve of
+      // one name as well as concurrent recording.
+      Counter* counter = registry.counter("test.concurrent.hits");
+      for (int i = 0; i < kPerThread; ++i) counter->add(1);
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.counter("test.concurrent.hits")->value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Registry, StablePointersAndKindMismatch) {
+  Registry registry;
+  Counter* counter = registry.counter("test.series");
+  EXPECT_EQ(registry.counter("test.series"), counter);
+  // A name resolves to exactly one kind; asking for another returns null.
+  EXPECT_EQ(registry.histogram("test.series"), nullptr);
+  EXPECT_EQ(registry.gauge("test.series"), nullptr);
+}
+
+TEST(Registry, PrometheusExpositionShape) {
+  Registry registry;
+  registry.counter("tier.component.hits")->add(3);
+  registry.histogram("tier.request.micros")->record(100);
+  registry.histogram("tier.request.micros")->record(5000);
+  const std::string text = prometheus_text(registry);
+  EXPECT_NE(text.find("# TYPE ebmf_tier_component_hits counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("ebmf_tier_component_hits 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ebmf_tier_request_micros histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("ebmf_tier_request_micros_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("ebmf_tier_request_micros_count 2"),
+            std::string::npos);
+  // Every line is either a comment or name{...} value — parsable as the
+  // text exposition format.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    if (!line.empty() && line[0] != '#') {
+      const std::size_t space = line.rfind(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      ASSERT_EQ(line.rfind("ebmf_", 0), 0u) << line;
+      char* parse_end = nullptr;
+      std::strtod(line.c_str() + space + 1, &parse_end);
+      ASSERT_EQ(*parse_end, '\0') << line;
+    }
+    start = end + 1;
+  }
+}
+
+// ---- trace ids and wire round-trips ----------------------------------------
+
+TEST(Trace, IdHexRoundTrips) {
+  const TraceContext ctx = make_trace_context();
+  EXPECT_TRUE(ctx.valid());
+  const std::string hex = trace_id_hex(ctx.hi, ctx.lo);
+  EXPECT_EQ(hex.size(), 32u);
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  EXPECT_TRUE(parse_trace_id(hex, &hi, &lo));
+  EXPECT_EQ(hi, ctx.hi);
+  EXPECT_EQ(lo, ctx.lo);
+  EXPECT_FALSE(parse_trace_id("zz", &hi, &lo));
+
+  const std::uint64_t span = new_span_id();
+  std::uint64_t parsed = 0;
+  EXPECT_TRUE(parse_span_id(span_id_hex(span), &parsed));
+  EXPECT_EQ(parsed, span);
+}
+
+TEST(Trace, WireRequestRoundTripsContext) {
+  io::WireRequest wire;
+  wire.request =
+      engine::SolveRequest::dense(BinaryMatrix::parse("10;01"), "auto");
+  wire.has_trace = true;
+  wire.trace = make_trace_context();
+  wire.trace.parent_span = new_span_id();
+  const std::string line = io::wire_request_json(wire);
+  const io::WireRequest parsed = io::parse_wire_request(line);
+  ASSERT_TRUE(parsed.has_trace);
+  EXPECT_EQ(parsed.trace.hi, wire.trace.hi);
+  EXPECT_EQ(parsed.trace.lo, wire.trace.lo);
+  EXPECT_EQ(parsed.trace.parent_span, wire.trace.parent_span);
+}
+
+TEST(Trace, LegacyRequestsParseWithoutTrace) {
+  const io::WireRequest parsed =
+      io::parse_wire_request(R"({"pattern":"10;01"})");
+  EXPECT_FALSE(parsed.has_trace);
+  // And a malformed trace member is a protocol error, not a silent drop.
+  EXPECT_THROW(io::parse_wire_request(
+                   R"({"pattern":"10;01","trace":{"id":"nope"}})"),
+               std::runtime_error);
+}
+
+// ---- trace store -----------------------------------------------------------
+
+TEST(TraceStore, RingEvictsOldestAndBoundsSize) {
+  TraceStore store(4);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    Span span;
+    span.name = "root";
+    span.span_id = i;
+    span.start_us = i;
+    span.dur_us = 5;
+    store.add(0, i, {span});
+  }
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_TRUE(store.find(0, 1).empty());   // evicted
+  EXPECT_TRUE(store.find(0, 6).empty());   // evicted
+  EXPECT_EQ(store.find(0, 7).size(), 1u);  // retained
+  EXPECT_EQ(store.find(0, 10).size(), 1u);
+  // Merging into a live trace does not grow the ring.
+  Span extra;
+  extra.name = "child";
+  extra.span_id = 99;
+  store.add(0, 10, {extra});
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_EQ(store.find(0, 10).size(), 2u);
+  EXPECT_EQ(store.recent(2).size(), 2u);
+  EXPECT_EQ(store.recent(2).front().spans, 2u);
+}
+
+// ---- cross-process span tree over a real serve + route pair ----------------
+
+std::map<std::string, Span> spans_by_name(const io::json::Value& trace) {
+  const io::json::Value* array = trace.find("spans");
+  std::map<std::string, Span> out;
+  if (array == nullptr || !array->is_array()) return out;
+  for (std::size_t i = 0; i < array->size(); ++i) {
+    const io::json::Value& item = array->at(i);
+    Span span;
+    span.name = item.find("name")->as_string();
+    if (const io::json::Value* id = item.find("span");
+        id != nullptr && id->is_string())
+      parse_span_id(id->as_string(), &span.span_id);
+    if (const io::json::Value* parent = item.find("parent");
+        parent != nullptr && parent->is_string())
+      parse_span_id(parent->as_string(), &span.parent_id);
+    span.dur_us =
+        static_cast<std::uint64_t>(item.find("dur_us")->as_number());
+    out[span.name] = span;
+  }
+  return out;
+}
+
+TEST(Trace, SpanTreeAcrossServeAndRoute) {
+  service::ServerOptions backend_options;
+  backend_options.port = 0;
+  backend_options.cache_mb = 8;
+  service::Server backend(backend_options);
+  backend.start();
+
+  router::RouterOptions router_options;
+  router_options.port = 0;
+  router_options.l1_mb = 8;
+  router_options.backends.push_back("127.0.0.1:" +
+                                    std::to_string(backend.port()));
+  router::Router router(router_options);
+  router.start();
+
+  service::Client client("127.0.0.1", router.port());
+  const TraceContext ctx = make_trace_context();
+  io::WireRequest wire;
+  wire.request =
+      engine::SolveRequest::dense(BinaryMatrix::parse("110;011;111"), "auto");
+  wire.has_trace = true;
+  wire.trace = ctx;
+  const std::string reply =
+      client.round_trip(io::wire_request_json(wire));
+  const io::json::Value document = io::json::Value::parse(reply);
+  ASSERT_EQ(document.find("error"), nullptr) << reply;
+
+  const io::json::Value* trace = document.find("trace");
+  ASSERT_NE(trace, nullptr) << reply;
+  EXPECT_EQ(trace->find("id")->as_string(), trace_id_hex(ctx.hi, ctx.lo));
+  const std::map<std::string, Span> spans = spans_by_name(*trace);
+
+  // The acceptance bar: a traced router->backend request explains itself
+  // with at least five named spans across both processes.
+  ASSERT_GE(spans.size(), 5u);
+  for (const char* name :
+       {"router.request", "router.canon", "router.dispatch", "server.request",
+        "server.queue", "engine.canon", "engine.solve", "engine.lift"})
+    EXPECT_TRUE(spans.count(name) != 0) << "missing span " << name;
+
+  // Parent links: the root has no parent; every other span's parent is in
+  // the set (the tree is connected across the process boundary).
+  const Span& root = spans.at("router.request");
+  EXPECT_EQ(root.parent_id, 0u);
+  std::map<std::uint64_t, const Span*> by_id;
+  for (const auto& [name, span] : spans) by_id[span.span_id] = &span;
+  for (const auto& [name, span] : spans) {
+    if (span.span_id == root.span_id) continue;
+    EXPECT_TRUE(by_id.count(span.parent_id) != 0)
+        << name << " parents to an unknown span";
+  }
+  EXPECT_EQ(spans.at("server.request").parent_id,
+            spans.at("router.dispatch").span_id);
+  EXPECT_EQ(spans.at("engine.solve").parent_id,
+            spans.at("server.request").span_id);
+
+  // Durations nest: the root covers the dispatch, the dispatch covers the
+  // backend's own request span (clock bases differ per process; durations
+  // are the comparable quantity).
+  EXPECT_GE(root.dur_us, spans.at("router.dispatch").dur_us);
+  EXPECT_GE(spans.at("router.dispatch").dur_us,
+            spans.at("server.request").dur_us);
+  EXPECT_GE(spans.at("server.request").dur_us,
+            spans.at("engine.solve").dur_us);
+
+  // The completed trace is queryable from the router ring, and the reply's
+  // assembled tree nests the backend spans under the dispatch span.
+  const std::string tree_reply = client.round_trip(
+      "{\"op\":\"trace\",\"id\":\"" + trace_id_hex(ctx.hi, ctx.lo) + "\"}");
+  const io::json::Value tree_doc = io::json::Value::parse(tree_reply);
+  ASSERT_EQ(tree_doc.find("error"), nullptr) << tree_reply;
+  const io::json::Value* tree = tree_doc.find("tree");
+  ASSERT_NE(tree, nullptr);
+  ASSERT_TRUE(tree->is_array());
+  ASSERT_GE(tree->size(), 1u);
+
+  // {"op":"traces"} lists it.
+  const std::string list_reply = client.round_trip(R"({"op":"traces"})");
+  const io::json::Value list_doc = io::json::Value::parse(list_reply);
+  const io::json::Value* traces = list_doc.find("traces");
+  ASSERT_NE(traces, nullptr);
+  ASSERT_TRUE(traces->is_array());
+  bool found = false;
+  for (std::size_t i = 0; i < traces->size(); ++i)
+    if (traces->at(i).find("id")->as_string() == trace_id_hex(ctx.hi, ctx.lo))
+      found = true;
+  EXPECT_TRUE(found);
+
+  // A legacy request on the same fleet stays trace-free.
+  const std::string legacy =
+      client.round_trip(R"({"pattern":"110;011;111"})");
+  EXPECT_EQ(io::json::Value::parse(legacy).find("trace"), nullptr);
+
+  // The metrics verb answers with a Prometheus body that saw the request.
+  const std::string metrics_reply =
+      client.round_trip(R"({"op":"metrics"})");
+  const io::json::Value metrics_doc = io::json::Value::parse(metrics_reply);
+  const io::json::Value* body = metrics_doc.find("body");
+  ASSERT_NE(body, nullptr);
+  EXPECT_NE(body->as_string().find("ebmf_router_requests"),
+            std::string::npos);
+
+  router.stop();
+  backend.stop();
+}
+
+}  // namespace
+}  // namespace ebmf::obs

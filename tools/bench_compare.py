@@ -26,6 +26,9 @@ Checked metrics:
     gaps are depths, so the slack is `base * (1 + tolerance) + 1` to keep
     one unit of integer headroom on near-zero baselines)
   * table1: the bound race must reproduce the sequential depths
+  * service: per-family client-observed p50/p99 latency (micros) must not
+    grow past baseline (bench_service --json emits the summary line;
+    sub-millisecond quantiles are skipped as scheduling noise)
 
 CI runs on different hardware than the machine that wrote the baseline, so
 pass a wider --tolerance there (wall-clock scales with the machine; the
@@ -97,6 +100,25 @@ def check_gap(failures, label, base, current, tolerance):
     if current > ceiling:
         failures.append(f"{label} gap grew to {current:.2f} "
                         f"(baseline {base:.2f})")
+
+
+def check_latency_us(failures, label, base, current, tolerance,
+                     floor_us=1000.0):
+    """Tail latency (micros) must not rise past baseline by more than the
+    tolerance. An absolute `floor_us` of slack rides on top of the ratio —
+    sub-millisecond quantiles jitter with scheduling noise, and both-fast
+    pairs are skipped entirely.
+    """
+    if base < floor_us and current < floor_us:
+        return
+    ceiling = base * (1.0 + tolerance) + floor_us
+    status = "ok" if current <= ceiling else "REGRESSION"
+    print(f"  {label}: {current / 1000.0:.3f}ms vs baseline "
+          f"{base / 1000.0:.3f}ms "
+          f"({current / base if base > 0 else 0:.2f}x) [{status}]")
+    if current > ceiling:
+        failures.append(f"{label} grew to {current / 1000.0:.3f}ms "
+                        f"(baseline {base / 1000.0:.3f}ms)")
 
 
 def check_anytime(failures, base_rows, cur_rows, tolerance, floor_seconds):
@@ -214,6 +236,23 @@ def main():
                             "despite both sides converging")
     elif base_t1:
         failures.append("no table1 summary in the current run")
+
+    base_svc, cur_svc = baseline.get("service"), current.get("service")
+    if base_svc and cur_svc:
+        print("service (client-observed tail latency):")
+        base_fams = {f["name"]: f for f in base_svc.get("families", [])}
+        for fam in cur_svc.get("families", []):
+            base_fam = base_fams.get(fam["name"])
+            if base_fam is None:
+                print(f"  service[{fam['name']}]: no baseline family; "
+                      "skipping")
+                continue
+            check_latency_us(failures, f"service[{fam['name']}].p50",
+                             base_fam["p50_us"], fam["p50_us"],
+                             args.tolerance)
+            check_latency_us(failures, f"service[{fam['name']}].p99",
+                             base_fam["p99_us"], fam["p99_us"],
+                             args.tolerance)
 
     if failures:
         print("\nFAIL:")
