@@ -80,6 +80,9 @@ ebmf::engine::SolveReport wire_solve(ebmf::service::Client& client,
   const double seconds = round_trip.seconds();
   auto report = ebmf::io::parse_wire_response(reply);  // throws on error
   report.total_seconds = seconds;
+  // Who actually answered — under failover the serving endpoint changes
+  // mid-run, and the --json lines are where a drill reads that from.
+  report.add_telemetry("endpoint", client.endpoint());
   return report;
 }
 
@@ -156,15 +159,30 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<ebmf::service::Client> client;
   if (!connect.empty()) {
-    std::string host;
-    std::uint16_t port = 0;
-    if (!ebmf::service::net::parse_endpoint(connect, host, port)) {
-      std::fprintf(stderr, "bad --connect endpoint '%s' (want host:port)\n",
-                   connect.c_str());
-      return 2;
+    // --connect takes a comma-separated address list (routers and/or
+    // backends); the Client fails over across it.
+    std::vector<std::string> endpoints;
+    std::size_t start = 0;
+    while (start <= connect.size()) {
+      std::size_t comma = connect.find(',', start);
+      if (comma == std::string::npos) comma = connect.size();
+      const std::string entry = connect.substr(start, comma - start);
+      std::string host;
+      std::uint16_t port = 0;
+      if (!entry.empty()) {
+        if (!ebmf::service::net::parse_endpoint(entry, host, port)) {
+          std::fprintf(stderr,
+                       "bad --connect endpoint '%s' (want host:port"
+                       "[,host:port...])\n",
+                       entry.c_str());
+          return 2;
+        }
+        endpoints.push_back(entry);
+      }
+      start = comma + 1;
     }
     try {
-      client = std::make_unique<ebmf::service::Client>(host, port);
+      client = std::make_unique<ebmf::service::Client>(endpoints);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "connect failed: %s\n", e.what());
       return 1;

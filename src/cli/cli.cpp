@@ -577,12 +577,21 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
   bool endpoints_ok = true;
   std::string endpoint_host;
   std::uint16_t endpoint_port = 0;
-  if (!options.announce.empty() &&
-      !service::net::parse_endpoint(options.announce, endpoint_host,
-                                    endpoint_port)) {
-    err << "error: bad --announce endpoint '" << options.announce
-        << "' (want host:port)\n";
-    endpoints_ok = false;
+  // --announce takes a comma-separated router list (a fleet is announced
+  // to in full); every entry must be a dialable host:port.
+  std::size_t announce_start = 0;
+  while (announce_start < options.announce.size()) {
+    std::size_t comma = options.announce.find(',', announce_start);
+    if (comma == std::string::npos) comma = options.announce.size();
+    const std::string entry =
+        options.announce.substr(announce_start, comma - announce_start);
+    if (!entry.empty() && !service::net::parse_endpoint(entry, endpoint_host,
+                                                        endpoint_port)) {
+      err << "error: bad --announce endpoint '" << entry
+          << "' (want host:port[,host:port...])\n";
+      endpoints_ok = false;
+    }
+    announce_start = comma + 1;
   }
   if (!options.advertise.empty() &&
       !service::net::parse_endpoint(options.advertise, endpoint_host,
@@ -605,7 +614,7 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
       options.slow_ms < 0 || !endpoints_ok) {
     err << "usage: ebmf serve [--port=P] [--host=ADDR] [--threads=N] "
            "[--cache-mb=MB] [--max-inflight=N] [--budget=S] "
-           "[--max-batch=N] [--cache-file=PATH] [--announce=HOST:PORT] "
+           "[--max-batch=N] [--cache-file=PATH] [--announce=H:P,H:P] "
            "[--advertise=HOST:PORT] [--heartbeat-ms=N] [--slow-ms=N] "
            "[--slow-log=PATH] [--trace-file=PATH]\n";
     return 2;
@@ -643,6 +652,20 @@ int cmd_route(const Args& args, std::ostream& out, std::ostream& err) {
   options.pool_connections = flags.count("pool", 1);
   options.reply_timeout_seconds = flags.num("timeout", 30.0);
   options.dynamic = args.has("dynamic");
+  // --peers: fellow routers of an HA fleet (comma-separated, this router
+  // excluded). Non-empty turns on leader-lease arbitration + state sync.
+  const std::string peers = args.get("peers", "");
+  std::size_t peer_start = 0;
+  while (peer_start < peers.size()) {
+    std::size_t comma = peers.find(',', peer_start);
+    if (comma == std::string::npos) comma = peers.size();
+    if (comma > peer_start)
+      options.peers.push_back(peers.substr(peer_start, comma - peer_start));
+    peer_start = comma + 1;
+  }
+  options.advertise = args.get("advertise", "");
+  options.lease_ttl_ms = flags.num("lease-ttl-ms", 1500.0);
+  options.sync_interval_ms = flags.num("sync-interval-ms", 0.0);
   options.replicas = flags.count("replicas", 2);
   options.promote_after = flags.u64("promote-after", 8);
   options.heartbeat_ms = flags.num("heartbeat-ms", 500.0);
@@ -654,12 +677,15 @@ int cmd_route(const Args& args, std::ostream& out, std::ostream& err) {
   if (!flags.valid(err) || port > 65535 || options.l1_mb < 0 ||
       options.reply_timeout_seconds < 0 || options.heartbeat_ms <= 0 ||
       options.grace_ms < 0 || options.replicas == 0 || options.slow_ms < 0 ||
+      options.lease_ttl_ms <= 0 || options.sync_interval_ms < 0 ||
       (options.backends.empty() && !options.dynamic)) {
     err << "usage: ebmf route <host:port>... [--backends=H:P,H:P] "
            "[--listen=P] [--host=ADDR] [--l1-mb=MB] [--cache-file=PATH] "
            "[--max-inflight=N] [--max-batch=N] [--pool=N] [--timeout=S] "
            "[--dynamic] [--replicas=R] [--promote-after=N] "
-           "[--heartbeat-ms=N] [--grace-ms=N] [--trace] [--slow-ms=N] "
+           "[--heartbeat-ms=N] [--grace-ms=N] [--peers=H:P,H:P] "
+           "[--advertise=HOST:PORT] [--lease-ttl-ms=N] "
+           "[--sync-interval-ms=N] [--trace] [--slow-ms=N] "
            "[--slow-log=PATH] [--trace-file=PATH]\n";
     return 2;
   }
@@ -668,6 +694,25 @@ int cmd_route(const Args& args, std::ostream& out, std::ostream& err) {
     std::uint16_t backend_port = 0;
     if (!service::net::parse_endpoint(endpoint, host, backend_port)) {
       err << "error: bad backend endpoint '" << endpoint
+          << "' (want host:port)\n";
+      return 2;
+    }
+  }
+  for (const auto& endpoint : options.peers) {
+    std::string host;
+    std::uint16_t peer_port = 0;
+    if (!service::net::parse_endpoint(endpoint, host, peer_port)) {
+      err << "error: bad peer endpoint '" << endpoint
+          << "' (want host:port)\n";
+      return 2;
+    }
+  }
+  if (!options.advertise.empty()) {
+    std::string host;
+    std::uint16_t advertise_port = 0;
+    if (!service::net::parse_endpoint(options.advertise, host,
+                                      advertise_port)) {
+      err << "error: bad --advertise endpoint '" << options.advertise
           << "' (want host:port)\n";
       return 2;
     }
@@ -706,18 +751,67 @@ void print_json_tree(std::ostream& out, const std::string& prefix,
   out << "\n";
 }
 
+/// The address list an `ebmf client` invocation talks to: the
+/// comma-separated `--connect=H:P,H:P` list when given (HA fleets — the
+/// Client fails over across it), else the single `--host`/`--port` pair.
+/// False + usage error on a malformed entry.
+bool client_endpoints(const Args& args, std::uint64_t port, std::ostream& err,
+                      std::vector<std::string>& endpoints) {
+  const std::string connect = args.get("connect", "");
+  if (connect.empty()) {
+    endpoints.push_back(args.get("host", "127.0.0.1") + ":" +
+                        std::to_string(port));
+    return true;
+  }
+  std::size_t start = 0;
+  while (start <= connect.size()) {
+    std::size_t comma = connect.find(',', start);
+    if (comma == std::string::npos) comma = connect.size();
+    const std::string entry = connect.substr(start, comma - start);
+    std::string host;
+    std::uint16_t parsed_port = 0;
+    if (!entry.empty()) {
+      if (!service::net::parse_endpoint(entry, host, parsed_port)) {
+        err << "error: bad --connect endpoint '" << entry
+            << "' (want host:port[,host:port...])\n";
+        return false;
+      }
+      endpoints.push_back(entry);
+    }
+    start = comma + 1;
+  }
+  if (endpoints.empty()) {
+    err << "error: --connect lists no endpoints\n";
+    return false;
+  }
+  return true;
+}
+
+/// Stamp the serving endpoint into a reply line (`--connect` mode): the
+/// caller of a failing-over client needs to know *who* answered, and the
+/// JSON output line is where scripts read that from.
+std::string stamp_endpoint(const std::string& reply,
+                           const std::string& endpoint) {
+  if (reply.empty() || reply.front() != '{') return reply;
+  return "{\"endpoint\":\"" + io::json::escape(endpoint) + "\"," +
+         reply.substr(1);
+}
+
 /// `ebmf client --stats`: ask the server/router for its counters and
 /// pretty-print the reply one `path = value` line at a time. With --json
 /// the raw stats line is emitted instead, so CI jobs and tools can assert
-/// on counters without scraping the pretty format.
+/// on counters without scraping the pretty format (with --connect the
+/// line leads with the serving endpoint).
 int client_stats(const Args& args, std::ostream& out, std::ostream& err) {
   FlagReader flags(args);
   const auto port = flags.count("port", 7421);
   if (!flags.valid(err) || port > 65535) return 2;
-  const std::string host = args.get("host", "127.0.0.1");
+  std::vector<std::string> endpoints;
+  if (!client_endpoints(args, port, err, endpoints)) return 2;
   try {
-    service::Client client(host, static_cast<std::uint16_t>(port));
-    const std::string reply = client.round_trip(R"({"op":"stats"})");
+    service::Client client(endpoints);
+    std::string reply = client.round_trip(R"({"op":"stats"})");
+    if (args.has("connect")) reply = stamp_endpoint(reply, client.endpoint());
     const io::json::Value document = io::json::Value::parse(reply);
     if (document.find("error") != nullptr) {
       err << "error: " << document.find("error")->as_string() << "\n";
@@ -741,9 +835,10 @@ int client_metrics(const Args& args, std::ostream& out, std::ostream& err) {
   FlagReader flags(args);
   const auto port = flags.count("port", 7421);
   if (!flags.valid(err) || port > 65535) return 2;
-  const std::string host = args.get("host", "127.0.0.1");
+  std::vector<std::string> endpoints;
+  if (!client_endpoints(args, port, err, endpoints)) return 2;
   try {
-    service::Client client(host, static_cast<std::uint16_t>(port));
+    service::Client client(endpoints);
     const std::string reply = client.round_trip(R"({"op":"metrics"})");
     const io::json::Value document = io::json::Value::parse(reply);
     if (const io::json::Value* error = document.find("error");
@@ -775,11 +870,13 @@ int client_get_trace(const Args& args, std::ostream& out, std::ostream& err) {
            "[--port=P] [--json]\n";
     return 2;
   }
-  const std::string host = args.get("host", "127.0.0.1");
+  std::vector<std::string> endpoints;
+  if (!client_endpoints(args, port, err, endpoints)) return 2;
   try {
-    service::Client client(host, static_cast<std::uint16_t>(port));
-    const std::string reply = client.round_trip(
+    service::Client client(endpoints);
+    std::string reply = client.round_trip(
         "{\"op\":\"trace\",\"id\":\"" + io::json::escape(id) + "\"}");
+    if (args.has("connect")) reply = stamp_endpoint(reply, client.endpoint());
     const io::json::Value document = io::json::Value::parse(reply);
     if (const io::json::Value* error = document.find("error");
         error != nullptr && error->is_string()) {
@@ -821,6 +918,7 @@ int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
   }
   if (args.positional.empty()) {
     err << "usage: ebmf client <matrix-file>... [--host=ADDR] [--port=P] "
+           "[--connect=H:P,H:P] "
         << kRequestFlagsUsage
         << " [--dont-cares] [--split] [--include-partition] [--trace] "
            "[--stats [--json]] [--metrics] [--get-trace=ID [--json]]\n";
@@ -834,7 +932,8 @@ int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
   const auto threads = flags.count("threads", 0);
   const auto budget_seconds = flags.num("budget", 0.0);
   if (!flags.valid(err) || port > 65535) return 2;
-  const std::string host = args.get("host", "127.0.0.1");
+  std::vector<std::string> endpoints;
+  if (!client_endpoints(args, port, err, endpoints)) return 2;
   const bool masked_input =
       args.has("dont-cares") || base.strategy == "completion";
 
@@ -843,6 +942,10 @@ int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
     io::WireRequest wire;
     wire.request = base;
     wire.request.label = path;
+    // Correlation ids make retries safe to count: a re-sent request whose
+    // first copy actually landed is answered exactly once by the client's
+    // id dedupe.
+    wire.id = static_cast<std::int64_t>(lines.size());
     try {
       if (masked_input)
         wire.request.masked = io::load_masked(path);
@@ -866,7 +969,8 @@ int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
   }
 
   try {
-    service::Client client(host, static_cast<std::uint16_t>(port));
+    service::Client client(endpoints);
+    const bool stamp = args.has("connect");
     // Pipeline with a bounded window: blasting every line before reading
     // any reply can deadlock two blocking peers once both socket buffers
     // fill (server stuck in send, client stuck in send). Eight in flight
@@ -875,13 +979,34 @@ int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
     bool failed = false;
     std::size_t sent = 0;
     for (std::size_t received = 0; received < lines.size(); ++received) {
-      while (sent < lines.size() && sent - received < kWindow) {
-        client.send_line(lines[sent]);
+      std::string reply;
+      try {
+        while (sent < lines.size() && sent - received < kWindow) {
+          client.send_line(lines[sent]);
+          ++sent;
+        }
+        reply = client.read_line();
+      } catch (const std::runtime_error&) {
+        // The connection died mid-window (backend restart, router
+        // failover): replies for the in-flight tail are gone. Re-issue
+        // the unanswered requests one at a time — round_trip fails over
+        // across the address list, chases redirects, and its id dedupe
+        // keeps a request that *did* land from being answered twice.
+        sent = received;
+        reply = client.round_trip(lines[sent]);
         ++sent;
       }
-      const std::string reply = client.read_line();
-      out << reply << "\n";
+      // Error replies lead with "error" (after the echoed id, when one
+      // was sent) — check before the endpoint stamp shifts the prefix.
       if (reply.rfind("{\"error\"", 0) == 0) failed = true;
+      if (reply.rfind("{\"id\":", 0) == 0) {
+        const std::size_t comma = reply.find(',');
+        if (comma != std::string::npos &&
+            reply.compare(comma + 1, 8, "\"error\"") == 0)
+          failed = true;
+      }
+      if (stamp) reply = stamp_endpoint(reply, client.endpoint());
+      out << reply << "\n";
     }
     return failed ? 1 : 0;
   } catch (const std::exception& e) {

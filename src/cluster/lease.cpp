@@ -1,0 +1,87 @@
+// Leader-lease arbitration: term bidding, deterministic tie-break, and
+// deposition by fresher claims.
+
+#include "cluster/lease.h"
+
+namespace ebmf::cluster {
+
+LeaderLease::LeaderLease(Options options) : options_(std::move(options)) {}
+
+LeaseStatus LeaderLease::status_locked(LeaseClock::time_point now) const {
+  LeaseStatus out;
+  out.holder = holder_;
+  out.term = term_;
+  out.deadline = deadline_;
+  out.valid = !holder_.empty() && now < deadline_;
+  out.held = out.valid && holder_ == options_.self;
+  return out;
+}
+
+LeaseStatus LeaderLease::try_acquire(LeaseClock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool expired = holder_.empty() || now >= deadline_;
+  if (holder_ == options_.self && !expired) {
+    deadline_ = now + options_.ttl;  // renewal, same term
+  } else if (expired) {
+    // Bid: the old holder has been silent for a full TTL (or never
+    // existed), so a fresh term names us. Peers may still outbid us —
+    // observe_claim/observe_report arbitrate that.
+    ++term_;
+    holder_ = options_.self;
+    deadline_ = now + options_.ttl;
+  }
+  // else: someone else's lease is valid; leave it alone.
+  return status_locked(now);
+}
+
+LeaderLease::Grant LeaderLease::observe_claim(const std::string& holder,
+                                              std::uint64_t term,
+                                              LeaseClock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Grant out;
+  const bool expired = holder_.empty() || now >= deadline_;
+  if (term == term_ && holder == holder_) {
+    out.granted = true;  // renewal of the claim we already granted
+  } else if (term > term_) {
+    out.granted = true;  // fresher term always wins (monotonic terms)
+  } else if (term == term_ && expired) {
+    // Term tie between different bidders, and no valid lease stands in the
+    // way: smaller endpoint wins deterministically. A still-valid lease is
+    // never broken by a tie — the TTL silence rule is what makes the
+    // single writer safe.
+    out.granted = holder_.empty() || holder < holder_;
+  }
+  if (out.granted) {
+    holder_ = holder;
+    term_ = term;
+    deadline_ = now + options_.ttl;
+  }
+  out.status = status_locked(now);
+  return out;
+}
+
+void LeaderLease::observe_report(const std::string& holder,
+                                 std::uint64_t term,
+                                 LeaseClock::time_point now) {
+  if (holder.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A same-term report naming a *smaller* endpoint is the symmetric-bid
+  // race: two routers bid the same term at once, each granted itself.
+  // observe_claim never breaks the valid lease either bidder holds, so the
+  // race resolves here — the larger endpoint adopts the refusal reply and
+  // stands down; the smaller ignores it and keeps the term.
+  const bool fresher =
+      term > term_ || (term == term_ && holder < holder_);
+  if (fresher) {
+    holder_ = holder;
+    term_ = term;
+    deadline_ = now + options_.ttl;
+  }
+}
+
+LeaseStatus LeaderLease::status(LeaseClock::time_point now) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return status_locked(now);
+}
+
+}  // namespace ebmf::cluster

@@ -1,0 +1,110 @@
+#pragma once
+/// \file lease.h
+/// \brief Leader lease for the router fleet — the election half of the
+/// replicated control plane in `ebmf::cluster`.
+///
+/// With N routers fronting the same backends, exactly one may *write* the
+/// cluster state (apply joins/leaves, sweep dead backends, bump the epoch)
+/// or the replicas diverge. The coordination primitive here is a classic
+/// leader lease, deliberately minimal because the replicated state is small
+/// and the wire is the existing line-JSON verb set:
+///
+///  * A lease is `(term, holder, deadline)`. The holder renews by
+///    broadcasting `{"op":"peer.lease"}` claims before the deadline; every
+///    router tracks the freshest claim it has granted.
+///  * When a router sees no valid lease (startup, or the holder's renewals
+///    stopped for a full TTL) it bids: bump the term, name itself holder,
+///    and broadcast the claim. Peers arbitrate deterministically — higher
+///    term wins; on a term tie the lexicographically smaller endpoint wins
+///    — so two simultaneous bids converge without extra rounds.
+///  * Terms are monotonic per router and adopted from any fresher claim, so
+///    a rebooted ex-leader (term reset to 0) re-enters as a follower.
+///
+/// This is a *lease*, not Paxos: correctness leans on the holder staying
+/// silent for a TTL before anyone else may write, which is exactly the
+/// failover budget the HA drill measures (takeover within one grace
+/// window). All arbitration is local and lock-protected; time is injected
+/// so tests drive expiry deterministically.
+///
+/// The replication half rides the same cadence: the holder follows each
+/// renewal with `{"op":"peer.sync"}` carrying the member table, epoch, and
+/// promoted hot-key set (see membership.h `adopt` / replica.h
+/// `adopt_promoted`), so the router that wins the next term starts from the
+/// current view — warm, not cold.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace ebmf::cluster {
+
+using LeaseClock = std::chrono::steady_clock;
+
+/// Point-in-time view of the lease as one router believes it.
+struct LeaseStatus {
+  std::string holder;        ///< Endpoint of the freshest granted claim.
+  std::uint64_t term = 0;    ///< Term of that claim.
+  bool valid = false;        ///< The claim's deadline has not passed.
+  bool held = false;         ///< valid && holder == self.
+  LeaseClock::time_point deadline{};  ///< Local expiry of the claim.
+};
+
+/// One router's lease arbiter. Thread-safe.
+class LeaderLease {
+ public:
+  struct Options {
+    std::string self;  ///< Our advertised endpoint (the bid identity).
+    /// Claim lifetime. Renewals must land faster than this; failover waits
+    /// at least this long after the holder's last renewal.
+    LeaseClock::duration ttl = std::chrono::milliseconds(1500);
+  };
+
+  explicit LeaderLease(Options options);
+
+  /// Holder/candidate tick. Renews our own valid lease, or bids for an
+  /// expired/unknown one (term + 1, holder = self). Returns the resulting
+  /// status: `held` tells the caller to broadcast the claim to peers. When
+  /// a *different* holder's lease is still valid this is a no-op.
+  LeaseStatus try_acquire(LeaseClock::time_point now = LeaseClock::now());
+
+  /// Arbitrate a peer's `{"op":"peer.lease"}` claim. Granted when the
+  /// claim beats the freshest one we know: higher term, same claim being
+  /// renewed, or any claim against an expired lease (term ties broken by
+  /// smaller endpoint). A granted claim is adopted — including over our
+  /// own leadership, which is how a deposed leader finds out.
+  struct Grant {
+    bool granted = false;
+    LeaseStatus status;  ///< Post-arbitration view (what the reply carries).
+  };
+  Grant observe_claim(const std::string& holder, std::uint64_t term,
+                      LeaseClock::time_point now = LeaseClock::now());
+
+  /// Fold in the lease view a peer's *reply* reported (rejection of our
+  /// claim, or a peer.hello exchange). Adopts fresher terms — and, on a
+  /// term tie, a smaller endpoint: that is how the loser of a symmetric
+  /// same-term bid race stands down voluntarily. Never grants.
+  void observe_report(const std::string& holder, std::uint64_t term,
+                      LeaseClock::time_point now = LeaseClock::now());
+
+  [[nodiscard]] LeaseStatus status(
+      LeaseClock::time_point now = LeaseClock::now()) const;
+
+  [[nodiscard]] const std::string& self() const noexcept {
+    return options_.self;
+  }
+  [[nodiscard]] LeaseClock::duration ttl() const noexcept {
+    return options_.ttl;
+  }
+
+ private:
+  Options options_;
+  mutable std::mutex mutex_;
+  std::string holder_;
+  std::uint64_t term_ = 0;
+  LeaseClock::time_point deadline_{};
+
+  [[nodiscard]] LeaseStatus status_locked(LeaseClock::time_point now) const;
+};
+
+}  // namespace ebmf::cluster

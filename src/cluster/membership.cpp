@@ -97,6 +97,26 @@ std::vector<std::string> Membership::sweep(Clock::time_point now) {
   return evicted;
 }
 
+bool Membership::adopt(const std::vector<Member>& snapshot,
+                       std::uint64_t epoch, Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (epoch < epoch_) return false;
+  bool changed = epoch != epoch_;
+  if (!changed) {
+    // Same epoch — same set version; just refresh liveness stamps so the
+    // follower's sweep never races the leaseholder's.
+    for (auto& member : members_)
+      if (!member.is_static) member.last_seen = now;
+    return false;
+  }
+  std::vector<Member> adopted = snapshot;
+  for (auto& member : adopted)
+    if (!member.is_static) member.last_seen = now;
+  members_ = std::move(adopted);
+  epoch_ = epoch;
+  return changed;
+}
+
 std::vector<Member> Membership::members() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<Member> out = members_;

@@ -85,6 +85,15 @@ class Membership {
   /// that evicts anything).
   std::vector<std::string> sweep(Clock::time_point now = Clock::now());
 
+  /// Install a replicated snapshot from the fleet leaseholder: replaces
+  /// the member table and epoch wholesale. Snapshots older than the local
+  /// epoch are rejected (stale sync racing a fresher one). Every adopted
+  /// announced member is stamped `now`, so a follower's sweep clock starts
+  /// fresh at adoption — the leaseholder is the eviction authority while
+  /// its lease is valid. Returns true when the table or epoch changed.
+  bool adopt(const std::vector<Member>& snapshot, std::uint64_t epoch,
+             Clock::time_point now = Clock::now());
+
   /// Every registered member, endpoint-sorted (deterministic ring input).
   [[nodiscard]] std::vector<Member> members() const;
 

@@ -2,6 +2,8 @@
 
 #include "cluster/replica.h"
 
+#include <algorithm>
+
 namespace ebmf::cluster {
 
 HotKeyTracker::HotKeyTracker(Options options) : options_(options) {
@@ -60,6 +62,28 @@ std::size_t HotKeyTracker::promoted_count() const {
 std::size_t HotKeyTracker::tracked_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return hits_.size();
+}
+
+std::vector<std::uint64_t> HotKeyTracker::promoted_keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<std::uint64_t>(promoted_.begin(), promoted_.end());
+}
+
+std::size_t HotKeyTracker::adopt_promoted(
+    const std::vector<std::uint64_t>& keys) {
+  if (options_.promote_threshold == 0) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t fresh = 0;
+  for (const std::uint64_t key : keys) {
+    if (hits_.size() >= options_.max_tracked && hits_.count(key) == 0)
+      decay_locked();
+    // Seed the count at the threshold: decay then treats the key exactly
+    // like one promoted locally instead of demoting it on the next cycle.
+    std::uint64_t& count = hits_[key];
+    count = std::max(count, options_.promote_threshold);
+    if (promoted_.insert(key).second) ++fresh;
+  }
+  return fresh;
 }
 
 }  // namespace ebmf::cluster

@@ -30,6 +30,7 @@
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 namespace ebmf::cluster {
 
@@ -63,6 +64,16 @@ class HotKeyTracker {
 
   [[nodiscard]] std::size_t promoted_count() const;
   [[nodiscard]] std::size_t tracked_count() const;
+
+  /// Snapshot of the promoted set, for peer replication (delta sync).
+  [[nodiscard]] std::vector<std::uint64_t> promoted_keys() const;
+
+  /// Adopt promoted keys replicated from the fleet leaseholder: each key
+  /// is marked promoted (idempotent) with its count seeded at the
+  /// promotion threshold, so a follower taking over the lease serves the
+  /// fleet's hot keys warm — no re-counting from zero, no re-promotion
+  /// burst. Returns how many keys were newly promoted here.
+  std::size_t adopt_promoted(const std::vector<std::uint64_t>& keys);
 
  private:
   Options options_;

@@ -115,6 +115,54 @@ WireRequest parse_wire_request(const std::string& line) {
     wire.op = WireOp::Metrics;
     return wire;
   }
+  if (op == "peer.hello" || op == "peer.lease" || op == "peer.sync") {
+    // Router-fleet peer verbs: sender endpoint + lease term, and for sync
+    // the replicated snapshot (member table, epoch, promoted hot keys).
+    wire.op = op == "peer.hello"   ? WireOp::PeerHello
+              : op == "peer.lease" ? WireOp::PeerLease
+                                   : WireOp::PeerSync;
+    wire.endpoint = string_field(document, "endpoint", "");
+    if (wire.endpoint.empty())
+      fail("'" + op + "' needs an 'endpoint' (\"host:port\")");
+    wire.term = static_cast<std::uint64_t>(
+        number_field(document, "term", 0.0, 0.0, 9e15));
+    if (wire.op != WireOp::PeerSync) return wire;
+    wire.peer_epoch = static_cast<std::uint64_t>(
+        number_field(document, "epoch", 0.0, 0.0, 9e15));
+    if (const json::Value* members = document.find("members")) {
+      if (!members->is_array()) fail("'members' must be an array");
+      for (std::size_t i = 0; i < members->size(); ++i) {
+        const json::Value& entry = members->at(i);
+        if (!entry.is_object()) fail("'members' entries must be objects");
+        WirePeerMember member;
+        member.endpoint = string_field(entry, "endpoint", "");
+        if (member.endpoint.empty())
+          fail("'members' entries need an 'endpoint'");
+        member.is_static = bool_field(entry, "static", false);
+        wire.peer_members.push_back(std::move(member));
+      }
+    }
+    if (const json::Value* promoted = document.find("promoted")) {
+      if (!promoted->is_array()) fail("'promoted' must be an array");
+      for (std::size_t i = 0; i < promoted->size(); ++i) {
+        if (!promoted->at(i).is_string())
+          fail("'promoted' keys must be 16-hex strings");
+        const std::string& hex = promoted->at(i).as_string();
+        std::uint64_t key = 0;
+        if (hex.empty() || hex.size() > 16) fail("bad 'promoted' key");
+        for (const char c : hex) {
+          if (c >= '0' && c <= '9')
+            key = key * 16 + static_cast<std::uint64_t>(c - '0');
+          else if (c >= 'a' && c <= 'f')
+            key = key * 16 + static_cast<std::uint64_t>(c - 'a' + 10);
+          else
+            fail("bad 'promoted' key");
+        }
+        wire.promoted_keys.push_back(key);
+      }
+    }
+    return wire;
+  }
   if (op == "join" || op == "leave" || op == "heartbeat") {
     // Cluster membership verbs: just the announcing backend's endpoint.
     wire.op = op == "join" ? WireOp::Join
@@ -148,8 +196,8 @@ WireRequest parse_wire_request(const std::string& line) {
     return wire;
   }
   if (op != "solve")
-    fail("field 'op' must be "
-         "solve|stats|join|leave|heartbeat|put|trace|traces|metrics");
+    fail("field 'op' must be solve|stats|join|leave|heartbeat|put|trace|"
+         "traces|metrics|peer.hello|peer.lease|peer.sync");
 
   // Optional distributed-tracing context; absent on legacy requests.
   if (const json::Value* trace = document.find("trace")) {
@@ -279,6 +327,36 @@ std::string wire_request_json(const WireRequest& wire) {
   if (wire.op == WireOp::Trace) {
     out << "{\"op\":\"trace\",\"id\":\"" << json::escape(wire.trace_id)
         << "\"}";
+    return out.str();
+  }
+  if (wire.op == WireOp::PeerHello || wire.op == WireOp::PeerLease ||
+      wire.op == WireOp::PeerSync) {
+    const char* op = wire.op == WireOp::PeerHello   ? "peer.hello"
+                     : wire.op == WireOp::PeerLease ? "peer.lease"
+                                                    : "peer.sync";
+    out << "{";
+    if (wire.id >= 0) out << "\"id\":" << wire.id << ",";
+    out << "\"op\":\"" << op << "\",\"endpoint\":\""
+        << json::escape(wire.endpoint) << "\",\"term\":" << wire.term;
+    if (wire.op == WireOp::PeerSync) {
+      out << ",\"epoch\":" << wire.peer_epoch << ",\"members\":[";
+      for (std::size_t i = 0; i < wire.peer_members.size(); ++i) {
+        if (i != 0) out << ",";
+        out << "{\"endpoint\":\"" << json::escape(wire.peer_members[i].endpoint)
+            << "\"";
+        if (wire.peer_members[i].is_static) out << ",\"static\":true";
+        out << "}";
+      }
+      out << "],\"promoted\":[";
+      for (std::size_t i = 0; i < wire.promoted_keys.size(); ++i) {
+        char hex[17];
+        std::snprintf(hex, sizeof hex, "%016llx",
+                      static_cast<unsigned long long>(wire.promoted_keys[i]));
+        out << (i == 0 ? "" : ",") << "\"" << hex << "\"";
+      }
+      out << "]";
+    }
+    out << "}";
     return out.str();
   }
   if (wire.op == WireOp::Join || wire.op == WireOp::Leave ||
@@ -466,6 +544,38 @@ engine::SolveReport parse_wire_response(const std::string& line,
     fail_response(e.what());
   }
   return parse_wire_response(document, rows, cols);
+}
+
+bool parse_wire_redirect(const std::string& line, std::string* endpoint,
+                         std::uint64_t* epoch, std::uint64_t* term) noexcept {
+  // Cheap reject before parsing: every redirect line carries the literal
+  // member name, and the solve hot path must not pay a JSON parse per
+  // reply just to discover there is nothing to chase.
+  if (line.find("\"redirect\"") == std::string::npos) return false;
+  try {
+    const json::Value document = json::Value::parse(line);
+    if (!document.is_object()) return false;
+    const json::Value* target = document.find("redirect");
+    if (target == nullptr || !target->is_string() ||
+        target->as_string().empty())
+      return false;
+    if (endpoint != nullptr) *endpoint = target->as_string();
+    if (epoch != nullptr) {
+      *epoch = 0;
+      if (const json::Value* value = document.find("epoch");
+          value != nullptr && value->is_number() && value->as_number() >= 0)
+        *epoch = static_cast<std::uint64_t>(value->as_number());
+    }
+    if (term != nullptr) {
+      *term = 0;
+      if (const json::Value* value = document.find("term");
+          value != nullptr && value->is_number() && value->as_number() >= 0)
+        *term = static_cast<std::uint64_t>(value->as_number());
+    }
+    return true;
+  } catch (...) {
+    return false;
+  }
 }
 
 }  // namespace ebmf::io

@@ -42,6 +42,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "engine/engine.h"
 #include "io/json.h"
@@ -54,12 +55,23 @@ namespace ebmf::io {
 /// of the cluster membership verbs backends send to a dynamic router
 /// (`{"op":"join"|"leave"|"heartbeat","endpoint":"host:port"}`), a
 /// replica cache write the router fans to backends
-/// (`{"op":"put","pattern":...,"strategy":...,"report":{...}}`), or one of
+/// (`{"op":"put","pattern":...,"strategy":...,"report":{...}}`), one of
+/// the router-fleet peer verbs (PR 8) — `{"op":"peer.hello"}` endpoint
+/// introduction/probe, `{"op":"peer.lease"}` leader-lease claim, and
+/// `{"op":"peer.sync"}` the leaseholder's state replication carrying the
+/// member table, epoch, and promoted hot-key set — or one of
 /// the observability verbs: `{"op":"trace","id":"<32 hex>"}` returns one
 /// completed trace's span tree, `{"op":"traces"}` lists recent traces, and
 /// `{"op":"metrics"}` returns the Prometheus text exposition.
 enum class WireOp { Solve, Stats, Join, Leave, Heartbeat, Put, Trace, Traces,
-                    Metrics };
+                    Metrics, PeerHello, PeerLease, PeerSync };
+
+/// One member entry in a `peer.sync` snapshot (kept local to the wire
+/// layer; the router converts to/from cluster::Member).
+struct WirePeerMember {
+  std::string endpoint;
+  bool is_static = false;
+};
 
 /// One parsed wire request: the facade request plus routing options that
 /// live outside SolveRequest.
@@ -93,6 +105,16 @@ struct WireRequest {
   bool has_trace = false;
   /// Trace query (`op == Trace`): the requested 32-hex trace id.
   std::string trace_id;
+  /// Peer verbs: the sender's lease term (hello/lease) or the term the
+  /// sync was replicated under.
+  std::uint64_t term = 0;
+  /// PeerSync: the leaseholder's membership epoch.
+  std::uint64_t peer_epoch = 0;
+  /// PeerSync: the full member table (small; replicated wholesale).
+  std::vector<WirePeerMember> peer_members;
+  /// PeerSync: promoted hot keys as route-key values (16-hex on the wire —
+  /// JSON numbers cannot carry 64 bits).
+  std::vector<std::uint64_t> promoted_keys;
 };
 
 /// Parse one line of the request format. Throws std::runtime_error with a
@@ -138,5 +160,13 @@ engine::SolveReport parse_wire_response(const std::string& line,
 engine::SolveReport parse_wire_response(const json::Value& document,
                                         std::size_t rows = 0,
                                         std::size_t cols = 0);
+
+/// Recognize a follower's epoch-stamped redirect reply:
+/// `{"redirect":"host:port","epoch":E,"term":T,...}` (an optional leading
+/// `"id"` member is fine). Returns true and fills the out-params when the
+/// line is one; false (never throws) otherwise — callers check this
+/// *before* parse_wire_response, which treats unknown shapes as errors.
+bool parse_wire_redirect(const std::string& line, std::string* endpoint,
+                         std::uint64_t* epoch, std::uint64_t* term) noexcept;
 
 }  // namespace ebmf::io

@@ -10,6 +10,8 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdint>
+#include <functional>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -17,6 +19,7 @@
 
 #include "obs/metrics.h"
 #include "service/net.h"
+#include "support/rng.h"
 
 namespace ebmf::router {
 
@@ -80,6 +83,10 @@ struct BackendPool::Impl {
 
   double backoff_ms;
   Clock::time_point next_attempt = Clock::now();
+  /// De-synchronizes reconnect schedules: without jitter every pool that
+  /// lost the same router restart redials on the same exponential grid,
+  /// and the stampede repeats at each doubling. Seeded per-instance.
+  Rng jitter;
 
   std::atomic<std::uint64_t> stat_requests{0};
   std::atomic<std::uint64_t> stat_failures{0};
@@ -89,10 +96,22 @@ struct BackendPool::Impl {
         port(p),
         endpoint_text(host + ":" + std::to_string(port)),
         options(opt),
-        backoff_ms(opt.backoff_base_ms) {
+        backoff_ms(opt.backoff_base_ms),
+        jitter(std::hash<std::string>{}(endpoint_text) ^
+               reinterpret_cast<std::uintptr_t>(this)) {
     if (options.connections == 0) options.connections = 1;
     for (std::size_t i = 0; i < options.connections; ++i)
       conns.push_back(std::make_unique<Conn>());
+  }
+
+  /// Next reconnect delay: the current (capped) backoff spread over
+  /// [0.5, 1.5)x so concurrent pools drift apart. Call under `mutex`;
+  /// advances the exponential schedule.
+  Clock::duration backoff_step() {
+    const double delay_ms = backoff_ms * (0.5 + jitter.uniform01());
+    backoff_ms = std::min(backoff_ms * 2.0, options.backoff_max_ms);
+    return std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(delay_ms));
   }
 
   /// Fail every reply pending on `conn` (the connection broke): waiting
@@ -147,10 +166,7 @@ struct BackendPool::Impl {
           obs::default_registry().counter("router.pool.failures");
       failures->add(1);
       std::lock_guard<std::mutex> lock(mutex);
-      next_attempt = Clock::now() +
-                     std::chrono::duration_cast<Clock::duration>(
-                         std::chrono::duration<double, std::milli>(backoff_ms));
-      backoff_ms = std::min(backoff_ms * 2.0, options.backoff_max_ms);
+      next_attempt = Clock::now() + backoff_step();
     }
     conn.reader_done.store(true, std::memory_order_release);
   }
@@ -189,11 +205,7 @@ struct BackendPool::Impl {
       try {
         fd = net::tcp_connect(host, port);
       } catch (const std::exception&) {
-        next_attempt =
-            Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double, std::milli>(
-                                   backoff_ms));
-        backoff_ms = std::min(backoff_ms * 2.0, options.backoff_max_ms);
+        next_attempt = Clock::now() + backoff_step();
         continue;
       }
       backoff_ms = options.backoff_base_ms;  // healthy again

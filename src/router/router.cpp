@@ -22,9 +22,11 @@
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "cluster/lease.h"
 #include "cluster/membership.h"
 #include "cluster/replica.h"
 #include "cluster/view.h"
@@ -184,6 +186,16 @@ struct Router::Impl {
   mutable std::mutex pools_mutex;
   std::unordered_map<std::string, std::shared_ptr<BackendPool>> pools;
 
+  // -- router fleet (leader lease + peer sync) ---------------------------
+  /// Our advertised endpoint (lease-bid identity / redirect target);
+  /// resolved in start() once the listener's port is known.
+  std::string self_endpoint;
+  /// Created in start() when --peers names a fleet; null = standalone
+  /// (this router implicitly owns every write). Never reassigned after
+  /// start, so connection threads read it without a lock.
+  std::unique_ptr<cluster::LeaderLease> lease;
+  std::thread sync_thread;
+
   net::TcpListener listener;
   std::atomic<bool> running{false};
   std::atomic<bool> stopping{false};
@@ -215,6 +227,25 @@ struct Router::Impl {
   std::atomic<std::uint64_t> stat_promotions{0};
   std::atomic<std::uint64_t> stat_replica_hits{0};
   std::atomic<std::uint64_t> stat_replica_puts{0};
+  std::atomic<std::uint64_t> stat_lease_acquires{0};
+  std::atomic<std::uint64_t> stat_lease_renewals{0};
+  std::atomic<std::uint64_t> stat_redirects{0};
+  std::atomic<std::uint64_t> stat_forwards{0};
+  std::atomic<std::uint64_t> stat_syncs_sent{0};
+  std::atomic<std::uint64_t> stat_syncs_applied{0};
+
+  obs::Counter* obs_lease_acquired =
+      obs::default_registry().counter("router.lease.acquired");
+  obs::Counter* obs_lease_renewed =
+      obs::default_registry().counter("router.lease.renewed");
+  obs::Counter* obs_lease_lost =
+      obs::default_registry().counter("router.lease.lost");
+  obs::Counter* obs_redirects =
+      obs::default_registry().counter("router.redirects");
+  obs::Counter* obs_forwards =
+      obs::default_registry().counter("router.forwards");
+  obs::Counter* obs_syncs =
+      obs::default_registry().counter("router.peer.syncs");
 
   bool try_admit() {
     const std::size_t limit = options.max_inflight;
@@ -248,6 +279,14 @@ struct Router::Impl {
   std::vector<BackendSnapshot> backend_snapshot() const;
   void publish_view();
   std::string handle_membership(const io::WireRequest& wire);
+  bool holds_write_authority() const;
+  std::string forward_or_redirect(const io::WireRequest& wire);
+  std::string handle_peer(const io::WireRequest& wire);
+  std::string build_sync_line() const;
+  void observe_peer_reply(const std::string& line);
+  std::optional<std::string> peer_call(const std::string& endpoint,
+                                       const std::string& line);
+  void sync_loop();
   std::string stats_json(std::int64_t id) const;
   void log_slow(const RouteTask& task, double elapsed_ms,
                 const std::string& trace_hex);
@@ -349,6 +388,12 @@ void Router::Impl::publish_view() {
   views.publish(cluster::ClusterView::make(membership.epoch(), endpoints));
 }
 
+/// True when this router may apply cluster writes: standalone, or holding
+/// a valid leader lease.
+bool Router::Impl::holds_write_authority() const {
+  return lease == nullptr || lease->status().held;
+}
+
 /// The join/leave/heartbeat control plane, answered inline on the client
 /// connection thread (membership changes are rare next to solves).
 std::string Router::Impl::handle_membership(const io::WireRequest& wire) {
@@ -361,6 +406,12 @@ std::string Router::Impl::handle_membership(const io::WireRequest& wire) {
   if (!net::parse_endpoint(wire.endpoint, host, port))
     return error_json("bad endpoint '" + wire.endpoint + "' (want host:port)",
                       "", wire.id);
+  // Fleet mode: the member table has one writer — the leaseholder. A
+  // heartbeat is a liveness refresh, not a table write, so every router
+  // applies those locally and a follower's replicated view stays live
+  // even while a new lease is being won.
+  if (wire.op != io::WireOp::Heartbeat && !holds_write_authority())
+    return forward_or_redirect(wire);
   const std::string endpoint = host + ":" + std::to_string(port);
   std::ostringstream out;
   out << "{";
@@ -420,6 +471,290 @@ std::string Router::Impl::handle_membership(const io::WireRequest& wire) {
   return out.str();
 }
 
+/// One blocking request/reply exchange with a fleet peer (hello, claim,
+/// sync, or a forwarded write). A fresh short-lived dial per exchange:
+/// peer traffic is a few small lines per sync interval, and dialing
+/// through net::tcp_connect keeps the fault-injection layer in this path
+/// too. nullopt means "peer unreachable right now".
+std::optional<std::string> Router::Impl::peer_call(const std::string& endpoint,
+                                                   const std::string& line) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!net::parse_endpoint(endpoint, host, port)) return std::nullopt;
+  int fd = -1;
+  try {
+    fd = net::tcp_connect(host, port);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  timeval timeout{2, 0};  // a stuck peer must not wedge the caller
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+  std::optional<std::string> reply;
+  if (net::write_line(fd, line)) {
+    net::LineBuffer buffer;
+    char chunk[8192];
+    std::string first;
+    while (true) {
+      if (buffer.pop(first)) {
+        reply = std::move(first);
+        break;
+      }
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+  ::close(fd);
+  return reply;
+}
+
+/// A membership write arrived while we are a follower: proxy it to the
+/// leaseholder so the client sees the authoritative answer, or — when the
+/// leaseholder is unknown or unreachable — answer with an epoch-stamped
+/// `{"redirect":...}` the client chases itself.
+std::string Router::Impl::forward_or_redirect(const io::WireRequest& wire) {
+  const cluster::LeaseStatus status = lease->status();
+  if (status.valid && status.holder != self_endpoint) {
+    io::WireRequest forward = wire;
+    forward.id = -1;  // the proxy leg has its own correlation space
+    if (std::optional<std::string> reply =
+            peer_call(status.holder, io::wire_request_json(forward))) {
+      stat_forwards.fetch_add(1, std::memory_order_relaxed);
+      obs_forwards->add(1);
+      return net::with_id_prefix(*reply, wire.id);
+    }
+  }
+  stat_redirects.fetch_add(1, std::memory_order_relaxed);
+  obs_redirects->add(1);
+  std::ostringstream out;
+  out << "{";
+  if (wire.id >= 0) out << "\"id\":" << wire.id << ",";
+  if (status.holder.empty() || status.holder == self_endpoint) {
+    // Nothing to point at: the last lease we granted was our own (now
+    // expired) or none exists yet. The client backs off and retries its
+    // address list; by then someone has won the next term.
+    out << "\"error\":\"no leaseholder (election in progress)\",\"epoch\":"
+        << membership.epoch() << ",\"term\":" << status.term << "}";
+    return out.str();
+  }
+  out << "\"redirect\":\"" << io::json::escape(status.holder)
+      << "\",\"epoch\":" << membership.epoch() << ",\"term\":" << status.term
+      << "}";
+  return out.str();
+}
+
+/// The fleet peer verbs (peer.hello / peer.lease / peer.sync), answered
+/// inline on the connection thread like membership verbs.
+std::string Router::Impl::handle_peer(const io::WireRequest& wire) {
+  if (!lease)
+    return error_json(
+        "this router is standalone (start it with --peers to form a fleet)",
+        "", wire.id);
+  std::ostringstream out;
+  out << "{";
+  if (wire.id >= 0) out << "\"id\":" << wire.id << ",";
+
+  if (wire.op == io::WireOp::PeerHello) {
+    // Introduction/probe: report the lease as we know it. The caller folds
+    // the reply through observe_report, so a rebooted router learns the
+    // standing term before its first bid.
+    const cluster::LeaseStatus status = lease->status();
+    out << "\"ok\":true,\"endpoint\":\"" << io::json::escape(self_endpoint)
+        << "\",\"term\":" << status.term << ",\"holder\":\""
+        << io::json::escape(status.holder)
+        << "\",\"epoch\":" << membership.epoch() << "}";
+    return out.str();
+  }
+
+  if (wire.op == io::WireOp::PeerLease) {
+    const bool was_held = lease->status().held;
+    const cluster::LeaderLease::Grant grant =
+        lease->observe_claim(wire.endpoint, wire.term);
+    if (was_held && grant.granted && !grant.status.held)
+      obs_lease_lost->add(1);  // deposed by a fresher claim
+    out << "\"ok\":true,\"granted\":" << (grant.granted ? "true" : "false")
+        << ",\"term\":" << grant.status.term << ",\"holder\":\""
+        << io::json::escape(grant.status.holder) << "\"}";
+    return out.str();
+  }
+
+  // peer.sync — the holder's replicated snapshot. It doubles as a lease
+  // renewal: a snapshot we would not grant a claim for is from a stale
+  // leader and must be refused, or a deposed leader could roll the
+  // member table back.
+  const cluster::LeaderLease::Grant grant =
+      lease->observe_claim(wire.endpoint, wire.term);
+  const bool from_holder =
+      grant.granted && grant.status.holder == wire.endpoint;
+  bool applied = false;
+  if (from_holder && wire.endpoint != self_endpoint) {
+    std::vector<cluster::Member> snapshot;
+    snapshot.reserve(wire.peer_members.size());
+    std::unordered_set<std::string> keep;
+    for (const io::WirePeerMember& member : wire.peer_members) {
+      cluster::Member converted;
+      converted.endpoint = member.endpoint;
+      converted.is_static = member.is_static;
+      keep.insert(member.endpoint);
+      snapshot.push_back(std::move(converted));
+    }
+    std::vector<std::shared_ptr<BackendPool>> dropped;
+    {
+      std::lock_guard<std::mutex> lock(cluster_mutex);
+      applied = membership.adopt(snapshot, wire.peer_epoch);
+      if (applied) {
+        // Reconcile pools with the adopted set: new members get pools
+        // (dialed lazily), vanished ones lose theirs.
+        for (const cluster::Member& member : membership.members())
+          ensure_pool(member.endpoint);
+        std::vector<std::string> extra;
+        {
+          std::lock_guard<std::mutex> pools_lock(pools_mutex);
+          for (const auto& [endpoint, pool] : pools)
+            if (keep.count(endpoint) == 0) extra.push_back(endpoint);
+        }
+        for (const std::string& endpoint : extra)
+          if (auto pool = detach_pool(endpoint))
+            dropped.push_back(std::move(pool));
+        publish_view();
+      }
+    }
+    for (const auto& pool : dropped) pool->shutdown();
+    // The promoted set rides every sync (it can grow without an epoch
+    // bump). Adoption seeds counts at the threshold, so a takeover serves
+    // these keys warm without a re-promotion burst.
+    hot_keys.adopt_promoted(wire.promoted_keys);
+    stat_syncs_applied.fetch_add(1, std::memory_order_relaxed);
+  }
+  out << "\"ok\":true,\"applied\":" << (applied ? "true" : "false")
+      << ",\"term\":" << grant.status.term << ",\"holder\":\""
+      << io::json::escape(grant.status.holder)
+      << "\",\"epoch\":" << membership.epoch() << "}";
+  return out.str();
+}
+
+/// Render this router's replicated state as one peer.sync line. The whole
+/// state is small (member table + epoch + promoted keys), so each "delta"
+/// is simply the current snapshot — idempotent to apply, trivially
+/// convergent, and a fresh follower needs no separate bootstrap path.
+std::string Router::Impl::build_sync_line() const {
+  io::WireRequest sync;
+  sync.op = io::WireOp::PeerSync;
+  sync.endpoint = self_endpoint;
+  sync.term = lease->status().term;
+  sync.peer_epoch = membership.epoch();
+  for (const cluster::Member& member : membership.members()) {
+    io::WirePeerMember entry;
+    entry.endpoint = member.endpoint;
+    entry.is_static = member.is_static;
+    sync.peer_members.push_back(std::move(entry));
+  }
+  sync.promoted_keys = hot_keys.promoted_keys();
+  return io::wire_request_json(sync);
+}
+
+/// Fold the lease view a peer's reply reported into our arbiter (how a
+/// bidding router discovers it lost, and a deposed leader finds out).
+void Router::Impl::observe_peer_reply(const std::string& line) {
+  try {
+    const io::json::Value document = io::json::Value::parse(line);
+    if (!document.is_object()) return;
+    const io::json::Value* holder = document.find("holder");
+    const io::json::Value* term = document.find("term");
+    if (holder == nullptr || !holder->is_string() || term == nullptr ||
+        !term->is_number() || term->as_number() < 0)
+      return;
+    lease->observe_report(holder->as_string(),
+                          static_cast<std::uint64_t>(term->as_number()));
+  } catch (const std::exception&) {
+  }
+}
+
+/// The fleet thread: one hello round to learn the standing lease, then on
+/// the sync cadence either renew-and-replicate (holder) or watch for the
+/// holder's silence and bid (try_acquire bids exactly when the known
+/// lease has expired). Peer exchanges ride peer_call → net, so injected
+/// faults hit this path too: a dropped renewal round just narrows the
+/// margin to the next one.
+void Router::Impl::sync_loop() {
+  {
+    io::WireRequest hello;
+    hello.op = io::WireOp::PeerHello;
+    hello.endpoint = self_endpoint;
+    hello.term = lease->status().term;
+    const std::string hello_line = io::wire_request_json(hello);
+    for (const std::string& peer : options.peers) {
+      if (stopping.load(std::memory_order_relaxed)) return;
+      if (const auto reply = peer_call(peer, hello_line))
+        observe_peer_reply(*reply);
+    }
+  }
+  const double interval_ms =
+      options.sync_interval_ms > 0
+          ? options.sync_interval_ms
+          : std::max(20.0, options.lease_ttl_ms / 3.0);
+  bool was_held = false;
+  while (!stopping.load(std::memory_order_relaxed)) {
+    // Nap in slices so stop() stays prompt at any cadence.
+    double napped = 0.0;
+    while (napped < interval_ms &&
+           !stopping.load(std::memory_order_relaxed)) {
+      const double slice = std::min(20.0, interval_ms - napped);
+      timespec nap{0, static_cast<long>(slice * 1e6)};
+      ::nanosleep(&nap, nullptr);
+      napped += slice;
+    }
+    if (stopping.load(std::memory_order_relaxed)) break;
+
+    const cluster::LeaseStatus status = lease->try_acquire();
+    if (!status.held) {
+      if (was_held) obs_lease_lost->add(1);
+      was_held = false;
+      continue;  // follower: state arrives passively via peer.sync
+    }
+    if (!was_held) {
+      stat_lease_acquires.fetch_add(1, std::memory_order_relaxed);
+      obs_lease_acquired->add(1);
+      // A takeover is the failover event the HA drill measures: record it
+      // as a single-span trace so `{"op":"traces"}` shows when it happened
+      // and which term it won.
+      const std::uint64_t now_us = obs::steady_micros();
+      obs::TraceContext ctx = obs::make_trace_context();
+      obs::TraceRecorder recorder(ctx);
+      recorder.record("router.lease.takeover", obs::new_span_id(), 0, now_us,
+                      obs::steady_micros());
+      traces.add(ctx.hi, ctx.lo, recorder.spans());
+    } else {
+      stat_lease_renewals.fetch_add(1, std::memory_order_relaxed);
+      obs_lease_renewed->add(1);
+    }
+    was_held = true;
+
+    // Broadcast the claim, then the state. Replies carry the freshest
+    // term/holder; folding them back in is how a deposed leader learns it
+    // must stand down before the next round.
+    io::WireRequest claim;
+    claim.op = io::WireOp::PeerLease;
+    claim.endpoint = self_endpoint;
+    claim.term = status.term;
+    const std::string claim_line = io::wire_request_json(claim);
+    const std::string sync_line = build_sync_line();
+    for (const std::string& peer : options.peers) {
+      if (stopping.load(std::memory_order_relaxed)) break;
+      if (const auto reply = peer_call(peer, claim_line))
+        observe_peer_reply(*reply);
+      if (!lease->status().held) break;  // deposed mid-round
+      if (const auto reply = peer_call(peer, sync_line)) {
+        observe_peer_reply(*reply);
+        stat_syncs_sent.fetch_add(1, std::memory_order_relaxed);
+        obs_syncs->add(1);
+      }
+    }
+  }
+}
+
 std::string Router::Impl::stats_json(std::int64_t id) const {
   std::ostringstream out;
   out << "{";
@@ -447,6 +782,24 @@ std::string Router::Impl::stats_json(std::int64_t id) const {
       << stat_replica_hits.load(std::memory_order_relaxed)
       << ",\"replica_puts\":"
       << stat_replica_puts.load(std::memory_order_relaxed) << "}";
+  if (lease) {
+    const cluster::LeaseStatus status = lease->status();
+    out << ",\"lease\":{\"self\":\"" << io::json::escape(self_endpoint)
+        << "\",\"holder\":\"" << io::json::escape(status.holder)
+        << "\",\"term\":" << status.term
+        << ",\"held\":" << (status.held ? "true" : "false")
+        << ",\"valid\":" << (status.valid ? "true" : "false")
+        << ",\"peers\":" << options.peers.size()
+        << ",\"acquires\":" << stat_lease_acquires.load(std::memory_order_relaxed)
+        << ",\"renewals\":" << stat_lease_renewals.load(std::memory_order_relaxed)
+        << ",\"redirects\":" << stat_redirects.load(std::memory_order_relaxed)
+        << ",\"forwards\":" << stat_forwards.load(std::memory_order_relaxed)
+        << ",\"syncs_sent\":" << stat_syncs_sent.load(std::memory_order_relaxed)
+        << ",\"syncs_applied\":"
+        << stat_syncs_applied.load(std::memory_order_relaxed) << "}";
+  } else {
+    out << ",\"lease\":null";
+  }
   if (l1) {
     const cache::CacheStats stats = l1->stats();
     out << ",\"l1\":{\"hits\":" << stats.hits
@@ -648,6 +1001,12 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
   if (wire.op == io::WireOp::Join || wire.op == io::WireOp::Leave ||
       wire.op == io::WireOp::Heartbeat) {
     task.immediate = handle_membership(wire);
+    task.immediate_is_error = is_error_reply(task.immediate);
+    return;
+  }
+  if (wire.op == io::WireOp::PeerHello || wire.op == io::WireOp::PeerLease ||
+      wire.op == io::WireOp::PeerSync) {
+    task.immediate = handle_peer(wire);
     task.immediate_is_error = is_error_reply(task.immediate);
     return;
   }
@@ -1149,6 +1508,11 @@ void Router::Impl::health_loop() {
     }
     for (const auto& pool : snapshot) pool->maintain();
     if (!options.dynamic) continue;
+    // Fleet mode: eviction is a membership *write*, so only the
+    // leaseholder sweeps. A follower's view stays whatever the holder last
+    // replicated — evicting locally would only diverge until the next
+    // sync overwrote it.
+    if (lease && !lease->status().held) continue;
     // Missed-heartbeat eviction: drop silent members, publish the new
     // epoch, then break their pools (outside the cluster lock) so any
     // in-flight replies fail over promptly.
@@ -1181,6 +1545,18 @@ void Router::start() {
     throw std::runtime_error(
         "router needs at least one backend (or --dynamic to let backends "
         "join)");
+  for (const std::string& peer : impl.options.peers) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!net::parse_endpoint(peer, host, port))
+      throw std::runtime_error("bad peer endpoint '" + peer +
+                               "' (want host:port)");
+  }
+  if (!impl.options.peers.empty() && impl.options.advertise.empty() &&
+      (impl.options.host == "0.0.0.0" || impl.options.host == "::"))
+    throw std::runtime_error(
+        "--peers with a wildcard bind address needs --advertise=host:port "
+        "(the identity peers grant the lease to and redirect clients at)");
   {
     std::lock_guard<std::mutex> lock(impl.cluster_mutex);
     for (const std::string& endpoint : impl.options.backends) {
@@ -1209,10 +1585,23 @@ void Router::start() {
   }
 
   impl.listener.listen(impl.options.host, impl.options.port);
+  impl.self_endpoint =
+      impl.options.advertise.empty()
+          ? impl.options.host + ":" + std::to_string(impl.listener.port())
+          : impl.options.advertise;
+  if (!impl.options.peers.empty()) {
+    cluster::LeaderLease::Options lease_options;
+    lease_options.self = impl.self_endpoint;
+    lease_options.ttl = std::chrono::duration_cast<cluster::LeaseClock::duration>(
+        std::chrono::duration<double, std::milli>(impl.options.lease_ttl_ms));
+    impl.lease = std::make_unique<cluster::LeaderLease>(lease_options);
+  }
   impl.stopping = false;
   impl.running = true;
   impl.accept_thread = std::thread([&impl]() { impl.accept_loop(); });
   impl.health_thread = std::thread([&impl]() { impl.health_loop(); });
+  if (impl.lease)
+    impl.sync_thread = std::thread([&impl]() { impl.sync_loop(); });
 }
 
 void Router::stop() {
@@ -1242,6 +1631,7 @@ void Router::stop() {
 
   // 3. Only now tear down the transport.
   if (impl.health_thread.joinable()) impl.health_thread.join();
+  if (impl.sync_thread.joinable()) impl.sync_thread.join();
   std::vector<std::shared_ptr<BackendPool>> snapshot;
   {
     std::lock_guard<std::mutex> lock(impl.pools_mutex);
@@ -1272,6 +1662,25 @@ RouterStats Router::stats() const {
   out.promotions = impl_->stat_promotions.load(std::memory_order_relaxed);
   out.replica_hits = impl_->stat_replica_hits.load(std::memory_order_relaxed);
   out.replica_puts = impl_->stat_replica_puts.load(std::memory_order_relaxed);
+  out.promoted = impl_->hot_keys.promoted_count();
+  if (impl_->lease) {
+    const cluster::LeaseStatus status = impl_->lease->status();
+    out.lease_holder = status.holder;
+    out.term = status.term;
+    out.leaseholder = status.held;
+  } else {
+    out.lease_holder = impl_->self_endpoint;
+    out.leaseholder = true;  // standalone: the implicit lease is ours
+  }
+  out.lease_acquires =
+      impl_->stat_lease_acquires.load(std::memory_order_relaxed);
+  out.lease_renewals =
+      impl_->stat_lease_renewals.load(std::memory_order_relaxed);
+  out.redirects = impl_->stat_redirects.load(std::memory_order_relaxed);
+  out.forwards = impl_->stat_forwards.load(std::memory_order_relaxed);
+  out.syncs_sent = impl_->stat_syncs_sent.load(std::memory_order_relaxed);
+  out.syncs_applied =
+      impl_->stat_syncs_applied.load(std::memory_order_relaxed);
   for (const Impl::BackendSnapshot& backend : impl_->backend_snapshot()) {
     const PoolStats stats = backend.pool->stats();
     BackendHealth health;
@@ -1332,6 +1741,12 @@ int route_forever(const RouterOptions& options, std::ostream& log) {
       << " (l1-mb=" << options.l1_mb
       << ", max-inflight=" << options.max_inflight
       << ", replicas=" << options.replicas << ")" << std::endl;
+  if (!options.peers.empty()) {
+    log << "fleet: " << options.peers.size() << " peers, lease-ttl="
+        << options.lease_ttl_ms << "ms";
+    if (!options.advertise.empty()) log << ", advertise=" << options.advertise;
+    log << std::endl;
+  }
 
   while (g_signal == 0) {
     timespec nap{0, 100 * 1000 * 1000};
@@ -1351,6 +1766,14 @@ int route_forever(const RouterOptions& options, std::ostream& log) {
       << " leaves, " << stats.evictions << " evictions); " << stats.promotions
       << " promotions, " << stats.replica_hits << " replica hits, "
       << stats.replica_puts << " replica puts" << std::endl;
+  if (!options.peers.empty())
+    log << "fleet: term " << stats.term << ", holder "
+        << (stats.lease_holder.empty() ? "<none>" : stats.lease_holder)
+        << (stats.leaseholder ? " (this router)" : "") << "; "
+        << stats.lease_acquires << " acquires, " << stats.lease_renewals
+        << " renewals, " << stats.forwards << " forwards, " << stats.redirects
+        << " redirects, " << stats.syncs_sent << " syncs sent, "
+        << stats.syncs_applied << " applied" << std::endl;
   for (const BackendHealth& backend : stats.backends)
     log << "  backend " << backend.endpoint << ": "
         << (backend.alive ? "alive" : "down")

@@ -56,6 +56,21 @@
 /// replica as `{"op":"put"}` cache writes, and reads served by a surviving
 /// non-primary replica carry `cluster.replica_hit` telemetry — a killed
 /// backend no longer turns the hottest patterns cold.
+///
+/// **Router fleet (PR 8, `--peers`).** The router itself is no longer a
+/// single point of failure: N routers form a fleet over the peer verbs
+/// (`peer.hello`/`peer.lease`/`peer.sync`). One holds the leader lease
+/// (cluster/lease.h) and owns every cluster *write* — joins, leaves,
+/// missed-heartbeat eviction — while replicating the member table, epoch,
+/// and promoted hot-key set to followers on the sync cadence. Followers
+/// serve all *read* traffic (solves, stats) from the replicated view,
+/// forward membership writes to the leaseholder, and answer with an
+/// epoch-stamped `{"redirect":"host:port","epoch":E,"term":T}` when the
+/// leaseholder is unreachable. When the leaseholder dies, a follower's
+/// next lease bid wins within one TTL and it takes over with the current
+/// view and warm hot keys — no cold restart. Backends announce to every
+/// router (`ebmf serve --announce=a,b`), clients fail over across
+/// `--connect=a,b` address lists.
 
 #include <cstdint>
 #include <iosfwd>
@@ -79,6 +94,20 @@ struct RouterOptions {
   /// Accept join/leave/heartbeat membership verbs and run missed-heartbeat
   /// eviction (`ebmf route --dynamic`).
   bool dynamic = false;
+  /// Fellow routers of the fleet ("host:port", *excluding* this one).
+  /// Empty = standalone: this router always holds the (implicit) lease.
+  std::vector<std::string> peers;
+  /// This router's own endpoint as peers should see it (the lease-bid
+  /// identity and redirect target). Defaults to host:port of the bound
+  /// listener; required when binding a wildcard host with --peers.
+  std::string advertise;
+  /// Leader-lease lifetime. A follower bids for the lease after the
+  /// holder's renewals have been silent this long — the fleet's failover
+  /// budget. Keep it under the membership grace window so a router
+  /// takeover never costs a backend eviction.
+  double lease_ttl_ms = 1500.0;
+  /// Lease-renewal + peer delta-sync cadence (0 = lease_ttl_ms / 3).
+  double sync_interval_ms = 0.0;
   /// Replica set size for promoted hot keys (top-R of the key's HRW
   /// order). 1 disables replication (a key lives on its owner only).
   std::size_t replicas = 2;
@@ -142,6 +171,17 @@ struct RouterStats {
   std::uint64_t promotions = 0;   ///< Keys promoted to replicated.
   std::uint64_t replica_hits = 0; ///< Promoted reads served off-primary.
   std::uint64_t replica_puts = 0; ///< Cache writes fanned to replicas.
+  std::size_t promoted = 0;       ///< Keys in the promoted set right now.
+  // -- router fleet (leader lease) ---------------------------------------
+  std::string lease_holder;       ///< Current holder ("" = none known).
+  std::uint64_t term = 0;         ///< Current lease term.
+  bool leaseholder = false;       ///< This router holds a valid lease.
+  std::uint64_t lease_acquires = 0;  ///< Takeovers (first grant of a term).
+  std::uint64_t lease_renewals = 0;  ///< Successful renewals while held.
+  std::uint64_t redirects = 0;    ///< Writes answered with {"redirect":...}.
+  std::uint64_t forwards = 0;     ///< Writes proxied to the leaseholder.
+  std::uint64_t syncs_sent = 0;   ///< peer.sync snapshots delivered.
+  std::uint64_t syncs_applied = 0;  ///< peer.sync snapshots adopted here.
   std::vector<BackendHealth> backends;
 };
 

@@ -14,6 +14,7 @@
 #include <stdexcept>
 
 #include "io/json.h"
+#include "support/fault.h"
 
 namespace ebmf::service::net {
 
@@ -33,20 +34,38 @@ std::string error_json(const std::string& message, const std::string& label,
 
 bool write_line(int fd, std::string line) {
   line += '\n';
+  // Fault-injection seam: a drill can stall the write, drop it outright, or
+  // tear it mid-line (send a prefix, then shoot the connection) so peers see
+  // the same half-open/partial-frame failures a flaky network produces.
+  fault::maybe_delay();
+  if (fault::should_drop_write()) {
+    ::shutdown(fd, SHUT_RDWR);
+    return false;
+  }
+  const std::size_t limit = fault::maybe_tear(line.size());
   std::size_t sent = 0;
-  while (sent < line.size()) {
+  while (sent < limit) {
     const ssize_t n =
-        ::send(fd, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+        ::send(fd, line.data() + sent, limit - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
     }
     sent += static_cast<std::size_t>(n);
   }
+  if (limit < line.size()) {  // torn: the peer never sees the newline
+    ::shutdown(fd, SHUT_RDWR);
+    return false;
+  }
   return true;
 }
 
 int tcp_connect(const std::string& host, std::uint16_t port) {
+  if (fault::should_drop_connect()) {
+    errno = ECONNREFUSED;
+    sys_fail("connect " + host + ":" + std::to_string(port) +
+             " (injected fault)");
+  }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) sys_fail("socket");
   sockaddr_in addr{};

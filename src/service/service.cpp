@@ -16,10 +16,13 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <ostream>
@@ -121,13 +124,16 @@ struct Server::Impl {
   std::mutex connections_mutex;
   std::vector<std::shared_ptr<Connection>> connections;
 
-  /// The announce client's live socket to the router (-1 when none):
-  /// stop() shuts it down (under the mutex, so a concurrent close/reuse
-  /// can never hand it a recycled descriptor) to wake a blocking
-  /// heartbeat read.
-  std::thread announce_thread;
+  /// The announce clients' live sockets, one slot per router in the
+  /// (comma-separated) --announce list; -1 when that session is down.
+  /// stop() shuts them down (under the mutex, so a concurrent close/reuse
+  /// can never hand it a recycled descriptor) to wake blocking heartbeat
+  /// reads. Announcing to *every* router of a fleet keeps each router's
+  /// local liveness view fresh, so a follower that takes the lease
+  /// already knows this backend is alive.
+  std::vector<std::thread> announce_threads;
   std::mutex announce_mutex;
-  int announce_fd = -1;
+  std::vector<int> announce_fds;
 
   std::atomic<std::size_t> inflight{0};
   std::atomic<std::uint64_t> stat_connections{0};
@@ -165,8 +171,8 @@ struct Server::Impl {
   std::string advertised_endpoint() const;
   int dial_announce(const std::string& host, std::uint16_t port);
   bool announce_round(const std::string& host, std::uint16_t port,
-                      const std::string& self);
-  void announce_loop();
+                      const std::string& self, std::size_t slot);
+  void announce_loop(std::string router, std::size_t slot);
   bool read_batch(Connection& conn, net::LineBuffer& buffer,
                   std::vector<std::string>& lines);
   bool process_batch(Connection& conn, const std::vector<std::string>& lines);
@@ -342,12 +348,12 @@ int Server::Impl::dial_announce(const std::string& host, std::uint16_t port) {
 /// session breaks (router gone, eviction notice, or stop()). Returns true
 /// when the session ended because of stop() — the loop must not retry.
 bool Server::Impl::announce_round(const std::string& host, std::uint16_t port,
-                                  const std::string& self) {
+                                  const std::string& self, std::size_t slot) {
   const int fd = dial_announce(host, port);
   if (fd < 0) return stopping.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(announce_mutex);
-    announce_fd = fd;
+    announce_fds[slot] = fd;
   }
   net::LineBuffer buffer;
   std::string reply;
@@ -390,23 +396,24 @@ bool Server::Impl::announce_round(const std::string& host, std::uint16_t port,
   if (stopped || stopping.load(std::memory_order_relaxed))
     write_line(fd, "{\"op\":\"leave\"," + endpoint_json);
   {
-    // Deregister before closing: once announce_fd is -1 under the lock,
+    // Deregister before closing: once the slot is -1 under the lock,
     // stop() can no longer shut this (possibly recycled) descriptor down.
     std::lock_guard<std::mutex> lock(announce_mutex);
-    announce_fd = -1;
+    announce_fds[slot] = -1;
   }
   ::close(fd);
   return stopped || stopping.load(std::memory_order_relaxed);
 }
 
-/// The announce client: join + heartbeat sessions against the router,
-/// retried with a pause while the router is unreachable.
-void Server::Impl::announce_loop() {
+/// One announce client: join + heartbeat sessions against one router,
+/// retried with a pause while that router is unreachable. A fleet runs
+/// one of these per --announce entry.
+void Server::Impl::announce_loop(std::string router, std::size_t slot) {
   std::string host;
   std::uint16_t port = 0;
-  if (!net::parse_endpoint(options.announce, host, port)) return;
+  if (!net::parse_endpoint(router, host, port)) return;
   const std::string self = advertised_endpoint();
-  while (!announce_round(host, port, self)) {
+  while (!announce_round(host, port, self, slot)) {
     // Router unreachable or session broken: pause one heartbeat before
     // re-dialing (also in slices, for prompt stop()).
     const auto deadline =
@@ -850,10 +857,27 @@ void Server::start() {
   impl.running = true;
   impl.accept_thread = std::thread([&impl]() { impl.accept_loop(); });
   impl.watchdog_thread = std::thread([&impl]() { impl.watchdog_loop(); });
-  // The announce client starts after the listener so the advertised
+  // The announce clients start after the listener so the advertised
   // endpoint carries the actually-bound port (resolves --port=0).
-  if (!impl.options.announce.empty())
-    impl.announce_thread = std::thread([&impl]() { impl.announce_loop(); });
+  // --announce takes a comma-separated router list; one session per
+  // router keeps the whole fleet's liveness views fresh.
+  if (!impl.options.announce.empty()) {
+    std::vector<std::string> routers;
+    std::size_t start = 0;
+    while (start <= impl.options.announce.size()) {
+      std::size_t comma = impl.options.announce.find(',', start);
+      if (comma == std::string::npos) comma = impl.options.announce.size();
+      std::string entry = impl.options.announce.substr(start, comma - start);
+      if (!entry.empty()) routers.push_back(std::move(entry));
+      start = comma + 1;
+    }
+    impl.announce_fds.assign(routers.size(), -1);
+    for (std::size_t slot = 0; slot < routers.size(); ++slot)
+      impl.announce_threads.emplace_back(
+          [&impl, router = routers[slot], slot]() {
+            impl.announce_loop(router, slot);
+          });
+  }
 }
 
 void Server::stop() {
@@ -861,15 +885,18 @@ void Server::stop() {
   if (impl.stopping.exchange(true)) return;
   if (!impl.running.load()) return;
 
-  // 0. Say goodbye to the router first: the announce thread sends the
-  // best-effort leave on its way out (a blocking heartbeat read is woken
-  // by shutting its socket down), so the router stops routing here before
+  // 0. Say goodbye to the routers first: each announce thread sends its
+  // best-effort leave on the way out (a blocking heartbeat read is woken
+  // by shutting its socket down), so the fleet stops routing here before
   // the drain closes any connection.
   {
     std::lock_guard<std::mutex> lock(impl.announce_mutex);
-    if (impl.announce_fd >= 0) ::shutdown(impl.announce_fd, SHUT_RD);
+    for (const int fd : impl.announce_fds)
+      if (fd >= 0) ::shutdown(fd, SHUT_RD);
   }
-  if (impl.announce_thread.joinable()) impl.announce_thread.join();
+  for (std::thread& t : impl.announce_threads)
+    if (t.joinable()) t.join();
+  impl.announce_threads.clear();
 
   // 1. No new connections: wake the accept loop and retire it.
   impl.listener.shutdown_now();
@@ -923,29 +950,101 @@ const ServerOptions& Server::options() const noexcept {
 
 // ---- Client ---------------------------------------------------------------
 
-Client::Client(const std::string& host, std::uint16_t port)
-    : host_(host), port_(port) {
-  fd_ = net::tcp_connect(host, port);
+namespace {
+
+/// Answered-id cache bound: big enough for any realistic pipeline window,
+/// small enough that a long-lived client never grows without bound.
+constexpr std::size_t kAnsweredCap = 1024;
+
+/// Redirect-chase bound: past this many hops in one round_trip the fleet
+/// is mid-election; fall back to ordinary rotation instead of looping.
+constexpr std::size_t kRedirectHops = 4;
+
+}  // namespace
+
+Client::Client(const std::vector<std::string>& endpoints)
+    : endpoints_(endpoints),
+      jitter_state_(0x9e3779b97f4a7c15ull ^
+                    reinterpret_cast<std::uintptr_t>(this)) {
+  if (endpoints_.empty())
+    throw std::runtime_error("client needs at least one address");
+  for (cursor_ = 0; cursor_ < endpoints_.size(); ++cursor_)
+    if (connect_to(endpoints_[cursor_])) return;
+  // No address answered the first pass — ride out a transient (fleet
+  // restarting, injected connect fault) with the same jittered-backoff
+  // rotation a mid-flight reconnect uses before giving up.
+  cursor_ = 0;
+  if (reconnect()) return;
+  std::string list;
+  for (const std::string& endpoint : endpoints_)
+    list += (list.empty() ? "" : ", ") + endpoint;
+  throw std::runtime_error("all addresses refused (" + list + ")");
 }
+
+Client::Client(const std::string& host, std::uint16_t port)
+    : Client(std::vector<std::string>{host + ":" + std::to_string(port)}) {}
 
 Client::~Client() { close(); }
 
-bool Client::reconnect() {
+bool Client::connect_to(const std::string& endpoint) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!net::parse_endpoint(endpoint, host, port)) return false;
   close();
   buffer_.clear();
   try {
-    fd_ = net::tcp_connect(host_, port_);
+    fd_ = net::tcp_connect(host, port);
   } catch (const std::exception&) {
     return false;
   }
+  connected_ = host + ":" + std::to_string(port);
+  return true;
+}
+
+bool Client::reconnect(std::size_t rounds) {
+  for (std::size_t round = 0; round < rounds; ++round) {
+    if (round > 0) {
+      // Full rotation failed: pause with capped exponential backoff,
+      // jittered over [0.5, 1.5)x so a client herd restarting against the
+      // same fleet doesn't re-dial in lockstep.
+      jitter_state_ ^= jitter_state_ << 13;
+      jitter_state_ ^= jitter_state_ >> 7;
+      jitter_state_ ^= jitter_state_ << 17;
+      const double fraction =
+          static_cast<double>(jitter_state_ >> 11) * 0x1.0p-53;
+      const double pause_ms = backoff_ms_ * (0.5 + fraction);
+      backoff_ms_ = std::min(backoff_ms_ * 2.0, 1000.0);
+      timespec nap{static_cast<time_t>(pause_ms / 1000.0),
+                   static_cast<long>(std::fmod(pause_ms, 1000.0) * 1e6)};
+      ::nanosleep(&nap, nullptr);
+    }
+    for (std::size_t step = 0; step < endpoints_.size(); ++step) {
+      cursor_ = (cursor_ + 1) % endpoints_.size();
+      if (connect_to(endpoints_[cursor_])) {
+        backoff_ms_ = 50.0;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool Client::record_answered(std::int64_t id, std::size_t line_hash,
+                             const std::string& reply) {
+  if (id < 0) return true;  // un-id'd requests cannot be deduped
+  for (const auto& entry : answered_)
+    if (entry.id == id && entry.line_hash == line_hash) return false;
+  if (answered_.size() >= kAnsweredCap)
+    answered_.erase(answered_.begin());
+  answered_.push_back(Answered{id, line_hash, reply});
   return true;
 }
 
 void Client::send_line(const std::string& line) {
   if (fd_ < 0) throw std::runtime_error("client is closed");
   if (write_line(fd_, line)) return;
-  // A reset peer (restarting backend, failed-over router) is retried once
-  // over a fresh connection; any other failure propagates immediately.
+  // A reset peer (restarting backend, failed-over router) rotates to the
+  // next address of the list; any other failure propagates immediately.
   if ((errno == ECONNRESET || errno == EPIPE) && reconnect() &&
       write_line(fd_, line))
     return;
@@ -979,18 +1078,61 @@ std::string Client::read_line() {
 }
 
 std::string Client::round_trip(const std::string& line) {
+  // Exactly-once for the caller: an id this client already saw answered is
+  // served from the cache — the earlier send landed, and re-submitting
+  // would make a counting server (or the caller's own tally) see it twice.
+  const std::int64_t id = io::salvage_request_id(line);
+  const std::size_t line_hash = std::hash<std::string>{}(line);
+  if (id >= 0)
+    for (const auto& entry : answered_)
+      if (entry.id == id && entry.line_hash == line_hash) return entry.reply;
+
+  std::string reply;
+  bool have_reply = false;
   try {
     send_line(line);
-    return read_line();
+    reply = read_line();
+    have_reply = true;
   } catch (const std::runtime_error&) {
-    // The connection died between send and reply (peer restarted). Solve
-    // and stats requests are idempotent, so re-send once over a fresh
-    // connection; a second failure propagates.
+    // The connection died between send and reply (peer restarted, fleet
+    // failing over). Solve and stats requests are idempotent, so re-send
+    // over the next live address; a second failure propagates.
     if (!reconnect()) throw;
     send_line(line);
-    return read_line();
+    reply = read_line();
+    have_reply = true;
   }
+
+  // Chase follower redirects: reconnect to the named leaseholder and
+  // re-send there. A stale redirect (old epoch, dead holder) just fails
+  // the dial and falls back to rotation.
+  for (std::size_t hop = 0; have_reply && hop < kRedirectHops; ++hop) {
+    std::string target;
+    std::uint64_t epoch = 0;
+    std::uint64_t term = 0;
+    if (!io::parse_wire_redirect(reply, &target, &epoch, &term)) break;
+    if (!connect_to(target) && !reconnect()) break;
+    send_line(line);
+    reply = read_line();
+  }
+
+  // Only *answers* are cached for dedupe. An error or an unresolved
+  // redirect means the request was not executed — a retry must reach the
+  // fleet again, not be served the failure forever.
+  std::string target;
+  std::uint64_t epoch = 0;
+  std::uint64_t term = 0;
+  const bool unresolved =
+      io::parse_wire_redirect(reply, &target, &epoch, &term) ||
+      reply.rfind("{\"error\"", 0) == 0 ||
+      (reply.rfind("{\"id\":", 0) == 0 &&
+       reply.find(",\"error\":") != std::string::npos &&
+       reply.find(",\"error\":") < 24);
+  if (!unresolved) record_answered(id, line_hash, reply);
+  return reply;
 }
+
+const std::string& Client::endpoint() const noexcept { return connected_; }
 
 void Client::close() {
   if (fd_ >= 0) {

@@ -1,0 +1,158 @@
+#include "support/fault.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "support/rng.h"
+
+namespace ebmf::fault {
+namespace {
+
+// One relaxed load guards every hook; the slow path (an armed plan) takes
+// the mutex for the Bernoulli draw so the decision stream is deterministic
+// under a fixed seed even with concurrent callers.
+std::atomic<bool> g_armed{false};
+std::mutex g_mutex;
+Config g_config;                           // guarded by g_mutex
+Rng g_rng{0x9e3779b97f4a7c15ull};          // guarded by g_mutex
+std::once_flag g_env_once;
+
+std::atomic<std::uint64_t> g_connect_drops{0};
+std::atomic<std::uint64_t> g_write_drops{0};
+std::atomic<std::uint64_t> g_torn_writes{0};
+std::atomic<std::uint64_t> g_delays{0};
+
+bool parse_double(const std::string& text, double& out) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || value < 0.0) return false;
+  out = value;
+  return true;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return false;
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+void configure(const Config& config) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_config = config;
+  g_rng = Rng(config.seed);
+  g_armed.store(config.any(), std::memory_order_release);
+}
+
+bool configure_from_spec(const std::string& spec) {
+  Config config;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    std::uint64_t u64 = 0;
+    if (key == "drop_connect") {
+      if (!parse_double(value, config.drop_connect)) return false;
+    } else if (key == "drop_write") {
+      if (!parse_double(value, config.drop_write)) return false;
+    } else if (key == "torn_write") {
+      if (!parse_double(value, config.torn_write)) return false;
+    } else if (key == "delay_p") {
+      if (!parse_double(value, config.delay_p)) return false;
+    } else if (key == "delay_ms") {
+      if (!parse_u64(value, u64)) return false;
+      config.delay_ms = static_cast<std::uint32_t>(u64);
+    } else if (key == "seed") {
+      if (!parse_u64(value, config.seed)) return false;
+    } else {
+      return false;
+    }
+  }
+  configure(config);
+  return true;
+}
+
+void reset() { configure(Config{}); }
+
+Config current() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_config;
+}
+
+Stats stats() {
+  Stats out;
+  out.connect_drops = g_connect_drops.load(std::memory_order_relaxed);
+  out.write_drops = g_write_drops.load(std::memory_order_relaxed);
+  out.torn_writes = g_torn_writes.load(std::memory_order_relaxed);
+  out.delays = g_delays.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ensure_env_loaded() {
+  std::call_once(g_env_once, [] {
+    const char* spec = std::getenv("EBMF_FAULT");
+    if (spec != nullptr && *spec != '\0') configure_from_spec(spec);
+  });
+}
+
+bool should_drop_connect() {
+  ensure_env_loaded();
+  if (!g_armed.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_config.drop_connect <= 0.0 || !g_rng.chance(g_config.drop_connect))
+    return false;
+  g_connect_drops.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool should_drop_write() {
+  ensure_env_loaded();
+  if (!g_armed.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_config.drop_write <= 0.0 || !g_rng.chance(g_config.drop_write))
+    return false;
+  g_write_drops.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t maybe_tear(std::size_t full) {
+  ensure_env_loaded();
+  if (!g_armed.load(std::memory_order_acquire)) return full;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_config.torn_write <= 0.0 || !g_rng.chance(g_config.torn_write))
+    return full;
+  g_torn_writes.fetch_add(1, std::memory_order_relaxed);
+  // Tear somewhere strictly inside the line so the peer sees a prefix
+  // without its newline (full includes the trailing '\n').
+  return full <= 1 ? 0 : static_cast<std::size_t>(g_rng.below(full - 1));
+}
+
+void maybe_delay() {
+  ensure_env_loaded();
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  std::uint32_t delay_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_config.delay_p <= 0.0 || g_config.delay_ms == 0 ||
+        !g_rng.chance(g_config.delay_p))
+      return;
+    g_delays.fetch_add(1, std::memory_order_relaxed);
+    delay_ms = g_config.delay_ms;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+}
+
+}  // namespace ebmf::fault
