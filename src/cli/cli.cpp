@@ -828,18 +828,23 @@ int client_stats(const Args& args, std::ostream& out, std::ostream& err) {
   }
 }
 
-/// `ebmf client --metrics`: fetch `{"op":"metrics"}` and print the
-/// Prometheus text body unwrapped from its line-JSON envelope — the exact
-/// bytes a scraper would ingest.
+/// `ebmf client --metrics [--scope=fleet]`: fetch `{"op":"metrics"}` and
+/// print the Prometheus text body unwrapped from its line-JSON envelope —
+/// the exact bytes a scraper would ingest. `--scope=fleet` (router only)
+/// returns the federated exposition across every backend and peer.
 int client_metrics(const Args& args, std::ostream& out, std::ostream& err) {
   FlagReader flags(args);
   const auto port = flags.count("port", 7421);
   if (!flags.valid(err) || port > 65535) return 2;
   std::vector<std::string> endpoints;
   if (!client_endpoints(args, port, err, endpoints)) return 2;
+  std::string request = R"({"op":"metrics"})";
+  if (const std::string scope = args.get("scope", ""); !scope.empty())
+    request = "{\"op\":\"metrics\",\"scope\":\"" + io::json::escape(scope) +
+              "\"}";
   try {
     service::Client client(endpoints);
-    const std::string reply = client.round_trip(R"({"op":"metrics"})");
+    const std::string reply = client.round_trip(request);
     const io::json::Value document = io::json::Value::parse(reply);
     if (const io::json::Value* error = document.find("error");
         error != nullptr && error->is_string()) {
@@ -894,6 +899,100 @@ int client_get_trace(const Args& args, std::ostream& out, std::ostream& err) {
   }
 }
 
+/// Pull a numeric member out of a JSON object; 0 when absent/mistyped.
+double stat_num(const io::json::Value* object, const char* key) {
+  if (object == nullptr || !object->is_object()) return 0.0;
+  const io::json::Value* member = object->find(key);
+  return member != nullptr && member->is_number() ? member->as_number() : 0.0;
+}
+
+/// Render one watch-stream line for `ebmf client --watch`. Raw mode passes
+/// the JSONL through; otherwise frames become one human line each. Returns
+/// false when the stream is over (the done line, or an error).
+bool render_watch_line(std::ostream& out, const std::string& line, bool raw) {
+  io::json::Value document;
+  try {
+    document = io::json::Value::parse(line);
+  } catch (const std::exception&) {
+    return false;
+  }
+  const bool done = document.find("done") != nullptr;
+  const bool error = document.find("error") != nullptr;
+  if (raw) {
+    out << line << "\n";
+    return !done && !error;
+  }
+  if (error) {
+    out << "watch: " << document.find("error")->as_string() << "\n";
+    return false;
+  }
+  if (done) {
+    out << "watch: done (" << io::json::number(stat_num(&document, "frames"))
+        << " frames)\n";
+    return false;
+  }
+  out << "watch: t=" << io::json::number(stat_num(&document, "seconds"))
+      << "s";
+  if (const io::json::Value* phase = document.find("phase");
+      phase != nullptr && phase->is_string())
+    out << " phase=" << phase->as_string();
+  const double depth = stat_num(&document, "incumbent_depth");
+  if (depth > 0) out << " depth=" << io::json::number(depth);
+  out << " lower=" << io::json::number(stat_num(&document, "lower_bound"))
+      << " gap=" << io::json::number(stat_num(&document, "gap"));
+  if (const double conflicts = stat_num(&document, "conflicts");
+      conflicts > 0)
+    out << " conflicts=" << io::json::number(conflicts);
+  if (const double wave = stat_num(&document, "wave"); wave > 0)
+    out << " wave=" << io::json::number(wave);
+  out << "\n";
+  out.flush();
+  return true;
+}
+
+/// `ebmf client <file> --watch`: submit the solve on one connection, then
+/// subscribe to its live progress frames (`{"op":"watch"}`) on a second,
+/// rendering each frame as it lands; the final reply prints last. The
+/// subscription races the solve's registration, so an unknown-id error
+/// retries briefly — and a solve that finished inside the race window just
+/// skips straight to its reply.
+int client_watch_solve(const std::vector<std::string>& endpoints,
+                       const Args& args, const std::string& line,
+                       std::ostream& out, std::ostream& err) {
+  try {
+    service::Client solver(endpoints);
+    solver.send_line(line);
+    try {
+      service::Client watcher(endpoints);
+      bool streaming = false;
+      for (int attempt = 0; attempt < 40 && !streaming; ++attempt) {
+        watcher.send_line(R"({"op":"watch","id":0})");
+        std::string frame = watcher.read_line();
+        if (!streaming && frame.find("no in-flight request") !=
+                              std::string::npos) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(25));
+          continue;
+        }
+        streaming = true;
+        while (render_watch_line(out, frame, args.has("json")))
+          frame = watcher.read_line();
+      }
+    } catch (const std::exception&) {
+      // Watch is diagnostics, not the answer: a dead watch connection
+      // (or a router without the verb) must not sink the solve below.
+    }
+    std::string reply = solver.read_line();
+    const bool failed = reply.find("\"error\"") != std::string::npos &&
+                        reply.rfind("{\"id\":0,\"error\"", 0) == 0;
+    if (args.has("connect")) reply = stamp_endpoint(reply, solver.endpoint());
+    out << reply << "\n";
+    return failed ? 1 : 0;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
 int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
   if (args.has("metrics")) {
     if (!args.positional.empty()) {
@@ -921,7 +1020,12 @@ int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
            "[--connect=H:P,H:P] "
         << kRequestFlagsUsage
         << " [--dont-cares] [--split] [--include-partition] [--trace] "
-           "[--stats [--json]] [--metrics] [--get-trace=ID [--json]]\n";
+           "[--watch [--json]] [--stats [--json]] "
+           "[--metrics [--scope=fleet]] [--get-trace=ID [--json]]\n";
+    return 2;
+  }
+  if (args.has("watch") && args.positional.size() != 1) {
+    err << "error: --watch follows a single matrix file\n";
     return 2;
   }
   const engine::Engine engine;
@@ -968,6 +1072,9 @@ int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
     lines.push_back(io::wire_request_json(wire));
   }
 
+  if (args.has("watch"))
+    return client_watch_solve(endpoints, args, lines[0], out, err);
+
   try {
     service::Client client(endpoints);
     const bool stamp = args.has("connect");
@@ -1013,13 +1120,6 @@ int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
     err << "error: " << e.what() << "\n";
     return 1;
   }
-}
-
-/// Pull a numeric member out of a JSON object; 0 when absent/mistyped.
-double stat_num(const io::json::Value* object, const char* key) {
-  if (object == nullptr || !object->is_object()) return 0.0;
-  const io::json::Value* member = object->find(key);
-  return member != nullptr && member->is_number() ? member->as_number() : 0.0;
 }
 
 /// One frame of `ebmf top`: counters, cache hit ratio, and the latency
@@ -1074,6 +1174,27 @@ void render_top_frame(std::ostream& out, const std::string& endpoint,
         << "ms  max " << io::json::number(stat_num(latency, "max") / 1000.0)
         << "ms\n";
   }
+  // In-flight requests (id-carrying solves mid-budget): what a
+  // `{"op":"watch","id":N}` subscription would stream right now.
+  const io::json::Value* live = document.find("inflight_requests");
+  if (live != nullptr && live->is_array()) {
+    for (std::size_t i = 0; i < live->size(); ++i) {
+      const io::json::Value& entry = live->at(i);
+      const io::json::Value* strategy = entry.find("strategy");
+      out << "  in-flight id=" << io::json::number(stat_num(&entry, "id"))
+          << "  "
+          << (strategy != nullptr && strategy->is_string()
+                  ? strategy->as_string()
+                  : "?")
+          << "  elapsed "
+          << io::json::number(stat_num(&entry, "elapsed_ms") / 1000.0) << "s";
+      const double depth = stat_num(&entry, "incumbent_depth");
+      if (depth > 0)
+        out << "  depth " << io::json::number(depth) << "  gap "
+            << io::json::number(stat_num(&entry, "gap"));
+      out << "\n";
+    }
+  }
   if (role == "router") {
     const io::json::Value* cluster = document.find("cluster");
     out << "  cluster   members "
@@ -1106,29 +1227,90 @@ void render_top_frame(std::ostream& out, const std::string& endpoint,
   }
 }
 
-/// `ebmf top --connect=H:P [--watch=SECONDS]`: a live text dashboard over
-/// the stats verb — rps, inflight, cache hit ratio, latency quantiles, and
-/// (on a router) cluster/backend health. Without --watch it prints one
-/// frame and exits (scriptable); with it, redraws until interrupted.
+/// One frame of `ebmf top --fleet`: a row per instance out of the
+/// federated exposition a router's `{"op":"metrics","scope":"fleet"}`
+/// returned, plus the fleet sum line the federation guarantees equals the
+/// per-instance total.
+void render_fleet_frame(std::ostream& out, const std::string& endpoint,
+                        const std::string& body) {
+  struct Row {
+    double requests = 0;
+    double errors = 0;
+  };
+  std::map<std::string, Row> rows;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t brace = line.find("{instance=\"");
+    if (line.empty() || line[0] == '#' || brace == std::string::npos)
+      continue;
+    const std::string name = line.substr(0, brace);
+    const bool requests = name == "ebmf_server_requests_total" ||
+                          name == "ebmf_router_requests_total";
+    const bool errors = name == "ebmf_server_errors_total" ||
+                        name == "ebmf_router_errors_total";
+    if (!requests && !errors) continue;
+    const std::size_t quote = line.find('"', brace + 11);
+    const std::size_t space =
+        quote == std::string::npos ? quote : line.find(' ', quote);
+    if (space == std::string::npos) continue;
+    const std::string instance = line.substr(brace + 11, quote - brace - 11);
+    const double value = std::strtod(line.c_str() + space + 1, nullptr);
+    Row& row = rows[instance];
+    if (requests)
+      row.requests += value;
+    else
+      row.errors += value;
+  }
+  const bool has_fleet = rows.count("fleet") != 0;
+  out << "ebmf top — fleet via " << endpoint << " ("
+      << (has_fleet ? rows.size() - 1 : rows.size()) << " instances)\n";
+  for (const auto& [instance, row] : rows) {
+    if (instance == "fleet") continue;
+    out << "  " << instance << "  requests "
+        << io::json::number(row.requests) << "  errors "
+        << io::json::number(row.errors) << "\n";
+  }
+  if (has_fleet) {
+    const Row& fleet = rows.find("fleet")->second;
+    out << "  fleet (sum)  requests " << io::json::number(fleet.requests)
+        << "  errors " << io::json::number(fleet.errors) << "\n";
+  }
+}
+
+/// `ebmf top --connect=H:P [--watch=SECONDS] [--fleet]`: a live text
+/// dashboard over the stats verb — rps, inflight (plus the in-flight
+/// request panel), cache hit ratio, latency quantiles, and (on a router)
+/// cluster/backend health. `--fleet` asks a router for federated metrics
+/// instead and shows one row per instance. Without --watch it prints one
+/// frame and exits (scriptable); with it, repaints in place until
+/// interrupted.
 int cmd_top(const Args& args, std::ostream& out, std::ostream& err) {
   FlagReader flags(args);
   const double watch = flags.num("watch", 0.0);
+  const bool fleet = args.has("fleet");
   const std::string connect = args.get("connect", "");
   std::string host;
   std::uint16_t port = 0;
   if (!flags.valid(err) || watch < 0 || connect.empty() ||
       !service::net::parse_endpoint(connect, host, port)) {
-    err << "usage: ebmf top --connect=HOST:PORT [--watch=SECONDS]\n";
+    err << "usage: ebmf top --connect=HOST:PORT [--watch=SECONDS] "
+           "[--fleet]\n";
     return 2;
   }
   double prev_requests = -1.0;
   double prev_seconds = 0.0;
+  bool first_frame = true;
   const auto start = std::chrono::steady_clock::now();
   while (true) {
     std::string reply;
     try {
       service::Client client(host, port);
-      reply = client.round_trip(R"({"op":"stats"})");
+      reply = client.round_trip(fleet ? R"({"op":"metrics","scope":"fleet"})"
+                                      : R"({"op":"stats"})");
     } catch (const std::exception& e) {
       err << "error: " << e.what() << "\n";
       return 1;
@@ -1149,18 +1331,44 @@ int cmd_top(const Args& args, std::ostream& out, std::ostream& err) {
       err << "error: " << error->as_string() << "\n";
       return 1;
     }
-    if (watch > 0) out << "\033[2J\033[H";  // clear + home between frames
-    render_top_frame(out, connect, document, prev_requests, prev_seconds,
-                     now_seconds);
+    std::ostringstream frame;
+    if (fleet) {
+      const io::json::Value* body = document.find("body");
+      if (body == nullptr || !body->is_string()) {
+        err << "error: malformed fleet metrics reply\n";
+        return 1;
+      }
+      render_fleet_frame(frame, connect, body->as_string());
+    } else {
+      render_top_frame(frame, connect, document, prev_requests, prev_seconds,
+                       now_seconds);
+    }
+    if (watch > 0) {
+      // Repaint in place: clear once to own the screen, then cursor-home
+      // plus erase-to-end-of-line per row and erase-below for the rest —
+      // no full-screen clear between frames, so the display never
+      // flickers blank under a slow terminal.
+      if (first_frame) out << "\033[2J";
+      out << "\033[H";
+      std::istringstream rows(frame.str());
+      std::string row;
+      while (std::getline(rows, row)) out << row << "\033[K\n";
+      out << "\033[J";
+    } else {
+      out << frame.str();
+    }
+    first_frame = false;
     out.flush();
     if (watch <= 0) return 0;
-    const io::json::Value* role = document.find("role");
-    const io::json::Value* tier =
-        role != nullptr && role->is_string() ? document.find(
-                                                   role->as_string().c_str())
-                                             : nullptr;
-    prev_requests = stat_num(tier, "requests");
-    prev_seconds = now_seconds;
+    if (!fleet) {
+      const io::json::Value* role = document.find("role");
+      const io::json::Value* tier =
+          role != nullptr && role->is_string()
+              ? document.find(role->as_string().c_str())
+              : nullptr;
+      prev_requests = stat_num(tier, "requests");
+      prev_seconds = now_seconds;
+    }
     std::this_thread::sleep_for(std::chrono::duration<double>(watch));
   }
 }

@@ -313,10 +313,42 @@ SolveReport solve_local(const SolveRequest& request) {
   options.seed_trials =
       std::clamp<std::size_t>(request.trials, std::size_t{1}, std::size_t{8});
   phase.restart();
-  local::LocalSearchResult result = local::local_search_ebmf(m, options);
+  // Live progress: one frame when the bounds are known ("seed") and one per
+  // improving incumbent ("search"). No-ops when nobody attached a sink.
+  const std::uint64_t lower = report.lower_bound;
+  {
+    obs::ProgressFrame frame;
+    frame.lower_bound = lower;
+    frame.phase = "seed";
+    request.budget.publish_progress(std::move(frame));
+  }
+  const auto on_incumbent = [&](const Partition& incumbent, double seconds) {
+    obs::ProgressFrame frame;
+    frame.seconds = seconds;
+    frame.incumbent_depth = incumbent.size();
+    frame.lower_bound = lower;
+    frame.gap = incumbent.size() > lower ? incumbent.size() - lower : 0;
+    frame.phase = "search";
+    request.budget.publish_progress(std::move(frame));
+  };
+  local::LocalSearchResult result =
+      local::local_search_ebmf(m, options, on_incumbent);
   report.add_timing("search", phase.seconds());
   report.partition = std::move(result.partition);
   report.incumbent_depth = report.partition.size();
+  {
+    // Closing frame: watchers see the search retire with its final bounds
+    // even when the last incumbent landed long before the budget ran out.
+    obs::ProgressFrame frame;
+    frame.seconds = result.seconds;
+    frame.incumbent_depth = report.incumbent_depth;
+    frame.lower_bound = lower;
+    frame.gap = report.incumbent_depth > lower
+                    ? report.incumbent_depth - lower
+                    : 0;
+    frame.phase = "final";
+    request.budget.publish_progress(std::move(frame));
+  }
 
   const local::LocalSearchStats& stats = result.stats;
   report.add_telemetry("local.moves", stats.moves);

@@ -113,6 +113,18 @@ WireRequest parse_wire_request(const std::string& line) {
   }
   if (op == "metrics") {
     wire.op = WireOp::Metrics;
+    wire.scope = string_field(document, "scope", "");
+    return wire;
+  }
+  if (op == "watch") {
+    // Live-progress subscription: "id" names the in-flight request to
+    // follow (the correlation id its solve line carried).
+    wire.op = WireOp::Watch;
+    if (wire.id < 0) fail("'watch' needs the 'id' of an in-flight request");
+    return wire;
+  }
+  if (op == "events") {
+    wire.op = WireOp::Events;
     return wire;
   }
   if (op == "peer.hello" || op == "peer.lease" || op == "peer.sync") {
@@ -197,7 +209,7 @@ WireRequest parse_wire_request(const std::string& line) {
   }
   if (op != "solve")
     fail("field 'op' must be solve|stats|join|leave|heartbeat|put|trace|"
-         "traces|metrics|peer.hello|peer.lease|peer.sync");
+         "traces|metrics|watch|events|peer.hello|peer.lease|peer.sync");
 
   // Optional distributed-tracing context; absent on legacy requests.
   if (const json::Value* trace = document.find("trace")) {
@@ -315,13 +327,19 @@ std::string wire_request_json(const WireRequest& wire) {
   const engine::SolveRequest& request = wire.request;
   std::ostringstream out;
   if (wire.op == WireOp::Stats || wire.op == WireOp::Traces ||
-      wire.op == WireOp::Metrics) {
+      wire.op == WireOp::Metrics || wire.op == WireOp::Watch ||
+      wire.op == WireOp::Events) {
     const char* op = wire.op == WireOp::Stats    ? "stats"
                      : wire.op == WireOp::Traces ? "traces"
+                     : wire.op == WireOp::Watch  ? "watch"
+                     : wire.op == WireOp::Events ? "events"
                                                  : "metrics";
     out << "{";
     if (wire.id >= 0) out << "\"id\":" << wire.id << ",";
-    out << "\"op\":\"" << op << "\"}";
+    out << "\"op\":\"" << op << "\"";
+    if (wire.op == WireOp::Metrics && !wire.scope.empty())
+      out << ",\"scope\":\"" << json::escape(wire.scope) << "\"";
+    out << "}";
     return out.str();
   }
   if (wire.op == WireOp::Trace) {

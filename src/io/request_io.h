@@ -61,10 +61,16 @@ namespace ebmf::io {
 /// `{"op":"peer.sync"}` the leaseholder's state replication carrying the
 /// member table, epoch, and promoted hot-key set — or one of
 /// the observability verbs: `{"op":"trace","id":"<32 hex>"}` returns one
-/// completed trace's span tree, `{"op":"traces"}` lists recent traces, and
-/// `{"op":"metrics"}` returns the Prometheus text exposition.
+/// completed trace's span tree, `{"op":"traces"}` lists recent traces,
+/// `{"op":"metrics"}` returns the Prometheus text exposition (a router
+/// additionally accepts `"scope":"fleet"` and answers with the federated
+/// exposition of every backend and peer — obs/federate.h),
+/// `{"op":"watch","id":N}` subscribes the connection to the live progress
+/// frames of the in-flight request with that correlation id (one JSONL
+/// frame per publish, then a final `{"done":true}` line), and
+/// `{"op":"events"}` snapshots the flight recorder (obs/events.h).
 enum class WireOp { Solve, Stats, Join, Leave, Heartbeat, Put, Trace, Traces,
-                    Metrics, PeerHello, PeerLease, PeerSync };
+                    Metrics, Watch, Events, PeerHello, PeerLease, PeerSync };
 
 /// One member entry in a `peer.sync` snapshot (kept local to the wire
 /// layer; the router converts to/from cluster::Member).
@@ -105,6 +111,11 @@ struct WireRequest {
   bool has_trace = false;
   /// Trace query (`op == Trace`): the requested 32-hex trace id.
   std::string trace_id;
+  /// Metrics: the requested scope — "" (the instance's own registry, the
+  /// default) or "fleet" (router only: federate every backend + peer).
+  /// Anything else is rejected by the serving side, not the parser, so the
+  /// error can say which scopes *this* instance supports.
+  std::string scope;
   /// Peer verbs: the sender's lease term (hello/lease) or the term the
   /// sync was replicated under.
   std::uint64_t term = 0;

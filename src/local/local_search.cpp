@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "core/greedy_rect.h"
+#include "obs/events.h"
 #include "support/contracts.h"
 #include "support/rng.h"
 #include "support/stopwatch.h"
@@ -167,6 +168,7 @@ LocalSearchResult local_search_ebmf(const BinaryMatrix& m,
     best = cand;
     stats.incumbents.push_back(
         Incumbent{best.size(), stats.moves, clock.seconds()});
+    obs::emit_event(obs::EventCode::LocalIncumbent, best.size(), stats.moves);
     if (on_incumbent) on_incumbent(best, clock.seconds());
   };
   consider_best(cover);
@@ -192,12 +194,15 @@ LocalSearchResult local_search_ebmf(const BinaryMatrix& m,
       cover = greedy_rectangles_pass(m, rng.permutation(m.rows()));
       stats.merges += merge_pass(cover);
       stats.relocations += relocation_pass(cover);
+      obs::emit_event(obs::EventCode::LocalPerturb, cover.size(), stall);
       consider_best(cover);
       continue;
     }
     if (stall != 0 && stall % stall_limit == 0 &&
-        split_perturbation(cover, m.rows(), rng))
+        split_perturbation(cover, m.rows(), rng)) {
       ++stats.splits;
+      obs::emit_event(obs::EventCode::LocalPerturb, cover.size(), stall);
+    }
 
     // ---- one destroy-and-repair move --------------------------------
     ++stats.moves;

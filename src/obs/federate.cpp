@@ -1,0 +1,275 @@
+/// \file federate.cpp
+/// \brief Prometheus exposition parsing and the fleet merge.
+
+#include "obs/federate.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "obs/metrics.h"
+
+namespace ebmf::obs {
+
+namespace {
+
+enum class Kind { Counter, Gauge, Histogram, Unknown };
+
+/// One instance's parsed series (histograms keep their cumulative pairs —
+/// re-emitted verbatim under the instance label, de-cumulated for the
+/// fleet merge).
+struct Parsed {
+  Kind kind = Kind::Unknown;
+  long long value = 0;  ///< Counter/gauge sample.
+  bool has_value = false;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> cum;  ///< (le, cum).
+  unsigned long long sum = 0;
+  unsigned long long count = 0;
+};
+
+/// Prometheus label-value escaping (backslash, quote, newline).
+std::string label_escape(const std::string& raw) {
+  std::string out;
+  for (const char c : raw) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Parse one exposition body into name → series. The grammar is the one
+/// prometheus_text() emits (no labels); unrecognised lines are skipped.
+std::map<std::string, Parsed> parse_exposition(const std::string& body) {
+  std::map<std::string, Parsed> out;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE <name> <kind>"
+      if (line.rfind("# TYPE ", 0) != 0) continue;
+      const std::size_t name_start = 7;
+      const std::size_t name_end = line.find(' ', name_start);
+      if (name_end == std::string::npos) continue;
+      const std::string name = line.substr(name_start, name_end - name_start);
+      const std::string kind = line.substr(name_end + 1);
+      Parsed& series = out[name];
+      if (kind == "counter") {
+        series.kind = Kind::Counter;
+      } else if (kind == "gauge") {
+        series.kind = Kind::Gauge;
+      } else if (kind == "histogram") {
+        series.kind = Kind::Histogram;
+      }
+      continue;
+    }
+    // Sample line: <name>[{le="..."}] <value>
+    const std::size_t brace = line.find('{');
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) continue;
+    if (brace != std::string::npos && brace < space) {
+      // Histogram bucket: <base>_bucket{le="<upper>"} <cumulative>
+      std::string name = line.substr(0, brace);
+      if (name.size() < 8 || name.compare(name.size() - 7, 7, "_bucket") != 0)
+        continue;
+      name.resize(name.size() - 7);
+      const std::size_t close = line.find('}', brace);
+      if (close == std::string::npos || close + 1 >= line.size()) continue;
+      const std::string labels = line.substr(brace + 1, close - brace - 1);
+      const char* value_text = line.c_str() + close + 1;
+      Parsed& series = out[name];
+      series.kind = Kind::Histogram;
+      if (labels.rfind("le=\"", 0) != 0) continue;
+      const std::string le = labels.substr(4, labels.size() > 5
+                                                  ? labels.size() - 5
+                                                  : 0);
+      if (le == "+Inf") continue;  // the _count line carries the total
+      char* end = nullptr;
+      const unsigned long long upper = std::strtoull(le.c_str(), &end, 10);
+      if (end == le.c_str()) continue;
+      const unsigned long long cum = std::strtoull(value_text, nullptr, 10);
+      series.cum.emplace_back(upper, cum);
+      continue;
+    }
+    std::string name = line.substr(0, space);
+    const char* value_text = line.c_str() + space + 1;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, "_sum") == 0) {
+      const std::string base = name.substr(0, name.size() - 4);
+      if (const auto it = out.find(base);
+          it != out.end() && it->second.kind == Kind::Histogram) {
+        it->second.sum = std::strtoull(value_text, nullptr, 10);
+        continue;
+      }
+    }
+    if (name.size() > 6 && name.compare(name.size() - 6, 6, "_count") == 0) {
+      const std::string base = name.substr(0, name.size() - 6);
+      if (const auto it = out.find(base);
+          it != out.end() && it->second.kind == Kind::Histogram) {
+        it->second.count = std::strtoull(value_text, nullptr, 10);
+        continue;
+      }
+    }
+    Parsed& series = out[name];
+    if (series.kind == Kind::Unknown) series.kind = Kind::Gauge;
+    series.value = std::strtoll(value_text, nullptr, 10);
+    series.has_value = true;
+  }
+  return out;
+}
+
+/// True when a gauge merges by max instead of sum (instantaneous
+/// ceilings — summing them across instances is meaningless).
+bool gauge_takes_max(const std::string& name) {
+  return name.find("max") != std::string::npos;
+}
+
+/// The fleet-merged view of one series name.
+struct Merged {
+  Kind kind = Kind::Unknown;
+  long long value = 0;
+  bool first = true;
+  /// Histogram: per-bucket-index counts on the local log-linear grid.
+  std::map<std::size_t, std::uint64_t> buckets;
+  unsigned long long sum = 0;
+  unsigned long long count = 0;
+};
+
+}  // namespace
+
+std::string federate_prometheus(
+    const std::vector<InstanceExposition>& instances) {
+  // Parse every instance, then merge. Instance order is preserved in the
+  // per-instance output lines; names are emitted sorted.
+  std::vector<std::map<std::string, Parsed>> parsed;
+  parsed.reserve(instances.size());
+  for (const auto& instance : instances) {
+    parsed.push_back(parse_exposition(instance.body));
+  }
+
+  std::map<std::string, Merged> merged;
+  for (const auto& series_map : parsed) {
+    for (const auto& [name, series] : series_map) {
+      Merged& m = merged[name];
+      if (m.kind == Kind::Unknown) m.kind = series.kind;
+      switch (series.kind) {
+        case Kind::Counter:
+          m.value += series.value;
+          break;
+        case Kind::Gauge:
+          if (gauge_takes_max(name)) {
+            m.value = m.first ? series.value : std::max(m.value, series.value);
+          } else {
+            m.value += series.value;
+          }
+          break;
+        case Kind::Histogram: {
+          // De-cumulate, then re-bucket every remote upper bound onto the
+          // local grid: emitting merged buckets in grid order is what
+          // keeps the cumulative `le` sequence monotone when instances
+          // populated different octave ranges.
+          std::uint64_t prev = 0;
+          std::uint64_t folded = 0;
+          for (const auto& [upper, cum] : series.cum) {
+            const std::uint64_t n = cum > prev ? cum - prev : 0;
+            prev = cum;
+            if (n != 0) m.buckets[Histogram::bucket_index(upper)] += n;
+            folded += n;
+          }
+          if (series.count > folded && !series.cum.empty()) {
+            // Defensive: samples past the last emitted bucket land in the
+            // top of the grid so count and buckets stay consistent.
+            m.buckets[Histogram::kBucketCount - 1] += series.count - folded;
+          }
+          m.sum += series.sum;
+          m.count += series.count;
+          break;
+        }
+        case Kind::Unknown:
+          break;
+      }
+      m.first = false;
+    }
+  }
+
+  std::string out;
+  char buf[128];
+  for (const auto& [name, m] : merged) {
+    switch (m.kind) {
+      case Kind::Counter:
+      case Kind::Gauge:
+        out += "# TYPE " + name +
+               (m.kind == Kind::Counter ? " counter\n" : " gauge\n");
+        std::snprintf(buf, sizeof buf, "{instance=\"fleet\"} %lld\n",
+                      m.value);
+        out += name + buf;
+        for (std::size_t i = 0; i < instances.size(); ++i) {
+          const auto it = parsed[i].find(name);
+          if (it == parsed[i].end() || !it->second.has_value) continue;
+          out += name + "{instance=\"" + label_escape(instances[i].instance) +
+                 "\"} ";
+          std::snprintf(buf, sizeof buf, "%lld\n", it->second.value);
+          out += buf;
+        }
+        break;
+      case Kind::Histogram: {
+        out += "# TYPE " + name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (const auto& [index, n] : m.buckets) {
+          cumulative += n;
+          std::snprintf(
+              buf, sizeof buf, "{instance=\"fleet\",le=\"%llu\"} %llu\n",
+              static_cast<unsigned long long>(Histogram::bucket_upper(index)),
+              static_cast<unsigned long long>(cumulative));
+          out += name + "_bucket" + buf;
+        }
+        std::snprintf(buf, sizeof buf, "{instance=\"fleet\",le=\"+Inf\"} %llu\n",
+                      m.count);
+        out += name + "_bucket" + buf;
+        std::snprintf(buf, sizeof buf, "{instance=\"fleet\"} %llu\n", m.sum);
+        out += name + "_sum" + buf;
+        std::snprintf(buf, sizeof buf, "{instance=\"fleet\"} %llu\n", m.count);
+        out += name + "_count" + buf;
+        for (std::size_t i = 0; i < instances.size(); ++i) {
+          const auto it = parsed[i].find(name);
+          if (it == parsed[i].end() || it->second.kind != Kind::Histogram)
+            continue;
+          const std::string label = label_escape(instances[i].instance);
+          for (const auto& [upper, cum] : it->second.cum) {
+            std::snprintf(buf, sizeof buf,
+                          "{instance=\"%s\",le=\"%llu\"} %llu\n",
+                          label.c_str(),
+                          static_cast<unsigned long long>(upper),
+                          static_cast<unsigned long long>(cum));
+            out += name + "_bucket" + buf;
+          }
+          std::snprintf(buf, sizeof buf,
+                        "{instance=\"%s\",le=\"+Inf\"} %llu\n", label.c_str(),
+                        it->second.count);
+          out += name + "_bucket" + buf;
+          std::snprintf(buf, sizeof buf, "{instance=\"%s\"} %llu\n",
+                        label.c_str(), it->second.sum);
+          out += name + "_sum" + buf;
+          std::snprintf(buf, sizeof buf, "{instance=\"%s\"} %llu\n",
+                        label.c_str(), it->second.count);
+          out += name + "_count" + buf;
+        }
+        break;
+      }
+      case Kind::Unknown:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ebmf::obs

@@ -1,0 +1,43 @@
+#pragma once
+/// \file federate.h
+/// \brief Fleet metrics federation (`ebmf::obs`): merge the Prometheus
+/// expositions of N instances into one scrape target.
+///
+/// The router answers `{"op":"metrics","scope":"fleet"}` by scraping its
+/// own registry plus every backend and peer router, then merging with the
+/// per-kind conventions:
+///
+///  * **counters** sum across instances;
+///  * **gauges** sum, except names containing `max`, which take the max
+///    (an instantaneous fleet ceiling, not a meaningful sum);
+///  * **histograms** add bucket-wise: every remote `le` bound is
+///    re-bucketed onto the local log-linear grid (Histogram::bucket_index),
+///    so the merged cumulative buckets are emitted in grid order and stay
+///    monotone even when the instances populated different octave ranges —
+///    fleet quantiles keep the same ≤3.2% relative error as a single
+///    instance's.
+///
+/// Every series appears labeled `instance="host:port"` per scraped
+/// instance plus once as the merged aggregate labeled `instance="fleet"`,
+/// all in one exposition — `sum by (...)` over the non-fleet labels equals
+/// the fleet line by construction.
+
+#include <string>
+#include <vector>
+
+namespace ebmf::obs {
+
+/// One instance's scrape: its wire endpoint (the `instance` label) and the
+/// Prometheus text body its `{"op":"metrics"}` verb returned.
+struct InstanceExposition {
+  std::string instance;  ///< "host:port".
+  std::string body;      ///< prometheus_text() output.
+};
+
+/// Merge per-instance expositions into one federated exposition (see file
+/// comment for the per-kind conventions). Unparseable lines are skipped;
+/// an empty input yields an empty exposition.
+[[nodiscard]] std::string federate_prometheus(
+    const std::vector<InstanceExposition>& instances);
+
+}  // namespace ebmf::obs

@@ -47,6 +47,21 @@ void Histogram::record(std::uint64_t value) noexcept {
   }
 }
 
+void Histogram::merge_from(const Histogram& other) noexcept {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  const std::uint64_t other_max = other.max();
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (other_max > seen &&
+         !max_.compare_exchange_weak(seen, other_max,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
 std::uint64_t Histogram::quantile(double q) const noexcept {
   const std::uint64_t total = count();
   if (total == 0) return 0;
@@ -241,10 +256,13 @@ std::string prometheus_text(const Registry& registry) {
     const std::string name = prometheus_name(s.name);
     switch (s.kind) {
       case SeriesSnapshot::Kind::Counter:
-        out += "# TYPE " + name + " counter\n";
+        // Counters carry the conventional `_total` suffix, so dashboards
+        // (and the fleet federation sum) see e.g.
+        // `ebmf_server_requests_total`.
+        out += "# TYPE " + name + "_total counter\n";
         std::snprintf(buf, sizeof buf, " %lld\n",
                       static_cast<long long>(s.value));
-        out += name + buf;
+        out += name + "_total" + buf;
         break;
       case SeriesSnapshot::Kind::Gauge:
         out += "# TYPE " + name + " gauge\n";

@@ -104,6 +104,15 @@ class Histogram {
   /// The result is clamped to max() so p100 is exact.
   [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
 
+  /// Fold another histogram into this one: buckets, count, and sum add;
+  /// max takes the larger. Both histograms share the fixed log-linear
+  /// layout, so bucket-wise addition is exact regardless of which octaves
+  /// each populated — the cumulative `le` exposition of the merged result
+  /// stays monotone (the federation merge and its property test rely on
+  /// this). Concurrent record()s on either side are tolerated (relaxed
+  /// reads), with the usual point-in-time fuzziness.
+  void merge_from(const Histogram& other) noexcept;
+
   /// Bucket index for `value` (exposed for tests and exposition).
   [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) noexcept;
   /// Inclusive upper bound of bucket `index`.

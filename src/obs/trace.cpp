@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "io/json.h"
+#include "support/logrotate.h"
 
 namespace ebmf::obs {
 
@@ -161,39 +162,28 @@ struct TraceStore::Impl {
     std::vector<Span> spans;
   };
   std::vector<Entry> entries;  // oldest first
-  std::FILE* file = nullptr;
+  RotatingFile file;  ///< Size-rotated --trace-file sink (keeps path.1).
 };
 
 TraceStore::TraceStore(std::size_t capacity) : impl_(new Impl) {
   impl_->capacity = capacity == 0 ? 1 : capacity;
 }
 
-TraceStore::~TraceStore() {
-  if (impl_->file != nullptr) std::fclose(impl_->file);
-  delete impl_;
-}
+TraceStore::~TraceStore() { delete impl_; }
 
 bool TraceStore::set_file(const std::string& path, std::string* error) {
-  std::FILE* f = std::fopen(path.c_str(), "a");
-  if (f == nullptr) {
-    if (error != nullptr) *error = "cannot open trace file: " + path;
-    return false;
-  }
-  const std::lock_guard<std::mutex> lock(impl_->mutex);
-  if (impl_->file != nullptr) std::fclose(impl_->file);
-  impl_->file = f;
-  return true;
+  return impl_->file.open(path, error);
 }
+
+void TraceStore::flush() { impl_->file.flush(); }
 
 void TraceStore::add(std::uint64_t hi, std::uint64_t lo,
                      std::vector<Span> spans) {
   if ((hi | lo) == 0 || spans.empty()) return;
   const std::lock_guard<std::mutex> lock(impl_->mutex);
-  if (impl_->file != nullptr) {
-    const std::string line = "{\"trace\":\"" + trace_id_hex(hi, lo) +
-                             "\",\"spans\":" + spans_json(spans) + "}\n";
-    std::fwrite(line.data(), 1, line.size(), impl_->file);
-    std::fflush(impl_->file);
+  if (impl_->file.is_open()) {
+    impl_->file.write_line("{\"trace\":\"" + trace_id_hex(hi, lo) +
+                           "\",\"spans\":" + spans_json(spans) + "}");
   }
   for (auto& entry : impl_->entries) {
     if (entry.hi == hi && entry.lo == lo) {

@@ -110,7 +110,12 @@ class TraceStore {
 
   /// Append completed traces to `path` as JSON lines
   /// (`{"trace":"<id>","spans":[...]}`). False + `error` if it can't open.
+  /// The sink is size-rotated (`path` → `path.1`, two generations kept —
+  /// support/logrotate.h), so a long-lived server's trace file is bounded.
   bool set_file(const std::string& path, std::string* error);
+
+  /// Flush the file sink (drain hook); no-op without one.
+  void flush();
 
   /// Add spans under a trace id: merges into the existing entry or starts a
   /// new one, evicting the oldest trace past capacity.

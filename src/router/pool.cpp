@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "service/net.h"
 #include "support/rng.h"
@@ -219,6 +220,9 @@ struct BackendPool::Impl {
         conn.reader_done.store(false, std::memory_order_relaxed);
         conn.open.store(true, std::memory_order_release);
       }
+      obs::emit_event(obs::EventCode::PoolReconnect,
+                      std::hash<std::string>{}(endpoint_text),
+                      stat_failures.load(std::memory_order_relaxed));
       conn.reader = std::thread([this, &conn]() { reader_loop(conn); });
     }
   }

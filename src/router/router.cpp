@@ -15,6 +15,7 @@
 #include <csignal>
 #include <cstdio>
 #include <ctime>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <ostream>
@@ -33,12 +34,15 @@
 #include "core/partition.h"
 #include "io/json.h"
 #include "io/request_io.h"
+#include "obs/events.h"
+#include "obs/federate.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "router/pool.h"
 #include "router/ring.h"
 #include "service/canon.h"
 #include "service/net.h"
+#include "support/logrotate.h"
 
 namespace ebmf::router {
 
@@ -68,6 +72,9 @@ struct RouteTask {
   // -- forwarding state --------------------------------------------------
   bool forwarded = false;
   bool passthrough = false;  ///< Masked request: reply forwarded verbatim.
+  /// The backend's `"events"` flight-recorder splice (raw JSON array),
+  /// preserved across the lift's re-render of the reply.
+  std::string backend_events;
   std::uint64_t route_key = 0;
   std::uint64_t router_id = 0;
   std::string backend_line;
@@ -96,6 +103,11 @@ struct RouteTask {
   bool promoted = false;      ///< The key is in the replicated set.
   bool promoted_now = false;  ///< This request crossed the threshold.
   std::uint64_t hot_hits = 0;
+
+  // -- watch relay -------------------------------------------------------
+  /// `{"op":"watch"}`: the reply loop relays the named in-flight solve's
+  /// progress stream from its serving backend instead of answering inline.
+  bool watch = false;
 
   // -- tracing -----------------------------------------------------------
   /// Set when the request carries a trace context (or --trace assigns one):
@@ -140,15 +152,11 @@ struct Router::Impl {
         std::fprintf(stderr, "trace-file: %s\n", error.c_str());
     }
     if (!options.slow_log.empty()) {
-      slow_file = std::fopen(options.slow_log.c_str(), "a");
-      if (slow_file == nullptr)
-        std::fprintf(stderr, "slow-log: cannot open %s, logging to stderr\n",
-                     options.slow_log.c_str());
+      std::string error;
+      if (!slow_file.open(options.slow_log, &error))
+        std::fprintf(stderr, "slow-log: %s, logging to stderr\n",
+                     error.c_str());
     }
-  }
-
-  ~Impl() {
-    if (slow_file != nullptr) std::fclose(slow_file);
   }
 
   RouterOptions options;
@@ -157,9 +165,21 @@ struct Router::Impl {
   /// Completed traces this router assembled (op:trace/op:traces): its own
   /// spans plus the backend spans folded out of each reply.
   obs::TraceStore traces{128};
-  /// Slow-request sink (--slow-log); stderr when null and --slow-ms is on.
-  std::FILE* slow_file = nullptr;
+  /// Slow-request sink (--slow-log, size-rotated); stderr when closed and
+  /// --slow-ms is on.
+  RotatingFile slow_file;
   std::mutex slow_mutex;
+
+  /// Where each id-carrying in-flight solve currently lives: the client's
+  /// id → (serving backend endpoint, the router-assigned forwarded id).
+  /// `{"op":"watch","id":N}` resolves N here and relays the stream from
+  /// that backend; failovers re-point the entry mid-flight.
+  struct WatchRoute {
+    std::string endpoint;
+    std::uint64_t router_id = 0;
+  };
+  mutable std::mutex watch_mutex;
+  std::map<std::int64_t, WatchRoute> watch_routes;
 
   // Registry series, resolved once (obs/metrics.h).
   obs::Histogram* obs_request =
@@ -288,8 +308,12 @@ struct Router::Impl {
                                        const std::string& line);
   void sync_loop();
   std::string stats_json(std::int64_t id) const;
+  std::string fleet_metrics_json(std::int64_t id);
   void log_slow(const RouteTask& task, double elapsed_ms,
                 const std::string& trace_hex);
+  void register_watch(const RouteTask& task);
+  void unregister_watch(const RouteTask& task);
+  void handle_watch(ClientConn& conn, std::int64_t id);
   void prepare_task(const std::string& line, RouteTask& task);
   bool dispatch(RouteTask& task);
   std::string await_reply(RouteTask& task);
@@ -860,11 +884,85 @@ void Router::Impl::log_slow(const RouteTask& task, double elapsed_ms,
     }
     line << "}";
   }
+  // The flight recorder's recent tail rides along: what the router (pool
+  // reconnects, waves of failovers) was doing while this request crawled.
+  line << ",\"events\":" << obs::events_json(obs::snapshot_events(32));
   line << "}";
+  if (slow_file.is_open()) {
+    slow_file.write_line(line.str());
+    return;
+  }
   std::lock_guard<std::mutex> lock(slow_mutex);
-  std::FILE* sink = slow_file != nullptr ? slow_file : stderr;
-  std::fprintf(sink, "%s\n", line.str().c_str());
-  std::fflush(sink);
+  std::fprintf(stderr, "%s\n", line.str().c_str());
+  std::fflush(stderr);
+}
+
+/// `{"op":"metrics","scope":"fleet"}`: scrape every backend and peer
+/// router (short-lived dials, 2s timeouts each), merge the expositions
+/// with this router's own registry, and answer with one fleet-wide body.
+/// Down instances are skipped — federation reports who answered.
+std::string Router::Impl::fleet_metrics_json(std::int64_t id) {
+  std::vector<obs::InstanceExposition> instances;
+  instances.push_back(obs::InstanceExposition{
+      self_endpoint.empty() ? "router" : self_endpoint,
+      obs::prometheus_text(obs::default_registry())});
+  // Backends first (endpoint-sorted), then peers, so the per-instance
+  // series order in the exposition is stable across scrapes.
+  std::vector<std::string> targets;
+  for (const BackendSnapshot& backend : backend_snapshot())
+    targets.push_back(backend.endpoint);
+  for (const std::string& peer : options.peers) targets.push_back(peer);
+  for (const std::string& endpoint : targets) {
+    const std::optional<std::string> reply =
+        peer_call(endpoint, "{\"op\":\"metrics\"}");
+    if (!reply) continue;
+    try {
+      const io::json::Value document = io::json::Value::parse(*reply);
+      const io::json::Value* body = document.find("body");
+      if (body == nullptr || !body->is_string()) continue;
+      instances.push_back(
+          obs::InstanceExposition{endpoint, body->as_string()});
+    } catch (const std::exception&) {
+    }
+  }
+  std::ostringstream reply;
+  reply << "{";
+  if (id >= 0) reply << "\"id\":" << id << ",";
+  reply << "\"metrics\":true,\"scope\":\"fleet\",\"instances\":"
+        << instances.size()
+        << ",\"content_type\":\"text/plain; version=0.0.4\",\"body\":\""
+        << io::json::escape(obs::federate_prometheus(instances)) << "\"}";
+  return reply.str();
+}
+
+/// Pull the raw `"events":[...]` array out of a backend reply so the
+/// lifted re-render can carry the backend's flight-recorder snapshot
+/// verbatim. Empty when the reply has none. (A top-level key only —
+/// string values have their quotes escaped, so the needle can't match
+/// inside a label.)
+static std::string raw_events_array(const std::string& raw) {
+  const std::size_t key = raw.find("\"events\":[");
+  if (key == std::string::npos) return std::string();
+  const std::size_t open = key + 9;  // the '['
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = open; i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (in_string) {
+      if (c == '\\')
+        ++i;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"')
+      in_string = true;
+    else if (c == '[')
+      ++depth;
+    else if (c == ']' && --depth == 0)
+      return raw.substr(open, i - open + 1);
+  }
+  return std::string();
 }
 
 /// Decorate a canonical-space report for one client: lift the partition
@@ -894,8 +992,15 @@ std::string Router::Impl::render_report(RouteTask& task,
                          static_cast<std::uint64_t>(task.failovers));
   if (task.promoted_now)
     report.add_telemetry("cluster.promote", task.hot_hits);
-  return io::wire_response_json(report, task.include_partition,
-                                task.client_id);
+  std::string reply = io::wire_response_json(report, task.include_partition,
+                                             task.client_id);
+  if (!task.backend_events.empty() && !reply.empty() && reply.back() == '}') {
+    // A budget-cut backend attached its flight-recorder tail; the lift
+    // re-rendered the reply, so splice the snapshot back in.
+    reply.pop_back();
+    reply += ",\"events\":" + task.backend_events + "}";
+  }
+  return reply;
 }
 
 /// Fan a promoted key's canonical-space result to its replica set as
@@ -936,6 +1041,110 @@ void Router::Impl::replicate(RouteTask& task,
   }
 }
 
+/// Point the watch registry's entry for this task's client id at the
+/// backend currently serving it. Called at dispatch and after every
+/// failover resubmit, so a watcher landing mid-failover follows the solve.
+void Router::Impl::register_watch(const RouteTask& task) {
+  if (task.client_id < 0 || !task.forwarded || task.preference.empty())
+    return;
+  std::lock_guard<std::mutex> lock(watch_mutex);
+  watch_routes[task.client_id] = WatchRoute{
+      task.preference[task.preference_cursor], task.router_id};
+}
+
+/// Drop the registry entry once the task retires — but only our own entry:
+/// a second solve reusing the same client id on another connection may
+/// have replaced it mid-flight.
+void Router::Impl::unregister_watch(const RouteTask& task) {
+  if (task.client_id < 0) return;
+  std::lock_guard<std::mutex> lock(watch_mutex);
+  const auto it = watch_routes.find(task.client_id);
+  if (it != watch_routes.end() && it->second.router_id == task.router_id)
+    watch_routes.erase(it);
+}
+
+/// `{"op":"watch","id":N}` at the router: resolve N to the serving backend,
+/// dial it on a dedicated socket (watch streams block — they must not ride
+/// the pooled pipelined connections), forward the watch under the
+/// router-assigned id, and relay every frame back with the client's id
+/// restored. Ends on the backend's done line, backend EOF, client hangup,
+/// or drain.
+void Router::Impl::handle_watch(ClientConn& conn, std::int64_t id) {
+  WatchRoute route;
+  {
+    std::lock_guard<std::mutex> lock(watch_mutex);
+    const auto it = watch_routes.find(id);
+    if (it == watch_routes.end()) {
+      // Mirror the backend's wording: clients retry the same error string
+      // whether they watch through a router or directly.
+      write_line(conn.fd,
+                 error_json("watch: no in-flight request with id " +
+                                std::to_string(id),
+                            "", id));
+      return;
+    }
+    route = it->second;
+  }
+  std::string host;
+  std::uint16_t port = 0;
+  int fd = -1;
+  if (net::parse_endpoint(route.endpoint, host, port)) {
+    try {
+      fd = net::tcp_connect(host, port);
+    } catch (const std::exception&) {
+    }
+  }
+  if (fd < 0) {
+    write_line(conn.fd, error_json("watch: backend '" + route.endpoint +
+                                       "' unreachable",
+                                   "", id));
+    return;
+  }
+  if (!write_line(fd, "{\"op\":\"watch\",\"id\":" +
+                          std::to_string(route.router_id) + "}")) {
+    ::close(fd);
+    write_line(conn.fd, error_json("watch: backend '" + route.endpoint +
+                                       "' unreachable",
+                                   "", id));
+    return;
+  }
+  // Every backend line (frames, the done line, errors) leads with the
+  // forwarded id; swap it for the id the client knows.
+  const std::string from = "{\"id\":" + std::to_string(route.router_id);
+  const std::string to = "{\"id\":" + std::to_string(id);
+  timeval nap{0, 200 * 1000};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &nap, sizeof nap);
+  net::LineBuffer buffer;
+  char chunk[8192];
+  bool done = false;
+  while (!done && !stopping.load(std::memory_order_relaxed)) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Idle: poll the watcher between reads — a client that hung up
+      // mid-solve must release this thread (and the backend's) promptly.
+      char probe = 0;
+      const ssize_t p = ::recv(conn.fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+      if (p == 0 || (p < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR))
+        break;
+      continue;
+    }
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::string line;
+    while (buffer.pop(line)) {
+      if (line.rfind(from, 0) == 0) line = to + line.substr(from.size());
+      if (!write_line(conn.fd, line) ||
+          line.find("\"done\":true") != std::string::npos) {
+        done = true;
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
 /// Parse one client line and decide its path: immediate reply, passthrough
 /// forward, or canonical forward. Admission happens here, dispatch later.
 void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
@@ -958,6 +1167,19 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
     return;
   }
   if (wire.op == io::WireOp::Metrics) {
+    if (wire.scope == "fleet") {
+      task.immediate = fleet_metrics_json(wire.id);
+      return;
+    }
+    if (!wire.scope.empty() && wire.scope != "self" &&
+        wire.scope != "local") {
+      task.immediate =
+          error_json("field 'scope' must be self|local|fleet (got '" +
+                         wire.scope + "')",
+                     "", wire.id);
+      task.immediate_is_error = true;
+      return;
+    }
     std::ostringstream reply;
     reply << "{";
     if (wire.id >= 0) reply << "\"id\":" << wire.id << ",";
@@ -966,6 +1188,21 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
           << io::json::escape(obs::prometheus_text(obs::default_registry()))
           << "\"}";
     task.immediate = reply.str();
+    return;
+  }
+  if (wire.op == io::WireOp::Events) {
+    // The router's own flight recorder: pool reconnects and whatever else
+    // this process's rings hold, merged and tick-ordered.
+    std::ostringstream reply;
+    reply << "{";
+    if (wire.id >= 0) reply << "\"id\":" << wire.id << ",";
+    reply << "\"events\":" << obs::events_json(obs::snapshot_events()) << "}";
+    task.immediate = reply.str();
+    return;
+  }
+  if (wire.op == io::WireOp::Watch) {
+    // Relayed from the reply loop (it owns the client fd for streaming).
+    task.watch = true;
     return;
   }
   if (wire.op == io::WireOp::Trace) {
@@ -1150,6 +1387,7 @@ bool Router::Impl::dispatch(RouteTask& task) {
         obs_failovers->add(1);
       }
       task.forwarded = true;
+      register_watch(task);
       return true;
     }
   }
@@ -1213,6 +1451,7 @@ std::string Router::Impl::await_reply(RouteTask& task) {
         ++task.failovers;
         stat_failovers.fetch_add(1, std::memory_order_relaxed);
         obs_failovers->add(1);
+        register_watch(task);
         resubmitted = true;
         break;
       }
@@ -1261,6 +1500,7 @@ std::string Router::Impl::finalize_reply(RouteTask& task,
     const io::json::Value document = io::json::Value::parse(raw);
     report = io::parse_wire_response(document, task.canonical.pattern.rows(),
                                      task.canonical.pattern.cols());
+    task.backend_events = raw_events_array(raw);
     // Fold the backend's spans into this request's recorder: they already
     // parent under the propagated dispatch span id, so the assembled tree
     // crosses the process boundary without fixups.
@@ -1372,6 +1612,13 @@ bool Router::Impl::process_batch(ClientConn& conn,
   bool client_alive = true;
   for (RouteTask& task : tasks) {
     if (task.skip) continue;
+    if (task.watch) {
+      // Streams on this connection until the watched solve retires;
+      // watchers use a dedicated connection, so blocking the batch here
+      // is the intended shape.
+      if (client_alive) handle_watch(conn, task.client_id);
+      continue;
+    }
     std::string reply;
     bool is_error = false;
     if (!task.immediate.empty()) {
@@ -1383,6 +1630,7 @@ bool Router::Impl::process_batch(ClientConn& conn,
         stat_requests.fetch_add(1, std::memory_order_relaxed);
     } else {
       reply = finalize_reply(task, await_reply(task));
+      unregister_watch(task);
       is_error = is_error_reply(reply);
     }
 
@@ -1639,6 +1887,10 @@ void Router::stop() {
   }
   for (const auto& pool : snapshot) pool->shutdown();
   impl.listener.close();
+  // Drain the observability sinks: the tail of the slow log and trace file
+  // must survive the SIGTERM that triggered this stop.
+  impl.slow_file.flush();
+  impl.traces.flush();
   impl.running = false;
 }
 

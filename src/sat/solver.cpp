@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 
 namespace ebmf::sat {
@@ -510,6 +511,7 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions,
     conflicts_used += static_cast<std::int64_t>(stats_.conflicts - before);
     if (result != SolveResult::Unknown) break;
     ++stats_.restarts;
+    obs::emit_event(obs::EventCode::SatRestart, restart, stats_.conflicts);
     cancel_until(0);
     if (budget.exhausted() ||
         (budget.max_conflicts >= 0 && conflicts_used >= budget.max_conflicts))
@@ -531,6 +533,9 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions,
     conflicts->add(stats_.conflicts - conflicts_before);
     decisions->add(stats_.decisions - decisions_before);
     solves->add();
+    obs::emit_event(obs::EventCode::SatConflicts,
+                    stats_.conflicts - conflicts_before,
+                    stats_.propagations - props_before);
   }
   return result;
 }
@@ -544,6 +549,7 @@ void Solver::reduce_db() {
     return arena_.activity(a) > arena_.activity(b);
   });
   const std::size_t keep_target = learnts_.size() / 2;
+  const std::uint64_t deleted_before = stats_.deleted_clauses;
   std::vector<CRef> kept;
   kept.reserve(learnts_.size());
   for (std::size_t i = 0; i < learnts_.size(); ++i) {
@@ -562,6 +568,8 @@ void Solver::reduce_db() {
   }
   learnts_ = std::move(kept);
   max_learnts_ *= 1.15;
+  obs::emit_event(obs::EventCode::SatReduceDb,
+                  stats_.deleted_clauses - deleted_before, learnts_.size());
   garbage_collect();
 }
 
@@ -570,6 +578,7 @@ void Solver::reduce_db() {
 /// deleted), and the watch lists (rebuilt from scratch, which also reclaims
 /// their lazily-dropped entries).
 void Solver::garbage_collect() {
+  const std::uint64_t bytes_before = arena_.bytes();
   arena_.compact();
   for (CRef& c : learnts_) c = arena_.forward(c);
   for (std::size_t v = 0; v < reason_.size(); ++v) {
@@ -578,6 +587,7 @@ void Solver::garbage_collect() {
   }
   arena_.drop_forwarding();
   ++stats_.arena_gcs;
+  obs::emit_event(obs::EventCode::SatArenaGc, bytes_before, arena_.bytes());
   rebuild_watches();
 }
 

@@ -15,6 +15,7 @@
 
 #include "io/json.h"
 #include "io/request_io.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 
 namespace ebmf::cache {
@@ -111,14 +112,18 @@ struct ResultCache::Impl {
   /// Drop LRU entries until the shard fits its budget (caller holds lock).
   void evict_over_budget(Shard& shard) {
     const std::size_t budget = shard_budget();
+    std::size_t freed = 0;
     while (shard.bytes > budget && shard.lru.size() > 1) {
       const Entry& victim = shard.lru.back();
       shard.bytes -= victim.bytes;
+      freed += victim.bytes;
       shard.index.erase(victim.key);
       shard.lru.pop_back();
       evictions.fetch_add(1, std::memory_order_relaxed);
       obs_evictions->add();
     }
+    if (freed != 0)
+      obs::emit_event(obs::EventCode::CacheEvict, freed, shard.lru.size());
   }
 };
 

@@ -23,6 +23,8 @@
 #include <cstring>
 #include <ctime>
 #include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <ostream>
@@ -35,10 +37,13 @@
 #include "core/partition.h"
 #include "io/json.h"
 #include "io/request_io.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "service/canon.h"
 #include "service/net.h"
+#include "support/logrotate.h"
 
 namespace ebmf::service {
 
@@ -75,15 +80,11 @@ struct Server::Impl {
         std::fprintf(stderr, "trace-file: %s\n", error.c_str());
     }
     if (!options.slow_log.empty()) {
-      slow_file = std::fopen(options.slow_log.c_str(), "a");
-      if (slow_file == nullptr)
-        std::fprintf(stderr, "slow-log: cannot open %s, logging to stderr\n",
-                     options.slow_log.c_str());
+      std::string error;
+      if (!slow_file.open(options.slow_log, &error))
+        std::fprintf(stderr, "slow-log: %s, logging to stderr\n",
+                     error.c_str());
     }
-  }
-
-  ~Impl() {
-    if (slow_file != nullptr) std::fclose(slow_file);
   }
 
   ServerOptions options;
@@ -91,9 +92,24 @@ struct Server::Impl {
 
   /// Completed traces of requests this server handled (op:trace/op:traces).
   obs::TraceStore traces{128};
-  /// Slow-request sink (--slow-log); stderr when null and --slow-ms is on.
-  std::FILE* slow_file = nullptr;
+  /// Slow-request sink (--slow-log), size-rotated (`path` → `path.1`, two
+  /// generations kept); stderr when closed and --slow-ms is on.
+  RotatingFile slow_file;
   std::mutex slow_mutex;
+
+  /// One in-flight solve visible to `{"op":"watch"}` and the stats panel.
+  struct InflightEntry {
+    obs::ProgressSinkPtr sink;
+    std::string strategy;
+    std::string label;
+    std::uint64_t start_us = 0;
+  };
+  /// Wire id → in-flight entry. Only id-carrying solve requests register
+  /// (an id is how a watcher names the solve); entries unregister — and
+  /// their sink finishes, releasing every watcher — when the solve's
+  /// reply is built.
+  mutable std::mutex inflight_mutex;
+  std::map<std::int64_t, InflightEntry> inflight_watch;
 
   // Registry series, resolved once (obs/metrics.h).
   obs::Histogram* obs_request =
@@ -166,6 +182,7 @@ struct Server::Impl {
 
   std::string stats_json(std::int64_t id) const;
   std::string handle_put(const io::WireRequest& wire);
+  void handle_watch(Connection& conn, std::int64_t id);
   void log_slow(const engine::SolveReport& report, double elapsed_ms,
                 const std::string& trace_id);
   std::string advertised_endpoint() const;
@@ -209,9 +226,124 @@ std::string Server::Impl::stats_json(std::int64_t id) const {
   } else {
     out << ",\"cache\":null";
   }
+  // The in-flight requests panel (ebmf top): one entry per watchable solve
+  // with its live incumbent/bound bracket from the progress sink.
+  out << ",\"inflight_requests\":[";
+  {
+    const std::lock_guard<std::mutex> lock(inflight_mutex);
+    bool first = true;
+    const std::uint64_t now_us = obs::steady_micros();
+    for (const auto& [wid, entry] : inflight_watch) {
+      if (!first) out << ",";
+      first = false;
+      const obs::ProgressFrame last = entry.sink->last();
+      out << "{\"id\":" << wid << ",\"strategy\":\""
+          << io::json::escape(entry.strategy) << "\"";
+      if (!entry.label.empty())
+        out << ",\"label\":\"" << io::json::escape(entry.label) << "\"";
+      out << ",\"elapsed_ms\":"
+          << (now_us > entry.start_us ? (now_us - entry.start_us) / 1000 : 0)
+          << ",\"incumbent_depth\":" << last.incumbent_depth
+          << ",\"lower_bound\":" << last.lower_bound
+          << ",\"gap\":" << last.gap << "}";
+    }
+  }
+  out << "]";
   out << ",\"metrics\":" << obs::metrics_json(obs::default_registry());
   out << "}";
   return out.str();
+}
+
+namespace {
+
+/// Write one watch-stream line without ever blocking the writer: frames a
+/// slow subscriber can't absorb are dropped (true), a dead socket returns
+/// false so the caller can retire the subscription.
+bool write_watch_line(int fd, const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  const ssize_t n = ::send(fd, framed.data(), framed.size(),
+                           MSG_DONTWAIT | MSG_NOSIGNAL);
+  if (n == static_cast<ssize_t>(framed.size())) return true;
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+  // A partial write would tear the JSONL framing; treat it (and every hard
+  // error) as a lost subscriber — watch is diagnostics, not data plane.
+  return false;
+}
+
+std::string watch_frame_line(std::int64_t id, const obs::ProgressFrame& f) {
+  std::string line = obs::progress_frame_json(f);
+  if (id >= 0 && !line.empty() && line.front() == '{')
+    line = "{\"id\":" + std::to_string(id) + "," + line.substr(1);
+  return line;
+}
+
+}  // namespace
+
+/// `{"op":"watch","id":N}`: stream the named in-flight solve's progress
+/// frames to this connection as JSONL, then a final `{"done":true}` line
+/// when the solve retires. Blocks this connection's reader thread (watchers
+/// use a dedicated connection); the publishing solver is never blocked —
+/// frames flow through a MSG_DONTWAIT listener that drops on backpressure
+/// and unsubscribes itself on a dead socket.
+void Server::Impl::handle_watch(Connection& conn, std::int64_t id) {
+  obs::ProgressSinkPtr sink;
+  {
+    const std::lock_guard<std::mutex> lock(inflight_mutex);
+    const auto it = inflight_watch.find(id);
+    if (it != inflight_watch.end()) sink = it->second.sink;
+  }
+  if (!sink) {
+    write_line(conn.fd,
+               error_json("watch: no in-flight request with id " +
+                              std::to_string(id),
+                          "", id));
+    return;
+  }
+  const int fd = conn.fd;
+  auto dead = std::make_shared<std::atomic<bool>>(false);
+  // Replay the retained history first, so a late subscriber still sees the
+  // whole trajectory; the live subscription then filters to newer frames.
+  std::uint64_t last_seq = 0;
+  for (const obs::ProgressFrame& frame : sink->frames()) {
+    last_seq = frame.seq;
+    if (!write_watch_line(fd, watch_frame_line(id, frame))) {
+      dead->store(true, std::memory_order_relaxed);
+      break;
+    }
+  }
+  std::uint64_t token = 0;
+  if (!dead->load(std::memory_order_relaxed)) {
+    token = sink->subscribe(
+        [fd, dead, last_seq, id](const obs::ProgressFrame& frame) {
+          if (dead->load(std::memory_order_relaxed)) return false;
+          if (frame.seq <= last_seq) return true;  // replayed already
+          if (!write_watch_line(fd, watch_frame_line(id, frame))) {
+            dead->store(true, std::memory_order_relaxed);
+            return false;
+          }
+          return true;
+        });
+  }
+  while (!dead->load(std::memory_order_relaxed) &&
+         !stopping.load(std::memory_order_relaxed)) {
+    if (sink->wait_finished(0.05)) break;
+    // Poll the watcher's socket between waits: a subscriber that hung up
+    // mid-solve must release this thread (and the listener) promptly.
+    char probe = 0;
+    const ssize_t n = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR))
+      dead->store(true, std::memory_order_relaxed);
+  }
+  if (token != 0) sink->unsubscribe(token);
+  if (!dead->load(std::memory_order_relaxed)) {
+    std::string done = "{";
+    if (id >= 0) done += "\"id\":" + std::to_string(id) + ",";
+    done += "\"watch\":true,\"done\":true,\"frames\":" +
+            std::to_string(sink->published()) + "}";
+    write_line(fd, done);
+  }
 }
 
 /// One slow-request JSON line: wall-clock, trace id (when traced), the
@@ -237,12 +369,19 @@ void Server::Impl::log_slow(const engine::SolveReport& report,
     line << "\"" << io::json::escape(report.timings[i].phase)
          << "\":" << io::json::number(report.timings[i].seconds);
   }
-  line << "}}";
+  line << "}";
+  // The flight recorder's tail: what the solvers were doing in the run-up
+  // to this slow reply (restarts, waves, incumbents, GCs).
+  line << ",\"events\":" << obs::events_json(obs::snapshot_events(32));
+  line << "}";
   const std::string text = line.str();
+  if (slow_file.is_open()) {
+    slow_file.write_line(text);
+    return;
+  }
   const std::lock_guard<std::mutex> lock(slow_mutex);
-  std::FILE* sink = slow_file != nullptr ? slow_file : stderr;
-  std::fprintf(sink, "%s\n", text.c_str());
-  std::fflush(sink);
+  std::fprintf(stderr, "%s\n", text.c_str());
+  std::fflush(stderr);
 }
 
 /// `{"op":"put"}`: a replica cache write from the router. The payload is
@@ -514,6 +653,13 @@ struct PendingLine {
   bool admitted = false;
   bool split = false;
   bool include_partition = false;
+  /// The request carried a finite budget (deadline/conflicts/nodes): a
+  /// non-Optimal reply is a budget cut and gets the flight-recorder tail.
+  bool budgeted = false;
+  /// Progress sink registered under `watch_id` for `{"op":"watch"}`;
+  /// finished + unregistered when the reply is built.
+  obs::ProgressSinkPtr sink;
+  std::int64_t watch_id = -1;
   std::size_t batch_index = 0;  ///< Into the solve_batch vector.
   std::optional<io::WireRequest> wire;            ///< Split path keeps it.
   std::optional<engine::SolveReport> report;      ///< Split path result.
@@ -561,7 +707,16 @@ bool Server::Impl::process_batch(Connection& conn,
     }
     if (wire.op == io::WireOp::Metrics) {
       // Prometheus text exposition, wrapped in one JSON line (the protocol
-      // is line-framed); `ebmf client --metrics` unwraps the body.
+      // is line-framed); `ebmf client --metrics` unwraps the body. Fleet
+      // scope is a router capability — a backend only has itself.
+      if (!wire.scope.empty() && wire.scope != "self" &&
+          wire.scope != "local") {
+        p.error = wire.scope == "fleet"
+                      ? "metrics scope 'fleet' needs a router (ebmf route)"
+                      : "field 'scope' must be self|local" +
+                            std::string(" (got '") + wire.scope + "')";
+        continue;
+      }
       std::ostringstream reply;
       reply << "{";
       if (wire.id >= 0) reply << "\"id\":" << wire.id << ",";
@@ -571,6 +726,25 @@ bool Server::Impl::process_batch(Connection& conn,
                    obs::prometheus_text(obs::default_registry()))
             << "\"}";
       p.immediate = reply.str();
+      continue;
+    }
+    if (wire.op == io::WireOp::Events) {
+      // Flight-recorder snapshot on demand: the merged, tick-ordered tail
+      // of every thread's event ring.
+      std::ostringstream reply;
+      reply << "{";
+      if (wire.id >= 0) reply << "\"id\":" << wire.id << ",";
+      reply << "\"events\":" << obs::events_json(obs::snapshot_events())
+            << "}";
+      p.immediate = reply.str();
+      continue;
+    }
+    if (wire.op == io::WireOp::Watch) {
+      // Streams on this connection until the watched solve retires;
+      // watchers use a dedicated connection, so blocking the batch here
+      // is the intended shape.
+      impl.handle_watch(conn, wire.id);
+      p.skip = true;
       continue;
     }
     if (wire.op == io::WireOp::Trace) {
@@ -647,7 +821,22 @@ bool Server::Impl::process_batch(Connection& conn,
     double seconds = wire.budget_seconds;
     if (ceiling > 0) seconds = seconds > 0 ? std::min(seconds, ceiling) : ceiling;
     if (seconds > 0) wire.request.budget.deadline = Deadline::after(seconds);
+    p.budgeted = seconds > 0 || wire.request.budget.max_conflicts >= 0 ||
+                 wire.request.budget.max_nodes > 0;
     wire.request.budget.cancel = conn.cancel;
+
+    if (wire.id >= 0) {
+      // Id-carrying solves are watchable: arm a progress sink on the
+      // budget and register it so `{"op":"watch","id":N}` (and the stats
+      // in-flight panel) can find this solve while it runs.
+      p.sink = std::make_shared<obs::ProgressSink>();
+      p.watch_id = wire.id;
+      wire.request.budget.progress = p.sink;
+      const std::lock_guard<std::mutex> lock(impl.inflight_mutex);
+      impl.inflight_watch[wire.id] =
+          Impl::InflightEntry{p.sink, wire.request.strategy,
+                              wire.request.label, obs::steady_micros()};
+    }
 
     if (wire.has_trace) {
       // This request's "server.request" root span parents under the
@@ -695,6 +884,18 @@ bool Server::Impl::process_batch(Connection& conn,
   conn.solving.store(false, std::memory_order_relaxed);
   impl.release_admitted(admitted);
 
+  // Retire the watchable solves: finishing the sink releases every watcher
+  // (their connections get the final done line); unregister only our own
+  // entry — a same-id request on another connection may have replaced it.
+  for (PendingLine& p : pending) {
+    if (!p.sink) continue;
+    p.sink->finish();
+    const std::lock_guard<std::mutex> lock(impl.inflight_mutex);
+    const auto it = impl.inflight_watch.find(p.watch_id);
+    if (it != impl.inflight_watch.end() && it->second.sink == p.sink)
+      impl.inflight_watch.erase(it);
+  }
+
   for (PendingLine& p : pending) {
     if (p.skip) continue;
     std::string reply;
@@ -719,6 +920,14 @@ bool Server::Impl::process_batch(Connection& conn,
         impl.stat_requests.fetch_add(1, std::memory_order_relaxed);
         impl.obs_requests->add(1);
         done = &report;
+        if (p.budgeted && report.status != engine::Status::Optimal &&
+            !reply.empty() && reply.back() == '}') {
+          // A budget-cut reply carries the flight recorder's tail — the
+          // "why did my budget run out" answer rides the reply itself.
+          reply.pop_back();
+          reply += ",\"events\":" +
+                   obs::events_json(obs::snapshot_events(32)) + "}";
+        }
       }
     }
 
@@ -922,6 +1131,10 @@ void Server::stop() {
 
   if (impl.watchdog_thread.joinable()) impl.watchdog_thread.join();
   impl.listener.close();
+  // Flush-on-drain: the tail of the slow log and trace file must survive
+  // the SIGTERM that triggered this stop.
+  impl.slow_file.flush();
+  impl.traces.flush();
   impl.running = false;
 }
 

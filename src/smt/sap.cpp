@@ -8,6 +8,7 @@
 
 #include "core/preprocess.h"
 #include "engine/thread_pool.h"
+#include "obs/events.h"
 #include "support/stopwatch.h"
 
 namespace ebmf {
@@ -146,6 +147,8 @@ void smt_phase_race(const BinaryMatrix& m, const SapOptions& options,
 
   while (hi > cert_lo && !options.budget.exhausted()) {
     const std::size_t width = std::min(probes, hi - cert_lo);
+    obs::emit_event(obs::EventCode::SmtWaveLaunch, result.probe_waves + 1,
+                    hi - width);
     std::vector<Probe> wave(width);
     for (std::size_t i = 0; i < width; ++i) {
       wave[i].bound = hi - 1 - i;
@@ -227,6 +230,20 @@ void smt_phase_race(const BinaryMatrix& m, const SapOptions& options,
     // from the pristine base. (UNSAT formulas are never adopted — their
     // solver is in a terminal conflict state.)
     if (winner != nullptr) base = std::move(winner->formula);
+    obs::emit_event(obs::EventCode::SmtWaveRetire, result.probe_waves, hi);
+    {
+      // Live progress: one frame per retired wave, carrying the certified
+      // bracket the deterministic merge just produced.
+      obs::ProgressFrame frame;
+      frame.seconds = phase.seconds();
+      frame.incumbent_depth = hi;
+      frame.lower_bound = cert_lo;
+      frame.gap = hi > cert_lo ? hi - cert_lo : 0;
+      frame.conflicts = result.smt_stats.conflicts;
+      frame.wave = result.probe_waves;
+      frame.phase = "wave";
+      options.budget.publish_progress(std::move(frame));
+    }
     // Every probe Unknown with no rival to blame: the shared budget (or a
     // per-call conflict cap) ran dry — keep the bracket and stop.
     if (!progress) break;

@@ -15,7 +15,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <utility>
 
+#include "obs/progress.h"
 #include "support/stopwatch.h"
 
 namespace ebmf {
@@ -43,6 +45,17 @@ struct Budget {
   /// retire just the redundant probes) while chaining the caller's original
   /// flag here — a client disconnect still stops the whole race.
   std::shared_ptr<std::atomic<bool>> also_cancel;
+  /// Optional live-progress sink (obs/progress.h). Copies of a Budget
+  /// share it — exactly like `cancel` — so a strategy can publish
+  /// incumbent/gap frames mid-solve and the server's `{"op":"watch"}`
+  /// subscribers see them. Null means "nobody is watching" and publishing
+  /// helpers are no-ops.
+  obs::ProgressSinkPtr progress;
+
+  /// Publish one progress frame when a sink is attached (no-op otherwise).
+  void publish_progress(obs::ProgressFrame frame) const {
+    if (progress) progress->publish(std::move(frame));
+  }
 
   /// Make this budget cancellable (idempotent) and return it for chaining.
   Budget& cancellable() {

@@ -1,0 +1,86 @@
+/// \file logrotate.cpp
+/// \brief RotatingFile: append, size check, rename-and-reopen.
+
+#include "support/logrotate.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace ebmf {
+
+struct RotatingFile::Impl {
+  std::mutex mutex;
+  std::FILE* file = nullptr;
+  std::string path;
+  std::uint64_t max_bytes = kDefaultMaxBytes;
+  std::uint64_t bytes = 0;  ///< Size of the current generation.
+};
+
+RotatingFile::~RotatingFile() {
+  close();
+  delete impl_;
+}
+
+bool RotatingFile::open(const std::string& path, std::string* error,
+                        std::uint64_t max_bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open log file: " + path;
+    return false;
+  }
+  if (impl_ == nullptr) impl_ = new Impl;
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->file != nullptr) std::fclose(impl_->file);
+  impl_->file = f;
+  impl_->path = path;
+  if (max_bytes != 0) impl_->max_bytes = max_bytes;
+  const long at = std::ftell(f);
+  impl_->bytes = at > 0 ? static_cast<std::uint64_t>(at) : 0;
+  return true;
+}
+
+bool RotatingFile::is_open() const {
+  if (impl_ == nullptr) return false;
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->file != nullptr;
+}
+
+void RotatingFile::write_line(const std::string& line) {
+  if (impl_ == nullptr) return;
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->file == nullptr) return;
+  if (impl_->bytes >= impl_->max_bytes) {
+    // Rotate between whole lines: `path` → `path.1` (dropping the previous
+    // `.1` generation), then start a fresh `path`.
+    std::fclose(impl_->file);
+    impl_->file = nullptr;
+    const std::string shifted = impl_->path + ".1";
+    std::remove(shifted.c_str());
+    std::rename(impl_->path.c_str(), shifted.c_str());
+    impl_->file = std::fopen(impl_->path.c_str(), "a");
+    impl_->bytes = 0;
+    if (impl_->file == nullptr) return;  // sink lost; appends become no-ops
+  }
+  std::fwrite(line.data(), 1, line.size(), impl_->file);
+  impl_->bytes += line.size();
+  if (line.empty() || line.back() != '\n') {
+    std::fputc('\n', impl_->file);
+    ++impl_->bytes;
+  }
+  std::fflush(impl_->file);
+}
+
+void RotatingFile::flush() {
+  if (impl_ == nullptr) return;
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->file != nullptr) std::fflush(impl_->file);
+}
+
+void RotatingFile::close() {
+  if (impl_ == nullptr) return;
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->file != nullptr) std::fclose(impl_->file);
+  impl_->file = nullptr;
+}
+
+}  // namespace ebmf

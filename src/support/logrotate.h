@@ -1,0 +1,52 @@
+#pragma once
+/// \file logrotate.h
+/// \brief Size-rotated append-only line sink for the JSONL observability
+/// files (`--slow-log`, `--trace-file`).
+///
+/// A long-lived server's slow-request log and trace file grow without
+/// bound; RotatingFile caps them: when an append would push the file past
+/// `max_bytes`, the current file is renamed `path` → `path.1` (replacing
+/// any previous `path.1` — two generations are kept) and a fresh `path` is
+/// opened. Rotation is by whole lines, so neither generation ever holds a
+/// torn record. Thread-safe; `flush()` is called by the server/router
+/// drain so the tail of a log survives a SIGTERM.
+
+#include <cstdint>
+#include <string>
+
+namespace ebmf {
+
+class RotatingFile {
+ public:
+  /// Default rotation threshold (64 MiB) — a few hundred thousand slow-log
+  /// lines per generation.
+  static constexpr std::uint64_t kDefaultMaxBytes = 64ull << 20;
+
+  RotatingFile() = default;
+  ~RotatingFile();
+  RotatingFile(const RotatingFile&) = delete;
+  RotatingFile& operator=(const RotatingFile&) = delete;
+
+  /// Open `path` for appending (rotation keeps `path.1`). `max_bytes == 0`
+  /// keeps the default threshold. False + `error` when the file can't be
+  /// opened. Reopening replaces the previous sink.
+  bool open(const std::string& path, std::string* error,
+            std::uint64_t max_bytes = 0);
+
+  [[nodiscard]] bool is_open() const;
+
+  /// Append one line (a trailing newline is added when missing), rotating
+  /// first when the file has reached the threshold. No-op when closed.
+  void write_line(const std::string& line);
+
+  /// fflush the current generation (drain hook). No-op when closed.
+  void flush();
+
+  void close();
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+}  // namespace ebmf

@@ -3,16 +3,22 @@
 // context wire round-trips (including legacy no-trace requests), span-tree
 // assembly across a real serve+route pair, and trace-store ring eviction.
 
+#include "obs/events.h"
+#include "obs/federate.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
+#include "support/logrotate.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <random>
 #include <string>
 #include <thread>
@@ -132,9 +138,9 @@ TEST(Registry, PrometheusExpositionShape) {
   registry.histogram("tier.request.micros")->record(100);
   registry.histogram("tier.request.micros")->record(5000);
   const std::string text = prometheus_text(registry);
-  EXPECT_NE(text.find("# TYPE ebmf_tier_component_hits counter"),
+  EXPECT_NE(text.find("# TYPE ebmf_tier_component_hits_total counter"),
             std::string::npos);
-  EXPECT_NE(text.find("ebmf_tier_component_hits 3"), std::string::npos);
+  EXPECT_NE(text.find("ebmf_tier_component_hits_total 3"), std::string::npos);
   EXPECT_NE(text.find("# TYPE ebmf_tier_request_micros histogram"),
             std::string::npos);
   EXPECT_NE(text.find("ebmf_tier_request_micros_bucket{le=\"+Inf\"} 2"),
@@ -360,6 +366,286 @@ TEST(Trace, SpanTreeAcrossServeAndRoute) {
 
   router.stop();
   backend.stop();
+}
+
+// ---- flight recorder -------------------------------------------------------
+
+TEST(Events, RingWraparoundKeepsNewest) {
+  auto ring = std::make_unique<EventRing>();
+  const std::uint64_t total = 2 * EventRing::kRingCapacity;
+  for (std::uint64_t i = 0; i < total; ++i)
+    ring->emit(EventCode::SatRestart, /*a=*/i, /*b=*/i * 2);
+  EXPECT_EQ(ring->written(), total);
+  std::vector<EventRecord> records;
+  ring->snapshot(&records);
+  ASSERT_EQ(records.size(), EventRing::kRingCapacity);
+  // The survivors are exactly the newest kRingCapacity emissions, oldest
+  // first — wrap evicts from the front, never the back.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].a, EventRing::kRingCapacity + i);
+    EXPECT_EQ(records[i].b, 2 * (EventRing::kRingCapacity + i));
+    EXPECT_EQ(records[i].code,
+              static_cast<std::uint32_t>(EventCode::SatRestart));
+  }
+}
+
+TEST(Events, SnapshotMergesThreadRingsAndRendersJson) {
+  emit_event(EventCode::LocalIncumbent, 7, 1);
+  emit_event(EventCode::CacheEvict, 4096, 12);
+  const std::vector<EventRecord> records = snapshot_events(256);
+  ASSERT_GE(records.size(), 2u);
+  // Tick-ordered oldest first.
+  for (std::size_t i = 1; i < records.size(); ++i)
+    EXPECT_GE(records[i].tick, records[i - 1].tick);
+  const std::string json = events_json(records);
+  EXPECT_NE(json.find("\"event\":\"local.incumbent\""), std::string::npos);
+  EXPECT_NE(json.find("\"event\":\"cache.evict\""), std::string::npos);
+  // The cap keeps the newest records: the single survivor is at least as
+  // new as everything in the full snapshot.
+  const std::vector<EventRecord> capped = snapshot_events(1);
+  ASSERT_EQ(capped.size(), 1u);
+  EXPECT_GE(capped[0].tick, records.back().tick);
+}
+
+// ---- progress sink ---------------------------------------------------------
+
+TEST(Progress, PublishStampsSeqRetainsAndFansOut) {
+  ProgressSink sink;
+  std::vector<std::uint64_t> seen;
+  const std::uint64_t token = sink.subscribe([&seen](const ProgressFrame& f) {
+    seen.push_back(f.seq);
+    return true;
+  });
+  for (int i = 0; i < 5; ++i) {
+    ProgressFrame frame;
+    frame.incumbent_depth = static_cast<std::uint64_t>(10 - i);
+    frame.lower_bound = 5;
+    frame.gap = frame.incumbent_depth - frame.lower_bound;
+    frame.phase = "search";
+    sink.publish(frame);
+  }
+  EXPECT_EQ(sink.published(), 5u);
+  const std::vector<ProgressFrame> frames = sink.frames();
+  ASSERT_EQ(frames.size(), 5u);
+  for (std::size_t i = 1; i < frames.size(); ++i)
+    EXPECT_GT(frames[i].seq, frames[i - 1].seq);
+  EXPECT_EQ(sink.last().incumbent_depth, 6u);
+  ASSERT_EQ(seen.size(), 5u);
+  sink.unsubscribe(token);
+  sink.publish(ProgressFrame{});
+  EXPECT_EQ(seen.size(), 5u);  // unsubscribed listeners see nothing
+
+  // A listener that returns false unsubscribes itself after one frame.
+  int calls = 0;
+  sink.subscribe([&calls](const ProgressFrame&) {
+    ++calls;
+    return false;
+  });
+  sink.publish(ProgressFrame{});
+  sink.publish(ProgressFrame{});
+  EXPECT_EQ(calls, 1);
+
+  EXPECT_FALSE(sink.finished());
+  EXPECT_FALSE(sink.wait_finished(0.0));
+  sink.finish();
+  EXPECT_TRUE(sink.finished());
+  EXPECT_TRUE(sink.wait_finished(0.0));
+
+  // The frame JSON carries every field the watch stream promises.
+  ProgressFrame frame;
+  frame.seq = 3;
+  frame.seconds = 1.25;
+  frame.incumbent_depth = 9;
+  frame.lower_bound = 7;
+  frame.gap = 2;
+  frame.conflicts = 41;
+  frame.wave = 2;
+  frame.phase = "wave";
+  const std::string json = progress_frame_json(frame);
+  for (const char* piece :
+       {"\"progress\":true", "\"seq\":3", "\"incumbent_depth\":9",
+        "\"lower_bound\":7", "\"gap\":2", "\"conflicts\":41", "\"wave\":2",
+        "\"phase\":\"wave\""})
+    EXPECT_NE(json.find(piece), std::string::npos) << json;
+}
+
+TEST(Progress, RetainsOnlyNewestFramesForLateSubscribers) {
+  ProgressSink sink;
+  const std::uint64_t total = ProgressSink::kKeep + 40;
+  for (std::uint64_t i = 0; i < total; ++i) sink.publish(ProgressFrame{});
+  EXPECT_EQ(sink.published(), total);
+  const std::vector<ProgressFrame> frames = sink.frames();
+  ASSERT_EQ(frames.size(), ProgressSink::kKeep);
+  // Seq is stamped 0..total-1; the retained window is the newest kKeep.
+  EXPECT_EQ(frames.front().seq, total - ProgressSink::kKeep);
+  EXPECT_EQ(frames.back().seq, total - 1);
+}
+
+// ---- histogram federation --------------------------------------------------
+
+TEST(Histogram, MergeFromMatchesSortedReferenceAcrossOctaves) {
+  // The two sides populate disjoint octave ranges — the merged quantiles
+  // must hold the single-instance error bound anyway.
+  std::mt19937_64 rng(777);
+  Histogram low;
+  Histogram high;
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 8000; ++i) {
+    const std::uint64_t v = rng() % (1ull << 8);
+    low.record(v);
+    samples.push_back(v);
+  }
+  for (int i = 0; i < 8000; ++i) {
+    const std::uint64_t v = (1ull << 16) + rng() % (1ull << 20);
+    high.record(v);
+    samples.push_back(v);
+  }
+  low.merge_from(high);
+  EXPECT_EQ(low.count(), samples.size());
+  std::vector<std::uint64_t> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(low.max(), sorted.back());
+  for (const double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99}) {
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    const std::uint64_t reference = sorted[rank == 0 ? 0 : rank - 1];
+    const std::uint64_t estimate = low.quantile(q);
+    EXPECT_GE(estimate, reference) << "q=" << q;
+    const double ceiling =
+        static_cast<double>(reference) *
+            (1.0 + 1.0 / static_cast<double>(Histogram::kSubCount)) +
+        1.0;
+    EXPECT_LE(static_cast<double>(estimate), ceiling) << "q=" << q;
+  }
+}
+
+// Extract `name{instance="inst",...} value` from a federated exposition.
+long long federated_value(const std::string& text, const std::string& name,
+                          const std::string& instance) {
+  const std::string needle = name + "{instance=\"" + instance + "\"} ";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::strtoll(text.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+TEST(Federate, CountersSumAndGaugesFollowTheirConvention) {
+  Registry a;
+  Registry b;
+  a.counter("fleet.requests")->add(3);
+  b.counter("fleet.requests")->add(5);
+  a.gauge("fleet.inflight")->set(2);
+  b.gauge("fleet.inflight")->set(4);
+  a.gauge("fleet.queue.max")->set(7);
+  b.gauge("fleet.queue.max")->set(11);
+  const std::string text = federate_prometheus(
+      {{"h1:9000", prometheus_text(a)}, {"h2:9000", prometheus_text(b)}});
+
+  EXPECT_EQ(federated_value(text, "ebmf_fleet_requests_total", "fleet"), 8);
+  EXPECT_EQ(federated_value(text, "ebmf_fleet_requests_total", "h1:9000"), 3);
+  EXPECT_EQ(federated_value(text, "ebmf_fleet_requests_total", "h2:9000"), 5);
+  // Plain gauges sum; gauges named *max* take the fleet max.
+  EXPECT_EQ(federated_value(text, "ebmf_fleet_inflight", "fleet"), 6);
+  EXPECT_EQ(federated_value(text, "ebmf_fleet_queue_max", "fleet"), 11);
+  // One # TYPE line per series, with the fleet line first after it.
+  EXPECT_NE(text.find("# TYPE ebmf_fleet_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ebmf_fleet_inflight gauge"), std::string::npos);
+}
+
+TEST(Federate, HistogramBucketsStayMonotoneAcrossOctaveRanges) {
+  // Instance 1 records small values, instance 2 large — their native
+  // exposition buckets interleave, and the merged cumulative sequence must
+  // still be monotone in le order.
+  Registry a;
+  Registry b;
+  std::mt19937_64 rng(99);
+  std::uint64_t total = 0;
+  for (int i = 0; i < 500; ++i, ++total)
+    a.histogram("fleet.lat.micros")->record(rng() % 64);
+  for (int i = 0; i < 700; ++i, ++total)
+    b.histogram("fleet.lat.micros")->record((1u << 12) + rng() % (1u << 14));
+  const std::string text = federate_prometheus(
+      {{"h1:9000", prometheus_text(a)}, {"h2:9000", prometheus_text(b)}});
+
+  // Walk the fleet bucket lines in emission order.
+  const std::string prefix = "ebmf_fleet_lat_micros_bucket{instance=\"fleet\"";
+  std::uint64_t prev_le = 0;
+  std::uint64_t prev_cum = 0;
+  std::size_t fleet_buckets = 0;
+  std::size_t pos = 0;
+  bool saw_inf = false;
+  while ((pos = text.find(prefix, pos)) != std::string::npos) {
+    const std::size_t le_pos = text.find("le=\"", pos) + 4;
+    const std::size_t close = text.find('}', le_pos);
+    const std::string le = text.substr(le_pos, text.find('"', le_pos) - le_pos);
+    const std::uint64_t cum =
+        std::strtoull(text.c_str() + close + 1, nullptr, 10);
+    if (le == "+Inf") {
+      EXPECT_EQ(cum, total);
+      EXPECT_GE(cum, prev_cum);
+      saw_inf = true;
+    } else {
+      const std::uint64_t upper = std::strtoull(le.c_str(), nullptr, 10);
+      if (fleet_buckets != 0) {
+        EXPECT_GT(upper, prev_le) << "le bounds out of order";
+        EXPECT_GE(cum, prev_cum) << "cumulative count decreased";
+      }
+      prev_le = upper;
+      prev_cum = cum;
+      ++fleet_buckets;
+    }
+    pos = close;
+  }
+  EXPECT_GE(fleet_buckets, 2u);
+  EXPECT_TRUE(saw_inf);
+  // The fleet count line agrees with the +Inf bucket.
+  EXPECT_EQ(federated_value(text, "ebmf_fleet_lat_micros_count", "fleet"),
+            static_cast<long long>(total));
+  // Empty input merges to an empty exposition.
+  EXPECT_TRUE(federate_prometheus({}).empty());
+}
+
+TEST(Rotate, RotatesWholeLinesOnceThresholdIsReached) {
+  const std::string path = "/tmp/ebmf_rotate_test.log";
+  const std::string shadow = path + ".1";
+  std::remove(path.c_str());
+  std::remove(shadow.c_str());
+
+  RotatingFile sink;
+  std::string error;
+  // 32-byte threshold: every 40-byte line fills a generation, so each
+  // subsequent append rotates first.
+  ASSERT_TRUE(sink.open(path, &error, 32)) << error;
+  EXPECT_TRUE(sink.is_open());
+  const std::string line_a(39, 'a');
+  const std::string line_b(39, 'b');
+  sink.write_line(line_a);
+  sink.write_line(line_b);  // current generation is at 40 >= 32 -> rotate
+  sink.flush();
+
+  const auto slurp = [](const std::string& p) {
+    std::string out;
+    if (FILE* f = std::fopen(p.c_str(), "rb")) {
+      char buf[256];
+      std::size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+      std::fclose(f);
+    }
+    return out;
+  };
+  EXPECT_EQ(slurp(shadow), line_a + "\n");
+  EXPECT_EQ(slurp(path), line_b + "\n");
+
+  // A second rotation replaces the previous shadow generation.
+  const std::string line_c(39, 'c');
+  sink.write_line(line_c);
+  sink.flush();
+  EXPECT_EQ(slurp(shadow), line_b + "\n");
+  EXPECT_EQ(slurp(path), line_c + "\n");
+  sink.close();
+  EXPECT_FALSE(sink.is_open());
+  std::remove(path.c_str());
+  std::remove(shadow.c_str());
 }
 
 }  // namespace

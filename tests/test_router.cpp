@@ -9,11 +9,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "benchgen/generators.h"
 #include "io/json.h"
 #include "router/pool.h"
 #include "router/ring.h"
@@ -535,6 +538,158 @@ TEST(Router, StartRejectsEmptyAndMalformedBackends) {
     options.backends = {"not-an-endpoint"};
     Router router(options);
     EXPECT_THROW(router.start(), std::runtime_error);
+  }
+}
+
+// ---- observability: fleet metrics, watch relay, events ---------------------
+
+/// `name{instance="inst"} value` extraction from a federated exposition;
+/// -1 when the series/instance pair is absent.
+long long federated_value(const std::string& text, const std::string& name,
+                          const std::string& instance) {
+  const std::string needle = name + "{instance=\"" + instance + "\"} ";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::strtoll(text.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+TEST(Router, FleetMetricsScrapeSumsBackendCounters) {
+  Fleet fleet(/*l1_mb=*/0.0);
+  service::Client client("127.0.0.1", fleet.router->port());
+  // Distinct patterns spread across the ring so the counters move.
+  for (const char* pattern :
+       {"10;01", "110;011;111", "1110;0111;1111", "11;11", "101;010;111"}) {
+    const Reply reply(client.round_trip(std::string("{\"pattern\": \"") +
+                                        pattern + "\"}"));
+    ASSERT_FALSE(reply.is_error()) << pattern;
+  }
+
+  const std::string raw =
+      client.round_trip(R"({"op":"metrics","scope":"fleet","id":1})");
+  const Reply reply(raw);
+  ASSERT_FALSE(reply.is_error()) << raw;
+  EXPECT_EQ(reply.document.find("scope")->as_string(), "fleet");
+  // Router itself + both backends.
+  EXPECT_EQ(reply.document.find("instances")->as_number(), 3.0);
+  const std::string body = reply.document.find("body")->as_string();
+
+  // The acceptance bar: the fleet request-counter line equals the sum of
+  // the per-instance lines, in one exposition. (In this in-process fixture
+  // every instance shares the process-global registry, so each scrape sees
+  // the same counter — the *federation* invariant `fleet = sum(instances)`
+  // is what the merge must preserve regardless.)
+  long long instance_sum = 0;
+  for (const auto& server : fleet.servers) {
+    const std::string instance =
+        "127.0.0.1:" + std::to_string(server->port());
+    const long long value =
+        federated_value(body, "ebmf_server_requests_total", instance);
+    ASSERT_GE(value, 5) << "no per-instance line for " << instance;
+    instance_sum += value;
+  }
+  // The router scrapes itself too; its self-exposition contributes when it
+  // carries the series (same process here). Standalone routers label
+  // themselves "router"; peer-fleet members use their advertised endpoint.
+  for (const std::string self :
+       {std::string("router"),
+        "127.0.0.1:" + std::to_string(fleet.router->port())}) {
+    const long long value =
+        federated_value(body, "ebmf_server_requests_total", self);
+    if (value >= 0) instance_sum += value;
+  }
+  EXPECT_EQ(federated_value(body, "ebmf_server_requests_total", "fleet"),
+            instance_sum);
+  // The router's own series federate too (it is one of the instances).
+  EXPECT_GE(federated_value(body, "ebmf_router_requests_total", "fleet"), 5);
+  // Histogram buckets survive the merge with cumulative monotone counts.
+  EXPECT_NE(body.find("_bucket{instance=\"fleet\",le=\""), std::string::npos);
+}
+
+TEST(Router, MalformedMetricsScopeIsRejected) {
+  Fleet fleet;
+  service::Client client("127.0.0.1", fleet.router->port());
+  const Reply bogus(
+      client.round_trip(R"({"op":"metrics","scope":"bogus"})"));
+  ASSERT_TRUE(bogus.is_error());
+  EXPECT_NE(bogus.document.find("error")->as_string().find(
+                "must be self|local|fleet"),
+            std::string::npos);
+  // Default and self scopes still answer with the router's own registry.
+  const Reply self(client.round_trip(R"({"op":"metrics","scope":"self"})"));
+  ASSERT_FALSE(self.is_error());
+  EXPECT_NE(self.document.find("body"), nullptr);
+}
+
+TEST(Router, EventsVerbSnapshotsTheRecorder) {
+  Fleet fleet;
+  service::Client client("127.0.0.1", fleet.router->port());
+  const Reply solve(client.round_trip(R"({"pattern": "110;011;111"})"));
+  ASSERT_FALSE(solve.is_error());
+  const std::string raw = client.round_trip(R"({"op":"events","id":2})");
+  EXPECT_EQ(raw.rfind("{\"id\":2,", 0), 0u);
+  const Reply reply(raw);
+  ASSERT_FALSE(reply.is_error());
+  const io::json::Value* events = reply.document.find("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->is_array());
+}
+
+TEST(Router, WatchRelaysBackendProgressFrames) {
+  Fleet fleet(/*l1_mb=*/0.0);
+  // A structured qldpc-block pattern: the rank certificate goes slack, so
+  // the budgeted local solve runs anytime and streams its trajectory.
+  Rng gen(7);
+  const BinaryMatrix hard =
+      benchgen::qldpc_block_matrix(96, 64, 0.3, gen);
+  service::Client solver("127.0.0.1", fleet.router->port());
+  solver.send_line("{\"id\":0,\"pattern\":\"" + pattern_text(hard) +
+                   "\",\"strategy\":\"local\",\"budget\":1.5}");
+
+  service::Client watcher("127.0.0.1", fleet.router->port());
+  std::string line;
+  bool streaming = false;
+  for (int attempt = 0; attempt < 100 && !streaming; ++attempt) {
+    watcher.send_line(R"({"op":"watch","id":0})");
+    line = watcher.read_line();
+    if (line.find("no in-flight request") != std::string::npos) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    streaming = true;
+  }
+  ASSERT_TRUE(streaming) << line;
+
+  std::size_t frames = 0;
+  bool done = false;
+  while (!done) {
+    const io::json::Value frame = io::json::Value::parse(line);
+    ASSERT_EQ(frame.find("error"), nullptr) << line;
+    // The relay rewrote the backend's correlation id to the client's.
+    EXPECT_EQ(frame.find("id")->as_number(), 0.0);
+    if (frame.find("done") != nullptr) {
+      done = true;
+      break;
+    }
+    ASSERT_NE(frame.find("progress"), nullptr) << line;
+    ++frames;
+    line = watcher.read_line();
+  }
+  EXPECT_TRUE(done);
+  EXPECT_GE(frames, 3u);
+
+  const std::string reply_line = solver.read_line();
+  const Reply reply(reply_line);
+  ASSERT_FALSE(reply.is_error());
+  EXPECT_GE(reply.depth(), 1.0);
+  // The backend's budget-cut flight-recorder splice survives the router's
+  // lift re-render.
+  const io::json::Value document = io::json::Value::parse(reply_line);
+  if (const io::json::Value* status = document.find("status");
+      status != nullptr && status->as_string() != "optimal") {
+    const io::json::Value* events = document.find("events");
+    ASSERT_NE(events, nullptr) << reply_line.substr(0, 200);
+    EXPECT_TRUE(events->is_array());
+    EXPECT_GT(events->size(), 0u);
   }
 }
 

@@ -7,11 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "benchgen/generators.h"
 #include "io/json.h"
 #include "io/request_io.h"
+#include "support/rng.h"
 
 namespace ebmf::service {
 namespace {
@@ -313,6 +318,195 @@ TEST(Service, EphemeralPortIsReportedAndReusable) {
   second.start();
   EXPECT_EQ(second.port(), port);
   second.stop();
+}
+
+// ---- live progress streaming and the flight recorder -----------------------
+
+/// A structured qldpc-block pattern whose rank certificate goes slack —
+/// a budgeted `local` solve on it runs anytime until the deadline,
+/// publishing progress frames the whole way instead of certifying early.
+std::string hard_pattern(std::size_t blocks = 96, std::size_t width = 64) {
+  Rng rng(7);
+  const BinaryMatrix m =
+      benchgen::qldpc_block_matrix(blocks, width, 0.3, rng);
+  std::string out;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (r != 0) out += ';';
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      out += m.test(r, c) ? '1' : '0';
+  }
+  return out;
+}
+
+/// Subscribe `watcher` to in-flight id 0, retrying while the solve line is
+/// still in flight to the server. Returns the first stream line ("" when
+/// the subscription never took).
+std::string subscribe_watch(Client& watcher) {
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    watcher.send_line(R"({"op":"watch","id":0})");
+    const std::string line = watcher.read_line();
+    if (line.find("no in-flight request") == std::string::npos) return line;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return "";
+}
+
+TEST(Watch, UnknownIdIsAnErrorAndKeepsTheConnection) {
+  Server server(test_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  const Reply miss(client.round_trip(R"({"op":"watch","id":777})"));
+  ASSERT_TRUE(miss.is_error());
+  EXPECT_NE(miss.document.find("error")->as_string().find(
+                "no in-flight request with id 777"),
+            std::string::npos);
+  EXPECT_EQ(miss.document.find("id")->as_number(), 777.0);
+  // The connection still serves solves afterwards.
+  const Reply good(client.round_trip(R"({"pattern": "10;01"})"));
+  EXPECT_FALSE(good.is_error());
+  server.stop();
+}
+
+TEST(Watch, StreamsFramesWithNonIncreasingGapThenDone) {
+  Server server(test_options());
+  server.start();
+  Client solver("127.0.0.1", server.port());
+  solver.send_line("{\"id\":0,\"pattern\":\"" + hard_pattern() +
+                   "\",\"strategy\":\"local\",\"budget\":1.5}");
+
+  Client watcher("127.0.0.1", server.port());
+  std::string line = subscribe_watch(watcher);
+  ASSERT_FALSE(line.empty()) << "watch never attached";
+
+  std::size_t frames = 0;
+  std::uint64_t prev_seq = 0;
+  std::uint64_t prev_gap = 0;
+  bool have_gap = false;
+  bool done = false;
+  while (!done) {
+    const io::json::Value frame = io::json::Value::parse(line);
+    ASSERT_EQ(frame.find("error"), nullptr) << line;
+    EXPECT_EQ(frame.find("id")->as_number(), 0.0);
+    if (frame.find("done") != nullptr) {
+      EXPECT_NE(frame.find("watch"), nullptr);
+      EXPECT_GE(frame.find("frames")->as_number(),
+                static_cast<double>(frames));
+      done = true;
+      break;
+    }
+    ASSERT_NE(frame.find("progress"), nullptr) << line;
+    const auto seq =
+        static_cast<std::uint64_t>(frame.find("seq")->as_number());
+    if (frames != 0) EXPECT_GT(seq, prev_seq) << "seq not increasing";
+    prev_seq = seq;
+    // The anytime trajectory only improves: once the search phase starts
+    // reporting a gap, it never widens.
+    if (frame.find("phase") != nullptr &&
+        frame.find("phase")->as_string() == "search") {
+      const auto gap =
+          static_cast<std::uint64_t>(frame.find("gap")->as_number());
+      if (have_gap) EXPECT_LE(gap, prev_gap) << "gap widened";
+      prev_gap = gap;
+      have_gap = true;
+    }
+    ++frames;
+    line = watcher.read_line();
+  }
+  EXPECT_TRUE(done);
+  EXPECT_GE(frames, 3u) << "budgeted local solve streamed too few frames";
+
+  // The solve reply itself still arrives on the solving connection, and —
+  // being budget-cut — carries the flight recorder's tail.
+  const Reply reply(solver.read_line());
+  ASSERT_FALSE(reply.is_error());
+  if (reply.document.find("status")->as_string() != "optimal")
+    EXPECT_NE(reply.document.find("events"), nullptr);
+  server.stop();
+}
+
+TEST(Watch, SubscriberDisconnectMidSolveDoesNotStallTheSolver) {
+  Server server(test_options());
+  server.start();
+  Client solver("127.0.0.1", server.port());
+  solver.send_line("{\"id\":0,\"pattern\":\"" + hard_pattern() +
+                   "\",\"strategy\":\"local\",\"budget\":1.0}");
+  {
+    Client watcher("127.0.0.1", server.port());
+    const std::string first = subscribe_watch(watcher);
+    ASSERT_FALSE(first.empty());
+    // Hang up mid-stream: the destructor closes the socket while the
+    // solve is still publishing.
+  }
+  const Reply reply(solver.read_line());
+  ASSERT_FALSE(reply.is_error());
+  EXPECT_GE(reply.document.find("depth")->as_number(), 1.0);
+  server.stop();
+}
+
+TEST(Events, BudgetCutReplyCarriesFlightRecorderSnapshot) {
+  Server server(test_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  const Reply reply(client.round_trip(
+      "{\"pattern\":\"" + hard_pattern() +
+      "\",\"strategy\":\"local\",\"budget\":0.3}"));
+  ASSERT_FALSE(reply.is_error());
+  ASSERT_NE(reply.document.find("status")->as_string(), "optimal");
+  const io::json::Value* events = reply.document.find("events");
+  ASSERT_NE(events, nullptr) << "budget-cut reply lost its events";
+  ASSERT_TRUE(events->is_array());
+  ASSERT_GE(events->size(), 1u);
+  // Records carry the documented shape: tick + named event.
+  const io::json::Value& record = events->at(0);
+  EXPECT_NE(record.find("tick"), nullptr);
+  EXPECT_NE(record.find("event"), nullptr);
+  server.stop();
+}
+
+TEST(Events, VerbSnapshotsTheRecorderOnDemand) {
+  Server server(test_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  // A solve first, so the rings hold something attributable.
+  const Reply solve(client.round_trip(
+      "{\"pattern\":\"" + hard_pattern(48, 48) +
+      "\",\"strategy\":\"local\",\"budget\":0.2}"));
+  ASSERT_FALSE(solve.is_error());
+  const std::string raw = client.round_trip(R"({"op":"events","id":3})");
+  EXPECT_EQ(raw.rfind("{\"id\":3,", 0), 0u);
+  const Reply reply(raw);
+  ASSERT_FALSE(reply.is_error());
+  const io::json::Value* events = reply.document.find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_GE(events->size(), 1u);
+  server.stop();
+}
+
+TEST(Metrics, MalformedScopeIsRejectedFleetNeedsARouter) {
+  Server server(test_options());
+  server.start();
+  Client client("127.0.0.1", server.port());
+  const Reply bogus(
+      client.round_trip(R"({"op":"metrics","scope":"bogus"})"));
+  ASSERT_TRUE(bogus.is_error());
+  EXPECT_NE(bogus.document.find("error")->as_string().find(
+                "must be self|local"),
+            std::string::npos);
+  // A backend has no fleet: the error names the router capability.
+  const Reply fleet(
+      client.round_trip(R"({"op":"metrics","scope":"fleet"})"));
+  ASSERT_TRUE(fleet.is_error());
+  EXPECT_NE(fleet.document.find("error")->as_string().find("needs a router"),
+            std::string::npos);
+  // Explicit self/local scopes answer exactly like the default.
+  for (const char* scope : {"self", "local"}) {
+    const Reply ok(client.round_trip(
+        std::string(R"({"op":"metrics","scope":")") + scope + "\"}"));
+    ASSERT_FALSE(ok.is_error()) << scope;
+    EXPECT_NE(ok.document.find("body"), nullptr);
+  }
+  server.stop();
 }
 
 }  // namespace

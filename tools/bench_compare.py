@@ -148,10 +148,39 @@ def check_anytime(failures, base_rows, cur_rows, tolerance, floor_seconds):
                       row["seconds"], tolerance, floor_seconds)
 
 
+def check_overhead(path, tolerance, floor_seconds):
+    """Gate the observability instrumentation overhead.
+
+    `path` holds `{"baseline_seconds": B, "instrumented_seconds": I}` — the
+    same workload timed with the flight recorder disabled (EBMF_EVENTS=0)
+    and enabled. The instrumented run may cost at most `tolerance` more
+    wall-clock, plus an absolute `floor_seconds` of slack so sub-100ms
+    workloads don't gate on scheduler noise.
+    """
+    with open(path, encoding="utf-8") as handle:
+        record = json.load(handle)
+    base = float(record["baseline_seconds"])
+    instrumented = float(record["instrumented_seconds"])
+    ceiling = base * (1.0 + tolerance) + floor_seconds
+    ratio = instrumented / base if base > 0 else 0.0
+    status = "ok" if instrumented <= ceiling else "REGRESSION"
+    print(f"instrumentation overhead: {instrumented:.3f}s instrumented vs "
+          f"{base:.3f}s baseline ({ratio:.3f}x, ceiling {ceiling:.3f}s) "
+          f"[{status}]")
+    if instrumented > ceiling:
+        print(f"\nFAIL:\n  - instrumentation overhead {ratio:.3f}x exceeds "
+              f"{1.0 + tolerance:.2f}x (+{floor_seconds:.2f}s floor)")
+        return 1
+    print(f"\nOK: overhead within {tolerance:.0%} (+{floor_seconds:.2f}s "
+          "floor)")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("current", help="file of bench --json summary lines")
-    parser.add_argument("--baseline", required=True,
+    parser.add_argument("current", nargs="?",
+                        help="file of bench --json summary lines")
+    parser.add_argument("--baseline",
                         help="committed baseline (BENCH_sap.json)")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional regression (default 0.20)")
@@ -159,7 +188,25 @@ def main():
                         help="ignore suites faster than this many seconds (default 0.5)")
     parser.add_argument("--write-baseline", action="store_true",
                         help="rewrite the baseline from the current run")
+    parser.add_argument("--overhead", metavar="FILE",
+                        help="instead of the baseline gate: check the "
+                             "instrumentation-overhead record in FILE "
+                             '({"baseline_seconds": B, '
+                             '"instrumented_seconds": I})')
+    parser.add_argument("--overhead-tolerance", type=float, default=0.03,
+                        help="allowed fractional instrumentation overhead "
+                             "(default 0.03)")
+    parser.add_argument("--overhead-floor", type=float, default=0.05,
+                        help="absolute overhead slack in seconds for "
+                             "fast workloads (default 0.05)")
     args = parser.parse_args()
+
+    if args.overhead:
+        return check_overhead(args.overhead, args.overhead_tolerance,
+                              args.overhead_floor)
+    if not args.current or not args.baseline:
+        parser.error("current and --baseline are required "
+                     "(or use --overhead FILE)")
 
     current = load_summaries(args.current)
     if args.write_baseline:
