@@ -15,11 +15,21 @@
 // telemetry included, so BENCH_*.json trajectories capture the hit rate and
 // the warm/cold split.
 
+// With --connections=N the family sweep is replaced by the connection-scale
+// suite: an N-connection mixed-protocol storm (half line, half binary
+// frames) that pipelines requests per connection and verifies zero lost and
+// zero reordered replies, plus — when run in-process — a router→backend
+// JSON-vs-binary A/B on a repeat-heavy family, measuring the throughput the
+// negotiated binary fast path buys over the legacy JSON line hop.
+
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "benchgen/generators.h"
@@ -27,7 +37,9 @@
 #include "engine/engine.h"
 #include "ftqc/patterns.h"
 #include "io/request_io.h"
+#include "net/frame_client.h"
 #include "obs/metrics.h"
+#include "router/router.h"
 #include "service/cache.h"
 #include "service/net.h"
 #include "service/service.h"
@@ -133,13 +145,253 @@ void print_result(const FamilyResult& r) {
               static_cast<double>(r.latency->quantile(0.99)) / 1e3);
 }
 
+// ---- the --connections suite -----------------------------------------------
+
+struct StormTally {
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> received{0};
+  std::atomic<std::uint64_t> reordered{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> failed_connections{0};
+};
+
+/// The id a normalized reply leads with ({"id":N,...), -1 when absent.
+std::int64_t reply_id(const std::string& reply) {
+  if (reply.rfind("{\"id\":", 0) != 0) return -1;
+  return std::atoll(reply.c_str() + 6);
+}
+
+/// One storm connection: pipeline `per_conn` id-tagged requests, then read
+/// every reply back and verify the ids arrive in send order. Odd-indexed
+/// connections negotiate the binary frame protocol so the storm exercises
+/// both wires (and the upgrade path) at once.
+void storm_connection(const std::string& host, std::uint16_t port,
+                      std::size_t index, std::size_t per_conn,
+                      StormTally& tally) {
+  try {
+    std::unique_ptr<ebmf::net::FrameClient> client;
+    for (int attempt = 0;; ++attempt) {
+      try {
+        client =
+            std::make_unique<ebmf::net::FrameClient>(host, port);
+        break;
+      } catch (const std::exception&) {
+        // A full accept backlog under the storm ramp is not a failure;
+        // back off briefly and retry.
+        if (attempt >= 20) throw;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    if (index % 2 == 1 && !client->upgrade()) return;
+    for (std::size_t i = 0; i < per_conn; ++i) {
+      const char* pattern = (i % 2 == 0) ? "110;011;111" : "10;01";
+      client->send_request(ebmf::io::parse_wire_request(
+          "{\"id\":" + std::to_string(i) + ",\"pattern\":\"" + pattern +
+          "\",\"label\":\"storm\"}"));
+      tally.sent.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < per_conn; ++i) {
+      const std::string reply = client->read_reply();
+      tally.received.fetch_add(1, std::memory_order_relaxed);
+      if (reply_id(reply) != static_cast<std::int64_t>(i))
+        tally.reordered.fetch_add(1, std::memory_order_relaxed);
+      if (reply.find("\"error\"") != std::string::npos)
+        tally.errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  } catch (const std::exception&) {
+    tally.failed_connections.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+/// Drive `lines` through one pipelined line-protocol connection (window of
+/// 32 in flight) and return the wall-clock seconds for the whole run.
+double drive_pipelined(ebmf::service::Client& client,
+                       const std::vector<std::string>& lines,
+                       std::uint64_t* errors) {
+  const std::size_t window = 32;
+  std::size_t next_send = 0;
+  std::size_t next_read = 0;
+  ebmf::Stopwatch clock;
+  while (next_read < lines.size()) {
+    while (next_send < lines.size() && next_send - next_read < window)
+      client.send_line(lines[next_send++]);
+    const std::string reply = client.read_line();
+    ++next_read;
+    if (reply.find("\"error\"") != std::string::npos) ++*errors;
+  }
+  return clock.seconds();
+}
+
+int run_connections_suite(const ebmf::bench::Options& opt,
+                          const std::string& connect,
+                          std::size_t connections, std::size_t per_conn,
+                          std::size_t ab_requests) {
+  // Resolve the storm target: an external tier (--connect) or an
+  // in-process backend + router pair, storming the router so both tiers
+  // run under the load.
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::unique_ptr<ebmf::service::Server> backend;
+  std::unique_ptr<ebmf::router::Router> router;
+  if (connect.empty()) {
+    ebmf::service::ServerOptions so;
+    so.port = 0;
+    so.cache_mb = 64;
+    so.budget_ceiling_seconds = 5.0;
+    backend = std::make_unique<ebmf::service::Server>(so);
+    backend->start();
+    ebmf::router::RouterOptions ro;
+    ro.port = 0;
+    ro.l1_mb = 0;  // every request crosses the backend hop
+    ro.max_inflight = connections * per_conn + 64;
+    ro.reply_timeout_seconds = 30.0;
+    ro.backends.push_back("127.0.0.1:" + std::to_string(backend->port()));
+    router = std::make_unique<ebmf::router::Router>(ro);
+    router->start();
+    port = router->port();
+  } else if (!ebmf::service::net::parse_endpoint(
+                 connect.substr(0, connect.find(',')), host, port)) {
+    std::fprintf(stderr, "bad --connect endpoint '%s'\n", connect.c_str());
+    return 2;
+  }
+
+  std::printf("--- Connection-scale suite: %zu connections x %zu pipelined "
+              "requests ---\n",
+              connections, per_conn);
+  std::printf("(half the connections upgrade to the binary frame protocol; "
+              "target %s)\n\n",
+              connect.empty() ? "in-process router+backend"
+                              : connect.c_str());
+
+  StormTally tally;
+  ebmf::Stopwatch storm_clock;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    for (std::size_t c = 0; c < connections; ++c)
+      threads.emplace_back(storm_connection, host, port, c, per_conn,
+                           std::ref(tally));
+    for (auto& t : threads) t.join();
+  }
+  const double storm_seconds = storm_clock.seconds();
+  const std::uint64_t sent = tally.sent.load();
+  const std::uint64_t received = tally.received.load();
+  const std::uint64_t lost = sent - received;
+  const double storm_rps =
+      storm_seconds > 0 ? static_cast<double>(received) / storm_seconds : 0;
+  std::printf("storm: %llu sent, %llu received, %llu lost, %llu reordered, "
+              "%llu errors, %llu failed connections\n",
+              static_cast<unsigned long long>(sent),
+              static_cast<unsigned long long>(received),
+              static_cast<unsigned long long>(lost),
+              static_cast<unsigned long long>(tally.reordered.load()),
+              static_cast<unsigned long long>(tally.errors.load()),
+              static_cast<unsigned long long>(tally.failed_connections.load()));
+  std::printf("storm: %.3fs wall, %.0f replies/s\n\n", storm_seconds,
+              storm_rps);
+
+  // The JSON-vs-binary A/B needs to flip the router's backend wire, so it
+  // only runs against the in-process fleet.
+  double json_rps = 0.0;
+  double binary_rps = 0.0;
+  std::uint64_t ab_errors = 0;
+  if (connect.empty() && ab_requests > 0) {
+    // A repeat-heavy family: every request is a fresh row/col permutation
+    // of one base pattern, so after one cold solve the backend answers
+    // from its cache and the hop cost — JSON render/parse + canonicalize
+    // + lift versus the binary canonical-key fast path — dominates.
+    Rng rng(opt.seed);
+    const BinaryMatrix base =
+        ebmf::ftqc::logical_pattern(40, 40, 0.06, rng);
+    std::vector<std::string> lines;
+    lines.reserve(ab_requests);
+    for (std::size_t i = 0; i < ab_requests; ++i) {
+      ebmf::io::WireRequest wire;
+      wire.request = ebmf::engine::SolveRequest::dense(
+          i == 0 ? base : permuted_copy(base, rng), "auto");
+      wire.request.label = "ab#" + std::to_string(i);
+      wire.id = static_cast<std::int64_t>(i);
+      lines.push_back(ebmf::io::wire_request_json(wire));
+    }
+    const auto measure = [&](bool binary_backend) {
+      ebmf::router::RouterOptions ro;
+      ro.port = 0;
+      ro.l1_mb = 0;
+      ro.max_inflight = 4096;
+      ro.reply_timeout_seconds = 30.0;
+      ro.binary_backend = binary_backend;
+      ro.backends.push_back("127.0.0.1:" +
+                            std::to_string(backend->port()));
+      ebmf::router::Router ab_router(ro);
+      ab_router.start();
+      ebmf::service::Client client("127.0.0.1", ab_router.port());
+      // One untimed request pays the cold solve (and, on the binary
+      // side, the pool's upgrade negotiation) outside the clock.
+      (void)client.round_trip(lines[0]);
+      const double seconds = drive_pipelined(client, lines, &ab_errors);
+      ab_router.stop();
+      return seconds > 0 ? static_cast<double>(lines.size()) / seconds : 0;
+    };
+    json_rps = measure(false);
+    binary_rps = measure(true);
+    const double speedup = json_rps > 0 ? binary_rps / json_rps : 0.0;
+    std::printf("A/B over %zu permuted repeats of logical 40x40 occ=0.06 "
+                "(router->backend hop):\n",
+                ab_requests);
+    std::printf("  JSON line backend wire:    %10.0f req/s\n", json_rps);
+    std::printf("  binary frame backend wire: %10.0f req/s\n", binary_rps);
+    std::printf("  binary speedup: %.2fx (%llu errors)\n", speedup,
+                static_cast<unsigned long long>(ab_errors));
+  } else if (!connect.empty()) {
+    std::printf("(A/B skipped: --connect targets an external fleet whose "
+                "backend wire is fixed)\n");
+  }
+
+  if (opt.json) {
+    std::printf("{\"summary\":true,\"bench\":\"service_connections\","
+                "\"connections\":%zu,\"per_conn\":%zu,\"sent\":%llu,"
+                "\"received\":%llu,\"lost\":%llu,\"reordered\":%llu,"
+                "\"errors\":%llu,\"failed_connections\":%llu,"
+                "\"storm_seconds\":%.3f,\"storm_rps\":%.0f",
+                connections, per_conn,
+                static_cast<unsigned long long>(sent),
+                static_cast<unsigned long long>(received),
+                static_cast<unsigned long long>(lost),
+                static_cast<unsigned long long>(tally.reordered.load()),
+                static_cast<unsigned long long>(tally.errors.load()),
+                static_cast<unsigned long long>(
+                    tally.failed_connections.load()),
+                storm_seconds, storm_rps);
+    if (json_rps > 0 || binary_rps > 0)
+      std::printf(",\"ab\":{\"requests\":%zu,\"json_rps\":%.0f,"
+                  "\"binary_rps\":%.0f,\"binary_speedup\":%.3f,"
+                  "\"errors\":%llu}",
+                  ab_requests, json_rps, binary_rps,
+                  json_rps > 0 ? binary_rps / json_rps : 0.0,
+                  static_cast<unsigned long long>(ab_errors));
+    std::printf("}\n");
+  }
+
+  if (router) router->stop();
+  if (backend) backend->stop();
+  // Lost or reordered replies are a hard failure regardless of gating.
+  return (lost == 0 && tally.reordered.load() == 0 &&
+          tally.failed_connections.load() == 0)
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --connect=HOST:PORT and --hot=N are bench_service-specific; strip them
-  // before the shared option parser (which rejects unknown flags).
+  // --connect=HOST:PORT, --hot=N, and the --connections suite flags are
+  // bench_service-specific; strip them before the shared option parser
+  // (which rejects unknown flags).
   std::string connect;
   std::size_t hot_repeats = 0;
+  std::size_t connections = 0;
+  std::size_t per_conn = 24;
+  std::size_t ab_requests = 1500;
   std::vector<char*> filtered;
   filtered.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -147,11 +399,20 @@ int main(int argc, char** argv) {
       connect = argv[i] + 10;
     else if (std::strncmp(argv[i], "--hot=", 6) == 0)
       hot_repeats = static_cast<std::size_t>(std::atol(argv[i] + 6));
+    else if (std::strncmp(argv[i], "--connections=", 14) == 0)
+      connections = static_cast<std::size_t>(std::atol(argv[i] + 14));
+    else if (std::strncmp(argv[i], "--per-conn=", 11) == 0)
+      per_conn = static_cast<std::size_t>(std::atol(argv[i] + 11));
+    else if (std::strncmp(argv[i], "--ab-requests=", 14) == 0)
+      ab_requests = static_cast<std::size_t>(std::atol(argv[i] + 14));
     else
       filtered.push_back(argv[i]);
   }
   const auto opt = ebmf::bench::parse_options(
       static_cast<int>(filtered.size()), filtered.data());
+  if (connections > 0)
+    return run_connections_suite(opt, connect, connections, per_conn,
+                                 ab_requests);
   Rng rng(opt.seed);
 
   ebmf::engine::Engine engine;

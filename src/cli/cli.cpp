@@ -23,6 +23,7 @@
 #include "io/json.h"
 #include "io/partition_io.h"
 #include "io/request_io.h"
+#include "net/frame_client.h"
 #include "obs/trace.h"
 #include "router/router.h"
 #include "sat/dimacs.h"
@@ -567,6 +568,10 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
   options.max_inflight = flags.count("max-inflight", 256);
   options.budget_ceiling_seconds = flags.num("budget", 10.0);
   options.max_batch = flags.count("max-batch", 32);
+  options.io_threads = flags.count("io-threads", options.io_threads);
+  options.io_workers = flags.count("io-workers", options.io_workers);
+  options.idle_timeout_seconds =
+      flags.num("idle-timeout", options.idle_timeout_seconds);
   options.cache_file = args.get("cache-file", "");
   options.announce = args.get("announce", "");
   options.advertise = args.get("advertise", "");
@@ -614,7 +619,8 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
       options.slow_ms < 0 || !endpoints_ok) {
     err << "usage: ebmf serve [--port=P] [--host=ADDR] [--threads=N] "
            "[--cache-mb=MB] [--max-inflight=N] [--budget=S] "
-           "[--max-batch=N] [--cache-file=PATH] [--announce=H:P,H:P] "
+           "[--max-batch=N] [--io-threads=N] [--io-workers=N] "
+           "[--idle-timeout=S] [--cache-file=PATH] [--announce=H:P,H:P] "
            "[--advertise=HOST:PORT] [--heartbeat-ms=N] [--slow-ms=N] "
            "[--slow-log=PATH] [--trace-file=PATH]\n";
     return 2;
@@ -649,8 +655,13 @@ int cmd_route(const Args& args, std::ostream& out, std::ostream& err) {
   options.cache_file = args.get("cache-file", "");
   options.max_inflight = flags.count("max-inflight", 256);
   options.max_batch = flags.count("max-batch", 32);
+  options.io_threads = flags.count("io-threads", options.io_threads);
+  options.io_workers = flags.count("io-workers", options.io_workers);
+  options.idle_timeout_seconds =
+      flags.num("idle-timeout", options.idle_timeout_seconds);
   options.pool_connections = flags.count("pool", 1);
   options.reply_timeout_seconds = flags.num("timeout", 30.0);
+  options.binary_backend = !args.has("no-binary");
   options.dynamic = args.has("dynamic");
   // --peers: fellow routers of an HA fleet (comma-separated, this router
   // excluded). Non-empty turns on leader-lease arbitration + state sync.
@@ -681,7 +692,9 @@ int cmd_route(const Args& args, std::ostream& out, std::ostream& err) {
       (options.backends.empty() && !options.dynamic)) {
     err << "usage: ebmf route <host:port>... [--backends=H:P,H:P] "
            "[--listen=P] [--host=ADDR] [--l1-mb=MB] [--cache-file=PATH] "
-           "[--max-inflight=N] [--max-batch=N] [--pool=N] [--timeout=S] "
+           "[--max-inflight=N] [--max-batch=N] [--io-threads=N] "
+           "[--io-workers=N] [--idle-timeout=S] [--no-binary] "
+           "[--pool=N] [--timeout=S] "
            "[--dynamic] [--replicas=R] [--promote-after=N] "
            "[--heartbeat-ms=N] [--grace-ms=N] [--peers=H:P,H:P] "
            "[--advertise=HOST:PORT] [--lease-ttl-ms=N] "
@@ -1020,7 +1033,7 @@ int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
            "[--connect=H:P,H:P] "
         << kRequestFlagsUsage
         << " [--dont-cares] [--split] [--include-partition] [--trace] "
-           "[--watch [--json]] [--stats [--json]] "
+           "[--binary] [--watch [--json]] [--stats [--json]] "
            "[--metrics [--scope=fleet]] [--get-trace=ID [--json]]\n";
     return 2;
   }
@@ -1041,6 +1054,7 @@ int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
   const bool masked_input =
       args.has("dont-cares") || base.strategy == "completion";
 
+  std::vector<io::WireRequest> wires;
   std::vector<std::string> lines;
   for (const auto& path : args.positional) {
     io::WireRequest wire;
@@ -1070,10 +1084,52 @@ int cmd_client(const Args& args, std::ostream& out, std::ostream& err) {
       wire.trace = obs::make_trace_context();
     }
     lines.push_back(io::wire_request_json(wire));
+    wires.push_back(std::move(wire));
   }
 
   if (args.has("watch"))
     return client_watch_solve(endpoints, args, lines[0], out, err);
+
+  if (args.has("binary")) {
+    // The binary-wire client: negotiate the frame protocol and ship solves
+    // as type-1 frames. One endpoint, one socket — failover and redirect
+    // chasing stay with the line client; this path exists to exercise and
+    // measure the fast wire.
+    std::string host;
+    std::uint16_t client_port = 0;
+    if (!service::net::parse_endpoint(endpoints[0], host, client_port)) {
+      err << "error: bad endpoint '" << endpoints[0] << "'\n";
+      return 2;
+    }
+    try {
+      ebmf::net::FrameClient client(host, client_port);
+      if (!client.upgrade())
+        err << "note: server declined the upgrade; staying on the line "
+               "protocol\n";
+      constexpr std::size_t kWindow = 8;
+      bool failed = false;
+      std::size_t sent = 0;
+      for (std::size_t received = 0; received < wires.size(); ++received) {
+        while (sent < wires.size() && sent - received < kWindow) {
+          client.send_request(wires[sent]);
+          ++sent;
+        }
+        const std::string reply = client.read_reply();
+        if (reply.rfind("{\"error\"", 0) == 0) failed = true;
+        if (reply.rfind("{\"id\":", 0) == 0) {
+          const std::size_t comma = reply.find(',');
+          if (comma != std::string::npos &&
+              reply.compare(comma + 1, 8, "\"error\"") == 0)
+            failed = true;
+        }
+        out << reply << "\n";
+      }
+      return failed ? 1 : 0;
+    } catch (const std::exception& e) {
+      err << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
 
   try {
     service::Client client(endpoints);

@@ -124,6 +124,17 @@ struct SolveRequest {
 
   std::string label;  ///< Free-form identifier echoed into the report.
 
+  /// Binary-wire fast path (router→backend): `matrix` is already in
+  /// canonical form and canon_hi/canon_lo carry its 128-bit canonical key,
+  /// so a cache-attached engine skips canonicalization and lifting (the
+  /// lift is the identity). Soundness does not rest on the caller being
+  /// honest: the cache compares the full stored pattern on lookup and the
+  /// engine validates every partition, so a wrong key can only cost
+  /// hits/pollute a slot, never serve a wrong answer.
+  bool pre_canonical = false;
+  std::uint64_t canon_hi = 0;  ///< Canonical key, high 64 bits.
+  std::uint64_t canon_lo = 0;  ///< Canonical key, low 64 bits.
+
   /// Optional span recorder of the traced request this solve belongs to
   /// (see obs/trace.h). When set, the engine records queue-wait, canon,
   /// cache-lookup, solve, and lift spans into it; null (the default) costs
@@ -335,6 +346,8 @@ class Engine {
   SolveReport run_checked(const SolveRequest& request) const;
   SolveReport run_cached(const SolverRegistry::Entry& entry,
                          const SolveRequest& request) const;
+  SolveReport run_precanonical(const SolverRegistry::Entry& entry,
+                               const SolveRequest& request) const;
 
   SolverRegistry registry_;
   std::shared_ptr<cache::ResultCache> cache_;

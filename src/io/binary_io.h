@@ -1,0 +1,91 @@
+#pragma once
+/// \file binary_io.h
+/// \brief The binary wire codec — the frame payloads that replace line-JSON
+/// on an upgraded connection (net/frame.h carries the framing itself).
+///
+/// Three payload encodings, all little-endian:
+///
+///  * **Solve request** (frame type 1): correlation id, flags, strategy,
+///    label, the full budget/knob set, an optional 128-bit canonical key
+///    (the router→backend fast path: the router already canonicalized, so
+///    the backend can skip canonicalization and lifting entirely), an
+///    optional trace context, and the pattern as packed row bitsets — the
+///    exact words `BitVec::words()` stores, so encoding a 48×64 pattern is
+///    a few memcpys instead of thousands of character writes.
+///  * **Solve report** (frame type 2): the complete `engine::SolveReport`
+///    (status, bounds, incumbent, gap, timings, telemetry, optional
+///    partition as packed bitsets) plus the raw JSON `events`/`trace.spans`
+///    splices line replies carry, so a binary reply loses no fidelity.
+///  * **Error** (frame type 3): id + message + label, mirroring
+///    `net::error_json`.
+///
+/// Masked patterns and every admin verb ride a type-4 JSON-passthrough
+/// frame unchanged; only the solve hot path gets a bespoke encoding.
+///
+/// Decoders throw std::runtime_error on malformed payloads (truncation,
+/// out-of-range fields) and never trust wire lengths before bounds-checking
+/// them against the remaining payload.
+
+#include <cstdint>
+#include <string>
+
+#include "engine/engine.h"
+#include "io/request_io.h"
+
+namespace ebmf::io {
+
+/// Encode a dense solve request as a type-1 frame payload. Throws for
+/// masked requests (those ride type-4 JSON frames).
+[[nodiscard]] std::string binary_request_payload(const WireRequest& wire);
+
+/// Decode a type-1 payload. The result has op == WireOp::Solve.
+[[nodiscard]] WireRequest parse_binary_request(const std::string& payload);
+
+/// Best-effort id recovery from a (possibly malformed) type-1/2/3 payload —
+/// the id is always the first 8 bytes, so an error reply can still
+/// correlate. -1 when the payload is too short or the value is negative.
+[[nodiscard]] std::int64_t binary_salvage_id(
+    const std::string& payload) noexcept;
+
+/// A decoded type-2 (report) frame payload.
+struct BinaryReply {
+  std::int64_t id = -1;
+  engine::SolveReport report;
+  std::size_t rows = 0;  ///< Pattern shape the partition bitsets are sized to
+  std::size_t cols = 0;  ///< (0×0 when the reply carries no partition).
+  /// Whether the request asked for the partition — i.e. whether the line
+  /// protocol would have rendered it. The partition itself rides whenever
+  /// the report has one (report.depth() derives from it).
+  bool render_partition = false;
+  std::string events_json;  ///< Raw `"events"` array text ("" = absent).
+  std::string spans_json;   ///< Raw `"trace" spans` array text ("" = absent).
+};
+
+/// Encode a report as a type-2 frame payload. The partition always rides
+/// when the report has one and `rows`/`cols` (the pattern shape its bitsets
+/// are sized to) are nonzero; `include_partition` sets the render flag —
+/// whether the line protocol would have spliced the partition into the
+/// reply. `events_json`/`spans_json` carry the raw array texts a line
+/// reply would splice in ("" = omit).
+[[nodiscard]] std::string binary_report_payload(
+    const engine::SolveReport& report, bool include_partition,
+    std::int64_t id, std::size_t rows, std::size_t cols,
+    const std::string& events_json = "", const std::string& spans_json = "");
+
+/// Decode a type-2 payload.
+[[nodiscard]] BinaryReply parse_binary_report(const std::string& payload);
+
+/// A decoded type-3 (error) frame payload.
+struct BinaryError {
+  std::int64_t id = -1;
+  std::string message;
+  std::string label;
+};
+
+/// Encode / decode a type-3 error payload.
+[[nodiscard]] std::string binary_error_payload(std::int64_t id,
+                                               const std::string& message,
+                                               const std::string& label);
+[[nodiscard]] BinaryError parse_binary_error(const std::string& payload);
+
+}  // namespace ebmf::io

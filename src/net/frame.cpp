@@ -1,0 +1,100 @@
+// Binary frame encoding and the incremental stream decoder.
+
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace ebmf::net {
+
+namespace {
+
+void put_u32_le(char* out, std::uint32_t value) {
+  out[0] = static_cast<char>(value & 0xff);
+  out[1] = static_cast<char>((value >> 8) & 0xff);
+  out[2] = static_cast<char>((value >> 16) & 0xff);
+  out[3] = static_cast<char>((value >> 24) & 0xff);
+}
+
+std::uint32_t get_u32_le(const char* in) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(in[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[3])) << 24);
+}
+
+}  // namespace
+
+void append_frame(std::string& out, std::uint8_t type,
+                  const std::string& payload) {
+  char header[kFrameHeaderBytes];
+  put_u32_le(header, static_cast<std::uint32_t>(payload.size()));
+  header[4] = static_cast<char>(type);
+  header[5] = static_cast<char>(kFrameVersion);
+  header[6] = 0;
+  header[7] = 0;
+  out.append(header, kFrameHeaderBytes);
+  out.append(payload);
+}
+
+std::string encode_frame(std::uint8_t type, const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  append_frame(out, type, payload);
+  return out;
+}
+
+bool parse_frame_header(const char* data, std::size_t max_payload,
+                        FrameHeader* header, std::string* error) {
+  header->payload_len = get_u32_le(data);
+  header->type = static_cast<std::uint8_t>(data[4]);
+  const std::uint8_t version = static_cast<std::uint8_t>(data[5]);
+  if (version != kFrameVersion) {
+    *error = "unsupported frame version " + std::to_string(version);
+    return false;
+  }
+  if (header->type < kFrameSolveRequest || header->type > kFrameJson) {
+    *error = "unknown frame type " + std::to_string(header->type);
+    return false;
+  }
+  if (data[6] != 0 || data[7] != 0) {
+    // Reject now so the bytes stay meaningful for a future version.
+    *error = "nonzero reserved header bytes";
+    return false;
+  }
+  if (header->payload_len == 0) {
+    *error = "zero-length frame";
+    return false;
+  }
+  if (header->payload_len > max_payload) {
+    *error = "frame payload of " + std::to_string(header->payload_len) +
+             " bytes exceeds the " + std::to_string(max_payload) +
+             "-byte limit";
+    return false;
+  }
+  return true;
+}
+
+FrameBuffer::Pop FrameBuffer::pop(Frame* frame) {
+  if (bad_) return Pop::Bad;
+  if (pending() < kFrameHeaderBytes) return Pop::NeedMore;
+  FrameHeader header;
+  if (!parse_frame_header(buffer_.data() + consumed_, max_payload_, &header,
+                          &error_)) {
+    bad_ = true;
+    return Pop::Bad;
+  }
+  if (pending() < kFrameHeaderBytes + header.payload_len)
+    return Pop::NeedMore;
+  frame->type = header.type;
+  frame->payload.assign(buffer_.data() + consumed_ + kFrameHeaderBytes,
+                        header.payload_len);
+  consumed_ += kFrameHeaderBytes + header.payload_len;
+  // Compact once the dead prefix dominates, keeping appends amortized O(1).
+  if (consumed_ > 65536 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  return Pop::Ok;
+}
+
+}  // namespace ebmf::net

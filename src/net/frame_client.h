@@ -1,0 +1,72 @@
+#pragma once
+/// \file frame_client.h
+/// \brief Blocking client for the negotiated wire: dial a serve/route
+/// tier, optionally upgrade to the binary frame protocol, and exchange
+/// requests for replies normalized back to JSON lines.
+///
+/// This is the client-side twin of the reactor's dual-wire extractor,
+/// shared by `ebmf client --binary`, the bench_service connection suite,
+/// and the protocol tests. It deliberately stays synchronous — one
+/// socket, caller-driven pipelining — because its job is to *exercise*
+/// the server's reactor, not to be one.
+///
+/// Reply normalization: whatever the wire carried (a JSON line, a type-4
+/// JSON frame, a type-2 binary report, a type-3 binary error), read_reply()
+/// returns the JSON text the line protocol would have produced for the
+/// same exchange, so callers diff replies across wire modes byte-for-byte.
+/// (One deviation: a binary report's trace member carries spans only — the
+/// trace id travels in the request, so the caller already has it.)
+
+#include <cstdint>
+#include <string>
+
+#include "io/request_io.h"
+
+namespace ebmf::net {
+
+class FrameClient {
+ public:
+  /// Dial the endpoint (throws std::runtime_error when unreachable).
+  /// The connection starts in line mode; call upgrade() to negotiate.
+  FrameClient(const std::string& host, std::uint16_t port);
+  ~FrameClient();
+
+  FrameClient(const FrameClient&) = delete;
+  FrameClient& operator=(const FrameClient&) = delete;
+
+  /// Send `{"op":"upgrade"}` and wait for the ack. True when the server
+  /// answered `"upgraded":true` and the connection is now frame-framed;
+  /// false when it answered anything else (an old server — the line
+  /// connection remains perfectly usable). Throws on connection death.
+  bool upgrade();
+
+  /// True once upgrade() succeeded.
+  [[nodiscard]] bool binary() const noexcept { return binary_; }
+
+  /// Send one request in the connection's wire mode: a type-1 solve frame
+  /// for plain solves on an upgraded connection, JSON otherwise (masked
+  /// requests and admin verbs have no binary encoding).
+  void send_request(const io::WireRequest& wire);
+
+  /// Send pre-rendered JSON (a type-4 frame on an upgraded connection).
+  void send_json(const std::string& line);
+
+  /// Block for the next reply, normalized to a JSON line (see file
+  /// comment). Throws std::runtime_error on EOF or a malformed wire.
+  std::string read_reply();
+
+  void close();
+
+ private:
+  void send_bytes(const std::string& bytes);
+
+  /// Decode one received frame back to the JSON line the line protocol
+  /// would have produced (see file comment).
+  std::string normalize_reply(std::uint8_t type, const std::string& payload);
+
+  int fd_ = -1;
+  bool binary_ = false;
+  std::string buffer_;  ///< Unconsumed wire bytes across read_reply calls.
+};
+
+}  // namespace ebmf::net

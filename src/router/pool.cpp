@@ -1,5 +1,6 @@
-// Backend connection pool: pipelined submits, id-matched reply dispatch,
-// break detection, and exponential-backoff reconnect.
+// Backend connection pool: pipelined submits, binary-frame upgrade
+// negotiation, id-matched reply dispatch, break detection, and
+// exponential-backoff reconnect.
 
 #include "router/pool.h"
 
@@ -17,14 +18,18 @@
 #include <utility>
 #include <vector>
 
+#include "io/binary_io.h"
+#include "net/frame.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "service/net.h"
+#include "support/fault.h"
 #include "support/rng.h"
 
 namespace ebmf::router {
 
 namespace net = service::net;
+namespace rnet = ebmf::net;
 
 using Clock = std::chrono::steady_clock;
 
@@ -49,6 +54,7 @@ void PendingReply::reset() {
   std::lock_guard<std::mutex> lock(mutex);
   done = false;
   broken = false;
+  frame_type = 0;
   line.clear();
 }
 
@@ -60,6 +66,7 @@ namespace {
 struct Conn {
   int fd = -1;
   std::atomic<bool> open{false};
+  bool binary = false;  ///< Speaks frames (set before `open`, fixed after).
   /// Reader's last store before exiting; maintain() joins on it.
   std::atomic<bool> reader_done{true};
   std::thread reader;
@@ -67,6 +74,78 @@ struct Conn {
   std::mutex pending_mutex;
   std::unordered_map<std::uint64_t, PendingPtr> pending;
 };
+
+/// Negotiate the frame protocol on a fresh socket: send the upgrade line,
+/// wait (bounded) for the JSON ack. 1 = upgraded, 0 = the backend declined
+/// (an old build answering with an error keeps a perfectly good line
+/// connection), -1 = the socket died or the window expired (caller closes
+/// and backs off — a wedged negotiation must not be mistaken for a
+/// decline).
+int negotiate_upgrade(int fd) {
+  if (!net::write_line(fd, "{\"op\":\"upgrade\"}")) return -1;
+  timeval window{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &window, sizeof window);
+  net::LineBuffer buffer;
+  char chunk[512];
+  std::string line;
+  int result = -1;
+  while (true) {
+    if (buffer.pop(line)) {
+      result = line.find("\"upgraded\":true") != std::string::npos ? 1 : 0;
+      break;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  timeval off{0, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &off, sizeof off);
+  return result;
+}
+
+/// Send raw bytes (an already-encoded frame) fully, through the same
+/// fault-injection seams write_line uses so the network drills exercise
+/// the binary path too. False when the peer is gone.
+bool send_raw(int fd, const std::string& bytes) {
+  fault::maybe_delay();
+  if (fault::should_drop_write()) {
+    ::shutdown(fd, SHUT_RDWR);
+    return false;
+  }
+  const std::size_t limit = fault::maybe_tear(bytes.size());
+  std::size_t sent = 0;
+  while (sent < limit) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, limit - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  if (limit < bytes.size()) {  // torn by the drill: kill the connection
+    ::shutdown(fd, SHUT_RDWR);
+    return false;
+  }
+  return true;
+}
+
+/// Complete one pending reply.
+void complete_pending(Conn& conn, std::uint64_t id, std::uint8_t frame_type,
+                      std::string&& body) {
+  PendingPtr pending;
+  {
+    std::lock_guard<std::mutex> lock(conn.pending_mutex);
+    const auto it = conn.pending.find(id);
+    if (it == conn.pending.end()) return;  // late reply, forgotten
+    pending = it->second;
+    conn.pending.erase(it);
+  }
+  std::lock_guard<std::mutex> lock(pending->mutex);
+  pending->frame_type = frame_type;
+  pending->line = std::move(body);
+  pending->done = true;
+  pending->cv.notify_all();
+}
 
 }  // namespace
 
@@ -81,6 +160,11 @@ struct BackendPool::Impl {
   std::vector<std::unique_ptr<Conn>> conns;
   std::size_t cursor = 0;
   std::atomic<bool> shutting_down{false};
+
+  /// The pool's negotiated wire mode: -1 undecided (no connection has
+  /// completed negotiation yet), 0 line-JSON, 1 binary frames. Fixed by
+  /// the first decided negotiation (see the header comment).
+  std::atomic<int> binary_mode{-1};
 
   double backoff_ms;
   Clock::time_point next_attempt = Clock::now();
@@ -101,6 +185,7 @@ struct BackendPool::Impl {
         jitter(std::hash<std::string>{}(endpoint_text) ^
                reinterpret_cast<std::uintptr_t>(this)) {
     if (options.connections == 0) options.connections = 1;
+    if (!options.negotiate_binary) binary_mode.store(0);
     for (std::size_t i = 0; i < options.connections; ++i)
       conns.push_back(std::make_unique<Conn>());
   }
@@ -130,9 +215,8 @@ struct BackendPool::Impl {
     }
   }
 
-  /// The reader: frame response lines, match ids, dispatch. Exits (and
-  /// fails all pending) when the socket breaks or shutdown() wakes it.
-  void reader_loop(Conn& conn) {
+  /// Line-mode reader body: frame response lines, match ids, dispatch.
+  void read_lines(Conn& conn) {
     net::LineBuffer buffer;
     char chunk[16384];
     const int fd = conn.fd;
@@ -145,20 +229,56 @@ struct BackendPool::Impl {
       while (buffer.pop(line)) {
         std::uint64_t id = 0;
         if (!net::strip_id_prefix(line, id)) continue;  // unmatched noise
-        PendingPtr pending;
-        {
-          std::lock_guard<std::mutex> lock(conn.pending_mutex);
-          const auto it = conn.pending.find(id);
-          if (it == conn.pending.end()) continue;  // late reply, forgotten
-          pending = it->second;
-          conn.pending.erase(it);
-        }
-        std::lock_guard<std::mutex> lock(pending->mutex);
-        pending->line = std::move(line);
-        pending->done = true;
-        pending->cv.notify_all();
+        complete_pending(conn, id, 0, std::move(line));
       }
     }
+  }
+
+  /// Binary-mode reader body: decode frames, match ids, dispatch. Type-4
+  /// JSON frames are unwrapped to the exact shape a line reply has
+  /// (frame_type 0, id prefix stripped), so the router's non-solve paths
+  /// never notice which protocol carried them; type-2/3 payloads pass
+  /// through raw for io/binary_io.h. A malformed frame is terminal — the
+  /// stream has lost sync, so the connection breaks and reconnects.
+  void read_frames(Conn& conn) {
+    // The bound mirrors the serve tier's default frame cap, not the
+    // router's max_line_bytes: replies (reports + partitions) can outgrow
+    // request lines.
+    rnet::FrameBuffer frames(64u << 20);
+    char chunk[16384];
+    const int fd = conn.fd;
+    bool dead = false;
+    while (!dead) {
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      frames.append(chunk, static_cast<std::size_t>(n));
+      rnet::Frame frame;
+      rnet::FrameBuffer::Pop status;
+      while ((status = frames.pop(&frame)) == rnet::FrameBuffer::Pop::Ok) {
+        if (frame.type == rnet::kFrameJson) {
+          std::uint64_t id = 0;
+          if (!net::strip_id_prefix(frame.payload, id)) continue;
+          complete_pending(conn, id, 0, std::move(frame.payload));
+          continue;
+        }
+        const std::int64_t id = io::binary_salvage_id(frame.payload);
+        if (id < 0) continue;  // unmatched noise
+        complete_pending(conn, static_cast<std::uint64_t>(id), frame.type,
+                         std::move(frame.payload));
+      }
+      dead = status == rnet::FrameBuffer::Pop::Bad;
+    }
+  }
+
+  /// The reader thread: run the mode-appropriate body, then fail all
+  /// pending and schedule the reconnect when the socket breaks (or
+  /// shutdown() wakes it).
+  void reader_loop(Conn& conn) {
+    if (conn.binary)
+      read_frames(conn);
+    else
+      read_lines(conn);
     conn.open.store(false, std::memory_order_relaxed);
     break_pending(conn);
     if (!shutting_down.load(std::memory_order_relaxed)) {
@@ -209,7 +329,31 @@ struct BackendPool::Impl {
         next_attempt = Clock::now() + backoff_step();
         continue;
       }
+      // Wire-mode negotiation. A pool already fixed at line mode (declined
+      // once, or --no-binary) skips the round-trip; otherwise the fresh
+      // socket negotiates and the first decided outcome becomes sticky.
+      int wire = binary_mode.load(std::memory_order_relaxed);
+      if (wire != 0) {
+        const int negotiated = negotiate_upgrade(fd);
+        if (negotiated < 0) {  // died or wedged mid-negotiation
+          ::close(fd);
+          next_attempt = Clock::now() + backoff_step();
+          continue;
+        }
+        int undecided = -1;
+        binary_mode.compare_exchange_strong(undecided, negotiated);
+        wire = binary_mode.load(std::memory_order_relaxed);
+        if (wire != negotiated) {
+          // The backend at this endpoint now disagrees with the pool's
+          // fixed framing (swapped for an incompatible build): refuse the
+          // connection rather than let one pool speak two protocols.
+          ::close(fd);
+          next_attempt = Clock::now() + backoff_step();
+          continue;
+        }
+      }
       backoff_ms = options.backoff_base_ms;  // healthy again
+      conn.binary = wire == 1;
       {
         // The fd swap happens under the write lock: a submitter that
         // picked this conn just before the break re-checks `open` under
@@ -261,8 +405,12 @@ bool BackendPool::alive() const noexcept {
   return false;
 }
 
-bool BackendPool::submit(std::uint64_t id, const std::string& line,
-                         const PendingPtr& pending) {
+bool BackendPool::binary() const noexcept {
+  return impl_->binary_mode.load(std::memory_order_relaxed) == 1;
+}
+
+bool BackendPool::submit(std::uint64_t id, const std::string& payload,
+                         bool framed, const PendingPtr& pending) {
   Conn* conn = impl_->pick_open();
   if (conn == nullptr) {
     // Opportunistic revival: a failed submit is exactly when the health
@@ -271,6 +419,10 @@ bool BackendPool::submit(std::uint64_t id, const std::string& line,
     conn = impl_->pick_open();
     if (conn == nullptr) return false;
   }
+  // A pre-encoded frame cannot be downgraded to a line; the router only
+  // renders one when binary() said the pool speaks frames, so hitting this
+  // means the pool flipped modes under the caller — fail over and re-render.
+  if (framed && !conn->binary) return false;
   // Register before writing: a pipelined backend can answer before the
   // write call even returns.
   {
@@ -284,7 +436,13 @@ bool BackendPool::submit(std::uint64_t id, const std::string& line,
     // and the failure-path shutdown always hits the socket we wrote to.
     std::lock_guard<std::mutex> lock(conn->write_mutex);
     if (conn->open.load(std::memory_order_relaxed)) {
-      sent = net::write_line(conn->fd, line);
+      if (framed)
+        sent = send_raw(conn->fd, payload);
+      else if (conn->binary)  // JSON over a frame stream: type-4 wrap
+        sent = send_raw(conn->fd, rnet::encode_frame(rnet::kFrameJson,
+                                                     payload));
+      else
+        sent = net::write_line(conn->fd, payload);
       // Wake the reader so the break is processed once, centrally.
       if (!sent) ::shutdown(conn->fd, SHUT_RDWR);
     }
@@ -319,6 +477,7 @@ void BackendPool::shutdown() { impl_->shutdown(); }
 PoolStats BackendPool::stats() const {
   PoolStats out;
   out.alive = alive();
+  out.binary = binary();
   out.requests = impl_->stat_requests.load(std::memory_order_relaxed);
   out.failures = impl_->stat_failures.load(std::memory_order_relaxed);
   for (const auto& conn : impl_->conns) {

@@ -21,6 +21,18 @@
 /// health thread, and opportunistically by submit()) retries the connect
 /// with exponential backoff; first success marks the backend alive and the
 /// ring re-includes it for its own keys.
+///
+/// Binary fast path: each fresh connection negotiates the frame protocol
+/// with `{"op":"upgrade"}` (bounded ack wait, JSON fallback — an old
+/// backend that answers with an error keeps a perfectly good line
+/// connection). The first negotiation fixes the pool's wire mode for its
+/// lifetime, so every live connection speaks the same framing and the
+/// router can render exactly one encoding per request: type-1 solve frames
+/// on the hot path, JSON wrapped in type-4 frames for everything else
+/// (admin verbs, puts, masked passthroughs). A later connection whose
+/// negotiation disagrees (backend swapped for an incompatible build at the
+/// same endpoint) is dropped and retried under backoff rather than
+/// letting one pool speak two protocols.
 
 #include <condition_variable>
 #include <cstdint>
@@ -30,8 +42,8 @@
 
 namespace ebmf::router {
 
-/// One awaited backend response. wait() blocks until the reply line
-/// arrives, the connection carrying it dies, or the timeout expires.
+/// One awaited backend response. wait() blocks until the reply arrives,
+/// the connection carrying it dies, or the timeout expires.
 struct PendingReply {
   /// Outcome of one wait: the caller's next move.
   enum class Outcome {
@@ -55,6 +67,10 @@ struct PendingReply {
   std::condition_variable cv;
   bool done = false;
   bool broken = false;
+  /// The reply: a JSON line with the id prefix stripped (frame_type 0 —
+  /// line replies and type-4 JSON frames look identical here), or a raw
+  /// type-2/3 frame payload the caller decodes with io/binary_io.h.
+  std::uint8_t frame_type = 0;
   std::string line;
 };
 
@@ -65,11 +81,15 @@ struct PoolOptions {
   std::size_t connections = 1;     ///< Pipelined sockets to the backend.
   double backoff_base_ms = 50.0;   ///< First reconnect delay after a break.
   double backoff_max_ms = 2000.0;  ///< Backoff ceiling (doubling).
+  /// Negotiate the binary frame protocol on fresh connections
+  /// (`ebmf route --no-binary` turns it off fleet-wide).
+  bool negotiate_binary = true;
 };
 
 /// Point-in-time pool counters.
 struct PoolStats {
   bool alive = false;            ///< At least one live connection.
+  bool binary = false;           ///< Connections speak the frame protocol.
   std::uint64_t requests = 0;    ///< Lines submitted.
   std::uint64_t failures = 0;    ///< Connection-level breaks observed.
   std::size_t inflight = 0;      ///< Replies currently pending.
@@ -90,11 +110,19 @@ class BackendPool {
 
   [[nodiscard]] bool alive() const noexcept;
 
-  /// Register `pending` under `id` and write `line` (which must already
-  /// carry the id) on a live connection. False when the backend is down
-  /// right now — the caller fails over; no partial registration survives a
-  /// failed submit.
-  bool submit(std::uint64_t id, const std::string& line,
+  /// True once the pool's connections negotiated the binary frame
+  /// protocol (sticky for the pool's lifetime — see the file comment).
+  /// The router checks this to pick which request encoding to render.
+  [[nodiscard]] bool binary() const noexcept;
+
+  /// Register `pending` under `id` and write `payload` on a live
+  /// connection. `framed` says what `payload` is: complete frame bytes
+  /// (binary pools only — a frame cannot be downgraded to a line), or a
+  /// JSON line the pool newline-terminates (and, on a binary connection,
+  /// wraps in a type-4 frame). The payload must already carry the id.
+  /// False when the backend is down right now — the caller fails over; no
+  /// partial registration survives a failed submit.
+  bool submit(std::uint64_t id, const std::string& payload, bool framed,
               const PendingPtr& pending);
 
   /// Drop a registration whose waiter gave up (timeout): a late reply for

@@ -1,6 +1,8 @@
-// The sharding front tier: client accept/connection threads, local
-// canonicalization + L1 cache, HRW dispatch over the backend pools,
-// in-order reply reassembly with failover, the cluster control plane
+// The sharding front tier: client connections on the epoll reactor
+// (net/reactor.h), local canonicalization + L1 cache, HRW dispatch over
+// the backend pools (binary frames with the pre-canonicalized fast path
+// when the pool negotiated the upgrade, line-JSON otherwise), in-order
+// reply reassembly with failover, the cluster control plane
 // (join/leave/heartbeat membership, epoch-stamped view swaps, hot-key
 // replication), and the SIGTERM drain.
 
@@ -32,8 +34,11 @@
 #include "cluster/replica.h"
 #include "cluster/view.h"
 #include "core/partition.h"
+#include "io/binary_io.h"
 #include "io/json.h"
 #include "io/request_io.h"
+#include "net/frame.h"
+#include "net/reactor.h"
 #include "obs/events.h"
 #include "obs/federate.h"
 #include "obs/metrics.h"
@@ -47,27 +52,46 @@
 namespace ebmf::router {
 
 namespace net = service::net;
+namespace rnet = ebmf::net;
 
 using net::error_json;
 using net::write_line;
 
 namespace {
 
-/// Per-client-connection state (mirrors service.cpp's Connection).
-struct ClientConn {
-  int fd = -1;
-  std::atomic<bool> finished{false};
-};
+/// Wrap one JSON reply line in the framing the triggering message used:
+/// '\n'-terminated on a line connection, a type-4 JSON frame after the
+/// upgrade.
+std::string framed_json(rnet::WireMode mode, const std::string& line) {
+  if (mode == rnet::WireMode::Line) return line + "\n";
+  return rnet::encode_frame(rnet::kFrameJson, line);
+}
 
-/// One client line's journey through a batch: either an immediate reply
+/// One client message's journey through a batch: either resolved up front
 /// (parse error, stats, membership verb, L1 hit, local zero-pattern
 /// answer) or an in-flight backend exchange plus the context needed to
 /// re-own the response.
 struct RouteTask {
   bool skip = false;
-  std::string immediate;  ///< Pre-rendered reply; empty = awaiting backend.
+
+  // -- resolved outcome --------------------------------------------------
+  /// True once the reply is determined (resolved before dispatch, or
+  /// finalized from a backend reply). Line/type-4 clients read `immediate`
+  /// (the JSON reply text); binary-solve clients read `final_report` /
+  /// `error_message` instead — the reply loop encodes the type-2/3 frame
+  /// after the trace root closes, so the spans can ride the payload.
+  bool resolved = false;
+  std::string immediate;
   bool immediate_is_error = false;
+  std::optional<engine::SolveReport> final_report;
+  std::string error_message;
   bool admitted = false;
+
+  // -- client framing ----------------------------------------------------
+  rnet::WireMode mode = rnet::WireMode::Line;
+  /// True when the request arrived as a type-1 solve frame: the reply is a
+  /// type-2/3 frame rather than (possibly type-4-wrapped) JSON text.
+  bool binary_solve = false;
 
   // -- forwarding state --------------------------------------------------
   bool forwarded = false;
@@ -77,7 +101,16 @@ struct RouteTask {
   std::string backend_events;
   std::uint64_t route_key = 0;
   std::uint64_t router_id = 0;
+  /// The forward request, rendered lazily per pool wire mode: `backend_line`
+  /// (JSON) for line pools and every non-solve payload, `backend_frame` (a
+  /// complete type-1 frame carrying the canonical key, so the backend skips
+  /// canonicalization entirely) for binary pools. A failover between pools
+  /// of different modes just renders the other encoding once.
+  io::WireRequest forward;
   std::string backend_line;
+  std::string backend_frame;
+  /// Frame type of the awaited backend reply (0 = JSON text).
+  std::uint8_t reply_frame_type = 0;
   PendingPtr pending;
   /// The view this request routes on: taken once at dispatch and held for
   /// the whole exchange (failovers included), so an epoch swap mid-flight
@@ -216,22 +249,24 @@ struct Router::Impl {
   std::unique_ptr<cluster::LeaderLease> lease;
   std::thread sync_thread;
 
-  net::TcpListener listener;
+  /// The I/O tier. Created in start(); shutdown (not destroyed) in stop(),
+  /// so port() stays answerable after a drain.
+  std::unique_ptr<rnet::ReactorServer> reactor;
   std::atomic<bool> running{false};
   std::atomic<bool> stopping{false};
 
-  struct ConnThread {
-    std::thread thread;
-    std::shared_ptr<ClientConn> conn;
-  };
-
-  std::thread accept_thread;
   std::thread health_thread;
-  std::mutex threads_mutex;
-  std::vector<ConnThread> connection_threads;
 
-  std::mutex connections_mutex;
-  std::vector<std::shared_ptr<ClientConn>> connections;
+  /// One watch relay = one tracked thread streaming a backend's progress
+  /// frames through conn->try_send (never occupying a reactor worker for
+  /// the lifetime of someone else's solve). Finished threads are reaped on
+  /// the next watch; stop() joins the rest.
+  struct WatchThread {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex watch_threads_mutex;
+  std::vector<WatchThread> watch_threads;
 
   std::atomic<std::uint64_t> next_id{1};
   std::atomic<std::size_t> inflight{0};
@@ -313,20 +348,25 @@ struct Router::Impl {
                 const std::string& trace_hex);
   void register_watch(const RouteTask& task);
   void unregister_watch(const RouteTask& task);
-  void handle_watch(ClientConn& conn, std::int64_t id);
-  void prepare_task(const std::string& line, RouteTask& task);
+  void handle_watch(const rnet::ConnPtr& conn, std::int64_t id,
+                    rnet::WireMode mode);
+  void watch_relay(const rnet::ConnPtr& conn, std::int64_t id,
+                   rnet::WireMode mode);
+  void reap_watch_threads(bool join_all);
+  void prepare_task(const rnet::Message& message, RouteTask& task);
   bool dispatch(RouteTask& task);
+  const std::string& backend_payload(RouteTask& task, bool framed);
   std::string await_reply(RouteTask& task);
   void replicate(RouteTask& task, const engine::SolveReport& report);
-  std::string finalize_reply(RouteTask& task, const std::string& raw);
-  std::string render_report(RouteTask& task, engine::SolveReport report,
-                            const char* source);
-  bool read_batch(ClientConn& conn, net::LineBuffer& buffer,
-                  std::vector<std::string>& lines);
-  bool process_batch(ClientConn& conn, const std::vector<std::string>& lines);
-  void serve_client(const std::shared_ptr<ClientConn>& conn);
-  void reap_finished_threads();
-  void accept_loop();
+  void finalize_reply(RouteTask& task, const std::string& raw);
+  void resolve_json(RouteTask& task, std::string reply, bool is_error);
+  void resolve_error(RouteTask& task, const std::string& message);
+  void resolve_report(RouteTask& task, engine::SolveReport report,
+                      const char* source);
+  std::string render_report_core(RouteTask& task, engine::SolveReport& report,
+                                 const char* source);
+  void process_batch(const rnet::ConnPtr& conn,
+                     std::vector<rnet::Message> messages);
   void health_loop();
 };
 
@@ -842,6 +882,7 @@ std::string Router::Impl::stats_json(std::int64_t id) const {
     if (i != 0) out << ",";
     out << "{\"endpoint\":\"" << io::json::escape(snapshot[i].endpoint)
         << "\",\"alive\":" << (pool.alive ? "true" : "false")
+        << ",\"binary\":" << (pool.binary ? "true" : "false")
         << ",\"static\":" << (snapshot[i].is_static ? "true" : "false")
         << ",\"requests\":" << pool.requests
         << ",\"failures\":" << pool.failures
@@ -965,25 +1006,46 @@ static std::string raw_events_array(const std::string& raw) {
   return std::string();
 }
 
+/// Park a pre-rendered JSON reply (admin verbs, passthroughs, protocol
+/// errors that never had a binary shape) as the task's outcome.
+void Router::Impl::resolve_json(RouteTask& task, std::string reply,
+                                bool is_error) {
+  task.immediate = std::move(reply);
+  task.immediate_is_error = is_error;
+  task.resolved = true;
+}
+
+/// Resolve a task with an error, in whichever shape its client speaks:
+/// the message alone for a binary-solve client (encoded as a type-3 frame
+/// at send time), the rendered error_json line otherwise.
+void Router::Impl::resolve_error(RouteTask& task, const std::string& message) {
+  if (task.binary_solve) {
+    task.error_message = message;
+    task.immediate_is_error = true;
+    task.resolved = true;
+    return;
+  }
+  resolve_json(task, error_json(message, task.label, task.client_id), true);
+}
+
 /// Decorate a canonical-space report for one client: lift the partition
 /// through the request's own permutation record, re-validate, restore the
-/// label, and stamp routing telemetry. `source` names who answered (a
-/// backend endpoint, "l1", or "local").
-std::string Router::Impl::render_report(RouteTask& task,
-                                        engine::SolveReport report,
-                                        const char* source) {
+/// label, and stamp routing telemetry — in place. Returns "" on success,
+/// the error message otherwise. `source` names who answered (a backend
+/// endpoint, "l1", or "local").
+std::string Router::Impl::render_report_core(RouteTask& task,
+                                             engine::SolveReport& report,
+                                             const char* source) {
   try {
     report.partition = canon::lift(report.partition, task.canonical);
   } catch (const std::exception& e) {
-    return error_json(std::string("router: lift failed: ") + e.what(),
-                      task.label, task.client_id);
+    return std::string("router: lift failed: ") + e.what();
   }
   // Soundness gate — cached snapshots and remote replies are inputs, not
   // trusted state. An invalid certificate becomes an error, never a wrong
   // answer.
   if (!validate_partition(task.original, report.partition))
-    return error_json("router: invalid lifted certificate", task.label,
-                      task.client_id);
+    return "router: invalid lifted certificate";
   report.label = task.label;
   report.upper_bound = report.partition.size();
   report.add_telemetry("routed.backend", source);
@@ -992,6 +1054,27 @@ std::string Router::Impl::render_report(RouteTask& task,
                          static_cast<std::uint64_t>(task.failovers));
   if (task.promoted_now)
     report.add_telemetry("cluster.promote", task.hot_hits);
+  return std::string();
+}
+
+/// Resolve a task from a canonical-space report: run the lift core, then
+/// park the outcome — the JSON reply text for line/type-4 clients, the
+/// lifted report object for binary-solve clients (the reply loop encodes
+/// the type-2 frame after the trace root closes, so the spans ride the
+/// payload).
+void Router::Impl::resolve_report(RouteTask& task, engine::SolveReport report,
+                                  const char* source) {
+  const std::string failure = render_report_core(task, report, source);
+  if (!failure.empty()) {
+    resolve_error(task, failure);
+    return;
+  }
+  if (task.binary_solve) {
+    task.final_report = std::move(report);
+    task.immediate_is_error = false;
+    task.resolved = true;
+    return;
+  }
   std::string reply = io::wire_response_json(report, task.include_partition,
                                              task.client_id);
   if (!task.backend_events.empty() && !reply.empty() && reply.back() == '}') {
@@ -1000,7 +1083,7 @@ std::string Router::Impl::render_report(RouteTask& task,
     reply.pop_back();
     reply += ",\"events\":" + task.backend_events + "}";
   }
-  return reply;
+  resolve_json(task, std::move(reply), false);
 }
 
 /// Fan a promoted key's canonical-space result to its replica set as
@@ -1035,7 +1118,7 @@ void Router::Impl::replicate(RouteTask& task,
     if (!pool) continue;
     const std::uint64_t id = next_id.fetch_add(1, std::memory_order_relaxed);
     put.id = static_cast<std::int64_t>(id);
-    if (pool->submit(id, io::wire_request_json(put),
+    if (pool->submit(id, io::wire_request_json(put), /*framed=*/false,
                      std::make_shared<PendingReply>()))
       stat_replica_puts.fetch_add(1, std::memory_order_relaxed);
   }
@@ -1063,24 +1146,52 @@ void Router::Impl::unregister_watch(const RouteTask& task) {
     watch_routes.erase(it);
 }
 
-/// `{"op":"watch","id":N}` at the router: resolve N to the serving backend,
-/// dial it on a dedicated socket (watch streams block — they must not ride
-/// the pooled pipelined connections), forward the watch under the
-/// router-assigned id, and relay every frame back with the client's id
-/// restored. Ends on the backend's done line, backend EOF, client hangup,
-/// or drain.
-void Router::Impl::handle_watch(ClientConn& conn, std::int64_t id) {
+/// `{"op":"watch","id":N}` at the router: resolve N to the serving backend
+/// and spawn a tracked relay thread. The relay dials the backend on a
+/// dedicated socket (watch streams block — they must not ride the pooled
+/// pipelined connections), so it cannot run on a reactor worker for the
+/// lifetime of someone else's solve.
+void Router::Impl::handle_watch(const rnet::ConnPtr& conn, std::int64_t id,
+                                rnet::WireMode mode) {
+  {
+    std::lock_guard<std::mutex> lock(watch_mutex);
+    if (watch_routes.find(id) == watch_routes.end()) {
+      // Mirror the backend's wording: clients retry the same error string
+      // whether they watch through a router or directly.
+      conn->send(framed_json(
+          mode, error_json("watch: no in-flight request with id " +
+                               std::to_string(id),
+                           "", id)));
+      return;
+    }
+  }
+  reap_watch_threads(false);
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  WatchThread watcher;
+  watcher.done = done;
+  watcher.thread = std::thread([this, conn, id, mode, done]() {
+    watch_relay(conn, id, mode);
+    done->store(true, std::memory_order_release);
+  });
+  const std::lock_guard<std::mutex> lock(watch_threads_mutex);
+  watch_threads.push_back(std::move(watcher));
+}
+
+/// The relay body: forward the watch under the router-assigned id and
+/// stream every frame back with the client's id restored. Ends on the
+/// backend's done line, backend EOF, client hangup, or drain.
+void Router::Impl::watch_relay(const rnet::ConnPtr& conn, std::int64_t id,
+                               rnet::WireMode mode) {
   WatchRoute route;
   {
     std::lock_guard<std::mutex> lock(watch_mutex);
     const auto it = watch_routes.find(id);
     if (it == watch_routes.end()) {
-      // Mirror the backend's wording: clients retry the same error string
-      // whether they watch through a router or directly.
-      write_line(conn.fd,
-                 error_json("watch: no in-flight request with id " +
-                                std::to_string(id),
-                            "", id));
+      // Retired between handle_watch and the thread start — same wording.
+      conn->send(framed_json(
+          mode, error_json("watch: no in-flight request with id " +
+                               std::to_string(id),
+                           "", id)));
       return;
     }
     route = it->second;
@@ -1095,17 +1206,19 @@ void Router::Impl::handle_watch(ClientConn& conn, std::int64_t id) {
     }
   }
   if (fd < 0) {
-    write_line(conn.fd, error_json("watch: backend '" + route.endpoint +
-                                       "' unreachable",
-                                   "", id));
+    conn->send(framed_json(mode, error_json("watch: backend '" +
+                                                route.endpoint +
+                                                "' unreachable",
+                                            "", id)));
     return;
   }
   if (!write_line(fd, "{\"op\":\"watch\",\"id\":" +
                           std::to_string(route.router_id) + "}")) {
     ::close(fd);
-    write_line(conn.fd, error_json("watch: backend '" + route.endpoint +
-                                       "' unreachable",
-                                   "", id));
+    conn->send(framed_json(mode, error_json("watch: backend '" +
+                                                route.endpoint +
+                                                "' unreachable",
+                                            "", id)));
     return;
   }
   // Every backend line (frames, the done line, errors) leads with the
@@ -1121,13 +1234,9 @@ void Router::Impl::handle_watch(ClientConn& conn, std::int64_t id) {
     const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // Idle: poll the watcher between reads — a client that hung up
-      // mid-solve must release this thread (and the backend's) promptly.
-      char probe = 0;
-      const ssize_t p = ::recv(conn.fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
-      if (p == 0 || (p < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
-                     errno != EINTR))
-        break;
+      // Idle: a client that hung up mid-solve must release this thread
+      // (and the backend's) promptly.
+      if (conn->closed() || stopping.load(std::memory_order_relaxed)) break;
       continue;
     }
     if (n <= 0) break;
@@ -1135,8 +1244,16 @@ void Router::Impl::handle_watch(ClientConn& conn, std::int64_t id) {
     std::string line;
     while (buffer.pop(line)) {
       if (line.rfind(from, 0) == 0) line = to + line.substr(from.size());
-      if (!write_line(conn.fd, line) ||
-          line.find("\"done\":true") != std::string::npos) {
+      const bool final_line =
+          line.find("\"done\":true") != std::string::npos ||
+          line.find("\"error\"") != std::string::npos;
+      // Intermediate frames ride try_send — watch is diagnostics, not data
+      // plane, so a slow watcher loses frames rather than stalling the
+      // relay. The terminal line uses send: it must arrive or the
+      // connection is already gone.
+      const bool ok = final_line ? conn->send(framed_json(mode, line))
+                                 : conn->try_send(framed_json(mode, line));
+      if (!ok || line.find("\"done\":true") != std::string::npos) {
         done = true;
         break;
       }
@@ -1145,39 +1262,86 @@ void Router::Impl::handle_watch(ClientConn& conn, std::int64_t id) {
   ::close(fd);
 }
 
-/// Parse one client line and decide its path: immediate reply, passthrough
-/// forward, or canonical forward. Admission happens here, dispatch later.
-void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
-  if (line.find_first_not_of(" \t") == std::string::npos) {
-    task.skip = true;
-    return;
+/// Join watch relays that have finished (every spawn), or all of them
+/// (stop() — they exit promptly once `stopping` is set).
+void Router::Impl::reap_watch_threads(bool join_all) {
+  std::vector<std::thread> joinable;
+  {
+    const std::lock_guard<std::mutex> lock(watch_threads_mutex);
+    for (std::size_t i = 0; i < watch_threads.size();) {
+      if (join_all ||
+          watch_threads[i].done->load(std::memory_order_acquire)) {
+        joinable.push_back(std::move(watch_threads[i].thread));
+        watch_threads.erase(watch_threads.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
   }
+  for (std::thread& thread : joinable)
+    if (thread.joinable()) thread.join();
+}
+
+/// Parse one client message and decide its path: immediate reply,
+/// passthrough forward, or canonical forward. Admission happens here,
+/// dispatch later.
+void Router::Impl::prepare_task(const rnet::Message& message,
+                                RouteTask& task) {
+  task.mode = message.mode;
   io::WireRequest wire;
-  try {
-    wire = io::parse_wire_request(line);
-  } catch (const std::exception& e) {
-    task.immediate =
-        error_json(e.what(), "", io::salvage_request_id(line));
-    task.immediate_is_error = true;
+  if (message.mode == rnet::WireMode::Binary &&
+      message.frame_type == rnet::kFrameSolveRequest) {
+    task.binary_solve = true;
+    try {
+      wire = io::parse_binary_request(message.payload);
+    } catch (const std::exception& e) {
+      task.client_id = io::binary_salvage_id(message.payload);
+      resolve_error(task, e.what());
+      return;
+    }
+  } else if (message.mode == rnet::WireMode::Binary &&
+             message.frame_type != rnet::kFrameJson) {
+    resolve_json(task,
+                 error_json("unexpected frame type " +
+                                std::to_string(message.frame_type) +
+                                " (clients send solve or json frames)",
+                            ""),
+                 true);
     return;
+  } else {
+    // A request line, or the identical JSON text in a type-4 frame.
+    if (message.payload.find_first_not_of(" \t") == std::string::npos) {
+      task.skip = true;
+      return;
+    }
+    try {
+      wire = io::parse_wire_request(message.payload);
+    } catch (const std::exception& e) {
+      resolve_json(task,
+                   error_json(e.what(), "",
+                              io::salvage_request_id(message.payload)),
+                   true);
+      return;
+    }
   }
   task.client_id = wire.id;
   if (wire.op == io::WireOp::Stats) {
-    task.immediate = stats_json(wire.id);
+    resolve_json(task, stats_json(wire.id), false);
     return;
   }
   if (wire.op == io::WireOp::Metrics) {
     if (wire.scope == "fleet") {
-      task.immediate = fleet_metrics_json(wire.id);
+      resolve_json(task, fleet_metrics_json(wire.id), false);
       return;
     }
     if (!wire.scope.empty() && wire.scope != "self" &&
         wire.scope != "local") {
-      task.immediate =
-          error_json("field 'scope' must be self|local|fleet (got '" +
-                         wire.scope + "')",
-                     "", wire.id);
-      task.immediate_is_error = true;
+      resolve_json(task,
+                   error_json("field 'scope' must be self|local|fleet (got '" +
+                                  wire.scope + "')",
+                              "", wire.id),
+                   true);
       return;
     }
     std::ostringstream reply;
@@ -1187,7 +1351,7 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
              "version=0.0.4\",\"body\":\""
           << io::json::escape(obs::prometheus_text(obs::default_registry()))
           << "\"}";
-    task.immediate = reply.str();
+    resolve_json(task, reply.str(), false);
     return;
   }
   if (wire.op == io::WireOp::Events) {
@@ -1197,7 +1361,7 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
     reply << "{";
     if (wire.id >= 0) reply << "\"id\":" << wire.id << ",";
     reply << "\"events\":" << obs::events_json(obs::snapshot_events()) << "}";
-    task.immediate = reply.str();
+    resolve_json(task, reply.str(), false);
     return;
   }
   if (wire.op == io::WireOp::Watch) {
@@ -1211,10 +1375,9 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
     obs::parse_trace_id(wire.trace_id, &hi, &lo);
     const std::vector<obs::Span> spans = traces.find(hi, lo);
     if (spans.empty()) {
-      task.immediate = error_json("unknown trace id", "", wire.id);
-      task.immediate_is_error = true;
+      resolve_json(task, error_json("unknown trace id", "", wire.id), true);
     } else {
-      task.immediate = obs::trace_tree_json(wire.trace_id, spans);
+      resolve_json(task, obs::trace_tree_json(wire.trace_id, spans), false);
     }
     return;
   }
@@ -1232,26 +1395,29 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
             << ",\"spans\":" << recent[t].spans << "}";
     }
     reply << "]}";
-    task.immediate = reply.str();
+    resolve_json(task, reply.str(), false);
     return;
   }
   if (wire.op == io::WireOp::Join || wire.op == io::WireOp::Leave ||
       wire.op == io::WireOp::Heartbeat) {
-    task.immediate = handle_membership(wire);
-    task.immediate_is_error = is_error_reply(task.immediate);
+    std::string reply = handle_membership(wire);
+    const bool is_error = is_error_reply(reply);
+    resolve_json(task, std::move(reply), is_error);
     return;
   }
   if (wire.op == io::WireOp::PeerHello || wire.op == io::WireOp::PeerLease ||
       wire.op == io::WireOp::PeerSync) {
-    task.immediate = handle_peer(wire);
-    task.immediate_is_error = is_error_reply(task.immediate);
+    std::string reply = handle_peer(wire);
+    const bool is_error = is_error_reply(reply);
+    resolve_json(task, std::move(reply), is_error);
     return;
   }
   if (wire.op == io::WireOp::Put) {
     // The router *sends* puts; receiving one means a misdirected fan-out.
-    task.immediate =
-        error_json("put is a backend verb, not a router verb", "", wire.id);
-    task.immediate_is_error = true;
+    resolve_json(task,
+                 error_json("put is a backend verb, not a router verb", "",
+                            wire.id),
+                 true);
     return;
   }
   task.label = wire.request.label;
@@ -1259,11 +1425,9 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
   if (!try_admit()) {
     stat_rejected.fetch_add(1, std::memory_order_relaxed);
     obs_rejected->add(1);
-    task.immediate =
-        error_json("overloaded: " + std::to_string(options.max_inflight) +
-                       " requests already in flight",
-                   task.label, task.client_id);
-    task.immediate_is_error = true;
+    resolve_error(task,
+                  "overloaded: " + std::to_string(options.max_inflight) +
+                      " requests already in flight");
     return;
   }
   task.admitted = true;
@@ -1296,9 +1460,11 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
     // Masked patterns have no canonical form: forward verbatim, keyed by
     // the raw pattern text alone — ids, labels, and knobs must not split
     // the shard — so repeats of one masked pattern share a backend.
+    // Passthroughs always travel as JSON (the binary solve frame cannot
+    // carry a mask); backend_payload() renders lazily per pool mode.
     task.passthrough = true;
     task.route_key = fnv1a64(io::render_pattern_text(wire.request));
-    task.backend_line = io::wire_request_json(forward);
+    task.forward = std::move(forward);
     return;
   }
 
@@ -1323,7 +1489,7 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
     engine::SolveReport report;
     report.status = engine::Status::Optimal;
     report.strategy = task.strategy;
-    task.immediate = render_report(task, std::move(report), "local");
+    resolve_report(task, std::move(report), "local");
     return;
   }
 
@@ -1353,7 +1519,7 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
       // this router) goes away.
       if (task.promoted_now) replicate(task, report);
       report.add_telemetry("routed.l1", "hit");
-      task.immediate = render_report(task, std::move(report), "l1");
+      resolve_report(task, std::move(report), "l1");
       return;
     }
   }
@@ -1361,11 +1527,35 @@ void Router::Impl::prepare_task(const std::string& line, RouteTask& task) {
   // Forward the *canonical* pattern: the backend answers in canonical
   // space (its own canon pass is then near-trivial), which is exactly the
   // space the L1 stores and the lift consumes. The client's label stays
-  // here; the partition always rides along for the L1 insert.
+  // here; the partition always rides along for the L1 insert. The
+  // canonical key rides too: a binary-framed forward carries it so the
+  // backend skips its own canon pass entirely (the JSON render ignores
+  // these fields — old backends re-derive the key themselves).
   forward.request.matrix = task.canonical.pattern;
   forward.request.label.clear();
   forward.include_partition = true;
-  task.backend_line = io::wire_request_json(forward);
+  forward.request.pre_canonical = true;
+  forward.request.canon_hi = task.canonical.key.hi;
+  forward.request.canon_lo = task.canonical.key.lo;
+  task.forward = std::move(forward);
+}
+
+/// Render (once, memoized) the forward in whichever encoding the serving
+/// pool speaks: a complete type-1 solve frame for binary pools on the
+/// canonical path, the JSON request line otherwise. Both encodings may be
+/// rendered over one task's lifetime — a failover can cross pools with
+/// different wire modes.
+const std::string& Router::Impl::backend_payload(RouteTask& task,
+                                                 bool framed) {
+  if (framed) {
+    if (task.backend_frame.empty())
+      task.backend_frame = rnet::encode_frame(
+          rnet::kFrameSolveRequest, io::binary_request_payload(task.forward));
+    return task.backend_frame;
+  }
+  if (task.backend_line.empty())
+    task.backend_line = io::wire_request_json(task.forward);
+  return task.backend_line;
 }
 
 /// First submission: take the current view, then walk the key's HRW
@@ -1379,7 +1569,10 @@ bool Router::Impl::dispatch(RouteTask& task) {
   for (std::size_t i = 0; i < task.preference.size(); ++i) {
     const std::shared_ptr<BackendPool> pool = pool_for(task.preference[i]);
     if (!pool) continue;  // membership raced ahead of the pool set
-    if (pool->submit(task.router_id, task.backend_line, task.pending)) {
+    const bool framed =
+        task.canonical_mode && options.binary_backend && pool->binary();
+    if (pool->submit(task.router_id, backend_payload(task, framed), framed,
+                     task.pending)) {
       task.preference_cursor = i;
       task.failovers += i > 0 ? 1 : 0;
       if (i > 0) {
@@ -1391,10 +1584,8 @@ bool Router::Impl::dispatch(RouteTask& task) {
       return true;
     }
   }
-  task.immediate = error_json(
-      "no live backend (" + std::to_string(task.view->size()) + " members)",
-      task.label, task.client_id);
-  task.immediate_is_error = true;
+  resolve_error(task, "no live backend (" +
+                          std::to_string(task.view->size()) + " members)");
   return false;
 }
 
@@ -1423,6 +1614,7 @@ std::string Router::Impl::await_reply(RouteTask& task) {
     }
     if (outcome == PendingReply::Outcome::Reply) {
       std::lock_guard<std::mutex> lock(task.pending->mutex);
+      task.reply_frame_type = task.pending->frame_type;
       return task.pending->line;
     }
     if (outcome == PendingReply::Outcome::TimedOut) {
@@ -1432,6 +1624,7 @@ std::string Router::Impl::await_reply(RouteTask& task) {
         pool->forget(task.router_id);
       if (task.pending->has_reply()) {
         std::lock_guard<std::mutex> lock(task.pending->mutex);
+        task.reply_frame_type = task.pending->frame_type;
         return task.pending->line;
       }
     }
@@ -1446,7 +1639,10 @@ std::string Router::Impl::await_reply(RouteTask& task) {
       const std::shared_ptr<BackendPool> pool = pool_for(task.preference[i]);
       if (!pool) continue;
       task.pending->reset();
-      if (pool->submit(task.router_id, task.backend_line, task.pending)) {
+      const bool framed =
+          task.canonical_mode && options.binary_backend && pool->binary();
+      if (pool->submit(task.router_id, backend_payload(task, framed), framed,
+                       task.pending)) {
         task.preference_cursor = i;
         ++task.failovers;
         stat_failovers.fetch_add(1, std::memory_order_relaxed);
@@ -1461,9 +1657,11 @@ std::string Router::Impl::await_reply(RouteTask& task) {
   return std::string();
 }
 
-/// Turn a raw backend reply into the client's reply line.
-std::string Router::Impl::finalize_reply(RouteTask& task,
-                                         const std::string& raw) {
+/// Resolve a forwarded task from its raw backend reply: a JSON line when
+/// `reply_frame_type` is 0 (line replies and type-4 frames look identical
+/// here), a raw type-2/3 frame payload otherwise. Empty raw means every
+/// backend was exhausted.
+void Router::Impl::finalize_reply(RouteTask& task, const std::string& raw) {
   if (task.trace && task.forwarded)
     // Submit → reply received, the backend exchange the server's own
     // "server.request" span (folded below) nests under.
@@ -1471,16 +1669,56 @@ std::string Router::Impl::finalize_reply(RouteTask& task,
                        task.dispatch_start_us, obs::steady_micros());
   if (raw.empty()) {
     stat_errors.fetch_add(1, std::memory_order_relaxed);
-    return error_json("all backends unavailable", task.label, task.client_id);
+    resolve_error(task, "all backends unavailable");
+    return;
   }
   if (task.passthrough) {
-    if (raw.rfind("{\"error\"", 0) == 0)
+    // Passthrough forwards are always JSON, so the reply is too.
+    const bool is_error = raw.rfind("{\"error\"", 0) == 0;
+    if (is_error)
       stat_errors.fetch_add(1, std::memory_order_relaxed);
     else
       stat_requests.fetch_add(1, std::memory_order_relaxed);
-    return net::with_id_prefix(raw, task.client_id);
+    resolve_json(task, net::with_id_prefix(raw, task.client_id), is_error);
+    return;
   }
-  if (raw.rfind("{\"error\"", 0) == 0) {
+  if (task.reply_frame_type == rnet::kFrameError) {
+    // The binary twin of the semantic-error branch below: re-own the
+    // message, do not fail over.
+    std::string message = "backend error";
+    try {
+      const io::BinaryError be = io::parse_binary_error(raw);
+      if (!be.message.empty()) message = be.message;
+    } catch (const std::exception&) {
+    }
+    stat_errors.fetch_add(1, std::memory_order_relaxed);
+    resolve_error(task, message);
+    return;
+  }
+  engine::SolveReport report;
+  if (task.reply_frame_type == rnet::kFrameSolveReport) {
+    try {
+      io::BinaryReply br = io::parse_binary_report(raw);
+      report = std::move(br.report);
+      task.backend_events = br.events_json;
+      // Fold the backend's spans into this request's recorder: they
+      // already parent under the propagated dispatch span id, so the
+      // assembled tree crosses the process boundary without fixups.
+      if (task.trace && !br.spans_json.empty()) {
+        try {
+          task.trace->adopt(obs::spans_from_json(
+              io::json::Value::parse(br.spans_json)));
+        } catch (const std::exception&) {
+          // Span text is diagnostics; a malformed tail never fails a solve.
+        }
+      }
+    } catch (const std::exception& e) {
+      stat_errors.fetch_add(1, std::memory_order_relaxed);
+      resolve_error(task,
+                    std::string("router: bad backend reply: ") + e.what());
+      return;
+    }
+  } else if (raw.rfind("{\"error\"", 0) == 0) {
     // A semantic backend error (unknown strategy, bad knobs): re-own it so
     // the client sees its own label/id, and do not fail over — every
     // backend would refuse the same request.
@@ -1493,28 +1731,30 @@ std::string Router::Impl::finalize_reply(RouteTask& task,
     } catch (const std::exception&) {
     }
     stat_errors.fetch_add(1, std::memory_order_relaxed);
-    return error_json(message, task.label, task.client_id);
-  }
-  engine::SolveReport report;
-  try {
-    const io::json::Value document = io::json::Value::parse(raw);
-    report = io::parse_wire_response(document, task.canonical.pattern.rows(),
-                                     task.canonical.pattern.cols());
-    task.backend_events = raw_events_array(raw);
-    // Fold the backend's spans into this request's recorder: they already
-    // parent under the propagated dispatch span id, so the assembled tree
-    // crosses the process boundary without fixups.
-    if (task.trace) {
-      if (const io::json::Value* trace = document.find("trace");
-          trace != nullptr && trace->is_object())
-        if (const io::json::Value* spans = trace->find("spans");
-            spans != nullptr && spans->is_array())
-          task.trace->adopt(obs::spans_from_json(*spans));
+    resolve_error(task, message);
+    return;
+  } else {
+    try {
+      const io::json::Value document = io::json::Value::parse(raw);
+      report = io::parse_wire_response(document,
+                                       task.canonical.pattern.rows(),
+                                       task.canonical.pattern.cols());
+      task.backend_events = raw_events_array(raw);
+      // Fold the backend's spans into this request's recorder (see the
+      // binary branch above).
+      if (task.trace) {
+        if (const io::json::Value* trace = document.find("trace");
+            trace != nullptr && trace->is_object())
+          if (const io::json::Value* spans = trace->find("spans");
+              spans != nullptr && spans->is_array())
+            task.trace->adopt(obs::spans_from_json(*spans));
+      }
+    } catch (const std::exception& e) {
+      stat_errors.fetch_add(1, std::memory_order_relaxed);
+      resolve_error(task,
+                    std::string("router: bad backend reply: ") + e.what());
+      return;
     }
-  } catch (const std::exception& e) {
-    stat_errors.fetch_add(1, std::memory_order_relaxed);
-    return error_json(std::string("router: bad backend reply: ") + e.what(),
-                      task.label, task.client_id);
   }
   // Insert the clean canonical-space report before stamping per-client
   // routing telemetry; the partition must witness the canonical pattern.
@@ -1541,106 +1781,76 @@ std::string Router::Impl::finalize_reply(RouteTask& task,
       replicate(task, report);
   }
   const std::uint64_t lift_start = obs::steady_micros();
-  const std::string reply =
-      render_report(task, std::move(report), endpoint.c_str());
+  resolve_report(task, std::move(report), endpoint.c_str());
   if (task.trace)
     task.trace->record("router.lift", obs::new_span_id(), task.root_span,
                        lift_start, obs::steady_micros());
-  if (is_error_reply(reply))
+  if (task.immediate_is_error)
     stat_errors.fetch_add(1, std::memory_order_relaxed);
   else
     stat_requests.fetch_add(1, std::memory_order_relaxed);
-  return reply;
 }
 
-/// Pull the next micro-batch of client lines (same shape as the server's
-/// reader: block for one line, drain what is already pipelined).
-bool Router::Impl::read_batch(ClientConn& conn, net::LineBuffer& buffer,
-                              std::vector<std::string>& lines) {
-  lines.clear();
-  const auto extract = [&]() {
-    std::string line;
-    while (lines.size() < options.max_batch && buffer.pop(line))
-      lines.push_back(std::move(line));
-  };
-
-  char chunk[16384];
-  while (true) {
-    extract();
-    if (!lines.empty()) break;
-    if (buffer.size() > options.max_line_bytes) {
-      write_line(conn.fd, error_json("request line too long", ""));
-      return false;
-    }
-    const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, 0);
-    if (n > 0) {
-      buffer.append(chunk, static_cast<std::size_t>(n));
+/// One micro-batch: prepare every message, dispatch the forwards (they
+/// run concurrently on the backends — the pipelined fan-out), then await
+/// and send replies in message order. Runs on a reactor worker: a blocked
+/// await occupies the worker, never an event loop, which is why the route
+/// tier sizes io_workers far above the serve tier's pool.
+void Router::Impl::process_batch(const rnet::ConnPtr& conn,
+                                 std::vector<rnet::Message> messages) {
+  const std::uint64_t batch_start_us = obs::steady_micros();
+  std::vector<RouteTask> tasks(messages.size());
+  std::size_t admitted = 0;
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    RouteTask& task = tasks[i];
+    const rnet::Message& m = messages[i];
+    if (m.upgrade) {
+      // The negotiation ack: the extractor already flipped the input
+      // framing, so this is the connection's last line-framed reply.
+      task.mode = m.mode;
+      const std::int64_t id = io::salvage_request_id(m.payload);
+      task.client_id = id;
+      resolve_json(task,
+                   id >= 0 ? "{\"id\":" + std::to_string(id) +
+                                 ",\"upgraded\":true}"
+                           : "{\"upgraded\":true}",
+                   false);
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
-    std::string tail;
-    if (buffer.flush(tail)) {
-      lines.push_back(std::move(tail));
-      return true;
-    }
-    return false;
+    prepare_task(m, task);
+    if (task.admitted) ++admitted;
+    if (task.admitted && !task.resolved) dispatch(task);
   }
 
-  while (lines.size() < options.max_batch) {
-    const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, MSG_DONTWAIT);
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    extract();
-  }
-  return true;
-}
-
-/// One micro-batch: prepare every line, dispatch the forwards (they run
-/// concurrently on the backends — the pipelined fan-out), then await and
-/// write replies in line order. False when the client went away.
-bool Router::Impl::process_batch(ClientConn& conn,
-                                 const std::vector<std::string>& lines) {
-  const std::uint64_t batch_start_us = obs::steady_micros();
-  std::vector<RouteTask> tasks(lines.size());
-  std::size_t admitted = 0;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    prepare_task(lines[i], tasks[i]);
-    if (tasks[i].admitted) ++admitted;
-    if (tasks[i].admitted && tasks[i].immediate.empty()) dispatch(tasks[i]);
-  }
-
-  bool client_alive = true;
   for (RouteTask& task : tasks) {
     if (task.skip) continue;
     if (task.watch) {
-      // Streams on this connection until the watched solve retires;
-      // watchers use a dedicated connection, so blocking the batch here
-      // is the intended shape.
-      if (client_alive) handle_watch(conn, task.client_id);
+      // Spawns a tracked relay thread — the stream must not occupy this
+      // worker for the lifetime of someone else's solve.
+      if (!conn->closed()) handle_watch(conn, task.client_id, task.mode);
       continue;
     }
-    std::string reply;
-    bool is_error = false;
-    if (!task.immediate.empty()) {
-      reply = task.immediate;
-      is_error = task.immediate_is_error;
-      if (task.immediate_is_error)
+    const bool pre_resolved = task.resolved;
+    if (!task.resolved) {
+      finalize_reply(task, await_reply(task));
+      unregister_watch(task);
+    }
+    const bool is_error = task.immediate_is_error;
+    if (pre_resolved) {
+      if (is_error)
         stat_errors.fetch_add(1, std::memory_order_relaxed);
       else if (task.admitted || task.canonical_mode)
         stat_requests.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      reply = finalize_reply(task, await_reply(task));
-      unregister_watch(task);
-      is_error = is_error_reply(reply);
     }
 
     const std::uint64_t done_us = obs::steady_micros();
     const std::uint64_t elapsed_us = done_us - batch_start_us;
     std::string trace_hex;
+    std::string spans_json;
     if (task.trace) {
       // Close the root span, attach the assembled spans (router's own +
       // the backend's, folded in finalize_reply) to the reply, and publish
-      // the trace before the write so an immediate {"op":"trace"} on
+      // the trace before the send so an immediate {"op":"trace"} on
       // another connection finds it.
       const obs::TraceContext& ctx = task.trace->context();
       trace_hex = obs::trace_id_hex(ctx.hi, ctx.lo);
@@ -1650,11 +1860,15 @@ bool Router::Impl::process_batch(ClientConn& conn,
       // Passthrough replies are forwarded verbatim and already carry the
       // backend's own trace member; splicing a second one would duplicate
       // the key. Their router spans live in the local store only.
-      if (!is_error && !task.passthrough && !reply.empty() &&
-          reply.back() == '}') {
-        reply.pop_back();
-        reply += ",\"trace\":{\"id\":\"" + trace_hex +
-                 "\",\"spans\":" + obs::spans_json(spans) + "}}";
+      if (!is_error && !task.passthrough) {
+        if (task.binary_solve) {
+          // The spans array rides the type-2 payload itself.
+          spans_json = obs::spans_json(spans);
+        } else if (!task.immediate.empty() && task.immediate.back() == '}') {
+          task.immediate.pop_back();
+          task.immediate += ",\"trace\":{\"id\":\"" + trace_hex +
+                            "\",\"spans\":" + obs::spans_json(spans) + "}}";
+        }
       }
       traces.add(ctx.hi, ctx.lo, std::move(spans));
     }
@@ -1671,75 +1885,26 @@ bool Router::Impl::process_batch(ClientConn& conn,
       }
     }
 
-    if (client_alive && !write_line(conn.fd, reply)) client_alive = false;
-    // A dead client still drains its remaining in-flight replies (the
-    // loop keeps awaiting) so admission slots and pending ids retire
-    // cleanly.
+    if (task.binary_solve) {
+      const std::uint8_t out_type =
+          is_error ? rnet::kFrameError : rnet::kFrameSolveReport;
+      const std::string payload =
+          is_error ? io::binary_error_payload(task.client_id,
+                                              task.error_message, task.label)
+                   : io::binary_report_payload(
+                         *task.final_report, task.include_partition,
+                         task.client_id, task.original.rows(),
+                         task.original.cols(), task.backend_events,
+                         spans_json);
+      conn->send(rnet::encode_frame(out_type, payload));
+    } else {
+      conn->send(framed_json(task.mode, task.immediate));
+    }
+    // A dead client still drains its remaining in-flight awaits (send on
+    // a closed connection is a harmless no-op) so admission slots and
+    // pending ids retire cleanly.
   }
   release_admitted(admitted);
-  return client_alive;
-}
-
-void Router::Impl::serve_client(const std::shared_ptr<ClientConn>& conn) {
-  net::LineBuffer buffer;
-  std::vector<std::string> lines;
-  while (!stopping.load(std::memory_order_relaxed) &&
-         read_batch(*conn, buffer, lines)) {
-    if (!process_batch(*conn, lines)) break;
-  }
-  // Deregister before closing: stop() shuts down fds it finds in the
-  // registry, and a closed fd number could already be reused elsewhere.
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex);
-    for (std::size_t i = 0; i < connections.size(); ++i) {
-      if (connections[i].get() == conn.get()) {
-        connections.erase(connections.begin() +
-                          static_cast<std::ptrdiff_t>(i));
-        break;
-      }
-    }
-  }
-  ::close(conn->fd);
-  conn->finished.store(true, std::memory_order_release);
-}
-
-void Router::Impl::reap_finished_threads() {
-  std::vector<std::thread> done;
-  {
-    std::lock_guard<std::mutex> lock(threads_mutex);
-    for (std::size_t i = 0; i < connection_threads.size();) {
-      if (connection_threads[i].conn->finished.load(
-              std::memory_order_acquire)) {
-        done.push_back(std::move(connection_threads[i].thread));
-        connection_threads.erase(connection_threads.begin() +
-                                 static_cast<std::ptrdiff_t>(i));
-      } else {
-        ++i;
-      }
-    }
-  }
-  for (std::thread& t : done)
-    if (t.joinable()) t.join();
-}
-
-void Router::Impl::accept_loop() {
-  while (!stopping.load(std::memory_order_relaxed)) {
-    reap_finished_threads();
-    const int fd = listener.accept_ready(100);
-    if (fd < 0) continue;
-    auto conn = std::make_shared<ClientConn>();
-    conn->fd = fd;
-    {
-      std::lock_guard<std::mutex> lock(connections_mutex);
-      connections.push_back(conn);
-    }
-    stat_connections.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(threads_mutex);
-    ConnThread worker;
-    worker.conn = conn;
-    worker.thread = std::thread([this, conn]() { serve_client(conn); });
-    connection_threads.push_back(std::move(worker));
-  }
 }
 
 void Router::Impl::health_loop() {
@@ -1832,10 +1997,42 @@ void Router::start() {
     for (const auto& pool : snapshot) pool->maintain();
   }
 
-  impl.listener.listen(impl.options.host, impl.options.port);
+  rnet::ReactorOptions reactor_options;
+  reactor_options.host = impl.options.host;
+  reactor_options.port = impl.options.port;
+  reactor_options.event_loops = impl.options.io_threads;
+  // Route workers *block* in await_reply for a backend round-trip, so the
+  // pool is sized for in-flight requests, not cores. The pool readers
+  // complete replies independently — a full worker pool delays new work,
+  // it never deadlocks the fleet.
+  reactor_options.workers =
+      impl.options.io_workers > 0 ? impl.options.io_workers : 64;
+  reactor_options.max_batch = impl.options.max_batch;
+  reactor_options.max_message_bytes = impl.options.max_line_bytes;
+  reactor_options.idle_timeout_seconds = impl.options.idle_timeout_seconds;
+
+  rnet::ReactorCallbacks callbacks;
+  callbacks.on_open = [&impl](const rnet::ConnPtr&) {
+    impl.stat_connections.fetch_add(1, std::memory_order_relaxed);
+  };
+  callbacks.on_batch = [&impl](const rnet::ConnPtr& conn,
+                               std::vector<rnet::Message> messages) {
+    impl.process_batch(conn, std::move(messages));
+  };
+  callbacks.protocol_error_reply = [](rnet::WireMode mode,
+                                      const std::string& message) {
+    if (mode == rnet::WireMode::Line)
+      return error_json(message, "") + "\n";
+    return rnet::encode_frame(rnet::kFrameError,
+                              io::binary_error_payload(-1, message, ""));
+  };
+
+  impl.reactor = std::make_unique<rnet::ReactorServer>(
+      std::move(reactor_options), std::move(callbacks));
+  impl.reactor->start();
   impl.self_endpoint =
       impl.options.advertise.empty()
-          ? impl.options.host + ":" + std::to_string(impl.listener.port())
+          ? impl.options.host + ":" + std::to_string(impl.reactor->port())
           : impl.options.advertise;
   if (!impl.options.peers.empty()) {
     cluster::LeaderLease::Options lease_options;
@@ -1846,7 +2043,6 @@ void Router::start() {
   }
   impl.stopping = false;
   impl.running = true;
-  impl.accept_thread = std::thread([&impl]() { impl.accept_loop(); });
   impl.health_thread = std::thread([&impl]() { impl.health_loop(); });
   if (impl.lease)
     impl.sync_thread = std::thread([&impl]() { impl.sync_loop(); });
@@ -1857,25 +2053,17 @@ void Router::stop() {
   if (impl.stopping.exchange(true)) return;
   if (!impl.running.load()) return;
 
-  // 1. No new clients.
-  impl.listener.shutdown_now();
-  if (impl.accept_thread.joinable()) impl.accept_thread.join();
+  // 1. Drain the reactor: stop accepting and reading. Messages already
+  // handed to workers keep flowing — the backend pools are still up, so
+  // in-flight awaits complete and every accepted request is answered
+  // before shutdown() flushes and joins.
+  if (impl.reactor) {
+    impl.reactor->begin_drain();
+    impl.reactor->shutdown();
+  }
 
-  // 2. Half-close client read sides: connection threads finish their
-  // in-flight batch (backend pools are still up, replies still flow) and
-  // then see EOF.
-  {
-    std::lock_guard<std::mutex> lock(impl.connections_mutex);
-    for (const auto& conn : impl.connections)
-      ::shutdown(conn->fd, SHUT_RD);
-  }
-  std::vector<Impl::ConnThread> workers;
-  {
-    std::lock_guard<std::mutex> lock(impl.threads_mutex);
-    workers.swap(impl.connection_threads);
-  }
-  for (Impl::ConnThread& w : workers)
-    if (w.thread.joinable()) w.thread.join();
+  // 2. Watch relays exit on `stopping`.
+  impl.reap_watch_threads(true);
 
   // 3. Only now tear down the transport.
   if (impl.health_thread.joinable()) impl.health_thread.join();
@@ -1886,7 +2074,6 @@ void Router::stop() {
     for (const auto& [endpoint, pool] : impl.pools) snapshot.push_back(pool);
   }
   for (const auto& pool : snapshot) pool->shutdown();
-  impl.listener.close();
   // Drain the observability sinks: the tail of the slow log and trace file
   // must survive the SIGTERM that triggered this stop.
   impl.slow_file.flush();
@@ -1896,7 +2083,9 @@ void Router::stop() {
 
 bool Router::running() const noexcept { return impl_->running.load(); }
 
-std::uint16_t Router::port() const noexcept { return impl_->listener.port(); }
+std::uint16_t Router::port() const noexcept {
+  return impl_->reactor ? impl_->reactor->port() : 0;
+}
 
 RouterStats Router::stats() const {
   RouterStats out;
@@ -1938,6 +2127,7 @@ RouterStats Router::stats() const {
     BackendHealth health;
     health.endpoint = backend.endpoint;
     health.alive = stats.alive;
+    health.binary = stats.binary;
     health.is_static = backend.is_static;
     health.requests = stats.requests;
     health.failures = stats.failures;

@@ -122,6 +122,19 @@ struct RouterOptions {
   std::size_t max_inflight = 256;  ///< Global admission limit.
   std::size_t max_batch = 32;      ///< Pipelined lines read per batch.
   std::size_t max_line_bytes = 4u << 20;  ///< Oversized-line guard.
+  std::size_t io_threads = 2;  ///< Reactor event-loop threads.
+  /// Reactor handler threads. Router handlers *block* in await_reply (pool
+  /// reader threads complete replies independently, so this is bounded
+  /// concurrency, not a deadlock risk) — the default is therefore much
+  /// larger than the serve tier's compute-bound auto value. 0 = auto (64).
+  std::size_t io_workers = 0;
+  /// Reap client connections idle this long (half-open peers). 0 = never.
+  double idle_timeout_seconds = 0.0;
+  /// Negotiate the binary frame protocol on backend pool connections and
+  /// use the canonical-key fast path for dense solves
+  /// (`ebmf route --no-binary` turns it off; JSON lines then carry all
+  /// router→backend traffic exactly as before the upgrade existed).
+  bool binary_backend = true;
   std::size_t pool_connections = 1;  ///< Sockets per backend.
   /// Give up on a backend reply after this long and fail over (a hung
   /// backend must not wedge a client thread forever). 0 = wait forever.
@@ -149,6 +162,7 @@ struct RouterOptions {
 struct BackendHealth {
   std::string endpoint;
   bool alive = false;
+  bool binary = false;         ///< Pool negotiated the frame protocol.
   bool is_static = false;      ///< Configured at startup (never evicted).
   std::uint64_t requests = 0;  ///< Lines submitted to this backend.
   std::uint64_t failures = 0;  ///< Connection breaks observed.

@@ -4,6 +4,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -20,6 +21,14 @@ namespace ebmf::service::net {
 
 void sys_fail(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void set_tcp_nodelay(int fd) {
+  // The protocol is small pipelined request/reply lines and frames; Nagle
+  // would stall every micro-batched reply behind the previous ACK. Failure
+  // is ignored: fd may be a pipe/socketpair in tests.
+  const int yes = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof yes);
 }
 
 std::string error_json(const std::string& message, const std::string& label,
@@ -81,6 +90,7 @@ int tcp_connect(const std::string& host, std::uint16_t port) {
     errno = saved;
     sys_fail("connect " + host + ":" + std::to_string(port));
   }
+  set_tcp_nodelay(fd);
   return fd;
 }
 
@@ -186,7 +196,9 @@ int TcpListener::accept_ready(int timeout_ms) {
   pollfd waiter{fd_, POLLIN, 0};
   const int ready = ::poll(&waiter, 1, timeout_ms);
   if (ready <= 0) return -1;
-  return ::accept(fd_, nullptr, nullptr);
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn >= 0) set_tcp_nodelay(conn);
+  return conn;
 }
 
 void TcpListener::shutdown_now() {

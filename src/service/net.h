@@ -25,6 +25,10 @@ namespace ebmf::service::net {
 /// Throw std::runtime_error("<what>: <strerror(errno)>").
 [[noreturn]] void sys_fail(const std::string& what);
 
+/// Disable Nagle on a connected TCP socket (best-effort; every socket the
+/// tree creates — accepts, tcp_connect, pool dials — goes through this).
+void set_tcp_nodelay(int fd);
+
 /// `{"error": "...", "label": "..."}` with an optional `"id"` first member
 /// — the protocol's failure reply (id < 0 omits the field).
 std::string error_json(const std::string& message, const std::string& label,

@@ -1,7 +1,9 @@
-// The line-JSON solver server: accept/connection/watchdog threads,
-// micro-batched solving through the engine pool, admission control, and
-// cancellation wiring (client disconnects, SIGTERM drain). Socket and
-// line-framing plumbing is shared with the router via service/net.h.
+// The solver server on the epoll reactor (net/reactor.h): event loops own
+// the sockets, micro-batches flow through the worker pool into the engine,
+// and connections speak line-JSON or (after `{"op":"upgrade"}`) the binary
+// frame protocol. Admission control, cancellation wiring (hard socket
+// deaths, SIGTERM drain), watch streams, and the announce control plane
+// live here; socket plumbing is shared with the router via service/net.h.
 
 #include "service/service.h"
 
@@ -35,8 +37,11 @@
 #include <vector>
 
 #include "core/partition.h"
+#include "io/binary_io.h"
 #include "io/json.h"
 #include "io/request_io.h"
+#include "net/frame.h"
+#include "net/reactor.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
@@ -51,21 +56,27 @@ namespace {
 
 using net::error_json;
 using net::write_line;
+namespace rnet = ebmf::net;
 
-/// Per-connection state shared between its reader thread and the watchdog.
-struct Connection {
-  int fd = -1;
+/// Owner-side per-connection state hung on the reactor connection.
+struct ConnState {
   /// Cancellation flag threaded into every Budget this connection solves
-  /// under; flipped by the watchdog on disconnect and by stop() on drain.
+  /// under; flipped by on_close on a hard death and by stop() on drain.
   std::shared_ptr<std::atomic<bool>> cancel =
       std::make_shared<std::atomic<bool>>(false);
-  std::atomic<bool> solving{false};
-  /// Set by the reader thread as its very last action; the accept loop
-  /// joins and discards finished threads continuously (a long-lived server
-  /// must not accumulate one dead std::thread handle per past connection
-  /// until stop()).
-  std::atomic<bool> finished{false};
 };
+
+std::shared_ptr<ConnState> conn_state(const rnet::ConnPtr& conn) {
+  return std::static_pointer_cast<ConnState>(conn->user());
+}
+
+/// Wrap one JSON reply line in the framing the triggering message used:
+/// '\n'-terminated on a line connection, a type-4 JSON frame after the
+/// upgrade.
+std::string framed_json(rnet::WireMode mode, const std::string& line) {
+  if (mode == rnet::WireMode::Line) return line + "\n";
+  return rnet::encode_frame(rnet::kFrameJson, line);
+}
 
 }  // namespace
 
@@ -122,23 +133,22 @@ struct Server::Impl {
   obs::Gauge* obs_inflight =
       obs::default_registry().gauge("server.inflight");
 
-  net::TcpListener listener;
+  /// The I/O tier. Created in start(); shutdown (not destroyed) in stop(),
+  /// so port() and stats stay answerable after a drain.
+  std::unique_ptr<rnet::ReactorServer> reactor;
   std::atomic<bool> running{false};
   std::atomic<bool> stopping{false};
 
-  /// A connection's reader thread paired with its completion flag.
-  struct ConnThread {
+  /// One watch stream = one tracked thread writing through conn->try_send
+  /// (never blocking an event loop or a reactor worker for the lifetime of
+  /// someone else's solve). Finished threads are reaped on the next watch;
+  /// stop() joins the rest.
+  struct WatchThread {
     std::thread thread;
-    std::shared_ptr<Connection> conn;
+    std::shared_ptr<std::atomic<bool>> done;
   };
-
-  std::thread accept_thread;
-  std::thread watchdog_thread;
-  std::mutex threads_mutex;
-  std::vector<ConnThread> connection_threads;
-
-  std::mutex connections_mutex;
-  std::vector<std::shared_ptr<Connection>> connections;
+  std::mutex watch_mutex;
+  std::vector<WatchThread> watch_threads;
 
   /// The announce clients' live sockets, one slot per router in the
   /// (comma-separated) --announce list; -1 when that session is down.
@@ -182,7 +192,12 @@ struct Server::Impl {
 
   std::string stats_json(std::int64_t id) const;
   std::string handle_put(const io::WireRequest& wire);
-  void handle_watch(Connection& conn, std::int64_t id);
+  void handle_watch(const rnet::ConnPtr& conn, std::int64_t id,
+                    rnet::WireMode mode);
+  void watch_stream(const rnet::ConnPtr& conn,
+                    const obs::ProgressSinkPtr& sink, std::int64_t id,
+                    rnet::WireMode mode);
+  void reap_watch_threads(bool join_all);
   void log_slow(const engine::SolveReport& report, double elapsed_ms,
                 const std::string& trace_id);
   std::string advertised_endpoint() const;
@@ -190,13 +205,8 @@ struct Server::Impl {
   bool announce_round(const std::string& host, std::uint16_t port,
                       const std::string& self, std::size_t slot);
   void announce_loop(std::string router, std::size_t slot);
-  bool read_batch(Connection& conn, net::LineBuffer& buffer,
-                  std::vector<std::string>& lines);
-  bool process_batch(Connection& conn, const std::vector<std::string>& lines);
-  void serve_connection(const std::shared_ptr<Connection>& conn);
-  void reap_finished_threads();
-  void accept_loop();
-  void watchdog_loop();
+  void process_batch(const rnet::ConnPtr& conn,
+                     std::vector<rnet::Message> messages);
 };
 
 /// The `{"op":"stats"}` reply: server counters + cache counters, one line.
@@ -256,21 +266,6 @@ std::string Server::Impl::stats_json(std::int64_t id) const {
 
 namespace {
 
-/// Write one watch-stream line without ever blocking the writer: frames a
-/// slow subscriber can't absorb are dropped (true), a dead socket returns
-/// false so the caller can retire the subscription.
-bool write_watch_line(int fd, const std::string& line) {
-  std::string framed = line;
-  framed += '\n';
-  const ssize_t n = ::send(fd, framed.data(), framed.size(),
-                           MSG_DONTWAIT | MSG_NOSIGNAL);
-  if (n == static_cast<ssize_t>(framed.size())) return true;
-  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
-  // A partial write would tear the JSONL framing; treat it (and every hard
-  // error) as a lost subscriber — watch is diagnostics, not data plane.
-  return false;
-}
-
 std::string watch_frame_line(std::int64_t id, const obs::ProgressFrame& f) {
   std::string line = obs::progress_frame_json(f);
   if (id >= 0 && !line.empty() && line.front() == '{')
@@ -281,12 +276,14 @@ std::string watch_frame_line(std::int64_t id, const obs::ProgressFrame& f) {
 }  // namespace
 
 /// `{"op":"watch","id":N}`: stream the named in-flight solve's progress
-/// frames to this connection as JSONL, then a final `{"done":true}` line
-/// when the solve retires. Blocks this connection's reader thread (watchers
-/// use a dedicated connection); the publishing solver is never blocked —
-/// frames flow through a MSG_DONTWAIT listener that drops on backpressure
-/// and unsubscribes itself on a dead socket.
-void Server::Impl::handle_watch(Connection& conn, std::int64_t id) {
+/// frames to this connection as JSONL (framed per the connection's wire
+/// mode), then a final `{"done":true}` line when the solve retires. The
+/// stream runs on its own tracked thread so it never occupies a reactor
+/// worker for the lifetime of someone else's solve; the publishing solver
+/// is never blocked either — frames flow through conn->try_send, which
+/// drops on backpressure and reports a closed connection.
+void Server::Impl::handle_watch(const rnet::ConnPtr& conn, std::int64_t id,
+                                rnet::WireMode mode) {
   obs::ProgressSinkPtr sink;
   {
     const std::lock_guard<std::mutex> lock(inflight_mutex);
@@ -294,56 +291,83 @@ void Server::Impl::handle_watch(Connection& conn, std::int64_t id) {
     if (it != inflight_watch.end()) sink = it->second.sink;
   }
   if (!sink) {
-    write_line(conn.fd,
-               error_json("watch: no in-flight request with id " +
-                              std::to_string(id),
-                          "", id));
+    conn->send(framed_json(
+        mode, error_json("watch: no in-flight request with id " +
+                             std::to_string(id),
+                         "", id)));
     return;
   }
-  const int fd = conn.fd;
-  auto dead = std::make_shared<std::atomic<bool>>(false);
+  reap_watch_threads(false);
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  WatchThread watcher;
+  watcher.done = done;
+  watcher.thread = std::thread([this, conn, sink, id, mode, done]() {
+    watch_stream(conn, sink, id, mode);
+    done->store(true, std::memory_order_release);
+  });
+  const std::lock_guard<std::mutex> lock(watch_mutex);
+  watch_threads.push_back(std::move(watcher));
+}
+
+void Server::Impl::watch_stream(const rnet::ConnPtr& conn,
+                                const obs::ProgressSinkPtr& sink,
+                                std::int64_t id, rnet::WireMode mode) {
   // Replay the retained history first, so a late subscriber still sees the
   // whole trajectory; the live subscription then filters to newer frames.
+  bool dead = false;
   std::uint64_t last_seq = 0;
   for (const obs::ProgressFrame& frame : sink->frames()) {
     last_seq = frame.seq;
-    if (!write_watch_line(fd, watch_frame_line(id, frame))) {
-      dead->store(true, std::memory_order_relaxed);
+    if (!conn->try_send(framed_json(mode, watch_frame_line(id, frame)))) {
+      dead = true;
       break;
     }
   }
   std::uint64_t token = 0;
-  if (!dead->load(std::memory_order_relaxed)) {
+  if (!dead) {
     token = sink->subscribe(
-        [fd, dead, last_seq, id](const obs::ProgressFrame& frame) {
-          if (dead->load(std::memory_order_relaxed)) return false;
+        [conn, mode, last_seq, id](const obs::ProgressFrame& frame) {
           if (frame.seq <= last_seq) return true;  // replayed already
-          if (!write_watch_line(fd, watch_frame_line(id, frame))) {
-            dead->store(true, std::memory_order_relaxed);
-            return false;
-          }
-          return true;
+          // try_send drops frames a slow subscriber can't absorb (watch is
+          // diagnostics, not data plane) and is false only on a closed
+          // connection — which unsubscribes this listener.
+          return conn->try_send(framed_json(mode, watch_frame_line(id, frame)));
         });
   }
-  while (!dead->load(std::memory_order_relaxed) &&
-         !stopping.load(std::memory_order_relaxed)) {
+  while (!dead && !stopping.load(std::memory_order_relaxed) &&
+         !conn->closed()) {
     if (sink->wait_finished(0.05)) break;
-    // Poll the watcher's socket between waits: a subscriber that hung up
-    // mid-solve must release this thread (and the listener) promptly.
-    char probe = 0;
-    const ssize_t n = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
-    if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
-                   errno != EINTR))
-      dead->store(true, std::memory_order_relaxed);
   }
   if (token != 0) sink->unsubscribe(token);
-  if (!dead->load(std::memory_order_relaxed)) {
-    std::string done = "{";
-    if (id >= 0) done += "\"id\":" + std::to_string(id) + ",";
-    done += "\"watch\":true,\"done\":true,\"frames\":" +
-            std::to_string(sink->published()) + "}";
-    write_line(fd, done);
+  if (!dead && !conn->closed()) {
+    std::string done_line = "{";
+    if (id >= 0) done_line += "\"id\":" + std::to_string(id) + ",";
+    done_line += "\"watch\":true,\"done\":true,\"frames\":" +
+                 std::to_string(sink->published()) + "}";
+    conn->send(framed_json(mode, done_line));
   }
+}
+
+/// Join watch threads that have finished (every spawn), or all of them
+/// (stop() — they exit promptly once `stopping` is set and the drained
+/// solves finish their sinks).
+void Server::Impl::reap_watch_threads(bool join_all) {
+  std::vector<std::thread> joinable;
+  {
+    const std::lock_guard<std::mutex> lock(watch_mutex);
+    for (std::size_t i = 0; i < watch_threads.size();) {
+      if (join_all ||
+          watch_threads[i].done->load(std::memory_order_acquire)) {
+        joinable.push_back(std::move(watch_threads[i].thread));
+        watch_threads.erase(watch_threads.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (std::thread& thread : joinable)
+    if (thread.joinable()) thread.join();
 }
 
 /// One slow-request JSON line: wall-clock, trace id (when traced), the
@@ -413,7 +437,8 @@ std::string Server::Impl::handle_put(const io::WireRequest& wire) {
 /// bind host plus the actually-bound port (resolves --port=0).
 std::string Server::Impl::advertised_endpoint() const {
   if (!options.advertise.empty()) return options.advertise;
-  return options.host + ":" + std::to_string(listener.port());
+  const std::uint16_t bound = reactor ? reactor->port() : options.port;
+  return options.host + ":" + std::to_string(bound);
 }
 
 namespace {
@@ -568,94 +593,28 @@ void Server::Impl::announce_loop(std::string router, std::size_t slot) {
   }
 }
 
-/// Join and drop the reader threads of connections that have finished.
-/// Called from the accept loop on every wakeup (at least every poll
-/// timeout), so handles are reclaimed within ~100 ms of a disconnect
-/// instead of accumulating until stop().
-void Server::Impl::reap_finished_threads() {
-  std::vector<std::thread> done;
-  {
-    std::lock_guard<std::mutex> lock(threads_mutex);
-    for (std::size_t i = 0; i < connection_threads.size();) {
-      if (connection_threads[i].conn->finished.load(
-              std::memory_order_acquire)) {
-        done.push_back(std::move(connection_threads[i].thread));
-        connection_threads.erase(connection_threads.begin() +
-                                 static_cast<std::ptrdiff_t>(i));
-      } else {
-        ++i;
-      }
-    }
-  }
-  // Join outside the lock: the flag is the thread's last store, so these
-  // joins return immediately.
-  for (std::thread& t : done)
-    if (t.joinable()) t.join();
-}
-
-/// Pull the next micro-batch of request lines off the socket: block for the
-/// first complete line, then opportunistically drain whatever pipelined
-/// lines are already queued (up to max_batch). False on EOF/overflow with
-/// nothing left to process.
-bool Server::Impl::read_batch(Connection& conn, net::LineBuffer& buffer,
-                              std::vector<std::string>& lines) {
-  Impl& impl = *this;
-  lines.clear();
-  const auto extract = [&]() {
-    std::string line;
-    while (lines.size() < impl.options.max_batch && buffer.pop(line))
-      lines.push_back(std::move(line));
-  };
-
-  char chunk[16384];
-  while (true) {
-    extract();
-    if (!lines.empty()) break;
-    if (buffer.size() > impl.options.max_line_bytes) {
-      write_line(conn.fd, error_json("request line too long", ""));
-      return false;
-    }
-    const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, 0);
-    if (n > 0) {
-      buffer.append(chunk, static_cast<std::size_t>(n));
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    // EOF (or a dead socket): a trailing unterminated line still counts —
-    // `printf '...' | nc` clients do not always send the final newline.
-    std::string tail;
-    if (buffer.flush(tail)) {
-      lines.push_back(std::move(tail));
-      return true;
-    }
-    return false;
-  }
-
-  // Micro-batching: pick up already-pipelined lines without blocking.
-  while (lines.size() < impl.options.max_batch) {
-    const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, MSG_DONTWAIT);
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    extract();
-  }
-  return true;
-}
-
 namespace {
 
-/// One request line's lifecycle through a batch.
+/// One message's lifecycle through a batch.
 struct PendingLine {
-  bool skip = false;      ///< Blank line: no response at all.
-  std::string error;      ///< Non-empty: reply with error_json.
+  bool skip = false;      ///< Blank line / handled elsewhere: no reply here.
+  std::string error;      ///< Non-empty: reply with an error.
   std::string label;      ///< For error replies.
   std::int64_t id = -1;   ///< Correlation id echoed into the reply.
-  std::string immediate;  ///< Pre-rendered reply (the stats verb).
+  std::string immediate;  ///< Pre-rendered JSON reply (admin verbs).
   bool admitted = false;
   bool split = false;
   bool include_partition = false;
   /// The request carried a finite budget (deadline/conflicts/nodes): a
   /// non-Optimal reply is a budget cut and gets the flight-recorder tail.
   bool budgeted = false;
+  /// Reply framing: the mode + frame type of the triggering message. A
+  /// type-1 binary solve answers with a type-2 report (or type-3 error);
+  /// everything else answers JSON, framed per `mode`.
+  rnet::WireMode mode = rnet::WireMode::Line;
+  std::uint8_t frame_type = 0;
+  std::size_t rows = 0;  ///< Pattern shape for the binary report encoding.
+  std::size_t cols = 0;
   /// Progress sink registered under `watch_id` for `{"op":"watch"}`;
   /// finished + unregistered when the reply is built.
   obs::ProgressSinkPtr sink;
@@ -673,31 +632,63 @@ struct PendingLine {
 
 }  // namespace
 
-/// Parse, admit, solve, and answer one micro-batch, preserving line order.
-/// False when the client went away mid-write.
-bool Server::Impl::process_batch(Connection& conn,
-                                 const std::vector<std::string>& lines) {
+/// Parse, admit, solve, and answer one micro-batch, preserving message
+/// order. Runs on a reactor worker; replies cork into the connection's
+/// write queue (one writev per batch on the happy path).
+void Server::Impl::process_batch(const rnet::ConnPtr& conn,
+                                 std::vector<rnet::Message> messages) {
   Impl& impl = *this;
+  const std::shared_ptr<ConnState> state = conn_state(conn);
   const std::uint64_t batch_start_us = obs::steady_micros();
-  std::vector<PendingLine> pending(lines.size());
+  std::vector<PendingLine> pending(messages.size());
   std::vector<engine::SolveRequest> batch;
   std::size_t admitted = 0;
 
-  for (std::size_t i = 0; i < lines.size(); ++i) {
+  for (std::size_t i = 0; i < messages.size(); ++i) {
     PendingLine& p = pending[i];
-    if (lines[i].find_first_not_of(" \t") == std::string::npos) {
-      p.skip = true;
+    const rnet::Message& m = messages[i];
+    p.mode = m.mode;
+    p.frame_type = m.frame_type;
+    if (m.upgrade) {
+      // The negotiation ack: the extractor already flipped the input
+      // framing, so this is the connection's last line-framed reply.
+      const std::int64_t id = io::salvage_request_id(m.payload);
+      p.id = id;
+      p.immediate =
+          id >= 0 ? "{\"id\":" + std::to_string(id) + ",\"upgraded\":true}"
+                  : "{\"upgraded\":true}";
       continue;
     }
     io::WireRequest wire;
-    try {
-      wire = io::parse_wire_request(lines[i]);
-    } catch (const std::exception& e) {
-      p.error = e.what();
-      // A client (or the router) correlating by id needs it echoed even
-      // on a rejected request.
-      p.id = io::salvage_request_id(lines[i]);
+    if (m.mode == rnet::WireMode::Binary &&
+        m.frame_type == rnet::kFrameSolveRequest) {
+      try {
+        wire = io::parse_binary_request(m.payload);
+      } catch (const std::exception& e) {
+        p.error = e.what();
+        p.id = io::binary_salvage_id(m.payload);
+        continue;
+      }
+    } else if (m.mode == rnet::WireMode::Binary &&
+               m.frame_type != rnet::kFrameJson) {
+      p.error = "unexpected frame type " + std::to_string(m.frame_type) +
+                " (clients send solve or json frames)";
       continue;
+    } else {
+      // A request line, or the identical JSON text in a type-4 frame.
+      if (m.payload.find_first_not_of(" \t") == std::string::npos) {
+        p.skip = true;
+        continue;
+      }
+      try {
+        wire = io::parse_wire_request(m.payload);
+      } catch (const std::exception& e) {
+        p.error = e.what();
+        // A client (or the router) correlating by id needs it echoed even
+        // on a rejected request.
+        p.id = io::salvage_request_id(m.payload);
+        continue;
+      }
     }
     p.id = wire.id;
     if (wire.op == io::WireOp::Stats) {
@@ -740,10 +731,9 @@ bool Server::Impl::process_batch(Connection& conn,
       continue;
     }
     if (wire.op == io::WireOp::Watch) {
-      // Streams on this connection until the watched solve retires;
-      // watchers use a dedicated connection, so blocking the batch here
-      // is the intended shape.
-      impl.handle_watch(conn, wire.id);
+      // Streams on this connection from a dedicated thread until the
+      // watched solve retires; the batch moves on immediately.
+      impl.handle_watch(conn, wire.id, p.mode);
       p.skip = true;
       continue;
     }
@@ -804,6 +794,8 @@ bool Server::Impl::process_batch(Connection& conn,
     }
     p.label = wire.request.label;
     p.include_partition = wire.include_partition;
+    p.rows = wire.request.matrix.rows();
+    p.cols = wire.request.matrix.cols();
     if (!impl.try_admit()) {
       impl.stat_rejected.fetch_add(1, std::memory_order_relaxed);
       impl.obs_rejected->add(1);
@@ -823,7 +815,7 @@ bool Server::Impl::process_batch(Connection& conn,
     if (seconds > 0) wire.request.budget.deadline = Deadline::after(seconds);
     p.budgeted = seconds > 0 || wire.request.budget.max_conflicts >= 0 ||
                  wire.request.budget.max_nodes > 0;
-    wire.request.budget.cancel = conn.cancel;
+    if (state) wire.request.budget.cancel = state->cancel;
 
     if (wire.id >= 0) {
       // Id-carrying solves are watchable: arm a progress sink on the
@@ -859,7 +851,6 @@ bool Server::Impl::process_batch(Connection& conn,
     }
   }
 
-  conn.solving.store(admitted > 0, std::memory_order_relaxed);
   // Queue wait: parse + admission until the engine actually starts. Batches
   // record it here (once per line), not in the engine, so split sub-requests
   // sharing one recorder don't each re-report it.
@@ -881,7 +872,6 @@ bool Server::Impl::process_batch(Connection& conn,
       p.error = e.what();
     }
   }
-  conn.solving.store(false, std::memory_order_relaxed);
   impl.release_admitted(admitted);
 
   // Retire the watchable solves: finishing the sink releases every watcher
@@ -898,35 +888,54 @@ bool Server::Impl::process_batch(Connection& conn,
 
   for (PendingLine& p : pending) {
     if (p.skip) continue;
-    std::string reply;
+    const bool binary_solve = p.mode == rnet::WireMode::Binary &&
+                              p.frame_type == rnet::kFrameSolveRequest;
+    std::string reply;          // JSON reply line (non-binary-solve paths)
+    std::string payload;        // binary frame payload (binary solve path)
+    std::uint8_t out_type = rnet::kFrameSolveReport;
+    std::string events_json;    // the splices a binary report carries as
+    std::string spans_json;     // raw strings instead of reply-text edits
     const engine::SolveReport* done = nullptr;
     if (!p.immediate.empty()) {
       reply = p.immediate;
     } else if (!p.error.empty()) {
-      reply = error_json(p.error, p.label, p.id);
       impl.stat_errors.fetch_add(1, std::memory_order_relaxed);
       impl.obs_errors->add(1);
+      if (binary_solve) {
+        out_type = rnet::kFrameError;
+        payload = io::binary_error_payload(p.id, p.error, p.label);
+      } else {
+        reply = error_json(p.error, p.label, p.id);
+      }
     } else {
       const engine::SolveReport& report =
           p.split ? *p.report : reports[p.batch_index];
       // solve_batch converts per-request failures (unknown strategy) into
       // "error" telemetry; surface those as protocol errors too.
       if (const std::string* error = report.find_telemetry("error")) {
-        reply = error_json(*error, report.label, p.id);
         impl.stat_errors.fetch_add(1, std::memory_order_relaxed);
         impl.obs_errors->add(1);
+        if (binary_solve) {
+          out_type = rnet::kFrameError;
+          payload = io::binary_error_payload(p.id, *error, report.label);
+        } else {
+          reply = error_json(*error, report.label, p.id);
+        }
       } else {
-        reply = io::wire_response_json(report, p.include_partition, p.id);
         impl.stat_requests.fetch_add(1, std::memory_order_relaxed);
         impl.obs_requests->add(1);
         done = &report;
-        if (p.budgeted && report.status != engine::Status::Optimal &&
-            !reply.empty() && reply.back() == '}') {
+        if (p.budgeted && report.status != engine::Status::Optimal) {
           // A budget-cut reply carries the flight recorder's tail — the
           // "why did my budget run out" answer rides the reply itself.
-          reply.pop_back();
-          reply += ",\"events\":" +
-                   obs::events_json(obs::snapshot_events(32)) + "}";
+          events_json = obs::events_json(obs::snapshot_events(32));
+        }
+        if (!binary_solve) {
+          reply = io::wire_response_json(report, p.include_partition, p.id);
+          if (!events_json.empty() && !reply.empty() && reply.back() == '}') {
+            reply.pop_back();
+            reply += ",\"events\":" + events_json + "}";
+          }
         }
       }
     }
@@ -944,13 +953,20 @@ bool Server::Impl::process_batch(Connection& conn,
       p.trace->record("server.request", p.root_span, p.remote_parent,
                       p.trace->created_us(), done_us);
       std::vector<obs::Span> spans = p.trace->spans();
-      if (done && !reply.empty() && reply.back() == '}') {
-        reply.pop_back();
-        reply += ",\"trace\":{\"id\":\"" + trace_hex +
-                 "\",\"spans\":" + obs::spans_json(spans) + "}}";
+      if (done) {
+        spans_json = obs::spans_json(spans);
+        if (!binary_solve && !reply.empty() && reply.back() == '}') {
+          reply.pop_back();
+          reply += ",\"trace\":{\"id\":\"" + trace_hex +
+                   "\",\"spans\":" + spans_json + "}}";
+        }
       }
       impl.traces.add(ctx.hi, ctx.lo, std::move(spans));
     }
+    if (done && binary_solve)
+      payload = io::binary_report_payload(*done, p.include_partition, p.id,
+                                          p.rows, p.cols, events_json,
+                                          spans_json);
     if (done || !p.error.empty()) {
       impl.obs_request->record(elapsed_us);
       if (done)
@@ -964,7 +980,12 @@ bool Server::Impl::process_batch(Connection& conn,
         impl.log_slow(*done, elapsed_ms, trace_hex);
     }
 
-    if (!write_line(conn.fd, reply)) return false;
+    // Enqueue through the reactor: the loop corks this whole batch's
+    // replies into one writev. A false return means the connection died;
+    // remaining replies are dropped with it (its budget was cancelled by
+    // on_close already).
+    conn->send(binary_solve ? rnet::encode_frame(out_type, payload)
+                            : framed_json(p.mode, reply));
     if (p.trace) {
       // The reply-write span can't ride in the reply it measures; it lands
       // in the local store only, visible to later {"op":"trace"} queries.
@@ -978,80 +999,6 @@ bool Server::Impl::process_batch(Connection& conn,
       impl.traces.add(ctx.hi, ctx.lo, {write_span});
     }
   }
-  return true;
-}
-
-void Server::Impl::serve_connection(const std::shared_ptr<Connection>& conn) {
-  Impl& impl = *this;
-  net::LineBuffer buffer;
-  std::vector<std::string> lines;
-  while (!impl.stopping.load(std::memory_order_relaxed) &&
-         read_batch(*conn, buffer, lines)) {
-    if (!process_batch(*conn, lines)) break;
-  }
-  // Deregister before closing: stop() and the watchdog touch fds they
-  // find in the registry, and a closed fd number could already be reused.
-  {
-    std::lock_guard<std::mutex> lock(impl.connections_mutex);
-    auto& registry = impl.connections;
-    for (std::size_t i = 0; i < registry.size(); ++i) {
-      if (registry[i].get() == conn.get()) {
-        registry.erase(registry.begin() + static_cast<std::ptrdiff_t>(i));
-        break;
-      }
-    }
-  }
-  ::close(conn->fd);
-  // Last action: hand the thread handle to the accept loop's reaper.
-  conn->finished.store(true, std::memory_order_release);
-}
-
-void Server::Impl::accept_loop() {
-  Impl& impl = *this;
-  while (!impl.stopping.load(std::memory_order_relaxed)) {
-    impl.reap_finished_threads();
-    const int fd = impl.listener.accept_ready(100);
-    if (fd < 0) continue;
-    auto conn = std::make_shared<Connection>();
-    conn->fd = fd;
-    {
-      std::lock_guard<std::mutex> lock(impl.connections_mutex);
-      impl.connections.push_back(conn);
-    }
-    impl.stat_connections.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(impl.threads_mutex);
-    ConnThread worker;
-    worker.conn = conn;
-    worker.thread =
-        std::thread([&impl, conn]() { impl.serve_connection(conn); });
-    impl.connection_threads.push_back(std::move(worker));
-  }
-}
-
-/// Notice clients that died mid-solve and cancel their budgets — the
-/// anytime contract turns the cancellation into a fast valid return, which
-/// frees the admission slot. Only a hard socket error (ECONNRESET after the
-/// peer was killed) counts as dead: an orderly FIN (recv == 0) is how a
-/// one-shot `printf ... | nc` client says "no more requests" while still
-/// waiting to read its answers, so it must keep its full budget. A client
-/// that fully closed and sent no RST yet costs at most one deadline-capped
-/// solve; the response write then fails and the connection is reaped.
-void Server::Impl::watchdog_loop() {
-  Impl& impl = *this;
-  while (!impl.stopping.load(std::memory_order_relaxed)) {
-    timespec nap{0, 50 * 1000 * 1000};
-    ::nanosleep(&nap, nullptr);
-    std::lock_guard<std::mutex> lock(impl.connections_mutex);
-    for (const auto& conn : impl.connections) {
-      if (!conn->solving.load(std::memory_order_relaxed)) continue;
-      char probe = 0;
-      const ssize_t n =
-          ::recv(conn->fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
-      const bool dead = n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
-                        errno != EINTR;
-      if (dead) conn->cancel->store(true, std::memory_order_relaxed);
-    }
-  }
 }
 
 Server::Server(ServerOptions options)
@@ -1061,11 +1008,46 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   Impl& impl = *impl_;
-  impl.listener.listen(impl.options.host, impl.options.port);
+  rnet::ReactorOptions reactor_options;
+  reactor_options.host = impl.options.host;
+  reactor_options.port = impl.options.port;
+  reactor_options.event_loops = impl.options.io_threads;
+  reactor_options.workers = impl.options.io_workers;
+  reactor_options.max_batch = impl.options.max_batch;
+  reactor_options.max_message_bytes = impl.options.max_line_bytes;
+  reactor_options.idle_timeout_seconds = impl.options.idle_timeout_seconds;
+
+  rnet::ReactorCallbacks callbacks;
+  callbacks.on_open = [&impl](const rnet::ConnPtr& conn) {
+    conn->set_user(std::make_shared<ConnState>());
+    impl.stat_connections.fetch_add(1, std::memory_order_relaxed);
+  };
+  callbacks.on_batch = [&impl](const rnet::ConnPtr& conn,
+                               std::vector<rnet::Message> messages) {
+    impl.process_batch(conn, std::move(messages));
+  };
+  callbacks.protocol_error_reply = [](rnet::WireMode mode,
+                                      const std::string& message) {
+    if (mode == rnet::WireMode::Line)
+      return error_json(message, "") + "\n";
+    return rnet::encode_frame(rnet::kFrameError,
+                              io::binary_error_payload(-1, message, ""));
+  };
+  callbacks.on_close = [&impl](const rnet::ConnPtr& conn, bool aborted) {
+    // A hard death (RST, write overflow) cancels the connection's budgets —
+    // the anytime contract turns that into a fast valid return, freeing
+    // the admission slot. An orderly FIN keeps them: one-shot clients
+    // half-close and then read their answers.
+    if (!aborted) return;
+    if (const std::shared_ptr<ConnState> state = conn_state(conn))
+      state->cancel->store(true, std::memory_order_relaxed);
+  };
+
+  impl.reactor = std::make_unique<rnet::ReactorServer>(
+      std::move(reactor_options), std::move(callbacks));
+  impl.reactor->start();
   impl.stopping = false;
   impl.running = true;
-  impl.accept_thread = std::thread([&impl]() { impl.accept_loop(); });
-  impl.watchdog_thread = std::thread([&impl]() { impl.watchdog_loop(); });
   // The announce clients start after the listener so the advertised
   // endpoint carries the actually-bound port (resolves --port=0).
   // --announce takes a comma-separated router list; one session per
@@ -1107,30 +1089,21 @@ void Server::stop() {
     if (t.joinable()) t.join();
   impl.announce_threads.clear();
 
-  // 1. No new connections: wake the accept loop and retire it.
-  impl.listener.shutdown_now();
-  if (impl.accept_thread.joinable()) impl.accept_thread.join();
-
-  // 2. Drain: cancel every in-flight budget (anytime results come back
-  // fast) and half-close the reading side so idle readers see EOF while
-  // pending responses still go out.
-  {
-    std::lock_guard<std::mutex> lock(impl.connections_mutex);
-    for (const auto& conn : impl.connections) {
-      conn->cancel->store(true, std::memory_order_relaxed);
-      ::shutdown(conn->fd, SHUT_RD);
-    }
+  // 1. Drain the reactor: stop accepting and reading (messages already
+  // buffered keep flowing to the handlers), then cancel every in-flight
+  // budget — the anytime contract turns that into fast valid replies —
+  // and let shutdown() answer what was accepted, flush, and join.
+  if (impl.reactor) {
+    impl.reactor->begin_drain();
+    for (const rnet::ConnPtr& conn : impl.reactor->connections())
+      if (const std::shared_ptr<ConnState> state = conn_state(conn))
+        state->cancel->store(true, std::memory_order_relaxed);
+    impl.reactor->shutdown();
   }
-  std::vector<Impl::ConnThread> workers;
-  {
-    std::lock_guard<std::mutex> lock(impl.threads_mutex);
-    workers.swap(impl.connection_threads);
-  }
-  for (Impl::ConnThread& w : workers)
-    if (w.thread.joinable()) w.thread.join();
 
-  if (impl.watchdog_thread.joinable()) impl.watchdog_thread.join();
-  impl.listener.close();
+  // 2. Watch streams exit on `stopping` + their sinks finishing.
+  impl.reap_watch_threads(true);
+
   // Flush-on-drain: the tail of the slow log and trace file must survive
   // the SIGTERM that triggered this stop.
   impl.slow_file.flush();
@@ -1140,7 +1113,9 @@ void Server::stop() {
 
 bool Server::running() const noexcept { return impl_->running.load(); }
 
-std::uint16_t Server::port() const noexcept { return impl_->listener.port(); }
+std::uint16_t Server::port() const noexcept {
+  return impl_->reactor ? impl_->reactor->port() : 0;
+}
 
 ServerStats Server::stats() const {
   ServerStats out;
@@ -1390,7 +1365,7 @@ int serve_forever(const ServerOptions& options, std::ostream& log) {
   action.sa_handler = on_signal;
   ::sigaction(SIGTERM, &action, nullptr);
   ::sigaction(SIGINT, &action, nullptr);
-  ::signal(SIGPIPE, SIG_IGN);  // write_line already uses MSG_NOSIGNAL
+  ::signal(SIGPIPE, SIG_IGN);  // all writers already use MSG_NOSIGNAL
 
   log << "ebmf service listening on " << options.host << ":" << server.port()
       << " (threads=" << options.threads << ", cache-mb=" << options.cache_mb

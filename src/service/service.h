@@ -11,21 +11,27 @@
 ///    response per line out (schema: io/request_io.h). Responses on a
 ///    connection are written in request order, so clients may pipeline
 ///    freely. A malformed line yields `{"error": "..."}` and the
-///    connection stays open.
-///  * **Concurrency.** One reader thread per connection; consecutive
-///    pipelined lines are micro-batched through Engine::solve_batch, which
-///    fans them across the engine's thread pool. A global in-flight limit
-///    (admission control) sheds load with an `overloaded` error instead of
-///    queueing unboundedly, and every request runs under a deadline — its
-///    own `budget` capped by the server ceiling — so a slot is always
+///    connection stays open. A connection may upgrade to the binary frame
+///    protocol (net/frame.h, io/binary_io.h) with `{"op":"upgrade"}`; the
+///    line protocol stays the default for old clients and `nc`.
+///  * **Concurrency.** Connections live on the epoll reactor
+///    (net/reactor.h): a few event-loop threads own all sockets, and
+///    complete messages are micro-batched to a worker pool — at most one
+///    batch in flight per connection, so pipelined replies stay in request
+///    order — then through Engine::solve_batch, which fans them across the
+///    engine's thread pool. A global in-flight limit (admission control)
+///    sheds load with an `overloaded` error instead of queueing
+///    unboundedly, and every request runs under a deadline — its own
+///    `budget` capped by the server ceiling — so a slot is always
 ///    reclaimed.
 ///  * **Cancellation.** Each connection owns a shared Budget cancellation
-///    flag threaded into every solver it runs. A watchdog notices dead
-///    sockets (hard errors, not an orderly half-close — one-shot clients
-///    legitimately FIN and then read) mid-solve and flips the flag (the
-///    anytime contract turns that into a fast, still-valid return), and
-///    stop()/SIGTERM flips all of them for a graceful drain: accepted
-///    requests are answered, then connections close.
+///    flag threaded into every solver it runs. The reactor reports hard
+///    socket deaths (RST/EPOLLERR — not an orderly half-close: one-shot
+///    clients legitimately FIN and then read) the moment they happen,
+///    which flips the flag mid-solve (the anytime contract turns that into
+///    a fast, still-valid return), and stop()/SIGTERM flips all of them
+///    for a graceful drain: accepted requests are answered, then
+///    connections close.
 ///
 /// Server is usable in-process (tests bind port 0 and connect with
 /// Client); serve_forever() is the `ebmf serve` entry point wiring
@@ -55,7 +61,12 @@ struct ServerOptions {
   /// (trusted clients only).
   double budget_ceiling_seconds = 10.0;
   std::size_t max_batch = 32;  ///< Pipelined lines solved per batch.
-  std::size_t max_line_bytes = 4u << 20;  ///< Oversized-line guard.
+  std::size_t max_line_bytes = 4u << 20;  ///< Oversized line/frame guard.
+  std::size_t io_threads = 2;  ///< Reactor event-loop threads.
+  std::size_t io_workers = 0;  ///< Reactor handler threads (0 = auto).
+  /// Reap connections with no traffic, no queued output, and no solve in
+  /// flight for this long (half-open peers). 0 = never.
+  double idle_timeout_seconds = 0.0;
   /// Cache persistence across restarts: when non-empty, serve_forever
   /// reloads the result cache from this snapshot on start (corrupt or
   /// version-mismatched files are ignored with a warning) and rewrites it

@@ -34,6 +34,19 @@ class BitVec {
   /// Characters other than '0'/'1' are rejected.
   static BitVec from_string(const std::string& s);
 
+  /// Build an `n`-bit vector directly from little-endian storage words (the
+  /// layout words() exposes). Bits above `n` in the last word are cleared,
+  /// so untrusted wire input cannot violate the trim invariant; missing
+  /// words read as zero, surplus words are ignored.
+  static BitVec from_words(std::size_t n,
+                           const std::vector<std::uint64_t>& words) {
+    BitVec v(n);
+    const std::size_t limit = std::min(words.size(), v.w_.size());
+    for (std::size_t i = 0; i < limit; ++i) v.w_[i] = words[i];
+    v.trim();
+    return v;
+  }
+
   /// Number of bits.
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
 

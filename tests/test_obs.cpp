@@ -295,12 +295,20 @@ TEST(Trace, SpanTreeAcrossServeAndRoute) {
   const std::map<std::string, Span> spans = spans_by_name(*trace);
 
   // The acceptance bar: a traced router->backend request explains itself
-  // with at least five named spans across both processes.
+  // with at least five named spans across both processes. The pool
+  // negotiated the binary wire, so the forward carried the canonical form
+  // and key: the backend's own canon and lift passes vanish from the tree
+  // (that is the fast path working, witnessed below), and the engine's
+  // cache lookup shows up in their place.
   ASSERT_GE(spans.size(), 5u);
   for (const char* name :
        {"router.request", "router.canon", "router.dispatch", "server.request",
-        "server.queue", "engine.canon", "engine.solve", "engine.lift"})
+        "server.queue", "engine.cache_lookup", "engine.solve"})
     EXPECT_TRUE(spans.count(name) != 0) << "missing span " << name;
+  EXPECT_EQ(spans.count("engine.canon"), 0u)
+      << "binary fast path must skip the backend canon pass";
+  EXPECT_EQ(spans.count("engine.lift"), 0u)
+      << "binary fast path must skip the backend lift pass";
 
   // Parent links: the root has no parent; every other span's parent is in
   // the set (the tree is connected across the process boundary).
@@ -363,6 +371,52 @@ TEST(Trace, SpanTreeAcrossServeAndRoute) {
   ASSERT_NE(body, nullptr);
   EXPECT_NE(body->as_string().find("ebmf_router_requests"),
             std::string::npos);
+
+  router.stop();
+  backend.stop();
+}
+
+// The same fleet with --no-binary: the forward travels as a JSON line and
+// the backend runs its full pipeline, so the legacy span tree (canon and
+// lift included) still assembles across the processes.
+TEST(Trace, SpanTreeLegacyJsonBackendWire) {
+  service::ServerOptions backend_options;
+  backend_options.port = 0;
+  backend_options.cache_mb = 8;
+  service::Server backend(backend_options);
+  backend.start();
+
+  router::RouterOptions router_options;
+  router_options.port = 0;
+  router_options.l1_mb = 8;
+  router_options.binary_backend = false;
+  router_options.backends.push_back("127.0.0.1:" +
+                                    std::to_string(backend.port()));
+  router::Router router(router_options);
+  router.start();
+
+  service::Client client("127.0.0.1", router.port());
+  const TraceContext ctx = make_trace_context();
+  io::WireRequest wire;
+  wire.request =
+      engine::SolveRequest::dense(BinaryMatrix::parse("110;011;111"), "auto");
+  wire.has_trace = true;
+  wire.trace = ctx;
+  const std::string reply = client.round_trip(io::wire_request_json(wire));
+  const io::json::Value document = io::json::Value::parse(reply);
+  ASSERT_EQ(document.find("error"), nullptr) << reply;
+
+  const io::json::Value* trace = document.find("trace");
+  ASSERT_NE(trace, nullptr) << reply;
+  const std::map<std::string, Span> spans = spans_by_name(*trace);
+  for (const char* name :
+       {"router.request", "router.canon", "router.dispatch", "server.request",
+        "server.queue", "engine.canon", "engine.solve", "engine.lift"})
+    EXPECT_TRUE(spans.count(name) != 0) << "missing span " << name;
+  EXPECT_EQ(spans.at("server.request").parent_id,
+            spans.at("router.dispatch").span_id);
+  EXPECT_EQ(spans.at("engine.solve").parent_id,
+            spans.at("server.request").span_id);
 
   router.stop();
   backend.stop();

@@ -29,6 +29,12 @@ Checked metrics:
   * service: per-family client-observed p50/p99 latency (micros) must not
     grow past baseline (bench_service --json emits the summary line;
     sub-millisecond quantiles are skipped as scheduling noise)
+  * service_connections (bench_service --connections=N --json): lost,
+    reordered, and failed-connection counts must be exactly zero — these
+    are correctness contracts of the reactor, not perf numbers, so no
+    tolerance applies — and the router->backend binary-wire A/B must keep
+    its speedup at or above the 1.5x floor (storm throughput is also
+    compared against the baseline when one exists)
 
 CI runs on different hardware than the machine that wrote the baseline, so
 pass a wider --tolerance there (wall-clock scales with the machine; the
@@ -210,10 +216,18 @@ def main():
 
     current = load_summaries(args.current)
     if args.write_baseline:
-        baseline = {
-            "comment": "bench baseline; regenerate via tools/bench_compare.py "
-                       "--write-baseline (see file docstring for commands)",
-        }
+        # Start from the existing baseline (when present) so a partial run
+        # — say, regenerating only the service suites — does not drop the
+        # entries for benches that were not re-run.
+        baseline = {}
+        try:
+            with open(args.baseline, encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            pass
+        baseline["comment"] = (
+            "bench baseline; regenerate via tools/bench_compare.py "
+            "--write-baseline (see file docstring for commands)")
         # Persist *every* bench summary, not just the known ones, so a new
         # suite starts being gated the first time the baseline is rewritten.
         for name, record in sorted(current.items()):
@@ -300,6 +314,41 @@ def main():
             check_latency_us(failures, f"service[{fam['name']}].p99",
                              base_fam["p99_us"], fam["p99_us"],
                              args.tolerance)
+
+    base_conn = baseline.get("service_connections")
+    cur_conn = current.get("service_connections")
+    if cur_conn:
+        print("service_connections (reactor storm + backend-wire A/B):")
+        # Zero lost / reordered / failed connections is a correctness
+        # contract of the reactor, gated with no tolerance at all.
+        for key in ("lost", "reordered", "failed_connections"):
+            count = cur_conn.get(key, 0)
+            status = "ok" if count == 0 else "REGRESSION"
+            print(f"  service_connections.{key}: {count} [{status}]")
+            if count != 0:
+                failures.append(
+                    f"service_connections reported {count} {key} "
+                    f"({cur_conn.get('received', 0)} replies received)")
+        ab = cur_conn.get("ab")
+        if ab:
+            speedup = float(ab.get("binary_speedup", 0.0))
+            floor = 1.5
+            status = "ok" if speedup >= floor else "REGRESSION"
+            print(f"  service_connections.binary_speedup: {speedup:.2f}x "
+                  f"(floor {floor:.1f}x; JSON {ab.get('json_rps', 0):,.0f} "
+                  f"-> binary {ab.get('binary_rps', 0):,.0f} req/s) "
+                  f"[{status}]")
+            if speedup < floor:
+                failures.append(
+                    f"binary backend wire speedup fell to {speedup:.2f}x "
+                    f"(floor {floor:.1f}x)")
+        if base_conn and base_conn.get("storm_rps"):
+            check_throughput(failures, "service_connections.storm_rps",
+                             float(base_conn["storm_rps"]),
+                             float(cur_conn.get("storm_rps", 0.0)),
+                             args.tolerance)
+    elif base_conn:
+        failures.append("no service_connections summary in the current run")
 
     if failures:
         print("\nFAIL:")
